@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Experiment E5 -- Equation 1 (Section 4.1.1): error-correction latency
+ * of the Steane [[7,1,3]] logical qubit at recursion levels 1 and 2.
+ * Paper calibration points: T_ecc(L1) ~ 0.003 s, L2 ancilla preparation
+ * ~ 0.008 s, T_ecc(L2) ~ 0.043 s.
+ */
+
+#include <cstdio>
+
+#include "ecc/latency.h"
+#include "ecc/steane.h"
+
+using namespace qla;
+using namespace qla::ecc;
+
+int
+main()
+{
+    const EccLatencyModel model(steaneCode(),
+                                TechnologyParameters::expected());
+
+    std::printf("== E5: Equation 1 -- EC latency of the logical qubit "
+                "==\n\n");
+    std::printf("%-34s %-12s %-12s\n", "quantity", "ours (s)",
+                "paper (s)");
+    std::printf("%-34s %-12.5f %-12s\n", "T_synd(L1)", model.syndromeTime(1),
+                "-");
+    std::printf("%-34s %-12.5f %-12s\n", "T_ecc(L1)", model.eccTime(1),
+                "~0.003");
+    std::printf("%-34s %-12.5f %-12s\n", "L2 ancilla preparation",
+                model.prepTime(2), "~0.008");
+    std::printf("%-34s %-12.5f %-12s\n", "T_synd(L2)", model.syndromeTime(2),
+                "-");
+    std::printf("%-34s %-12.5f %-12s\n", "T_ecc(L2)", model.eccTime(2),
+                "~0.043");
+
+    std::printf("\n-- schedule components --\n");
+    std::printf("intra-block CNOT step:  %8.2f us\n",
+                model.cnotStep(1) * 1e6);
+    std::printf("inter-block CNOT step:  %8.2f us (r = %lld cells, %d "
+                "turns)\n",
+                model.cnotStep(2) * 1e6,
+                static_cast<long long>(model.config().interBlockCells),
+                model.config().interBlockTurns);
+    std::printf("block readout (7 ions): %8.2f us\n",
+                model.blockReadoutTime() * 1e6);
+    std::printf("L2 conglomeration readout: %8.2f us (49 serial "
+                "measurements)\n",
+                model.syndromeReadoutTime(2) * 1e6);
+    std::printf("L1 encode network:      %8.2f us (depth %zu CNOT "
+                "layers)\n",
+                model.encodeTime(1) * 1e6,
+                steaneCode().zeroEncoder().depth);
+    std::printf("L1 verified prep:       %8.2f us\n",
+                model.prepTime(1) * 1e6);
+
+    std::printf("\nEquation-1 weighting: non-trivial syndrome rates "
+                "%.2e (L1), %.2e (L2) [paper-measured values]\n",
+                model.nontrivialRate(1), model.nontrivialRate(2));
+
+    std::printf("\nextrapolation: T_ecc(L3) = %.3f s (exponential "
+                "recursion cost, Section 4.1.2)\n",
+                model.eccTime(3));
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Experiment E2 -- Figure 7 (Section 4.1.3): failure probability of a
+ * logical one-qubit gate followed by recursive error correction at
+ * levels 1 and 2, versus the physical component failure rate (movement
+ * held at the expected 1e-6/cell). The paper's empirical threshold is
+ * p_th = (2.1 +- 1.8) x 10^-3.
+ *
+ * Usage: bench_fig7_threshold [shots-per-point]   (default 3000)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "arq/monte_carlo.h"
+#include "ecc/steane.h"
+#include "ecc/threshold.h"
+
+using namespace qla;
+using namespace qla::arq;
+
+int
+main(int argc, char **argv)
+{
+    std::size_t shots = 3000;
+    if (argc > 1)
+        shots = static_cast<std::size_t>(std::strtoull(argv[1], nullptr,
+                                                       10));
+
+    std::printf("== E2: Figure 7 -- logical gate failure vs component "
+                "failure rate ==\n");
+    std::printf("(%zu shots/point; movement fixed at 1e-6/cell)\n\n",
+                shots);
+
+    const std::vector<double> sweep = {1.0e-3, 1.5e-3, 2.0e-3, 2.5e-3,
+                                       3.0e-3, 4.0e-3, 6.0e-3, 8.0e-3};
+    const auto points = thresholdSweep(sweep, shots, 20050938);
+
+    std::printf("%-12s %-24s %-24s\n", "p", "Level 1 failure",
+                "Level 2 failure");
+    for (const auto &point : points) {
+        std::printf("%-12.2e %10.5f +- %-10.5f %10.5f +- %-10.5f\n",
+                    point.physicalError, point.level1Failure,
+                    point.level1Error, point.level2Failure,
+                    point.level2Error);
+    }
+
+    const double pth = estimateThreshold(points);
+    std::printf("\nestimated crossing p_th = %.2e\n", pth);
+    std::printf("paper:                   (2.1 +- 1.8) x 10^-3\n");
+    std::printf("Reichardt bound [44]:     %.1e\n",
+                ecc::thresholds::kReichardt);
+    std::printf("theoretical [41]:         %.1e\n",
+                ecc::thresholds::kTheoretical);
+
+    // Syndrome rates at expected parameters (Section 4.1.1).
+    Rng rng(5);
+    NoiseParameters expected;
+    LogicalQubitExperiment experiment(ecc::steaneCode(), expected);
+    ExperimentStats s1;
+    experiment.failureRate(1, 20000, rng, &s1);
+    std::printf("\nnon-trivial L1 syndrome rate at expected params: "
+                "%.2e +- %.1e (paper 3.35e-4 +- 0.41e-4)\n",
+                s1.nontrivialSyndrome.rate(),
+                s1.nontrivialSyndrome.halfWidth95());
+    const auto l2_expected = experiment.failureRate(2, 500, rng);
+    std::printf("L2 failures observed at expected params: %llu/%llu "
+                "(paper: none observed)\n",
+                (unsigned long long)l2_expected.successes(),
+                (unsigned long long)l2_expected.trials());
+    return 0;
+}

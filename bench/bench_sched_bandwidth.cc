@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Experiment E7 -- Section 5 scheduler claims: "given two channels in
+ * each direction (bandwidth of 2), we could schedule communication such
+ * that it always overlapped with error correction", and the greedy
+ * scheduler "scalably achieves an average of ~23% aggregate bandwidth
+ * utilization on our implementation of the Toffoli gate".
+ */
+
+#include <cstdio>
+
+#include "network/scheduler.h"
+
+using namespace qla::network;
+
+int
+main()
+{
+    std::printf("== E7: EPR scheduler -- bandwidth sweep over the "
+                "Toffoli workload ==\n");
+    std::printf("(12x12 island mesh, 100-cell island spacing, 24 "
+                "concurrent fault-tolerant Toffolis,\n windows = one "
+                "level-2 EC period, purification-limited channel "
+                "capacity)\n\n");
+
+    std::printf("%-10s %-14s %-18s %-16s %-12s\n", "bandwidth",
+                "utilization", "stalled demands", "stalled windows",
+                "reroutes");
+    for (int bandwidth : {1, 2, 3, 4}) {
+        SchedulerConfig sc;
+        sc.bandwidth = bandwidth;
+        WorkloadConfig wc;
+        wc.totalWindows = 150;
+        GreedyEprScheduler scheduler(sc, wc);
+        const auto report = scheduler.run();
+        std::printf("%-10d %7.1f%%       %6llu / %-8llu %6llu / %-8llu "
+                    "%-12llu\n",
+                    bandwidth, 100.0 * report.utilization,
+                    (unsigned long long)report.stalledDemands,
+                    (unsigned long long)report.demands,
+                    (unsigned long long)report.stalledWindows,
+                    (unsigned long long)report.windows,
+                    (unsigned long long)report.backoffReroutes);
+    }
+
+    SchedulerConfig sc;
+    sc.bandwidth = 2;
+    WorkloadConfig wc;
+    wc.totalWindows = 150;
+    const auto report = GreedyEprScheduler(sc, wc).run();
+    std::printf("\nbandwidth 2: %s (paper: always overlapped); "
+                "utilization %.1f%% (paper: ~23%%)\n",
+                report.fullyOverlapped()
+                    ? "communication fully overlapped with EC"
+                    : "STALLS remain",
+                100.0 * report.utilization);
+    std::printf("single channel moves ~%llu purified pairs per EC "
+                "window; one transversal logical interaction needs 49 "
+                "-- hence bandwidth 2.\n",
+                (unsigned long long)GreedyEprScheduler(sc, wc)
+                    .slotsPerChannel());
+
+    // Drift-optimization ablation (Section 5: "it only moves logical
+    // qubit A back if necessary ... reduces the amount of movement").
+    SchedulerConfig no_drift = sc;
+    no_drift.driftOptimization = false;
+    const auto drift_off = GreedyEprScheduler(no_drift, wc).run();
+    std::printf("\ndrift optimization off: utilization %.1f%%, stalls "
+                "%llu (traffic doubles to round trips)\n",
+                100.0 * drift_off.utilization,
+                (unsigned long long)drift_off.stalledDemands);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Experiment E8 -- Section 5 narrative: factoring a 128-bit number.
+ * Paper: 63,730 Toffolis x 21 EC steps + QFT = 1.34e6 EC steps;
+ * at 0.043 s per level-2 EC step that is ~16 hours, and ~21 hours
+ * including the expected 1.3 circuit repetitions (0.9 days in Table 2).
+ */
+
+#include <cstdio>
+
+#include "apps/shor.h"
+#include "ecc/latency.h"
+#include "ecc/steane.h"
+
+using namespace qla;
+using namespace qla::apps;
+
+int
+main()
+{
+    const ecc::EccLatencyModel latency(ecc::steaneCode(),
+                                       TechnologyParameters::expected());
+    ShorModelConfig config;
+    config.eccCycleTime = latency.eccTime(2);
+    const ShorResourceModel model(config);
+    const arch::QlaChipModel chip;
+    const auto row = model.estimate(128, chip);
+
+    std::printf("== E8: Shor-128 runtime walkthrough (Section 5) "
+                "==\n\n");
+    std::printf("%-40s %-14s %-14s\n", "quantity", "ours", "paper");
+    std::printf("%-40s %-14llu %-14s\n", "Toffoli gates",
+                (unsigned long long)row.toffoliGates, "63,730");
+    std::printf("%-40s %-14llu %-14s\n", "EC steps per Toffoli",
+                (unsigned long long)config.toffoli.eccStepsPerGate(),
+                "21");
+    std::printf("%-40s %-14llu %-14s\n", "QFT EC steps",
+                (unsigned long long)row.qftEccSteps, "(small)");
+    std::printf("%-40s %-14.3e %-14s\n", "total EC steps",
+                static_cast<double>(row.eccSteps), "1.34e6");
+    std::printf("%-40s %-14.4f %-14s\n", "T_ecc(L2) (s)",
+                config.eccCycleTime, "0.043");
+    std::printf("%-40s %-14.1f %-14s\n", "single-run time (hours)",
+                units::toHours(row.singleRunTime), "~16");
+    std::printf("%-40s %-14.1f %-14s\n",
+                "expected time, x1.3 repeats (hours)",
+                units::toHours(row.expectedTime), "~21");
+    std::printf("%-40s %-14.2f %-14s\n", "expected time (days)",
+                units::toDays(row.expectedTime), "0.9");
+
+    std::printf("\n%-40s %-14llu %-14s\n", "logical qubits",
+                (unsigned long long)row.logicalQubits, "37,971");
+    const auto est = chip.estimate(row.logicalQubits);
+    std::printf("%-40s %-14.2f %-14s\n", "chip area (m^2)",
+                est.areaSquareMeters, "0.11");
+    std::printf("%-40s %-14.2e %-14s\n", "physical ions",
+                static_cast<double>(est.totalIons), "~7e6 (Section 7)");
+
+    std::printf("\nclassical comparison (Section 5): a 512-bit RSA "
+                "modulus took 8400 MIPS-years on ~300 workstations + "
+                "supercomputers; the QLA factors 512 bits in %.1f "
+                "days.\n",
+                units::toDays(model.estimate(512, chip).expectedTime));
+    return 0;
+}

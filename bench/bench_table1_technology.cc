@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Experiment E1 -- Table 1 (Section 2.2): ion-trap technology
+ * parameters, plus the derived ballistic-channel figures of Section 2.1
+ * (cell traversal T = 0.01 us, bandwidth ~100 Mqbps).
+ */
+
+#include <cstdio>
+
+#include "common/tech_params.h"
+#include "qccd/channel.h"
+
+using namespace qla;
+
+int
+main()
+{
+    const auto current = TechnologyParameters::currentGeneration();
+    const auto expected = TechnologyParameters::expected();
+
+    std::printf("== E1: Table 1 -- technology parameters ==\n\n");
+    std::printf("%-12s %-12s %-14s %-14s\n", "Operation", "Time",
+                "Pcurrent", "Pexpected");
+    std::printf("%-12s %-12s %-14.1e %-14.1e\n", "Single gate", "1 us",
+                current.singleGateError, expected.singleGateError);
+    std::printf("%-12s %-12s %-14.1e %-14.1e\n", "Double gate", "10 us",
+                current.doubleGateError, expected.doubleGateError);
+    std::printf("%-12s %-12s %-14.1e %-14.1e\n", "Measure", "100 us",
+                current.measureError, expected.measureError);
+    std::printf("%-12s %-12s %-14.1e %-14.1e  (per cell)\n", "Movement",
+                "10 ns/um", current.movementErrorPerCell,
+                expected.movementErrorPerCell);
+    std::printf("%-12s %-12s\n", "Split", "10 us");
+    std::printf("%-12s %-12s\n", "Cooling", "1 us");
+    std::printf("%-12s %.0f s\n", "Memory", expected.memoryTime);
+
+    std::printf("\n-- derived (Section 2.1) --\n");
+    std::printf("cell traversal time: %.3f us (paper: 0.01 us per 20 um "
+                "trap)\n",
+                expected.cellTraversalTime * 1e6);
+    std::printf("channel bandwidth:   %.0f Mqbps (paper: ~100 Mqbps)\n",
+                expected.channelBandwidthQbps() / 1e6);
+    std::printf("avg component error p0 = %.2e (feeds Equation 2)\n",
+                expected.averageComponentError());
+
+    const qccd::BallisticChannel channel(100, expected);
+    std::printf("\n100-cell channel: first-ion latency %.2f us, "
+                "100-ion pipelined delivery %.2f us, per-ion error "
+                "%.2e\n",
+                channel.firstIonLatency() * 1e6,
+                channel.deliveryTime(100) * 1e6, channel.perIonError());
+    std::printf("move 1000 cells, 2 turns: %.2f us, error %.2e\n",
+                expected.moveTime(1000, 2) * 1e6,
+                expected.moveError(1000, 1, 2));
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Experiment E4 -- Table 2 (Section 5): Shor's-algorithm system numbers
+ * for N = 128 / 512 / 1024 / 2048, compared row-by-row against the
+ * paper.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/shor.h"
+#include "ecc/latency.h"
+#include "ecc/steane.h"
+
+using namespace qla;
+using namespace qla::apps;
+
+namespace {
+
+double
+relDelta(double ours, double paper)
+{
+    return paper == 0.0 ? 0.0 : 100.0 * (ours - paper) / paper;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Drive the time column with the *computed* level-2 EC latency so
+    // the whole pipeline is consistent (Eq. 1 model -> Table 2).
+    const ecc::EccLatencyModel latency(ecc::steaneCode(),
+                                       TechnologyParameters::expected());
+    ShorModelConfig config;
+    config.eccCycleTime = latency.eccTime(2);
+    const ShorResourceModel model(config);
+    const arch::QlaChipModel chip;
+
+    std::printf("== E4: Table 2 -- Shor's algorithm on the QLA ==\n");
+    std::printf("(T_ecc(L2) = %.4f s from the Eq. 1 model)\n\n",
+                config.eccCycleTime);
+    std::printf("%-6s | %-22s | %-22s | %-24s | %-18s | %-18s\n", "N",
+                "Logical qubits", "Toffoli gates", "Total gates",
+                "Area (m^2)", "Time (days)");
+    for (const auto &paper : paperTable2()) {
+        const auto ours = model.estimate(paper.bits, chip);
+        std::printf("%-6llu | %9llu vs %-9llu | %9llu vs %-9llu | "
+                    "%10llu vs %-10llu | %6.2f vs %-6.2f | %6.1f vs "
+                    "%-6.1f\n",
+                    (unsigned long long)paper.bits,
+                    (unsigned long long)ours.logicalQubits,
+                    (unsigned long long)paper.logicalQubits,
+                    (unsigned long long)ours.toffoliGates,
+                    (unsigned long long)paper.toffoliGates,
+                    (unsigned long long)ours.totalGates,
+                    (unsigned long long)paper.totalGates,
+                    ours.areaSquareMeters, paper.areaSquareMeters,
+                    units::toDays(ours.expectedTime), paper.timeDays);
+    }
+
+    std::printf("\n-- deltas vs paper (ours, %%): --\n");
+    for (const auto &paper : paperTable2()) {
+        const auto ours = model.estimate(paper.bits, chip);
+        std::printf("N=%-5llu qubits %+6.2f%%  toffoli %+6.2f%%  gates "
+                    "%+6.2f%%  area %+6.2f%%  time %+6.2f%%\n",
+                    (unsigned long long)paper.bits,
+                    relDelta(ours.logicalQubits, paper.logicalQubits),
+                    relDelta(ours.toffoliGates, paper.toffoliGates),
+                    relDelta(ours.totalGates, paper.totalGates),
+                    relDelta(ours.areaSquareMeters,
+                             paper.areaSquareMeters),
+                    relDelta(units::toDays(ours.expectedTime),
+                             paper.timeDays));
+    }
+
+    const auto est128 = chip.estimate(model.logicalQubits(128));
+    std::printf("\nN=128 chip: edge %.1f cm; total ions %.2e (paper: "
+                "~7e6 ions, 0.33 m edge for N=128-class chips)\n",
+                est128.edgeCentimeters,
+                static_cast<double>(est128.totalIons));
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Teleportation demonstration on both simulation back-ends.
+ *
+ * 1. Dense simulator: teleport a non-Clifford (T-rotated) state and
+ *    verify the received state matches the source exactly.
+ * 2. Stabilizer simulator: teleport each half of the verification done
+ *    via deterministic stabilizer checks.
+ * 3. Werner model: what the interconnect does to that state's fidelity
+ *    across a real chip distance, with and without purification.
+ */
+
+#include <cstdio>
+
+#include "arq/executor.h"
+#include "circuit/builders.h"
+#include "common/rng.h"
+#include "quantum/statevector.h"
+#include "quantum/tableau.h"
+#include "teleport/connection_model.h"
+
+using namespace qla;
+using namespace qla::quantum;
+
+int
+main()
+{
+    Rng rng(31337);
+
+    // 1. Teleport |psi> = T H |0> -- outside the Clifford group, so
+    //    only the dense engine can verify it.
+    std::printf("== teleporting a T-rotated state (dense engine) ==\n");
+    StateVector reference(1);
+    reference.h(0);
+    reference.t(0);
+
+    double worst = 1.0;
+    for (int trial = 0; trial < 8; ++trial) {
+        StateVector psi(3);
+        psi.h(0);
+        psi.t(0); // source state on qubit 0
+        arq::executeOnStateVector(circuit::teleportation(), psi, rng);
+        // Qubit 2 now holds the state; compare against the reference by
+        // checking the Bloch components via Pauli expectations.
+        StateVector single(1);
+        // Project: measure nothing -- instead compare expectations.
+        const double ex = psi.expectation(
+            PauliString::fromString("IIX"));
+        const double ey = psi.expectation(
+            PauliString::fromString("IIY"));
+        const double ez = psi.expectation(
+            PauliString::fromString("IIZ"));
+        const double rx = reference.expectation(
+            PauliString::fromString("X"));
+        const double ry = reference.expectation(
+            PauliString::fromString("Y"));
+        const double rz = reference.expectation(
+            PauliString::fromString("Z"));
+        const double overlap = 0.5
+            * (1.0 + ex * rx + ey * ry + ez * rz);
+        worst = std::min(worst, overlap);
+    }
+    std::printf("worst-case received-state fidelity over 8 trials: "
+                "%.6f %s\n\n",
+                worst, worst > 0.999999 ? "[exact]" : "[FAIL]");
+
+    // 2. Stabilizer engine: teleport one half of a Bell pair and verify
+    //    the entanglement moved with it (deterministic check).
+    std::printf("== teleporting entanglement (stabilizer engine) ==\n");
+    int ok = 0;
+    const int trials = 64;
+    for (int t = 0; t < trials; ++t) {
+        // Qubits: 0 = partner, 1 = source (entangled with 0),
+        // 2,3 = EPR channel pair, 3 receives.
+        StabilizerTableau state(4);
+        state.h(0);
+        state.cnot(0, 1); // Bell(0,1)
+        state.h(2);
+        state.cnot(2, 3); // channel EPR(2,3)
+        // Bell measurement of 1 against 2.
+        state.cnot(1, 2);
+        state.h(1);
+        const bool m1 = state.measureZ(1, rng);
+        const bool m2 = state.measureZ(2, rng);
+        if (m2)
+            state.x(3);
+        if (m1)
+            state.z(3);
+        // Now (0,3) must be a Bell pair: XX and ZZ both +1.
+        const auto xx = state.deterministicValue(
+            PauliString::fromString("XIIX"));
+        const auto zz = state.deterministicValue(
+            PauliString::fromString("ZIIZ"));
+        if (xx && zz && !*xx && !*zz)
+            ++ok;
+    }
+    std::printf("entanglement arrived intact in %d/%d trials\n\n", ok,
+                trials);
+
+    // 3. What the physical interconnect would do to the EPR channel.
+    std::printf("== the same EPR pair across 6000 chip cells ==\n");
+    const teleport::RepeaterConfig config;
+    const teleport::RepeaterChain chain(config);
+    const double raw = teleport::simplisticTeleportInfidelity(config,
+                                                              6000);
+    std::printf("unpurified single pair infidelity: %.3f (useless)\n",
+                raw);
+    const auto plan = chain.plan(6000, 100);
+    std::printf("repeater chain (d=100): infidelity %.3f in %.3f s -- "
+                "the Figure-9 design point\n",
+                1.0 - plan.finalFidelity, plan.connectionTime);
+    return 0;
+}

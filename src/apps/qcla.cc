@@ -1,0 +1,76 @@
+#include "apps/qcla.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qla::apps {
+
+namespace {
+
+std::uint64_t
+log2Ceil(std::uint64_t n)
+{
+    qla_assert(n >= 1);
+    return n <= 1 ? 0 : 64 - std::countl_zero(n - 1);
+}
+
+} // namespace
+
+AdderCost
+qclaCost(std::uint64_t n)
+{
+    qla_assert(n >= 1);
+    AdderCost cost;
+    // Draper et al.: out-of-place CLA depth 4 log2 n (Toffoli),
+    // 4 CNOTs, 2 NOTs; size ~10n Toffolis; ~4n - log n ancilla.
+    cost.toffoliDepth = 4 * log2Ceil(n);
+    cost.cnotDepth = 4;
+    cost.notDepth = 2;
+    cost.toffoliCount = 10 * n;
+    cost.ancillaQubits = n >= 2 ? 4 * n - log2Ceil(n) : 4;
+    return cost;
+}
+
+std::size_t
+rippleAdderQubits(std::size_t n)
+{
+    return 2 * n + 1; // a, b, and one running carry
+}
+
+circuit::QuantumCircuit
+rippleAdderCircuit(std::size_t n)
+{
+    qla_assert(n >= 1, "empty adder");
+    // Cuccaro et al. ripple-carry adder: MAJ ladder up, UMA ladder down.
+    // Register layout: a[i] at i, b[i] at n + i, carry-in ancilla at 2n.
+    circuit::QuantumCircuit c(rippleAdderQubits(n), "ripple-adder");
+    const auto qa = [](std::size_t i) { return i; };
+    const auto qb = [n](std::size_t i) { return n + i; };
+    const std::size_t c0 = 2 * n;
+
+    const auto maj = [&](std::size_t x, std::size_t y, std::size_t z) {
+        // MAJ(c, b, a): a becomes MAJ(a, b, c); b, c hold partial sums.
+        c.cnot(z, y);
+        c.cnot(z, x);
+        c.toffoli(x, y, z);
+    };
+    const auto uma = [&](std::size_t x, std::size_t y, std::size_t z) {
+        c.toffoli(x, y, z);
+        c.cnot(z, x);
+        c.cnot(x, y);
+    };
+
+    maj(c0, qb(0), qa(0));
+    for (std::size_t i = 1; i < n; ++i)
+        maj(qa(i - 1), qb(i), qa(i));
+    for (std::size_t i = n; i-- > 1;)
+        uma(qa(i - 1), qb(i), qa(i));
+    uma(c0, qb(0), qa(0));
+    // Post-condition: b holds a + b (mod 2^n), a and the ancilla are
+    // restored.
+    return c;
+}
+
+} // namespace qla::apps

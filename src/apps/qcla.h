@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Quantum carry-lookahead adder (QCLA) cost model and circuit generator.
+ *
+ * Paper Section 5: "The QCLA ... can perform an n qubit addition with a
+ * latency of 4 log2 n Toffoli gates, 4 CNOTs and 2 NOTs" (Draper, Kutin,
+ * Rains, Svore). The cost model feeds the modular-exponentiation latency
+ * equation; the circuit generator produces a runnable (small-n) in-place
+ * ripple variant used by the examples and by ARQ mapping demos.
+ */
+
+#ifndef QLA_APPS_QCLA_H
+#define QLA_APPS_QCLA_H
+
+#include <cstdint>
+
+#include "circuit/circuit.h"
+
+namespace qla::apps {
+
+/** Latency/size cost of one n-bit QCLA addition. */
+struct AdderCost
+{
+    std::uint64_t toffoliDepth = 0;
+    std::uint64_t cnotDepth = 0;
+    std::uint64_t notDepth = 0;
+    std::uint64_t toffoliCount = 0;
+    std::uint64_t ancillaQubits = 0;
+};
+
+/**
+ * Cost of the out-of-place QCLA on @p n bits, optimized for time
+ * (the paper's choice from Draper et al.).
+ */
+AdderCost qclaCost(std::uint64_t n);
+
+/**
+ * Build a runnable n-bit adder circuit |a>|b>|0...> -> |a>|a+b mod 2^n>.
+ *
+ * Uses the standard in-place ripple-carry construction (Cuccaro-style
+ * via Toffoli/CNOT): registers are a[0..n), b[0..n), one carry ancilla.
+ * Exact adder semantics for testing against classical addition; the
+ * carry-lookahead *cost model* above is what enters the Table-2
+ * evaluation (the paper never executes the adder either -- ARQ is a
+ * cost/fault simulator, not a state simulator at this scale).
+ */
+circuit::QuantumCircuit rippleAdderCircuit(std::size_t n);
+
+/** Total qubits used by rippleAdderCircuit(n). */
+std::size_t rippleAdderQubits(std::size_t n);
+
+} // namespace qla::apps
+
+#endif // QLA_APPS_QCLA_H

@@ -1,0 +1,157 @@
+#include "apps/shor.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qla::apps {
+
+namespace {
+
+double
+log2d(std::uint64_t n)
+{
+    return std::log2(static_cast<double>(n));
+}
+
+} // namespace
+
+const std::vector<ShorPaperRow> &
+paperTable2()
+{
+    static const std::vector<ShorPaperRow> rows = {
+        {128, 37971, 63729, 115033, 0.11, 0.9},
+        {512, 150771, 397910, 1016295, 0.45, 5.5},
+        {1024, 301251, 964919, 3270582, 0.90, 13.4},
+        {2048, 602259, 2301767, 11148214, 1.80, 32.1},
+    };
+    return rows;
+}
+
+ShorResourceModel::ShorResourceModel(ShorModelConfig config)
+    : config_(std::move(config))
+{
+    const auto &rows = paperTable2();
+    qla_assert(rows.size() == 4);
+
+    // Toffoli coefficients from the N = 128 and N = 1024 anchors:
+    //   a N log2^2 N + b N log2 N = paper count.
+    {
+        const double n1 = 128, l1 = 7, y1 = 63729;
+        const double n2 = 1024, l2 = 10, y2 = 964919;
+        const double a11 = n1 * l1 * l1, a12 = n1 * l1;
+        const double a21 = n2 * l2 * l2, a22 = n2 * l2;
+        const double det = a11 * a22 - a12 * a21;
+        tof_a_ = (y1 * a22 - a12 * y2) / det;
+        tof_b_ = (a11 * y2 - y1 * a21) / det;
+    }
+
+    // Total-gate coefficients from the N = 128 / 512 / 2048 anchors:
+    //   a N^2 + b N log2^2 N + c N log2 N = paper count.
+    {
+        const double n[3] = {128, 512, 2048};
+        const double l[3] = {7, 9, 11};
+        const double y[3] = {115033, 1016295, 11148214};
+        double m[3][4];
+        for (int i = 0; i < 3; ++i) {
+            m[i][0] = n[i] * n[i];
+            m[i][1] = n[i] * l[i] * l[i];
+            m[i][2] = n[i] * l[i];
+            m[i][3] = y[i];
+        }
+        // Gaussian elimination on the 3x4 system.
+        for (int col = 0; col < 3; ++col) {
+            int pivot = col;
+            for (int r = col + 1; r < 3; ++r)
+                if (std::fabs(m[r][col]) > std::fabs(m[pivot][col]))
+                    pivot = r;
+            for (int k = 0; k < 4; ++k)
+                std::swap(m[col][k], m[pivot][k]);
+            for (int r = 0; r < 3; ++r) {
+                if (r == col)
+                    continue;
+                const double f = m[r][col] / m[col][col];
+                for (int k = 0; k < 4; ++k)
+                    m[r][k] -= f * m[col][k];
+            }
+        }
+        tot_a_ = m[0][3] / m[0][0];
+        tot_b_ = m[1][3] / m[1][1];
+        tot_c_ = m[2][3] / m[2][2];
+    }
+}
+
+std::uint64_t
+ShorResourceModel::logicalQubits(std::uint64_t bits) const
+{
+    // Q(N) = s (6N - log2 N) + 6N + overhead; exact on all Table-2 rows
+    // with s = 48 and overhead 675.
+    const double s = static_cast<double>(config_.multiplierBlocks);
+    const double n = static_cast<double>(bits);
+    const double q = s * (6.0 * n - log2d(bits)) + 6.0 * n
+        + static_cast<double>(config_.controlOverheadQubits);
+    return static_cast<std::uint64_t>(std::llround(q));
+}
+
+std::uint64_t
+ShorResourceModel::toffoliGates(std::uint64_t bits) const
+{
+    const double n = static_cast<double>(bits);
+    const double l = log2d(bits);
+    return static_cast<std::uint64_t>(
+        std::llround(tof_a_ * n * l * l + tof_b_ * n * l));
+}
+
+std::uint64_t
+ShorResourceModel::totalGates(std::uint64_t bits) const
+{
+    const double n = static_cast<double>(bits);
+    const double l = log2d(bits);
+    return static_cast<std::uint64_t>(std::llround(
+        tot_a_ * n * n + tot_b_ * n * l * l + tot_c_ * n * l));
+}
+
+std::uint64_t
+ShorResourceModel::qftEccSteps(std::uint64_t bits) const
+{
+    // Banded (approximate) QFT: each of the N qubits interacts with the
+    // nearest log2 N + offset neighbors; one EC step per rotation layer.
+    const double bands = log2d(bits)
+        + static_cast<double>(config_.qftBandOffset);
+    return static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(bits) * bands));
+}
+
+ShorResources
+ShorResourceModel::estimate(std::uint64_t bits,
+                            const arch::QlaChipModel &chip) const
+{
+    ShorResources out;
+    out.bits = bits;
+    out.logicalQubits = logicalQubits(bits);
+    out.toffoliGates = toffoliGates(bits);
+    out.totalGates = totalGates(bits);
+    out.qftEccSteps = qftEccSteps(bits);
+    out.eccSteps = out.toffoliGates * config_.toffoli.eccStepsPerGate()
+        + out.qftEccSteps;
+    out.areaSquareMeters = chip.estimate(out.logicalQubits)
+        .areaSquareMeters;
+    out.singleRunTime = static_cast<double>(out.eccSteps)
+        * config_.eccCycleTime;
+    out.expectedTime = out.singleRunTime * config_.expectedRepetitions;
+    out.computationSize = static_cast<double>(out.eccSteps)
+        * static_cast<double>(out.logicalQubits);
+    return out;
+}
+
+std::vector<ShorResources>
+ShorResourceModel::table2() const
+{
+    const arch::QlaChipModel chip;
+    std::vector<ShorResources> rows;
+    for (const auto &row : paperTable2())
+        rows.push_back(estimate(row.bits, chip));
+    return rows;
+}
+
+} // namespace qla::apps

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shor's-algorithm resource and latency model (paper Section 5, Table 2).
+ *
+ * The paper evaluates QLA on quantum modular exponentiation built from
+ * QCLA adders (Draper et al.) following Van Meter & Itoh's
+ * latency-optimized design:
+ *
+ *   MExp = IM x MAC x (QCLA + ArgSet) + 3p x QCLA
+ *
+ * with indirection ("ArgSet") and p extra adder qubits. The concrete
+ * instantiation is reconstructed here in closed form:
+ *
+ *  - logical qubits: Q(N) = s (6N - log2 N) + 6N + 675 with s = 48
+ *    parallel multiplier blocks of ~6N qubits each. This matches all
+ *    four Table-2 rows exactly.
+ *  - Toffoli critical-path count: a N log2^2 N + b N log2 N, with the
+ *    two coefficients solved from the paper's N = 128 and N = 1024
+ *    anchors (the structural product IM x MAC x depth reduces to this
+ *    form); the remaining rows agree to < 0.3%.
+ *  - total gates: a2 N^2 + b2 N log2^2 N + c2 N log2 N, solved from the
+ *    N = 128 / 512 / 2048 anchors; the N = 1024 row agrees to 0.04%.
+ *
+ * Wall-clock time = EC steps x T_ecc(L2) x expected repetitions (1.3,
+ * Ekert & Jozsa), where EC steps = 21 x Toffolis + banded-QFT steps.
+ */
+
+#ifndef QLA_APPS_SHOR_H
+#define QLA_APPS_SHOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/toffoli.h"
+#include "arch/chip.h"
+#include "common/units.h"
+
+namespace qla::apps {
+
+/** One row of Table 2. */
+struct ShorResources
+{
+    std::uint64_t bits = 0;            ///< N, the factored integer width.
+    std::uint64_t logicalQubits = 0;
+    std::uint64_t toffoliGates = 0;
+    std::uint64_t totalGates = 0;
+    std::uint64_t qftEccSteps = 0;
+    std::uint64_t eccSteps = 0;        ///< 21 x Toffoli + QFT.
+    double areaSquareMeters = 0.0;
+    Seconds singleRunTime = 0.0;       ///< One circuit execution.
+    Seconds expectedTime = 0.0;        ///< x1.3 expected repetitions.
+    double computationSize = 0.0;      ///< S = K x Q.
+};
+
+/** Paper reference values for one Table-2 row. */
+struct ShorPaperRow
+{
+    std::uint64_t bits;
+    std::uint64_t logicalQubits;
+    std::uint64_t toffoliGates;
+    std::uint64_t totalGates;
+    double areaSquareMeters;
+    double timeDays;
+};
+
+/** The four rows the paper reports. */
+const std::vector<ShorPaperRow> &paperTable2();
+
+/** Model configuration. */
+struct ShorModelConfig
+{
+    /** Parallel multiplier blocks (Van Meter-Itoh parallelism). */
+    std::uint64_t multiplierBlocks = 48;
+    /** Fixed control overhead in logical qubits. */
+    std::uint64_t controlOverheadQubits = 675;
+    /** Expected circuit repetitions (Ekert & Jozsa: ~1.3). */
+    double expectedRepetitions = 1.3;
+    /** Banded-QFT band width offset: bands = log2 N + 6. */
+    std::uint64_t qftBandOffset = 6;
+    /** Level-2 error-correction cycle time (Section 4.1.1). */
+    Seconds eccCycleTime = 0.043;
+    /** Fault-tolerant Toffoli gadget. */
+    ToffoliGadget toffoli;
+};
+
+/**
+ * Closed-form Shor resource model reproducing Table 2.
+ */
+class ShorResourceModel
+{
+  public:
+    explicit ShorResourceModel(ShorModelConfig config = {});
+
+    const ShorModelConfig &config() const { return config_; }
+
+    /** Logical qubits Q(N). */
+    std::uint64_t logicalQubits(std::uint64_t bits) const;
+
+    /** Critical-path Toffoli count. */
+    std::uint64_t toffoliGates(std::uint64_t bits) const;
+
+    /** Total gate count. */
+    std::uint64_t totalGates(std::uint64_t bits) const;
+
+    /** EC steps of the (banded) QFT tail. */
+    std::uint64_t qftEccSteps(std::uint64_t bits) const;
+
+    /** Full Table-2 row for N = @p bits. */
+    ShorResources estimate(std::uint64_t bits,
+                           const arch::QlaChipModel &chip) const;
+
+    /** All four paper rows with the default chip model. */
+    std::vector<ShorResources> table2() const;
+
+  private:
+    ShorModelConfig config_;
+    // Calibrated Toffoli coefficients (N log2^2 N, N log2 N).
+    double tof_a_ = 0.0;
+    double tof_b_ = 0.0;
+    // Calibrated total-gate coefficients (N^2, N log2^2 N, N log2 N).
+    double tot_a_ = 0.0;
+    double tot_b_ = 0.0;
+    double tot_c_ = 0.0;
+};
+
+} // namespace qla::apps
+
+#endif // QLA_APPS_SHOR_H

@@ -1,0 +1,3 @@
+// ToffoliGadget is header-only; this translation unit anchors the
+// library target.
+#include "apps/toffoli.h"

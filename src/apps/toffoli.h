@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fault-tolerant Toffoli gadget cost model (paper Section 5).
+ *
+ * "A fault-tolerant construction of this gate using a universal one and
+ * two-qubit gate basis requires 6 additional logical ancilla qubits.
+ * ... The preparation of the ancilla qubits is an involved process of 15
+ * timesteps repeated three times. ... each Toffoli will contribute
+ * approximately 15 error correction steps for the ancilla preparation
+ * and 6 error correction cycles to finish the gate." A time-step is one
+ * error-correction cycle of the involved logical qubits.
+ */
+
+#ifndef QLA_APPS_TOFFOLI_H
+#define QLA_APPS_TOFFOLI_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace qla::apps {
+
+/** Cost summary of one fault-tolerant logical Toffoli gate. */
+struct ToffoliGadget
+{
+    /** Logical operands. */
+    std::uint64_t operandQubits = 3;
+    /** Extra logical ancilla qubits. */
+    std::uint64_t ancillaQubits = 6;
+    /** EC steps spent preparing the ancilla (overlappable). */
+    std::uint64_t prepEccSteps = 15;
+    /** Ancilla preparation repetitions (verification retries). */
+    std::uint64_t prepRepetitions = 3;
+    /** EC steps to finish the gate after the ancilla is ready. */
+    std::uint64_t finishEccSteps = 6;
+
+    /**
+     * EC steps charged per Toffoli on the critical path: the ancilla
+     * preparations of successive Toffolis overlap with the previous
+     * gate's execution, but operand sharing limits the overlap, so each
+     * Toffoli contributes prep + finish = 21 steps (Section 5).
+     */
+    std::uint64_t eccStepsPerGate() const
+    {
+        return prepEccSteps + finishEccSteps;
+    }
+
+    /** Wall-clock cost per Toffoli given the EC cycle time. */
+    Seconds latency(Seconds ecc_cycle) const
+    {
+        return static_cast<double>(eccStepsPerGate()) * ecc_cycle;
+    }
+
+    /** Total logical qubits touched (operands + ancilla). */
+    std::uint64_t totalQubits() const
+    {
+        return operandQubits + ancillaQubits;
+    }
+};
+
+} // namespace qla::apps
+
+#endif // QLA_APPS_TOFFOLI_H

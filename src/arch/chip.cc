@@ -1,0 +1,36 @@
+#include "arch/chip.h"
+
+#include <cmath>
+
+namespace qla::arch {
+
+QlaChipModel::QlaChipModel(TileGeometry geometry, Micrometers cell_size,
+                           std::uint64_t ions_per_tile)
+    : geometry_(geometry), cell_size_(cell_size),
+      ions_per_tile_(ions_per_tile)
+{
+}
+
+ChipEstimate
+QlaChipModel::estimate(std::uint64_t logical_qubits) const
+{
+    ChipEstimate out;
+    out.logicalQubits = logical_qubits;
+    out.tilesPerSide = static_cast<std::uint64_t>(
+        std::ceil(std::sqrt(static_cast<double>(logical_qubits))));
+    out.areaSquareMeters = static_cast<double>(logical_qubits)
+        * geometry_.tileAreaSquareMeters(cell_size_);
+    out.edgeCentimeters = std::sqrt(out.areaSquareMeters) * 100.0;
+    out.totalIons = logical_qubits * ions_per_tile_;
+    return out;
+}
+
+double
+QlaChipModel::qubitsPerPentium4Die() const
+{
+    // 90 nm Pentium IV die: ~217 mm^2.
+    const double die_mm2 = 217.0;
+    return die_mm2 / geometry_.qubitAreaSquareMillimeters(cell_size_);
+}
+
+} // namespace qla::arch

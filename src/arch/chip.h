@@ -1,0 +1,61 @@
+/**
+ * @file
+ * QLA chip-level layout and area model (Table 2 "Area" column).
+ */
+
+#ifndef QLA_ARCH_CHIP_H
+#define QLA_ARCH_CHIP_H
+
+#include <cstdint>
+
+#include "arch/logical_tile.h"
+
+namespace qla::arch {
+
+/**
+ * Area/geometry summary for a QLA chip hosting a given number of
+ * logical qubits.
+ */
+struct ChipEstimate
+{
+    std::uint64_t logicalQubits = 0;
+    /** Tiles per side for a square aspect. */
+    std::uint64_t tilesPerSide = 0;
+    double areaSquareMeters = 0.0;
+    /** Edge length in centimeters for a square chip. */
+    double edgeCentimeters = 0.0;
+    /** Total trapped ions (441 per tile, Figure 5). */
+    std::uint64_t totalIons = 0;
+};
+
+/**
+ * Chip-level model: tiles the logical qubits in a square array and
+ * derives area, edge length, and ion counts.
+ */
+class QlaChipModel
+{
+  public:
+    explicit QlaChipModel(TileGeometry geometry = {},
+                          Micrometers cell_size = 20.0,
+                          std::uint64_t ions_per_tile = 441);
+
+    const TileGeometry &geometry() const { return geometry_; }
+
+    ChipEstimate estimate(std::uint64_t logical_qubits) const;
+
+    /**
+     * Logical qubits per classical-processor-sized die: the paper notes
+     * ~100 logical qubits fit in a Pentium-IV-sized die (2.11 mm^2 per
+     * qubit against ~217 mm^2 of die).
+     */
+    double qubitsPerPentium4Die() const;
+
+  private:
+    TileGeometry geometry_;
+    Micrometers cell_size_;
+    std::uint64_t ions_per_tile_;
+};
+
+} // namespace qla::arch
+
+#endif // QLA_ARCH_CHIP_H

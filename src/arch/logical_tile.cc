@@ -1,0 +1,73 @@
+#include "arch/logical_tile.h"
+
+namespace qla::arch {
+
+double
+TileGeometry::tileAreaSquareMeters(Micrometers cell_size) const
+{
+    const double cells = static_cast<double>(pitchX())
+        * static_cast<double>(pitchY());
+    return units::squareMicrometersToSquareMeters(cells * cell_size
+                                                  * cell_size);
+}
+
+double
+TileGeometry::qubitAreaSquareMillimeters(Micrometers cell_size) const
+{
+    const double cells = static_cast<double>(qubitWidth)
+        * static_cast<double>(qubitHeight);
+    return cells * cell_size * cell_size * 1e-6; // um^2 -> mm^2
+}
+
+qccd::TrapGrid
+buildLogicalQubitTile(const TileGeometry &geometry)
+{
+    qccd::TrapGrid grid(geometry.qubitWidth, geometry.qubitHeight);
+
+    // Channel ring around the tile border.
+    grid.carveChannel({0, 0}, {geometry.qubitWidth - 1, 0});
+    grid.carveChannel({0, geometry.qubitHeight - 1},
+                      {geometry.qubitWidth - 1,
+                       geometry.qubitHeight - 1});
+    grid.carveChannel({0, 0}, {0, geometry.qubitHeight - 1});
+    grid.carveChannel({geometry.qubitWidth - 1, 0},
+                      {geometry.qubitWidth - 1,
+                       geometry.qubitHeight - 1});
+
+    // Three conglomerations across x: ancilla | data | ancilla. Each
+    // occupies a column band with 7 groups stacked in y; each group has
+    // three ion rows (data, ancilla, verification) of 7 ions plus a
+    // cooling ion row, separated by channel rows.
+    const Cells band_width = geometry.qubitWidth / 3; // 12 cells
+    const Cells group_height = geometry.qubitHeight / 7; // 21 cells
+    for (int band = 0; band < 3; ++band) {
+        const Cells x0 = band * band_width;
+        // Vertical channel between bands.
+        grid.carveChannel({x0, 0}, {x0, geometry.qubitHeight - 1});
+        for (int group = 0; group < 7; ++group) {
+            const Cells y0 = group * group_height;
+            // Channel row at the top of each group.
+            grid.carveChannel({x0, y0}, {x0 + band_width - 1, y0});
+            // Three ion rows: data, ancilla, verification; 7 traps each,
+            // with a channel row between them for transversal access.
+            for (int row = 0; row < 3; ++row) {
+                const Cells y = y0 + 2 + 2 * row;
+                grid.carveChannel({x0 + 1, y + 1},
+                                  {x0 + band_width - 1, y + 1});
+                const qccd::IonKind kind = qccd::IonKind::Data;
+                for (int ion = 0; ion < 7; ++ion) {
+                    const qccd::Coord at{x0 + 2 + ion, y};
+                    grid.placeTrap(at);
+                    grid.addIon(kind, at);
+                }
+                // Sympathetic cooling ion at the row end.
+                const qccd::Coord cool{x0 + 2 + 7, y};
+                grid.placeTrap(cool);
+                grid.addIon(qccd::IonKind::Cooling, cool);
+            }
+        }
+    }
+    return grid;
+}
+
+} // namespace qla::arch

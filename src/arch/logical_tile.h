@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Logical-qubit tile geometry (paper Sections 4.1-4.2, Figure 5).
+ *
+ * A level-2 Steane logical qubit occupies 36 x 147 cells; the Table-2
+ * caption adds 11 cells of channel in x and 12 in y, giving the tile
+ * pitch used for chip-area estimates at 20 um per cell.
+ */
+
+#ifndef QLA_ARCH_LOGICAL_TILE_H
+#define QLA_ARCH_LOGICAL_TILE_H
+
+#include "common/tech_params.h"
+#include "qccd/layout.h"
+
+namespace qla::arch {
+
+/** Geometry constants for one QLA logical-qubit tile. */
+struct TileGeometry
+{
+    /** Qubit footprint in x (cells). */
+    Cells qubitWidth = 36;
+    /** Qubit footprint in y (cells). */
+    Cells qubitHeight = 147;
+    /** Channel allowance in x (cells). */
+    Cells channelWidth = 11;
+    /** Channel allowance in y (cells). */
+    Cells channelHeight = 12;
+
+    Cells pitchX() const { return qubitWidth + channelWidth; }
+    Cells pitchY() const { return qubitHeight + channelHeight; }
+
+    /** Tile area (including channel share) in square meters. */
+    double tileAreaSquareMeters(Micrometers cell_size) const;
+
+    /** Level-2 qubit footprint (no channels) in square millimeters;
+     *  the paper quotes 2.11 mm^2. */
+    double qubitAreaSquareMillimeters(Micrometers cell_size) const;
+};
+
+/**
+ * Build a schematic QCCD grid for one level-2 logical qubit tile: three
+ * conglomerations (data flanked by two ancilla conglomerations), each
+ * with seven groups of data/ancilla/verification ion rows, ringed and
+ * separated by ballistic channels. Ion counts follow Figure 5
+ * (3 x 7 x 21 = 441 ions); the exact electrode geometry is schematic.
+ */
+qccd::TrapGrid buildLogicalQubitTile(const TileGeometry &geometry = {});
+
+} // namespace qla::arch
+
+#endif // QLA_ARCH_LOGICAL_TILE_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Circuit execution on the quantum back-ends.
+ *
+ * Runs a QuantumCircuit on either the stabilizer tableau (Clifford only,
+ * polynomial cost -- ARQ's production engine) or the dense state vector
+ * (any gate, exponential cost -- the validation engine). Measurement
+ * outcomes are recorded in program order and drive classically
+ * conditioned fix-up ops.
+ */
+
+#ifndef QLA_ARQ_EXECUTOR_H
+#define QLA_ARQ_EXECUTOR_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "quantum/statevector.h"
+#include "quantum/tableau.h"
+
+namespace qla::arq {
+
+/** Execution record: measurement outcomes in program order. */
+struct ExecutionResult
+{
+    std::vector<bool> measurements;
+};
+
+/**
+ * Execute a Clifford circuit on a stabilizer tableau.
+ * Fatal on non-Clifford ops (T / Toffoli): those are cost-modeled by the
+ * QLA, not state-simulated (paper Section 1, contribution 3).
+ */
+ExecutionResult executeOnTableau(const circuit::QuantumCircuit &circuit,
+                                 quantum::StabilizerTableau &state,
+                                 Rng &rng);
+
+/** Execute any circuit on the dense simulator (<= 24 qubits). */
+ExecutionResult executeOnStateVector(const circuit::QuantumCircuit &circuit,
+                                     quantum::StateVector &state,
+                                     Rng &rng);
+
+} // namespace qla::arq
+
+#endif // QLA_ARQ_EXECUTOR_H

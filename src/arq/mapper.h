@@ -1,0 +1,108 @@
+/**
+ * @file
+ * ARQ layout mapper: lowers a quantum circuit onto a QCCD grid.
+ *
+ * "Our general purpose quantum simulator ARQ takes a description of a
+ * general quantum circuit with a sequence of quantum gates as an input,
+ * maps it onto a specified physical layout, and generates pulse sequence
+ * files" (paper Section 3). The mapper assigns each circuit qubit to a
+ * trap, schedules ops in ASAP layers, routes two-qubit interactions with
+ * the <=2-turn ballistic router, and emits a pulse schedule with Table-1
+ * latencies and failure probabilities.
+ */
+
+#ifndef QLA_ARQ_MAPPER_H
+#define QLA_ARQ_MAPPER_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/tech_params.h"
+#include "qccd/layout.h"
+#include "qccd/router.h"
+
+namespace qla::arq {
+
+/** One physical operation in the generated pulse schedule. */
+struct PhysicalOp
+{
+    enum class Kind : std::uint8_t
+    {
+        LaserGate1,
+        LaserGate2,
+        Measure,
+        Move,
+        Cool,
+    };
+
+    Kind kind;
+    /** Circuit qubits involved. */
+    std::vector<std::size_t> qubits;
+    Seconds start = 0.0;
+    Seconds duration = 0.0;
+    /** Failure probability charged to this op. */
+    double errorProbability = 0.0;
+    /** Movement plan for Move ops. */
+    qccd::MovementPlan movement;
+    /** Source circuit op index. */
+    std::size_t sourceOp = 0;
+};
+
+/** The generated schedule plus summary metrics. */
+struct PulseSchedule
+{
+    std::vector<PhysicalOp> ops;
+    Seconds makespan = 0.0;
+    /** Union bound on the probability that any physical op faulted. */
+    double totalErrorBudget = 0.0;
+    Cells totalCellsMoved = 0;
+    int totalTurns = 0;
+    int totalSplits = 0;
+
+    /** Render as a pulse-sequence listing (one op per line). */
+    std::string toString() const;
+};
+
+/**
+ * Maps circuits onto a trap grid.
+ */
+class LayoutMapper
+{
+  public:
+    /**
+     * @param grid      Target layout (qubit traps must exist).
+     * @param tech      Technology timing/error parameters.
+     * @param home_traps Trap coordinates for each circuit qubit; qubit i
+     *                  lives at home_traps[i] and returns there after
+     *                  interactions.
+     */
+    LayoutMapper(const qccd::TrapGrid &grid,
+                 const TechnologyParameters &tech,
+                 std::vector<qccd::Coord> home_traps);
+
+    /**
+     * Lower @p circuit to a pulse schedule. Two-qubit ops shuttle the
+     * second operand to the first operand's trap and back. Ops in the
+     * same ASAP layer run concurrently when they touch disjoint qubits.
+     */
+    PulseSchedule map(const circuit::QuantumCircuit &circuit) const;
+
+  private:
+    const qccd::TrapGrid &grid_;
+    TechnologyParameters tech_;
+    std::vector<qccd::Coord> homes_;
+    qccd::BallisticRouter router_;
+};
+
+/**
+ * Convenience: build a linear trap array with one trap per qubit spaced
+ * @p spacing cells apart on a single channel row, and the matching home
+ * list.
+ */
+std::pair<qccd::TrapGrid, std::vector<qccd::Coord>> makeLinearLayout(
+    std::size_t num_qubits, Cells spacing = 4);
+
+} // namespace qla::arq
+
+#endif // QLA_ARQ_MAPPER_H

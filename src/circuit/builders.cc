@@ -1,0 +1,65 @@
+#include "circuit/builders.h"
+
+namespace qla::circuit {
+
+QuantumCircuit
+bellPair()
+{
+    QuantumCircuit c(2, "bell");
+    c.prepZ(0);
+    c.prepZ(1);
+    c.h(0);
+    c.cnot(0, 1);
+    return c;
+}
+
+QuantumCircuit
+ghz(std::size_t n)
+{
+    QuantumCircuit c(n, "ghz");
+    for (std::size_t q = 0; q < n; ++q)
+        c.prepZ(q);
+    c.h(0);
+    for (std::size_t q = 1; q < n; ++q)
+        c.cnot(q - 1, q);
+    return c;
+}
+
+QuantumCircuit
+teleportation()
+{
+    QuantumCircuit c(3, "teleport");
+    // EPR pair between 1 and 2.
+    c.prepZ(1);
+    c.prepZ(2);
+    c.h(1);
+    c.cnot(1, 2);
+    // Bell measurement of source (0) against EPR half (1).
+    c.cnot(0, 1);
+    c.h(0);
+    c.measureZ(0);
+    c.measureZ(1);
+    // Fix-ups conditioned on the two outcomes: X^{m1} then Z^{m0}.
+    c.xIf(2, 1);
+    c.zIf(2, 0);
+    return c;
+}
+
+QuantumCircuit
+qft(std::size_t n)
+{
+    QuantumCircuit c(n, "qft");
+    for (std::size_t i = 0; i < n; ++i) {
+        c.h(i);
+        for (std::size_t j = i + 1; j < n; ++j) {
+            // Controlled-R_{j-i+1}; emitted as a 2-qubit placeholder for
+            // cost modeling (exact value only matters up to R_2 = CZ/S).
+            c.cz(j, i);
+        }
+    }
+    for (std::size_t i = 0; i < n / 2; ++i)
+        c.swapGate(i, n - 1 - i);
+    return c;
+}
+
+} // namespace qla::circuit

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Canonical circuit generators used by examples, tests, and benches.
+ */
+
+#ifndef QLA_CIRCUIT_BUILDERS_H
+#define QLA_CIRCUIT_BUILDERS_H
+
+#include <cstddef>
+
+#include "circuit/circuit.h"
+
+namespace qla::circuit {
+
+/** Bell-pair preparation on qubits {a, b}: (|00> + |11>)/sqrt(2). */
+QuantumCircuit bellPair();
+
+/** n-qubit GHZ state preparation. */
+QuantumCircuit ghz(std::size_t n);
+
+/**
+ * Standard 3-qubit teleportation circuit: qubit 0 is the source, qubits
+ * 1 and 2 form the EPR pair, and 2 receives the state. Measurement
+ * results on 0 and 1 classically control X/Z fix-ups, which are emitted
+ * here as explicit ops (the executor applies them conditioned on the
+ * measured bits).
+ */
+QuantumCircuit teleportation();
+
+/**
+ * Quantum Fourier transform on n qubits, decomposed into H + controlled
+ * phase rotations. Controlled phases are emitted as CZ/S/T-level ops only
+ * for n <= 3 (exact); for larger n this builder is used for *cost
+ * modeling* and emits the rotation count via CZ placeholders.
+ */
+QuantumCircuit qft(std::size_t n);
+
+} // namespace qla::circuit
+
+#endif // QLA_CIRCUIT_BUILDERS_H

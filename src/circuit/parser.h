@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Text format for ARQ circuit descriptions.
+ *
+ * "ARQ takes a description of a general quantum circuit with a sequence
+ * of quantum gates as an input" (paper Section 3). The format is one op
+ * per line, mnemonics matching opName(), whitespace-separated operands,
+ * '#' comments, and an optional "? m<k>" suffix conditioning an op on
+ * the k-th measurement outcome:
+ *
+ *     # teleportation
+ *     qubits 3
+ *     h 1
+ *     cnot 1 2
+ *     cnot 0 1
+ *     h 0
+ *     measure_z 0
+ *     measure_z 1
+ *     x 2 ? m1
+ *     z 2 ? m0
+ *
+ * parse/serialize round-trip exactly.
+ */
+
+#ifndef QLA_CIRCUIT_PARSER_H
+#define QLA_CIRCUIT_PARSER_H
+
+#include <optional>
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qla::circuit {
+
+/** Result of parsing: the circuit or a located error message. */
+struct ParseResult
+{
+    std::optional<QuantumCircuit> circuit;
+    std::string error; ///< Empty on success.
+
+    bool ok() const { return circuit.has_value(); }
+};
+
+/** Parse a circuit description; never throws or exits. */
+ParseResult parseCircuit(const std::string &text);
+
+/** Serialize a circuit to the text format (round-trips with parse). */
+std::string serializeCircuit(const QuantumCircuit &circuit);
+
+} // namespace qla::circuit
+
+#endif // QLA_CIRCUIT_PARSER_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for Monte-Carlo runs.
+ *
+ * xoshiro256** seeded through SplitMix64, per Blackman & Vigna. Every
+ * stochastic component in the simulator draws from an explicitly seeded
+ * Rng so that experiments are reproducible bit-for-bit from a seed.
+ */
+
+#ifndef QLA_COMMON_RNG_H
+#define QLA_COMMON_RNG_H
+
+#include <array>
+#include <cstdint>
+
+namespace qla {
+
+/**
+ * Small, fast, reproducible PRNG (xoshiro256**).
+ *
+ * Not cryptographic; statistical quality is more than sufficient for
+ * depolarizing-noise Monte Carlo.
+ */
+class Rng
+{
+  public:
+    /** Seed through SplitMix64 so any 64-bit seed gives a good state. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound) using Lemire rejection. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Bernoulli trial: true with probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Split off an independent child stream.
+     *
+     * Used to give each Monte-Carlo shot its own stream so shots can be
+     * reordered or parallelized without changing results.
+     */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace qla
+
+#endif // QLA_COMMON_RNG_H

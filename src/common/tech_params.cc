@@ -1,0 +1,66 @@
+#include "common/tech_params.h"
+
+#include <algorithm>
+
+namespace qla {
+
+Seconds
+TechnologyParameters::moveTime(Cells distance, int turns) const
+{
+    // Section 2.1: total trip time is (tau + T x D); each corner turn
+    // costs an additional split-equivalent (Section 2.2).
+    if (distance <= 0 && turns == 0)
+        return 0.0;
+    return splitTime + cellTraversalTime * static_cast<double>(distance)
+        + turnTime * turns;
+}
+
+double
+TechnologyParameters::moveError(Cells distance, int splits, int turns) const
+{
+    const double cell_equivalents = static_cast<double>(distance)
+        + splitErrorCellEquivalent * splits
+        + turnErrorCellEquivalent * turns;
+    // Union bound, clamped; per-cell probabilities are ~1e-6 so the bound
+    // is tight for any realistic path.
+    return std::min(1.0, movementErrorPerCell * cell_equivalents);
+}
+
+double
+TechnologyParameters::channelBandwidthQbps() const
+{
+    // Pipelined ions advance one cell per traversal step.
+    return 1.0 / cellTraversalTime;
+}
+
+double
+TechnologyParameters::averageComponentError() const
+{
+    return (singleGateError + doubleGateError + measureError
+            + movementErrorPerCell) / 4.0;
+}
+
+TechnologyParameters
+TechnologyParameters::expected()
+{
+    TechnologyParameters p;
+    p.singleGateError = 1e-8;
+    p.doubleGateError = 1e-7;
+    p.measureError = 1e-8;
+    p.movementErrorPerCell = 1e-6;
+    return p;
+}
+
+TechnologyParameters
+TechnologyParameters::currentGeneration()
+{
+    TechnologyParameters p;
+    p.singleGateError = 1e-4;
+    p.doubleGateError = 0.03;
+    p.measureError = 0.01;
+    // Table 1 quotes 0.005 per um; one cell is 20 um.
+    p.movementErrorPerCell = 0.005 * p.cellSize;
+    return p;
+}
+
+} // namespace qla

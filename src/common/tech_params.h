@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ion-trap technology parameters (paper Table 1, Section 2.2).
+ *
+ * Two presets are provided:
+ *  - currentGeneration():  experimentally achieved rates (NIST, 9Be+ data
+ *    ions with 24Mg+ sympathetic cooling), column "Pcurrent".
+ *  - expected():           projected rates along the ARDA roadmap, column
+ *    "Pexpected". These drive the QLA design point in the paper.
+ *
+ * Timing values are shared between the two presets (Table 1 column 1).
+ * Derived quantities (per-cell traversal time, channel bandwidth) follow
+ * Section 2.1 "Ballistic Channels Latency and Bandwidth".
+ */
+
+#ifndef QLA_COMMON_TECH_PARAMS_H
+#define QLA_COMMON_TECH_PARAMS_H
+
+#include "common/units.h"
+
+namespace qla {
+
+/**
+ * Physical operation latencies and failure probabilities for the trapped
+ * ion QCCD technology underlying the QLA.
+ */
+struct TechnologyParameters
+{
+    //
+    // Operation latencies (Table 1, column 1).
+    //
+
+    /** One-qubit laser gate duration (1 us). */
+    Seconds singleGateTime = units::microseconds(1.0);
+    /** Two-qubit gate duration (10 us). */
+    Seconds doubleGateTime = units::microseconds(10.0);
+    /** State-dependent fluorescence readout duration (100 us). */
+    Seconds measureTime = units::microseconds(100.0);
+    /** Chain split cost when starting a ballistic move (10 us). */
+    Seconds splitTime = units::microseconds(10.0);
+    /**
+     * Corner-turn cost at channel intersections. Section 2.2 sets this
+     * equal to the split time (10 us).
+     */
+    Seconds turnTime = units::microseconds(10.0);
+    /** Sympathetic recooling step (1 us). */
+    Seconds coolingTime = units::microseconds(1.0);
+    /**
+     * Per-cell ballistic traversal time. Section 2.1: a 20 um trap is
+     * traversed in T = 0.01 us, giving ~100 Mqbps channel bandwidth.
+     */
+    Seconds cellTraversalTime = units::microseconds(0.01);
+    /** Qubit memory lifetime (10-100 s; we keep the conservative end). */
+    Seconds memoryTime = 10.0;
+
+    //
+    // Geometry.
+    //
+
+    /** Trap cell pitch (20 um per Section 2.2 / Table 2 caption). */
+    Micrometers cellSize = 20.0;
+
+    //
+    // Failure probabilities.
+    //
+
+    /** One-qubit gate failure probability. */
+    double singleGateError = 1e-8;
+    /** Two-qubit gate failure probability. */
+    double doubleGateError = 1e-7;
+    /** Measurement failure probability. */
+    double measureError = 1e-8;
+    /** Per-cell movement failure probability. */
+    double movementErrorPerCell = 1e-6;
+    /**
+     * Extra movement-error cell-equivalents charged per split and per
+     * corner turn. The paper models turning as an expensive operation that
+     * "adds additional motional heating"; one cell-equivalent per event is
+     * the minimal nonzero charge and is exposed for ablations.
+     */
+    double splitErrorCellEquivalent = 1.0;
+    double turnErrorCellEquivalent = 1.0;
+
+    /** Ballistic move latency over @p distance cells with @p turns turns. */
+    Seconds moveTime(Cells distance, int turns = 0) const;
+
+    /** Total movement failure probability for a move (union bound). */
+    double moveError(Cells distance, int splits, int turns) const;
+
+    /**
+     * Ballistic channel bandwidth in qubits per second (Section 2.1:
+     * ~100 Mqbps with pipelined ions one cell apart).
+     */
+    double channelBandwidthQbps() const;
+
+    /**
+     * Average of the four expected component failure probabilities.
+     * Section 4.1.2 feeds this p0 into Equation 2.
+     */
+    double averageComponentError() const;
+
+    /** Projected ("Pexpected") parameter set; the QLA design point. */
+    static TechnologyParameters expected();
+
+    /** Currently achieved ("Pcurrent") parameter set. */
+    static TechnologyParameters currentGeneration();
+};
+
+} // namespace qla
+
+#endif // QLA_COMMON_TECH_PARAMS_H

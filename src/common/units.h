@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Physical units used throughout the QLA model.
+ *
+ * The simulator models wall-clock time in seconds (double precision) and
+ * chip geometry in QCCD trap cells. A cell is the pitch of one trap
+ * electrode region; the paper (Table 2 caption, Section 2.2) uses 20 um
+ * cells. Conversion helpers keep call sites free of magic constants.
+ */
+
+#ifndef QLA_COMMON_UNITS_H
+#define QLA_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace qla {
+
+/** Wall-clock time in seconds. */
+using Seconds = double;
+
+/** Chip distances measured in QCCD trap cells. */
+using Cells = std::int64_t;
+
+/** Physical length in micrometers. */
+using Micrometers = double;
+
+namespace units {
+
+/** Convert microseconds to Seconds. */
+constexpr Seconds
+microseconds(double us)
+{
+    return us * 1e-6;
+}
+
+/** Convert nanoseconds to Seconds. */
+constexpr Seconds
+nanoseconds(double ns)
+{
+    return ns * 1e-9;
+}
+
+/** Convert milliseconds to Seconds. */
+constexpr Seconds
+milliseconds(double ms)
+{
+    return ms * 1e-3;
+}
+
+/** Convert Seconds to hours. */
+constexpr double
+toHours(Seconds s)
+{
+    return s / 3600.0;
+}
+
+/** Convert Seconds to days. */
+constexpr double
+toDays(Seconds s)
+{
+    return s / 86400.0;
+}
+
+/** Square meters from a square-micrometer quantity. */
+constexpr double
+squareMicrometersToSquareMeters(double um2)
+{
+    return um2 * 1e-12;
+}
+
+} // namespace units
+} // namespace qla
+
+#endif // QLA_COMMON_UNITS_H

@@ -1,0 +1,216 @@
+#include "ecc/css_code.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace qla::ecc {
+
+int
+maskParity(QubitMask mask)
+{
+    return std::popcount(mask) & 1;
+}
+
+std::uint32_t
+syndromeOf(const std::vector<QubitMask> &checks, QubitMask error)
+{
+    std::uint32_t syndrome = 0;
+    for (std::size_t i = 0; i < checks.size(); ++i)
+        syndrome |= static_cast<std::uint32_t>(maskParity(checks[i] & error))
+            << i;
+    return syndrome;
+}
+
+LookupDecoder::LookupDecoder(const std::vector<QubitMask> &checks,
+                             std::size_t num_qubits, int max_weight)
+{
+    qla_assert(num_qubits <= 32, "LookupDecoder supports n <= 32");
+    table_[0] = 0;
+
+    // Enumerate patterns by increasing weight so the first pattern seen
+    // for a syndrome is minimum weight.
+    std::vector<QubitMask> frontier{0};
+    for (int w = 1; w <= max_weight; ++w) {
+        std::vector<QubitMask> next;
+        for (QubitMask base : frontier) {
+            const int top = base ? std::bit_width(base) : 0;
+            for (std::size_t q = top; q < num_qubits; ++q) {
+                const QubitMask pattern = base | (QubitMask{1} << q);
+                next.push_back(pattern);
+                const std::uint32_t s = syndromeOf(checks, pattern);
+                table_.emplace(s, pattern); // keeps lightest (first) entry
+            }
+        }
+        frontier = std::move(next);
+    }
+}
+
+QubitMask
+LookupDecoder::correction(std::uint32_t syndrome) const
+{
+    const auto it = table_.find(syndrome);
+    return it == table_.end() ? 0 : it->second;
+}
+
+CssCode::CssCode(std::string name, std::size_t n, std::size_t k,
+                 int distance, std::vector<QubitMask> x_checks,
+                 std::vector<QubitMask> z_checks, QubitMask logical_x,
+                 QubitMask logical_z)
+    : name_(std::move(name)), n_(n), k_(k), distance_(distance),
+      x_checks_(std::move(x_checks)), z_checks_(std::move(z_checks)),
+      logical_x_(logical_x), logical_z_(logical_z),
+      x_decoder_(z_checks_, n, (distance - 1) / 2),
+      z_decoder_(x_checks_, n, (distance - 1) / 2)
+{
+    qla_assert(n <= 32, "CssCode supports n <= 32");
+    // CSS condition: X-check rows orthogonal to Z-check rows.
+    for (QubitMask xr : x_checks_)
+        for (QubitMask zr : z_checks_)
+            qla_assert(maskParity(xr & zr) == 0,
+                       "CSS orthogonality violated in ", name_);
+    // Logical operators commute with all checks and anticommute mutually.
+    for (QubitMask zr : z_checks_)
+        qla_assert(maskParity(zr & logical_x_) == 0);
+    for (QubitMask xr : x_checks_)
+        qla_assert(maskParity(xr & logical_z_) == 0);
+    qla_assert(maskParity(logical_x_ & logical_z_) == 1,
+               "logical X and Z must anticommute");
+}
+
+std::uint32_t
+CssCode::xErrorSyndrome(QubitMask x_errors) const
+{
+    return syndromeOf(z_checks_, x_errors);
+}
+
+std::uint32_t
+CssCode::zErrorSyndrome(QubitMask z_errors) const
+{
+    return syndromeOf(x_checks_, z_errors);
+}
+
+QubitMask
+CssCode::xCorrection(std::uint32_t syndrome) const
+{
+    return x_decoder_.correction(syndrome);
+}
+
+QubitMask
+CssCode::zCorrection(std::uint32_t syndrome) const
+{
+    return z_decoder_.correction(syndrome);
+}
+
+bool
+CssCode::decodeXErrorIsLogical(QubitMask x_errors) const
+{
+    const QubitMask residual = x_errors
+        ^ xCorrection(xErrorSyndrome(x_errors));
+    // The residual commutes with every Z check; it is a logical X exactly
+    // when it anticommutes with logical Z.
+    return maskParity(residual & logical_z_) == 1;
+}
+
+bool
+CssCode::decodeZErrorIsLogical(QubitMask z_errors) const
+{
+    const QubitMask residual = z_errors
+        ^ zCorrection(zErrorSyndrome(z_errors));
+    return maskParity(residual & logical_x_) == 1;
+}
+
+const CssCode::EncoderSchedule &
+CssCode::zeroEncoder() const
+{
+    if (encoder_built_)
+        return encoder_;
+
+    // Row-reduce the X-check matrix over GF(2) to find pivot columns.
+    std::vector<QubitMask> rows = x_checks_;
+    std::vector<std::size_t> pivots;
+    std::size_t rank = 0;
+    for (std::size_t col = 0; col < n_ && rank < rows.size(); ++col) {
+        const QubitMask bit = QubitMask{1} << col;
+        std::size_t found = rank;
+        while (found < rows.size() && !(rows[found] & bit))
+            ++found;
+        if (found == rows.size())
+            continue;
+        std::swap(rows[rank], rows[found]);
+        for (std::size_t r = 0; r < rows.size(); ++r)
+            if (r != rank && (rows[r] & bit))
+                rows[r] ^= rows[rank];
+        pivots.push_back(col);
+        ++rank;
+    }
+    qla_assert(rank == x_checks_.size(),
+               "X checks are linearly dependent in ", name_);
+
+    encoder_.pivots = pivots;
+    std::vector<std::pair<std::size_t, std::size_t>> cnots;
+    for (std::size_t r = 0; r < rank; ++r) {
+        const std::size_t pivot = pivots[r];
+        for (std::size_t q = 0; q < n_; ++q) {
+            if (q == pivot)
+                continue;
+            if (rows[r] & (QubitMask{1} << q))
+                cnots.emplace_back(pivot, q);
+        }
+    }
+
+    // All fan-out CNOTs commute (shared controls, disjoint targets per
+    // pivot), so pack them greedily into maximal conflict-free layers
+    // (edge coloring of the pivot/target bipartite graph; depth = max
+    // degree = 3 for the Steane code). Greedy coloring achieves the max
+    // degree here when high-degree targets are placed first.
+    std::vector<std::size_t> degree(n_, 0);
+    for (const auto &[c, t] : cnots) {
+        ++degree[c];
+        ++degree[t];
+    }
+    std::stable_sort(cnots.begin(), cnots.end(),
+                     [&](const auto &a, const auto &b) {
+                         return degree[a.second] > degree[b.second];
+                     });
+    std::vector<bool> placed(cnots.size(), false);
+    std::size_t remaining = cnots.size();
+    std::size_t depth = 0;
+    while (remaining > 0) {
+        QubitMask busy = 0;
+        for (std::size_t i = 0; i < cnots.size(); ++i) {
+            if (placed[i])
+                continue;
+            const QubitMask mask = (QubitMask{1} << cnots[i].first)
+                | (QubitMask{1} << cnots[i].second);
+            if (busy & mask)
+                continue;
+            busy |= mask;
+            placed[i] = true;
+            --remaining;
+            encoder_.cnots.push_back(cnots[i]);
+            encoder_.cnotLayers.push_back(depth);
+        }
+        ++depth;
+    }
+    encoder_.depth = depth;
+    encoder_built_ = true;
+    return encoder_;
+}
+
+circuit::QuantumCircuit
+CssCode::zeroEncoderCircuit() const
+{
+    const EncoderSchedule &sched = zeroEncoder();
+    circuit::QuantumCircuit c(n_, name_ + " |0>_L encoder");
+    for (std::size_t q = 0; q < n_; ++q)
+        c.prepZ(q);
+    for (std::size_t pivot : sched.pivots)
+        c.h(pivot);
+    for (const auto &[control, target] : sched.cnots)
+        c.cnot(control, target);
+    return c;
+}
+
+} // namespace qla::ecc

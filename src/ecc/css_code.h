@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Generic CSS stabilizer-code machinery.
+ *
+ * A CSS code is defined by X-type and Z-type parity-check matrices whose
+ * row spaces are mutually orthogonal. This header provides the code
+ * container, syndrome computation, minimum-weight lookup decoding for
+ * small codes, and |0>_L encoder-circuit synthesis, all over bitmask rows
+ * (codes up to 32 physical qubits, ample for the Steane [[7,1,3]] blocks
+ * used by the QLA).
+ */
+
+#ifndef QLA_ECC_CSS_CODE_H
+#define QLA_ECC_CSS_CODE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qla::ecc {
+
+/** Bitmask over physical qubits of one code block. */
+using QubitMask = std::uint32_t;
+
+/** Parity (0/1) of the bits of @p mask. */
+int maskParity(QubitMask mask);
+
+/**
+ * Syndrome of an error pattern against a check matrix: bit i of the
+ * result is the parity of (checks[i] & error).
+ */
+std::uint32_t syndromeOf(const std::vector<QubitMask> &checks,
+                         QubitMask error);
+
+/**
+ * Minimum-weight lookup decoder for one error type.
+ *
+ * Built by enumerating error patterns of increasing weight; for each
+ * syndrome the lightest pattern wins. Exact for any code small enough to
+ * enumerate (n <= 32, weight <= 3 here).
+ */
+class LookupDecoder
+{
+  public:
+    LookupDecoder() = default;
+
+    /**
+     * @param checks     Check matrix rows detecting this error type.
+     * @param num_qubits Block length n.
+     * @param max_weight Largest error weight enumerated.
+     */
+    LookupDecoder(const std::vector<QubitMask> &checks,
+                  std::size_t num_qubits, int max_weight);
+
+    /** Correction pattern for @p syndrome (0 when unknown/trivial). */
+    QubitMask correction(std::uint32_t syndrome) const;
+
+  private:
+    std::unordered_map<std::uint32_t, QubitMask> table_;
+};
+
+/**
+ * A CSS code [[n, k, d]] with its decoders and encoder synthesis.
+ */
+class CssCode
+{
+  public:
+    /**
+     * @param name     Display name, e.g. "Steane [[7,1,3]]".
+     * @param n        Physical qubits per block.
+     * @param k        Logical qubits (1 for all codes used here).
+     * @param distance Code distance.
+     * @param x_checks X-type stabilizer generators (detect Z errors).
+     * @param z_checks Z-type stabilizer generators (detect X errors).
+     * @param logical_x Support of one logical-X representative.
+     * @param logical_z Support of one logical-Z representative.
+     */
+    CssCode(std::string name, std::size_t n, std::size_t k, int distance,
+            std::vector<QubitMask> x_checks, std::vector<QubitMask> z_checks,
+            QubitMask logical_x, QubitMask logical_z);
+
+    const std::string &name() const { return name_; }
+    std::size_t blockLength() const { return n_; }
+    std::size_t logicalQubits() const { return k_; }
+    int distance() const { return distance_; }
+    int correctableErrors() const { return (distance_ - 1) / 2; }
+
+    const std::vector<QubitMask> &xChecks() const { return x_checks_; }
+    const std::vector<QubitMask> &zChecks() const { return z_checks_; }
+    QubitMask logicalX() const { return logical_x_; }
+    QubitMask logicalZ() const { return logical_z_; }
+
+    /** Syndrome of an X-error pattern (measured by Z-type checks). */
+    std::uint32_t xErrorSyndrome(QubitMask x_errors) const;
+    /** Syndrome of a Z-error pattern (measured by X-type checks). */
+    std::uint32_t zErrorSyndrome(QubitMask z_errors) const;
+
+    /** Correction for an X-error syndrome. */
+    QubitMask xCorrection(std::uint32_t syndrome) const;
+    /** Correction for a Z-error syndrome. */
+    QubitMask zCorrection(std::uint32_t syndrome) const;
+
+    /**
+     * Ideal decode of a residual X-error pattern: correct via lookup and
+     * report whether a logical X remains (anticommutes with logical Z).
+     */
+    bool decodeXErrorIsLogical(QubitMask x_errors) const;
+    /** Dual for Z errors. */
+    bool decodeZErrorIsLogical(QubitMask z_errors) const;
+
+    /**
+     * |0>_L encoder structure: H on the pivot qubits of the row-reduced
+     * X-check matrix, then for each pivot a CNOT fan-out to the rest of
+     * its row. Valid for every CSS code (the resulting state is the +1
+     * eigenstate of all X checks, Z checks and logical Z).
+     */
+    struct EncoderSchedule
+    {
+        /** Qubits receiving an initial H. */
+        std::vector<std::size_t> pivots;
+        /** CNOT (control, target) pairs in dependency order. */
+        std::vector<std::pair<std::size_t, std::size_t>> cnots;
+        /** ASAP layering of the CNOT list (same indexing). */
+        std::vector<std::size_t> cnotLayers;
+        /** Number of CNOT layers. */
+        std::size_t depth = 0;
+    };
+
+    /** Synthesize (and cache) the |0>_L encoder schedule. */
+    const EncoderSchedule &zeroEncoder() const;
+
+    /** The encoder as a circuit over n qubits (prep + H + CNOTs). */
+    circuit::QuantumCircuit zeroEncoderCircuit() const;
+
+  private:
+    std::string name_;
+    std::size_t n_;
+    std::size_t k_;
+    int distance_;
+    std::vector<QubitMask> x_checks_;
+    std::vector<QubitMask> z_checks_;
+    QubitMask logical_x_;
+    QubitMask logical_z_;
+    LookupDecoder x_decoder_;
+    LookupDecoder z_decoder_;
+    mutable EncoderSchedule encoder_;
+    mutable bool encoder_built_ = false;
+};
+
+} // namespace qla::ecc
+
+#endif // QLA_ECC_CSS_CODE_H

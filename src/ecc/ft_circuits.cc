@@ -1,0 +1,122 @@
+#include "ecc/ft_circuits.h"
+
+#include "common/logging.h"
+
+namespace qla::ecc {
+
+BlockRegisters::BlockRegisters(const CssCode &code)
+    : n(code.blockLength()), data0(0), anc0(code.blockLength()),
+      ver0(2 * code.blockLength()), total(3 * code.blockLength())
+{
+}
+
+circuit::QuantumCircuit
+syndromeExtractionCircuit(const CssCode &code, bool detect_x)
+{
+    const BlockRegisters reg(code);
+    circuit::QuantumCircuit c(reg.total,
+                              std::string(code.name())
+                                  + (detect_x ? " X-syndrome"
+                                              : " Z-syndrome"));
+
+    // Encoded ancilla: |0>_L, then transversal H for the |+>_L used by
+    // X-error extraction (self-dual codes).
+    const auto &sched = code.zeroEncoder();
+    for (std::size_t i = 0; i < reg.n; ++i)
+        c.prepZ(reg.anc(i));
+    for (std::size_t pivot : sched.pivots)
+        c.h(reg.anc(pivot));
+    for (const auto &[control, target] : sched.cnots)
+        c.cnot(reg.anc(control), reg.anc(target));
+    if (detect_x) {
+        for (std::size_t i = 0; i < reg.n; ++i)
+            c.h(reg.anc(i));
+    }
+
+    // Verification block: itself *encoded* in the same basis (a product
+    // state would collapse the ancilla when read transversally); the
+    // readout is then the difference codeword, whose syndrome and
+    // logical parity expose ancilla errors of the dangerous type.
+    for (std::size_t i = 0; i < reg.n; ++i)
+        c.prepZ(reg.ver(i));
+    for (std::size_t pivot : sched.pivots)
+        c.h(reg.ver(pivot));
+    for (const auto &[control, target] : sched.cnots)
+        c.cnot(reg.ver(control), reg.ver(target));
+    if (detect_x) {
+        for (std::size_t i = 0; i < reg.n; ++i)
+            c.h(reg.ver(i));
+    }
+    for (std::size_t i = 0; i < reg.n; ++i) {
+        if (detect_x)
+            c.cnot(reg.ver(i), reg.anc(i));
+        else
+            c.cnot(reg.anc(i), reg.ver(i));
+    }
+    for (std::size_t i = 0; i < reg.n; ++i) {
+        if (detect_x)
+            c.measureX(reg.ver(i));
+        else
+            c.measureZ(reg.ver(i));
+    }
+
+    // Transversal interaction with the data, then ancilla readout.
+    for (std::size_t i = 0; i < reg.n; ++i) {
+        if (detect_x)
+            c.cnot(reg.data(i), reg.anc(i));
+        else
+            c.cnot(reg.anc(i), reg.data(i));
+    }
+    for (std::size_t i = 0; i < reg.n; ++i) {
+        if (detect_x)
+            c.measureZ(reg.anc(i));
+        else
+            c.measureX(reg.anc(i));
+    }
+    return c;
+}
+
+circuit::QuantumCircuit
+ecCycleCircuit(const CssCode &code)
+{
+    circuit::QuantumCircuit cycle(BlockRegisters(code).total,
+                                  std::string(code.name())
+                                      + " EC cycle");
+    cycle.append(syndromeExtractionCircuit(code, true));
+    cycle.append(syndromeExtractionCircuit(code, false));
+    return cycle;
+}
+
+ExtractionReadout
+interpretExtraction(const CssCode &code, bool detect_x,
+                    const std::vector<bool> &record)
+{
+    const std::size_t n = code.blockLength();
+    qla_assert(record.size() >= 2 * n,
+               "extraction record too short: ", record.size());
+
+    ExtractionReadout out;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (record[i])
+            out.verification |= QubitMask{1} << i;
+        if (record[n + i])
+            out.ancilla |= QubitMask{1} << i;
+    }
+
+    // Verification: the ideal record satisfies the same-type check
+    // parities and the logical parity of the encoded ancilla.
+    const auto &ver_checks = detect_x ? code.xChecks() : code.zChecks();
+    const QubitMask ver_logical = detect_x ? code.logicalX()
+                                           : code.logicalZ();
+    out.verificationFailed =
+        syndromeOf(ver_checks, out.verification) != 0
+        || maskParity(out.verification & ver_logical) != 0;
+
+    // Ancilla record: a codeword of the opposite-type check space; its
+    // syndrome locates the data error.
+    const auto &syn_checks = detect_x ? code.zChecks() : code.xChecks();
+    out.syndrome = syndromeOf(syn_checks, out.ancilla);
+    return out;
+}
+
+} // namespace qla::ecc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fault-tolerant error-correction circuit generation (paper Figure 6).
+ *
+ * Generates the level-1 Steane EC cycle as an explicit QuantumCircuit
+ * over a block register (data + ancilla + verification rows), the same
+ * structure the latency model (Eq. 1) prices and the Pauli-frame Monte
+ * Carlo (Fig. 7) samples. Having the circuit concretely lets the test
+ * suite execute it on the stabilizer tableau and confirm, gate by gate,
+ * that syndromes are trivial on clean codewords and point to injected
+ * errors.
+ */
+
+#ifndef QLA_ECC_FT_CIRCUITS_H
+#define QLA_ECC_FT_CIRCUITS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "ecc/css_code.h"
+
+namespace qla::ecc {
+
+/** Register layout of one level-1 block group (Figure 5 group). */
+struct BlockRegisters
+{
+    explicit BlockRegisters(const CssCode &code);
+
+    std::size_t n;      ///< Block length.
+    std::size_t data0;  ///< First data qubit (data row = [data0, +n)).
+    std::size_t anc0;   ///< First ancilla qubit.
+    std::size_t ver0;   ///< First verification qubit.
+    std::size_t total;  ///< Register width (3n).
+
+    std::size_t data(std::size_t i) const { return data0 + i; }
+    std::size_t anc(std::size_t i) const { return anc0 + i; }
+    std::size_t ver(std::size_t i) const { return ver0 + i; }
+};
+
+/**
+ * Steane-style syndrome-extraction circuit for one error type.
+ *
+ * X-error extraction (@p detect_x true): verified |+>_L ancilla,
+ * transversal CNOT data->ancilla, Z-basis ancilla readout. Z-error
+ * extraction: verified |0>_L ancilla, CNOT ancilla->data, X-basis
+ * readout. Measurement ops appear in ion order; the verification row's
+ * n measurements come first, then the ancilla row's n.
+ *
+ * @return the circuit over BlockRegisters(code).total qubits.
+ */
+circuit::QuantumCircuit syndromeExtractionCircuit(const CssCode &code,
+                                                  bool detect_x);
+
+/** Both extractions back to back: one full EC cycle (no corrections --
+ *  corrections are classical and applied by the interpreting layer). */
+circuit::QuantumCircuit ecCycleCircuit(const CssCode &code);
+
+/**
+ * Interpretation of one extraction's measurement record.
+ */
+struct ExtractionReadout
+{
+    /** Verification-row outcome bits (ion order). */
+    QubitMask verification = 0;
+    /** Ancilla-row outcome bits (ion order). */
+    QubitMask ancilla = 0;
+    /** True when the verification record flags a bad ancilla. */
+    bool verificationFailed = false;
+    /** Syndrome extracted from the ancilla record. */
+    std::uint32_t syndrome = 0;
+};
+
+/**
+ * Decode the measurement record of syndromeExtractionCircuit (2n bits)
+ * for a *clean-input* run: ideal records are codewords, so syndrome
+ * and parity checks apply directly to the outcomes.
+ */
+ExtractionReadout interpretExtraction(const CssCode &code, bool detect_x,
+                                      const std::vector<bool> &record);
+
+} // namespace qla::ecc
+
+#endif // QLA_ECC_FT_CIRCUITS_H

@@ -1,0 +1,143 @@
+#include "ecc/latency.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qla::ecc {
+
+EccLatencyModel::EccLatencyModel(const CssCode &code,
+                                 const TechnologyParameters &tech,
+                                 EccLatencyConfig config)
+    : code_(code), tech_(tech), config_(std::move(config))
+{
+}
+
+Seconds
+EccLatencyModel::moveCost(Cells cells, int turns) const
+{
+    return tech_.moveTime(cells, turns);
+}
+
+Seconds
+EccLatencyModel::cnotStep(int level) const
+{
+    qla_assert(level >= 1);
+    const Cells cells = level == 1 ? config_.intraBlockCells
+                                   : config_.interBlockCells;
+    const int turns = level == 1 ? config_.intraBlockTurns
+                                 : config_.interBlockTurns;
+    // Move one transversal partner in, interact, move it back. The seven
+    // (or 7^(L-1)) ion pairs of a transversal step operate in parallel.
+    return 2.0 * moveCost(cells, turns) + tech_.doubleGateTime;
+}
+
+Seconds
+EccLatencyModel::gateTime(int level) const
+{
+    qla_assert(level >= 0);
+    // Transversal application: all physical gates fire in parallel.
+    return tech_.singleGateTime;
+}
+
+Seconds
+EccLatencyModel::blockReadoutTime() const
+{
+    const auto n = static_cast<double>(code_.blockLength());
+    const double rounds = std::ceil(
+        n / static_cast<double>(config_.measurementPortsPerBlock));
+    return rounds * tech_.measureTime;
+}
+
+Seconds
+EccLatencyModel::syndromeReadoutTime(int level) const
+{
+    qla_assert(level >= 1);
+    if (!config_.serializeConglomerationReadout)
+        return blockReadoutTime();
+    double ions = 1.0;
+    for (int l = 0; l < level; ++l)
+        ions *= static_cast<double>(code_.blockLength());
+    const double rounds = std::ceil(
+        ions / static_cast<double>(config_.measurementPortsPerBlock));
+    return rounds * tech_.measureTime;
+}
+
+Seconds
+EccLatencyModel::encodeTime(int level) const
+{
+    qla_assert(level >= 1);
+    const auto &sched = code_.zeroEncoder();
+    // One H layer (parallel over pivots / pivot blocks) plus the CNOT
+    // network depth, each layer a full transversal CNOT step.
+    return tech_.singleGateTime
+        + static_cast<double>(sched.depth) * cnotStep(level);
+}
+
+Seconds
+EccLatencyModel::prepTime(int level) const
+{
+    qla_assert(level >= 0);
+    if (level == 0)
+        return 0.0;
+
+    // Sub-block preparations proceed in parallel across the
+    // conglomeration, so only one lower-level prep is on the critical
+    // path.
+    const Seconds sub_prep = prepTime(level - 1);
+    const Seconds encode = encodeTime(level);
+    const Seconds lower_ecc = level >= 2
+        ? config_.lowerEccRoundsInPrep * eccTime(level - 1)
+        : 0.0;
+    // Verification: transversal CNOT onto the verification register and
+    // per-block parallel readout.
+    const Seconds verify = config_.verificationRounds
+        * (cnotStep(level) + blockReadoutTime());
+    return sub_prep + encode + lower_ecc + verify;
+}
+
+Seconds
+EccLatencyModel::syndromeTime(int level) const
+{
+    qla_assert(level >= 1);
+    const Seconds interact = cnotStep(level);
+    const Seconds lower_after_gate = level >= 2
+        ? config_.lowerEccRoundsAfterGate * eccTime(level - 1)
+        : 0.0;
+    const Seconds lower_after_readout = level >= 2
+        ? config_.lowerEccRoundsAfterReadout * eccTime(level - 1)
+        : 0.0;
+    return prepTime(level) + interact + lower_after_gate
+        + syndromeReadoutTime(level) + lower_after_readout;
+}
+
+double
+EccLatencyModel::nontrivialRate(int level) const
+{
+    qla_assert(level >= 1);
+    const auto &rates = config_.nontrivialSyndromeRate;
+    if (rates.empty())
+        return 0.0;
+    const std::size_t idx = std::min<std::size_t>(level - 1,
+                                                  rates.size() - 1);
+    return rates[idx];
+}
+
+Seconds
+EccLatencyModel::eccTime(int level) const
+{
+    qla_assert(level >= 0);
+    if (level == 0)
+        return 0.0;
+    const Seconds synd = syndromeTime(level);
+    // Equation 1: trivial branch extracts one syndrome per error type
+    // (X then Z, serial); the non-trivial branch repeats the extraction,
+    // applies the correction, and finishes with a lower-level EC cycle.
+    const Seconds trivial = 2.0 * synd;
+    const Seconds nontrivial = 2.0
+        * (2.0 * synd + gateTime(level) + eccTime(level - 1));
+    const double q = nontrivialRate(level);
+    return (1.0 - q) * trivial + q * nontrivial;
+}
+
+} // namespace qla::ecc

@@ -1,0 +1,63 @@
+#include "ecc/steane.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qla::ecc {
+
+const CssCode &
+steaneCode()
+{
+    // Check matrix columns are the binary representations of 1..7, so a
+    // syndrome value s directly names the flipped qubit s-1. The code is
+    // self-dual: identical X and Z check supports.
+    static const CssCode code(
+        "Steane [[7,1,3]]", 7, 1, 3,
+        /*x_checks=*/{0x55, 0x66, 0x78}, // {0,2,4,6} {1,2,5,6} {3,4,5,6}
+        /*z_checks=*/{0x55, 0x66, 0x78},
+        /*logical_x=*/0x7F, /*logical_z=*/0x7F);
+    return code;
+}
+
+const CssCode &
+shorCode()
+{
+    // Z-type checks pair qubits within each bit-flip triple; X-type
+    // checks compare adjacent triples.
+    static const CssCode code(
+        "Shor [[9,1,3]]", 9, 1, 3,
+        /*x_checks=*/{0x03F, 0x1F8},           // {0..5} {3..8}
+        /*z_checks=*/{0x003, 0x006, 0x018, 0x030, 0x0C0, 0x180},
+        /*logical_x=*/0x007,                   // X on the first triple
+        /*logical_z=*/0x049);                  // Z on {0,3,6}
+    return code;
+}
+
+std::size_t
+physicalQubitsAtLevel(const CssCode &code, int level)
+{
+    qla_assert(level >= 0, "negative recursion level");
+    std::size_t count = 1;
+    for (int l = 0; l < level; ++l)
+        count *= code.blockLength();
+    return count;
+}
+
+std::size_t
+tileIonCount(const CssCode &code, int level)
+{
+    if (level == 0)
+        return 1;
+    // Each level-1 group holds data + ancilla + verification ions (3n per
+    // group); a level-L conglomeration stacks n^(L-1) groups; a tile has
+    // the data conglomeration plus two ancilla conglomerations.
+    const std::size_t n = code.blockLength();
+    std::size_t groups = 1;
+    for (int l = 1; l < level; ++l)
+        groups *= n;
+    const std::size_t per_conglomeration = groups * 3 * n;
+    return 3 * per_conglomeration;
+}
+
+} // namespace qla::ecc

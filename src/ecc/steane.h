@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Concrete CSS code instances used by the QLA.
+ *
+ * The paper's logical qubit is built on the Steane [[7,1,3]] code
+ * (Section 4.1): 7 physical ions encode 1 logical qubit correcting any
+ * single error, with a transversal universal Clifford set. The Shor
+ * [[9,1,3]] code is provided as a second instance to exercise the generic
+ * CSS machinery (and for ablation studies on code choice).
+ */
+
+#ifndef QLA_ECC_STEANE_H
+#define QLA_ECC_STEANE_H
+
+#include "ecc/css_code.h"
+
+namespace qla::ecc {
+
+/** The Steane [[7,1,3]] code (shared immutable instance). */
+const CssCode &steaneCode();
+
+/** The Shor [[9,1,3]] code (shared immutable instance). */
+const CssCode &shorCode();
+
+/**
+ * Number of physical data ions in a level-L logical qubit built by
+ * recursively concatenating @p code: n^L.
+ */
+std::size_t physicalQubitsAtLevel(const CssCode &code, int level);
+
+/**
+ * Total ions in one QLA logical-qubit tile at level L, counting the data
+ * block plus the two ancilla conglomerations, each sub-block carrying its
+ * own ancilla and verification ions (paper Figure 5: "7 groups of 3 level
+ * 1 blocks", with two identical side conglomerations).
+ */
+std::size_t tileIonCount(const CssCode &code, int level);
+
+} // namespace qla::ecc
+
+#endif // QLA_ECC_STEANE_H

@@ -1,0 +1,38 @@
+#include "ecc/threshold.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qla::ecc {
+
+double
+localGateFailureRate(int level, double p0, double pth, double r)
+{
+    qla_assert(level >= 0 && p0 > 0.0 && pth > 0.0 && r >= 1.0);
+    if (level == 0)
+        return p0;
+    const double exponent = std::pow(2.0, level);
+    return (pth / std::pow(r, level)) * std::pow(p0 / pth, exponent);
+}
+
+double
+maxComputationSize(int level, double p0, double pth, double r)
+{
+    return 1.0 / localGateFailureRate(level, p0, pth, r);
+}
+
+int
+requiredRecursionLevel(double computation_size, double p0, double pth,
+                       double r, int max_level)
+{
+    qla_assert(computation_size >= 1.0);
+    for (int level = 0; level <= max_level; ++level) {
+        if (localGateFailureRate(level, p0, pth, r)
+            < 1.0 / computation_size)
+            return level;
+    }
+    return -1;
+}
+
+} // namespace qla::ecc

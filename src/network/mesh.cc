@@ -1,0 +1,187 @@
+#include "network/mesh.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace qla::network {
+
+IslandMesh::IslandMesh(int width, int height, int bandwidth,
+                       std::uint64_t slots_per_channel)
+    : width_(width), height_(height), bandwidth_(bandwidth),
+      slots_per_channel_(slots_per_channel),
+      used_(static_cast<std::size_t>(width) * height * 4, 0)
+{
+    qla_assert(width > 0 && height > 0 && bandwidth > 0
+                   && slots_per_channel > 0,
+               "bad mesh parameters");
+}
+
+bool
+IslandMesh::inBounds(const IslandCoord &c) const
+{
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+}
+
+std::uint64_t
+IslandMesh::linkCapacity() const
+{
+    return static_cast<std::uint64_t>(bandwidth_) * slots_per_channel_;
+}
+
+IslandCoord
+IslandMesh::neighbor(const IslandCoord &c, Direction dir)
+{
+    switch (dir) {
+      case Direction::East:
+        return {c.x + 1, c.y};
+      case Direction::West:
+        return {c.x - 1, c.y};
+      case Direction::North:
+        return {c.x, c.y + 1};
+      case Direction::South:
+        return {c.x, c.y - 1};
+    }
+    return c;
+}
+
+std::size_t
+IslandMesh::linkIndex(const IslandCoord &from, Direction dir) const
+{
+    qla_assert(inBounds(from), "link from out-of-bounds island");
+    qla_assert(inBounds(neighbor(from, dir)), "link leaves the mesh");
+    return (static_cast<std::size_t>(from.y) * width_ + from.x) * 4
+        + static_cast<std::size_t>(dir);
+}
+
+std::uint64_t
+IslandMesh::freeSlots(const IslandCoord &from, Direction dir) const
+{
+    const std::uint64_t cap = linkCapacity();
+    const std::uint64_t used = used_[linkIndex(from, dir)];
+    return used >= cap ? 0 : cap - used;
+}
+
+namespace {
+
+/** Directed-link indices along a waypoint path. */
+std::vector<std::size_t>
+pathLinks(const IslandMesh &mesh, const std::vector<IslandCoord> &path,
+          const std::function<std::size_t(const IslandCoord &, Direction)>
+              &index)
+{
+    (void)mesh;
+    std::vector<std::size_t> links;
+    links.reserve(path.size() - 1);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const IslandCoord &a = path[i];
+        const IslandCoord &b = path[i + 1];
+        Direction dir;
+        if (b.x == a.x + 1 && b.y == a.y)
+            dir = Direction::East;
+        else if (b.x == a.x - 1 && b.y == a.y)
+            dir = Direction::West;
+        else if (b.y == a.y + 1 && b.x == a.x)
+            dir = Direction::North;
+        else if (b.y == a.y - 1 && b.x == a.x)
+            dir = Direction::South;
+        else
+            qla_panic("non-adjacent hop in island path");
+        links.push_back(index(a, dir));
+    }
+    return links;
+}
+
+} // namespace
+
+bool
+IslandMesh::reservePath(const std::vector<IslandCoord> &path,
+                        std::uint64_t pairs)
+{
+    if (path.size() < 2)
+        return true; // local delivery, no mesh links involved
+
+    const auto links = pathLinks(
+        *this, path,
+        [this](const IslandCoord &c, Direction d) {
+            return linkIndex(c, d);
+        });
+
+    const std::uint64_t cap = linkCapacity();
+    for (std::size_t link : links)
+        if (used_[link] + pairs > cap)
+            return false;
+    for (std::size_t link : links) {
+        used_[link] += pairs;
+        window_reserved_ += pairs;
+        total_reserved_ += pairs;
+    }
+    return true;
+}
+
+std::uint64_t
+IslandMesh::maxReservable(const std::vector<IslandCoord> &path) const
+{
+    if (path.size() < 2)
+        return ~std::uint64_t{0};
+    const auto links = pathLinks(
+        *this, path,
+        [this](const IslandCoord &c, Direction d) {
+            return linkIndex(c, d);
+        });
+    const std::uint64_t cap = linkCapacity();
+    std::uint64_t free = ~std::uint64_t{0};
+    for (std::size_t link : links) {
+        const std::uint64_t f = used_[link] >= cap ? 0
+                                                   : cap - used_[link];
+        free = std::min(free, f);
+    }
+    return free;
+}
+
+void
+IslandMesh::advanceWindow()
+{
+    std::fill(used_.begin(), used_.end(), 0);
+    window_reserved_ = 0;
+    ++windows_;
+}
+
+std::uint64_t
+IslandMesh::totalLinks() const
+{
+    // Interior islands have 4 outgoing links; edges fewer. Count exactly.
+    std::uint64_t links = 0;
+    links += 2ULL * (width_ - 1) * height_; // east/west pairs
+    links += 2ULL * width_ * (height_ - 1); // north/south pairs
+    return links;
+}
+
+double
+IslandMesh::aggregateUtilization() const
+{
+    if (windows_ == 0)
+        return 0.0;
+    const double capacity = static_cast<double>(totalLinks())
+        * static_cast<double>(linkCapacity())
+        * static_cast<double>(windows_);
+    return static_cast<double>(total_reserved_) / capacity;
+}
+
+Direction
+stepToward(const IslandCoord &a, const IslandCoord &b, bool y_first)
+{
+    qla_assert(!(a == b), "no step needed");
+    if (y_first) {
+        if (b.y > a.y)
+            return Direction::North;
+        if (b.y < a.y)
+            return Direction::South;
+    }
+    if (b.x > a.x)
+        return Direction::East;
+    if (b.x < a.x)
+        return Direction::West;
+    return b.y > a.y ? Direction::North : Direction::South;
+}
+
+} // namespace qla::network

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Teleportation-island mesh with per-link channel capacity.
+ *
+ * Paper Section 5: the QLA interconnect is a mesh of teleportation
+ * islands (an island every third logical qubit in x, every qubit in y,
+ * for the 100-cell separation), with a fixed number of physical channels
+ * per direction ("we define the bandwidth of QLA's communication channels
+ * as the number of physical channels in each direction"). One channel
+ * carries fresh EPR halves outward, another returns used ions; pairs are
+ * pipelined within a channel.
+ */
+
+#ifndef QLA_NETWORK_MESH_H
+#define QLA_NETWORK_MESH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace qla::network {
+
+/** Position of an island in the mesh. */
+struct IslandCoord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const IslandCoord &o) const
+    {
+        return x == o.x && y == o.y;
+    }
+};
+
+/** Directions of mesh links. */
+enum class Direction : std::uint8_t { East, West, North, South };
+
+/**
+ * Island mesh with window-slotted channel accounting.
+ *
+ * Time is divided into scheduling windows (one level-2 error-correction
+ * period each). Each directed link can carry a bounded number of EPR
+ * pairs per window: bandwidth channels x (window / per-pair headway).
+ */
+class IslandMesh
+{
+  public:
+    /**
+     * @param width       Islands in x.
+     * @param height      Islands in y.
+     * @param bandwidth   Channels per direction per link.
+     * @param slots_per_channel Pairs one channel can move in one window.
+     */
+    IslandMesh(int width, int height, int bandwidth,
+               std::uint64_t slots_per_channel);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int bandwidth() const { return bandwidth_; }
+    std::uint64_t slotsPerChannel() const { return slots_per_channel_; }
+
+    bool inBounds(const IslandCoord &c) const;
+
+    /** Directed-link capacity in pairs per window. */
+    std::uint64_t linkCapacity() const;
+
+    /** Remaining pair slots on the directed link from @p from toward
+     *  @p dir in the current window. */
+    std::uint64_t freeSlots(const IslandCoord &from, Direction dir) const;
+
+    /**
+     * Try to reserve @p pairs slots on every directed link along
+     * @p path (consecutive adjacent islands). All-or-nothing.
+     * @return true when the reservation succeeded.
+     */
+    bool reservePath(const std::vector<IslandCoord> &path,
+                     std::uint64_t pairs);
+
+    /** Largest reservation the path can currently accept (min over its
+     *  links of the free slots); UINT64_MAX for a trivial path. */
+    std::uint64_t maxReservable(const std::vector<IslandCoord> &path) const;
+
+    /** Begin a new window: clears all reservations, accumulates stats. */
+    void advanceWindow();
+
+    /** Windows elapsed (advanceWindow calls). */
+    std::uint64_t windowsElapsed() const { return windows_; }
+
+    /** Total directed links in the mesh. */
+    std::uint64_t totalLinks() const;
+
+    /**
+     * Aggregate bandwidth utilization so far: reserved slots divided by
+     * available slots over all links and completed windows.
+     */
+    double aggregateUtilization() const;
+
+    /** Slots reserved in the current (open) window. */
+    std::uint64_t reservedThisWindow() const { return window_reserved_; }
+
+  private:
+    std::size_t linkIndex(const IslandCoord &from, Direction dir) const;
+    static IslandCoord neighbor(const IslandCoord &c, Direction dir);
+
+    int width_;
+    int height_;
+    int bandwidth_;
+    std::uint64_t slots_per_channel_;
+    std::vector<std::uint64_t> used_; // per directed link, current window
+    std::uint64_t windows_ = 0;
+    std::uint64_t window_reserved_ = 0;
+    std::uint64_t total_reserved_ = 0;
+
+    friend class GreedyEprScheduler;
+};
+
+/** Step from @p a toward @p b (dimension-ordered); a != b required. */
+Direction stepToward(const IslandCoord &a, const IslandCoord &b,
+                     bool y_first);
+
+} // namespace qla::network
+
+#endif // QLA_NETWORK_MESH_H

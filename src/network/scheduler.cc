@@ -1,0 +1,200 @@
+#include "network/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qla::network {
+
+GreedyEprScheduler::GreedyEprScheduler(const SchedulerConfig &config,
+                                       const WorkloadConfig &workload)
+    : config_(config), workload_config_(workload)
+{
+    qla_assert(config_.meshWidth > 1 && config_.meshHeight > 1,
+               "mesh too small");
+    workload_config_.driftOptimization = config_.driftOptimization;
+}
+
+std::uint64_t
+GreedyEprScheduler::slotsPerChannel() const
+{
+    return static_cast<std::uint64_t>(
+        config_.window / config_.purifiedPairServiceTime);
+}
+
+std::vector<IslandCoord>
+GreedyEprScheduler::dimensionOrderedPath(const IslandCoord &from,
+                                         const IslandCoord &to,
+                                         bool y_first)
+{
+    std::vector<IslandCoord> path{from};
+    IslandCoord cur = from;
+    auto walk_x = [&]() {
+        while (cur.x != to.x) {
+            cur.x += (to.x > cur.x) ? 1 : -1;
+            path.push_back(cur);
+        }
+    };
+    auto walk_y = [&]() {
+        while (cur.y != to.y) {
+            cur.y += (to.y > cur.y) ? 1 : -1;
+            path.push_back(cur);
+        }
+    };
+    if (y_first) {
+        walk_y();
+        walk_x();
+    } else {
+        walk_x();
+        walk_y();
+    }
+    return path;
+}
+
+std::vector<IslandCoord>
+GreedyEprScheduler::detourPath(const IslandCoord &from,
+                               const IslandCoord &to, int x_shift)
+{
+    // Route via a shifted column: x-first to the detour column, then y,
+    // then x to the destination.
+    const IslandCoord mid1{from.x + x_shift, from.y};
+    const IslandCoord mid2{from.x + x_shift, to.y};
+    std::vector<IslandCoord> path{from};
+    IslandCoord cur = from;
+    auto walk_to = [&](const IslandCoord &wp) {
+        while (cur.x != wp.x) {
+            cur.x += (wp.x > cur.x) ? 1 : -1;
+            path.push_back(cur);
+        }
+        while (cur.y != wp.y) {
+            cur.y += (wp.y > cur.y) ? 1 : -1;
+            path.push_back(cur);
+        }
+    };
+    walk_to(mid1);
+    walk_to(mid2);
+    walk_to(to);
+    return path;
+}
+
+std::uint64_t
+GreedyEprScheduler::routePairs(IslandMesh &mesh, const EprDemand &demand,
+                               std::uint64_t pairs,
+                               SchedulerReport &report)
+{
+    if (demand.source == demand.destination)
+        return pairs; // co-located after drift; no mesh traffic
+
+    std::uint64_t remaining = pairs;
+    bool first_path = true;
+    auto grab = [&](const std::vector<IslandCoord> &path) {
+        if (remaining == 0)
+            return;
+        const std::uint64_t amount = std::min(remaining,
+                                              mesh.maxReservable(path));
+        if (amount == 0)
+            return;
+        if (!first_path)
+            ++report.backoffReroutes;
+        const bool ok = mesh.reservePath(path, amount);
+        qla_assert(ok, "reservation within free capacity failed");
+        remaining -= amount;
+        first_path = false;
+    };
+
+    // Greedy: grab everything the dimension-ordered route offers, then
+    // back off onto the alternate shape, then detour columns.
+    grab(dimensionOrderedPath(demand.source, demand.destination, false));
+    grab(dimensionOrderedPath(demand.source, demand.destination, true));
+    for (int r = 1; r <= config_.detourRadius && remaining > 0; ++r) {
+        for (int sign : {+1, -1}) {
+            const int shift = sign * r;
+            const int col = demand.source.x + shift;
+            if (col < 0 || col >= mesh.width())
+                continue;
+            grab(detourPath(demand.source, demand.destination, shift));
+        }
+    }
+    return pairs - remaining;
+}
+
+SchedulerReport
+GreedyEprScheduler::run()
+{
+    IslandMesh mesh(config_.meshWidth, config_.meshHeight,
+                    config_.bandwidth, slotsPerChannel());
+    ToffoliWorkload workload(workload_config_, config_.meshWidth,
+                             config_.meshHeight, Rng(config_.seed));
+
+    SchedulerReport report;
+    double route_length_sum = 0.0;
+    std::uint64_t routed = 0;
+    // Demands deferred from previous windows, with their ages.
+    std::vector<std::pair<EprDemand, int>> pending;
+
+    // The simulation is driven by the discrete-event kernel: one event
+    // per scheduling window (the window boundary is when the next EC
+    // cycle begins and the freshly delivered EPR pairs are consumed).
+    sim::EventQueue events;
+    for (int w = 0; w < workload_config_.totalWindows; ++w) {
+        events.schedule(static_cast<double>(w) * config_.window, [&]() {
+            for (const EprDemand &demand : workload.nextWindow()) {
+                ++report.demands;
+                report.pairsRequested += demand.pairs;
+                pending.emplace_back(demand, 0);
+            }
+            // Oldest first, then longest routes: deferred demands are
+            // closest to stalling and long routes are hardest to place
+            // once bandwidth fragments.
+            std::sort(pending.begin(), pending.end(),
+                      [](const auto &a, const auto &b) {
+                          if (a.second != b.second)
+                              return a.second > b.second;
+                          const int da = std::abs(a.first.source.x
+                                                  - a.first.destination.x)
+                              + std::abs(a.first.source.y
+                                         - a.first.destination.y);
+                          const int db = std::abs(b.first.source.x
+                                                  - b.first.destination.x)
+                              + std::abs(b.first.source.y
+                                         - b.first.destination.y);
+                          return da > db;
+                      });
+
+            bool window_stalled = false;
+            std::vector<std::pair<EprDemand, int>> still_pending;
+            for (auto &[demand, age] : pending) {
+                const int dist = std::abs(demand.source.x
+                                          - demand.destination.x)
+                    + std::abs(demand.source.y - demand.destination.y);
+                const std::uint64_t moved = routePairs(mesh, demand,
+                                                       demand.pairs,
+                                                       report);
+                report.pairsDelivered += moved;
+                demand.pairs -= moved;
+                if (demand.pairs == 0) {
+                    route_length_sum += dist;
+                    ++routed;
+                } else if (age < config_.slackWindows) {
+                    still_pending.emplace_back(demand, age + 1);
+                } else {
+                    ++report.stalledDemands;
+                    window_stalled = true;
+                }
+            }
+            pending = std::move(still_pending);
+            if (window_stalled)
+                ++report.stalledWindows;
+            mesh.advanceWindow();
+        });
+    }
+    events.run();
+
+    report.windows = mesh.windowsElapsed();
+    report.utilization = mesh.aggregateUtilization();
+    report.averageRouteLength = routed
+        ? route_length_sum / static_cast<double>(routed)
+        : 0.0;
+    return report;
+}
+
+} // namespace qla::network

@@ -1,0 +1,100 @@
+#include "network/workload.h"
+
+#include <algorithm>
+
+namespace qla::network {
+
+ToffoliWorkload::ToffoliWorkload(const WorkloadConfig &config,
+                                 int mesh_width, int mesh_height, Rng rng)
+    : config_(config), width_(mesh_width), height_(mesh_height), rng_(rng)
+{
+    qla_assert(width_ > 1 && height_ > 1, "mesh too small for workload");
+    for (int i = 0; i < config_.concurrentToffolis; ++i)
+        spawnToffoli();
+}
+
+IslandCoord
+ToffoliWorkload::randomNear(const IslandCoord &center, int spread)
+{
+    IslandCoord c;
+    const auto jitter = [&](int v, int bound) {
+        const int lo = std::max(0, v - spread);
+        const int hi = std::min(bound - 1, v + spread);
+        return lo + static_cast<int>(rng_.uniformInt(
+            static_cast<std::uint64_t>(hi - lo + 1)));
+    };
+    c.x = jitter(center.x, width_);
+    c.y = jitter(center.y, height_);
+    return c;
+}
+
+void
+ToffoliWorkload::spawnToffoli()
+{
+    ActiveToffoli gate;
+    gate.id = next_gate_id_++;
+    gate.windowsLeft = config_.windowsPerToffoli;
+
+    const IslandCoord center{
+        static_cast<int>(rng_.uniformInt(static_cast<std::uint64_t>(
+            width_))),
+        static_cast<int>(rng_.uniformInt(static_cast<std::uint64_t>(
+            height_)))};
+    // Three operands plus six ancilla logical qubits (the fault-tolerant
+    // Toffoli construction of Section 5).
+    for (int i = 0; i < 9; ++i)
+        gate.members.push_back(randomNear(center, config_.operandSpread));
+    active_.push_back(std::move(gate));
+}
+
+std::vector<EprDemand>
+ToffoliWorkload::nextWindow()
+{
+    std::vector<EprDemand> demands;
+    for (auto &gate : active_) {
+        for (int i = 0; i < config_.interactionsPerWindow; ++i) {
+            // Pick a random interacting pair among the gate's members;
+            // co-located members need no mesh traffic.
+            const std::size_t a = rng_.uniformInt(gate.members.size());
+            std::size_t b = rng_.uniformInt(gate.members.size() - 1);
+            if (b >= a)
+                ++b;
+            if (gate.members[a] == gate.members[b])
+                continue;
+            EprDemand demand;
+            demand.source = gate.members[a];
+            demand.destination = gate.members[b];
+            demand.pairs = config_.pairsPerInteraction;
+            demand.gateId = gate.id;
+            if (config_.driftOptimization) {
+                // The qubit teleports to its partner and stays there.
+                gate.members[a] = gate.members[b];
+            } else {
+                // Round trip: teleport out and back.
+                demand.pairs *= 2;
+            }
+            demands.push_back(demand);
+        }
+        --gate.windowsLeft;
+    }
+
+    // Replace finished gates to keep the pipeline full.
+    for (auto &gate : active_) {
+        if (gate.windowsLeft <= 0) {
+            gate = ActiveToffoli();
+            gate.id = next_gate_id_++;
+            gate.windowsLeft = config_.windowsPerToffoli;
+            const IslandCoord center{
+                static_cast<int>(rng_.uniformInt(
+                    static_cast<std::uint64_t>(width_))),
+                static_cast<int>(rng_.uniformInt(
+                    static_cast<std::uint64_t>(height_)))};
+            for (int i = 0; i < 9; ++i)
+                gate.members.push_back(
+                    randomNear(center, config_.operandSpread));
+        }
+    }
+    return demands;
+}
+
+} // namespace qla::network

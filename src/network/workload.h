@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Communication workload generator: fault-tolerant Toffoli gates.
+ *
+ * Paper Section 5 evaluates the scheduler on "our implementation of the
+ * Toffoli gate": each Toffoli operates on three logical qubits plus six
+ * ancilla logical qubits, runs for 21 error-correction windows (15
+ * time-steps of ancilla preparation + 6 to finish the gate), and in each
+ * window the interacting logical-qubit pairs exchange one transversal
+ * round of EPR pairs (one pair per physical data ion, 49 at level 2).
+ */
+
+#ifndef QLA_NETWORK_WORKLOAD_H
+#define QLA_NETWORK_WORKLOAD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "network/mesh.h"
+
+namespace qla::network {
+
+/** One EPR-delivery demand inside a single scheduling window. */
+struct EprDemand
+{
+    IslandCoord source;
+    IslandCoord destination;
+    std::uint64_t pairs = 0;
+    /** Gate this demand belongs to (for stall accounting). */
+    std::size_t gateId = 0;
+};
+
+/** Parameters of the synthetic Toffoli workload. */
+struct WorkloadConfig
+{
+    /** Logical-qubit tiles per mesh island in x (paper: an island every
+     *  third logical qubit for 100-cell separation). */
+    int tilesPerIslandX = 3;
+    /** Toffoli gates active simultaneously. */
+    int concurrentToffolis = 24;
+    /** Error-correction windows each Toffoli spans. */
+    int windowsPerToffoli = 21;
+    /** Interacting logical pairs per window of a running Toffoli. */
+    int interactionsPerWindow = 2;
+    /** EPR pairs per logical interaction (49 physical ions at L2). */
+    std::uint64_t pairsPerInteraction = 49;
+    /** Operand spread: max island-grid distance between a Toffoli's
+     *  qubits and its ancilla block. */
+    int operandSpread = 4;
+    /** Total windows to simulate. */
+    int totalWindows = 200;
+    /**
+     * Qubit-drift optimization (Section 5): after an interaction the
+     * teleported qubit stays at its partner's location instead of being
+     * teleported back, halving the traffic and shortening later routes.
+     * When disabled every interaction is a round trip.
+     */
+    bool driftOptimization = true;
+};
+
+/**
+ * Generates per-window EPR demands for a stream of Toffoli gates placed
+ * at random (bounded-spread) locations on the island mesh. Completed
+ * gates are immediately replaced so `concurrentToffolis` stay in flight.
+ */
+class ToffoliWorkload
+{
+  public:
+    ToffoliWorkload(const WorkloadConfig &config, int mesh_width,
+                    int mesh_height, Rng rng);
+
+    /** Demands for the next window (advances the workload clock). */
+    std::vector<EprDemand> nextWindow();
+
+    /** Total gates started so far. */
+    std::size_t gatesStarted() const { return next_gate_id_; }
+
+    const WorkloadConfig &config() const { return config_; }
+
+  private:
+    struct ActiveToffoli
+    {
+        std::size_t id = 0;
+        int windowsLeft = 0;
+        /** The 3 operand qubits + 6 ancilla qubits, as island coords. */
+        std::vector<IslandCoord> members;
+    };
+
+    IslandCoord randomNear(const IslandCoord &center, int spread);
+    void spawnToffoli();
+
+    WorkloadConfig config_;
+    int width_;
+    int height_;
+    Rng rng_;
+    std::vector<ActiveToffoli> active_;
+    std::size_t next_gate_id_ = 0;
+};
+
+} // namespace qla::network
+
+#endif // QLA_NETWORK_WORKLOAD_H

@@ -1,0 +1,50 @@
+#include "qccd/channel.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace qla::qccd {
+
+Seconds
+BallisticChannel::firstIonLatency() const
+{
+    return tech_.splitTime
+        + tech_.cellTraversalTime * static_cast<double>(length_);
+}
+
+Seconds
+BallisticChannel::headway(std::size_t parallel_injectors) const
+{
+    qla_assert(parallel_injectors >= 1);
+    // Injection rate is limited by the split operation unless several
+    // injection ports alternate; propagation advances one cell per
+    // traversal step regardless.
+    const Seconds inject = tech_.splitTime
+        / static_cast<double>(parallel_injectors);
+    return std::max(tech_.cellTraversalTime, inject);
+}
+
+Seconds
+BallisticChannel::deliveryTime(std::size_t count,
+                               std::size_t parallel_injectors) const
+{
+    if (count == 0)
+        return 0.0;
+    return firstIonLatency()
+        + headway(parallel_injectors) * static_cast<double>(count - 1);
+}
+
+double
+BallisticChannel::throughputQbps(std::size_t parallel_injectors) const
+{
+    return 1.0 / headway(parallel_injectors);
+}
+
+double
+BallisticChannel::perIonError() const
+{
+    return tech_.moveError(length_, 1, 0);
+}
+
+} // namespace qla::qccd

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Pipelined ballistic-channel model (paper Section 2.1).
+ *
+ * "The independence of the electrode cells from one another allows the
+ * ions to move in parallel; thus, pipelining a single channel. In this
+ * manner, the ballistic channels provide a bandwidth of ~100M qbps."
+ */
+
+#ifndef QLA_QCCD_CHANNEL_H
+#define QLA_QCCD_CHANNEL_H
+
+#include "common/tech_params.h"
+#include "common/units.h"
+
+namespace qla::qccd {
+
+/**
+ * A one-directional ballistic channel of fixed length with ions pipelined
+ * one cell apart.
+ */
+class BallisticChannel
+{
+  public:
+    BallisticChannel(Cells length, const TechnologyParameters &tech)
+        : length_(length), tech_(tech)
+    {
+    }
+
+    Cells length() const { return length_; }
+
+    /** Latency for the first ion (split + full traversal). */
+    Seconds firstIonLatency() const;
+
+    /**
+     * Total time to deliver @p count pipelined ions: the first pays the
+     * full traversal, each subsequent ion arrives one headway later.
+     * Each ion needs its own split; splits at the source overlap with
+     * in-flight transport once the pipeline is full, so the headway is
+     * max(cell time, split time / parallel injectors).
+     */
+    Seconds deliveryTime(std::size_t count,
+                         std::size_t parallel_injectors = 1) const;
+
+    /** Sustained throughput in qubits per second. */
+    double throughputQbps(std::size_t parallel_injectors = 1) const;
+
+    /** Per-ion traversal failure probability (no turns inside a
+     *  channel). */
+    double perIonError() const;
+
+  private:
+    Seconds headway(std::size_t parallel_injectors) const;
+
+    Cells length_;
+    TechnologyParameters tech_;
+};
+
+} // namespace qla::qccd
+
+#endif // QLA_QCCD_CHANNEL_H

@@ -1,0 +1,167 @@
+#include "qccd/layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qla::qccd {
+
+Cells
+Coord::manhattanTo(const Coord &o) const
+{
+    return std::llabs(x - o.x) + std::llabs(y - o.y);
+}
+
+TrapGrid::TrapGrid(Cells width, Cells height)
+    : width_(width), height_(height),
+      cells_(static_cast<std::size_t>(width * height), CellType::Electrode)
+{
+    qla_assert(width > 0 && height > 0, "degenerate grid ", width, "x",
+               height);
+}
+
+bool
+TrapGrid::inBounds(const Coord &c) const
+{
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+}
+
+std::size_t
+TrapGrid::index(const Coord &c) const
+{
+    qla_assert(inBounds(c), "coordinate (", c.x, ",", c.y,
+               ") outside grid ", width_, "x", height_);
+    return static_cast<std::size_t>(c.y * width_ + c.x);
+}
+
+CellType
+TrapGrid::cellType(const Coord &c) const
+{
+    return cells_[index(c)];
+}
+
+void
+TrapGrid::setCellType(const Coord &c, CellType type)
+{
+    cells_[index(c)] = type;
+}
+
+void
+TrapGrid::carveChannel(const Coord &from, const Coord &to)
+{
+    qla_assert(from.x == to.x || from.y == to.y,
+               "channels must be axis-aligned");
+    Coord cur = from;
+    const Cells dx = (to.x > from.x) - (to.x < from.x);
+    const Cells dy = (to.y > from.y) - (to.y < from.y);
+    while (true) {
+        setCellType(cur, CellType::Channel);
+        if (cur == to)
+            break;
+        cur.x += dx;
+        cur.y += dy;
+    }
+}
+
+void
+TrapGrid::placeTrap(const Coord &c)
+{
+    setCellType(c, CellType::Trap);
+}
+
+bool
+TrapGrid::isTraversable(const Coord &c) const
+{
+    if (!inBounds(c))
+        return false;
+    const CellType t = cellType(c);
+    return t == CellType::Channel || t == CellType::Trap;
+}
+
+std::size_t
+TrapGrid::addIon(IonKind kind, const Coord &at)
+{
+    qla_assert(isTraversable(at), "ion placed on non-traversable cell (",
+               at.x, ",", at.y, ")");
+    Ion ion;
+    ion.id = ions_.size();
+    ion.kind = kind;
+    ion.position = at;
+    ions_.push_back(ion);
+    return ion.id;
+}
+
+const Ion &
+TrapGrid::ion(std::size_t id) const
+{
+    qla_assert(id < ions_.size(), "bad ion id ", id);
+    return ions_[id];
+}
+
+void
+TrapGrid::moveIon(std::size_t id, const Coord &to)
+{
+    qla_assert(id < ions_.size(), "bad ion id ", id);
+    qla_assert(isTraversable(to), "ion moved onto non-traversable cell");
+    ions_[id].position = to;
+}
+
+std::size_t
+TrapGrid::countIons(IonKind kind) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(ions_.begin(), ions_.end(),
+                      [kind](const Ion &i) { return i.kind == kind; }));
+}
+
+double
+TrapGrid::areaSquareMeters(Micrometers cell_size) const
+{
+    const double cells = static_cast<double>(width_)
+        * static_cast<double>(height_);
+    return units::squareMicrometersToSquareMeters(cells * cell_size
+                                                  * cell_size);
+}
+
+std::string
+TrapGrid::render() const
+{
+    std::string out;
+    out.reserve(static_cast<std::size_t>((width_ + 1) * height_));
+    for (Cells y = 0; y < height_; ++y) {
+        for (Cells x = 0; x < width_; ++x) {
+            char ch = '#';
+            switch (cellType({x, y})) {
+              case CellType::Electrode:
+                ch = '#';
+                break;
+              case CellType::Channel:
+                ch = '.';
+                break;
+              case CellType::Trap:
+                ch = 'o';
+                break;
+            }
+            for (const Ion &ion : ions_) {
+                if (ion.position == Coord{x, y}) {
+                    switch (ion.kind) {
+                      case IonKind::Data:
+                        ch = 'D';
+                        break;
+                      case IonKind::Cooling:
+                        ch = 'C';
+                        break;
+                      case IonKind::Epr:
+                        ch = 'E';
+                        break;
+                    }
+                    break;
+                }
+            }
+            out.push_back(ch);
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace qla::qccd

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * QCCD trap-array layout model (paper Section 2.1, Figures 2-4).
+ *
+ * The QLA abstraction of the Kielpinski/Monroe/Wineland QCCD: a 2-D grid
+ * of identical cells on the alumina substrate. A cell holds an ion, an
+ * electrode, or is empty channel space through which ions are shuttled
+ * ballistically. Unlike the original proposal there is no distinction
+ * between memory and interaction regions: quantum logic and initialization
+ * may be performed anywhere (Section 2.1).
+ */
+
+#ifndef QLA_QCCD_LAYOUT_H
+#define QLA_QCCD_LAYOUT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace qla::qccd {
+
+/** What occupies a grid cell. */
+enum class CellType : std::uint8_t
+{
+    Electrode, ///< Trapping electrode; ions cannot pass through.
+    Trap,      ///< A trap region that can hold an ion.
+    Channel,   ///< Empty ballistic-transport cell.
+};
+
+/** Integer grid coordinate. */
+struct Coord
+{
+    Cells x = 0;
+    Cells y = 0;
+
+    bool operator==(const Coord &o) const { return x == o.x && y == o.y; }
+
+    /** Manhattan distance to @p o in cells. */
+    Cells manhattanTo(const Coord &o) const;
+};
+
+/** Role of a trapped ion. */
+enum class IonKind : std::uint8_t
+{
+    Data,     ///< Carries quantum data (9Be+ in the NIST experiments).
+    Cooling,  ///< Sympathetic-cooling ion (24Mg+).
+    Epr,      ///< Half of an EPR pair used by the teleportation network.
+};
+
+/** A physical ion and its current placement. */
+struct Ion
+{
+    std::size_t id = 0;
+    IonKind kind = IonKind::Data;
+    Coord position;
+};
+
+/**
+ * Rectangular grid of QCCD cells with an ion registry.
+ */
+class TrapGrid
+{
+  public:
+    /** All-electrode grid of the given dimensions. */
+    TrapGrid(Cells width, Cells height);
+
+    Cells width() const { return width_; }
+    Cells height() const { return height_; }
+
+    bool inBounds(const Coord &c) const;
+
+    CellType cellType(const Coord &c) const;
+    void setCellType(const Coord &c, CellType type);
+
+    /** Carve a straight channel (inclusive endpoints, axis-aligned). */
+    void carveChannel(const Coord &from, const Coord &to);
+
+    /** Mark a single trap cell. */
+    void placeTrap(const Coord &c);
+
+    /** True when an ion may occupy / traverse the cell. */
+    bool isTraversable(const Coord &c) const;
+
+    //
+    // Ion registry.
+    //
+
+    /** Add an ion; returns its id. The cell must be traversable. */
+    std::size_t addIon(IonKind kind, const Coord &at);
+
+    const Ion &ion(std::size_t id) const;
+    std::size_t ionCount() const { return ions_.size(); }
+
+    /** Move an ion to a new (traversable) coordinate. */
+    void moveIon(std::size_t id, const Coord &to);
+
+    /** Count of ions of each kind. */
+    std::size_t countIons(IonKind kind) const;
+
+    /** Physical chip area for this grid given the cell pitch. */
+    double areaSquareMeters(Micrometers cell_size) const;
+
+    /** ASCII rendering for debugging ('#': electrode, '.': channel,
+     *  'o': trap, 'D'/'C'/'E': ions). */
+    std::string render() const;
+
+  private:
+    std::size_t index(const Coord &c) const;
+
+    Cells width_;
+    Cells height_;
+    std::vector<CellType> cells_;
+    std::vector<Ion> ions_;
+};
+
+} // namespace qla::qccd
+
+#endif // QLA_QCCD_LAYOUT_H

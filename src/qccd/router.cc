@@ -1,0 +1,133 @@
+#include "qccd/router.h"
+
+#include <algorithm>
+
+namespace qla::qccd {
+
+Seconds
+MovementPlan::latency(const TechnologyParameters &tech) const
+{
+    if (distance == 0 && turns == 0)
+        return 0.0;
+    return tech.splitTime * splits
+        + tech.cellTraversalTime * static_cast<double>(distance)
+        + tech.turnTime * turns;
+}
+
+double
+MovementPlan::errorProbability(const TechnologyParameters &tech) const
+{
+    return tech.moveError(distance, splits, turns);
+}
+
+bool
+BallisticRouter::segmentClear(const Coord &a, const Coord &b) const
+{
+    if (a.x != b.x && a.y != b.y)
+        return false;
+    Coord cur = a;
+    const Cells dx = (b.x > a.x) - (b.x < a.x);
+    const Cells dy = (b.y > a.y) - (b.y < a.y);
+    while (true) {
+        if (!grid_.isTraversable(cur))
+            return false;
+        if (cur == b)
+            return true;
+        cur.x += dx;
+        cur.y += dy;
+    }
+}
+
+std::optional<MovementPlan>
+BallisticRouter::tryPath(const std::vector<Coord> &waypoints) const
+{
+    for (std::size_t i = 0; i + 1 < waypoints.size(); ++i)
+        if (!segmentClear(waypoints[i], waypoints[i + 1]))
+            return std::nullopt;
+
+    MovementPlan plan;
+    plan.from = waypoints.front();
+    plan.to = waypoints.back();
+    plan.waypoints = waypoints;
+    plan.distance = 0;
+    int turns = 0;
+    for (std::size_t i = 0; i + 1 < waypoints.size(); ++i) {
+        plan.distance += waypoints[i].manhattanTo(waypoints[i + 1]);
+        if (i + 2 < waypoints.size()) {
+            // A real corner only when the segment changes direction and
+            // both segments are non-degenerate.
+            if (waypoints[i].manhattanTo(waypoints[i + 1]) > 0
+                && waypoints[i + 1].manhattanTo(waypoints[i + 2]) > 0)
+                ++turns;
+        }
+    }
+    plan.turns = turns;
+    plan.splits = 1;
+    return plan;
+}
+
+std::optional<MovementPlan>
+BallisticRouter::plan(const Coord &from, const Coord &to) const
+{
+    if (!grid_.isTraversable(from) || !grid_.isTraversable(to))
+        return std::nullopt;
+
+    if (from == to) {
+        MovementPlan p;
+        p.from = from;
+        p.to = to;
+        p.distance = 0;
+        p.turns = 0;
+        p.splits = 0;
+        p.waypoints = {from};
+        return p;
+    }
+
+    // Straight path.
+    if (from.x == to.x || from.y == to.y) {
+        if (auto p = tryPath({from, to}))
+            return p;
+    }
+
+    // L-shaped paths (one turn).
+    if (auto p = tryPath({from, {to.x, from.y}, to}))
+        return p;
+    if (auto p = tryPath({from, {from.x, to.y}, to}))
+        return p;
+
+    // Z-shaped paths (two turns): scan intermediate columns then rows.
+    const Cells xlo = std::min(from.x, to.x);
+    const Cells xhi = std::max(from.x, to.x);
+    for (Cells mx = 0; mx < grid_.width(); ++mx) {
+        if (mx >= xlo && mx <= xhi && mx != from.x && mx != to.x) {
+            if (auto p = tryPath({from, {mx, from.y}, {mx, to.y}, to}))
+                return p;
+        }
+    }
+    const Cells ylo = std::min(from.y, to.y);
+    const Cells yhi = std::max(from.y, to.y);
+    for (Cells my = 0; my < grid_.height(); ++my) {
+        if (my >= ylo && my <= yhi && my != from.y && my != to.y) {
+            if (auto p = tryPath({from, {from.x, my}, {to.x, my}, to}))
+                return p;
+        }
+    }
+
+    // Detour Z-paths outside the bounding box as a last resort.
+    for (Cells mx = 0; mx < grid_.width(); ++mx) {
+        if (mx < xlo || mx > xhi) {
+            if (auto p = tryPath({from, {mx, from.y}, {mx, to.y}, to}))
+                return p;
+        }
+    }
+    for (Cells my = 0; my < grid_.height(); ++my) {
+        if (my < ylo || my > yhi) {
+            if (auto p = tryPath({from, {from.x, my}, {to.x, my}, to}))
+                return p;
+        }
+    }
+
+    return std::nullopt;
+}
+
+} // namespace qla::qccd

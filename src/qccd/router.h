@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ballistic movement planning over a QCCD grid.
+ *
+ * QLA invests channel area so that "no single gate will require more than
+ * two turns when we are using direct ballistic communication" (Section
+ * 2.2). The router therefore only considers 0-, 1- and 2-turn rectilinear
+ * paths (straight, L-shaped, Z-shaped) and reports the movement plan:
+ * distance, turns and splits, from which Table-1 latency and error
+ * charges follow.
+ */
+
+#ifndef QLA_QCCD_ROUTER_H
+#define QLA_QCCD_ROUTER_H
+
+#include <optional>
+#include <vector>
+
+#include "common/tech_params.h"
+#include "qccd/layout.h"
+
+namespace qla::qccd {
+
+/** A planned ballistic move for one ion. */
+struct MovementPlan
+{
+    Coord from;
+    Coord to;
+    /** Path length in cells (number of cell-to-cell steps). */
+    Cells distance = 0;
+    /** Number of corner turns (0..2). */
+    int turns = 0;
+    /** Chain splits; every move starts with one split. */
+    int splits = 1;
+    /** Waypoints including both endpoints (corners of the rectilinear
+     *  path). */
+    std::vector<Coord> waypoints;
+
+    /** Latency under the technology model. */
+    Seconds latency(const TechnologyParameters &tech) const;
+
+    /** Failure probability under the technology model. */
+    double errorProbability(const TechnologyParameters &tech) const;
+};
+
+/**
+ * Plans rectilinear paths with at most two turns.
+ */
+class BallisticRouter
+{
+  public:
+    explicit BallisticRouter(const TrapGrid &grid) : grid_(grid) {}
+
+    /**
+     * Plan a move between two traversable coordinates.
+     *
+     * Tries, in order: straight line; the two L-shaped paths; Z-shaped
+     * paths through intermediate rows/columns. Returns std::nullopt when
+     * no <=2-turn path of traversable cells exists.
+     */
+    std::optional<MovementPlan> plan(const Coord &from,
+                                     const Coord &to) const;
+
+    /** True when every cell on the segment [a, b] is traversable. */
+    bool segmentClear(const Coord &a, const Coord &b) const;
+
+  private:
+    std::optional<MovementPlan> tryPath(
+        const std::vector<Coord> &waypoints) const;
+
+    const TrapGrid &grid_;
+};
+
+} // namespace qla::qccd
+
+#endif // QLA_QCCD_ROUTER_H

@@ -1,0 +1,238 @@
+#include "quantum/pauli.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace qla::quantum {
+
+namespace {
+
+std::size_t
+wordCount(std::size_t num_qubits)
+{
+    return (num_qubits + 63) / 64;
+}
+
+} // namespace
+
+Pauli
+pauliFromBits(bool x, bool z)
+{
+    if (x && z)
+        return Pauli::Y;
+    if (x)
+        return Pauli::X;
+    if (z)
+        return Pauli::Z;
+    return Pauli::I;
+}
+
+char
+pauliChar(Pauli p)
+{
+    switch (p) {
+      case Pauli::I:
+        return 'I';
+      case Pauli::X:
+        return 'X';
+      case Pauli::Z:
+        return 'Z';
+      case Pauli::Y:
+        return 'Y';
+    }
+    return '?';
+}
+
+PauliString::PauliString(std::size_t num_qubits)
+    : num_qubits_(num_qubits), x_(wordCount(num_qubits), 0),
+      z_(wordCount(num_qubits), 0)
+{
+}
+
+PauliString
+PauliString::fromString(const std::string &text)
+{
+    std::size_t start = 0;
+    int phase = 0;
+    if (!text.empty() && (text[0] == '+' || text[0] == '-')) {
+        phase = text[0] == '-' ? 2 : 0;
+        start = 1;
+    }
+    PauliString result(text.size() - start);
+    for (std::size_t i = start; i < text.size(); ++i) {
+        switch (text[i]) {
+          case 'I':
+            break;
+          case 'X':
+            result.set(i - start, Pauli::X);
+            break;
+          case 'Y':
+            result.set(i - start, Pauli::Y);
+            break;
+          case 'Z':
+            result.set(i - start, Pauli::Z);
+            break;
+          default:
+            qla_fatal("bad Pauli character '", text[i], "' in \"", text,
+                      "\"");
+        }
+    }
+    result.setPhaseExponent(phase);
+    return result;
+}
+
+PauliString
+PauliString::single(std::size_t num_qubits, std::size_t qubit, Pauli p)
+{
+    PauliString result(num_qubits);
+    result.set(qubit, p);
+    return result;
+}
+
+Pauli
+PauliString::at(std::size_t qubit) const
+{
+    return pauliFromBits(xBit(qubit), zBit(qubit));
+}
+
+void
+PauliString::set(std::size_t qubit, Pauli p)
+{
+    setXBit(qubit, pauliHasX(p));
+    setZBit(qubit, pauliHasZ(p));
+}
+
+bool
+PauliString::xBit(std::size_t qubit) const
+{
+    qla_assert(qubit < num_qubits_);
+    return (x_[qubit / 64] >> (qubit % 64)) & 1ULL;
+}
+
+bool
+PauliString::zBit(std::size_t qubit) const
+{
+    qla_assert(qubit < num_qubits_);
+    return (z_[qubit / 64] >> (qubit % 64)) & 1ULL;
+}
+
+void
+PauliString::setXBit(std::size_t qubit, bool v)
+{
+    qla_assert(qubit < num_qubits_);
+    const std::uint64_t mask = 1ULL << (qubit % 64);
+    if (v)
+        x_[qubit / 64] |= mask;
+    else
+        x_[qubit / 64] &= ~mask;
+}
+
+void
+PauliString::setZBit(std::size_t qubit, bool v)
+{
+    qla_assert(qubit < num_qubits_);
+    const std::uint64_t mask = 1ULL << (qubit % 64);
+    if (v)
+        z_[qubit / 64] |= mask;
+    else
+        z_[qubit / 64] &= ~mask;
+}
+
+int
+PauliString::sign() const
+{
+    qla_assert(phase_ == 0 || phase_ == 2, "non-Hermitian Pauli phase i^",
+               phase_);
+    return phase_ == 0 ? 1 : -1;
+}
+
+std::size_t
+PauliString::weight() const
+{
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < x_.size(); ++i)
+        w += std::popcount(x_[i] | z_[i]);
+    return w;
+}
+
+bool
+PauliString::commutesWith(const PauliString &other) const
+{
+    qla_assert(num_qubits_ == other.num_qubits_);
+    int parity = 0;
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+        parity ^= std::popcount((x_[i] & other.z_[i])
+                                ^ (z_[i] & other.x_[i])) & 1;
+    }
+    return parity == 0;
+}
+
+int
+pauliProductPhaseWord(std::uint64_t x1, std::uint64_t z1, std::uint64_t x2,
+                      std::uint64_t z2)
+{
+    // Phase contribution of multiplying P1 * P2 per qubit:
+    //   X*Y=iZ, Y*Z=iX, Z*X=iY  -> +1
+    //   X*Z=-iY, Y*X=-iZ, Z*Y=-iX -> -1
+    const std::uint64_t is_x1 = x1 & ~z1;
+    const std::uint64_t is_y1 = x1 & z1;
+    const std::uint64_t is_z1 = ~x1 & z1;
+    const std::uint64_t is_x2 = x2 & ~z2;
+    const std::uint64_t is_y2 = x2 & z2;
+    const std::uint64_t is_z2 = ~x2 & z2;
+
+    const std::uint64_t plus = (is_x1 & is_y2) | (is_y1 & is_z2)
+        | (is_z1 & is_x2);
+    const std::uint64_t minus = (is_x1 & is_z2) | (is_y1 & is_x2)
+        | (is_z1 & is_y2);
+
+    return std::popcount(plus) - std::popcount(minus);
+}
+
+PauliString &
+PauliString::operator*=(const PauliString &other)
+{
+    qla_assert(num_qubits_ == other.num_qubits_);
+    int phase = phase_ + other.phase_;
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+        phase += pauliProductPhaseWord(x_[i], z_[i], other.x_[i],
+                                       other.z_[i]);
+        x_[i] ^= other.x_[i];
+        z_[i] ^= other.z_[i];
+    }
+    setPhaseExponent(phase);
+    return *this;
+}
+
+bool
+PauliString::operator==(const PauliString &other) const
+{
+    return num_qubits_ == other.num_qubits_ && phase_ == other.phase_
+        && x_ == other.x_ && z_ == other.z_;
+}
+
+std::string
+PauliString::toString() const
+{
+    const char *prefix = "+";
+    switch (phase_) {
+      case 1:
+        prefix = "i";
+        break;
+      case 2:
+        prefix = "-";
+        break;
+      case 3:
+        prefix = "-i";
+        break;
+      default:
+        break;
+    }
+    std::string out(prefix);
+    for (std::size_t q = 0; q < num_qubits_; ++q)
+        out.push_back(pauliChar(at(q)));
+    return out;
+}
+
+} // namespace qla::quantum

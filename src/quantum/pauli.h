@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Pauli-group algebra over n qubits.
+ *
+ * A PauliString is a signed tensor product of single-qubit Paulis stored
+ * in the binary symplectic representation: per-qubit X and Z bits plus a
+ * global phase exponent of i. This representation underlies both the
+ * stabilizer tableau (CHP) simulator and the error-correction decoders.
+ */
+
+#ifndef QLA_QUANTUM_PAULI_H
+#define QLA_QUANTUM_PAULI_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qla::quantum {
+
+/** Single-qubit Pauli label. */
+enum class Pauli : std::uint8_t { I = 0, X = 1, Z = 2, Y = 3 };
+
+/** The (x, z) bit pair encoding of a single-qubit Pauli. */
+inline bool pauliHasX(Pauli p) { return p == Pauli::X || p == Pauli::Y; }
+inline bool pauliHasZ(Pauli p) { return p == Pauli::Z || p == Pauli::Y; }
+
+/** Build a Pauli from its (x, z) bits. */
+Pauli pauliFromBits(bool x, bool z);
+
+/** One-character name ("I", "X", "Y", "Z"). */
+char pauliChar(Pauli p);
+
+/**
+ * A signed n-qubit Pauli operator.
+ *
+ * The phase is tracked as i^phaseExponent with phaseExponent in {0,1,2,3};
+ * Hermitian stabilizer elements always carry exponent 0 or 2 (sign +/-).
+ */
+class PauliString
+{
+  public:
+    /** Identity on @p num_qubits qubits. */
+    explicit PauliString(std::size_t num_qubits = 0);
+
+    /**
+     * Parse from text like "+XIZ" or "-YY" (optional sign prefix).
+     * @param text One character per qubit after the optional sign.
+     */
+    static PauliString fromString(const std::string &text);
+
+    /** Single-qubit operator @p p at @p qubit within @p num_qubits. */
+    static PauliString single(std::size_t num_qubits, std::size_t qubit,
+                              Pauli p);
+
+    std::size_t numQubits() const { return num_qubits_; }
+
+    Pauli at(std::size_t qubit) const;
+    void set(std::size_t qubit, Pauli p);
+
+    bool xBit(std::size_t qubit) const;
+    bool zBit(std::size_t qubit) const;
+    void setXBit(std::size_t qubit, bool v);
+    void setZBit(std::size_t qubit, bool v);
+
+    /** Phase exponent k of the global factor i^k. */
+    int phaseExponent() const { return phase_; }
+    void setPhaseExponent(int k) { phase_ = ((k % 4) + 4) % 4; }
+
+    /** +1 or -1 for Hermitian (k in {0,2}) operators. */
+    int sign() const;
+
+    /** Number of non-identity tensor factors. */
+    std::size_t weight() const;
+
+    /** True when this commutes with @p other (symplectic inner product 0). */
+    bool commutesWith(const PauliString &other) const;
+
+    /** In-place multiply: *this = *this * other, tracking phase. */
+    PauliString &operator*=(const PauliString &other);
+    friend PauliString operator*(PauliString a, const PauliString &b)
+    {
+        a *= b;
+        return a;
+    }
+
+    bool operator==(const PauliString &other) const;
+
+    /** Render as e.g. "+XIZY"; "i"/"-i" prefixes for odd phases. */
+    std::string toString() const;
+
+    /** Direct access to packed X/Z words (for tableau interop). */
+    const std::vector<std::uint64_t> &xWords() const { return x_; }
+    const std::vector<std::uint64_t> &zWords() const { return z_; }
+
+  private:
+    std::size_t num_qubits_;
+    std::vector<std::uint64_t> x_;
+    std::vector<std::uint64_t> z_;
+    int phase_ = 0; // exponent of i
+
+    friend class StabilizerTableau;
+};
+
+/**
+ * Phase exponent (power of i) accumulated when multiplying P1 * P2 given
+ * packed bit words, summed over one 64-bit word each. Exposed for reuse by
+ * the tableau rowsum and unit-tested directly.
+ */
+int pauliProductPhaseWord(std::uint64_t x1, std::uint64_t z1,
+                          std::uint64_t x2, std::uint64_t z2);
+
+} // namespace qla::quantum
+
+#endif // QLA_QUANTUM_PAULI_H

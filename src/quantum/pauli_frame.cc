@@ -1,0 +1,224 @@
+#include "quantum/pauli_frame.h"
+
+#include "common/logging.h"
+
+namespace qla::quantum {
+
+PauliFrame::PauliFrame(std::size_t num_qubits)
+    : n_(num_qubits), x_(num_qubits, 0), z_(num_qubits, 0)
+{
+}
+
+void
+PauliFrame::clear()
+{
+    std::fill(x_.begin(), x_.end(), 0);
+    std::fill(z_.begin(), z_.end(), 0);
+}
+
+void
+PauliFrame::h(std::size_t q)
+{
+    qla_assert(q < n_);
+    std::swap(x_[q], z_[q]);
+}
+
+void
+PauliFrame::s(std::size_t q)
+{
+    qla_assert(q < n_);
+    z_[q] ^= x_[q];
+}
+
+void
+PauliFrame::cnot(std::size_t control, std::size_t target)
+{
+    qla_assert(control < n_ && target < n_ && control != target);
+    x_[target] ^= x_[control];
+    z_[control] ^= z_[target];
+}
+
+void
+PauliFrame::cz(std::size_t a, std::size_t b)
+{
+    qla_assert(a < n_ && b < n_ && a != b);
+    z_[a] ^= x_[b];
+    z_[b] ^= x_[a];
+}
+
+void
+PauliFrame::swap(std::size_t a, std::size_t b)
+{
+    qla_assert(a < n_ && b < n_ && a != b);
+    std::swap(x_[a], x_[b]);
+    std::swap(z_[a], z_[b]);
+}
+
+void
+PauliFrame::injectX(std::size_t q)
+{
+    qla_assert(q < n_);
+    x_[q] ^= 1;
+}
+
+void
+PauliFrame::injectZ(std::size_t q)
+{
+    qla_assert(q < n_);
+    z_[q] ^= 1;
+}
+
+void
+PauliFrame::injectY(std::size_t q)
+{
+    injectX(q);
+    injectZ(q);
+}
+
+void
+PauliFrame::depolarize1(std::size_t q, double p, Rng &rng)
+{
+    if (!rng.bernoulli(p))
+        return;
+    switch (rng.uniformInt(3)) {
+      case 0:
+        injectX(q);
+        break;
+      case 1:
+        injectY(q);
+        break;
+      default:
+        injectZ(q);
+        break;
+    }
+}
+
+void
+PauliFrame::depolarize2(std::size_t a, std::size_t b, double p, Rng &rng)
+{
+    if (!rng.bernoulli(p))
+        return;
+    // Uniform over the 15 non-identity two-qubit Paulis: encode as a pair
+    // (pa, pb) in {I,X,Y,Z}^2 minus (I,I).
+    const std::uint64_t k = rng.uniformInt(15) + 1;
+    const std::uint64_t pa = k / 4;
+    const std::uint64_t pb = k % 4;
+    auto apply = [&](std::size_t q, std::uint64_t code) {
+        switch (code) {
+          case 1:
+            injectX(q);
+            break;
+          case 2:
+            injectY(q);
+            break;
+          case 3:
+            injectZ(q);
+            break;
+          default:
+            break;
+        }
+    };
+    apply(a, pa);
+    apply(b, pb);
+}
+
+bool
+PauliFrame::measureZFlip(std::size_t q)
+{
+    qla_assert(q < n_);
+    const bool flip = x_[q] != 0;
+    x_[q] = 0;
+    z_[q] = 0;
+    return flip;
+}
+
+bool
+PauliFrame::measureZFlip(std::size_t q, double pm, Rng &rng)
+{
+    bool flip = measureZFlip(q);
+    if (rng.bernoulli(pm))
+        flip = !flip;
+    return flip;
+}
+
+bool
+PauliFrame::measureXFlip(std::size_t q)
+{
+    qla_assert(q < n_);
+    const bool flip = z_[q] != 0;
+    x_[q] = 0;
+    z_[q] = 0;
+    return flip;
+}
+
+bool
+PauliFrame::measureXFlip(std::size_t q, double pm, Rng &rng)
+{
+    bool flip = measureXFlip(q);
+    if (rng.bernoulli(pm))
+        flip = !flip;
+    return flip;
+}
+
+void
+PauliFrame::resetQubit(std::size_t q)
+{
+    qla_assert(q < n_);
+    x_[q] = 0;
+    z_[q] = 0;
+}
+
+bool
+PauliFrame::xBit(std::size_t q) const
+{
+    qla_assert(q < n_);
+    return x_[q] != 0;
+}
+
+bool
+PauliFrame::zBit(std::size_t q) const
+{
+    qla_assert(q < n_);
+    return z_[q] != 0;
+}
+
+void
+PauliFrame::setXBit(std::size_t q, bool v)
+{
+    qla_assert(q < n_);
+    x_[q] = v;
+}
+
+void
+PauliFrame::setZBit(std::size_t q, bool v)
+{
+    qla_assert(q < n_);
+    z_[q] = v;
+}
+
+Pauli
+PauliFrame::errorAt(std::size_t q) const
+{
+    return pauliFromBits(xBit(q), zBit(q));
+}
+
+std::size_t
+PauliFrame::weight() const
+{
+    std::size_t w = 0;
+    for (std::size_t q = 0; q < n_; ++q)
+        if (x_[q] || z_[q])
+            ++w;
+    return w;
+}
+
+PauliString
+PauliFrame::toPauliString() const
+{
+    PauliString p(n_);
+    for (std::size_t q = 0; q < n_; ++q)
+        p.set(q, errorAt(q));
+    return p;
+}
+
+} // namespace qla::quantum

@@ -1,0 +1,33 @@
+#include "quantum/random_clifford.h"
+
+#include "common/logging.h"
+
+namespace qla::quantum {
+
+std::vector<CliffordOp>
+randomCliffordOps(std::size_t num_qubits, std::size_t length, Rng &rng)
+{
+    qla_assert(num_qubits >= 1);
+    std::vector<CliffordOp> ops;
+    ops.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+        CliffordOp op{};
+        const bool allow_two = num_qubits >= 2;
+        const std::uint64_t kind_count = allow_two ? 8 : 5;
+        op.kind = static_cast<CliffordOp::Kind>(rng.uniformInt(kind_count));
+        op.a = rng.uniformInt(num_qubits);
+        if (op.kind == CliffordOp::Kind::CNOT
+            || op.kind == CliffordOp::Kind::CZ
+            || op.kind == CliffordOp::Kind::SWAP) {
+            do {
+                op.b = rng.uniformInt(num_qubits);
+            } while (op.b == op.a);
+        } else {
+            op.b = op.a;
+        }
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+} // namespace qla::quantum

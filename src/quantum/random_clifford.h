@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Random Clifford circuit generation for property-based tests.
+ */
+
+#ifndef QLA_QUANTUM_RANDOM_CLIFFORD_H
+#define QLA_QUANTUM_RANDOM_CLIFFORD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qla::quantum {
+
+/** One elementary Clifford operation in a generated sequence. */
+struct CliffordOp
+{
+    enum class Kind : std::uint8_t { H, S, X, Y, Z, CNOT, CZ, SWAP };
+
+    Kind kind;
+    std::size_t a;
+    std::size_t b; // second operand for two-qubit kinds, else unused
+};
+
+/**
+ * Generate @p length random ops over @p num_qubits qubits drawn uniformly
+ * from {H, S, X, Y, Z, CNOT, CZ, SWAP} with random operands. Not a
+ * uniform sample of the Clifford group, but rapidly mixing and sufficient
+ * for differential testing.
+ */
+std::vector<CliffordOp> randomCliffordOps(std::size_t num_qubits,
+                                          std::size_t length, Rng &rng);
+
+/** Apply a generated op sequence to any simulator with the gate API. */
+template <typename Simulator>
+void
+applyCliffordOps(Simulator &sim, const std::vector<CliffordOp> &ops)
+{
+    for (const auto &op : ops) {
+        switch (op.kind) {
+          case CliffordOp::Kind::H:
+            sim.h(op.a);
+            break;
+          case CliffordOp::Kind::S:
+            sim.s(op.a);
+            break;
+          case CliffordOp::Kind::X:
+            sim.x(op.a);
+            break;
+          case CliffordOp::Kind::Y:
+            sim.y(op.a);
+            break;
+          case CliffordOp::Kind::Z:
+            sim.z(op.a);
+            break;
+          case CliffordOp::Kind::CNOT:
+            sim.cnot(op.a, op.b);
+            break;
+          case CliffordOp::Kind::CZ:
+            sim.cz(op.a, op.b);
+            break;
+          case CliffordOp::Kind::SWAP:
+            sim.swap(op.a, op.b);
+            break;
+        }
+    }
+}
+
+} // namespace qla::quantum
+
+#endif // QLA_QUANTUM_RANDOM_CLIFFORD_H

@@ -1,0 +1,257 @@
+#include "quantum/statevector.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qla::quantum {
+
+namespace {
+
+constexpr std::size_t kMaxQubits = 24;
+
+} // namespace
+
+StateVector::StateVector(std::size_t num_qubits)
+    : n_(num_qubits), amps_(std::size_t{1} << num_qubits)
+{
+    qla_assert(num_qubits > 0 && num_qubits <= kMaxQubits,
+               "dense simulator supports 1..24 qubits, got ", num_qubits);
+    reset();
+}
+
+void
+StateVector::reset()
+{
+    std::fill(amps_.begin(), amps_.end(), Amplitude{0.0, 0.0});
+    amps_[0] = Amplitude{1.0, 0.0};
+}
+
+void
+StateVector::apply1(std::size_t q, Amplitude u00, Amplitude u01,
+                    Amplitude u10, Amplitude u11)
+{
+    qla_assert(q < n_);
+    const std::uint64_t bit = 1ULL << q;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        if (i & bit)
+            continue;
+        const Amplitude a0 = amps_[i];
+        const Amplitude a1 = amps_[i | bit];
+        amps_[i] = u00 * a0 + u01 * a1;
+        amps_[i | bit] = u10 * a0 + u11 * a1;
+    }
+}
+
+void
+StateVector::h(std::size_t q)
+{
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    apply1(q, inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2);
+}
+
+void
+StateVector::x(std::size_t q)
+{
+    apply1(q, 0, 1, 1, 0);
+}
+
+void
+StateVector::y(std::size_t q)
+{
+    apply1(q, 0, Amplitude{0, -1}, Amplitude{0, 1}, 0);
+}
+
+void
+StateVector::z(std::size_t q)
+{
+    apply1(q, 1, 0, 0, -1);
+}
+
+void
+StateVector::s(std::size_t q)
+{
+    apply1(q, 1, 0, 0, Amplitude{0, 1});
+}
+
+void
+StateVector::sdg(std::size_t q)
+{
+    apply1(q, 1, 0, 0, Amplitude{0, -1});
+}
+
+void
+StateVector::t(std::size_t q)
+{
+    phase(q, M_PI / 4.0);
+}
+
+void
+StateVector::tdg(std::size_t q)
+{
+    phase(q, -M_PI / 4.0);
+}
+
+void
+StateVector::phase(std::size_t q, double theta)
+{
+    apply1(q, 1, 0, 0, Amplitude{std::cos(theta), std::sin(theta)});
+}
+
+void
+StateVector::cnot(std::size_t control, std::size_t target)
+{
+    qla_assert(control < n_ && target < n_ && control != target);
+    const std::uint64_t cbit = 1ULL << control;
+    const std::uint64_t tbit = 1ULL << target;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        if ((i & cbit) && !(i & tbit))
+            std::swap(amps_[i], amps_[i | tbit]);
+}
+
+void
+StateVector::cz(std::size_t a, std::size_t b)
+{
+    qla_assert(a < n_ && b < n_ && a != b);
+    const std::uint64_t abit = 1ULL << a;
+    const std::uint64_t bbit = 1ULL << b;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        if ((i & abit) && (i & bbit))
+            amps_[i] = -amps_[i];
+}
+
+void
+StateVector::swap(std::size_t a, std::size_t b)
+{
+    cnot(a, b);
+    cnot(b, a);
+    cnot(a, b);
+}
+
+void
+StateVector::toffoli(std::size_t c1, std::size_t c2, std::size_t target)
+{
+    qla_assert(c1 < n_ && c2 < n_ && target < n_);
+    qla_assert(c1 != c2 && c1 != target && c2 != target);
+    const std::uint64_t c1bit = 1ULL << c1;
+    const std::uint64_t c2bit = 1ULL << c2;
+    const std::uint64_t tbit = 1ULL << target;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        if ((i & c1bit) && (i & c2bit) && !(i & tbit))
+            std::swap(amps_[i], amps_[i | tbit]);
+}
+
+void
+StateVector::applyPauli(const PauliString &p)
+{
+    qla_assert(p.numQubits() == n_);
+    for (std::size_t q = 0; q < n_; ++q) {
+        switch (p.at(q)) {
+          case Pauli::I:
+            break;
+          case Pauli::X:
+            x(q);
+            break;
+          case Pauli::Y:
+            y(q);
+            break;
+          case Pauli::Z:
+            z(q);
+            break;
+        }
+    }
+    if (p.phaseExponent() != 0) {
+        Amplitude factor{1, 0};
+        switch (p.phaseExponent()) {
+          case 1:
+            factor = {0, 1};
+            break;
+          case 2:
+            factor = {-1, 0};
+            break;
+          case 3:
+            factor = {0, -1};
+            break;
+        }
+        for (auto &a : amps_)
+            a *= factor;
+    }
+}
+
+double
+StateVector::probabilityOfOne(std::size_t q) const
+{
+    qla_assert(q < n_);
+    const std::uint64_t bit = 1ULL << q;
+    double p = 0.0;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        if (i & bit)
+            p += std::norm(amps_[i]);
+    return p;
+}
+
+void
+StateVector::collapse(std::size_t q, bool outcome, double prob_one)
+{
+    const std::uint64_t bit = 1ULL << q;
+    const double keep = outcome ? prob_one : 1.0 - prob_one;
+    qla_assert(keep > 0.0, "collapsing onto zero-probability branch");
+    const double scale = 1.0 / std::sqrt(keep);
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        const bool is_one = (i & bit) != 0;
+        if (is_one == outcome)
+            amps_[i] *= scale;
+        else
+            amps_[i] = Amplitude{0, 0};
+    }
+}
+
+bool
+StateVector::measureZ(std::size_t q, Rng &rng)
+{
+    const double p1 = probabilityOfOne(q);
+    const bool outcome = rng.uniform() < p1;
+    collapse(q, outcome, p1);
+    return outcome;
+}
+
+double
+StateVector::expectation(const PauliString &p) const
+{
+    StateVector scratch = *this;
+    scratch.applyPauli(p);
+    Amplitude inner{0, 0};
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        inner += std::conj(amps_[i]) * scratch.amps_[i];
+    qla_assert(std::abs(inner.imag()) < 1e-9,
+               "non-real expectation for Hermitian observable");
+    return inner.real();
+}
+
+double
+StateVector::fidelityWith(const StateVector &other) const
+{
+    qla_assert(n_ == other.n_);
+    Amplitude inner{0, 0};
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        inner += std::conj(other.amps_[i]) * amps_[i];
+    return std::norm(inner);
+}
+
+Amplitude
+StateVector::amplitude(std::uint64_t index) const
+{
+    qla_assert(index < amps_.size());
+    return amps_[index];
+}
+
+double
+StateVector::norm() const
+{
+    double total = 0.0;
+    for (const auto &a : amps_)
+        total += std::norm(a);
+    return total;
+}
+
+} // namespace qla::quantum

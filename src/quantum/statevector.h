@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Dense state-vector simulator.
+ *
+ * Exponential-cost reference simulator used to (a) cross-validate the
+ * polynomial-time stabilizer engine on small registers and (b) run
+ * non-Clifford demonstrations (e.g. teleporting a T-rotated state in
+ * examples/teleport_demo). Capped at 24 qubits.
+ */
+
+#ifndef QLA_QUANTUM_STATEVECTOR_H
+#define QLA_QUANTUM_STATEVECTOR_H
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "quantum/pauli.h"
+
+namespace qla::quantum {
+
+/** Complex amplitude type. */
+using Amplitude = std::complex<double>;
+
+/**
+ * Dense n-qubit state, initialized to |0...0>.
+ *
+ * Qubit 0 is the least-significant bit of the basis-state index.
+ */
+class StateVector
+{
+  public:
+    explicit StateVector(std::size_t num_qubits);
+
+    std::size_t numQubits() const { return n_; }
+
+    /** Reset to |0...0>. */
+    void reset();
+
+    //
+    // Gates.
+    //
+
+    void h(std::size_t q);
+    void x(std::size_t q);
+    void y(std::size_t q);
+    void z(std::size_t q);
+    void s(std::size_t q);
+    void sdg(std::size_t q);
+    void t(std::size_t q);
+    void tdg(std::size_t q);
+    /** Z-rotation by angle theta: diag(1, e^{i theta}). */
+    void phase(std::size_t q, double theta);
+    void cnot(std::size_t control, std::size_t target);
+    void cz(std::size_t a, std::size_t b);
+    void swap(std::size_t a, std::size_t b);
+    void toffoli(std::size_t c1, std::size_t c2, std::size_t target);
+
+    /** Apply an arbitrary single-qubit unitary [[u00,u01],[u10,u11]]. */
+    void apply1(std::size_t q, Amplitude u00, Amplitude u01, Amplitude u10,
+                Amplitude u11);
+
+    /** Apply a signed Pauli string (sign becomes a global phase). */
+    void applyPauli(const PauliString &p);
+
+    //
+    // Measurement and inspection.
+    //
+
+    /** Probability that a Z measurement of @p q returns 1. */
+    double probabilityOfOne(std::size_t q) const;
+
+    /** Measure qubit @p q in the Z basis and collapse. */
+    bool measureZ(std::size_t q, Rng &rng);
+
+    /** Expectation value <psi|P|psi> of a Hermitian Pauli string. */
+    double expectation(const PauliString &p) const;
+
+    /** |<psi|other>|^2. */
+    double fidelityWith(const StateVector &other) const;
+
+    /** Amplitude of computational basis state @p index. */
+    Amplitude amplitude(std::uint64_t index) const;
+
+    /** Squared norm (should stay 1 within rounding). */
+    double norm() const;
+
+  private:
+    void collapse(std::size_t q, bool outcome, double prob_one);
+
+    std::size_t n_;
+    std::vector<Amplitude> amps_;
+};
+
+} // namespace qla::quantum
+
+#endif // QLA_QUANTUM_STATEVECTOR_H

@@ -1,0 +1,482 @@
+#include "quantum/tableau.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace qla::quantum {
+
+StabilizerTableau::StabilizerTableau(std::size_t num_qubits)
+    : n_(num_qubits), wpr_((num_qubits + 63) / 64),
+      xs_((2 * num_qubits + 1) * wpr_, 0),
+      zs_((2 * num_qubits + 1) * wpr_, 0), r_(2 * num_qubits + 1, 0)
+{
+    qla_assert(num_qubits > 0, "empty register");
+    reset();
+}
+
+void
+StabilizerTableau::reset()
+{
+    std::fill(xs_.begin(), xs_.end(), 0);
+    std::fill(zs_.begin(), zs_.end(), 0);
+    std::fill(r_.begin(), r_.end(), 0);
+    for (std::size_t i = 0; i < n_; ++i) {
+        setXBit(i, i, true);        // destabilizer i = X_i
+        setZBit(n_ + i, i, true);   // stabilizer i = Z_i
+    }
+}
+
+bool
+StabilizerTableau::xBit(std::size_t row, std::size_t col) const
+{
+    return (xs_[row * wpr_ + col / 64] >> (col % 64)) & 1ULL;
+}
+
+bool
+StabilizerTableau::zBit(std::size_t row, std::size_t col) const
+{
+    return (zs_[row * wpr_ + col / 64] >> (col % 64)) & 1ULL;
+}
+
+void
+StabilizerTableau::setXBit(std::size_t row, std::size_t col, bool v)
+{
+    const std::uint64_t mask = 1ULL << (col % 64);
+    if (v)
+        xs_[row * wpr_ + col / 64] |= mask;
+    else
+        xs_[row * wpr_ + col / 64] &= ~mask;
+}
+
+void
+StabilizerTableau::setZBit(std::size_t row, std::size_t col, bool v)
+{
+    const std::uint64_t mask = 1ULL << (col % 64);
+    if (v)
+        zs_[row * wpr_ + col / 64] |= mask;
+    else
+        zs_[row * wpr_ + col / 64] &= ~mask;
+}
+
+void
+StabilizerTableau::h(std::size_t q)
+{
+    qla_assert(q < n_);
+    for (std::size_t row = 0; row < 2 * n_ + 1; ++row) {
+        const bool xv = xBit(row, q);
+        const bool zv = zBit(row, q);
+        if (xv && zv)
+            r_[row] ^= 1;
+        setXBit(row, q, zv);
+        setZBit(row, q, xv);
+    }
+}
+
+void
+StabilizerTableau::s(std::size_t q)
+{
+    qla_assert(q < n_);
+    for (std::size_t row = 0; row < 2 * n_ + 1; ++row) {
+        const bool xv = xBit(row, q);
+        const bool zv = zBit(row, q);
+        if (xv && zv)
+            r_[row] ^= 1;
+        setZBit(row, q, zv ^ xv);
+    }
+}
+
+void
+StabilizerTableau::sdg(std::size_t q)
+{
+    // S^3 = S^dagger up to global phase.
+    s(q);
+    s(q);
+    s(q);
+}
+
+void
+StabilizerTableau::x(std::size_t q)
+{
+    qla_assert(q < n_);
+    for (std::size_t row = 0; row < 2 * n_ + 1; ++row)
+        r_[row] ^= zBit(row, q);
+}
+
+void
+StabilizerTableau::z(std::size_t q)
+{
+    qla_assert(q < n_);
+    for (std::size_t row = 0; row < 2 * n_ + 1; ++row)
+        r_[row] ^= xBit(row, q);
+}
+
+void
+StabilizerTableau::y(std::size_t q)
+{
+    qla_assert(q < n_);
+    for (std::size_t row = 0; row < 2 * n_ + 1; ++row)
+        r_[row] ^= xBit(row, q) ^ zBit(row, q);
+}
+
+void
+StabilizerTableau::cnot(std::size_t control, std::size_t target)
+{
+    qla_assert(control < n_ && target < n_ && control != target);
+    for (std::size_t row = 0; row < 2 * n_ + 1; ++row) {
+        const bool xc = xBit(row, control);
+        const bool zc = zBit(row, control);
+        const bool xt = xBit(row, target);
+        const bool zt = zBit(row, target);
+        if (xc && zt && (xt == zc))
+            r_[row] ^= 1;
+        setXBit(row, target, xt ^ xc);
+        setZBit(row, control, zc ^ zt);
+    }
+}
+
+void
+StabilizerTableau::cz(std::size_t a, std::size_t b)
+{
+    qla_assert(a < n_ && b < n_ && a != b);
+    for (std::size_t row = 0; row < 2 * n_ + 1; ++row) {
+        const bool xa = xBit(row, a);
+        const bool za = zBit(row, a);
+        const bool xb = xBit(row, b);
+        const bool zb = zBit(row, b);
+        if (xa && xb && (za ^ zb))
+            r_[row] ^= 1;
+        setZBit(row, a, za ^ xb);
+        setZBit(row, b, zb ^ xa);
+    }
+}
+
+void
+StabilizerTableau::swap(std::size_t a, std::size_t b)
+{
+    qla_assert(a < n_ && b < n_ && a != b);
+    for (std::size_t row = 0; row < 2 * n_ + 1; ++row) {
+        const bool xa = xBit(row, a);
+        const bool za = zBit(row, a);
+        setXBit(row, a, xBit(row, b));
+        setZBit(row, a, zBit(row, b));
+        setXBit(row, b, xa);
+        setZBit(row, b, za);
+    }
+}
+
+void
+StabilizerTableau::applyPauli(const PauliString &p)
+{
+    qla_assert(p.numQubits() == n_);
+    for (std::size_t q = 0; q < n_; ++q) {
+        switch (p.at(q)) {
+          case Pauli::I:
+            break;
+          case Pauli::X:
+            x(q);
+            break;
+          case Pauli::Y:
+            y(q);
+            break;
+          case Pauli::Z:
+            z(q);
+            break;
+        }
+    }
+}
+
+void
+StabilizerTableau::rowsum(std::size_t h, std::size_t i)
+{
+    // Phase of the product P_i * P_h, accumulated as a power of i.
+    int phase = 2 * r_[h] + 2 * r_[i];
+    for (std::size_t w = 0; w < wpr_; ++w) {
+        phase += pauliProductPhaseWord(xs_[i * wpr_ + w], zs_[i * wpr_ + w],
+                                       xs_[h * wpr_ + w],
+                                       zs_[h * wpr_ + w]);
+        xs_[h * wpr_ + w] ^= xs_[i * wpr_ + w];
+        zs_[h * wpr_ + w] ^= zs_[i * wpr_ + w];
+    }
+    phase = ((phase % 4) + 4) % 4;
+    qla_assert(phase == 0 || phase == 2, "rowsum produced i^", phase);
+    r_[h] = phase == 2;
+}
+
+void
+StabilizerTableau::rowsumPauli(std::size_t h, const PauliString &p)
+{
+    int phase = 2 * r_[h] + p.phaseExponent();
+    for (std::size_t w = 0; w < wpr_; ++w) {
+        phase += pauliProductPhaseWord(p.xWords()[w], p.zWords()[w],
+                                       xs_[h * wpr_ + w],
+                                       zs_[h * wpr_ + w]);
+        xs_[h * wpr_ + w] ^= p.xWords()[w];
+        zs_[h * wpr_ + w] ^= p.zWords()[w];
+    }
+    phase = ((phase % 4) + 4) % 4;
+    qla_assert(phase == 0 || phase == 2, "rowsumPauli produced i^", phase);
+    r_[h] = phase == 2;
+}
+
+void
+StabilizerTableau::zeroRow(std::size_t row)
+{
+    std::fill_n(xs_.begin() + row * wpr_, wpr_, 0ULL);
+    std::fill_n(zs_.begin() + row * wpr_, wpr_, 0ULL);
+    r_[row] = 0;
+}
+
+void
+StabilizerTableau::copyRow(std::size_t dst, std::size_t src)
+{
+    std::copy_n(xs_.begin() + src * wpr_, wpr_, xs_.begin() + dst * wpr_);
+    std::copy_n(zs_.begin() + src * wpr_, wpr_, zs_.begin() + dst * wpr_);
+    r_[dst] = r_[src];
+}
+
+bool
+StabilizerTableau::rowAnticommutes(std::size_t row, const PauliString &p)
+    const
+{
+    int parity = 0;
+    for (std::size_t w = 0; w < wpr_; ++w) {
+        parity ^= std::popcount((xs_[row * wpr_ + w] & p.zWords()[w])
+                                ^ (zs_[row * wpr_ + w] & p.xWords()[w]))
+            & 1;
+    }
+    return parity != 0;
+}
+
+PauliString
+StabilizerTableau::rowToPauli(std::size_t row) const
+{
+    PauliString p(n_);
+    for (std::size_t w = 0; w < wpr_; ++w) {
+        p.x_[w] = xs_[row * wpr_ + w];
+        p.z_[w] = zs_[row * wpr_ + w];
+    }
+    p.setPhaseExponent(r_[row] ? 2 : 0);
+    return p;
+}
+
+bool
+StabilizerTableau::isZMeasurementRandom(std::size_t q) const
+{
+    for (std::size_t row = n_; row < 2 * n_; ++row)
+        if (xBit(row, q))
+            return true;
+    return false;
+}
+
+bool
+StabilizerTableau::measureZ(std::size_t q, Rng &rng)
+{
+    qla_assert(q < n_);
+
+    // Find a stabilizer that anticommutes with Z_q.
+    std::size_t p = 2 * n_;
+    for (std::size_t row = n_; row < 2 * n_; ++row) {
+        if (xBit(row, q)) {
+            p = row;
+            break;
+        }
+    }
+
+    if (p < 2 * n_) {
+        // Random outcome. Row p - n (the pivot's destabilizer partner,
+        // which anticommutes with row p) is skipped: it is overwritten
+        // below, and multiplying anticommuting Paulis would leave an
+        // imaginary phase.
+        for (std::size_t row = 0; row < 2 * n_; ++row)
+            if (row != p && row != p - n_ && xBit(row, q))
+                rowsum(row, p);
+        copyRow(p - n_, p);
+        zeroRow(p);
+        setZBit(p, q, true);
+        const bool outcome = rng.bernoulli(0.5);
+        r_[p] = outcome;
+        return outcome;
+    }
+
+    // Deterministic outcome via the scratch row.
+    zeroRow(2 * n_);
+    for (std::size_t i = 0; i < n_; ++i)
+        if (xBit(i, q))
+            rowsum(2 * n_, i + n_);
+    return r_[2 * n_];
+}
+
+bool
+StabilizerTableau::measureX(std::size_t q, Rng &rng)
+{
+    h(q);
+    const bool outcome = measureZ(q, rng);
+    h(q);
+    return outcome;
+}
+
+bool
+StabilizerTableau::measurePauli(const PauliString &p, Rng &rng)
+{
+    qla_assert(p.numQubits() == n_);
+    qla_assert(p.phaseExponent() == 0 || p.phaseExponent() == 2,
+               "measured observable must be Hermitian");
+    const bool s = p.phaseExponent() == 2;
+
+    std::size_t pivot = 2 * n_;
+    for (std::size_t row = n_; row < 2 * n_; ++row) {
+        if (rowAnticommutes(row, p)) {
+            pivot = row;
+            break;
+        }
+    }
+
+    if (pivot < 2 * n_) {
+        for (std::size_t row = 0; row < 2 * n_; ++row)
+            if (row != pivot && row != pivot - n_
+                && rowAnticommutes(row, p))
+                rowsum(row, pivot);
+        copyRow(pivot - n_, pivot);
+        zeroRow(pivot);
+        for (std::size_t w = 0; w < wpr_; ++w) {
+            xs_[pivot * wpr_ + w] = p.xWords()[w];
+            zs_[pivot * wpr_ + w] = p.zWords()[w];
+        }
+        const bool outcome = rng.bernoulli(0.5);
+        r_[pivot] = outcome ^ s;
+        return outcome;
+    }
+
+    const auto value = deterministicValue(p);
+    qla_assert(value.has_value());
+    return *value;
+}
+
+std::optional<bool>
+StabilizerTableau::deterministicValue(const PauliString &p) const
+{
+    qla_assert(p.numQubits() == n_);
+    for (std::size_t row = n_; row < 2 * n_; ++row)
+        if (rowAnticommutes(row, p))
+            return std::nullopt;
+
+    // The observable is a product of stabilizer generators; accumulate
+    // exactly those whose destabilizer partner anticommutes with p.
+    auto *self = const_cast<StabilizerTableau *>(this);
+    self->zeroRow(2 * n_);
+    for (std::size_t i = 0; i < n_; ++i)
+        if (rowAnticommutes(i, p))
+            self->rowsum(2 * n_, i + n_);
+
+    // Scratch row must now equal +/- p (up to sign); outcome compares the
+    // accumulated sign with p's own sign.
+    for (std::size_t w = 0; w < wpr_; ++w) {
+        qla_assert(xs_[2 * n_ * wpr_ + w] == p.xWords()[w]
+                       && zs_[2 * n_ * wpr_ + w] == p.zWords()[w],
+                   "observable not in stabilizer group");
+    }
+    const bool s = p.phaseExponent() == 2;
+    return r_[2 * n_] ^ s;
+}
+
+void
+StabilizerTableau::resetToZero(std::size_t q, Rng &rng)
+{
+    if (measureZ(q, rng))
+        x(q);
+}
+
+PauliString
+StabilizerTableau::stabilizer(std::size_t i) const
+{
+    qla_assert(i < n_);
+    return rowToPauli(n_ + i);
+}
+
+PauliString
+StabilizerTableau::destabilizer(std::size_t i) const
+{
+    qla_assert(i < n_);
+    return rowToPauli(i);
+}
+
+std::vector<std::string>
+StabilizerTableau::canonicalStabilizers() const
+{
+    // Gauss-reduce the stabilizer rows over GF(2) with X bits taking
+    // priority over Z bits, mirroring the canonical form used by CHP-style
+    // simulators; signs ride along through rowsum.
+    StabilizerTableau copy = *this;
+    std::size_t pivot_row = copy.n_;
+
+    auto reduceColumn = [&](auto getBit) {
+        for (std::size_t col = 0; col < copy.n_; ++col) {
+            std::size_t found = 0;
+            bool have = false;
+            for (std::size_t row = pivot_row; row < 2 * copy.n_; ++row) {
+                if (getBit(copy, row, col)) {
+                    found = row;
+                    have = true;
+                    break;
+                }
+            }
+            if (!have)
+                continue;
+            if (found != pivot_row) {
+                // Swap rows by multiplying: emulate with explicit swap.
+                for (std::size_t w = 0; w < copy.wpr_; ++w) {
+                    std::swap(copy.xs_[found * copy.wpr_ + w],
+                              copy.xs_[pivot_row * copy.wpr_ + w]);
+                    std::swap(copy.zs_[found * copy.wpr_ + w],
+                              copy.zs_[pivot_row * copy.wpr_ + w]);
+                }
+                std::swap(copy.r_[found], copy.r_[pivot_row]);
+            }
+            for (std::size_t row = copy.n_; row < 2 * copy.n_; ++row) {
+                if (row != pivot_row && getBit(copy, row, col))
+                    copy.rowsum(row, pivot_row);
+            }
+            ++pivot_row;
+            if (pivot_row == 2 * copy.n_)
+                return;
+        }
+    };
+
+    reduceColumn([](const StabilizerTableau &t, std::size_t row,
+                    std::size_t col) { return t.xBit(row, col); });
+    reduceColumn([](const StabilizerTableau &t, std::size_t row,
+                    std::size_t col) {
+        return !t.xBit(row, col) && t.zBit(row, col);
+    });
+
+    std::vector<std::string> rows;
+    rows.reserve(copy.n_);
+    for (std::size_t i = 0; i < copy.n_; ++i)
+        rows.push_back(copy.rowToPauli(copy.n_ + i).toString());
+    std::sort(rows.begin(), rows.end());
+    return rows;
+}
+
+bool
+StabilizerTableau::checkInvariants() const
+{
+    // Stabilizers must commute pairwise; destabilizer i must anticommute
+    // with stabilizer i and commute with all others.
+    for (std::size_t i = 0; i < n_; ++i) {
+        const PauliString si = stabilizer(i);
+        for (std::size_t j = 0; j < n_; ++j) {
+            const PauliString sj = stabilizer(j);
+            if (!si.commutesWith(sj))
+                return false;
+            const PauliString dj = destabilizer(j);
+            const bool should_commute = (i != j);
+            if (si.commutesWith(dj) != should_commute)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace qla::quantum

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Aaronson-Gottesman stabilizer tableau simulator (CHP).
+ *
+ * Simulates Clifford circuits (H, S, CNOT, Paulis, CZ, SWAP) plus
+ * Z/X-basis and arbitrary-Pauli measurements in polynomial time. This is
+ * the engine the paper's contribution 3 describes: "ARQ avoids exponential
+ * simulation costs by simulating only a subset of the possible quantum
+ * gates ... using a mathematical stabilizer formalism".
+ *
+ * Representation: 2n+1 rows of (X|Z|r) bits. Rows [0,n) are destabilizers,
+ * rows [n,2n) stabilizers, row 2n is scratch for deterministic
+ * measurements, exactly following Aaronson & Gottesman (2004).
+ */
+
+#ifndef QLA_QUANTUM_TABLEAU_H
+#define QLA_QUANTUM_TABLEAU_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "quantum/pauli.h"
+
+namespace qla::quantum {
+
+/**
+ * Stabilizer state of n qubits, initialized to |0...0>.
+ */
+class StabilizerTableau
+{
+  public:
+    explicit StabilizerTableau(std::size_t num_qubits);
+
+    std::size_t numQubits() const { return n_; }
+
+    /** Reset the whole register to |0...0>. */
+    void reset();
+
+    //
+    // Clifford gates.
+    //
+
+    void h(std::size_t q);
+    void s(std::size_t q);      ///< Phase gate diag(1, i).
+    void sdg(std::size_t q);    ///< Inverse phase gate.
+    void x(std::size_t q);
+    void y(std::size_t q);
+    void z(std::size_t q);
+    void cnot(std::size_t control, std::size_t target);
+    void cz(std::size_t a, std::size_t b);
+    void swap(std::size_t a, std::size_t b);
+
+    /** Apply a signed Pauli operator (its sign is a global phase). */
+    void applyPauli(const PauliString &p);
+
+    //
+    // Measurement.
+    //
+
+    /**
+     * Measure qubit @p q in the Z basis.
+     * @return outcome bit (0 -> |0>, 1 -> |1>).
+     */
+    bool measureZ(std::size_t q, Rng &rng);
+
+    /** Measure qubit @p q in the X basis (H-conjugated Z measurement). */
+    bool measureX(std::size_t q, Rng &rng);
+
+    /**
+     * Measure a Hermitian Pauli observable.
+     * @return outcome m: the post-measurement state satisfies
+     *         (-1)^m P |psi> = |psi>.
+     */
+    bool measurePauli(const PauliString &p, Rng &rng);
+
+    /**
+     * Eigenvalue of @p p when the state is an eigenstate: 0 for +1,
+     * 1 for -1; std::nullopt when the measurement would be random.
+     * Does not modify the state.
+     */
+    std::optional<bool> deterministicValue(const PauliString &p) const;
+
+    /** True iff measuring @p q in Z would give a random outcome. */
+    bool isZMeasurementRandom(std::size_t q) const;
+
+    /** Reset qubit @p q to |0> (measure, flip if needed). */
+    void resetToZero(std::size_t q, Rng &rng);
+
+    /** Stabilizer generator row i (i in [0, n)) as a PauliString. */
+    PauliString stabilizer(std::size_t i) const;
+
+    /** Destabilizer generator row i (i in [0, n)). */
+    PauliString destabilizer(std::size_t i) const;
+
+    /**
+     * Canonical (row-reduced) stabilizer generators; two tableaus describe
+     * the same state iff their canonical generator lists are equal.
+     */
+    std::vector<std::string> canonicalStabilizers() const;
+
+    /** Internal consistency check (commutation structure); for tests. */
+    bool checkInvariants() const;
+
+  private:
+    bool xBit(std::size_t row, std::size_t col) const;
+    bool zBit(std::size_t row, std::size_t col) const;
+    void setXBit(std::size_t row, std::size_t col, bool v);
+    void setZBit(std::size_t row, std::size_t col, bool v);
+    bool rBit(std::size_t row) const { return r_[row]; }
+    void setRBit(std::size_t row, bool v) { r_[row] = v; }
+
+    /** row h := row i * row h (Aaronson-Gottesman "rowsum"). */
+    void rowsum(std::size_t h, std::size_t i);
+
+    /** Multiply Pauli @p p into row h (same phase bookkeeping). */
+    void rowsumPauli(std::size_t h, const PauliString &p);
+
+    void zeroRow(std::size_t row);
+    void copyRow(std::size_t dst, std::size_t src);
+
+    /** True when row @p row anticommutes with @p p. */
+    bool rowAnticommutes(std::size_t row, const PauliString &p) const;
+
+    PauliString rowToPauli(std::size_t row) const;
+
+    std::size_t n_;
+    std::size_t wpr_; // words per row
+    std::vector<std::uint64_t> xs_;
+    std::vector<std::uint64_t> zs_;
+    std::vector<std::uint8_t> r_;
+};
+
+} // namespace qla::quantum
+
+#endif // QLA_QUANTUM_TABLEAU_H

@@ -1,0 +1,98 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace qla::sim {
+
+EventQueue::~EventQueue()
+{
+    for (Entry *e : live_)
+        delete e;
+}
+
+EventId
+EventQueue::schedule(Seconds when, std::function<void()> action)
+{
+    qla_assert(when >= now_, "cannot schedule into the past: ", when,
+               " < ", now_);
+    auto *entry = new Entry{when, next_id_++, std::move(action), false};
+    live_.push_back(entry);
+    heap_.push(entry);
+    return entry->id;
+}
+
+EventId
+EventQueue::scheduleAfter(Seconds delay, std::function<void()> action)
+{
+    qla_assert(delay >= 0.0, "negative delay: ", delay);
+    return schedule(now_ + delay, std::move(action));
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    // Lazy cancellation: flag the entry; it is skipped when popped.
+    for (Entry *e : live_) {
+        if (e->id == id) {
+            e->cancelled = true;
+            return;
+        }
+    }
+}
+
+void
+EventQueue::pruneCancelledTop()
+{
+    while (!heap_.empty() && heap_.top()->cancelled) {
+        Entry *e = heap_.top();
+        heap_.pop();
+        live_.erase(std::find(live_.begin(), live_.end(), e));
+        delete e;
+    }
+}
+
+bool
+EventQueue::empty() const
+{
+    auto *self = const_cast<EventQueue *>(this);
+    self->pruneCancelledTop();
+    return heap_.empty();
+}
+
+bool
+EventQueue::step()
+{
+    pruneCancelledTop();
+    if (heap_.empty())
+        return false;
+
+    Entry *e = heap_.top();
+    heap_.pop();
+    live_.erase(std::find(live_.begin(), live_.end(), e));
+
+    qla_assert(e->when >= now_, "event time went backwards");
+    now_ = e->when;
+    ++executed_;
+
+    auto action = std::move(e->action);
+    delete e;
+    action();
+    return true;
+}
+
+void
+EventQueue::run(Seconds horizon)
+{
+    while (!empty()) {
+        pruneCancelledTop();
+        if (heap_.empty())
+            break;
+        if (horizon >= 0.0 && heap_.top()->when > horizon) {
+            now_ = horizon;
+            break;
+        }
+        step();
+    }
+}
+
+} // namespace qla::sim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * ARQ and the interconnect scheduler are discrete-event simulations over
+ * wall-clock seconds. The kernel provides a deterministic event queue:
+ * events scheduled for the same instant fire in scheduling order (FIFO
+ * tie-break), so simulations are reproducible regardless of container
+ * implementation details.
+ */
+
+#ifndef QLA_SIM_EVENT_QUEUE_H
+#define QLA_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace qla::sim {
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * Deterministic priority event queue keyed on simulated seconds.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Seconds now() const { return now_; }
+
+    /**
+     * Schedule @p action to run at absolute time @p when.
+     *
+     * @param when   Absolute simulated time; must be >= now().
+     * @param action Callback invoked when the event fires.
+     * @return A handle that can be passed to cancel().
+     */
+    EventId schedule(Seconds when, std::function<void()> action);
+
+    /** Schedule @p action to run @p delay after the current time. */
+    EventId scheduleAfter(Seconds delay, std::function<void()> action);
+
+    /** Cancel a pending event. Cancelling a fired event is a no-op. */
+    void cancel(EventId id);
+
+    /** True when no runnable events remain. */
+    bool empty() const;
+
+    /**
+     * Run a single event.
+     *
+     * @return false when the queue is empty.
+     */
+    bool step();
+
+    /** Run events until the queue is empty or @p horizon is reached. */
+    void run(Seconds horizon = -1.0);
+
+    /** Number of events executed so far. */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Seconds when;
+        EventId id;
+        std::function<void()> action;
+        bool cancelled = false;
+    };
+
+    struct EntryOrder
+    {
+        bool
+        operator()(const Entry *a, const Entry *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->id > b->id; // FIFO among same-time events
+        }
+    };
+
+    void pruneCancelledTop();
+
+    Seconds now_ = 0.0;
+    EventId next_id_ = 1;
+    std::uint64_t executed_ = 0;
+    std::vector<Entry *> live_; // owned entries, freed on pop/destruct
+    std::priority_queue<Entry *, std::vector<Entry *>, EntryOrder> heap_;
+
+  public:
+    ~EventQueue();
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+};
+
+} // namespace qla::sim
+
+#endif // QLA_SIM_EVENT_QUEUE_H

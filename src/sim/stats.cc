@@ -1,0 +1,101 @@
+#include "sim/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace qla::sim {
+
+void
+ScalarStat::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        if (value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+    ++count_;
+    sum_ += value;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+double
+ScalarStat::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+ScalarStat::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+ScalarStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+ScalarStat::sem() const
+{
+    return count_ ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+}
+
+double
+ScalarStat::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+ScalarStat::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+void
+RateStat::add(bool success)
+{
+    ++trials_;
+    if (success)
+        ++successes_;
+}
+
+double
+RateStat::rate() const
+{
+    return trials_ ? static_cast<double>(successes_)
+                       / static_cast<double>(trials_)
+                   : 0.0;
+}
+
+double
+RateStat::halfWidth95() const
+{
+    if (trials_ == 0)
+        return 0.0;
+    const double z = 1.96;
+    const double n = static_cast<double>(trials_);
+    const double p = rate();
+    const double denom = 1.0 + z * z / n;
+    const double half = z * std::sqrt(p * (1.0 - p) / n
+                                      + z * z / (4.0 * n * n)) / denom;
+    return half;
+}
+
+std::string
+formatWithError(double value, double error)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3e +- %.1e", value, error);
+    return buf;
+}
+
+} // namespace qla::sim

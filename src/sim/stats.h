@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Lightweight statistics accumulators for simulation outputs.
+ */
+
+#ifndef QLA_SIM_STATS_H
+#define QLA_SIM_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qla::sim {
+
+/**
+ * Streaming scalar accumulator (count / mean / variance / extrema) using
+ * Welford's algorithm so long runs stay numerically stable.
+ */
+class ScalarStat
+{
+  public:
+    /** Record one sample. */
+    void add(double value);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    /** Unbiased sample variance; 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+    /** Standard error of the mean. */
+    double sem() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Bernoulli-trial accumulator with a Wilson confidence interval, used for
+ * Monte-Carlo failure-rate estimates (Figure 7).
+ */
+class RateStat
+{
+  public:
+    /** Record one trial. */
+    void add(bool success);
+
+    std::uint64_t trials() const { return trials_; }
+    std::uint64_t successes() const { return successes_; }
+    /** Point estimate successes/trials (0 when empty). */
+    double rate() const;
+    /** Half-width of the ~95% Wilson interval. */
+    double halfWidth95() const;
+
+  private:
+    std::uint64_t trials_ = 0;
+    std::uint64_t successes_ = 0;
+};
+
+/** Format a (value, error) pair as "v +- e" with sensible precision. */
+std::string formatWithError(double value, double error);
+
+} // namespace qla::sim
+
+#endif // QLA_SIM_STATS_H

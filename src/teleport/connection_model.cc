@@ -1,0 +1,99 @@
+#include "teleport/connection_model.h"
+
+namespace qla::teleport {
+
+std::vector<Cells>
+figure9Separations()
+{
+    return {35, 70, 100, 350, 500, 750, 1000};
+}
+
+std::vector<ConnectionSeries>
+sweepConnectionTimes(const RepeaterChain &chain,
+                     const std::vector<Cells> &separations,
+                     Cells min_distance, Cells max_distance, Cells step)
+{
+    std::vector<ConnectionSeries> result;
+    for (Cells d : separations) {
+        ConnectionSeries series;
+        series.islandSpacing = d;
+        for (Cells dist = min_distance; dist <= max_distance;
+             dist += step) {
+            const ConnectionPlan plan = chain.plan(dist, d);
+            ConnectionSample sample;
+            sample.distance = dist;
+            sample.feasible = plan.feasible;
+            sample.time = plan.connectionTime;
+            sample.opsAtBusiestIsland = plan.opsAtBusiestIsland;
+            series.samples.push_back(sample);
+        }
+        result.push_back(std::move(series));
+    }
+    return result;
+}
+
+std::optional<Cells>
+crossoverDistance(const RepeaterChain &chain, Cells d_near, Cells d_far,
+                  Cells min_distance, Cells max_distance, Cells step)
+{
+    // The integer pump/swap structure makes the curves mildly jagged, so
+    // demand that the far separation's win persists at the next two
+    // sampled distances before declaring a crossover (hysteresis).
+    auto farWins = [&](Cells dist) {
+        const ConnectionPlan near = chain.plan(dist, d_near);
+        const ConnectionPlan far = chain.plan(dist, d_far);
+        if (!far.feasible)
+            return false;
+        if (!near.feasible)
+            return true;
+        return far.connectionTime <= near.connectionTime;
+    };
+    for (Cells dist = min_distance; dist <= max_distance; dist += step) {
+        if (farWins(dist) && farWins(dist + step)
+            && farWins(dist + 2 * step))
+            return dist;
+    }
+    return std::nullopt;
+}
+
+std::optional<Cells>
+bestSeparation(const RepeaterChain &chain,
+               const std::vector<Cells> &separations, Cells distance)
+{
+    std::optional<Cells> best;
+    Seconds best_time = 0.0;
+    for (Cells d : separations) {
+        const ConnectionPlan plan = chain.plan(distance, d);
+        if (!plan.feasible)
+            continue;
+        if (!best || plan.connectionTime < best_time) {
+            best = d;
+            best_time = plan.connectionTime;
+        }
+    }
+    return best;
+}
+
+Seconds
+ballisticLatency(const TechnologyParameters &tech, Cells distance)
+{
+    // One split plus straight-line traversal; QLA channel geometry keeps
+    // long-haul routes to at most two turns, charged here as none for the
+    // best case.
+    return tech.moveTime(distance, 0);
+}
+
+double
+ballisticErrorProbability(const TechnologyParameters &tech, Cells distance)
+{
+    return tech.moveError(distance, 1, 0);
+}
+
+double
+simplisticTeleportInfidelity(const RepeaterConfig &config, Cells distance)
+{
+    WernerPair pair{1.0 - config.creationError};
+    return transportDecay(pair, distance, config.perCellError).epsilon();
+}
+
+} // namespace qla::teleport

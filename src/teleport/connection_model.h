@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure-9 sweep: connection time vs distance for candidate island
+ * separations, plus the baselines for the communication ablation (E10).
+ */
+
+#ifndef QLA_TELEPORT_CONNECTION_MODEL_H
+#define QLA_TELEPORT_CONNECTION_MODEL_H
+
+#include <optional>
+#include <vector>
+
+#include "teleport/repeater.h"
+
+namespace qla::teleport {
+
+/** One (distance, time) sample of a Figure-9 series. */
+struct ConnectionSample
+{
+    Cells distance = 0;
+    bool feasible = false;
+    Seconds time = 0.0;
+    double opsAtBusiestIsland = 0.0;
+};
+
+/** A full series for one island separation d. */
+struct ConnectionSeries
+{
+    Cells islandSpacing = 0;
+    std::vector<ConnectionSample> samples;
+};
+
+/** The island separations plotted in Figure 9. */
+std::vector<Cells> figure9Separations();
+
+/**
+ * Sweep connection time over total distances [min,max] (inclusive, with
+ * @p step granularity) for each island separation.
+ */
+std::vector<ConnectionSeries> sweepConnectionTimes(
+    const RepeaterChain &chain, const std::vector<Cells> &separations,
+    Cells min_distance, Cells max_distance, Cells step);
+
+/**
+ * Smallest distance at which separation @p d_far becomes at least as fast
+ * as @p d_near (the Figure-9 "crossing point"); nullopt when no crossover
+ * occurs in the swept range.
+ */
+std::optional<Cells> crossoverDistance(const RepeaterChain &chain,
+                                       Cells d_near, Cells d_far,
+                                       Cells min_distance,
+                                       Cells max_distance, Cells step);
+
+/** Best (fastest feasible) separation at one distance. */
+std::optional<Cells> bestSeparation(const RepeaterChain &chain,
+                                    const std::vector<Cells> &separations,
+                                    Cells distance);
+
+/**
+ * Ablation baselines (experiment E10).
+ */
+
+/** Latency of direct ballistic transport over @p distance cells. */
+Seconds ballisticLatency(const TechnologyParameters &tech, Cells distance);
+
+/** Failure probability of direct ballistic transport (no correction). */
+double ballisticErrorProbability(const TechnologyParameters &tech,
+                                 Cells distance);
+
+/**
+ * Infidelity of a single end-to-end EPR pair with *no* repeaters and no
+ * purification (the "simplistic teleportation" the paper warns about),
+ * under the interconnect's EPR noise model.
+ */
+double simplisticTeleportInfidelity(const RepeaterConfig &config,
+                                    Cells distance);
+
+} // namespace qla::teleport
+
+#endif // QLA_TELEPORT_CONNECTION_MODEL_H

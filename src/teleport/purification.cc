@@ -1,0 +1,178 @@
+#include "teleport/purification.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace qla::teleport {
+
+namespace {
+
+/** Cost of a pair at one grade, for the renewal accounting. */
+struct GradeCost
+{
+    double fidelity = 0.0;
+    double ops = 0.0;   // expected ops per end island
+    double pairs = 1.0; // expected elementary pairs consumed
+};
+
+/** One rung of the achievable (fidelity, expected cost) ladder. */
+struct LadderPoint
+{
+    double fidelity = 0.0;
+    double ops = 0.0;
+    double pairs = 1.0;
+};
+
+/** Number of steps to approach the fixed point within the band. */
+int
+stepsForGrade(double base_f, double sac_f, double op_error,
+              double band_fraction, int max_steps, double target_f)
+{
+    const double fix = pumpingFixedPoint(sac_f, op_error);
+    if (fix <= base_f)
+        return 0;
+    const double initial_gap = fix - base_f;
+    double f = base_f;
+    for (int j = 1; j <= max_steps; ++j) {
+        f = purify({f}, {sac_f}, op_error).pair.fidelity;
+        if (f >= target_f)
+            return j; // target met early; no need to chase the band
+        if (fix - f <= band_fraction * initial_gap)
+            return j;
+    }
+    return max_steps;
+}
+
+/**
+ * Pump @p base with sacrificial pairs of grade @p sac for @p steps steps,
+ * restarting the whole sequence when a step fails (renewal argument),
+ * recording the cumulative expected cost after each step on the ladder.
+ */
+GradeCost
+pumpGrade(const GradeCost &base, const GradeCost &sac, int steps,
+          double op_error, std::vector<LadderPoint> &ladder)
+{
+    double fidelity = base.fidelity;
+    const double attempt_ops = base.ops;
+    const double attempt_pairs = base.pairs;
+    double reach = 1.0; // probability of reaching the current step
+    double reach_ops = 0.0;
+    double reach_pairs = 0.0;
+    GradeCost result = base;
+
+    for (int j = 0; j < steps; ++j) {
+        reach_ops += reach * (sac.ops + 1.0);
+        reach_pairs += reach * sac.pairs;
+        const PurifyOutcome out = purify({fidelity}, {sac.fidelity},
+                                         op_error);
+        reach *= out.successProbability;
+        fidelity = out.pair.fidelity;
+        qla_assert(reach > 0.0, "pump step with zero success probability");
+        result.fidelity = fidelity;
+        // Renewal: expected total = attempt cost / P(attempt succeeds).
+        result.ops = (attempt_ops + reach_ops) / reach;
+        result.pairs = (attempt_pairs + reach_pairs) / reach;
+        ladder.push_back({result.fidelity, result.ops, result.pairs});
+    }
+    return result;
+}
+
+/**
+ * Log-infidelity interpolation of expected cost at @p target between two
+ * bracketing ladder rungs; smooths the integer pump/grade staircase
+ * (physically: a mixed strategy between the two discrete schedules).
+ */
+double
+interpolate(double lo_f, double lo_v, double hi_f, double hi_v,
+            double target)
+{
+    if (hi_f <= lo_f || target <= lo_f)
+        return lo_v;
+    if (target >= hi_f)
+        return hi_v;
+    const double a = std::log(1.0 - lo_f);
+    const double b = std::log(1.0 - hi_f);
+    const double t = (a - std::log(1.0 - target)) / (a - b);
+    return lo_v * std::pow(hi_v / std::max(lo_v, 1e-12), t);
+}
+
+} // namespace
+
+double
+pumpingCeiling(double elementary_f, const PumpingConfig &config)
+{
+    double f = elementary_f;
+    for (int g = 0; g < config.maxGrades; ++g) {
+        const double next = pumpingFixedPoint(f, config.opError);
+        if (next - f < 1e-12)
+            return next;
+        f = next;
+    }
+    return f;
+}
+
+SegmentPlan
+planPumping(double elementary_f, double target_f,
+            const PumpingConfig &config)
+{
+    SegmentPlan plan;
+    WernerPair elementary{elementary_f};
+    if (!elementary.purifiable())
+        return plan; // infeasible: below the purification threshold
+
+    GradeCost current{elementary_f, 0.0, 1.0};
+    plan.finalFidelity = current.fidelity;
+    plan.expectedOpsPerEnd = 0.0;
+    plan.expectedElementaryPairs = 1.0;
+    if (current.fidelity >= target_f) {
+        plan.feasible = true;
+        return plan;
+    }
+
+    std::vector<LadderPoint> ladder;
+    ladder.push_back({current.fidelity, 0.0, 1.0});
+
+    for (int g = 0; g < config.maxGrades; ++g) {
+        const GradeCost sacrificial = current;
+        const int steps = stepsForGrade(
+            current.fidelity, sacrificial.fidelity, config.opError,
+            config.bandFraction, config.maxStepsPerGrade, target_f);
+        if (steps == 0)
+            break; // no further improvement possible
+        const GradeCost next = pumpGrade(current, sacrificial, steps,
+                                         config.opError, ladder);
+        if (next.fidelity <= current.fidelity + 1e-15)
+            break; // stalled at the operation-noise ceiling
+        plan.stepsPerGrade.push_back(steps);
+        current = next;
+        if (current.fidelity >= target_f)
+            break;
+    }
+
+    plan.finalFidelity = current.fidelity;
+    plan.expectedOpsPerEnd = current.ops;
+    plan.expectedElementaryPairs = current.pairs;
+    if (current.fidelity < target_f)
+        return plan; // infeasible: ceiling below the requirement
+    plan.feasible = true;
+
+    // Interpolate the cost at the exact target between the bracketing
+    // ladder rungs instead of charging the full final rung.
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+        if (ladder[i].fidelity >= target_f) {
+            const auto &lo = ladder[i - 1];
+            const auto &hi = ladder[i];
+            plan.expectedOpsPerEnd = interpolate(
+                lo.fidelity, lo.ops, hi.fidelity, hi.ops, target_f);
+            plan.expectedElementaryPairs = interpolate(
+                lo.fidelity, lo.pairs, hi.fidelity, hi.pairs, target_f);
+            plan.finalFidelity = target_f;
+            break;
+        }
+    }
+    return plan;
+}
+
+} // namespace qla::teleport

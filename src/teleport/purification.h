@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Nested entanglement-pumping planner for one repeater segment.
+ *
+ * Paper Section 4.2 (Figure 8): EPR pairs are created in the middle of
+ * the channel between two islands and distributed to both ends; "one pair
+ * is designated as the data EPR and is continually purified in
+ * round-robin pipeline fashion". Pumping with raw pairs saturates at a
+ * fixed point, so reaching high fidelity requires *nested* pumping:
+ * grade-g pairs are pumped with grade-(g-1) pairs (Dur et al.'s scheme).
+ *
+ * The planner chooses how many pump steps to run at each grade and
+ * accounts for the expected number of island operations and elementary
+ * pairs, including purification-failure restarts (renewal argument: the
+ * expected cost of a sequence of dependent probabilistic steps with
+ * restart-on-failure is attempt cost divided by attempt success
+ * probability).
+ */
+
+#ifndef QLA_TELEPORT_PURIFICATION_H
+#define QLA_TELEPORT_PURIFICATION_H
+
+#include <vector>
+
+#include "teleport/werner.h"
+
+namespace qla::teleport {
+
+/** Tuning for the pumping planner. */
+struct PumpingConfig
+{
+    /** Local-operation error charged per purification step. */
+    double opError = 1e-4;
+    /**
+     * Stop pumping a grade when the remaining gap to the grade's fixed
+     * point falls below this fraction of the initial gap.
+     */
+    double bandFraction = 0.25;
+    /** Cap on pump steps per grade. */
+    int maxStepsPerGrade = 24;
+    /** Cap on nesting grades. */
+    int maxGrades = 40;
+};
+
+/** Expected-cost summary for building one purified segment pair. */
+struct SegmentPlan
+{
+    bool feasible = false;
+    /** Fidelity actually reached. */
+    double finalFidelity = 0.0;
+    /** Pump steps chosen per grade (grade 1 first). */
+    std::vector<int> stepsPerGrade;
+    /**
+     * Expected purification operations executed at *each* end island to
+     * deliver one pair (a pump step costs one two-qubit gate plus one
+     * measurement at each end, in parallel across the two ends).
+     */
+    double expectedOpsPerEnd = 0.0;
+    /** Expected elementary pairs consumed from the segment channel. */
+    double expectedElementaryPairs = 1.0;
+};
+
+/**
+ * Plan nested pumping from elementary fidelity @p elementary_f up to at
+ * least @p target_f.
+ *
+ * Returns an infeasible plan when the target exceeds the operation-noise
+ * ceiling or the elementary pair is not purifiable (F <= 1/2).
+ */
+SegmentPlan planPumping(double elementary_f, double target_f,
+                        const PumpingConfig &config);
+
+/**
+ * Highest fidelity reachable by unbounded nested pumping from
+ * @p elementary_f with the given configuration (the F_max ceiling).
+ */
+double pumpingCeiling(double elementary_f, const PumpingConfig &config);
+
+} // namespace qla::teleport
+
+#endif // QLA_TELEPORT_PURIFICATION_H

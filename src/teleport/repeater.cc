@@ -1,0 +1,148 @@
+#include "teleport/repeater.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qla::teleport {
+
+RepeaterConfig
+RepeaterConfig::fromTechnology(const TechnologyParameters &tech)
+{
+    RepeaterConfig config;
+    config.purifyStepTime = tech.doubleGateTime + tech.measureTime;
+    config.swapStepTime = tech.doubleGateTime + tech.measureTime
+        + tech.singleGateTime;
+    config.pairGenerationInterval = tech.splitTime + 2.0 * tech.coolingTime;
+    config.cellTraversalTime = tech.cellTraversalTime;
+    return config;
+}
+
+RepeaterChain::RepeaterChain(RepeaterConfig config)
+    : config_(std::move(config))
+{
+    config_.pumping.opError = config_.opError;
+}
+
+double
+RepeaterChain::elementaryFidelity(Cells island_spacing) const
+{
+    WernerPair pair{1.0 - config_.creationError};
+    // The two halves travel half a segment each; the total traversed
+    // distance equals the island spacing.
+    return transportDecay(pair, island_spacing, config_.perCellError)
+        .fidelity;
+}
+
+namespace {
+
+/** Exact balanced-tree swap composition for an arbitrary segment count. */
+double
+composeTree(double segment_f, int segments, double op_error)
+{
+    if (segments <= 1)
+        return segment_f;
+    const int left = segments / 2;
+    const int right = segments - left;
+    const WernerPair a{composeTree(segment_f, left, op_error)};
+    const WernerPair b{composeTree(segment_f, right, op_error)};
+    return swapPairs(a, b, op_error).fidelity;
+}
+
+} // namespace
+
+double
+RepeaterChain::composedFidelity(double segment_f, int segments) const
+{
+    qla_assert(segments >= 1);
+    return composeTree(segment_f, segments, config_.opError);
+}
+
+double
+RepeaterChain::requiredSegmentFidelity(int segments, double ceiling) const
+{
+    const double target = 1.0 - config_.targetInfidelity;
+    if (composedFidelity(ceiling, segments) < target)
+        return -1.0; // infeasible even with the best reachable segments
+
+    double lo = 0.5;
+    double hi = ceiling;
+    for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (composedFidelity(mid, segments) >= target)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+ConnectionPlan
+RepeaterChain::plan(Cells total_cells, Cells island_spacing) const
+{
+    qla_assert(total_cells > 0 && island_spacing > 0);
+    ConnectionPlan out;
+    out.segments = static_cast<int>(
+        (total_cells + island_spacing - 1) / island_spacing);
+    out.swapLevels = out.segments <= 1
+        ? 0
+        : static_cast<int>(std::ceil(std::log2(out.segments)));
+
+    // Islands "are equipped with the capability of being used or not
+    // being used" (Section 4.2), so the scheduler balances the chain:
+    // the effective segment length is total/segments, never longer than
+    // the nominal island spacing.
+    const Cells segment_cells = (total_cells + out.segments - 1)
+        / static_cast<Cells>(out.segments);
+    const double f0 = elementaryFidelity(segment_cells);
+    if (f0 <= 0.5)
+        return out; // raw pairs below the purification threshold
+
+    const double ceiling = pumpingCeiling(f0, config_.pumping);
+    const double f_seg = requiredSegmentFidelity(out.segments, ceiling);
+    if (f_seg < 0.0)
+        return out;
+    out.requiredSegmentFidelity = f_seg;
+
+    const SegmentPlan seg = planPumping(f0, f_seg, config_.pumping);
+    if (!seg.feasible)
+        return out;
+    out.segmentPlan = seg;
+    out.elementaryPairsPerSegment = seg.expectedElementaryPairs;
+    out.finalFidelity = composedFidelity(seg.finalFidelity, out.segments);
+
+    // Interior islands purify both adjacent segments through their gate
+    // region(s); the busiest island serializes two segments' worth of
+    // pump operations.
+    const double island_share = out.segments > 1 ? 2.0 : 1.0;
+    out.opsAtBusiestIsland = island_share * seg.expectedOpsPerEnd
+        / static_cast<double>(config_.gateRegionsPerIsland);
+
+    // Purification phase: pump ops serialized at the busiest island, with
+    // elementary-pair generation pipelined on the segment channel
+    // underneath (whichever dominates).
+    const Seconds first_pair = config_.pairGenerationInterval
+        + config_.cellTraversalTime
+            * (static_cast<double>(segment_cells) / 2.0);
+    const Seconds pump_time = out.opsAtBusiestIsland
+        * config_.purifyStepTime;
+    const Seconds generation_time = seg.expectedElementaryPairs
+        * config_.pairGenerationInterval;
+    const Seconds purify_phase = first_pair
+        + std::max(pump_time, generation_time);
+
+    // Swapping phase: log2(N) rounds; each round's Bell measurements run
+    // in parallel across the active islands.
+    const Seconds swap_phase = static_cast<double>(out.swapLevels)
+        * config_.swapStepTime;
+
+    // Final teleport of the data qubit across the spanning pair.
+    const Seconds teleport_phase = config_.swapStepTime;
+
+    out.connectionTime = purify_phase + swap_phase + teleport_phase;
+    out.feasible = true;
+    return out;
+}
+
+} // namespace qla::teleport

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Repeater-chain connection model (paper Section 4.2, Figures 8 and 9).
+ *
+ * A connection between two logical qubits separated by D cells uses
+ * teleportation islands every d cells. The protocol:
+ *
+ *  (a) elementary EPR pairs are created mid-segment and distributed to
+ *      the two adjacent islands (pipelined two-way ballistic channel);
+ *  (b) each segment pair is purified by nested entanglement pumping
+ *      between its two islands only ("limiting purification to be only
+ *      between two adjacent islands");
+ *  (c) successive entanglement-swapping rounds halve the number of pairs
+ *      until one EPR pair spans source to destination (logarithmic hops),
+ *      with *no* final purification -- the segments are purified well
+ *      enough in advance;
+ *  (d) the data qubit is teleported across the spanning pair.
+ *
+ * Timing charges one two-qubit gate + one measurement per purification
+ * step, serialized per island gate region, with elementary-pair
+ * generation pipelined underneath.
+ */
+
+#ifndef QLA_TELEPORT_REPEATER_H
+#define QLA_TELEPORT_REPEATER_H
+
+#include "common/tech_params.h"
+#include "teleport/purification.h"
+
+namespace qla::teleport {
+
+/** Physical and protocol parameters for the interconnect model. */
+struct RepeaterConfig
+{
+    /**
+     * Per-cell depolarization of an EPR half in transit. The interconnect
+     * is provisioned for early-technology movement quality (between
+     * Table 1's Pcurrent and Pexpected); together with creationError,
+     * opError and targetInfidelity this is a calibrated reconstruction
+     * parameter -- the frozen defaults reproduce Figure 9's curve
+     * ordering, its ~0.1 s time scale, and the d=100/d=350 crossover
+     * near 6000 cells. See EXPERIMENTS.md experiment E3.
+     */
+    double perCellError = 3e-4;
+    /** Infidelity of a freshly created EPR pair. */
+    double creationError = 2e-3;
+    /** Local-operation error per purification / swap step. */
+    double opError = 1.5e-4;
+    /** Required end-to-end infidelity of the spanning EPR pair. */
+    double targetInfidelity = 0.12;
+    /** Purification step: one two-qubit gate + one readout. */
+    Seconds purifyStepTime = units::microseconds(110.0);
+    /** Swap step: Bell measurement + classical relay + Pauli fix-up. */
+    Seconds swapStepTime = units::microseconds(111.0);
+    /** Serial generation interval of elementary pairs per channel. */
+    Seconds pairGenerationInterval = units::microseconds(12.0);
+    /** Gate regions per island (purification serialization factor). */
+    int gateRegionsPerIsland = 1;
+    /** Per-cell ballistic traversal time. */
+    Seconds cellTraversalTime = units::microseconds(0.01);
+    /** Pumping planner tuning (opError is copied in automatically). */
+    PumpingConfig pumping;
+
+    /** Defaults consistent with a TechnologyParameters instance. */
+    static RepeaterConfig fromTechnology(const TechnologyParameters &tech);
+};
+
+/** Outcome of planning one end-to-end connection. */
+struct ConnectionPlan
+{
+    bool feasible = false;
+    /** Total connection latency. */
+    Seconds connectionTime = 0.0;
+    /** Fidelity of the spanning pair just before the final teleport. */
+    double finalFidelity = 0.0;
+    /** Per-segment fidelity demanded by the swap-composition budget. */
+    double requiredSegmentFidelity = 0.0;
+    /** Segments in the chain. */
+    int segments = 0;
+    /** Entanglement-swapping rounds (log2 of segments, rounded up). */
+    int swapLevels = 0;
+    /** Expected purification ops serialized at the busiest island. */
+    double opsAtBusiestIsland = 0.0;
+    /** Expected elementary pairs consumed per segment. */
+    double elementaryPairsPerSegment = 0.0;
+    /** The per-segment pumping plan. */
+    SegmentPlan segmentPlan;
+};
+
+/**
+ * Plans connections over a chain of teleportation islands.
+ */
+class RepeaterChain
+{
+  public:
+    explicit RepeaterChain(RepeaterConfig config);
+
+    const RepeaterConfig &config() const { return config_; }
+
+    /**
+     * Plan a connection across @p total_cells cells with islands every
+     * @p island_spacing cells.
+     */
+    ConnectionPlan plan(Cells total_cells, Cells island_spacing) const;
+
+    /**
+     * Fidelity of the spanning pair after swapping @p segments segment
+     * pairs of fidelity @p segment_f (balanced binary tree composition
+     * with per-swap operation error).
+     */
+    double composedFidelity(double segment_f, int segments) const;
+
+    /** Elementary (post-transport) pair fidelity for a segment length. */
+    double elementaryFidelity(Cells island_spacing) const;
+
+  private:
+    /** Minimum segment fidelity meeting the end-to-end target. */
+    double requiredSegmentFidelity(int segments, double ceiling) const;
+
+    RepeaterConfig config_;
+};
+
+} // namespace qla::teleport
+
+#endif // QLA_TELEPORT_REPEATER_H

@@ -1,0 +1,68 @@
+#include "teleport/werner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qla::teleport {
+
+WernerPair
+depolarize(WernerPair pair, double p)
+{
+    qla_assert(p >= 0.0 && p <= 1.0, "bad depolarization probability ", p);
+    return {(1.0 - p) * pair.fidelity + p * 0.25};
+}
+
+WernerPair
+transportDecay(WernerPair pair, Cells cells, double per_cell_error)
+{
+    qla_assert(cells >= 0);
+    // Per-cell depolarization compounds geometrically; the fixed point is
+    // the maximally mixed state F = 1/4.
+    const double survive = std::pow(1.0 - per_cell_error,
+                                    static_cast<double>(cells));
+    return {0.25 + (pair.fidelity - 0.25) * survive};
+}
+
+PurifyOutcome
+purify(WernerPair kept, WernerPair sacrifice, double op_error)
+{
+    const double f1 = kept.fidelity;
+    const double f2 = sacrifice.fidelity;
+    const double g1 = (1.0 - f1) / 3.0;
+    const double g2 = (1.0 - f2) / 3.0;
+
+    const double p_ok = f1 * f2 + f1 * g2 + f2 * g1 + 5.0 * g1 * g2;
+    qla_assert(p_ok > 0.0, "degenerate purification step");
+    const double f_out = (f1 * f2 + g1 * g2) / p_ok;
+
+    PurifyOutcome out;
+    out.pair = depolarize({f_out}, op_error);
+    out.successProbability = std::clamp(p_ok, 0.0, 1.0);
+    return out;
+}
+
+WernerPair
+swapPairs(WernerPair a, WernerPair b, double op_error)
+{
+    const double f = a.fidelity * b.fidelity
+        + (1.0 - a.fidelity) * (1.0 - b.fidelity) / 3.0;
+    return depolarize({f}, op_error);
+}
+
+double
+pumpingFixedPoint(double sacrifice_f, double op_error)
+{
+    double f = sacrifice_f;
+    for (int i = 0; i < 4096; ++i) {
+        const double next =
+            purify({f}, {sacrifice_f}, op_error).pair.fidelity;
+        if (std::abs(next - f) < 1e-15)
+            return next;
+        f = next;
+    }
+    return f;
+}
+
+} // namespace qla::teleport

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Werner-state algebra for EPR-pair quality tracking.
+ *
+ * The repeater analysis (paper Section 4.2, citing Dur/Briegel/Cirac/
+ * Zoller and the Bennett purification protocol) models every EPR pair as
+ * a Werner state: fidelity F with the remaining 1-F spread uniformly
+ * over the other three Bell states. Three primitive maps matter:
+ *
+ *  - transport decay:        per-cell depolarization while shuttling,
+ *  - BBPSSW purification:    two pairs -> one better pair (probabilistic),
+ *  - entanglement swapping:  two pairs -> one longer pair.
+ */
+
+#ifndef QLA_TELEPORT_WERNER_H
+#define QLA_TELEPORT_WERNER_H
+
+#include "common/units.h"
+
+namespace qla::teleport {
+
+/** A Werner pair summarized by its fidelity with the ideal Bell state. */
+struct WernerPair
+{
+    double fidelity = 1.0;
+
+    /** Infidelity 1 - F. */
+    double epsilon() const { return 1.0 - fidelity; }
+
+    /** Purifiable only above fidelity 1/2. */
+    bool purifiable() const { return fidelity > 0.5; }
+};
+
+/** Result of one BBPSSW purification step. */
+struct PurifyOutcome
+{
+    WernerPair pair;          ///< Output pair conditioned on success.
+    double successProbability; ///< Probability the step keeps the pair.
+};
+
+/**
+ * Depolarize one pair: with probability p the pair is replaced by the
+ * maximally mixed state (F -> 1/4).
+ */
+WernerPair depolarize(WernerPair pair, double p);
+
+/**
+ * Ballistic transport of pair halves over a total of @p cells cells with
+ * per-cell depolarization probability @p per_cell_error.
+ */
+WernerPair transportDecay(WernerPair pair, Cells cells,
+                          double per_cell_error);
+
+/**
+ * One BBPSSW (Bennett et al.) purification step combining a kept pair of
+ * fidelity F1 with a sacrificial pair of fidelity F2. Exact Werner-state
+ * recurrence (the generalization of Dur et al. Eq. 9 to unequal input
+ * fidelities):
+ *
+ *   p_ok = F1 F2 + [F1(1-F2) + F2(1-F1)]/3 + 5 (1-F1)(1-F2)/9
+ *   F'   = [F1 F2 + (1-F1)(1-F2)/9] / p_ok
+ *
+ * @param op_error Extra depolarization applied to the surviving pair to
+ *                 model the imperfect local gates and measurements of the
+ *                 step (Dur et al.'s imperfect-operation analysis); this
+ *                 is what caps the reachable fidelity F_max below 1.
+ */
+PurifyOutcome purify(WernerPair kept, WernerPair sacrifice,
+                     double op_error);
+
+/**
+ * Entanglement swapping of two Werner pairs sharing a middle station.
+ * Werner composition law F = F1 F2 + (1-F1)(1-F2)/3, followed by
+ * depolarization with the Bell-measurement operation error.
+ */
+WernerPair swapPairs(WernerPair a, WernerPair b, double op_error);
+
+/**
+ * Fidelity fixed point of repeated pumping with sacrificial pairs of
+ * fidelity @p sacrifice_f, with per-step operation error @p op_error.
+ * Computed by iterating the recurrence to convergence.
+ */
+double pumpingFixedPoint(double sacrifice_f, double op_error);
+
+} // namespace qla::teleport
+
+#endif // QLA_TELEPORT_WERNER_H

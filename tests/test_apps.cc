@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Application-layer tests: QCLA cost model, exhaustive quantum-adder
+ * correctness, the fault-tolerant Toffoli gadget, and the Table-2 Shor
+ * resource model against the paper's rows.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/qcla.h"
+#include "apps/shor.h"
+#include "apps/toffoli.h"
+#include "arq/executor.h"
+#include "common/rng.h"
+#include "quantum/statevector.h"
+
+using namespace qla;
+using namespace qla::apps;
+
+TEST(Qcla, PaperDepthFormula)
+{
+    // "4 log2 n Toffoli gates, 4 CNOTs and 2 NOTs".
+    EXPECT_EQ(qclaCost(128).toffoliDepth, 4u * 7u);
+    EXPECT_EQ(qclaCost(1024).toffoliDepth, 4u * 10u);
+    EXPECT_EQ(qclaCost(128).cnotDepth, 4u);
+    EXPECT_EQ(qclaCost(128).notDepth, 2u);
+}
+
+TEST(Qcla, CostsGrowMonotonically)
+{
+    std::uint64_t prev_count = 0, prev_anc = 0;
+    for (std::uint64_t n : {8u, 16u, 64u, 256u, 1024u}) {
+        const auto cost = qclaCost(n);
+        EXPECT_GT(cost.toffoliCount, prev_count);
+        EXPECT_GT(cost.ancillaQubits, prev_anc);
+        prev_count = cost.toffoliCount;
+        prev_anc = cost.ancillaQubits;
+    }
+}
+
+namespace {
+
+/** Run the ripple adder on computational inputs; returns a + b mod 2^n
+ *  and checks the a register is restored. */
+unsigned
+runAdder(std::size_t n, unsigned a, unsigned b)
+{
+    const auto circuit = rippleAdderCircuit(n);
+    quantum::StateVector psi(rippleAdderQubits(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((a >> i) & 1)
+            psi.x(i);
+        if ((b >> i) & 1)
+            psi.x(n + i);
+    }
+    Rng rng(1);
+    arq::executeOnStateVector(circuit, psi, rng);
+    unsigned sum = 0, a_out = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (psi.measureZ(n + i, rng))
+            sum |= 1u << i;
+        if (psi.measureZ(i, rng))
+            a_out |= 1u << i;
+    }
+    EXPECT_EQ(a_out, a) << "input register not restored";
+    // The carry ancilla must come back clean.
+    EXPECT_FALSE(psi.measureZ(2 * n, rng));
+    return sum;
+}
+
+class AdderExhaustiveTest
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+} // namespace
+
+TEST_P(AdderExhaustiveTest, MatchesClassicalAddition)
+{
+    const std::size_t n = GetParam();
+    const unsigned mod = 1u << n;
+    for (unsigned a = 0; a < mod; ++a)
+        for (unsigned b = 0; b < mod; ++b)
+            ASSERT_EQ(runAdder(n, a, b), (a + b) % mod)
+                << a << " + " << b << " (n=" << n << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderExhaustiveTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(Adder, SuperposedInputAddsCoherently)
+{
+    // |+>|1> on 1 bit: the sum register becomes entangled correctly:
+    // (|0,1> + |1,0>)/sqrt 2 after adding.
+    const auto circuit = rippleAdderCircuit(1);
+    quantum::StateVector psi(3);
+    psi.h(0);    // a in superposition
+    psi.x(1);    // b = 1
+    Rng rng(2);
+    arq::executeOnStateVector(circuit, psi, rng);
+    // Measuring a then b must satisfy b = (a + 1) mod 2.
+    const bool a = psi.measureZ(0, rng);
+    const bool b = psi.measureZ(1, rng);
+    EXPECT_EQ(b, !a);
+}
+
+TEST(Toffoli, GadgetNumbers)
+{
+    const ToffoliGadget gadget;
+    EXPECT_EQ(gadget.ancillaQubits, 6u);
+    EXPECT_EQ(gadget.prepEccSteps, 15u);
+    EXPECT_EQ(gadget.finishEccSteps, 6u);
+    EXPECT_EQ(gadget.eccStepsPerGate(), 21u);
+    EXPECT_EQ(gadget.totalQubits(), 9u);
+    EXPECT_NEAR(gadget.latency(0.043), 21 * 0.043, 1e-12);
+}
+
+TEST(Shor, LogicalQubitsMatchPaperExactly)
+{
+    const ShorResourceModel model;
+    for (const auto &row : paperTable2())
+        EXPECT_EQ(model.logicalQubits(row.bits), row.logicalQubits)
+            << "N=" << row.bits;
+}
+
+TEST(Shor, ToffoliCountsWithinQuarterPercent)
+{
+    const ShorResourceModel model;
+    for (const auto &row : paperTable2()) {
+        const double ours = static_cast<double>(
+            model.toffoliGates(row.bits));
+        const double paper = static_cast<double>(row.toffoliGates);
+        EXPECT_NEAR(ours / paper, 1.0, 0.0030) << "N=" << row.bits;
+    }
+}
+
+TEST(Shor, TotalGatesWithinTenthPercent)
+{
+    const ShorResourceModel model;
+    for (const auto &row : paperTable2()) {
+        const double ours = static_cast<double>(
+            model.totalGates(row.bits));
+        const double paper = static_cast<double>(row.totalGates);
+        EXPECT_NEAR(ours / paper, 1.0, 0.001) << "N=" << row.bits;
+    }
+}
+
+TEST(Shor, AreaMatchesPaperColumn)
+{
+    const ShorResourceModel model;
+    const arch::QlaChipModel chip;
+    for (const auto &row : paperTable2()) {
+        const auto ours = model.estimate(row.bits, chip);
+        EXPECT_NEAR(ours.areaSquareMeters, row.areaSquareMeters,
+                    0.05 * row.areaSquareMeters + 0.005)
+            << "N=" << row.bits;
+    }
+}
+
+TEST(Shor, TimeMatchesPaperColumn)
+{
+    ShorModelConfig config;
+    config.eccCycleTime = 0.043; // the paper's quoted cycle time
+    const ShorResourceModel model(config);
+    const arch::QlaChipModel chip;
+    for (const auto &row : paperTable2()) {
+        const auto ours = model.estimate(row.bits, chip);
+        EXPECT_NEAR(units::toDays(ours.expectedTime), row.timeDays,
+                    0.06 * row.timeDays + 0.05)
+            << "N=" << row.bits;
+    }
+}
+
+TEST(Shor, Shor128Narrative)
+{
+    // Section 5: 63,730 Toffolis, 21 EC steps each, +QFT = 1.34e6 EC
+    // steps; ~16 h at 0.043 s; ~21 h with 1.3 repetitions.
+    ShorModelConfig config;
+    config.eccCycleTime = 0.043;
+    const ShorResourceModel model(config);
+    const arch::QlaChipModel chip;
+    const auto row = model.estimate(128, chip);
+    EXPECT_NEAR(static_cast<double>(row.eccSteps), 1.34e6, 0.02e6);
+    EXPECT_NEAR(units::toHours(row.singleRunTime), 16.0, 1.0);
+    EXPECT_NEAR(units::toHours(row.expectedTime), 21.0, 1.5);
+}
+
+TEST(Shor, EccStepsComposition)
+{
+    const ShorResourceModel model;
+    const arch::QlaChipModel chip;
+    const auto row = model.estimate(512, chip);
+    EXPECT_EQ(row.eccSteps,
+              row.toffoliGates * 21 + model.qftEccSteps(512));
+    EXPECT_GT(row.computationSize, 0.0);
+}
+
+TEST(Shor, ScalesSuperlinearly)
+{
+    const ShorResourceModel model;
+    // Doubling N should more than double Toffoli count and qubits.
+    EXPECT_GT(model.toffoliGates(2048), 2 * model.toffoliGates(1024));
+    EXPECT_GT(model.logicalQubits(2048),
+              2 * model.logicalQubits(1024) - 1000);
+}

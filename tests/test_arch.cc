@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tile geometry and chip-level area model tests (Sections 4.2 and 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/chip.h"
+#include "arch/logical_tile.h"
+
+using namespace qla;
+using namespace qla::arch;
+
+TEST(TileGeometry, PaperDimensions)
+{
+    const TileGeometry g;
+    EXPECT_EQ(g.qubitWidth, 36);
+    EXPECT_EQ(g.qubitHeight, 147);
+    EXPECT_EQ(g.pitchX(), 47);
+    EXPECT_EQ(g.pitchY(), 159);
+}
+
+TEST(TileGeometry, QubitAreaIsTwoPointOneSquareMillimeters)
+{
+    // Section 4.2: "our qubit will have dimensions of (36 x 147) cells
+    // = 2.11 mm^2 at 20 um large on each cell side".
+    const TileGeometry g;
+    EXPECT_NEAR(g.qubitAreaSquareMillimeters(20.0), 2.11, 0.01);
+}
+
+TEST(TileGeometry, TileAreaIncludesChannels)
+{
+    const TileGeometry g;
+    const double tile = g.tileAreaSquareMeters(20.0);
+    // 47 x 159 cells x (20 um)^2 = 2.989e-6 m^2.
+    EXPECT_NEAR(tile, 2.989e-6, 0.01e-6);
+}
+
+TEST(ChipModel, HundredQubitsPerPentiumDie)
+{
+    // Section 4.2: ~100 logical qubits per 90 nm Pentium-IV die.
+    const QlaChipModel chip;
+    EXPECT_NEAR(chip.qubitsPerPentium4Die(), 100.0, 10.0);
+}
+
+TEST(ChipModel, Table2AreaColumn)
+{
+    const QlaChipModel chip;
+    // N=128 row: 37,971 qubits -> 0.11 m^2.
+    EXPECT_NEAR(chip.estimate(37971).areaSquareMeters, 0.11, 0.01);
+    // N=2048 row: 602,259 qubits -> 1.80 m^2.
+    EXPECT_NEAR(chip.estimate(602259).areaSquareMeters, 1.80, 0.02);
+}
+
+TEST(ChipModel, EdgeLengthForShor128)
+{
+    // Section 6: a 0.11 m^2 chip is ~33 cm on edge... (the paper quotes
+    // 33 cm for the 0.11 m^2 N=128 chip).
+    const QlaChipModel chip;
+    EXPECT_NEAR(chip.estimate(37971).edgeCentimeters, 33.0, 1.0);
+}
+
+TEST(ChipModel, IonCountScalesWithTiles)
+{
+    const QlaChipModel chip;
+    const auto estimate = chip.estimate(1000);
+    EXPECT_EQ(estimate.totalIons, 441000u);
+    EXPECT_EQ(estimate.tilesPerSide, 32u); // ceil(sqrt(1000))
+}
+
+TEST(LogicalTile, BuildsFigureFiveStructure)
+{
+    const auto grid = buildLogicalQubitTile();
+    EXPECT_EQ(grid.width(), 36);
+    EXPECT_EQ(grid.height(), 147);
+    // 3 conglomerations x 7 groups x 3 rows x 7 ions = 441 data-role
+    // ions plus 63 cooling ions.
+    EXPECT_EQ(grid.countIons(qccd::IonKind::Data), 441u);
+    EXPECT_EQ(grid.countIons(qccd::IonKind::Cooling), 63u);
+}
+
+TEST(LogicalTile, IonsSitOnTraversableCells)
+{
+    const auto grid = buildLogicalQubitTile();
+    for (std::size_t i = 0; i < grid.ionCount(); ++i)
+        EXPECT_TRUE(grid.isTraversable(grid.ion(i).position));
+}
+
+TEST(LogicalTile, HasBorderChannels)
+{
+    const auto grid = buildLogicalQubitTile();
+    for (Cells x = 0; x < grid.width(); ++x) {
+        EXPECT_TRUE(grid.isTraversable({x, 0}));
+        EXPECT_TRUE(grid.isTraversable({x, grid.height() - 1}));
+    }
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Logical-qubit Monte-Carlo tests (the Figure-7 engine): zero-noise
+ * sanity, scaling directions, recursion behavior around the threshold,
+ * and syndrome statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arq/monte_carlo.h"
+#include "ecc/steane.h"
+
+using namespace qla;
+using namespace qla::arq;
+
+namespace {
+
+NoiseParameters
+noiseless()
+{
+    NoiseParameters noise;
+    noise.gate1Error = 0.0;
+    noise.gate2Error = 0.0;
+    noise.measureError = 0.0;
+    noise.movementErrorPerCell = 0.0;
+    return noise;
+}
+
+} // namespace
+
+TEST(MonteCarlo, NoNoiseNoFailures)
+{
+    Rng rng(1);
+    LogicalQubitExperiment experiment(ecc::steaneCode(), noiseless());
+    ExperimentStats stats;
+    EXPECT_DOUBLE_EQ(
+        experiment.failureRate(1, 200, rng, &stats).rate(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        experiment.failureRate(2, 50, rng, &stats).rate(), 0.0);
+    // Every syndrome trivial; every preparation verifies first try.
+    EXPECT_DOUBLE_EQ(stats.nontrivialSyndrome.rate(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.prepAttempts.mean(), 1.0);
+}
+
+TEST(MonteCarlo, FailureGrowsWithNoise)
+{
+    Rng rng(2);
+    LogicalQubitExperiment low(ecc::steaneCode(),
+                               NoiseParameters::swept(1e-3));
+    LogicalQubitExperiment high(ecc::steaneCode(),
+                                NoiseParameters::swept(2e-2));
+    const double f_low = low.failureRate(1, 2000, rng).rate();
+    const double f_high = high.failureRate(1, 2000, rng).rate();
+    EXPECT_LT(f_low, f_high);
+    EXPECT_GT(f_high, 0.01);
+}
+
+TEST(MonteCarlo, RecursionHelpsBelowThreshold)
+{
+    Rng rng(3);
+    LogicalQubitExperiment experiment(ecc::steaneCode(),
+                                      NoiseParameters::swept(1e-3));
+    const double l1 = experiment.failureRate(1, 4000, rng).rate();
+    const double l2 = experiment.failureRate(2, 1000, rng).rate();
+    EXPECT_LE(l2, l1 + 0.002);
+}
+
+TEST(MonteCarlo, RecursionHurtsAboveThreshold)
+{
+    Rng rng(4);
+    LogicalQubitExperiment experiment(ecc::steaneCode(),
+                                      NoiseParameters::swept(1.2e-2));
+    const double l1 = experiment.failureRate(1, 1500, rng).rate();
+    const double l2 = experiment.failureRate(2, 800, rng).rate();
+    EXPECT_GT(l2, l1);
+}
+
+TEST(MonteCarlo, ThresholdInPaperWindow)
+{
+    // Coarse sweep; the crossing must land inside the paper's
+    // (2.1 +- 1.8)e-3 uncertainty band.
+    const auto points = thresholdSweep(
+        {1e-3, 2e-3, 3e-3, 4e-3, 6e-3}, 1500, 20050938);
+    const double pth = estimateThreshold(points);
+    EXPECT_GT(pth, 0.3e-3);
+    EXPECT_LT(pth, 5.0e-3);
+}
+
+TEST(MonteCarlo, SweptPointsAreOrderedAndBounded)
+{
+    const auto points = thresholdSweep({1e-3, 8e-3}, 400, 7);
+    ASSERT_EQ(points.size(), 2u);
+    for (const auto &point : points) {
+        EXPECT_GE(point.level1Failure, 0.0);
+        EXPECT_LE(point.level1Failure, 1.0);
+        EXPECT_GE(point.level2Failure, 0.0);
+        EXPECT_LE(point.level2Failure, 1.0);
+        EXPECT_GT(point.level1Error, 0.0);
+    }
+    EXPECT_LT(points[0].level2Failure, points[1].level2Failure);
+}
+
+TEST(MonteCarlo, SyndromeRateAtExpectedParameters)
+{
+    // Section 4.1.1: 3.35e-4 +- 0.41e-4 at level 1. Allow generous
+    // statistical slack at test-suite shot counts.
+    Rng rng(5);
+    NoiseParameters expected;
+    LogicalQubitExperiment experiment(ecc::steaneCode(), expected);
+    ExperimentStats stats;
+    experiment.failureRate(1, 12000, rng, &stats);
+    EXPECT_GT(stats.nontrivialSyndrome.rate(), 0.5e-4);
+    EXPECT_LT(stats.nontrivialSyndrome.rate(), 9e-4);
+}
+
+TEST(MonteCarlo, MovementOnlyNoiseStillTriggersSyndromes)
+{
+    // With gates and measurement perfect, syndromes come purely from
+    // ion transport -- the movement-dominated regime of the paper.
+    Rng rng(6);
+    NoiseParameters noise = noiseless();
+    noise.movementErrorPerCell = 1e-4;
+    LogicalQubitExperiment experiment(ecc::steaneCode(), noise);
+    ExperimentStats stats;
+    experiment.failureRate(1, 3000, rng, &stats);
+    EXPECT_GT(stats.nontrivialSyndrome.rate(), 1e-3);
+}
+
+TEST(MonteCarlo, VerificationRetriesUnderHeavyNoise)
+{
+    Rng rng(7);
+    LogicalQubitExperiment experiment(ecc::steaneCode(),
+                                      NoiseParameters::swept(3e-2));
+    ExperimentStats stats;
+    experiment.failureRate(1, 500, rng, &stats);
+    // Ancilla preparation must be retrying (mean attempts > 1).
+    EXPECT_GT(stats.prepAttempts.mean(), 1.02);
+}
+
+TEST(MonteCarlo, DeterministicPerSeed)
+{
+    LogicalQubitExperiment experiment(ecc::steaneCode(),
+                                      NoiseParameters::swept(5e-3));
+    Rng rng_a(11), rng_b(11);
+    const double a = experiment.failureRate(1, 500, rng_a).rate();
+    const double b = experiment.failureRate(1, 500, rng_b).rate();
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(MonteCarlo, EstimateThresholdInterpolates)
+{
+    std::vector<ThresholdPoint> points(2);
+    points[0].physicalError = 1e-3;
+    points[0].level1Failure = 0.01;
+    points[0].level2Failure = 0.005; // L2 better
+    points[1].physicalError = 3e-3;
+    points[1].level1Failure = 0.02;
+    points[1].level2Failure = 0.035; // L2 worse
+    const double pth = estimateThreshold(points);
+    EXPECT_GT(pth, 1e-3);
+    EXPECT_LT(pth, 3e-3);
+    // No crossing -> 0.
+    points[1].level2Failure = 0.01;
+    EXPECT_DOUBLE_EQ(estimateThreshold(points), 0.0);
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG, technology parameters,
+ * units.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/tech_params.h"
+#include "common/units.h"
+
+using namespace qla;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(99);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 3000; ++i) {
+        const auto v = rng.uniformInt(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values reachable
+}
+
+TEST(Rng, UniformIntIsUniform)
+{
+    Rng rng(5);
+    std::vector<int> counts(5, 0);
+    const int trials = 50000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[rng.uniformInt(5)];
+    for (int c : counts)
+        EXPECT_NEAR(c, trials / 5.0, 5.0 * std::sqrt(trials));
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(1);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.bernoulli(0.1);
+    EXPECT_NEAR(hits / static_cast<double>(trials), 0.1, 0.005);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(3);
+    Rng a = parent.split();
+    Rng b = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(TechnologyParameters, Table1ExpectedValues)
+{
+    const auto p = TechnologyParameters::expected();
+    EXPECT_DOUBLE_EQ(p.singleGateTime, 1e-6);
+    EXPECT_DOUBLE_EQ(p.doubleGateTime, 10e-6);
+    EXPECT_DOUBLE_EQ(p.measureTime, 100e-6);
+    EXPECT_DOUBLE_EQ(p.splitTime, 10e-6);
+    EXPECT_DOUBLE_EQ(p.singleGateError, 1e-8);
+    EXPECT_DOUBLE_EQ(p.doubleGateError, 1e-7);
+    EXPECT_DOUBLE_EQ(p.measureError, 1e-8);
+    EXPECT_DOUBLE_EQ(p.movementErrorPerCell, 1e-6);
+}
+
+TEST(TechnologyParameters, Table1CurrentValues)
+{
+    const auto p = TechnologyParameters::currentGeneration();
+    EXPECT_DOUBLE_EQ(p.singleGateError, 1e-4);
+    EXPECT_DOUBLE_EQ(p.doubleGateError, 0.03);
+    EXPECT_DOUBLE_EQ(p.measureError, 0.01);
+    // 0.005/um x 20 um cells.
+    EXPECT_DOUBLE_EQ(p.movementErrorPerCell, 0.1);
+}
+
+TEST(TechnologyParameters, DerivedChannelBandwidth)
+{
+    const auto p = TechnologyParameters::expected();
+    // Section 2.1: ~100 Mqbps.
+    EXPECT_NEAR(p.channelBandwidthQbps(), 1e8, 1e6);
+}
+
+TEST(TechnologyParameters, MoveTimeFormula)
+{
+    const auto p = TechnologyParameters::expected();
+    // tau + T x D (Section 2.1) plus turn charges.
+    EXPECT_DOUBLE_EQ(p.moveTime(100, 0), 10e-6 + 100 * 0.01e-6);
+    EXPECT_DOUBLE_EQ(p.moveTime(100, 2),
+                     10e-6 + 100 * 0.01e-6 + 2 * 10e-6);
+    EXPECT_DOUBLE_EQ(p.moveTime(0, 0), 0.0);
+}
+
+TEST(TechnologyParameters, MoveErrorUnionBound)
+{
+    const auto p = TechnologyParameters::expected();
+    EXPECT_DOUBLE_EQ(p.moveError(100, 1, 2), 1e-6 * 103);
+    EXPECT_DOUBLE_EQ(p.moveError(0, 0, 0), 0.0);
+    // Clamped at 1.
+    auto worst = p;
+    worst.movementErrorPerCell = 0.5;
+    EXPECT_DOUBLE_EQ(worst.moveError(100, 0, 0), 1.0);
+}
+
+TEST(TechnologyParameters, AverageComponentErrorFeedsEq2)
+{
+    // Section 4.1.2 averages the four expected rates: 2.8e-7.
+    const auto p = TechnologyParameters::expected();
+    EXPECT_NEAR(p.averageComponentError(), 2.8e-7, 1e-12);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(units::microseconds(1.0), 1e-6);
+    EXPECT_DOUBLE_EQ(units::milliseconds(1.0), 1e-3);
+    EXPECT_DOUBLE_EQ(units::nanoseconds(10.0), 1e-8);
+    EXPECT_DOUBLE_EQ(units::toHours(3600.0), 1.0);
+    EXPECT_DOUBLE_EQ(units::toDays(86400.0), 1.0);
+    EXPECT_DOUBLE_EQ(units::squareMicrometersToSquareMeters(1e12), 1.0);
+}

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * CSS-code machinery tests: the Steane [[7,1,3]] and Shor [[9,1,3]]
+ * instances, lookup decoding over every correctable error, and encoder
+ * synthesis verified on the stabilizer simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "arq/executor.h"
+#include "common/rng.h"
+#include "ecc/css_code.h"
+#include "ecc/steane.h"
+#include "quantum/tableau.h"
+
+using namespace qla;
+using namespace qla::ecc;
+
+TEST(SyndromeOf, HammingColumnsNameTheQubit)
+{
+    // The Steane check matrix columns are binary 1..7, so the syndrome
+    // of a single X error on qubit i is i+1.
+    const auto &code = steaneCode();
+    for (std::size_t q = 0; q < 7; ++q) {
+        EXPECT_EQ(code.xErrorSyndrome(QubitMask{1} << q), q + 1);
+    }
+}
+
+TEST(SteaneCode, Parameters)
+{
+    const auto &code = steaneCode();
+    EXPECT_EQ(code.blockLength(), 7u);
+    EXPECT_EQ(code.logicalQubits(), 1u);
+    EXPECT_EQ(code.distance(), 3);
+    EXPECT_EQ(code.correctableErrors(), 1);
+    EXPECT_EQ(code.logicalX(), 0x7Fu);
+}
+
+class SteaneWeightOneTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SteaneWeightOneTest, CorrectsEveryWeightOneError)
+{
+    const auto &code = steaneCode();
+    const QubitMask error = QubitMask{1} << GetParam();
+    // X errors.
+    const auto sx = code.xErrorSyndrome(error);
+    EXPECT_EQ(code.xCorrection(sx), error);
+    EXPECT_FALSE(code.decodeXErrorIsLogical(error));
+    // Z errors (self-dual code: same structure).
+    const auto sz = code.zErrorSyndrome(error);
+    EXPECT_EQ(code.zCorrection(sz), error);
+    EXPECT_FALSE(code.decodeZErrorIsLogical(error));
+}
+
+INSTANTIATE_TEST_SUITE_P(Qubits, SteaneWeightOneTest,
+                         ::testing::Range(0, 7));
+
+TEST(SteaneCode, WeightTwoErrorsMisdecodeToLogical)
+{
+    // A distance-3 code cannot correct weight-2 errors: correction
+    // yields a logical operator (weight-2 pattern + weight-1 correction
+    // = weight-3 logical).
+    const auto &code = steaneCode();
+    int logical = 0, total = 0;
+    for (std::size_t a = 0; a < 7; ++a) {
+        for (std::size_t b = a + 1; b < 7; ++b) {
+            const QubitMask error = (QubitMask{1} << a)
+                | (QubitMask{1} << b);
+            logical += code.decodeXErrorIsLogical(error);
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, 21);
+    EXPECT_EQ(logical, 21); // every weight-2 X error is fatal
+}
+
+TEST(SteaneCode, StabilizerPatternsDecodeToIdentity)
+{
+    // Any product of Z-checks has zero syndrome and decodes trivially.
+    const auto &code = steaneCode();
+    for (int mask = 0; mask < 8; ++mask) {
+        QubitMask pattern = 0;
+        for (int r = 0; r < 3; ++r)
+            if (mask & (1 << r))
+                pattern ^= code.zChecks()[r];
+        EXPECT_EQ(code.xErrorSyndrome(pattern), 0u);
+        EXPECT_FALSE(code.decodeXErrorIsLogical(pattern));
+    }
+}
+
+TEST(SteaneCode, LogicalOperatorDecodesToLogical)
+{
+    const auto &code = steaneCode();
+    EXPECT_TRUE(code.decodeXErrorIsLogical(code.logicalX()));
+    EXPECT_TRUE(code.decodeZErrorIsLogical(code.logicalZ()));
+    // Logical x stabilizer is still logical.
+    EXPECT_TRUE(code.decodeXErrorIsLogical(code.logicalX()
+                                           ^ code.zChecks()[1]));
+}
+
+TEST(ShorCode, ParametersAndDecoding)
+{
+    const auto &code = shorCode();
+    EXPECT_EQ(code.blockLength(), 9u);
+    EXPECT_EQ(code.distance(), 3);
+    for (std::size_t q = 0; q < 9; ++q) {
+        const QubitMask error = QubitMask{1} << q;
+        // Weight-1 X errors decode without logical residue.
+        EXPECT_FALSE(code.decodeXErrorIsLogical(error));
+        EXPECT_FALSE(code.decodeZErrorIsLogical(error));
+    }
+    EXPECT_TRUE(code.decodeXErrorIsLogical(code.logicalX()));
+}
+
+namespace {
+
+/** Encode |0>_L on a tableau using the synthesized encoder circuit. */
+quantum::StabilizerTableau
+encodeZero(const CssCode &code)
+{
+    quantum::StabilizerTableau state(code.blockLength());
+    Rng rng(1);
+    arq::executeOnTableau(code.zeroEncoderCircuit(), state, rng);
+    return state;
+}
+
+/** PauliString of one type over a support mask. */
+quantum::PauliString
+maskOperator(std::size_t n, QubitMask mask, quantum::Pauli p)
+{
+    quantum::PauliString op(n);
+    for (std::size_t q = 0; q < n; ++q)
+        if (mask & (QubitMask{1} << q))
+            op.set(q, p);
+    return op;
+}
+
+} // namespace
+
+class EncoderTest : public ::testing::TestWithParam<const CssCode *>
+{
+};
+
+TEST_P(EncoderTest, ZeroEncoderStabilizesAllChecks)
+{
+    const CssCode &code = *GetParam();
+    auto state = encodeZero(code);
+    const std::size_t n = code.blockLength();
+
+    // +1 eigenstate of every X-type and Z-type check...
+    for (QubitMask row : code.xChecks()) {
+        const auto v = state.deterministicValue(
+            maskOperator(n, row, quantum::Pauli::X));
+        ASSERT_TRUE(v.has_value()) << code.name();
+        EXPECT_FALSE(*v) << code.name();
+    }
+    for (QubitMask row : code.zChecks()) {
+        const auto v = state.deterministicValue(
+            maskOperator(n, row, quantum::Pauli::Z));
+        ASSERT_TRUE(v.has_value()) << code.name();
+        EXPECT_FALSE(*v) << code.name();
+    }
+    // ...and of logical Z (it is |0>_L), while logical X is random.
+    const auto lz = state.deterministicValue(
+        maskOperator(n, code.logicalZ(), quantum::Pauli::Z));
+    ASSERT_TRUE(lz.has_value());
+    EXPECT_FALSE(*lz);
+    EXPECT_FALSE(state
+                     .deterministicValue(maskOperator(
+                         n, code.logicalX(), quantum::Pauli::X))
+                     .has_value());
+}
+
+TEST_P(EncoderTest, EncoderLayersAreConflictFree)
+{
+    const CssCode &code = *GetParam();
+    const auto &sched = code.zeroEncoder();
+    ASSERT_EQ(sched.cnots.size(), sched.cnotLayers.size());
+    for (std::size_t i = 0; i < sched.cnots.size(); ++i) {
+        for (std::size_t j = i + 1; j < sched.cnots.size(); ++j) {
+            if (sched.cnotLayers[i] != sched.cnotLayers[j])
+                continue;
+            const auto &a = sched.cnots[i];
+            const auto &b = sched.cnots[j];
+            EXPECT_TRUE(a.first != b.first && a.first != b.second
+                        && a.second != b.first && a.second != b.second)
+                << "layer conflict in " << code.name();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, EncoderTest,
+                         ::testing::Values(&steaneCode(), &shorCode()));
+
+TEST(Encoder, SteaneDepthIsThree)
+{
+    // Max pivot/target degree is 3, so the edge coloring reaches it.
+    EXPECT_EQ(steaneCode().zeroEncoder().depth, 3u);
+    EXPECT_EQ(steaneCode().zeroEncoder().cnots.size(), 9u);
+    EXPECT_EQ(steaneCode().zeroEncoder().pivots.size(), 3u);
+}
+
+TEST(Encoder, TransversalHMakesPlusState)
+{
+    // Self-dual Steane: transversal H maps |0>_L to |+>_L (logical X
+    // becomes the +1 eigenoperator).
+    auto state = encodeZero(steaneCode());
+    for (std::size_t q = 0; q < 7; ++q)
+        state.h(q);
+    const auto lx = state.deterministicValue(
+        maskOperator(7, steaneCode().logicalX(), quantum::Pauli::X));
+    ASSERT_TRUE(lx.has_value());
+    EXPECT_FALSE(*lx);
+}
+
+TEST(Encoder, EncodedErrorsShowTheRightSyndrome)
+{
+    // Inject X on qubit 3 of an encoded state; measuring the Z-checks
+    // must reproduce the lookup syndrome.
+    const auto &code = steaneCode();
+    auto state = encodeZero(code);
+    state.x(3);
+    std::uint32_t syndrome = 0;
+    for (std::size_t r = 0; r < code.zChecks().size(); ++r) {
+        const auto v = state.deterministicValue(
+            maskOperator(7, code.zChecks()[r], quantum::Pauli::Z));
+        ASSERT_TRUE(v.has_value());
+        syndrome |= static_cast<std::uint32_t>(*v) << r;
+    }
+    EXPECT_EQ(syndrome, code.xErrorSyndrome(QubitMask{1} << 3));
+    EXPECT_EQ(code.xCorrection(syndrome), QubitMask{1} << 3);
+}
+
+TEST(LookupDecoder, UnknownSyndromeReturnsZero)
+{
+    const LookupDecoder decoder({0x3}, 4, 1);
+    EXPECT_EQ(decoder.correction(0u), 0u);
+}
+
+TEST(CssCode, TileIonCounts)
+{
+    // Figure 5: 3 conglomerations x 7 groups x 21 ions = 441.
+    EXPECT_EQ(tileIonCount(steaneCode(), 2), 441u);
+    EXPECT_EQ(tileIonCount(steaneCode(), 1), 63u);
+    EXPECT_EQ(physicalQubitsAtLevel(steaneCode(), 2), 49u);
+    EXPECT_EQ(physicalQubitsAtLevel(steaneCode(), 0), 1u);
+}

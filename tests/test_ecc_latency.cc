@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Equation-1 latency model: calibration points, composition rules, and
+ * monotonicity properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/latency.h"
+#include "ecc/steane.h"
+
+using namespace qla;
+using namespace qla::ecc;
+
+namespace {
+
+EccLatencyModel
+defaultModel()
+{
+    return EccLatencyModel(steaneCode(),
+                           TechnologyParameters::expected());
+}
+
+} // namespace
+
+TEST(EccLatency, PaperCalibrationPoints)
+{
+    const auto model = defaultModel();
+    // Section 4.1.1: ~0.003 s at L1, ~0.008 s L2 prep, ~0.043 s at L2.
+    EXPECT_NEAR(model.eccTime(1), 0.003, 0.0005);
+    EXPECT_NEAR(model.prepTime(2), 0.008, 0.001);
+    EXPECT_NEAR(model.eccTime(2), 0.043, 0.004);
+}
+
+TEST(EccLatency, LevelZeroIsFree)
+{
+    const auto model = defaultModel();
+    EXPECT_DOUBLE_EQ(model.eccTime(0), 0.0);
+    EXPECT_DOUBLE_EQ(model.prepTime(0), 0.0);
+}
+
+TEST(EccLatency, EquationOneTrivialBranch)
+{
+    // With zero non-trivial syndrome rate, T_ecc = 2 T_synd exactly.
+    EccLatencyConfig config;
+    config.nontrivialSyndromeRate = {0.0};
+    const EccLatencyModel model(steaneCode(),
+                                TechnologyParameters::expected(),
+                                config);
+    EXPECT_DOUBLE_EQ(model.eccTime(1), 2.0 * model.syndromeTime(1));
+    EXPECT_DOUBLE_EQ(model.eccTime(2), 2.0 * model.syndromeTime(2));
+}
+
+TEST(EccLatency, EquationOneNontrivialBranch)
+{
+    // With rate 1, T_ecc = 2(2 T_synd + T_1 + T_ecc(L-1)).
+    EccLatencyConfig config;
+    config.nontrivialSyndromeRate = {1.0};
+    const EccLatencyModel model(steaneCode(),
+                                TechnologyParameters::expected(),
+                                config);
+    EXPECT_DOUBLE_EQ(model.eccTime(1),
+                     2.0 * (2.0 * model.syndromeTime(1)
+                            + model.gateTime(1) + model.eccTime(0)));
+}
+
+TEST(EccLatency, ReadoutDominatesLevelOne)
+{
+    // Serial fluorescence readout is the paper's dominant L1 cost.
+    const auto model = defaultModel();
+    EXPECT_GT(model.blockReadoutTime(), 0.4 * model.syndromeTime(1));
+    EXPECT_DOUBLE_EQ(model.blockReadoutTime(), 7 * 100e-6);
+    EXPECT_DOUBLE_EQ(model.syndromeReadoutTime(2), 49 * 100e-6);
+}
+
+TEST(EccLatency, MoreMeasurementPortsShrinkLatency)
+{
+    EccLatencyConfig fast;
+    fast.measurementPortsPerBlock = 7;
+    fast.serializeConglomerationReadout = false;
+    const EccLatencyModel parallel(steaneCode(),
+                                   TechnologyParameters::expected(),
+                                   fast);
+    const auto serial = defaultModel();
+    EXPECT_LT(parallel.eccTime(1), serial.eccTime(1));
+    EXPECT_LT(parallel.eccTime(2), 0.5 * serial.eccTime(2));
+}
+
+TEST(EccLatency, LatencyGrowsWithDistanceAndTurns)
+{
+    EccLatencyConfig far;
+    far.interBlockCells = 120;
+    const EccLatencyModel distant(steaneCode(),
+                                  TechnologyParameters::expected(),
+                                  far);
+    EXPECT_GT(distant.eccTime(2), defaultModel().eccTime(2));
+
+    EccLatencyConfig no_turns;
+    no_turns.interBlockTurns = 0;
+    const EccLatencyModel straight(steaneCode(),
+                                   TechnologyParameters::expected(),
+                                   no_turns);
+    EXPECT_LT(straight.eccTime(2), defaultModel().eccTime(2));
+}
+
+TEST(EccLatency, RecursionCostExplodesExponentially)
+{
+    const auto model = defaultModel();
+    // Each level multiplies the cost by roughly an order of magnitude
+    // (Section 4.1.2's "exponential resource and operations overhead").
+    EXPECT_GT(model.eccTime(2), 8.0 * model.eccTime(1));
+    EXPECT_GT(model.eccTime(3), 8.0 * model.eccTime(2));
+}
+
+TEST(EccLatency, VerificationRoundsAddPrepTime)
+{
+    EccLatencyConfig doubled;
+    doubled.verificationRounds = 2;
+    const EccLatencyModel model(steaneCode(),
+                                TechnologyParameters::expected(),
+                                doubled);
+    EXPECT_GT(model.prepTime(1), defaultModel().prepTime(1));
+}
+
+TEST(EccLatency, NontrivialRateLookupClamps)
+{
+    const auto model = defaultModel();
+    EXPECT_DOUBLE_EQ(model.nontrivialRate(1), 3.35e-4);
+    EXPECT_DOUBLE_EQ(model.nontrivialRate(2), 7.92e-4);
+    // Levels beyond the table reuse the last entry.
+    EXPECT_DOUBLE_EQ(model.nontrivialRate(5), 7.92e-4);
+}
+
+TEST(EccLatency, CnotStepComposition)
+{
+    const auto model = defaultModel();
+    const auto tech = TechnologyParameters::expected();
+    // Move in + gate + move back (intra-block: 3 cells, no turns).
+    EXPECT_DOUBLE_EQ(model.cnotStep(1),
+                     2.0 * tech.moveTime(3, 0) + tech.doubleGateTime);
+    // Inter-block: r = 12 cells, 2 turns.
+    EXPECT_DOUBLE_EQ(model.cnotStep(2),
+                     2.0 * tech.moveTime(12, 2) + tech.doubleGateTime);
+}
+
+TEST(EccLatency, ShorCodeIsSlower)
+{
+    const EccLatencyModel shor(shorCode(),
+                               TechnologyParameters::expected());
+    EXPECT_GT(shor.eccTime(1), defaultModel().eccTime(1));
+    EXPECT_GT(shor.eccTime(2), defaultModel().eccTime(2));
+}

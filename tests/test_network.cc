@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Island-mesh and greedy EPR-scheduler tests (Section 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/mesh.h"
+#include "network/scheduler.h"
+#include "network/workload.h"
+
+using namespace qla;
+using namespace qla::network;
+
+TEST(IslandMesh, CapacityAccounting)
+{
+    IslandMesh mesh(4, 4, 2, 10); // 20 pairs per directed link
+    EXPECT_EQ(mesh.linkCapacity(), 20u);
+    const std::vector<IslandCoord> path{{0, 0}, {1, 0}, {2, 0}};
+    EXPECT_EQ(mesh.maxReservable(path), 20u);
+    EXPECT_TRUE(mesh.reservePath(path, 15));
+    EXPECT_EQ(mesh.maxReservable(path), 5u);
+    EXPECT_FALSE(mesh.reservePath(path, 6)); // over capacity
+    EXPECT_TRUE(mesh.reservePath(path, 5));
+    EXPECT_EQ(mesh.maxReservable(path), 0u);
+}
+
+TEST(IslandMesh, DirectedLinksAreIndependent)
+{
+    IslandMesh mesh(3, 3, 1, 10);
+    const std::vector<IslandCoord> east{{0, 0}, {1, 0}};
+    const std::vector<IslandCoord> west{{1, 0}, {0, 0}};
+    EXPECT_TRUE(mesh.reservePath(east, 10));
+    // The opposite direction has its own channels.
+    EXPECT_TRUE(mesh.reservePath(west, 10));
+    EXPECT_FALSE(mesh.reservePath(east, 1));
+}
+
+TEST(IslandMesh, WindowAdvanceClearsReservations)
+{
+    IslandMesh mesh(3, 3, 1, 10);
+    const std::vector<IslandCoord> path{{0, 0}, {1, 0}};
+    EXPECT_TRUE(mesh.reservePath(path, 10));
+    mesh.advanceWindow();
+    EXPECT_EQ(mesh.maxReservable(path), 10u);
+    EXPECT_EQ(mesh.windowsElapsed(), 1u);
+}
+
+TEST(IslandMesh, UtilizationAggregation)
+{
+    IslandMesh mesh(2, 1, 1, 10); // a single east/west link pair
+    EXPECT_EQ(mesh.totalLinks(), 2u);
+    mesh.reservePath({{0, 0}, {1, 0}}, 5);
+    mesh.advanceWindow();
+    // 5 of 20 available slots used.
+    EXPECT_NEAR(mesh.aggregateUtilization(), 0.25, 1e-12);
+}
+
+TEST(IslandMesh, TrivialPathNeedsNoCapacity)
+{
+    IslandMesh mesh(2, 2, 1, 1);
+    EXPECT_TRUE(mesh.reservePath({{0, 0}}, 1000));
+    EXPECT_EQ(mesh.maxReservable({{1, 1}}), ~std::uint64_t{0});
+}
+
+TEST(Workload, GeneratesBoundedDemands)
+{
+    WorkloadConfig config;
+    config.concurrentToffolis = 4;
+    ToffoliWorkload workload(config, 8, 8, Rng(1));
+    for (int w = 0; w < 50; ++w) {
+        const auto demands = workload.nextWindow();
+        EXPECT_LE(demands.size(),
+                  static_cast<std::size_t>(
+                      config.concurrentToffolis
+                      * config.interactionsPerWindow));
+        for (const auto &demand : demands) {
+            EXPECT_GT(demand.pairs, 0u);
+            EXPECT_GE(demand.source.x, 0);
+            EXPECT_LT(demand.source.x, 8);
+            EXPECT_GE(demand.destination.y, 0);
+            EXPECT_LT(demand.destination.y, 8);
+        }
+    }
+    EXPECT_GT(workload.gatesStarted(), 4u); // replacement happened
+}
+
+TEST(Workload, DriftCoLocatesPartners)
+{
+    // With drift on, repeated interactions shrink to zero-distance
+    // demands over time; with it off every demand is a round trip.
+    WorkloadConfig drift;
+    drift.concurrentToffolis = 2;
+    drift.driftOptimization = true;
+    WorkloadConfig no_drift = drift;
+    no_drift.driftOptimization = false;
+
+    ToffoliWorkload with(drift, 8, 8, Rng(3));
+    ToffoliWorkload without(no_drift, 8, 8, Rng(3));
+    std::uint64_t with_pairs = 0, without_pairs = 0;
+    for (int w = 0; w < 40; ++w) {
+        for (const auto &d : with.nextWindow())
+            with_pairs += d.pairs;
+        for (const auto &d : without.nextWindow())
+            without_pairs += d.pairs;
+    }
+    EXPECT_LT(with_pairs, without_pairs);
+}
+
+TEST(Scheduler, SlotsPerChannelFromEcWindow)
+{
+    SchedulerConfig config;
+    const GreedyEprScheduler scheduler(config, WorkloadConfig{});
+    // 0.043 s window / 1.4 ms per purified pair ~ 30 pairs.
+    EXPECT_EQ(scheduler.slotsPerChannel(), 30u);
+}
+
+TEST(Scheduler, BandwidthTwoFullyOverlaps)
+{
+    SchedulerConfig sc;
+    sc.bandwidth = 2;
+    WorkloadConfig wc;
+    wc.totalWindows = 100;
+    const auto report = GreedyEprScheduler(sc, wc).run();
+    EXPECT_TRUE(report.fullyOverlapped());
+    // Paper: ~23% aggregate utilization.
+    EXPECT_GT(report.utilization, 0.15);
+    EXPECT_LT(report.utilization, 0.30);
+    // All but the final windows' still-pending prefetches delivered.
+    EXPECT_GE(report.pairsDelivered,
+              static_cast<std::uint64_t>(0.97 * report.pairsRequested));
+}
+
+TEST(Scheduler, BandwidthOneStallsComputation)
+{
+    SchedulerConfig sc;
+    sc.bandwidth = 1;
+    WorkloadConfig wc;
+    wc.totalWindows = 100;
+    const auto report = GreedyEprScheduler(sc, wc).run();
+    EXPECT_FALSE(report.fullyOverlapped());
+    // A 49-pair transversal interaction cannot fit in ~30 slots.
+    EXPECT_GT(report.stalledDemands, report.demands / 20);
+}
+
+TEST(Scheduler, MoreBandwidthNeverHurts)
+{
+    std::uint64_t previous_stalls = ~std::uint64_t{0};
+    for (int bandwidth : {1, 2, 4}) {
+        SchedulerConfig sc;
+        sc.bandwidth = bandwidth;
+        WorkloadConfig wc;
+        wc.totalWindows = 60;
+        const auto report = GreedyEprScheduler(sc, wc).run();
+        EXPECT_LE(report.stalledDemands, previous_stalls);
+        previous_stalls = report.stalledDemands;
+    }
+}
+
+TEST(Scheduler, BackoffReroutesHappenUnderContention)
+{
+    SchedulerConfig sc;
+    sc.bandwidth = 2;
+    WorkloadConfig wc;
+    wc.totalWindows = 100;
+    const auto report = GreedyEprScheduler(sc, wc).run();
+    // The greedy scheduler must actually exercise its backoff path.
+    EXPECT_GT(report.backoffReroutes, 0u);
+}
+
+TEST(Scheduler, DeterministicForFixedSeed)
+{
+    SchedulerConfig sc;
+    WorkloadConfig wc;
+    wc.totalWindows = 40;
+    const auto a = GreedyEprScheduler(sc, wc).run();
+    const auto b = GreedyEprScheduler(sc, wc).run();
+    EXPECT_EQ(a.pairsDelivered, b.pairsDelivered);
+    EXPECT_EQ(a.stalledDemands, b.stalledDemands);
+    EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+TEST(Scheduler, UtilizationWithinPhysicalBounds)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        SchedulerConfig sc;
+        sc.seed = seed;
+        WorkloadConfig wc;
+        wc.totalWindows = 50;
+        const auto report = GreedyEprScheduler(sc, wc).run();
+        EXPECT_GE(report.utilization, 0.0);
+        EXPECT_LE(report.utilization, 1.0);
+        EXPECT_LE(report.pairsDelivered, report.pairsRequested);
+    }
+}

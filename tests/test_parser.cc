@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Circuit text-format tests: round trips, error reporting, and executing
+ * parsed circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arq/executor.h"
+#include "circuit/builders.h"
+#include "circuit/parser.h"
+#include "common/rng.h"
+#include "quantum/tableau.h"
+
+using namespace qla;
+using namespace qla::circuit;
+
+TEST(Parser, MinimalCircuit)
+{
+    const auto result = parseCircuit("qubits 2\nh 0\ncnot 0 1\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.circuit->numQubits(), 2u);
+    EXPECT_EQ(result.circuit->size(), 2u);
+    EXPECT_EQ(result.circuit->ops()[1].kind, OpKind::Cnot);
+}
+
+TEST(Parser, CommentsAndBlankLines)
+{
+    const auto result = parseCircuit(
+        "# my circuit\n\nqubits 1\n  # indented comment\nx 0 # flip\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.circuit->size(), 1u);
+    EXPECT_EQ(result.circuit->name(), "my circuit");
+}
+
+TEST(Parser, ConditionalSuffix)
+{
+    const auto result = parseCircuit(
+        "qubits 2\nmeasure_z 0\nx 1 ? m0\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.circuit->ops()[1].condition, 0);
+}
+
+TEST(Parser, ErrorUnknownOp)
+{
+    const auto result = parseCircuit("qubits 1\nfrobnicate 0\n");
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("line 2"), std::string::npos);
+    EXPECT_NE(result.error.find("frobnicate"), std::string::npos);
+}
+
+TEST(Parser, ErrorMissingQubitsDirective)
+{
+    EXPECT_FALSE(parseCircuit("h 0\n").ok());
+    EXPECT_FALSE(parseCircuit("").ok());
+}
+
+TEST(Parser, ErrorOutOfRangeOperand)
+{
+    const auto result = parseCircuit("qubits 2\ncnot 0 2\n");
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("out of range"), std::string::npos);
+}
+
+TEST(Parser, ErrorMissingOperand)
+{
+    EXPECT_FALSE(parseCircuit("qubits 3\ntoffoli 0 1\n").ok());
+}
+
+TEST(Parser, ErrorForwardCondition)
+{
+    // Condition on a measurement that has not happened yet.
+    EXPECT_FALSE(parseCircuit("qubits 2\nx 1 ? m0\nmeasure_z 0\n").ok());
+}
+
+TEST(Parser, ErrorDuplicateQubits)
+{
+    EXPECT_FALSE(parseCircuit("qubits 2\nqubits 3\n").ok());
+}
+
+namespace {
+
+class RoundTripTest
+    : public ::testing::TestWithParam<const char *>
+{
+  public:
+    static QuantumCircuit
+    build(const std::string &which)
+    {
+        if (which == "bell")
+            return bellPair();
+        if (which == "ghz")
+            return ghz(6);
+        if (which == "teleport")
+            return teleportation();
+        return qft(5);
+    }
+};
+
+} // namespace
+
+TEST_P(RoundTripTest, SerializeParseSerialize)
+{
+    const auto original = build(GetParam());
+    const std::string text = serializeCircuit(original);
+    const auto parsed = parseCircuit(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(serializeCircuit(*parsed.circuit), text);
+    EXPECT_EQ(parsed.circuit->size(), original.size());
+    EXPECT_EQ(parsed.circuit->numQubits(), original.numQubits());
+}
+
+INSTANTIATE_TEST_SUITE_P(Builders, RoundTripTest,
+                         ::testing::Values("bell", "ghz", "teleport",
+                                           "qft"));
+
+TEST(Parser, ParsedTeleportationStillTeleports)
+{
+    const auto parsed = parseCircuit(
+        serializeCircuit(teleportation()));
+    ASSERT_TRUE(parsed.ok());
+    Rng rng(13);
+    for (int trial = 0; trial < 16; ++trial) {
+        quantum::StabilizerTableau state(3);
+        state.h(0); // teleport |+>
+        arq::executeOnTableau(*parsed.circuit, state, rng);
+        const auto x2 = state.deterministicValue(
+            quantum::PauliString::fromString("IIX"));
+        ASSERT_TRUE(x2.has_value());
+        EXPECT_FALSE(*x2);
+    }
+}

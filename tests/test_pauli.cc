@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Pauli-algebra tests: multiplication phases, commutation, parsing --
+ * including an exhaustive parameterized sweep over all single-qubit
+ * Pauli products.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "quantum/pauli.h"
+
+using namespace qla::quantum;
+
+TEST(Pauli, FromBits)
+{
+    EXPECT_EQ(pauliFromBits(false, false), Pauli::I);
+    EXPECT_EQ(pauliFromBits(true, false), Pauli::X);
+    EXPECT_EQ(pauliFromBits(false, true), Pauli::Z);
+    EXPECT_EQ(pauliFromBits(true, true), Pauli::Y);
+}
+
+TEST(PauliString, ParseAndPrintRoundTrip)
+{
+    for (const char *text : {"+XIZY", "-YYZ", "+IIII", "-X"}) {
+        EXPECT_EQ(PauliString::fromString(text).toString(), text);
+    }
+}
+
+TEST(PauliString, WeightCountsNonIdentity)
+{
+    EXPECT_EQ(PauliString::fromString("XIZYI").weight(), 3u);
+    EXPECT_EQ(PauliString(5).weight(), 0u);
+}
+
+TEST(PauliString, SignRequiresHermitian)
+{
+    auto p = PauliString::fromString("X");
+    EXPECT_EQ(p.sign(), 1);
+    p.setPhaseExponent(2);
+    EXPECT_EQ(p.sign(), -1);
+}
+
+namespace {
+
+/** Expected single-qubit product table: (a, b, result, i-exponent). */
+struct ProductCase
+{
+    const char *a;
+    const char *b;
+    const char *result_letters;
+    int phase;
+};
+
+const ProductCase kProducts[] = {
+    {"I", "I", "I", 0}, {"I", "X", "X", 0}, {"I", "Y", "Y", 0},
+    {"I", "Z", "Z", 0}, {"X", "I", "X", 0}, {"X", "X", "I", 0},
+    {"X", "Y", "Z", 1}, {"X", "Z", "Y", 3}, {"Y", "I", "Y", 0},
+    {"Y", "X", "Z", 3}, {"Y", "Y", "I", 0}, {"Y", "Z", "X", 1},
+    {"Z", "I", "Z", 0}, {"Z", "X", "Y", 1}, {"Z", "Y", "X", 3},
+    {"Z", "Z", "I", 0},
+};
+
+class PauliProductTest : public ::testing::TestWithParam<ProductCase>
+{
+};
+
+} // namespace
+
+TEST_P(PauliProductTest, SingleQubitProductTable)
+{
+    const auto &c = GetParam();
+    PauliString a = PauliString::fromString(c.a);
+    const PauliString b = PauliString::fromString(c.b);
+    a *= b;
+    EXPECT_EQ(a.at(0), PauliString::fromString(c.result_letters).at(0))
+        << c.a << " * " << c.b;
+    EXPECT_EQ(a.phaseExponent(), c.phase) << c.a << " * " << c.b;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, PauliProductTest,
+                         ::testing::ValuesIn(kProducts));
+
+TEST(PauliString, MultiQubitProductPhasesCompose)
+{
+    // (X ox Z) * (Y ox Y) = (XY) ox (ZY) = (iZ) ox (-iX) = Z ox X.
+    PauliString a = PauliString::fromString("XZ");
+    a *= PauliString::fromString("YY");
+    EXPECT_EQ(a.toString(), "+ZX");
+}
+
+TEST(PauliString, ProductIsAssociative)
+{
+    const auto a = PauliString::fromString("XYZI");
+    const auto b = PauliString::fromString("ZZXY");
+    const auto c = PauliString::fromString("YIXZ");
+    EXPECT_EQ(((a * b) * c).toString(), (a * (b * c)).toString());
+}
+
+TEST(PauliString, SelfProductIsIdentity)
+{
+    for (const char *text : {"XYZ", "ZZZZ", "YIYI"}) {
+        const auto p = PauliString::fromString(text);
+        const auto square = p * p;
+        EXPECT_EQ(square.weight(), 0u);
+        EXPECT_EQ(square.phaseExponent(), 0);
+    }
+}
+
+TEST(PauliString, CommutationRules)
+{
+    const auto x = PauliString::fromString("X");
+    const auto z = PauliString::fromString("Z");
+    const auto y = PauliString::fromString("Y");
+    EXPECT_FALSE(x.commutesWith(z));
+    EXPECT_FALSE(x.commutesWith(y));
+    EXPECT_FALSE(y.commutesWith(z));
+    EXPECT_TRUE(x.commutesWith(x));
+
+    // Two anticommuting factors make the whole strings commute.
+    EXPECT_TRUE(PauliString::fromString("XX").commutesWith(
+        PauliString::fromString("ZZ")));
+    EXPECT_FALSE(PauliString::fromString("XI").commutesWith(
+        PauliString::fromString("ZI")));
+}
+
+TEST(PauliString, CommutationMatchesProductOrder)
+{
+    // P and Q commute iff PQ == QP (including phase).
+    qla::Rng rng(17);
+    for (int trial = 0; trial < 200; ++trial) {
+        PauliString p(6), q(6);
+        for (std::size_t i = 0; i < 6; ++i) {
+            p.set(i, static_cast<Pauli>(rng.uniformInt(4)));
+            q.set(i, static_cast<Pauli>(rng.uniformInt(4)));
+        }
+        const auto pq = p * q;
+        const auto qp = q * p;
+        EXPECT_EQ(p.commutesWith(q), pq == qp);
+    }
+}
+
+TEST(PauliProductPhaseWord, MatchesScalarDefinition)
+{
+    // X*Y = iZ contributes +1 on the set bit.
+    EXPECT_EQ(pauliProductPhaseWord(1, 0, 1, 1), 1);
+    // X*Z = -iY contributes -1.
+    EXPECT_EQ(pauliProductPhaseWord(1, 0, 0, 1), -1);
+    // Parallel bits accumulate.
+    EXPECT_EQ(pauliProductPhaseWord(0b11, 0b00, 0b11, 0b11), 2);
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Pauli-frame engine tests. The load-bearing property: propagating an
+ * error frame through a Clifford circuit equals conjugating the error
+ * by the circuit -- verified against the dense reference up to global
+ * phase.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "quantum/pauli_frame.h"
+#include "quantum/random_clifford.h"
+#include "quantum/statevector.h"
+
+using namespace qla;
+using namespace qla::quantum;
+
+TEST(PauliFrame, GateRules)
+{
+    PauliFrame f(2);
+    // H swaps X and Z.
+    f.injectX(0);
+    f.h(0);
+    EXPECT_FALSE(f.xBit(0));
+    EXPECT_TRUE(f.zBit(0));
+    f.h(0);
+    EXPECT_TRUE(f.xBit(0));
+    EXPECT_FALSE(f.zBit(0));
+    // S maps X -> Y.
+    f.s(0);
+    EXPECT_EQ(f.errorAt(0), Pauli::Y);
+    // CNOT copies X to the target, Z to the control.
+    f.clear();
+    f.injectX(0);
+    f.cnot(0, 1);
+    EXPECT_EQ(f.errorAt(0), Pauli::X);
+    EXPECT_EQ(f.errorAt(1), Pauli::X);
+    f.clear();
+    f.injectZ(1);
+    f.cnot(0, 1);
+    EXPECT_EQ(f.errorAt(0), Pauli::Z);
+    EXPECT_EQ(f.errorAt(1), Pauli::Z);
+    // CZ maps X_a -> X_a Z_b.
+    f.clear();
+    f.injectX(0);
+    f.cz(0, 1);
+    EXPECT_EQ(f.errorAt(0), Pauli::X);
+    EXPECT_EQ(f.errorAt(1), Pauli::Z);
+}
+
+class FrameConjugationTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FrameConjugationTest, PropagationEqualsConjugation)
+{
+    // For error P and Clifford U: U P |0..0> must equal (up to global
+    // phase) P' U |0..0> with P' the frame-propagated error.
+    const std::size_t n = 4;
+    Rng rng(GetParam() + 5000);
+    const auto ops = randomCliffordOps(n, 40, rng);
+
+    PauliString error(n);
+    for (std::size_t q = 0; q < n; ++q)
+        error.set(q, static_cast<Pauli>(rng.uniformInt(4)));
+
+    PauliFrame frame(n);
+    for (std::size_t q = 0; q < n; ++q) {
+        frame.setXBit(q, error.xBit(q));
+        frame.setZBit(q, error.zBit(q));
+    }
+    for (const auto &op : ops) {
+        switch (op.kind) {
+          case CliffordOp::Kind::H:
+            frame.h(op.a);
+            break;
+          case CliffordOp::Kind::S:
+            frame.s(op.a);
+            break;
+          case CliffordOp::Kind::CNOT:
+            frame.cnot(op.a, op.b);
+            break;
+          case CliffordOp::Kind::CZ:
+            frame.cz(op.a, op.b);
+            break;
+          case CliffordOp::Kind::SWAP:
+            frame.swap(op.a, op.b);
+            break;
+          default:
+            frame.pauliGate(op.a); // Paulis commute through
+            break;
+        }
+    }
+
+    StateVector error_first(n);
+    error_first.applyPauli(error);
+    applyCliffordOps(error_first, ops);
+
+    StateVector frame_after(n);
+    applyCliffordOps(frame_after, ops);
+    frame_after.applyPauli(frame.toPauliString());
+
+    // Equal up to global phase: |<a|b>| = 1.
+    double overlap = error_first.fidelityWith(frame_after);
+    EXPECT_NEAR(overlap, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameConjugationTest,
+                         ::testing::Range(0, 30));
+
+TEST(PauliFrame, MeasurementFlipSemantics)
+{
+    PauliFrame f(2);
+    f.injectX(0);
+    f.injectZ(1);
+    EXPECT_TRUE(f.measureZFlip(0));  // X flips a Z measurement
+    EXPECT_FALSE(f.measureZFlip(1)); // Z does not
+    // Measurement clears the qubit's frame.
+    EXPECT_EQ(f.weight(), 0u);
+}
+
+TEST(PauliFrame, XBasisMeasurementFlips)
+{
+    PauliFrame f(1);
+    f.injectZ(0);
+    EXPECT_TRUE(f.measureXFlip(0));
+    f.injectX(0);
+    EXPECT_FALSE(f.measureXFlip(0));
+}
+
+TEST(PauliFrame, MeasurementReadoutError)
+{
+    PauliFrame f(1);
+    Rng rng(4);
+    int flips = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        flips += f.measureZFlip(0, 0.1, rng);
+    EXPECT_NEAR(flips / static_cast<double>(trials), 0.1, 0.01);
+}
+
+TEST(PauliFrame, Depolarize1Statistics)
+{
+    Rng rng(6);
+    const int trials = 30000;
+    int x = 0, y = 0, z = 0;
+    for (int i = 0; i < trials; ++i) {
+        PauliFrame f(1);
+        f.depolarize1(0, 0.3, rng);
+        switch (f.errorAt(0)) {
+          case Pauli::X:
+            ++x;
+            break;
+          case Pauli::Y:
+            ++y;
+            break;
+          case Pauli::Z:
+            ++z;
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_NEAR((x + y + z) / static_cast<double>(trials), 0.3, 0.01);
+    // Equal shares among X, Y, Z.
+    EXPECT_NEAR(x / static_cast<double>(trials), 0.1, 0.01);
+    EXPECT_NEAR(y / static_cast<double>(trials), 0.1, 0.01);
+    EXPECT_NEAR(z / static_cast<double>(trials), 0.1, 0.01);
+}
+
+TEST(PauliFrame, Depolarize2Statistics)
+{
+    Rng rng(8);
+    const int trials = 30000;
+    int nontrivial = 0;
+    int counts[16] = {0};
+    for (int i = 0; i < trials; ++i) {
+        PauliFrame f(2);
+        f.depolarize2(0, 1, 0.45, rng);
+        const int code = static_cast<int>(f.errorAt(0)) * 4
+            + static_cast<int>(f.errorAt(1));
+        ++counts[code];
+        nontrivial += code != 0;
+    }
+    EXPECT_NEAR(nontrivial / static_cast<double>(trials), 0.45, 0.015);
+    // All 15 non-identity Paulis occur with equal probability.
+    for (int code = 1; code < 16; ++code)
+        EXPECT_NEAR(counts[code] / static_cast<double>(trials),
+                    0.45 / 15.0, 0.01)
+            << "code " << code;
+}
+
+TEST(PauliFrame, ZeroProbabilityInjectsNothing)
+{
+    Rng rng(9);
+    PauliFrame f(4);
+    for (int i = 0; i < 1000; ++i) {
+        f.depolarize1(0, 0.0, rng);
+        f.depolarize2(1, 2, 0.0, rng);
+    }
+    EXPECT_EQ(f.weight(), 0u);
+}

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * QCCD layout, ballistic router (<=2 turns), channel model, and the
+ * ARQ layout mapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arq/mapper.h"
+#include "circuit/builders.h"
+#include "qccd/channel.h"
+#include "qccd/layout.h"
+#include "qccd/router.h"
+
+using namespace qla;
+using namespace qla::qccd;
+
+namespace {
+
+/** Cross-shaped test grid: channels along row 5 and column 5. */
+TrapGrid
+crossGrid()
+{
+    TrapGrid grid(11, 11);
+    grid.carveChannel({0, 5}, {10, 5});
+    grid.carveChannel({5, 0}, {5, 10});
+    return grid;
+}
+
+} // namespace
+
+TEST(TrapGrid, StartsAsElectrodes)
+{
+    TrapGrid grid(4, 4);
+    for (Cells y = 0; y < 4; ++y)
+        for (Cells x = 0; x < 4; ++x)
+            EXPECT_EQ(grid.cellType({x, y}), CellType::Electrode);
+}
+
+TEST(TrapGrid, CarveAndTraverse)
+{
+    auto grid = crossGrid();
+    EXPECT_TRUE(grid.isTraversable({0, 5}));
+    EXPECT_TRUE(grid.isTraversable({5, 0}));
+    EXPECT_FALSE(grid.isTraversable({0, 0}));
+    EXPECT_FALSE(grid.isTraversable({-1, 5})); // out of bounds
+}
+
+TEST(TrapGrid, IonRegistry)
+{
+    auto grid = crossGrid();
+    const auto id = grid.addIon(IonKind::Data, {1, 5});
+    EXPECT_EQ(grid.ion(id).position, (Coord{1, 5}));
+    grid.moveIon(id, {9, 5});
+    EXPECT_EQ(grid.ion(id).position, (Coord{9, 5}));
+    grid.addIon(IonKind::Cooling, {5, 1});
+    EXPECT_EQ(grid.countIons(IonKind::Data), 1u);
+    EXPECT_EQ(grid.countIons(IonKind::Cooling), 1u);
+}
+
+TEST(TrapGrid, AreaModel)
+{
+    TrapGrid grid(10, 10);
+    // 100 cells x (20 um)^2 = 4e-8 m^2.
+    EXPECT_NEAR(grid.areaSquareMeters(20.0), 4e-8, 1e-15);
+}
+
+TEST(Router, StraightPath)
+{
+    auto grid = crossGrid();
+    const BallisticRouter router(grid);
+    const auto plan = router.plan({0, 5}, {10, 5});
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->distance, 10);
+    EXPECT_EQ(plan->turns, 0);
+    EXPECT_EQ(plan->splits, 1);
+}
+
+TEST(Router, LShapedPathHasOneTurn)
+{
+    auto grid = crossGrid();
+    const BallisticRouter router(grid);
+    const auto plan = router.plan({0, 5}, {5, 0});
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->distance, 10); // Manhattan
+    EXPECT_EQ(plan->turns, 1);
+}
+
+TEST(Router, ZShapedPathHasTwoTurns)
+{
+    // Two horizontal corridors joined by one vertical link.
+    TrapGrid grid(11, 11);
+    grid.carveChannel({0, 2}, {10, 2});
+    grid.carveChannel({0, 8}, {10, 8});
+    grid.carveChannel({5, 2}, {5, 8});
+    const BallisticRouter router(grid);
+    const auto plan = router.plan({0, 2}, {10, 8});
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->turns, 2);
+    EXPECT_EQ(plan->distance, 16);
+}
+
+TEST(Router, NoRouteThroughElectrodes)
+{
+    TrapGrid grid(11, 11);
+    grid.carveChannel({0, 2}, {4, 2});
+    grid.carveChannel({6, 2}, {10, 2}); // gap at x=5
+    const BallisticRouter router(grid);
+    EXPECT_FALSE(router.plan({0, 2}, {10, 2}).has_value());
+}
+
+TEST(Router, TrivialMoveIsFree)
+{
+    auto grid = crossGrid();
+    const BallisticRouter router(grid);
+    const auto plan = router.plan({3, 5}, {3, 5});
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->distance, 0);
+    EXPECT_EQ(plan->splits, 0);
+    EXPECT_DOUBLE_EQ(plan->latency(TechnologyParameters::expected()),
+                     0.0);
+}
+
+TEST(Router, PlanLatencyAndError)
+{
+    auto grid = crossGrid();
+    const BallisticRouter router(grid);
+    const auto tech = TechnologyParameters::expected();
+    const auto plan = router.plan({0, 5}, {5, 0});
+    ASSERT_TRUE(plan.has_value());
+    // split + 10 cells + 1 turn.
+    EXPECT_DOUBLE_EQ(plan->latency(tech),
+                     10e-6 + 10 * 0.01e-6 + 10e-6);
+    EXPECT_DOUBLE_EQ(plan->errorProbability(tech), 1e-6 * 12);
+}
+
+class RouterPropertyTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(RouterPropertyTest, GridRoutesRespectTurnBudget)
+{
+    // Fully carved grid: every pair of cells must be routable with at
+    // most one turn and exactly Manhattan distance.
+    TrapGrid grid(9, 9);
+    for (Cells y = 0; y < 9; ++y)
+        grid.carveChannel({0, y}, {8, y});
+    const BallisticRouter router(grid);
+
+    const auto [sx, sy] = GetParam();
+    const Coord from{sx, sy};
+    for (Cells x = 0; x < 9; x += 2) {
+        for (Cells y = 0; y < 9; y += 2) {
+            const Coord to{x, y};
+            const auto plan = router.plan(from, to);
+            ASSERT_TRUE(plan.has_value());
+            EXPECT_EQ(plan->distance, from.manhattanTo(to));
+            EXPECT_LE(plan->turns, 2);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Origins, RouterPropertyTest,
+    ::testing::Values(std::pair{0, 0}, std::pair{4, 4}, std::pair{8, 0},
+                      std::pair{0, 8}, std::pair{3, 7}));
+
+TEST(Channel, PipelinedBandwidth)
+{
+    const auto tech = TechnologyParameters::expected();
+    const BallisticChannel channel(100, tech);
+    EXPECT_DOUBLE_EQ(channel.firstIonLatency(), 10e-6 + 1e-6);
+    // Split-limited injection: one ion per 10 us.
+    EXPECT_NEAR(channel.throughputQbps(1), 1e5, 1.0);
+    // With many injection ports the cell-rate limit (100 Mqbps) rules.
+    EXPECT_NEAR(channel.throughputQbps(1000), 1e8, 1.0);
+    EXPECT_DOUBLE_EQ(channel.deliveryTime(0), 0.0);
+    EXPECT_GT(channel.deliveryTime(10), channel.firstIonLatency());
+}
+
+TEST(Mapper, LinearLayoutGeometry)
+{
+    auto [grid, homes] = arq::makeLinearLayout(4, 5);
+    EXPECT_EQ(homes.size(), 4u);
+    for (const auto &home : homes)
+        EXPECT_TRUE(grid.isTraversable(home));
+    EXPECT_EQ(homes[1].x - homes[0].x, 5);
+}
+
+TEST(Mapper, ScheduleCoversAllOps)
+{
+    auto [grid, homes] = arq::makeLinearLayout(3);
+    const arq::LayoutMapper mapper(grid,
+                                   TechnologyParameters::expected(),
+                                   homes);
+    const auto schedule = mapper.map(circuit::ghz(3));
+    // prep x3 (gate1) + h + 2 x (2 moves + gate + cool).
+    EXPECT_EQ(schedule.ops.size(), 3u + 1u + 2u * 4u);
+    EXPECT_GT(schedule.makespan, 0.0);
+    EXPECT_GT(schedule.totalErrorBudget, 0.0);
+    EXPECT_EQ(schedule.totalSplits, 4); // two round trips
+}
+
+TEST(Mapper, TwoQubitOpsDominateLatency)
+{
+    auto [grid, homes] = arq::makeLinearLayout(2, 10);
+    const arq::LayoutMapper mapper(grid,
+                                   TechnologyParameters::expected(),
+                                   homes);
+    circuit::QuantumCircuit single(2);
+    single.h(0);
+    circuit::QuantumCircuit paired(2);
+    paired.cnot(0, 1);
+    EXPECT_GT(mapper.map(paired).makespan,
+              10.0 * mapper.map(single).makespan);
+}
+
+TEST(Mapper, PulseListingMentionsMoves)
+{
+    auto [grid, homes] = arq::makeLinearLayout(2);
+    const arq::LayoutMapper mapper(grid,
+                                   TechnologyParameters::expected(),
+                                   homes);
+    const auto schedule = mapper.map(circuit::bellPair());
+    const std::string text = schedule.toString();
+    EXPECT_NE(text.find("move"), std::string::npos);
+    EXPECT_NE(text.find("gate2"), std::string::npos);
+}

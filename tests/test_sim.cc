@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+
+using namespace qla;
+using namespace qla::sim;
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(3.0, [&] { order.push_back(3); });
+    queue.schedule(1.0, [&] { order.push_back(1); });
+    queue.schedule(2.0, [&] { order.push_back(2); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, FifoTieBreakAtSameTime)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        queue.schedule(1.0, [&order, i] { order.push_back(i); });
+    queue.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue queue;
+    double fired_at = -1.0;
+    queue.schedule(5.0, [&] {
+        queue.scheduleAfter(2.0, [&] { fired_at = queue.now(); });
+    });
+    queue.run();
+    EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue queue;
+    bool fired = false;
+    const EventId id = queue.schedule(1.0, [&] { fired = true; });
+    queue.cancel(id);
+    queue.run();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, HorizonStopsEarly)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(1.0, [&] { ++fired; });
+    queue.schedule(10.0, [&] { ++fired; });
+    queue.run(5.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+    queue.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue queue;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            queue.scheduleAfter(1.0, chain);
+    };
+    queue.schedule(0.0, chain);
+    queue.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(queue.executedCount(), 5u);
+}
+
+TEST(ScalarStat, MeanVarianceExtrema)
+{
+    ScalarStat stat;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(v);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(ScalarStat, EmptyIsSafe)
+{
+    ScalarStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.sem(), 0.0);
+}
+
+TEST(RateStat, PointEstimateAndInterval)
+{
+    RateStat rate;
+    for (int i = 0; i < 100; ++i)
+        rate.add(i < 25);
+    EXPECT_EQ(rate.trials(), 100u);
+    EXPECT_DOUBLE_EQ(rate.rate(), 0.25);
+    // Wilson 95% half-width for 25/100 is about 0.085.
+    EXPECT_NEAR(rate.halfWidth95(), 0.085, 0.01);
+}
+
+TEST(RateStat, ZeroSuccessesStillHaveWidth)
+{
+    RateStat rate;
+    for (int i = 0; i < 50; ++i)
+        rate.add(false);
+    EXPECT_DOUBLE_EQ(rate.rate(), 0.0);
+    EXPECT_GT(rate.halfWidth95(), 0.0);
+}

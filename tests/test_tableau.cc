@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Stabilizer-tableau tests: known-state checks, measurement semantics,
+ * structural invariants, canonical forms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "quantum/random_clifford.h"
+#include "quantum/tableau.h"
+
+using namespace qla;
+using namespace qla::quantum;
+
+TEST(Tableau, InitialStateIsAllZeros)
+{
+    StabilizerTableau t(4);
+    Rng rng(1);
+    for (std::size_t q = 0; q < 4; ++q) {
+        EXPECT_FALSE(t.isZMeasurementRandom(q));
+        EXPECT_FALSE(t.measureZ(q, rng));
+    }
+}
+
+TEST(Tableau, HadamardMakesMeasurementRandom)
+{
+    StabilizerTableau t(1);
+    t.h(0);
+    EXPECT_TRUE(t.isZMeasurementRandom(0));
+}
+
+TEST(Tableau, XFlipsMeasurement)
+{
+    StabilizerTableau t(2);
+    Rng rng(1);
+    t.x(0);
+    EXPECT_TRUE(t.measureZ(0, rng));
+    EXPECT_FALSE(t.measureZ(1, rng));
+}
+
+TEST(Tableau, MeasurementIsRepeatable)
+{
+    StabilizerTableau t(3);
+    Rng rng(5);
+    t.h(0);
+    t.h(1);
+    const bool m0 = t.measureZ(0, rng);
+    const bool m1 = t.measureZ(1, rng);
+    // Collapsed: repeated measurement is deterministic and equal.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(t.measureZ(0, rng), m0);
+        EXPECT_EQ(t.measureZ(1, rng), m1);
+    }
+}
+
+TEST(Tableau, BellPairCorrelations)
+{
+    Rng rng(42);
+    int ones = 0;
+    for (int trial = 0; trial < 64; ++trial) {
+        StabilizerTableau t(2);
+        t.h(0);
+        t.cnot(0, 1);
+        // XX and ZZ are +1 stabilizers.
+        EXPECT_EQ(t.deterministicValue(PauliString::fromString("XX")),
+                  std::optional<bool>(false));
+        EXPECT_EQ(t.deterministicValue(PauliString::fromString("ZZ")),
+                  std::optional<bool>(false));
+        // Z measurements agree and are uniformly random.
+        const bool a = t.measureZ(0, rng);
+        EXPECT_EQ(t.measureZ(1, rng), a);
+        ones += a;
+    }
+    EXPECT_GT(ones, 16);
+    EXPECT_LT(ones, 48);
+}
+
+TEST(Tableau, GhzParity)
+{
+    Rng rng(17);
+    for (int trial = 0; trial < 32; ++trial) {
+        StabilizerTableau t(5);
+        t.h(0);
+        for (std::size_t q = 1; q < 5; ++q)
+            t.cnot(q - 1, q);
+        const bool first = t.measureZ(0, rng);
+        for (std::size_t q = 1; q < 5; ++q)
+            EXPECT_EQ(t.measureZ(q, rng), first);
+    }
+}
+
+TEST(Tableau, SGateTurnsXIntoY)
+{
+    // S|+> is stabilized by Y.
+    StabilizerTableau t(1);
+    t.h(0);
+    t.s(0);
+    EXPECT_EQ(t.deterministicValue(PauliString::fromString("Y")),
+              std::optional<bool>(false));
+}
+
+TEST(Tableau, SdgIsInverseOfS)
+{
+    StabilizerTableau t(1);
+    t.h(0);
+    t.s(0);
+    t.sdg(0);
+    EXPECT_EQ(t.deterministicValue(PauliString::fromString("X")),
+              std::optional<bool>(false));
+}
+
+TEST(Tableau, CzEqualsConjugatedCnot)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 50; ++trial) {
+        Rng seed_rng(1000 + trial);
+        const auto prep = randomCliffordOps(3, 30, seed_rng);
+        StabilizerTableau a(3), b(3);
+        applyCliffordOps(a, prep);
+        applyCliffordOps(b, prep);
+        a.cz(0, 2);
+        b.h(2);
+        b.cnot(0, 2);
+        b.h(2);
+        EXPECT_EQ(a.canonicalStabilizers(), b.canonicalStabilizers());
+    }
+}
+
+TEST(Tableau, SwapMatchesThreeCnots)
+{
+    for (int trial = 0; trial < 50; ++trial) {
+        Rng seed_rng(2000 + trial);
+        const auto prep = randomCliffordOps(3, 30, seed_rng);
+        StabilizerTableau a(3), b(3);
+        applyCliffordOps(a, prep);
+        applyCliffordOps(b, prep);
+        a.swap(0, 1);
+        b.cnot(0, 1);
+        b.cnot(1, 0);
+        b.cnot(0, 1);
+        EXPECT_EQ(a.canonicalStabilizers(), b.canonicalStabilizers());
+    }
+}
+
+TEST(Tableau, YEqualsIXZUpToPhase)
+{
+    for (int trial = 0; trial < 30; ++trial) {
+        Rng seed_rng(3000 + trial);
+        const auto prep = randomCliffordOps(2, 20, seed_rng);
+        StabilizerTableau a(2), b(2);
+        applyCliffordOps(a, prep);
+        applyCliffordOps(b, prep);
+        a.y(0);
+        b.z(0);
+        b.x(0);
+        EXPECT_EQ(a.canonicalStabilizers(), b.canonicalStabilizers());
+    }
+}
+
+class TableauInvariantTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TableauInvariantTest, RandomCircuitsPreserveInvariants)
+{
+    // The destabilizer/stabilizer commutation structure must survive
+    // any gate sequence and any measurements.
+    Rng rng(GetParam());
+    StabilizerTableau t(6);
+    const auto ops = randomCliffordOps(6, 120, rng);
+    applyCliffordOps(t, ops);
+    EXPECT_TRUE(t.checkInvariants());
+    for (std::size_t q = 0; q < 6; ++q)
+        t.measureZ(q, rng);
+    EXPECT_TRUE(t.checkInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableauInvariantTest,
+                         ::testing::Range(0, 20));
+
+TEST(Tableau, MeasurePauliJointObservable)
+{
+    Rng rng(8);
+    StabilizerTableau t(2);
+    t.h(0);
+    t.cnot(0, 1);
+    // Measuring XX on a Bell pair returns its stabilizer value without
+    // disturbing ZZ.
+    EXPECT_FALSE(t.measurePauli(PauliString::fromString("XX"), rng));
+    EXPECT_EQ(t.deterministicValue(PauliString::fromString("ZZ")),
+              std::optional<bool>(false));
+}
+
+TEST(Tableau, MeasurePauliRandomThenRepeatable)
+{
+    Rng rng(9);
+    StabilizerTableau t(2);
+    // ZZ on |++> is random; once measured it is fixed.
+    t.h(0);
+    t.h(1);
+    const bool m = t.measurePauli(PauliString::fromString("ZZ"), rng);
+    EXPECT_EQ(t.measurePauli(PauliString::fromString("ZZ"), rng), m);
+    // XX was a stabilizer all along and must still be +1.
+    EXPECT_EQ(t.deterministicValue(PauliString::fromString("XX")),
+              std::optional<bool>(false));
+}
+
+TEST(Tableau, MeasureNegativePauli)
+{
+    Rng rng(10);
+    StabilizerTableau t(1);
+    // |0> satisfies (-Z) with outcome 1: (-1)^1 (-Z) = Z stabilizes.
+    EXPECT_TRUE(t.measurePauli(PauliString::fromString("-Z"), rng));
+}
+
+TEST(Tableau, ResetToZero)
+{
+    Rng rng(11);
+    StabilizerTableau t(2);
+    t.h(0);
+    t.cnot(0, 1);
+    t.resetToZero(0, rng);
+    EXPECT_FALSE(t.measureZ(0, rng));
+}
+
+TEST(Tableau, CanonicalStabilizersIdentifyEqualStates)
+{
+    // Different gate sequences preparing the same state canonicalize
+    // identically; a different state does not.
+    StabilizerTableau a(2), b(2), c(2);
+    a.h(0);
+    a.cnot(0, 1);
+    b.h(1);
+    b.cnot(1, 0);
+    c.h(0);
+    c.cnot(0, 1);
+    c.z(0); // |00> - |11>, a different Bell state
+    EXPECT_EQ(a.canonicalStabilizers(), b.canonicalStabilizers());
+    EXPECT_NE(a.canonicalStabilizers(), c.canonicalStabilizers());
+}
+
+TEST(Tableau, DeterministicValueIsNulloptWhenRandom)
+{
+    StabilizerTableau t(1);
+    t.h(0);
+    EXPECT_FALSE(t.deterministicValue(PauliString::fromString("Z"))
+                     .has_value());
+    EXPECT_TRUE(t.deterministicValue(PauliString::fromString("X"))
+                    .has_value());
+}

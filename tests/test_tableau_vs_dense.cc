@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Differential property tests: the polynomial-time stabilizer engine
+ * against the exponential dense reference, over random Clifford
+ * circuits. This is the core validation of ARQ's simulation substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "quantum/random_clifford.h"
+#include "quantum/statevector.h"
+#include "quantum/tableau.h"
+
+using namespace qla;
+using namespace qla::quantum;
+
+namespace {
+
+constexpr std::size_t kQubits = 5;
+constexpr std::size_t kDepth = 60;
+
+/** Build matched states from one random op sequence. */
+void
+buildPair(int seed, StabilizerTableau &tableau, StateVector &dense)
+{
+    Rng rng(seed);
+    const auto ops = randomCliffordOps(kQubits, kDepth, rng);
+    applyCliffordOps(tableau, ops);
+    applyCliffordOps(dense, ops);
+}
+
+class DifferentialTest : public ::testing::TestWithParam<int>
+{
+};
+
+} // namespace
+
+TEST_P(DifferentialTest, MeasurementProbabilitiesMatch)
+{
+    StabilizerTableau tableau(kQubits);
+    StateVector dense(kQubits);
+    buildPair(GetParam(), tableau, dense);
+
+    for (std::size_t q = 0; q < kQubits; ++q) {
+        const double p1 = dense.probabilityOfOne(q);
+        if (tableau.isZMeasurementRandom(q)) {
+            // Stabilizer states have only 0, 1/2, 1 marginals.
+            EXPECT_NEAR(p1, 0.5, 1e-9) << "qubit " << q;
+        } else {
+            Rng rng(1);
+            StabilizerTableau copy = tableau;
+            const bool outcome = copy.measureZ(q, rng);
+            EXPECT_NEAR(p1, outcome ? 1.0 : 0.0, 1e-9) << "qubit " << q;
+        }
+    }
+}
+
+TEST_P(DifferentialTest, PauliExpectationsMatch)
+{
+    StabilizerTableau tableau(kQubits);
+    StateVector dense(kQubits);
+    buildPair(GetParam(), tableau, dense);
+
+    Rng pauli_rng(GetParam() * 7919 + 1);
+    for (int trial = 0; trial < 24; ++trial) {
+        PauliString p(kQubits);
+        for (std::size_t q = 0; q < kQubits; ++q)
+            p.set(q, static_cast<Pauli>(pauli_rng.uniformInt(4)));
+        const double expectation = dense.expectation(p);
+        const auto det = tableau.deterministicValue(p);
+        if (det.has_value()) {
+            EXPECT_NEAR(expectation, *det ? -1.0 : 1.0, 1e-9)
+                << p.toString();
+        } else {
+            EXPECT_NEAR(expectation, 0.0, 1e-9) << p.toString();
+        }
+    }
+}
+
+TEST_P(DifferentialTest, CollapseAgreesWithSharedRandomness)
+{
+    // Measure every qubit in both engines with the same RNG stream;
+    // outcome sequences must coincide step by step (the stabilizer
+    // random branch draws one bernoulli(1/2), the dense one compares
+    // the uniform draw against p1 = 1/2).
+    StabilizerTableau tableau(kQubits);
+    StateVector dense(kQubits);
+    buildPair(GetParam(), tableau, dense);
+
+    for (std::size_t q = 0; q < kQubits; ++q) {
+        const bool random = tableau.isZMeasurementRandom(q);
+        Rng rng_t(q + 100), rng_d(q + 100);
+        const bool mt = tableau.measureZ(q, rng_t);
+        const bool md = dense.measureZ(q, rng_d);
+        if (random) {
+            // Both consumed the same draw against threshold 1/2.
+            EXPECT_EQ(mt, md) << "qubit " << q;
+        } else {
+            EXPECT_EQ(mt, md) << "qubit " << q;
+        }
+    }
+}
+
+TEST_P(DifferentialTest, NormPreserved)
+{
+    StabilizerTableau tableau(kQubits);
+    StateVector dense(kQubits);
+    buildPair(GetParam(), tableau, dense);
+    EXPECT_NEAR(dense.norm(), 1.0, 1e-9);
+    EXPECT_TRUE(tableau.checkInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range(0, 25));
+
+TEST(DenseReference, TGateBreaksStabilizerStructure)
+{
+    // Sanity check that the dense engine really covers non-Clifford
+    // territory: T|+> has X expectation 1/sqrt(2), impossible for a
+    // stabilizer state.
+    StateVector psi(1);
+    psi.h(0);
+    psi.t(0);
+    EXPECT_NEAR(psi.expectation(PauliString::fromString("X")),
+                1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(DenseReference, ToffoliTruthTable)
+{
+    Rng rng(2);
+    for (unsigned in = 0; in < 8; ++in) {
+        StateVector psi(3);
+        for (std::size_t b = 0; b < 3; ++b)
+            if ((in >> b) & 1)
+                psi.x(b);
+        psi.toffoli(0, 1, 2);
+        const unsigned expected = (in & 3) == 3 ? in ^ 4u : in;
+        unsigned out = 0;
+        for (std::size_t b = 0; b < 3; ++b)
+            if (psi.measureZ(b, rng))
+                out |= 1u << b;
+        EXPECT_EQ(out, expected) << "input " << in;
+    }
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Werner-state algebra, entanglement pumping, and the repeater-chain
+ * connection model (Figure-9 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "teleport/connection_model.h"
+#include "teleport/purification.h"
+#include "teleport/repeater.h"
+#include "teleport/werner.h"
+
+using namespace qla;
+using namespace qla::teleport;
+
+TEST(Werner, DepolarizeMovesTowardMaximallyMixed)
+{
+    EXPECT_DOUBLE_EQ(depolarize({1.0}, 0.0).fidelity, 1.0);
+    EXPECT_DOUBLE_EQ(depolarize({1.0}, 1.0).fidelity, 0.25);
+    EXPECT_NEAR(depolarize({0.8}, 0.5).fidelity, 0.525, 1e-12);
+}
+
+TEST(Werner, TransportDecayCompounds)
+{
+    const WernerPair pair{1.0};
+    const double one = transportDecay(pair, 1, 1e-3).fidelity;
+    const double two = transportDecay(pair, 2, 1e-3).fidelity;
+    EXPECT_LT(two, one);
+    // 0 cells is a no-op; the fixed point is 1/4.
+    EXPECT_DOUBLE_EQ(transportDecay(pair, 0, 1e-3).fidelity, 1.0);
+    EXPECT_NEAR(transportDecay(pair, 1000000, 1e-3).fidelity, 0.25,
+                1e-6);
+}
+
+TEST(Werner, BbpsswEqualFidelityRecurrence)
+{
+    // Classic BBPSSW values: F = 0.9 purifies to ~0.9264 with success
+    // probability ~0.8756.
+    const auto out = purify({0.9}, {0.9}, 0.0);
+    EXPECT_NEAR(out.pair.fidelity, 0.92642, 1e-4);
+    EXPECT_NEAR(out.successProbability, 0.87556, 1e-4);
+}
+
+class PurifyImprovementTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PurifyImprovementTest, ImprovesAboveOneHalf)
+{
+    const double f = GetParam();
+    const auto out = purify({f}, {f}, 0.0);
+    if (f > 0.5) {
+        EXPECT_GT(out.pair.fidelity, f);
+    } else if (f < 0.5) {
+        EXPECT_LE(out.pair.fidelity, f + 1e-12);
+    }
+    EXPECT_GT(out.successProbability, 0.0);
+    EXPECT_LE(out.successProbability, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fidelities, PurifyImprovementTest,
+                         ::testing::Values(0.3, 0.45, 0.55, 0.7, 0.85,
+                                           0.95, 0.999));
+
+TEST(Werner, OperationNoiseCapsPurification)
+{
+    // With imperfect local operations the pumping fixed point sits
+    // strictly below 1 (Dur et al.'s F_max).
+    const double fix_perfect = pumpingFixedPoint(0.9, 0.0);
+    const double fix_noisy = pumpingFixedPoint(0.9, 1e-2);
+    EXPECT_GT(fix_perfect, 0.94);
+    EXPECT_LT(fix_noisy, fix_perfect);
+    EXPECT_GT(fix_noisy, 0.9);
+}
+
+TEST(Werner, SwapComposition)
+{
+    // Perfect pairs swap perfectly; imperfect pairs degrade.
+    EXPECT_DOUBLE_EQ(swapPairs({1.0}, {1.0}, 0.0).fidelity, 1.0);
+    const double f = swapPairs({0.95}, {0.95}, 0.0).fidelity;
+    EXPECT_NEAR(f, 0.95 * 0.95 + 0.05 * 0.05 / 3.0, 1e-12);
+    EXPECT_LT(swapPairs({0.95}, {0.95}, 1e-2).fidelity, f);
+}
+
+TEST(Pumping, ReachesTargetWhenFeasible)
+{
+    PumpingConfig config;
+    config.opError = 1e-5;
+    const auto plan = planPumping(0.9, 0.99, config);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_GE(plan.finalFidelity, 0.99 - 1e-9);
+    EXPECT_GT(plan.expectedOpsPerEnd, 0.0);
+    EXPECT_GT(plan.expectedElementaryPairs, 1.0);
+    EXPECT_FALSE(plan.stepsPerGrade.empty());
+}
+
+TEST(Pumping, TrivialWhenAlreadyAboveTarget)
+{
+    PumpingConfig config;
+    const auto plan = planPumping(0.95, 0.9, config);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_DOUBLE_EQ(plan.expectedOpsPerEnd, 0.0);
+    EXPECT_DOUBLE_EQ(plan.expectedElementaryPairs, 1.0);
+}
+
+TEST(Pumping, InfeasibleBelowPurificationThreshold)
+{
+    PumpingConfig config;
+    EXPECT_FALSE(planPumping(0.45, 0.9, config).feasible);
+}
+
+TEST(Pumping, InfeasibleAboveNoiseCeiling)
+{
+    PumpingConfig config;
+    config.opError = 0.05; // ceiling far below the target
+    EXPECT_FALSE(planPumping(0.9, 0.9999, config).feasible);
+}
+
+TEST(Pumping, HarderTargetsCostMore)
+{
+    PumpingConfig config;
+    config.opError = 1e-6;
+    const auto easy = planPumping(0.9, 0.98, config);
+    const auto hard = planPumping(0.9, 0.9995, config);
+    ASSERT_TRUE(easy.feasible);
+    ASSERT_TRUE(hard.feasible);
+    EXPECT_GT(hard.expectedOpsPerEnd, easy.expectedOpsPerEnd);
+    EXPECT_GT(hard.expectedElementaryPairs,
+              easy.expectedElementaryPairs);
+}
+
+TEST(Repeater, ComposedFidelityShrinksWithSegments)
+{
+    const RepeaterChain chain{RepeaterConfig{}};
+    double previous = 1.0;
+    for (int segments : {1, 2, 4, 8, 16, 64}) {
+        const double f = chain.composedFidelity(0.995, segments);
+        EXPECT_LT(f, previous + 1e-12);
+        previous = f;
+    }
+}
+
+TEST(Repeater, PlanMeetsFidelityTarget)
+{
+    const RepeaterConfig config;
+    const RepeaterChain chain(config);
+    const auto plan = chain.plan(6000, 100);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_GE(plan.finalFidelity, 1.0 - config.targetInfidelity - 1e-6);
+    EXPECT_EQ(plan.segments, 60);
+    EXPECT_EQ(plan.swapLevels, 6);
+    EXPECT_GT(plan.connectionTime, 0.0);
+}
+
+TEST(Repeater, TimeGrowsWithDistance)
+{
+    const RepeaterChain chain{RepeaterConfig{}};
+    double previous = 0.0;
+    for (Cells distance = 2000; distance <= 20000; distance += 2000) {
+        const auto plan = chain.plan(distance, 350);
+        ASSERT_TRUE(plan.feasible) << distance;
+        EXPECT_GE(plan.connectionTime, previous - 1e-9) << distance;
+        previous = plan.connectionTime;
+    }
+}
+
+TEST(Repeater, Figure9CrossoverNearPaperValue)
+{
+    // Paper: d = 100 wins below ~6000 cells, d = 350 above.
+    const RepeaterChain chain{RepeaterConfig{}};
+    const auto crossover = crossoverDistance(chain, 100, 350, 2000,
+                                             30000, 500);
+    ASSERT_TRUE(crossover.has_value());
+    EXPECT_GE(*crossover, 4000);
+    EXPECT_LE(*crossover, 9000);
+}
+
+TEST(Repeater, SmallSeparationDiesAtLongRange)
+{
+    // d = 35 has too many segments: the per-segment budget sinks below
+    // the pumping ceiling (the Figure-9 top curve leaving the plot).
+    const RepeaterChain chain{RepeaterConfig{}};
+    EXPECT_TRUE(chain.plan(4000, 35).feasible);
+    EXPECT_FALSE(chain.plan(30000, 35).feasible);
+}
+
+TEST(Repeater, BestSeparationGrowsWithDistance)
+{
+    const RepeaterChain chain{RepeaterConfig{}};
+    const auto near = bestSeparation(chain, figure9Separations(), 3000);
+    const auto far = bestSeparation(chain, figure9Separations(), 20000);
+    ASSERT_TRUE(near.has_value());
+    ASSERT_TRUE(far.has_value());
+    EXPECT_LE(*near, *far);
+    EXPECT_EQ(*far, 350);
+}
+
+TEST(Ablation, BallisticErrorGrowsLinearly)
+{
+    const auto tech = TechnologyParameters::expected();
+    EXPECT_NEAR(ballisticErrorProbability(tech, 30000), 3e-2, 1e-5);
+    EXPECT_GT(ballisticLatency(tech, 30000),
+              ballisticLatency(tech, 100));
+}
+
+TEST(Ablation, SimplisticTeleportSaturates)
+{
+    const RepeaterConfig config;
+    const double near = simplisticTeleportInfidelity(config, 100);
+    const double far = simplisticTeleportInfidelity(config, 50000);
+    EXPECT_LT(near, 0.05);
+    EXPECT_NEAR(far, 0.75, 0.01); // maximally mixed
+}

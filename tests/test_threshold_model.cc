@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Equation-2 (Gottesman local-architecture) model tests against the
+ * paper's quoted numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/tech_params.h"
+#include "ecc/threshold.h"
+
+using namespace qla;
+using namespace qla::ecc;
+
+TEST(Equation2, PaperLevel2FailureRate)
+{
+    // Section 4.1.2: p0 = 2.8e-7, pth = 7.5e-5, r = 12 -> 1.0e-16.
+    const double p0 = TechnologyParameters::expected()
+        .averageComponentError();
+    const double pf = localGateFailureRate(2, p0,
+                                           thresholds::kTheoretical);
+    EXPECT_NEAR(pf, 1.0e-16, 0.05e-16);
+}
+
+TEST(Equation2, PaperComputationSize)
+{
+    const double p0 = 2.8e-7;
+    EXPECT_NEAR(maxComputationSize(2, p0, thresholds::kTheoretical),
+                9.9e15, 0.2e15);
+}
+
+TEST(Equation2, EmpiricalThresholdReliability)
+{
+    // "Reevaluating Equation 2 with the empirical value for pth we get
+    // an estimated level 2 reliability approaching 10^-21."
+    const double p0 = 2.8e-7;
+    const double pf = localGateFailureRate(2, p0,
+                                           thresholds::kEmpirical);
+    EXPECT_LT(pf, 1e-20);
+    EXPECT_GT(pf, 1e-22);
+}
+
+TEST(Equation2, LevelZeroIsPhysical)
+{
+    EXPECT_DOUBLE_EQ(localGateFailureRate(0, 1e-4, 7.5e-5), 1e-4);
+}
+
+TEST(Equation2, RecursionHelpsOnlyBelowThreshold)
+{
+    // Below threshold, adding a level shrinks the failure rate; above,
+    // it inflates it.
+    const double pth = thresholds::kTheoretical;
+    const double below = pth / 10.0;
+    EXPECT_LT(localGateFailureRate(2, below, pth),
+              localGateFailureRate(1, below, pth));
+    const double above = pth * 100.0;
+    EXPECT_GT(localGateFailureRate(2, above, pth),
+              localGateFailureRate(1, above, pth));
+}
+
+TEST(Equation2, MonotoneInP0)
+{
+    const double pth = thresholds::kTheoretical;
+    double previous = 0.0;
+    for (double p0 = 1e-8; p0 < 1e-5; p0 *= 10.0) {
+        const double pf = localGateFailureRate(2, p0, pth);
+        EXPECT_GT(pf, previous);
+        previous = pf;
+    }
+}
+
+TEST(Equation2, RequiredRecursionLevels)
+{
+    const double p0 = 2.8e-7;
+    const double pth = thresholds::kTheoretical;
+    // Shor-1024 scale (S = 4.4e12) needs level 2 (Section 4.1.2).
+    EXPECT_EQ(requiredRecursionLevel(4.4e12, p0, pth), 2);
+    // A trivial computation needs no encoding at all.
+    EXPECT_EQ(requiredRecursionLevel(10.0, p0, pth), 0);
+    // An absurd size within the cap is unreachable.
+    EXPECT_EQ(requiredRecursionLevel(1e300, p0, pth,
+                                     thresholds::kCommunicationDistance,
+                                     2),
+              -1);
+}
+
+TEST(Equation2, CommunicationDistanceEntersThroughThreshold)
+{
+    // In Gottesman's form P_f = (pth / r^L)(p0/pth)^(2^L), the physical
+    // penalty of a larger communication distance enters through the
+    // threshold itself: pth = 1/(c r^2). Doubling r therefore quarters
+    // pth, and the net failure rate gets *worse* despite the r^L
+    // denominator.
+    const double p0 = 2.8e-7;
+    const double c = 1.0 / (thresholds::kTheoretical * 12.0 * 12.0);
+    const double pth24 = 1.0 / (c * 24.0 * 24.0);
+    EXPECT_GT(localGateFailureRate(2, p0, pth24, 24.0),
+              localGateFailureRate(2, p0, thresholds::kTheoretical,
+                                   12.0));
+}
