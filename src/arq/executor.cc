@@ -4,18 +4,29 @@
 
 namespace qla::arq {
 
-namespace {
-
-/** Shared control flow; Backend adapts the gate calls. */
-template <typename Backend>
 ExecutionResult
-execute(const circuit::QuantumCircuit &circuit, Backend &&backend,
-        Rng &rng)
+executeOnBackend(const circuit::QuantumCircuit &circuit,
+                 quantum::SimulationBackend &backend, Rng &rng)
 {
     using circuit::OpKind;
+    qla_assert(backend.numQubits() >= circuit.numQubits(),
+               "'", backend.backendName(),
+               "' register too small for circuit");
+    if (!backend.supportsNonClifford() && !circuit.isClifford()) {
+        qla_fatal("circuit '", circuit.name(),
+                  "' contains non-Clifford ops; the '",
+                  backend.backendName(),
+                  "' backend only simulates Clifford circuits (the QLA "
+                  "cost-models T/Toffoli instead)");
+    }
     ExecutionResult result;
     for (const auto &op : circuit.ops()) {
         if (op.condition >= 0) {
+            qla_assert(!backend.reportsOutcomeFlips(),
+                       "classically conditioned ops are meaningless on "
+                       "the '", backend.backendName(),
+                       "' backend: its measurement record holds flips, "
+                       "not outcomes");
             qla_assert(static_cast<std::size_t>(op.condition)
                            < result.measurements.size(),
                        "conditioned on a not-yet-performed measurement");
@@ -24,10 +35,10 @@ execute(const circuit::QuantumCircuit &circuit, Backend &&backend,
         }
         switch (op.kind) {
           case OpKind::PrepZ:
-            backend.prepZ(op.q0, rng);
+            backend.resetToZero(op.q0, rng);
             break;
           case OpKind::PrepX:
-            backend.prepZ(op.q0, rng);
+            backend.resetToZero(op.q0, rng);
             backend.h(op.q0);
             break;
           case OpKind::H:
@@ -67,115 +78,28 @@ execute(const circuit::QuantumCircuit &circuit, Backend &&backend,
             backend.toffoli(op.q0, op.q1, op.q2);
             break;
           case OpKind::MeasureZ:
-            result.measurements.push_back(
-                backend.measureZ(op.q0, rng));
+            result.measurements.push_back(backend.measureZ(op.q0, rng));
             break;
           case OpKind::MeasureX:
-            result.measurements.push_back(
-                backend.measureX(op.q0, rng));
+            result.measurements.push_back(backend.measureX(op.q0, rng));
             break;
         }
     }
     return result;
 }
 
-struct TableauBackend
-{
-    quantum::StabilizerTableau &state;
-
-    void prepZ(std::size_t q, Rng &rng) { state.resetToZero(q, rng); }
-    void h(std::size_t q) { state.h(q); }
-    void s(std::size_t q) { state.s(q); }
-    void sdg(std::size_t q) { state.sdg(q); }
-    [[noreturn]] void
-    t(std::size_t)
-    {
-        qla_fatal("T gate is not stabilizer-simulable; use the dense "
-                  "back-end or the cost model");
-    }
-    [[noreturn]] void tdg(std::size_t) { t(0); }
-    void x(std::size_t q) { state.x(q); }
-    void y(std::size_t q) { state.y(q); }
-    void z(std::size_t q) { state.z(q); }
-    void cnot(std::size_t c, std::size_t t) { state.cnot(c, t); }
-    void cz(std::size_t a, std::size_t b) { state.cz(a, b); }
-    void swap(std::size_t a, std::size_t b) { state.swap(a, b); }
-    [[noreturn]] void
-    toffoli(std::size_t, std::size_t, std::size_t)
-    {
-        qla_fatal("Toffoli is not stabilizer-simulable; it is lowered to "
-                  "the fault-tolerant gadget cost model");
-    }
-    bool measureZ(std::size_t q, Rng &rng)
-    {
-        return state.measureZ(q, rng);
-    }
-    bool measureX(std::size_t q, Rng &rng)
-    {
-        return state.measureX(q, rng);
-    }
-};
-
-struct StateVectorBackend
-{
-    quantum::StateVector &state;
-
-    void
-    prepZ(std::size_t q, Rng &rng)
-    {
-        if (state.measureZ(q, rng))
-            state.x(q);
-    }
-    void h(std::size_t q) { state.h(q); }
-    void s(std::size_t q) { state.s(q); }
-    void sdg(std::size_t q) { state.sdg(q); }
-    void t(std::size_t q) { state.t(q); }
-    void tdg(std::size_t q) { state.tdg(q); }
-    void x(std::size_t q) { state.x(q); }
-    void y(std::size_t q) { state.y(q); }
-    void z(std::size_t q) { state.z(q); }
-    void cnot(std::size_t c, std::size_t t) { state.cnot(c, t); }
-    void cz(std::size_t a, std::size_t b) { state.cz(a, b); }
-    void swap(std::size_t a, std::size_t b) { state.swap(a, b); }
-    void
-    toffoli(std::size_t c1, std::size_t c2, std::size_t t)
-    {
-        state.toffoli(c1, c2, t);
-    }
-    bool measureZ(std::size_t q, Rng &rng)
-    {
-        return state.measureZ(q, rng);
-    }
-    bool
-    measureX(std::size_t q, Rng &rng)
-    {
-        state.h(q);
-        const bool m = state.measureZ(q, rng);
-        state.h(q);
-        return m;
-    }
-};
-
-} // namespace
-
 ExecutionResult
 executeOnTableau(const circuit::QuantumCircuit &circuit,
                  quantum::StabilizerTableau &state, Rng &rng)
 {
-    qla_assert(state.numQubits() >= circuit.numQubits(),
-               "tableau register too small for circuit");
-    TableauBackend backend{state};
-    return execute(circuit, backend, rng);
+    return executeOnBackend(circuit, state, rng);
 }
 
 ExecutionResult
 executeOnStateVector(const circuit::QuantumCircuit &circuit,
                      quantum::StateVector &state, Rng &rng)
 {
-    qla_assert(state.numQubits() >= circuit.numQubits(),
-               "state vector too small for circuit");
-    StateVectorBackend backend{state};
-    return execute(circuit, backend, rng);
+    return executeOnBackend(circuit, state, rng);
 }
 
 } // namespace qla::arq

@@ -2,11 +2,15 @@
  * @file
  * Circuit execution on the quantum back-ends.
  *
- * Runs a QuantumCircuit on either the stabilizer tableau (Clifford only,
- * polynomial cost -- ARQ's production engine) or the dense state vector
- * (any gate, exponential cost -- the validation engine). Measurement
- * outcomes are recorded in program order and drive classically
- * conditioned fix-up ops.
+ * Runs a QuantumCircuit on any quantum::SimulationBackend: the stabilizer
+ * tableau (Clifford only, polynomial cost -- ARQ's production engine),
+ * the dense state vector (any gate, exponential cost -- the validation
+ * engine), or the Pauli frame (error propagation; its measurement record
+ * holds flips relative to the ideal outcome, so circuits with classical
+ * conditioning are rejected on it). There is exactly one
+ * op-interpretation loop, executeOnBackend; the per-engine entry points
+ * are thin wrappers over it. Measurement outcomes are recorded in program
+ * order and drive classically conditioned fix-up ops.
  */
 
 #ifndef QLA_ARQ_EXECUTOR_H
@@ -16,6 +20,7 @@
 
 #include "circuit/circuit.h"
 #include "common/rng.h"
+#include "quantum/backend.h"
 #include "quantum/statevector.h"
 #include "quantum/tableau.h"
 
@@ -28,10 +33,16 @@ struct ExecutionResult
 };
 
 /**
- * Execute a Clifford circuit on a stabilizer tableau.
- * Fatal on non-Clifford ops (T / Toffoli): those are cost-modeled by the
- * QLA, not state-simulated (paper Section 1, contribution 3).
+ * Execute a circuit on any simulation backend. Non-Clifford ops
+ * (T / Toffoli) are fatal on backends that do not support them: those
+ * are cost-modeled by the QLA, not state-simulated (paper Section 1,
+ * contribution 3).
  */
+ExecutionResult executeOnBackend(const circuit::QuantumCircuit &circuit,
+                                 quantum::SimulationBackend &backend,
+                                 Rng &rng);
+
+/** Execute a Clifford circuit on a stabilizer tableau. */
 ExecutionResult executeOnTableau(const circuit::QuantumCircuit &circuit,
                                  quantum::StabilizerTableau &state,
                                  Rng &rng);

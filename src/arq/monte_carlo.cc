@@ -26,7 +26,8 @@ LogicalQubitExperiment::LogicalQubitExperiment(const ecc::CssCode &code,
                                                int max_prep_attempts)
     : code_(code), noise_(noise), layout_(layout),
       max_prep_attempts_(max_prep_attempts), n_(code.blockLength()),
-      frame_(3 * code.blockLength() * code.blockLength() * 3)
+      frame_(3 * code.blockLength() * code.blockLength() * 3),
+      engine_(frame_)
 {
     qla_assert(max_prep_attempts_ >= 1);
 }
@@ -84,21 +85,21 @@ LogicalQubitExperiment::encodeLogical(std::size_t c, std::size_t g,
     for (std::size_t pivot : sched.pivots) {
         // H on the pivot (the frame transform is trivial on a fresh
         // qubit but the gate can still fault).
-        frame_.h(ion(c, g, role, pivot));
+        engine_.h(ion(c, g, role, pivot));
         noisy1(ion(c, g, role, pivot), rng);
     }
     for (const auto &[control, target] : sched.cnots) {
         const std::size_t qc = ion(c, g, role, control);
         const std::size_t qt = ion(c, g, role, target);
         moveIon(qt, layout_.intraBlockCells, layout_.intraBlockTurns, rng);
-        frame_.cnot(qc, qt);
+        engine_.cnot(qc, qt);
         noisy2(qc, qt, rng);
         moveIon(qt, layout_.intraBlockCells, layout_.intraBlockTurns, rng);
     }
     if (plus) {
         // Transversal H turns |0>_L into |+>_L (the code is self-dual).
         for (std::size_t i = 0; i < n_; ++i) {
-            frame_.h(ion(c, g, role, i));
+            engine_.h(ion(c, g, role, i));
             noisy1(ion(c, g, role, i), rng);
         }
     }
@@ -121,9 +122,9 @@ LogicalQubitExperiment::verifyLogical(std::size_t c, std::size_t g,
         moveIon(qv, layout_.intraBlockCells, layout_.intraBlockTurns,
                 rng);
         if (plus)
-            frame_.cnot(qv, qa);
+            engine_.cnot(qv, qa);
         else
-            frame_.cnot(qa, qv);
+            engine_.cnot(qa, qv);
         noisy2(qa, qv, rng);
         moveIon(qv, layout_.intraBlockCells, layout_.intraBlockTurns,
                 rng);
@@ -174,9 +175,9 @@ LogicalQubitExperiment::extractSyndrome(std::size_t c, std::size_t g,
         moveIon(qa, layout_.interBlockCells, layout_.interBlockTurns,
                 rng);
         if (detect_x)
-            frame_.cnot(qd, qa);
+            engine_.cnot(qd, qa);
         else
-            frame_.cnot(qa, qd);
+            engine_.cnot(qa, qd);
         noisy2(qd, qa, rng);
         moveIon(qa, layout_.interBlockCells, layout_.interBlockTurns,
                 rng);
@@ -240,7 +241,7 @@ LogicalQubitExperiment::prepL2Ancilla(std::size_t c, bool plus, Rng &rng,
         // (transversal) CNOTs between blocks.
         for (std::size_t pivot : sched.pivots) {
             for (std::size_t i = 0; i < n_; ++i) {
-                frame_.h(ion(c, pivot, Role::Data, i));
+                engine_.h(ion(c, pivot, Role::Data, i));
                 noisy1(ion(c, pivot, Role::Data, i), rng);
             }
         }
@@ -250,7 +251,7 @@ LogicalQubitExperiment::prepL2Ancilla(std::size_t c, bool plus, Rng &rng,
                 const std::size_t qt = ion(c, target, Role::Data, i);
                 moveIon(qt, layout_.interBlockCells,
                         layout_.interBlockTurns, rng);
-                frame_.cnot(qc, qt);
+                engine_.cnot(qc, qt);
                 noisy2(qc, qt, rng);
                 moveIon(qt, layout_.interBlockCells,
                         layout_.interBlockTurns, rng);
@@ -260,7 +261,7 @@ LogicalQubitExperiment::prepL2Ancilla(std::size_t c, bool plus, Rng &rng,
             // Transversal H at level 2: |0>_L2 -> |+>_L2.
             for (std::size_t g = 0; g < n_; ++g) {
                 for (std::size_t i = 0; i < n_; ++i) {
-                    frame_.h(ion(c, g, Role::Data, i));
+                    engine_.h(ion(c, g, Role::Data, i));
                     noisy1(ion(c, g, Role::Data, i), rng);
                 }
             }
@@ -286,9 +287,9 @@ LogicalQubitExperiment::prepL2Ancilla(std::size_t c, bool plus, Rng &rng,
                 moveIon(qv, layout_.intraBlockCells,
                         layout_.intraBlockTurns, rng);
                 if (plus)
-                    frame_.cnot(qv, qd);
+                    engine_.cnot(qv, qd);
                 else
-                    frame_.cnot(qd, qv);
+                    engine_.cnot(qd, qv);
                 noisy2(qd, qv, rng);
                 moveIon(qv, layout_.intraBlockCells,
                         layout_.intraBlockTurns, rng);
@@ -339,9 +340,9 @@ LogicalQubitExperiment::extractSyndromeL2(bool detect_x, Rng &rng,
             moveIon(qa, layout_.interBlockCells, layout_.interBlockTurns,
                     rng);
             if (detect_x)
-                frame_.cnot(qd, qa);
+                engine_.cnot(qd, qa);
             else
-                frame_.cnot(qa, qd);
+                engine_.cnot(qa, qd);
             noisy2(qd, qa, rng);
             moveIon(qa, layout_.interBlockCells, layout_.interBlockTurns,
                     rng);

@@ -26,6 +26,7 @@
 #include "common/rng.h"
 #include "common/tech_params.h"
 #include "ecc/css_code.h"
+#include "quantum/backend.h"
 #include "quantum/pauli_frame.h"
 #include "sim/stats.h"
 
@@ -82,6 +83,12 @@ class LogicalQubitExperiment
                            NoiseParameters noise,
                            LayoutDistances layout = {},
                            int max_prep_attempts = 16);
+
+    // engine_ is bound to this object's frame_; the implicit copy would
+    // alias the source experiment's state.
+    LogicalQubitExperiment(const LogicalQubitExperiment &) = delete;
+    LogicalQubitExperiment &operator=(const LogicalQubitExperiment &)
+        = delete;
 
     /**
      * One shot of the level-@p level experiment (level 1 or 2): perfect
@@ -183,6 +190,14 @@ class LogicalQubitExperiment
     int max_prep_attempts_;
     std::size_t n_; // block length (7)
     quantum::PauliFrame frame_;
+    /**
+     * The circuit-level gates of the experiment dispatch through the
+     * unified backend interface (bound to frame_ today) so the same tile
+     * schedule can be replayed on the exact stabilizer engine for
+     * cross-validation; noise injection and flip-readout stay on the
+     * concrete frame.
+     */
+    quantum::SimulationBackend &engine_;
 };
 
 /** One point of the Figure-7 sweep. */

@@ -1,0 +1,54 @@
+#include "quantum/backend.h"
+
+#include "common/logging.h"
+
+namespace qla::quantum {
+
+void
+SimulationBackend::sdg(std::size_t q)
+{
+    // S^3 = S^dagger up to global phase.
+    s(q);
+    s(q);
+    s(q);
+}
+
+void
+SimulationBackend::t(std::size_t)
+{
+    qla_fatal("T gate is not supported by the '", backendName(),
+              "' backend; use the dense back-end or the cost model");
+}
+
+void
+SimulationBackend::tdg(std::size_t)
+{
+    qla_fatal("Tdg gate is not supported by the '", backendName(),
+              "' backend; use the dense back-end or the cost model");
+}
+
+void
+SimulationBackend::toffoli(std::size_t, std::size_t, std::size_t)
+{
+    qla_fatal("Toffoli is not supported by the '", backendName(),
+              "' backend; it is lowered to the fault-tolerant gadget "
+              "cost model");
+}
+
+bool
+SimulationBackend::measureX(std::size_t q, Rng &rng)
+{
+    h(q);
+    const bool outcome = measureZ(q, rng);
+    h(q);
+    return outcome;
+}
+
+void
+SimulationBackend::resetToZero(std::size_t q, Rng &rng)
+{
+    if (measureZ(q, rng))
+        x(q);
+}
+
+} // namespace qla::quantum

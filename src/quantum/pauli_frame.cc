@@ -9,6 +9,12 @@ PauliFrame::PauliFrame(std::size_t num_qubits)
 {
 }
 
+std::unique_ptr<SimulationBackend>
+PauliFrame::snapshot() const
+{
+    return std::make_unique<PauliFrame>(*this);
+}
+
 void
 PauliFrame::clear()
 {

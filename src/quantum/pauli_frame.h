@@ -20,37 +20,55 @@
 #define QLA_QUANTUM_PAULI_FRAME_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
+#include "quantum/backend.h"
 #include "quantum/pauli.h"
 
 namespace qla::quantum {
 
 /**
  * Error frame over n qubits plus depolarizing-noise injection helpers.
+ *
+ * As a SimulationBackend the frame follows the frame picture, not the
+ * state picture: gates transform the error frame under conjugation, and
+ * measurements report the *flip* relative to the ideal deterministic
+ * outcome (see measureZ/measureX overrides). This is exactly what the
+ * error-correction Monte Carlo consumes.
  */
-class PauliFrame
+class PauliFrame final : public SimulationBackend
 {
   public:
     explicit PauliFrame(std::size_t num_qubits);
 
-    std::size_t numQubits() const { return n_; }
+    const char *backendName() const override { return "pauli-frame"; }
+    std::size_t numQubits() const override { return n_; }
+    std::unique_ptr<SimulationBackend> snapshot() const override;
 
     /** Clear the frame (no errors anywhere). */
     void clear();
+
+    /** Backend reset == clear frame. */
+    void reset() override { clear(); }
 
     //
     // Frame transformation under ideal Clifford gates.
     //
 
-    void h(std::size_t q);
-    void s(std::size_t q);
-    void cnot(std::size_t control, std::size_t target);
-    void cz(std::size_t a, std::size_t b);
-    void swap(std::size_t a, std::size_t b);
+    void h(std::size_t q) override;
+    void s(std::size_t q) override;
+    /** S and S^dagger conjugate the frame identically. */
+    void sdg(std::size_t q) override { s(q); }
+    void cnot(std::size_t control, std::size_t target) override;
+    void cz(std::size_t a, std::size_t b) override;
+    void swap(std::size_t a, std::size_t b) override;
     /** Pauli gates commute with the frame up to phase: no-ops here. */
     void pauliGate(std::size_t) {}
+    void x(std::size_t q) override { pauliGate(q); }
+    void y(std::size_t q) override { pauliGate(q); }
+    void z(std::size_t q) override { pauliGate(q); }
 
     //
     // Error injection.
@@ -93,6 +111,29 @@ class PauliFrame
 
     /** Fresh |0> (or |+>) preparation: clears the qubit's frame. */
     void resetQubit(std::size_t q);
+
+    //
+    // SimulationBackend measurement surface, in frame semantics: the
+    // returned bit is the flip relative to the ideal outcome, and the
+    // noiseless frame draws nothing from the rng.
+    //
+
+    bool reportsOutcomeFlips() const override { return true; }
+    bool measureZ(std::size_t q, Rng &rng) override
+    {
+        (void)rng;
+        return measureZFlip(q);
+    }
+    bool measureX(std::size_t q, Rng &rng) override
+    {
+        (void)rng;
+        return measureXFlip(q);
+    }
+    void resetToZero(std::size_t q, Rng &rng) override
+    {
+        (void)rng;
+        resetQubit(q);
+    }
 
     //
     // Inspection.

@@ -20,6 +20,12 @@ StateVector::StateVector(std::size_t num_qubits)
     reset();
 }
 
+std::unique_ptr<SimulationBackend>
+StateVector::snapshot() const
+{
+    return std::make_unique<StateVector>(*this);
+}
+
 void
 StateVector::reset()
 {

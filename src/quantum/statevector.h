@@ -13,9 +13,11 @@
 
 #include <complex>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
+#include "quantum/backend.h"
 #include "quantum/pauli.h"
 
 namespace qla::quantum {
@@ -28,34 +30,38 @@ using Amplitude = std::complex<double>;
  *
  * Qubit 0 is the least-significant bit of the basis-state index.
  */
-class StateVector
+class StateVector final : public SimulationBackend
 {
   public:
     explicit StateVector(std::size_t num_qubits);
 
-    std::size_t numQubits() const { return n_; }
+    const char *backendName() const override { return "statevector"; }
+    std::size_t numQubits() const override { return n_; }
+    bool supportsNonClifford() const override { return true; }
+    std::unique_ptr<SimulationBackend> snapshot() const override;
 
     /** Reset to |0...0>. */
-    void reset();
+    void reset() override;
 
     //
     // Gates.
     //
 
-    void h(std::size_t q);
-    void x(std::size_t q);
-    void y(std::size_t q);
-    void z(std::size_t q);
-    void s(std::size_t q);
-    void sdg(std::size_t q);
-    void t(std::size_t q);
-    void tdg(std::size_t q);
+    void h(std::size_t q) override;
+    void x(std::size_t q) override;
+    void y(std::size_t q) override;
+    void z(std::size_t q) override;
+    void s(std::size_t q) override;
+    void sdg(std::size_t q) override;
+    void t(std::size_t q) override;
+    void tdg(std::size_t q) override;
     /** Z-rotation by angle theta: diag(1, e^{i theta}). */
     void phase(std::size_t q, double theta);
-    void cnot(std::size_t control, std::size_t target);
-    void cz(std::size_t a, std::size_t b);
-    void swap(std::size_t a, std::size_t b);
-    void toffoli(std::size_t c1, std::size_t c2, std::size_t target);
+    void cnot(std::size_t control, std::size_t target) override;
+    void cz(std::size_t a, std::size_t b) override;
+    void swap(std::size_t a, std::size_t b) override;
+    void toffoli(std::size_t c1, std::size_t c2,
+                 std::size_t target) override;
 
     /** Apply an arbitrary single-qubit unitary [[u00,u01],[u10,u11]]. */
     void apply1(std::size_t q, Amplitude u00, Amplitude u01, Amplitude u10,
@@ -72,7 +78,7 @@ class StateVector
     double probabilityOfOne(std::size_t q) const;
 
     /** Measure qubit @p q in the Z basis and collapse. */
-    bool measureZ(std::size_t q, Rng &rng);
+    bool measureZ(std::size_t q, Rng &rng) override;
 
     /** Expectation value <psi|P|psi> of a Hermitian Pauli string. */
     double expectation(const PauliString &p) const;

@@ -8,12 +8,18 @@
 namespace qla::quantum {
 
 StabilizerTableau::StabilizerTableau(std::size_t num_qubits)
-    : n_(num_qubits), wpr_((num_qubits + 63) / 64),
-      xs_((2 * num_qubits + 1) * wpr_, 0),
-      zs_((2 * num_qubits + 1) * wpr_, 0), r_(2 * num_qubits + 1, 0)
+    : n_(num_qubits), wpc_((2 * num_qubits + 1 + 63) / 64),
+      xs_(num_qubits * wpc_, 0), zs_(num_qubits * wpc_, 0), r_(wpc_, 0),
+      scratch_mask_(wpc_, 0), scratch_cnt1_(wpc_, 0), scratch_cnt2_(wpc_, 0)
 {
     qla_assert(num_qubits > 0, "empty register");
     reset();
+}
+
+std::unique_ptr<SimulationBackend>
+StabilizerTableau::snapshot() const
+{
+    return std::make_unique<StabilizerTableau>(*this);
 }
 
 void
@@ -23,54 +29,100 @@ StabilizerTableau::reset()
     std::fill(zs_.begin(), zs_.end(), 0);
     std::fill(r_.begin(), r_.end(), 0);
     for (std::size_t i = 0; i < n_; ++i) {
-        setXBit(i, i, true);        // destabilizer i = X_i
-        setZBit(n_ + i, i, true);   // stabilizer i = Z_i
+        setXBit(i, i, true);      // destabilizer i = X_i
+        setZBit(n_ + i, i, true); // stabilizer i = Z_i
     }
 }
 
 bool
 StabilizerTableau::xBit(std::size_t row, std::size_t col) const
 {
-    return (xs_[row * wpr_ + col / 64] >> (col % 64)) & 1ULL;
+    return (colX(col)[row >> 6] >> (row & 63)) & 1ULL;
 }
 
 bool
 StabilizerTableau::zBit(std::size_t row, std::size_t col) const
 {
-    return (zs_[row * wpr_ + col / 64] >> (col % 64)) & 1ULL;
+    return (colZ(col)[row >> 6] >> (row & 63)) & 1ULL;
 }
 
 void
 StabilizerTableau::setXBit(std::size_t row, std::size_t col, bool v)
 {
-    const std::uint64_t mask = 1ULL << (col % 64);
+    const std::uint64_t mask = 1ULL << (row & 63);
     if (v)
-        xs_[row * wpr_ + col / 64] |= mask;
+        colX(col)[row >> 6] |= mask;
     else
-        xs_[row * wpr_ + col / 64] &= ~mask;
+        colX(col)[row >> 6] &= ~mask;
 }
 
 void
 StabilizerTableau::setZBit(std::size_t row, std::size_t col, bool v)
 {
-    const std::uint64_t mask = 1ULL << (col % 64);
+    const std::uint64_t mask = 1ULL << (row & 63);
     if (v)
-        zs_[row * wpr_ + col / 64] |= mask;
+        colZ(col)[row >> 6] |= mask;
     else
-        zs_[row * wpr_ + col / 64] &= ~mask;
+        colZ(col)[row >> 6] &= ~mask;
 }
+
+bool
+StabilizerTableau::rBit(std::size_t row) const
+{
+    return (r_[row >> 6] >> (row & 63)) & 1ULL;
+}
+
+void
+StabilizerTableau::setRBit(std::size_t row, bool v)
+{
+    const std::uint64_t mask = 1ULL << (row & 63);
+    if (v)
+        r_[row >> 6] |= mask;
+    else
+        r_[row >> 6] &= ~mask;
+}
+
+std::uint64_t
+StabilizerTableau::rangeWord(std::size_t w, std::size_t lo,
+                             std::size_t hi) const
+{
+    const std::size_t base = w * 64;
+    if (base + 64 <= lo || base >= hi)
+        return 0;
+    std::uint64_t word = ~0ULL;
+    if (base < lo)
+        word &= ~0ULL << (lo - base);
+    if (base + 64 > hi)
+        word &= ~0ULL >> (base + 64 - hi);
+    return word;
+}
+
+std::size_t
+StabilizerTableau::firstSetRow(const std::uint64_t *plane, std::size_t lo,
+                               std::size_t hi) const
+{
+    for (std::size_t w = lo >> 6; w <= (hi - 1) >> 6; ++w) {
+        const std::uint64_t word = plane[w] & rangeWord(w, lo, hi);
+        if (word)
+            return w * 64 + std::countr_zero(word);
+    }
+    return hi;
+}
+
+//
+// Gates: each touches only the planes of the operand columns, all rows
+// (destabilizers, stabilizers, and the scratch row) in 64-bit strides.
+//
 
 void
 StabilizerTableau::h(std::size_t q)
 {
     qla_assert(q < n_);
-    for (std::size_t row = 0; row < 2 * n_ + 1; ++row) {
-        const bool xv = xBit(row, q);
-        const bool zv = zBit(row, q);
-        if (xv && zv)
-            r_[row] ^= 1;
-        setXBit(row, q, zv);
-        setZBit(row, q, xv);
+    std::uint64_t *xc = colX(q);
+    std::uint64_t *zc = colZ(q);
+    for (std::size_t w = 0; w < wpc_; ++w) {
+        r_[w] ^= xc[w] & zc[w];
+        std::swap(xc[w], zc[w]);
     }
 }
 
@@ -78,61 +130,68 @@ void
 StabilizerTableau::s(std::size_t q)
 {
     qla_assert(q < n_);
-    for (std::size_t row = 0; row < 2 * n_ + 1; ++row) {
-        const bool xv = xBit(row, q);
-        const bool zv = zBit(row, q);
-        if (xv && zv)
-            r_[row] ^= 1;
-        setZBit(row, q, zv ^ xv);
+    const std::uint64_t *xc = colX(q);
+    std::uint64_t *zc = colZ(q);
+    for (std::size_t w = 0; w < wpc_; ++w) {
+        r_[w] ^= xc[w] & zc[w];
+        zc[w] ^= xc[w];
     }
 }
 
 void
 StabilizerTableau::sdg(std::size_t q)
 {
-    // S^3 = S^dagger up to global phase.
-    s(q);
-    s(q);
-    s(q);
+    // S^dagger = S^3; the fused update flips the phase where the row has
+    // X but not Z (the composition of the three S phase terms).
+    qla_assert(q < n_);
+    const std::uint64_t *xc = colX(q);
+    std::uint64_t *zc = colZ(q);
+    for (std::size_t w = 0; w < wpc_; ++w) {
+        r_[w] ^= xc[w] & ~zc[w];
+        zc[w] ^= xc[w];
+    }
 }
 
 void
 StabilizerTableau::x(std::size_t q)
 {
     qla_assert(q < n_);
-    for (std::size_t row = 0; row < 2 * n_ + 1; ++row)
-        r_[row] ^= zBit(row, q);
+    const std::uint64_t *zc = colZ(q);
+    for (std::size_t w = 0; w < wpc_; ++w)
+        r_[w] ^= zc[w];
 }
 
 void
 StabilizerTableau::z(std::size_t q)
 {
     qla_assert(q < n_);
-    for (std::size_t row = 0; row < 2 * n_ + 1; ++row)
-        r_[row] ^= xBit(row, q);
+    const std::uint64_t *xc = colX(q);
+    for (std::size_t w = 0; w < wpc_; ++w)
+        r_[w] ^= xc[w];
 }
 
 void
 StabilizerTableau::y(std::size_t q)
 {
     qla_assert(q < n_);
-    for (std::size_t row = 0; row < 2 * n_ + 1; ++row)
-        r_[row] ^= xBit(row, q) ^ zBit(row, q);
+    const std::uint64_t *xc = colX(q);
+    const std::uint64_t *zc = colZ(q);
+    for (std::size_t w = 0; w < wpc_; ++w)
+        r_[w] ^= xc[w] ^ zc[w];
 }
 
 void
 StabilizerTableau::cnot(std::size_t control, std::size_t target)
 {
     qla_assert(control < n_ && target < n_ && control != target);
-    for (std::size_t row = 0; row < 2 * n_ + 1; ++row) {
-        const bool xc = xBit(row, control);
-        const bool zc = zBit(row, control);
-        const bool xt = xBit(row, target);
-        const bool zt = zBit(row, target);
-        if (xc && zt && (xt == zc))
-            r_[row] ^= 1;
-        setXBit(row, target, xt ^ xc);
-        setZBit(row, control, zc ^ zt);
+    const std::uint64_t *xc = colX(control);
+    std::uint64_t *zc = colZ(control);
+    std::uint64_t *xt = colX(target);
+    const std::uint64_t *zt = colZ(target);
+    for (std::size_t w = 0; w < wpc_; ++w) {
+        r_[w] ^= xc[w] & zt[w] & ~(xt[w] ^ zc[w]);
+        xt[w] ^= xc[w];
+        zc[w] ^= zt[w];
     }
 }
 
@@ -140,15 +199,14 @@ void
 StabilizerTableau::cz(std::size_t a, std::size_t b)
 {
     qla_assert(a < n_ && b < n_ && a != b);
-    for (std::size_t row = 0; row < 2 * n_ + 1; ++row) {
-        const bool xa = xBit(row, a);
-        const bool za = zBit(row, a);
-        const bool xb = xBit(row, b);
-        const bool zb = zBit(row, b);
-        if (xa && xb && (za ^ zb))
-            r_[row] ^= 1;
-        setZBit(row, a, za ^ xb);
-        setZBit(row, b, zb ^ xa);
+    const std::uint64_t *xa = colX(a);
+    std::uint64_t *za = colZ(a);
+    const std::uint64_t *xb = colX(b);
+    std::uint64_t *zb = colZ(b);
+    for (std::size_t w = 0; w < wpc_; ++w) {
+        r_[w] ^= xa[w] & xb[w] & (za[w] ^ zb[w]);
+        za[w] ^= xb[w];
+        zb[w] ^= xa[w];
     }
 }
 
@@ -156,118 +214,238 @@ void
 StabilizerTableau::swap(std::size_t a, std::size_t b)
 {
     qla_assert(a < n_ && b < n_ && a != b);
-    for (std::size_t row = 0; row < 2 * n_ + 1; ++row) {
-        const bool xa = xBit(row, a);
-        const bool za = zBit(row, a);
-        setXBit(row, a, xBit(row, b));
-        setZBit(row, a, zBit(row, b));
-        setXBit(row, b, xa);
-        setZBit(row, b, za);
-    }
+    std::swap_ranges(colX(a), colX(a) + wpc_, colX(b));
+    std::swap_ranges(colZ(a), colZ(a) + wpc_, colZ(b));
 }
 
 void
 StabilizerTableau::applyPauli(const PauliString &p)
 {
     qla_assert(p.numQubits() == n_);
+    // X_q flips r where the row has Z_q; Z_q flips r where the row has
+    // X_q; Y_q does both. Accumulate per column, all rows at once.
     for (std::size_t q = 0; q < n_; ++q) {
-        switch (p.at(q)) {
-          case Pauli::I:
-            break;
-          case Pauli::X:
-            x(q);
-            break;
-          case Pauli::Y:
-            y(q);
-            break;
-          case Pauli::Z:
-            z(q);
-            break;
+        const bool px = (p.xWords()[q >> 6] >> (q & 63)) & 1ULL;
+        const bool pz = (p.zWords()[q >> 6] >> (q & 63)) & 1ULL;
+        if (px) {
+            const std::uint64_t *zc = colZ(q);
+            for (std::size_t w = 0; w < wpc_; ++w)
+                r_[w] ^= zc[w];
+        }
+        if (pz) {
+            const std::uint64_t *xc = colX(q);
+            for (std::size_t w = 0; w < wpc_; ++w)
+                r_[w] ^= xc[w];
+        }
+    }
+}
+
+//
+// Rowsum: the Aaronson-Gottesman row product with i-power phase
+// bookkeeping, in scalar (one target row) and broadcast (a bit-plane of
+// target rows at once) forms.
+//
+
+void
+StabilizerTableau::rowsum(std::size_t h, std::size_t i)
+{
+    const std::size_t hw = h >> 6;
+    const std::size_t iw = i >> 6;
+    const std::uint64_t hb = 1ULL << (h & 63);
+    const std::uint64_t ib = 1ULL << (i & 63);
+
+    int phase = 2 * rBit(h) + 2 * rBit(i);
+    for (std::size_t col = 0; col < n_; ++col) {
+        std::uint64_t *xc = colX(col);
+        std::uint64_t *zc = colZ(col);
+        const bool x1 = xc[iw] & ib;
+        const bool z1 = zc[iw] & ib;
+        if (!x1 && !z1)
+            continue;
+        const bool x2 = xc[hw] & hb;
+        const bool z2 = zc[hw] & hb;
+        // Single-bit case of the shared word-wide phase rule.
+        phase += pauliProductPhaseWord(x1, z1, x2, z2);
+        if (x1)
+            xc[hw] ^= hb;
+        if (z1)
+            zc[hw] ^= hb;
+    }
+    phase = ((phase % 4) + 4) % 4;
+    qla_assert(phase == 0 || phase == 2, "rowsum produced i^", phase);
+    setRBit(h, phase == 2);
+}
+
+void
+StabilizerTableau::multiplyRowInto(std::size_t src,
+                                   const std::uint64_t *mask)
+{
+    // Per-row phase accumulator mod 4, kept as two bit-planes
+    // (cnt1 = low bit, cnt2 = high bit) so every selected row's phase
+    // advances in parallel (Aaronson-Gottesman Section III).
+    std::uint64_t *cnt1 = scratch_cnt1_.data();
+    std::uint64_t *cnt2 = scratch_cnt2_.data();
+    std::fill_n(cnt1, wpc_, 0ULL);
+    std::fill_n(cnt2, wpc_, 0ULL);
+
+    const std::size_t sw = src >> 6;
+    const std::uint64_t sb = 1ULL << (src & 63);
+    qla_assert(!(mask[sw] & sb), "src row selected by its own mask");
+
+    for (std::size_t col = 0; col < n_; ++col) {
+        std::uint64_t *xc = colX(col);
+        std::uint64_t *zc = colZ(col);
+        const bool xp = xc[sw] & sb;
+        const bool zp = zc[sw] & sb;
+        if (!xp && !zp)
+            continue;
+        if (xp && zp) {
+            // Pivot Y: +i on target Z, -i on target X.
+            for (std::size_t w = 0; w < wpc_; ++w) {
+                const std::uint64_t m = mask[w];
+                if (!m)
+                    continue;
+                const std::uint64_t xh = xc[w];
+                const std::uint64_t zh = zc[w];
+                const std::uint64_t plus = ~xh & zh & m;
+                const std::uint64_t minus = xh & ~zh & m;
+                cnt2[w] ^= (cnt1[w] & plus) | (~cnt1[w] & minus);
+                cnt1[w] ^= plus | minus;
+                xc[w] ^= m;
+                zc[w] ^= m;
+            }
+        } else if (xp) {
+            // Pivot X: +i on target Y, -i on target Z.
+            for (std::size_t w = 0; w < wpc_; ++w) {
+                const std::uint64_t m = mask[w];
+                if (!m)
+                    continue;
+                const std::uint64_t xh = xc[w];
+                const std::uint64_t zh = zc[w];
+                const std::uint64_t plus = xh & zh & m;
+                const std::uint64_t minus = ~xh & zh & m;
+                cnt2[w] ^= (cnt1[w] & plus) | (~cnt1[w] & minus);
+                cnt1[w] ^= plus | minus;
+                xc[w] ^= m;
+            }
+        } else {
+            // Pivot Z: +i on target X, -i on target Y.
+            for (std::size_t w = 0; w < wpc_; ++w) {
+                const std::uint64_t m = mask[w];
+                if (!m)
+                    continue;
+                const std::uint64_t xh = xc[w];
+                const std::uint64_t zh = zc[w];
+                const std::uint64_t plus = xh & ~zh & m;
+                const std::uint64_t minus = xh & zh & m;
+                cnt2[w] ^= (cnt1[w] & plus) | (~cnt1[w] & minus);
+                cnt1[w] ^= plus | minus;
+                zc[w] ^= m;
+            }
+        }
+    }
+
+    // Total phase of each selected row is 2 r_h + 2 r_src + cnt, which
+    // must land on +/-1: cnt is even, and the new sign bit is
+    // r_h ^ r_src ^ (cnt / 2).
+    const std::uint64_t rp = (r_[sw] & sb) ? ~0ULL : 0ULL;
+    for (std::size_t w = 0; w < wpc_; ++w) {
+        qla_assert((cnt1[w] & mask[w]) == 0,
+                   "broadcast rowsum produced an odd i-power");
+        r_[w] ^= (cnt2[w] ^ rp) & mask[w];
+    }
+}
+
+void
+StabilizerTableau::anticommuteMask(const PauliString &p,
+                                   std::uint64_t *out) const
+{
+    // Row r anticommutes with p iff the symplectic product
+    // sum_col x(r,col) z_p(col) + z(r,col) x_p(col) is odd; XOR the
+    // selected column planes to get that parity for all rows at once.
+    std::fill_n(out, wpc_, 0ULL);
+    for (std::size_t col = 0; col < n_; ++col) {
+        const bool px = (p.xWords()[col >> 6] >> (col & 63)) & 1ULL;
+        const bool pz = (p.zWords()[col >> 6] >> (col & 63)) & 1ULL;
+        if (pz) {
+            const std::uint64_t *xc = colX(col);
+            for (std::size_t w = 0; w < wpc_; ++w)
+                out[w] ^= xc[w];
+        }
+        if (px) {
+            const std::uint64_t *zc = colZ(col);
+            for (std::size_t w = 0; w < wpc_; ++w)
+                out[w] ^= zc[w];
         }
     }
 }
 
 void
-StabilizerTableau::rowsum(std::size_t h, std::size_t i)
-{
-    // Phase of the product P_i * P_h, accumulated as a power of i.
-    int phase = 2 * r_[h] + 2 * r_[i];
-    for (std::size_t w = 0; w < wpr_; ++w) {
-        phase += pauliProductPhaseWord(xs_[i * wpr_ + w], zs_[i * wpr_ + w],
-                                       xs_[h * wpr_ + w],
-                                       zs_[h * wpr_ + w]);
-        xs_[h * wpr_ + w] ^= xs_[i * wpr_ + w];
-        zs_[h * wpr_ + w] ^= zs_[i * wpr_ + w];
-    }
-    phase = ((phase % 4) + 4) % 4;
-    qla_assert(phase == 0 || phase == 2, "rowsum produced i^", phase);
-    r_[h] = phase == 2;
-}
-
-void
-StabilizerTableau::rowsumPauli(std::size_t h, const PauliString &p)
-{
-    int phase = 2 * r_[h] + p.phaseExponent();
-    for (std::size_t w = 0; w < wpr_; ++w) {
-        phase += pauliProductPhaseWord(p.xWords()[w], p.zWords()[w],
-                                       xs_[h * wpr_ + w],
-                                       zs_[h * wpr_ + w]);
-        xs_[h * wpr_ + w] ^= p.xWords()[w];
-        zs_[h * wpr_ + w] ^= p.zWords()[w];
-    }
-    phase = ((phase % 4) + 4) % 4;
-    qla_assert(phase == 0 || phase == 2, "rowsumPauli produced i^", phase);
-    r_[h] = phase == 2;
-}
-
-void
 StabilizerTableau::zeroRow(std::size_t row)
 {
-    std::fill_n(xs_.begin() + row * wpr_, wpr_, 0ULL);
-    std::fill_n(zs_.begin() + row * wpr_, wpr_, 0ULL);
-    r_[row] = 0;
+    for (std::size_t col = 0; col < n_; ++col) {
+        setXBit(row, col, false);
+        setZBit(row, col, false);
+    }
+    setRBit(row, false);
 }
 
 void
 StabilizerTableau::copyRow(std::size_t dst, std::size_t src)
 {
-    std::copy_n(xs_.begin() + src * wpr_, wpr_, xs_.begin() + dst * wpr_);
-    std::copy_n(zs_.begin() + src * wpr_, wpr_, zs_.begin() + dst * wpr_);
-    r_[dst] = r_[src];
+    for (std::size_t col = 0; col < n_; ++col) {
+        setXBit(dst, col, xBit(src, col));
+        setZBit(dst, col, zBit(src, col));
+    }
+    setRBit(dst, rBit(src));
 }
 
-bool
-StabilizerTableau::rowAnticommutes(std::size_t row, const PauliString &p)
-    const
+void
+StabilizerTableau::swapRows(std::size_t a, std::size_t b)
 {
-    int parity = 0;
-    for (std::size_t w = 0; w < wpr_; ++w) {
-        parity ^= std::popcount((xs_[row * wpr_ + w] & p.zWords()[w])
-                                ^ (zs_[row * wpr_ + w] & p.xWords()[w]))
-            & 1;
+    for (std::size_t col = 0; col < n_; ++col) {
+        const bool xa = xBit(a, col);
+        const bool za = zBit(a, col);
+        setXBit(a, col, xBit(b, col));
+        setZBit(a, col, zBit(b, col));
+        setXBit(b, col, xa);
+        setZBit(b, col, za);
     }
-    return parity != 0;
+    const bool ra = rBit(a);
+    setRBit(a, rBit(b));
+    setRBit(b, ra);
 }
 
 PauliString
 StabilizerTableau::rowToPauli(std::size_t row) const
 {
     PauliString p(n_);
-    for (std::size_t w = 0; w < wpr_; ++w) {
-        p.x_[w] = xs_[row * wpr_ + w];
-        p.z_[w] = zs_[row * wpr_ + w];
+    const std::size_t rw = row >> 6;
+    const std::uint64_t rb = 1ULL << (row & 63);
+    for (std::size_t col = 0; col < n_; ++col) {
+        const std::uint64_t bit = 1ULL << (col & 63);
+        if (colX(col)[rw] & rb)
+            p.x_[col >> 6] |= bit;
+        if (colZ(col)[rw] & rb)
+            p.z_[col >> 6] |= bit;
     }
-    p.setPhaseExponent(r_[row] ? 2 : 0);
+    p.setPhaseExponent(rBit(row) ? 2 : 0);
     return p;
+}
+
+void
+StabilizerTableau::setRowXZ(std::size_t row, const PauliString &p)
+{
+    for (std::size_t col = 0; col < n_; ++col) {
+        setXBit(row, col, (p.xWords()[col >> 6] >> (col & 63)) & 1ULL);
+        setZBit(row, col, (p.zWords()[col >> 6] >> (col & 63)) & 1ULL);
+    }
 }
 
 bool
 StabilizerTableau::isZMeasurementRandom(std::size_t q) const
 {
-    for (std::size_t row = n_; row < 2 * n_; ++row)
-        if (xBit(row, q))
-            return true;
-    return false;
+    return firstSetRow(colX(q), n_, 2 * n_) < 2 * n_;
 }
 
 bool
@@ -276,27 +454,27 @@ StabilizerTableau::measureZ(std::size_t q, Rng &rng)
     qla_assert(q < n_);
 
     // Find a stabilizer that anticommutes with Z_q.
-    std::size_t p = 2 * n_;
-    for (std::size_t row = n_; row < 2 * n_; ++row) {
-        if (xBit(row, q)) {
-            p = row;
-            break;
-        }
-    }
+    const std::uint64_t *xq = colX(q);
+    const std::size_t p = firstSetRow(xq, n_, 2 * n_);
 
     if (p < 2 * n_) {
-        // Random outcome. Row p - n (the pivot's destabilizer partner,
-        // which anticommutes with row p) is skipped: it is overwritten
-        // below, and multiplying anticommuting Paulis would leave an
-        // imaginary phase.
-        for (std::size_t row = 0; row < 2 * n_; ++row)
-            if (row != p && row != p - n_ && xBit(row, q))
-                rowsum(row, p);
+        // Random outcome. Multiply the pivot into every other row that
+        // anticommutes with Z_q, all at once. Row p - n (the pivot's
+        // destabilizer partner, which anticommutes with row p) is
+        // skipped: it is overwritten below, and multiplying
+        // anticommuting Paulis would leave an imaginary phase.
+        std::uint64_t *mask = scratch_mask_.data();
+        for (std::size_t w = 0; w < wpc_; ++w)
+            mask[w] = xq[w] & rangeWord(w, 0, 2 * n_);
+        mask[p >> 6] &= ~(1ULL << (p & 63));
+        mask[(p - n_) >> 6] &= ~(1ULL << ((p - n_) & 63));
+        multiplyRowInto(p, mask);
+
         copyRow(p - n_, p);
         zeroRow(p);
         setZBit(p, q, true);
         const bool outcome = rng.bernoulli(0.5);
-        r_[p] = outcome;
+        setRBit(p, outcome);
         return outcome;
     }
 
@@ -305,7 +483,7 @@ StabilizerTableau::measureZ(std::size_t q, Rng &rng)
     for (std::size_t i = 0; i < n_; ++i)
         if (xBit(i, q))
             rowsum(2 * n_, i + n_);
-    return r_[2 * n_];
+    return rBit(2 * n_);
 }
 
 bool
@@ -325,27 +503,24 @@ StabilizerTableau::measurePauli(const PauliString &p, Rng &rng)
                "measured observable must be Hermitian");
     const bool s = p.phaseExponent() == 2;
 
-    std::size_t pivot = 2 * n_;
-    for (std::size_t row = n_; row < 2 * n_; ++row) {
-        if (rowAnticommutes(row, p)) {
-            pivot = row;
-            break;
-        }
-    }
+    std::uint64_t *acc = scratch_mask_.data();
+    anticommuteMask(p, acc);
+    const std::size_t pivot = firstSetRow(acc, n_, 2 * n_);
 
     if (pivot < 2 * n_) {
-        for (std::size_t row = 0; row < 2 * n_; ++row)
-            if (row != pivot && row != pivot - n_
-                && rowAnticommutes(row, p))
-                rowsum(row, pivot);
+        // Random outcome: fold the pivot into every other anticommuting
+        // row (destabilizers and stabilizers), then replace the pivot
+        // pair. acc doubles as the broadcast mask.
+        for (std::size_t w = 0; w < wpc_; ++w)
+            acc[w] &= rangeWord(w, 0, 2 * n_);
+        acc[pivot >> 6] &= ~(1ULL << (pivot & 63));
+        acc[(pivot - n_) >> 6] &= ~(1ULL << ((pivot - n_) & 63));
+        multiplyRowInto(pivot, acc);
+
         copyRow(pivot - n_, pivot);
-        zeroRow(pivot);
-        for (std::size_t w = 0; w < wpr_; ++w) {
-            xs_[pivot * wpr_ + w] = p.xWords()[w];
-            zs_[pivot * wpr_ + w] = p.zWords()[w];
-        }
+        setRowXZ(pivot, p);
         const bool outcome = rng.bernoulli(0.5);
-        r_[pivot] = outcome ^ s;
+        setRBit(pivot, outcome ^ s);
         return outcome;
     }
 
@@ -358,27 +533,32 @@ std::optional<bool>
 StabilizerTableau::deterministicValue(const PauliString &p) const
 {
     qla_assert(p.numQubits() == n_);
-    for (std::size_t row = n_; row < 2 * n_; ++row)
-        if (rowAnticommutes(row, p))
-            return std::nullopt;
+    std::uint64_t *acc = scratch_mask_.data();
+    anticommuteMask(p, acc);
+    if (firstSetRow(acc, n_, 2 * n_) < 2 * n_)
+        return std::nullopt;
 
     // The observable is a product of stabilizer generators; accumulate
     // exactly those whose destabilizer partner anticommutes with p.
     auto *self = const_cast<StabilizerTableau *>(this);
     self->zeroRow(2 * n_);
     for (std::size_t i = 0; i < n_; ++i)
-        if (rowAnticommutes(i, p))
+        if ((acc[i >> 6] >> (i & 63)) & 1ULL)
             self->rowsum(2 * n_, i + n_);
 
     // Scratch row must now equal +/- p (up to sign); outcome compares the
     // accumulated sign with p's own sign.
-    for (std::size_t w = 0; w < wpr_; ++w) {
-        qla_assert(xs_[2 * n_ * wpr_ + w] == p.xWords()[w]
-                       && zs_[2 * n_ * wpr_ + w] == p.zWords()[w],
+    for (std::size_t col = 0; col < n_; ++col) {
+        qla_assert(xBit(2 * n_, col)
+                           == (((p.xWords()[col >> 6] >> (col & 63)) & 1ULL)
+                               != 0)
+                       && zBit(2 * n_, col)
+                           == (((p.zWords()[col >> 6] >> (col & 63)) & 1ULL)
+                               != 0),
                    "observable not in stabilizer group");
     }
     const bool s = p.phaseExponent() == 2;
-    return r_[2 * n_] ^ s;
+    return rBit(2 * n_) ^ s;
 }
 
 void
@@ -411,45 +591,49 @@ StabilizerTableau::canonicalStabilizers() const
     StabilizerTableau copy = *this;
     std::size_t pivot_row = copy.n_;
 
-    auto reduceColumn = [&](auto getBit) {
+    auto reduceColumns = [&](bool x_priority) {
         for (std::size_t col = 0; col < copy.n_; ++col) {
-            std::size_t found = 0;
-            bool have = false;
-            for (std::size_t row = pivot_row; row < 2 * copy.n_; ++row) {
-                if (getBit(copy, row, col)) {
-                    found = row;
-                    have = true;
+            // Selection plane: rows whose leading bit for this pass is
+            // set (X pass: x bit; Z pass: z bit without x bit).
+            const std::uint64_t *xc = copy.colX(col);
+            const std::uint64_t *zc = copy.colZ(col);
+            auto selWord = [&](std::size_t w) {
+                return x_priority ? xc[w] : (~xc[w] & zc[w]);
+            };
+
+            std::size_t found = 2 * copy.n_;
+            for (std::size_t w = pivot_row >> 6;
+                 w <= (2 * copy.n_ - 1) >> 6; ++w) {
+                const std::uint64_t word = selWord(w)
+                    & copy.rangeWord(w, pivot_row, 2 * copy.n_);
+                if (word) {
+                    found = w * 64 + std::countr_zero(word);
                     break;
                 }
             }
-            if (!have)
+            if (found == 2 * copy.n_)
                 continue;
-            if (found != pivot_row) {
-                // Swap rows by multiplying: emulate with explicit swap.
-                for (std::size_t w = 0; w < copy.wpr_; ++w) {
-                    std::swap(copy.xs_[found * copy.wpr_ + w],
-                              copy.xs_[pivot_row * copy.wpr_ + w]);
-                    std::swap(copy.zs_[found * copy.wpr_ + w],
-                              copy.zs_[pivot_row * copy.wpr_ + w]);
-                }
-                std::swap(copy.r_[found], copy.r_[pivot_row]);
-            }
-            for (std::size_t row = copy.n_; row < 2 * copy.n_; ++row) {
-                if (row != pivot_row && getBit(copy, row, col))
-                    copy.rowsum(row, pivot_row);
-            }
+            if (found != pivot_row)
+                copy.swapRows(found, pivot_row);
+
+            // Eliminate the leading bit from every other stabilizer row
+            // in one broadcast rowsum.
+            std::uint64_t *mask = copy.scratch_mask_.data();
+            for (std::size_t w = 0; w < copy.wpc_; ++w)
+                mask[w] = selWord(w)
+                    & copy.rangeWord(w, copy.n_, 2 * copy.n_);
+            mask[pivot_row >> 6] &= ~(1ULL << (pivot_row & 63));
+            copy.multiplyRowInto(pivot_row, mask);
+
             ++pivot_row;
             if (pivot_row == 2 * copy.n_)
                 return;
         }
     };
 
-    reduceColumn([](const StabilizerTableau &t, std::size_t row,
-                    std::size_t col) { return t.xBit(row, col); });
-    reduceColumn([](const StabilizerTableau &t, std::size_t row,
-                    std::size_t col) {
-        return !t.xBit(row, col) && t.zBit(row, col);
-    });
+    reduceColumns(true);
+    if (pivot_row < 2 * copy.n_)
+        reduceColumns(false);
 
     std::vector<std::string> rows;
     rows.reserve(copy.n_);

@@ -1,6 +1,6 @@
 /**
  * @file
- * Aaronson-Gottesman stabilizer tableau simulator (CHP).
+ * Aaronson-Gottesman stabilizer tableau simulator (CHP), word-parallel.
  *
  * Simulates Clifford circuits (H, S, CNOT, Paulis, CZ, SWAP) plus
  * Z/X-basis and arbitrary-Pauli measurements in polynomial time. This is
@@ -11,17 +11,28 @@
  * Representation: 2n+1 rows of (X|Z|r) bits. Rows [0,n) are destabilizers,
  * rows [n,2n) stabilizers, row 2n is scratch for deterministic
  * measurements, exactly following Aaronson & Gottesman (2004).
+ *
+ * Storage is column-major: for each qubit column the X and Z bits of all
+ * 2n+1 rows are packed into 64-bit words (one "bit-plane" per column),
+ * and the phase bits r are packed the same way. A gate on qubit q then
+ * touches only the O(n/64) words of q's planes with bitwise ops -- all
+ * rows in parallel -- instead of one scalar bit per row, and the
+ * measurement rowsum multiplies the pivot row into every anticommuting
+ * row at once with the 2-bit-counter phase trick of Aaronson-Gottesman
+ * Section III.
  */
 
 #ifndef QLA_QUANTUM_TABLEAU_H
 #define QLA_QUANTUM_TABLEAU_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "quantum/backend.h"
 #include "quantum/pauli.h"
 
 namespace qla::quantum {
@@ -29,29 +40,31 @@ namespace qla::quantum {
 /**
  * Stabilizer state of n qubits, initialized to |0...0>.
  */
-class StabilizerTableau
+class StabilizerTableau final : public SimulationBackend
 {
   public:
     explicit StabilizerTableau(std::size_t num_qubits);
 
-    std::size_t numQubits() const { return n_; }
+    const char *backendName() const override { return "stabilizer"; }
+    std::size_t numQubits() const override { return n_; }
+    std::unique_ptr<SimulationBackend> snapshot() const override;
 
     /** Reset the whole register to |0...0>. */
-    void reset();
+    void reset() override;
 
     //
     // Clifford gates.
     //
 
-    void h(std::size_t q);
-    void s(std::size_t q);      ///< Phase gate diag(1, i).
-    void sdg(std::size_t q);    ///< Inverse phase gate.
-    void x(std::size_t q);
-    void y(std::size_t q);
-    void z(std::size_t q);
-    void cnot(std::size_t control, std::size_t target);
-    void cz(std::size_t a, std::size_t b);
-    void swap(std::size_t a, std::size_t b);
+    void h(std::size_t q) override;
+    void s(std::size_t q) override;   ///< Phase gate diag(1, i).
+    void sdg(std::size_t q) override; ///< Inverse phase gate.
+    void x(std::size_t q) override;
+    void y(std::size_t q) override;
+    void z(std::size_t q) override;
+    void cnot(std::size_t control, std::size_t target) override;
+    void cz(std::size_t a, std::size_t b) override;
+    void swap(std::size_t a, std::size_t b) override;
 
     /** Apply a signed Pauli operator (its sign is a global phase). */
     void applyPauli(const PauliString &p);
@@ -64,10 +77,10 @@ class StabilizerTableau
      * Measure qubit @p q in the Z basis.
      * @return outcome bit (0 -> |0>, 1 -> |1>).
      */
-    bool measureZ(std::size_t q, Rng &rng);
+    bool measureZ(std::size_t q, Rng &rng) override;
 
     /** Measure qubit @p q in the X basis (H-conjugated Z measurement). */
-    bool measureX(std::size_t q, Rng &rng);
+    bool measureX(std::size_t q, Rng &rng) override;
 
     /**
      * Measure a Hermitian Pauli observable.
@@ -87,7 +100,7 @@ class StabilizerTableau
     bool isZMeasurementRandom(std::size_t q) const;
 
     /** Reset qubit @p q to |0> (measure, flip if needed). */
-    void resetToZero(std::size_t q, Rng &rng);
+    void resetToZero(std::size_t q, Rng &rng) override;
 
     /** Stabilizer generator row i (i in [0, n)) as a PauliString. */
     PauliString stabilizer(std::size_t i) const;
@@ -105,32 +118,74 @@ class StabilizerTableau
     bool checkInvariants() const;
 
   private:
+    //
+    // Column bit-planes: plane(col)[row / 64] bit (row % 64) is the
+    // (row, col) tableau entry.
+    //
+
+    std::uint64_t *colX(std::size_t col) { return xs_.data() + col * wpc_; }
+    std::uint64_t *colZ(std::size_t col) { return zs_.data() + col * wpc_; }
+    const std::uint64_t *colX(std::size_t col) const
+    {
+        return xs_.data() + col * wpc_;
+    }
+    const std::uint64_t *colZ(std::size_t col) const
+    {
+        return zs_.data() + col * wpc_;
+    }
+
     bool xBit(std::size_t row, std::size_t col) const;
     bool zBit(std::size_t row, std::size_t col) const;
     void setXBit(std::size_t row, std::size_t col, bool v);
     void setZBit(std::size_t row, std::size_t col, bool v);
-    bool rBit(std::size_t row) const { return r_[row]; }
-    void setRBit(std::size_t row, bool v) { r_[row] = v; }
+    bool rBit(std::size_t row) const;
+    void setRBit(std::size_t row, bool v);
 
     /** row h := row i * row h (Aaronson-Gottesman "rowsum"). */
     void rowsum(std::size_t h, std::size_t i);
 
-    /** Multiply Pauli @p p into row h (same phase bookkeeping). */
-    void rowsumPauli(std::size_t h, const PauliString &p);
+    /**
+     * Broadcast rowsum: multiply row @p src into every row selected by
+     * the @p mask bit-plane (wpc_ words over rows) simultaneously, with
+     * the per-row phase tracked in a pair of counter bit-planes. The
+     * src row's own bit must be clear in @p mask.
+     */
+    void multiplyRowInto(std::size_t src, const std::uint64_t *mask);
+
+    /**
+     * Bit-plane over rows: bit r set iff row r anticommutes with @p p.
+     * Rows past 2n hold garbage.
+     */
+    void anticommuteMask(const PauliString &p, std::uint64_t *out) const;
+
+    /** First set bit of @p plane in row range [lo, hi), or hi if none. */
+    std::size_t firstSetRow(const std::uint64_t *plane, std::size_t lo,
+                            std::size_t hi) const;
+
+    /** Word w of the mask selecting rows in [lo, hi). */
+    std::uint64_t rangeWord(std::size_t w, std::size_t lo,
+                            std::size_t hi) const;
 
     void zeroRow(std::size_t row);
     void copyRow(std::size_t dst, std::size_t src);
-
-    /** True when row @p row anticommutes with @p p. */
-    bool rowAnticommutes(std::size_t row, const PauliString &p) const;
+    void swapRows(std::size_t a, std::size_t b);
 
     PauliString rowToPauli(std::size_t row) const;
 
+    /** Overwrite row @p row's X/Z bits with @p p (phase untouched). */
+    void setRowXZ(std::size_t row, const PauliString &p);
+
     std::size_t n_;
-    std::size_t wpr_; // words per row
+    std::size_t wpc_; // words per column plane (covers 2n+1 rows)
     std::vector<std::uint64_t> xs_;
     std::vector<std::uint64_t> zs_;
-    std::vector<std::uint8_t> r_;
+    std::vector<std::uint64_t> r_;
+
+    // Scratch planes for measurement/canonicalization (not part of the
+    // logical state; mutable so const queries can use them).
+    mutable std::vector<std::uint64_t> scratch_mask_;
+    mutable std::vector<std::uint64_t> scratch_cnt1_;
+    mutable std::vector<std::uint64_t> scratch_cnt2_;
 };
 
 } // namespace qla::quantum
