@@ -12,10 +12,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <cstring>
-#include <string>
-#include <vector>
-
 #include "arq/monte_carlo.h"
 #include "common/rng.h"
 #include "ecc/steane.h"
@@ -106,43 +102,10 @@ BENCHMARK(BM_DenseSimulator)->Arg(8)->Arg(12)->Arg(16)->Arg(18);
 
 } // namespace
 
-/**
- * Entry point with a perf-trajectory hook: `--json <path>` (or
- * `--json=<path>`) additionally writes the google-benchmark JSON report
- * to @p path so successive PRs can record BENCH_*.json files and track
- * the engine's throughput over time. All other flags pass through to
- * google-benchmark unchanged.
- */
+#include "gbench_json_main.h"
+
 int
 main(int argc, char **argv)
 {
-    std::string json_path;
-    std::vector<char *> args;
-    args.push_back(argv[0]);
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-            json_path = argv[++i];
-        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-            json_path = argv[i] + 7;
-        } else {
-            args.push_back(argv[i]);
-        }
-    }
-    // Route through google-benchmark's native file reporter.
-    std::string out_flag;
-    std::string format_flag;
-    if (!json_path.empty()) {
-        out_flag = "--benchmark_out=" + json_path;
-        format_flag = "--benchmark_out_format=json";
-        args.push_back(out_flag.data());
-        args.push_back(format_flag.data());
-    }
-    int args_count = static_cast<int>(args.size());
-
-    benchmark::Initialize(&args_count, args.data());
-    if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    return runGoogleBenchmarkMain(argc, argv);
 }

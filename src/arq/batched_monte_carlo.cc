@@ -1,0 +1,706 @@
+#include "arq/batched_monte_carlo.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace qla::arq {
+
+BatchedLogicalQubitExperiment::BatchedLogicalQubitExperiment(
+    const ecc::CssCode &code, NoiseParameters noise, LayoutDistances layout,
+    int max_prep_attempts)
+    : code_(code), noise_(noise), layout_(layout),
+      max_prep_attempts_(max_prep_attempts), n_(code.blockLength()),
+      frame_(3 * code.blockLength() * code.blockLength() * 3),
+      model_(recordAllTraces())
+{
+    qla_assert(max_prep_attempts_ >= 1);
+    qla_assert(n_ <= 32, "bit-sliced decode supports block length <= 32");
+    qla_assert(code_.xChecks().size() <= 8 && code_.zChecks().size() <= 8,
+               "bit-sliced decode supports <= 8 check rows");
+    for (const ecc::QubitMask row : code_.xChecks())
+        x_check_bits_.push_back(bitListOf(row));
+    for (const ecc::QubitMask row : code_.zChecks())
+        z_check_bits_.push_back(bitListOf(row));
+    logical_x_bits_ = bitListOf(code_.logicalX());
+    logical_z_bits_ = bitListOf(code_.logicalZ());
+    flips_.reserve(n_ * n_);
+}
+
+BatchedLogicalQubitExperiment::BitList
+BatchedLogicalQubitExperiment::bitListOf(ecc::QubitMask mask)
+{
+    BitList bits;
+    while (mask) {
+        const int i = std::countr_zero(mask);
+        mask &= mask - 1;
+        bits.idx[bits.count++] = static_cast<std::uint8_t>(i);
+    }
+    return bits;
+}
+
+std::size_t
+BatchedLogicalQubitExperiment::ion(std::size_t c, std::size_t g, Role role,
+                                   std::size_t i) const
+{
+    qla_assert(c < 3 && g < n_ && i < n_);
+    return ((c * n_ + g) * 3 + static_cast<std::size_t>(role)) * n_ + i;
+}
+
+//
+// Trace recording. Each recorder mirrors its scalar twin in
+// monte_carlo.cc operation for operation; only the execution strategy
+// differs (emit once here, replay word-parallel later).
+//
+
+std::size_t
+BatchedLogicalQubitExperiment::traceIndex(Seg seg, std::size_t c,
+                                          std::size_t g, std::size_t role,
+                                          bool flag) const
+{
+    return ((((static_cast<std::size_t>(seg) * 3 + c) * n_ + g) * 3 + role)
+            << 1)
+        | static_cast<std::size_t>(flag);
+}
+
+double
+BatchedLogicalQubitExperiment::moveProbability(Cells cells, int turns) const
+{
+    const double cell_equivalents = static_cast<double>(cells)
+        + noise_.splitCellEquivalent
+        + noise_.turnCellEquivalent * turns;
+    return noise_.movementErrorPerCell * cell_equivalents;
+}
+
+const NoiseClassTable &
+BatchedLogicalQubitExperiment::recordAllTraces()
+{
+    // Register the fixed fault classes up front so the class ids are
+    // stable before any trace is recorded.
+    classes_.classOf(noise_.gate1Error);
+    classes_.classOf(noise_.gate2Error);
+    classes_.classOf(noise_.measureError);
+    classes_.classOf(
+        moveProbability(layout_.intraBlockCells, layout_.intraBlockTurns));
+    classes_.classOf(
+        moveProbability(layout_.interBlockCells, layout_.interBlockTurns));
+
+    traces_[0].resize(traceIndex(Seg::LogicalGate, 2, n_ - 1, 2, true)
+                      + 1);
+    for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t g = 0; g < n_; ++g) {
+            for (const Role role : {Role::Data, Role::Ancilla}) {
+                for (const bool plus : {false, true}) {
+                    FrameTraceBuilder prep(classes_);
+                    recordPrepRound(prep, c, g, role, plus);
+                    traces_[0][traceIndex(Seg::PrepRound, c, g,
+                                          static_cast<std::size_t>(role),
+                                          plus)] = prep.take();
+                    FrameTraceBuilder pair(classes_);
+                    recordVerifyPair(pair, c, g, role, plus);
+                    traces_[0][traceIndex(Seg::VerifyPair, c, g,
+                                          static_cast<std::size_t>(role),
+                                          plus)] = pair.take();
+                }
+            }
+            for (const bool detect_x : {false, true}) {
+                FrameTraceBuilder ext(classes_);
+                recordExtractRound(ext, c, g, detect_x);
+                traces_[0][traceIndex(Seg::ExtractRound, c, g, 0,
+                                      detect_x)] = ext.take();
+            }
+        }
+        for (const bool plus : {false, true}) {
+            FrameTraceBuilder net(classes_);
+            recordL2Network(net, c, plus);
+            traces_[0][traceIndex(Seg::L2Network, c, 0, 0, plus)]
+                = net.take();
+        }
+    }
+    for (const bool detect_x : {false, true}) {
+        FrameTraceBuilder cnot(classes_);
+        recordL2Cnot(cnot, detect_x);
+        traces_[0][traceIndex(Seg::L2Cnot, 0, 0, 0, detect_x)]
+            = cnot.take();
+        FrameTraceBuilder readout(classes_);
+        recordL2Readout(readout, detect_x);
+        traces_[0][traceIndex(Seg::L2Readout, 0, 0, 0, detect_x)]
+            = readout.take();
+    }
+    for (const int level : {1, 2}) {
+        FrameTraceBuilder gate(classes_);
+        recordLogicalGate(gate, level);
+        traces_[0][traceIndex(Seg::LogicalGate, 0, 0, 0, level == 2)]
+            = gate.take();
+    }
+
+    // A shadow class space over the same probabilities: retry /
+    // conditional-path replays get samplers of their own and never park
+    // and unpark the full-width samplers' lane clocks.
+    const std::size_t primary_classes = classes_.probabilities().size();
+    std::vector<std::uint8_t> shadow(primary_classes);
+    for (std::size_t k = 0; k < primary_classes; ++k)
+        shadow[k] = classes_.newClass(classes_.probabilities()[k]);
+    cls_corr_ = shadow[classes_.classOf(noise_.gate1Error)];
+    traces_[1].resize(traces_[0].size());
+    for (std::size_t t = 0; t < traces_[0].size(); ++t) {
+        FrameTrace twin = traces_[0][t];
+        for (FrameOp &op : twin.ops) {
+            switch (op.kind) {
+              case FrameOp::Kind::Noise1:
+              case FrameOp::Kind::Noise2:
+              case FrameOp::Kind::MeasureZ:
+              case FrameOp::Kind::MeasureX:
+              case FrameOp::Kind::NoisyH:
+              case FrameOp::Kind::Noise1Range:
+              case FrameOp::Kind::MeasureZRange:
+              case FrameOp::Kind::MeasureXRange:
+                op.cls = shadow[op.cls];
+                break;
+              case FrameOp::Kind::NoisyCnotMT:
+              case FrameOp::Kind::NoisyCnotMC:
+                op.cls = shadow[op.cls];
+                op.cls2 = shadow[op.cls2];
+                break;
+              case FrameOp::Kind::NoisyCnotMTMeasZ:
+              case FrameOp::Kind::NoisyCnotMTMeasX:
+              case FrameOp::Kind::NoisyCnotMCMeasZ:
+              case FrameOp::Kind::NoisyCnotMCMeasX:
+                op.cls = shadow[op.cls];
+                op.cls2 = shadow[op.cls2];
+                op.cls3 = shadow[op.cls3];
+                break;
+              default:
+                break;
+            }
+        }
+        traces_[1][t] = std::move(twin);
+    }
+    return classes_;
+}
+
+void
+BatchedLogicalQubitExperiment::recordEncode(FrameTraceBuilder &tb,
+                                            std::size_t c, std::size_t g,
+                                            Role role, bool plus)
+{
+    const auto &sched = code_.zeroEncoder();
+    const double p_move = moveProbability(layout_.intraBlockCells,
+                                          layout_.intraBlockTurns);
+    tb.resetRange(ion(c, g, role, 0), n_);
+    for (std::size_t pivot : sched.pivots)
+        tb.noisyH(ion(c, g, role, pivot), noise_.gate1Error);
+    for (const auto &[control, target] : sched.cnots) {
+        const std::size_t qc = ion(c, g, role, control);
+        const std::size_t qt = ion(c, g, role, target);
+        tb.noisyCnot(qc, qt, qt, p_move, noise_.gate2Error);
+    }
+    if (plus) {
+        for (std::size_t i = 0; i < n_; ++i)
+            tb.noisyH(ion(c, g, role, i), noise_.gate1Error);
+    }
+}
+
+void
+BatchedLogicalQubitExperiment::recordVerifyRound(FrameTraceBuilder &tb,
+                                                 std::size_t c,
+                                                 std::size_t g, Role role,
+                                                 bool plus)
+{
+    const double p_move = moveProbability(layout_.intraBlockCells,
+                                          layout_.intraBlockTurns);
+    for (std::size_t i = 0; i < n_; ++i) {
+        const std::size_t qa = ion(c, g, role, i);
+        const std::size_t qv = ion(c, g, Role::Verify, i);
+        // The verify ion shuttles whether it is control or target; the
+        // two-qubit fault is ordered (qa, qv) as in the scalar schedule.
+        if (plus)
+            tb.noisyCnotMeas(qv, qa, qv, p_move, noise_.gate2Error, true,
+                             noise_.measureError);
+        else
+            tb.noisyCnotMeas(qa, qv, qv, p_move, noise_.gate2Error, false,
+                             noise_.measureError);
+    }
+}
+
+void
+BatchedLogicalQubitExperiment::recordPrepRound(FrameTraceBuilder &tb,
+                                               std::size_t c,
+                                               std::size_t g, Role role,
+                                               bool plus)
+{
+    // One verified-preparation attempt, fused into a single segment:
+    // the retry loop replays this once per attempt.
+    recordEncode(tb, c, g, role, plus);
+    recordEncode(tb, c, g, Role::Verify, plus);
+    recordVerifyRound(tb, c, g, role, plus);
+}
+
+void
+BatchedLogicalQubitExperiment::recordVerifyPair(FrameTraceBuilder &tb,
+                                                std::size_t c,
+                                                std::size_t g, Role role,
+                                                bool plus)
+{
+    recordEncode(tb, c, g, Role::Verify, plus);
+    recordVerifyRound(tb, c, g, role, plus);
+}
+
+void
+BatchedLogicalQubitExperiment::recordExtractRound(FrameTraceBuilder &tb,
+                                                  std::size_t c,
+                                                  std::size_t g,
+                                                  bool detect_x)
+{
+    const double p_move = moveProbability(layout_.interBlockCells,
+                                          layout_.interBlockTurns);
+    for (std::size_t i = 0; i < n_; ++i) {
+        const std::size_t qd = ion(c, g, Role::Data, i);
+        const std::size_t qa = ion(c, g, Role::Ancilla, i);
+        // The ancilla ion shuttles to the data block and back.
+        if (detect_x)
+            tb.noisyCnotMeas(qd, qa, qa, p_move, noise_.gate2Error, false,
+                             noise_.measureError);
+        else
+            tb.noisyCnotMeas(qa, qd, qa, p_move, noise_.gate2Error, true,
+                             noise_.measureError);
+    }
+}
+
+void
+BatchedLogicalQubitExperiment::recordL2Network(FrameTraceBuilder &tb,
+                                               std::size_t c, bool plus)
+{
+    const auto &sched = code_.zeroEncoder();
+    const double p_move = moveProbability(layout_.interBlockCells,
+                                          layout_.interBlockTurns);
+    for (std::size_t pivot : sched.pivots)
+        for (std::size_t i = 0; i < n_; ++i)
+            tb.noisyH(ion(c, pivot, Role::Data, i), noise_.gate1Error);
+    for (const auto &[control, target] : sched.cnots) {
+        for (std::size_t i = 0; i < n_; ++i) {
+            const std::size_t qc = ion(c, control, Role::Data, i);
+            const std::size_t qt = ion(c, target, Role::Data, i);
+            tb.noisyCnot(qc, qt, qt, p_move, noise_.gate2Error);
+        }
+    }
+    if (plus) {
+        for (std::size_t g = 0; g < n_; ++g)
+            for (std::size_t i = 0; i < n_; ++i)
+                tb.noisyH(ion(c, g, Role::Data, i), noise_.gate1Error);
+    }
+}
+
+void
+BatchedLogicalQubitExperiment::recordL2Cnot(FrameTraceBuilder &tb,
+                                            bool detect_x)
+{
+    const std::size_t ac = detect_x ? 1 : 2;
+    const double p_move = moveProbability(layout_.interBlockCells,
+                                          layout_.interBlockTurns);
+    for (std::size_t g = 0; g < n_; ++g) {
+        for (std::size_t i = 0; i < n_; ++i) {
+            const std::size_t qd = ion(0, g, Role::Data, i);
+            const std::size_t qa = ion(ac, g, Role::Data, i);
+            if (detect_x)
+                tb.noisyCnot(qd, qa, qa, p_move, noise_.gate2Error);
+            else
+                tb.noisyCnot(qa, qd, qa, p_move, noise_.gate2Error);
+        }
+    }
+}
+
+void
+BatchedLogicalQubitExperiment::recordL2Readout(FrameTraceBuilder &tb,
+                                               bool detect_x)
+{
+    const std::size_t ac = detect_x ? 1 : 2;
+    for (std::size_t g = 0; g < n_; ++g)
+        tb.measureRange(ion(ac, g, Role::Data, 0), n_, !detect_x,
+                        noise_.measureError);
+}
+
+void
+BatchedLogicalQubitExperiment::recordLogicalGate(FrameTraceBuilder &tb,
+                                                 int level)
+{
+    const std::size_t groups = level == 1 ? 1 : n_;
+    for (std::size_t g = 0; g < groups; ++g)
+        tb.noise1Range(ion(0, g, Role::Data, 0), n_, noise_.gate1Error);
+}
+
+void
+BatchedLogicalQubitExperiment::replaySeg(Seg seg, std::size_t c,
+                                         std::size_t g, std::size_t role,
+                                         bool flag, std::uint64_t active)
+{
+    // Primary classes on the straight-line schedule, the shadow twins
+    // inside retry / conditional subtrees. The choice follows the
+    // structural position (shadow_), never the mask value: which
+    // sampler a lane draws from at a given site must be a function of
+    // that lane's own control-flow path, or a shot's randomness would
+    // depend on which word it shares with whom.
+    const FrameTrace &t = traces_[shadow_ ? 1 : 0]
+                                 [traceIndex(seg, c, g, role, flag)];
+    qla_assert(!t.ops.empty(), "trace not recorded");
+    flips_.clear();
+    replayTrace(t, frame_, model_, active, flips_);
+}
+
+//
+// Bit-sliced classical decoding.
+//
+
+std::uint64_t
+BatchedLogicalQubitExperiment::orPlanes(const SyndromePlanes &planes,
+                                        std::size_t count)
+{
+    std::uint64_t any = 0;
+    for (std::size_t j = 0; j < count; ++j)
+        any |= planes[j];
+    return any;
+}
+
+void
+BatchedLogicalQubitExperiment::correctionWords(bool x_corr,
+                                               const SyndromePlanes &synd,
+                                               std::size_t num_checks,
+                                               std::uint64_t *words) const
+{
+    // Lanes with syndrome v get correction bits corr(v); syndrome 0 maps
+    // to no correction, so v starts at 1 and every produced lane set is
+    // automatically restricted to lanes with a non-trivial syndrome.
+    if (!orPlanes(synd, num_checks))
+        return; // every lane trivial -- the common case
+    for (std::uint32_t v = 1; v < (1u << num_checks); ++v) {
+        std::uint64_t lanes_v = ~std::uint64_t{0};
+        for (std::size_t j = 0; j < num_checks; ++j)
+            lanes_v &= ((v >> j) & 1u) ? synd[j] : ~synd[j];
+        if (!lanes_v)
+            continue;
+        ecc::QubitMask corr = x_corr ? code_.xCorrection(v)
+                                     : code_.zCorrection(v);
+        while (corr) {
+            const int i = std::countr_zero(corr);
+            corr &= corr - 1;
+            words[i] |= lanes_v;
+        }
+    }
+}
+
+std::uint64_t
+BatchedLogicalQubitExperiment::decodeXLogicalPlane(
+    const std::uint64_t *x_words) const
+{
+    const SyndromePlanes synd = planesOf(false, x_words);
+    std::array<std::uint64_t, 32> corr{};
+    correctionWords(true, synd, z_check_bits_.size(), corr.data());
+    std::uint64_t plane = 0;
+    for (std::size_t j = 0; j < logical_z_bits_.count; ++j) {
+        const std::size_t i = logical_z_bits_.idx[j];
+        plane ^= x_words[i] ^ corr[i];
+    }
+    return plane;
+}
+
+//
+// Driver building blocks.
+//
+
+void
+BatchedLogicalQubitExperiment::prepVerified(std::size_t c, std::size_t g,
+                                            Role role, bool plus,
+                                            std::uint64_t active,
+                                            ExperimentStats *stats)
+{
+    const bool caller_shadow = shadow_;
+    std::uint64_t mask = active;
+    int attempts = 0;
+    while (mask && attempts < max_prep_attempts_) {
+        ++attempts;
+        shadow_ = caller_shadow || attempts > 1;
+        replaySeg(Seg::PrepRound, c, g, static_cast<std::size_t>(role),
+                  plus, mask);
+        const std::size_t num_checks = plus ? x_check_bits_.size()
+                                            : z_check_bits_.size();
+        const SyndromePlanes synd = planesOf(plus, flips_.data());
+        std::uint64_t bad = orPlanes(synd, num_checks);
+        bad |= parityPlane(plus ? logical_x_bits_ : logical_z_bits_,
+                           flips_.data());
+        bad &= mask;
+        const std::uint64_t exited = attempts == max_prep_attempts_
+            ? mask : (mask & ~bad);
+        if (stats && exited)
+            stats->prepAttempts.addRepeated(attempts,
+                                            std::popcount(exited));
+        mask &= bad;
+    }
+    shadow_ = caller_shadow;
+}
+
+BatchedLogicalQubitExperiment::SyndromePlanes
+BatchedLogicalQubitExperiment::extractSyndrome(std::size_t c,
+                                               std::size_t g,
+                                               bool detect_x,
+                                               std::uint64_t active,
+                                               ExperimentStats *stats)
+{
+    prepVerified(c, g, Role::Ancilla, detect_x, active, stats);
+    replaySeg(Seg::ExtractRound, c, g, 0, detect_x, active);
+    const SyndromePlanes synd = planesOf(!detect_x, flips_.data());
+    if (stats) {
+        const std::size_t num_checks = detect_x ? z_check_bits_.size()
+                                                : x_check_bits_.size();
+        stats->nontrivialSyndrome.addBulk(
+            std::popcount(orPlanes(synd, num_checks) & active),
+            std::popcount(active));
+    }
+    return synd;
+}
+
+void
+BatchedLogicalQubitExperiment::applyCorrection(std::size_t c,
+                                               std::size_t g, Role role,
+                                               bool detect_x,
+                                               const SyndromePlanes &synd,
+                                               std::uint64_t active)
+{
+    const std::size_t num_checks = detect_x ? code_.zChecks().size()
+                                            : code_.xChecks().size();
+    if (!(orPlanes(synd, num_checks) & active))
+        return;
+    std::array<std::uint64_t, 32> inject{};
+    correctionWords(detect_x, synd, num_checks, inject.data());
+    for (std::size_t i = 0; i < n_; ++i) {
+        const std::uint64_t lanes = inject[i] & active;
+        if (!lanes)
+            continue;
+        const std::size_t q = ion(c, g, role, i);
+        // Fold the Pauli correction into the frame; the physical gate
+        // can itself fault, on exactly the lanes that applied it.
+        if (detect_x)
+            frame_.injectX(q, lanes);
+        else
+            frame_.injectZ(q, lanes);
+        quantum::depolarize1(frame_, q, model_.samplers[cls_corr_],
+                             model_.lanes, lanes);
+    }
+}
+
+void
+BatchedLogicalQubitExperiment::ecCycleL1(std::size_t c, std::size_t g,
+                                         std::uint64_t active,
+                                         ExperimentStats *stats)
+{
+    for (const bool detect_x : {true, false}) {
+        const std::size_t num_checks = detect_x ? code_.zChecks().size()
+                                                : code_.xChecks().size();
+        const SyndromePlanes first = extractSyndrome(c, g, detect_x,
+                                                     active, stats);
+        const std::uint64_t repeat = orPlanes(first, num_checks) & active;
+        SyndromePlanes final{};
+        if (repeat) {
+            // Non-trivial: extract once more on those lanes and act on
+            // the repeat (paper Section 4.1.1 assumption (b)).
+            const bool caller_shadow = shadow_;
+            shadow_ = true;
+            const SyndromePlanes second = extractSyndrome(c, g, detect_x,
+                                                          repeat, stats);
+            shadow_ = caller_shadow;
+            for (std::size_t j = 0; j < num_checks; ++j)
+                final[j] = second[j] & repeat;
+        }
+        applyCorrection(c, g, Role::Data, detect_x, final, active);
+    }
+}
+
+void
+BatchedLogicalQubitExperiment::prepL2Ancilla(std::size_t c, bool plus,
+                                             std::uint64_t active,
+                                             ExperimentStats *stats)
+{
+    const bool caller_shadow = shadow_;
+    std::uint64_t mask = active;
+    for (int attempt = 0; attempt < max_prep_attempts_ && mask;
+         ++attempt) {
+        shadow_ = caller_shadow || attempt > 0;
+        for (std::size_t g = 0; g < n_; ++g)
+            prepVerified(c, g, Role::Data, false, mask, stats);
+        replaySeg(Seg::L2Network, c, 0, 0, plus, mask);
+        for (std::size_t g = 0; g < n_; ++g)
+            ecCycleL1(c, g, mask, stats);
+
+        // Level-2 verification: per sub-block difference readout, inner
+        // decode, then the outer syndrome/parity check; "Start Over" on
+        // the lanes that fail.
+        const std::size_t num_checks = plus ? x_check_bits_.size()
+                                            : z_check_bits_.size();
+        const BitList &logical = plus ? logical_x_bits_ : logical_z_bits_;
+        std::array<std::uint64_t, 32> outer_flips{};
+        for (std::size_t g = 0; g < n_; ++g) {
+            replaySeg(Seg::VerifyPair, c, g,
+                      static_cast<std::size_t>(Role::Data), plus, mask);
+            const SyndromePlanes synd = planesOf(plus, flips_.data());
+            std::array<std::uint64_t, 32> corr{};
+            correctionWords(!plus, synd, num_checks, corr.data());
+            std::uint64_t plane = 0;
+            for (std::size_t j = 0; j < logical.count; ++j) {
+                const std::size_t i = logical.idx[j];
+                plane ^= flips_[i] ^ corr[i];
+            }
+            outer_flips[g] = plane & mask;
+        }
+        const SyndromePlanes outer_synd = planesOf(plus,
+                                                   outer_flips.data());
+        std::uint64_t bad = orPlanes(outer_synd, num_checks);
+        bad |= parityPlane(logical, outer_flips.data());
+        mask &= bad;
+    }
+    shadow_ = caller_shadow;
+}
+
+BatchedLogicalQubitExperiment::SyndromePlanes
+BatchedLogicalQubitExperiment::extractSyndromeL2(bool detect_x,
+                                                 std::uint64_t active,
+                                                 ExperimentStats *stats)
+{
+    const std::size_t ac = detect_x ? 1 : 2;
+    prepL2Ancilla(ac, detect_x, active, stats);
+    replaySeg(Seg::L2Cnot, 0, 0, 0, detect_x, active);
+    for (std::size_t g = 0; g < n_; ++g) {
+        ecCycleL1(0, g, active, stats);
+        ecCycleL1(ac, g, active, stats);
+    }
+    replaySeg(Seg::L2Readout, 0, 0, 0, detect_x, active);
+
+    const std::size_t num_checks = detect_x ? z_check_bits_.size()
+                                            : x_check_bits_.size();
+    const BitList &logical = detect_x ? logical_z_bits_ : logical_x_bits_;
+    std::array<std::uint64_t, 32> outer_flips{};
+    for (std::size_t g = 0; g < n_; ++g) {
+        const std::uint64_t *block_flips = flips_.data() + g * n_;
+        const SyndromePlanes synd = planesOf(!detect_x, block_flips);
+        std::array<std::uint64_t, 32> corr{};
+        correctionWords(detect_x, synd, num_checks, corr.data());
+        std::uint64_t plane = 0;
+        for (std::size_t j = 0; j < logical.count; ++j) {
+            const std::size_t i = logical.idx[j];
+            plane ^= block_flips[i] ^ corr[i];
+        }
+        outer_flips[g] = plane & active;
+    }
+    const SyndromePlanes outer = planesOf(!detect_x, outer_flips.data());
+    if (stats)
+        stats->nontrivialSyndrome.addBulk(
+            std::popcount(orPlanes(outer, num_checks) & active),
+            std::popcount(active));
+    return outer;
+}
+
+void
+BatchedLogicalQubitExperiment::ecCycleL2(std::uint64_t active,
+                                         ExperimentStats *stats)
+{
+    for (const bool detect_x : {true, false}) {
+        const std::size_t num_checks = detect_x ? code_.zChecks().size()
+                                                : code_.xChecks().size();
+        const SyndromePlanes first = extractSyndromeL2(detect_x, active,
+                                                       stats);
+        const std::uint64_t repeat = orPlanes(first, num_checks) & active;
+        SyndromePlanes final{};
+        if (repeat) {
+            shadow_ = true;
+            const SyndromePlanes second = extractSyndromeL2(detect_x,
+                                                            repeat, stats);
+            shadow_ = false;
+            for (std::size_t j = 0; j < num_checks; ++j)
+                final[j] = second[j] & repeat;
+        }
+        if (!(orPlanes(final, num_checks) & active))
+            continue;
+        // Logical Pauli corrections: sub-block g of each selected lane
+        // receives a transversal physical Pauli, faults included.
+        std::array<std::uint64_t, 32> blocks{};
+        correctionWords(detect_x, final, num_checks, blocks.data());
+        for (std::size_t g = 0; g < n_; ++g) {
+            const std::uint64_t lanes = blocks[g] & active;
+            if (!lanes)
+                continue;
+            for (std::size_t i = 0; i < n_; ++i) {
+                const std::size_t q = ion(0, g, Role::Data, i);
+                if (detect_x)
+                    frame_.injectX(q, lanes);
+                else
+                    frame_.injectZ(q, lanes);
+                quantum::depolarize1(frame_, q,
+                                     model_.samplers[cls_corr_],
+                                     model_.lanes, lanes);
+            }
+        }
+    }
+}
+
+std::uint64_t
+BatchedLogicalQubitExperiment::decodeLevel1(std::size_t c, std::size_t g,
+                                            Role role) const
+{
+    // Only residual logical-X frames count for the |0>_L input; see the
+    // scalar decodeLevel1 for the gauge argument.
+    std::array<std::uint64_t, 32> xm{};
+    for (std::size_t i = 0; i < n_; ++i)
+        xm[i] = frame_.xWord(ion(c, g, role, i));
+    return decodeXLogicalPlane(xm.data());
+}
+
+std::uint64_t
+BatchedLogicalQubitExperiment::decodeLevel2() const
+{
+    std::array<std::uint64_t, 32> outer{};
+    for (std::size_t g = 0; g < n_; ++g)
+        outer[g] = decodeLevel1(0, g, Role::Data);
+    return decodeXLogicalPlane(outer.data());
+}
+
+std::uint64_t
+BatchedLogicalQubitExperiment::runShots(int level, std::uint64_t active,
+                                        ExperimentStats *stats)
+{
+    qla_assert(level == 1 || level == 2, "levels 1 and 2 are supported");
+    shadow_ = false;
+    frame_.reset(); // perfectly encoded |0>_L input on every lane
+
+    replaySeg(Seg::LogicalGate, 0, 0, 0, level == 2, active);
+    if (level == 1) {
+        ecCycleL1(0, 0, active, stats);
+        return decodeLevel1(0, 0, Role::Data) & active;
+    }
+    ecCycleL2(active, stats);
+    return decodeLevel2() & active;
+}
+
+sim::RateStat
+BatchedLogicalQubitExperiment::failureRate(int level, std::size_t shots,
+                                           std::uint64_t seed,
+                                           ExperimentStats *stats)
+{
+    sim::RateStat rate;
+    const RngFamily family(seed);
+    std::size_t done = 0;
+    while (done < shots) {
+        const std::size_t batch = std::min<std::size_t>(kBatchLanes,
+                                                        shots - done);
+        const std::uint64_t active = batch == kBatchLanes
+            ? ~std::uint64_t{0}
+            : ((std::uint64_t{1} << batch) - 1);
+        model_.rearm(family, done);
+        const std::uint64_t failed = runShots(level, active, stats);
+        rate.addBulk(std::popcount(failed), batch);
+        if (stats)
+            stats->logicalFailure.addBulk(std::popcount(failed), batch);
+        done += batch;
+    }
+    return rate;
+}
+
+} // namespace qla::arq

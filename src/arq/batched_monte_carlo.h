@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Word-parallel (64 shots per word) Figure-7 logical-qubit Monte Carlo.
+ *
+ * The batched twin of LogicalQubitExperiment: the Figure-5 tile schedule
+ * is recorded once as flat FrameTraces (arq/frame_trace.h) and replayed
+ * on the BatchedPauliFrame engine, with the experiment's data-dependent
+ * control flow -- verified-preparation retry, syndrome-conditioned
+ * re-extraction, per-lane corrections -- driven by narrowing lane masks
+ * instead of branching per shot. All classical processing (syndrome
+ * computation, lookup correction, logical-parity decode) is bit-sliced:
+ * measurement flips are words over lanes, and a syndrome is a handful of
+ * XORed words rather than 64 scalar decodes.
+ *
+ * Noise is sampled per lane from RngFamily streams indexed by the global
+ * shot number, so a shot's result is independent of which 64-shot word
+ * it lands in; batched and scalar runs draw from the same distribution
+ * at every fault site and agree statistically (cross-checked by
+ * tests/test_batched_frame.cc and tests/test_arq_mc.cc).
+ */
+
+#ifndef QLA_ARQ_BATCHED_MONTE_CARLO_H
+#define QLA_ARQ_BATCHED_MONTE_CARLO_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arq/frame_trace.h"
+#include "arq/monte_carlo.h"
+#include "ecc/css_code.h"
+#include "quantum/batched_frame.h"
+#include "sim/stats.h"
+
+namespace qla::arq {
+
+/**
+ * Batched Monte Carlo over one QLA logical-qubit tile (Figure 5),
+ * simulating up to 64 shots per machine word.
+ */
+class BatchedLogicalQubitExperiment
+{
+  public:
+    BatchedLogicalQubitExperiment(const ecc::CssCode &code,
+                                  NoiseParameters noise,
+                                  LayoutDistances layout = {},
+                                  int max_prep_attempts = 16);
+
+    BatchedLogicalQubitExperiment(const BatchedLogicalQubitExperiment &)
+        = delete;
+    BatchedLogicalQubitExperiment &
+    operator=(const BatchedLogicalQubitExperiment &) = delete;
+
+    /**
+     * One word of shots of the level-@p level experiment on the lanes in
+     * @p active (the noise model must have been rearmed for this word).
+     * @return the lanes that ended with a logical error.
+     */
+    std::uint64_t runShots(int level, std::uint64_t active,
+                           ExperimentStats *stats = nullptr);
+
+    /**
+     * Monte-Carlo estimate of the logical gate failure rate over
+     * @p shots shots; shot i draws from RngFamily(seed).stream(i).
+     */
+    sim::RateStat failureRate(int level, std::size_t shots,
+                              std::uint64_t seed,
+                              ExperimentStats *stats = nullptr);
+
+  private:
+    enum class Role : std::size_t { Data = 0, Ancilla = 1, Verify = 2 };
+
+    /** Straight-line segments of the recorded tile schedule. */
+    enum class Seg : std::uint8_t {
+        PrepRound,    ///< one verified-preparation attempt: encode the
+                      ///< role row, encode the Verify row, interact and
+                      ///< read out (the body of the retry loop)
+        VerifyPair,   ///< encode the Verify row + verification round
+                      ///< against an existing row (level-2 verification)
+        ExtractRound, ///< transversal CNOT + ancilla readout
+        L2Network,    ///< level-2 encoding network over one conglomeration
+        L2Cnot,       ///< transversal logical CNOT data<->ancilla congl.
+        L2Readout,    ///< destructive readout of the ancilla congl.
+        LogicalGate,  ///< the noisy transversal logical gate under test
+    };
+
+    /** One bit-plane per check row; lanes across each word. */
+    using SyndromePlanes = std::array<std::uint64_t, 8>;
+
+    std::size_t ion(std::size_t c, std::size_t g, Role role,
+                    std::size_t i) const;
+
+    //
+    // Trace recording (runs once, in the constructor).
+    //
+
+    std::size_t traceIndex(Seg seg, std::size_t c, std::size_t g,
+                           std::size_t role, bool flag) const;
+    const NoiseClassTable &recordAllTraces();
+    double moveProbability(Cells cells, int turns) const;
+    void recordEncode(FrameTraceBuilder &tb, std::size_t c, std::size_t g,
+                      Role role, bool plus);
+    void recordVerifyRound(FrameTraceBuilder &tb, std::size_t c,
+                           std::size_t g, Role role, bool plus);
+    void recordPrepRound(FrameTraceBuilder &tb, std::size_t c,
+                         std::size_t g, Role role, bool plus);
+    void recordVerifyPair(FrameTraceBuilder &tb, std::size_t c,
+                          std::size_t g, Role role, bool plus);
+    void recordExtractRound(FrameTraceBuilder &tb, std::size_t c,
+                            std::size_t g, bool detect_x);
+    void recordL2Network(FrameTraceBuilder &tb, std::size_t c, bool plus);
+    void recordL2Cnot(FrameTraceBuilder &tb, bool detect_x);
+    void recordL2Readout(FrameTraceBuilder &tb, bool detect_x);
+    void recordLogicalGate(FrameTraceBuilder &tb, int level);
+
+    /**
+     * Replay a recorded segment. The straight-line schedule uses the
+     * primary noise classes; retry / conditional subtrees (tracked by
+     * shadow_) use the shadow-class variant of the same trace so the
+     * full-width samplers keep their fast path (see
+     * NoiseClassTable::newClass).
+     */
+    void replaySeg(Seg seg, std::size_t c, std::size_t g,
+                   std::size_t role, bool flag, std::uint64_t active);
+
+    //
+    // Bit-sliced classical decoding helpers.
+    //
+
+    /** Qubit indices of one check row / logical support, precomputed so
+     *  the hot decode loops XOR flip words without bit scanning. */
+    struct BitList
+    {
+        std::uint8_t count = 0;
+        std::array<std::uint8_t, 32> idx{};
+    };
+
+    static BitList bitListOf(ecc::QubitMask mask);
+
+    /** XOR of the flip words selected by @p bits. */
+    static std::uint64_t parityPlane(const BitList &bits,
+                                     const std::uint64_t *flip_words)
+    {
+        std::uint64_t plane = 0;
+        for (std::size_t j = 0; j < bits.count; ++j)
+            plane ^= flip_words[bits.idx[j]];
+        return plane;
+    }
+
+    static std::uint64_t orPlanes(const SyndromePlanes &planes,
+                                  std::size_t count);
+
+    SyndromePlanes planesOf(bool x_type_checks,
+                            const std::uint64_t *flip_words) const
+    {
+        const auto &rows = x_type_checks ? x_check_bits_ : z_check_bits_;
+        SyndromePlanes planes{};
+        for (std::size_t j = 0; j < rows.size(); ++j)
+            planes[j] = parityPlane(rows[j], flip_words);
+        return planes;
+    }
+
+    /**
+     * For every syndrome value v, OR the lanes whose syndrome equals v
+     * into @p words[i] for each qubit i of the lookup correction of v.
+     */
+    void correctionWords(bool x_corr, const SyndromePlanes &synd,
+                         std::size_t num_checks,
+                         std::uint64_t *words) const;
+
+    /** Lanes whose corrected X pattern still carries a logical X. */
+    std::uint64_t decodeXLogicalPlane(const std::uint64_t *x_words) const;
+
+    //
+    // Driver building blocks; each mirrors the scalar twin in
+    // monte_carlo.cc with masks instead of branches.
+    //
+
+    void prepVerified(std::size_t c, std::size_t g, Role role, bool plus,
+                      std::uint64_t active, ExperimentStats *stats);
+    SyndromePlanes extractSyndrome(std::size_t c, std::size_t g,
+                                   bool detect_x, std::uint64_t active,
+                                   ExperimentStats *stats);
+    void applyCorrection(std::size_t c, std::size_t g, Role role,
+                         bool detect_x, const SyndromePlanes &synd,
+                         std::uint64_t active);
+    void ecCycleL1(std::size_t c, std::size_t g, std::uint64_t active,
+                   ExperimentStats *stats);
+    void prepL2Ancilla(std::size_t c, bool plus, std::uint64_t active,
+                       ExperimentStats *stats);
+    SyndromePlanes extractSyndromeL2(bool detect_x, std::uint64_t active,
+                                     ExperimentStats *stats);
+    void ecCycleL2(std::uint64_t active, ExperimentStats *stats);
+    std::uint64_t decodeLevel1(std::size_t c, std::size_t g,
+                               Role role) const;
+    std::uint64_t decodeLevel2() const;
+
+    const ecc::CssCode &code_;
+    std::vector<BitList> x_check_bits_; // xChecks() rows as index lists
+    std::vector<BitList> z_check_bits_;
+    BitList logical_x_bits_;
+    BitList logical_z_bits_;
+    NoiseParameters noise_;
+    LayoutDistances layout_;
+    int max_prep_attempts_;
+    std::size_t n_; // block length (7)
+    quantum::BatchedPauliFrame frame_;
+    NoiseClassTable classes_;
+    // Trace variants: [0] full-width primary classes, [1] shadow-class
+    // twins for narrowed-mask replays; see recordAllTraces.
+    std::array<std::vector<FrameTrace>, 2> traces_;
+    std::uint8_t cls_corr_ = 0; // shadow gate1 class for corrections
+    /**
+     * True while replaying a retry / conditional subtree. Decides the
+     * trace variant structurally -- a lane's sampler assignment at a
+     * site is then a function of its own control-flow path, so shot
+     * results stay independent of the word's other lanes (and of the
+     * batch grouping), as the determinism contract requires.
+     */
+    bool shadow_ = false;
+    BatchedNoiseModel model_; // must follow classes_/traces_ (see ctor)
+    std::vector<std::uint64_t> flips_;
+};
+
+} // namespace qla::arq
+
+#endif // QLA_ARQ_BATCHED_MONTE_CARLO_H

@@ -102,4 +102,67 @@ executeOnStateVector(const circuit::QuantumCircuit &circuit,
     return executeOnBackend(circuit, state, rng);
 }
 
+BatchedExecutionResult
+executeOnBatchedFrame(const circuit::QuantumCircuit &circuit,
+                      quantum::BatchedFrameBackend &frame,
+                      std::uint64_t lanes)
+{
+    using circuit::OpKind;
+    qla_assert(frame.numQubits() >= circuit.numQubits(),
+               "'", frame.backendName(),
+               "' register too small for circuit");
+    qla_assert(circuit.isClifford(),
+               "circuit '", circuit.name(),
+               "' contains non-Clifford ops; the '", frame.backendName(),
+               "' backend only propagates Clifford frames");
+    BatchedExecutionResult result;
+    for (const auto &op : circuit.ops()) {
+        qla_assert(op.condition < 0,
+                   "classically conditioned ops are meaningless on the '",
+                   frame.backendName(),
+                   "' backend: its measurement record holds flips, not "
+                   "outcomes");
+        switch (op.kind) {
+          case OpKind::PrepZ:
+            frame.resetQubit(op.q0, lanes);
+            break;
+          case OpKind::PrepX:
+            frame.resetQubit(op.q0, lanes);
+            frame.h(op.q0, lanes);
+            break;
+          case OpKind::H:
+            frame.h(op.q0, lanes);
+            break;
+          case OpKind::S:
+          case OpKind::Sdg: // S and S^dagger conjugate the frame alike
+            frame.s(op.q0, lanes);
+            break;
+          case OpKind::X:
+          case OpKind::Y:
+          case OpKind::Z:
+            break; // Paulis commute with the frame up to phase
+          case OpKind::Cnot:
+            frame.cnot(op.q0, op.q1, lanes);
+            break;
+          case OpKind::Cz:
+            frame.cz(op.q0, op.q1, lanes);
+            break;
+          case OpKind::Swap:
+            frame.swap(op.q0, op.q1, lanes);
+            break;
+          case OpKind::MeasureZ:
+            result.measurementFlips.push_back(
+                frame.measureZFlip(op.q0, lanes));
+            break;
+          case OpKind::MeasureX:
+            result.measurementFlips.push_back(
+                frame.measureXFlip(op.q0, lanes));
+            break;
+          default:
+            qla_fatal("non-Clifford op in Clifford circuit");
+        }
+    }
+    return result;
+}
+
 } // namespace qla::arq

@@ -52,6 +52,24 @@ ExecutionResult executeOnStateVector(const circuit::QuantumCircuit &circuit,
                                      quantum::StateVector &state,
                                      Rng &rng);
 
+/** Batched execution record: one flip word per measurement, lanes across
+ *  each word (bit l = shot lane l). */
+struct BatchedExecutionResult
+{
+    std::vector<std::uint64_t> measurementFlips;
+};
+
+/**
+ * Execute a Clifford circuit on a batched frame engine for the shots in
+ * @p lanes, 64 at a time. The frame picture has no classical outcomes,
+ * only flips relative to the ideal ones, so classically conditioned ops
+ * are rejected just as on the scalar PauliFrame; Pauli gates commute
+ * with the frame and dispatch to nothing.
+ */
+BatchedExecutionResult executeOnBatchedFrame(
+    const circuit::QuantumCircuit &circuit,
+    quantum::BatchedFrameBackend &frame, std::uint64_t lanes);
+
 } // namespace qla::arq
 
 #endif // QLA_ARQ_EXECUTOR_H

@@ -1,0 +1,375 @@
+#include "arq/frame_trace.h"
+
+#include "common/logging.h"
+
+namespace qla::arq {
+
+namespace {
+
+/** Qubit index narrowed to the packed-op width. */
+std::uint16_t
+q16(std::size_t q)
+{
+    qla_assert(q <= 0xffff, "qubit index exceeds packed trace width");
+    return static_cast<std::uint16_t>(q);
+}
+
+} // namespace
+
+std::uint8_t
+NoiseClassTable::classOf(double p)
+{
+    for (std::size_t i = 0; i < probs_.size(); ++i)
+        if (probs_[i] == p)
+            return static_cast<std::uint8_t>(i);
+    qla_assert(probs_.size() < 0xff, "noise class table overflow");
+    probs_.push_back(p);
+    return static_cast<std::uint8_t>(probs_.size() - 1);
+}
+
+std::uint8_t
+NoiseClassTable::newClass(double p)
+{
+    qla_assert(probs_.size() < 0xff, "noise class table overflow");
+    probs_.push_back(p);
+    return static_cast<std::uint8_t>(probs_.size() - 1);
+}
+
+void
+FrameTraceBuilder::h(std::size_t q)
+{
+    trace_.ops.push_back({FrameOp::Kind::H, 0, 0, 0, q16(q), 0});
+}
+
+void
+FrameTraceBuilder::s(std::size_t q)
+{
+    trace_.ops.push_back({FrameOp::Kind::S, 0, 0, 0, q16(q), 0});
+}
+
+void
+FrameTraceBuilder::cnot(std::size_t control, std::size_t target)
+{
+    trace_.ops.push_back({FrameOp::Kind::Cnot, 0, 0, 0, q16(control), q16(target)});
+}
+
+void
+FrameTraceBuilder::cz(std::size_t a, std::size_t b)
+{
+    trace_.ops.push_back({FrameOp::Kind::Cz, 0, 0, 0, q16(a), q16(b)});
+}
+
+void
+FrameTraceBuilder::swapGate(std::size_t a, std::size_t b)
+{
+    trace_.ops.push_back({FrameOp::Kind::Swap, 0, 0, 0, q16(a), q16(b)});
+}
+
+void
+FrameTraceBuilder::reset(std::size_t q)
+{
+    trace_.ops.push_back({FrameOp::Kind::Reset, 0, 0, 0, q16(q), 0});
+}
+
+void
+FrameTraceBuilder::noise1(double p, std::size_t q)
+{
+    trace_.ops.push_back({FrameOp::Kind::Noise1, classes_.classOf(p), 0, 0, q16(q), 0});
+}
+
+void
+FrameTraceBuilder::noise2(double p, std::size_t a, std::size_t b)
+{
+    trace_.ops.push_back({FrameOp::Kind::Noise2, classes_.classOf(p), 0, 0, q16(a), q16(b)});
+}
+
+void
+FrameTraceBuilder::noisyH(std::size_t q, double p1)
+{
+    trace_.ops.push_back({FrameOp::Kind::NoisyH, classes_.classOf(p1), 0,
+                          0, q16(q), 0});
+}
+
+void
+FrameTraceBuilder::noisyCnot(std::size_t control, std::size_t target,
+                             std::size_t moved, double p_move, double p2)
+{
+    qla_assert(moved == control || moved == target);
+    const auto kind = moved == target ? FrameOp::Kind::NoisyCnotMT
+                                      : FrameOp::Kind::NoisyCnotMC;
+    trace_.ops.push_back({kind, classes_.classOf(p_move),
+                          classes_.classOf(p2), 0, q16(control),
+                          q16(target)});
+}
+
+void
+FrameTraceBuilder::noisyCnotMeas(std::size_t control, std::size_t target,
+                                 std::size_t moved, double p_move,
+                                 double p2, bool measure_x,
+                                 double readout_error)
+{
+    qla_assert(moved == control || moved == target);
+    FrameOp::Kind kind;
+    if (moved == target)
+        kind = measure_x ? FrameOp::Kind::NoisyCnotMTMeasX
+                         : FrameOp::Kind::NoisyCnotMTMeasZ;
+    else
+        kind = measure_x ? FrameOp::Kind::NoisyCnotMCMeasX
+                         : FrameOp::Kind::NoisyCnotMCMeasZ;
+    trace_.ops.push_back({kind, classes_.classOf(p_move),
+                          classes_.classOf(p2),
+                          classes_.classOf(readout_error), q16(control),
+                          q16(target)});
+    ++trace_.numMeasurements;
+}
+
+void
+FrameTraceBuilder::noise1Range(std::size_t first, std::size_t count,
+                               double p)
+{
+    qla_assert(count > 0);
+    q16(first + count - 1);
+    trace_.ops.push_back({FrameOp::Kind::Noise1Range, classes_.classOf(p),
+                          0, 0, q16(first),
+                          static_cast<std::uint16_t>(count)});
+}
+
+void
+FrameTraceBuilder::measureRange(std::size_t first, std::size_t count,
+                                bool measure_x, double readout_error)
+{
+    qla_assert(count > 0);
+    q16(first + count - 1);
+    trace_.ops.push_back({measure_x ? FrameOp::Kind::MeasureXRange
+                                    : FrameOp::Kind::MeasureZRange,
+                          classes_.classOf(readout_error), 0, 0, q16(first),
+                          static_cast<std::uint16_t>(count)});
+    trace_.numMeasurements += count;
+}
+
+void
+FrameTraceBuilder::resetRange(std::size_t first, std::size_t count)
+{
+    qla_assert(count > 0);
+    q16(first + count - 1);
+    trace_.ops.push_back({FrameOp::Kind::ResetRange, 0, 0, 0, q16(first),
+                          static_cast<std::uint16_t>(count)});
+}
+
+void
+FrameTraceBuilder::measureZ(std::size_t q, double readout_error)
+{
+    trace_.ops.push_back({FrameOp::Kind::MeasureZ,
+                          classes_.classOf(readout_error), 0, 0, q16(q),
+                          0});
+    ++trace_.numMeasurements;
+}
+
+void
+FrameTraceBuilder::measureX(std::size_t q, double readout_error)
+{
+    trace_.ops.push_back({FrameOp::Kind::MeasureX,
+                          classes_.classOf(readout_error), 0, 0, q16(q),
+                          0});
+    ++trace_.numMeasurements;
+}
+
+FrameTrace
+FrameTraceBuilder::take()
+{
+    FrameTrace out = std::move(trace_);
+    trace_ = FrameTrace{};
+    return out;
+}
+
+BatchedNoiseModel::BatchedNoiseModel(const NoiseClassTable &classes)
+{
+    samplers.reserve(classes.probabilities().size());
+    for (double p : classes.probabilities())
+        samplers.emplace_back(p);
+}
+
+void
+BatchedNoiseModel::rearm(const RngFamily &family, std::uint64_t first_shot)
+{
+    for (std::size_t l = 0; l < kBatchLanes; ++l)
+        lanes[l] = family.stream(first_shot + l);
+    for (auto &sampler : samplers)
+        sampler.disarm();
+}
+
+void
+replayTrace(const FrameTrace &trace, quantum::BatchedPauliFrame &frame,
+            BatchedNoiseModel &noise, std::uint64_t active,
+            std::vector<std::uint64_t> &flips)
+{
+    // The Monte Carlo's innermost loop: concrete frame type (direct word
+    // ops), inline sampler fast path, and out-of-line Pauli application
+    // for the rare fired lanes.
+    for (const FrameOp &op : trace.ops) {
+        switch (op.kind) {
+          case FrameOp::Kind::H:
+            frame.h(op.a, active);
+            break;
+          case FrameOp::Kind::S:
+            frame.s(op.a, active);
+            break;
+          case FrameOp::Kind::Cnot:
+            frame.cnot(op.a, op.b, active);
+            break;
+          case FrameOp::Kind::Cz:
+            frame.cz(op.a, op.b, active);
+            break;
+          case FrameOp::Kind::Swap:
+            frame.swap(op.a, op.b, active);
+            break;
+          case FrameOp::Kind::Reset:
+            frame.resetQubit(op.a, active);
+            break;
+          case FrameOp::Kind::Noise1: {
+            const std::uint64_t fired =
+                noise.samplers[op.cls].sample(active, noise.lanes);
+            if (fired)
+                quantum::applyDepolarize1(frame, op.a, fired, noise.lanes);
+            break;
+          }
+          case FrameOp::Kind::Noise2: {
+            const std::uint64_t fired =
+                noise.samplers[op.cls].sample(active, noise.lanes);
+            if (fired)
+                quantum::applyDepolarize2(frame, op.a, op.b, fired,
+                                          noise.lanes);
+            break;
+          }
+          case FrameOp::Kind::NoisyH: {
+            frame.h(op.a, active);
+            const std::uint64_t fired =
+                noise.samplers[op.cls].sample(active, noise.lanes);
+            if (fired)
+                quantum::applyDepolarize1(frame, op.a, fired, noise.lanes);
+            break;
+          }
+          case FrameOp::Kind::NoisyCnotMT: {
+            auto &move = noise.samplers[op.cls];
+            const std::uint64_t in = move.sample(active, noise.lanes);
+            if (in)
+                quantum::applyDepolarize1(frame, op.b, in, noise.lanes);
+            frame.cnot(op.a, op.b, active);
+            const std::uint64_t both =
+                noise.samplers[op.cls2].sample(active, noise.lanes);
+            if (both)
+                quantum::applyDepolarize2(frame, op.a, op.b, both,
+                                          noise.lanes);
+            const std::uint64_t out = move.sample(active, noise.lanes);
+            if (out)
+                quantum::applyDepolarize1(frame, op.b, out, noise.lanes);
+            break;
+          }
+          case FrameOp::Kind::NoisyCnotMC: {
+            auto &move = noise.samplers[op.cls];
+            const std::uint64_t in = move.sample(active, noise.lanes);
+            if (in)
+                quantum::applyDepolarize1(frame, op.a, in, noise.lanes);
+            frame.cnot(op.a, op.b, active);
+            const std::uint64_t both =
+                noise.samplers[op.cls2].sample(active, noise.lanes);
+            if (both)
+                quantum::applyDepolarize2(frame, op.b, op.a, both,
+                                          noise.lanes);
+            const std::uint64_t out = move.sample(active, noise.lanes);
+            if (out)
+                quantum::applyDepolarize1(frame, op.a, out, noise.lanes);
+            break;
+          }
+          case FrameOp::Kind::NoisyCnotMTMeasZ:
+          case FrameOp::Kind::NoisyCnotMTMeasX: {
+            auto &move = noise.samplers[op.cls];
+            const std::uint64_t in = move.sample(active, noise.lanes);
+            if (in)
+                quantum::applyDepolarize1(frame, op.b, in, noise.lanes);
+            frame.cnot(op.a, op.b, active);
+            const std::uint64_t both =
+                noise.samplers[op.cls2].sample(active, noise.lanes);
+            if (both)
+                quantum::applyDepolarize2(frame, op.a, op.b, both,
+                                          noise.lanes);
+            const std::uint64_t out = move.sample(active, noise.lanes);
+            if (out)
+                quantum::applyDepolarize1(frame, op.b, out, noise.lanes);
+            const std::uint64_t raw
+                = op.kind == FrameOp::Kind::NoisyCnotMTMeasZ
+                ? frame.measureZFlip(op.b, active)
+                : frame.measureXFlip(op.b, active);
+            flips.push_back(raw
+                            ^ noise.samplers[op.cls3].sample(active,
+                                                             noise.lanes));
+            break;
+          }
+          case FrameOp::Kind::NoisyCnotMCMeasZ:
+          case FrameOp::Kind::NoisyCnotMCMeasX: {
+            auto &move = noise.samplers[op.cls];
+            const std::uint64_t in = move.sample(active, noise.lanes);
+            if (in)
+                quantum::applyDepolarize1(frame, op.a, in, noise.lanes);
+            frame.cnot(op.a, op.b, active);
+            const std::uint64_t both =
+                noise.samplers[op.cls2].sample(active, noise.lanes);
+            if (both)
+                quantum::applyDepolarize2(frame, op.b, op.a, both,
+                                          noise.lanes);
+            const std::uint64_t out = move.sample(active, noise.lanes);
+            if (out)
+                quantum::applyDepolarize1(frame, op.a, out, noise.lanes);
+            const std::uint64_t raw
+                = op.kind == FrameOp::Kind::NoisyCnotMCMeasZ
+                ? frame.measureZFlip(op.a, active)
+                : frame.measureXFlip(op.a, active);
+            flips.push_back(raw
+                            ^ noise.samplers[op.cls3].sample(active,
+                                                             noise.lanes));
+            break;
+          }
+          case FrameOp::Kind::ResetRange:
+            for (std::size_t q = op.a; q < op.a + std::size_t{op.b}; ++q)
+                frame.resetQubit(q, active);
+            break;
+          case FrameOp::Kind::Noise1Range: {
+            auto &sampler = noise.samplers[op.cls];
+            for (std::size_t q = op.a; q < op.a + std::size_t{op.b}; ++q) {
+                const std::uint64_t fired = sampler.sample(active,
+                                                           noise.lanes);
+                if (fired)
+                    quantum::applyDepolarize1(frame, q, fired,
+                                              noise.lanes);
+            }
+            break;
+          }
+          case FrameOp::Kind::MeasureZRange: {
+            auto &readout = noise.samplers[op.cls];
+            for (std::size_t q = op.a; q < op.a + std::size_t{op.b}; ++q)
+                flips.push_back(frame.measureZFlip(q, active)
+                                ^ readout.sample(active, noise.lanes));
+            break;
+          }
+          case FrameOp::Kind::MeasureXRange: {
+            auto &readout = noise.samplers[op.cls];
+            for (std::size_t q = op.a; q < op.a + std::size_t{op.b}; ++q)
+                flips.push_back(frame.measureXFlip(q, active)
+                                ^ readout.sample(active, noise.lanes));
+            break;
+          }
+          case FrameOp::Kind::MeasureZ:
+            flips.push_back(frame.measureZFlip(op.a, active)
+                            ^ noise.samplers[op.cls].sample(active,
+                                                            noise.lanes));
+            break;
+          case FrameOp::Kind::MeasureX:
+            flips.push_back(frame.measureXFlip(op.a, active)
+                            ^ noise.samplers[op.cls].sample(active,
+                                                            noise.lanes));
+            break;
+        }
+    }
+}
+
+} // namespace qla::arq

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Record/replay representation of frame-picture schedules.
+ *
+ * The Figure-5 tile experiment has data-dependent control flow (verified
+ * ancilla preparation retries, syndrome-conditioned re-extraction), so it
+ * cannot be flattened into one straight-line program -- but every segment
+ * *between* decisions can. A FrameTrace is such a segment: a flat list of
+ * frame operations (gate, move/fault site, measure, reset) recorded once
+ * and replayed word-parallel on a BatchedFrameBackend with a per-shot
+ * lane mask. The driver (arq/batched_monte_carlo.*) makes the decisions
+ * by narrowing masks between replays.
+ *
+ * Fault sites reference noise classes -- deduplicated probabilities
+ * registered in a NoiseClassTable at record time -- and a
+ * BatchedNoiseModel binds one geometric-gap Bernoulli sampler per class
+ * plus the 64 per-lane Rng streams, so replaying a trace consumes
+ * randomness per lane exactly as the scalar engine would.
+ */
+
+#ifndef QLA_ARQ_FRAME_TRACE_H
+#define QLA_ARQ_FRAME_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/batched_sampler.h"
+#include "common/rng.h"
+#include "quantum/batched_frame.h"
+
+namespace qla::arq {
+
+/** Registry of deduplicated fault-site probabilities. */
+class NoiseClassTable
+{
+  public:
+    /** Class id for probability @p p (registering it if new). */
+    std::uint8_t classOf(double p);
+
+    /**
+     * Register a fresh class even when the probability already exists.
+     * Used to give sparse-mask paths (retries, conditional corrections)
+     * samplers of their own, so they never force the full-width
+     * samplers to park and unpark whole words of lane clocks.
+     */
+    std::uint8_t newClass(double p);
+
+    const std::vector<double> &probabilities() const { return probs_; }
+
+  private:
+    std::vector<double> probs_;
+};
+
+/** One recorded frame operation (packed: replay is op-dispatch-bound). */
+struct FrameOp
+{
+    enum class Kind : std::uint8_t {
+        H,
+        S,
+        Cnot,
+        Cz,
+        Swap,
+        Reset,    ///< fresh preparation: clear the qubit's frame
+        Noise1,   ///< single-qubit depolarizing fault site (class cls)
+        Noise2,   ///< two-qubit depolarizing fault site (class cls)
+        MeasureZ, ///< flip readout; cls is the readout-error class
+        MeasureX,
+        //
+        // Fused ops for the dominant schedule patterns -- one dispatch
+        // instead of three or four, identical semantics:
+        //
+        NoisyH,       ///< H on a, then fault site cls on a
+        NoisyCnotMT,  ///< move fault cls on b; CNOT a->b; fault cls2 on
+                      ///< (a, b); move fault cls on b (the transversal
+                      ///< move-gate-move step, target ion shuttling)
+        NoisyCnotMC,  ///< the same step with the control ion shuttling:
+                      ///< move fault cls on a; CNOT a->b; fault cls2 on
+                      ///< (b, a); move fault cls on a
+        //
+        // Round steps: the NoisyCnot variants immediately followed by a
+        // flip readout of the shuttled ion (cls3 = readout-error class).
+        //
+        NoisyCnotMTMeasZ,
+        NoisyCnotMTMeasX,
+        NoisyCnotMCMeasZ,
+        NoisyCnotMCMeasX,
+        ResetRange,   ///< reset qubits [a, a + b)
+        Noise1Range,  ///< fault site cls on each qubit of [a, a + b)
+        MeasureZRange, ///< flip readout of qubits [a, a + b)
+        MeasureXRange,
+    };
+
+    Kind kind;
+    std::uint8_t cls = 0;
+    std::uint8_t cls2 = 0;
+    std::uint8_t cls3 = 0;
+    std::uint16_t a = 0;
+    std::uint16_t b = 0;
+};
+
+static_assert(sizeof(FrameOp) <= 8, "replay walks traces; keep ops small");
+
+/** A straight-line segment of the tile schedule. */
+struct FrameTrace
+{
+    std::vector<FrameOp> ops;
+    std::size_t numMeasurements = 0;
+};
+
+/** Emits FrameOps; the recording twin of the scalar noisy primitives. */
+class FrameTraceBuilder
+{
+  public:
+    explicit FrameTraceBuilder(NoiseClassTable &classes)
+        : classes_(classes)
+    {
+    }
+
+    void h(std::size_t q);
+    void s(std::size_t q);
+    void cnot(std::size_t control, std::size_t target);
+    void cz(std::size_t a, std::size_t b);
+    void swapGate(std::size_t a, std::size_t b);
+    void reset(std::size_t q);
+    void noise1(double p, std::size_t q);
+    void noise2(double p, std::size_t a, std::size_t b);
+    /** H on @p q followed by a fault site of probability @p p1. */
+    void noisyH(std::size_t q, double p1);
+    /**
+     * The transversal step of the tile: a fault of probability @p p_move
+     * on @p moved (the ion shuttling in; must be the control or the
+     * target), CNOT, a two-qubit fault of probability @p p2 ordered
+     * (unmoved, moved) as in the scalar schedule, and the shuttle back.
+     */
+    void noisyCnot(std::size_t control, std::size_t target,
+                   std::size_t moved, double p_move, double p2);
+    /** noisyCnot followed by a flip readout of @p moved. */
+    void noisyCnotMeas(std::size_t control, std::size_t target,
+                       std::size_t moved, double p_move, double p2,
+                       bool measure_x, double readout_error);
+    /** Fresh preparation of @p count consecutive qubits from @p first. */
+    void resetRange(std::size_t first, std::size_t count);
+    /** Fault site of probability @p p on each of @p count qubits. */
+    void noise1Range(std::size_t first, std::size_t count, double p);
+    /** Flip readout of @p count consecutive qubits from @p first. */
+    void measureRange(std::size_t first, std::size_t count, bool measure_x,
+                      double readout_error);
+    void measureZ(std::size_t q, double readout_error);
+    void measureX(std::size_t q, double readout_error);
+
+    /** Move the recorded trace out of the builder. */
+    FrameTrace take();
+
+  private:
+    NoiseClassTable &classes_;
+    FrameTrace trace_;
+};
+
+/** Per-class samplers plus per-lane streams for one 64-shot word. */
+struct BatchedNoiseModel
+{
+    explicit BatchedNoiseModel(const NoiseClassTable &classes);
+
+    /**
+     * Bind the 64 lanes to the family streams for shots
+     * [first_shot, first_shot + 64) and disarm every sampler; lane l's
+     * noise then depends only on (family, first_shot + l).
+     */
+    void rearm(const RngFamily &family, std::uint64_t first_shot);
+
+    LaneRngs lanes;
+    std::vector<BernoulliWordSampler> samplers;
+};
+
+/**
+ * Replay @p trace on @p frame for the lanes in @p active. Measurement
+ * flip words are appended to @p flips in op order (the caller clears the
+ * buffer between replays). Takes the concrete engine so every gate and
+ * readout compiles to direct word operations -- replay is the Monte
+ * Carlo's innermost loop.
+ */
+void replayTrace(const FrameTrace &trace, quantum::BatchedPauliFrame &frame,
+                 BatchedNoiseModel &noise, std::uint64_t active,
+                 std::vector<std::uint64_t> &flips);
+
+} // namespace qla::arq
+
+#endif // QLA_ARQ_FRAME_TRACE_H

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "arq/batched_monte_carlo.h"
 #include "common/logging.h"
 #include "ecc/steane.h"
 
@@ -518,6 +519,28 @@ LogicalQubitExperiment::failureRate(int level, std::size_t shots,
 std::vector<ThresholdPoint>
 thresholdSweep(const std::vector<double> &physical_errors,
                std::size_t shots, std::uint64_t seed)
+{
+    std::vector<ThresholdPoint> points;
+    Rng seeder(seed);
+    for (double p : physical_errors) {
+        BatchedLogicalQubitExperiment experiment(ecc::steaneCode(),
+                                                 NoiseParameters::swept(p));
+        ThresholdPoint point;
+        point.physicalError = p;
+        const auto l1 = experiment.failureRate(1, shots, seeder.next64());
+        const auto l2 = experiment.failureRate(2, shots, seeder.next64());
+        point.level1Failure = l1.rate();
+        point.level1Error = l1.halfWidth95();
+        point.level2Failure = l2.rate();
+        point.level2Error = l2.halfWidth95();
+        points.push_back(point);
+    }
+    return points;
+}
+
+std::vector<ThresholdPoint>
+thresholdSweepScalar(const std::vector<double> &physical_errors,
+                     std::size_t shots, std::uint64_t seed)
 {
     std::vector<ThresholdPoint> points;
     Rng rng(seed);

@@ -1,0 +1,164 @@
+#include "common/batched_sampler.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace qla {
+
+namespace {
+
+/** Gaps past this are "never fires in any realistic trace". */
+constexpr std::int64_t kMaxGap = std::int64_t{1} << 46;
+
+constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+
+/**
+ * log2 for x in (0, 1): exponent from the IEEE-754 bits plus an atanh
+ * series for the mantissa, range-reduced to [1/sqrt(2), sqrt(2)) so
+ * |z| <= 0.1716 and the series truncation error stays below 3e-9. A
+ * handful of multiplies instead of a libm call -- this runs for every
+ * geometric gap draw. The ~3e-9 error can shift nextGap's floor on a
+ * ~|log2(1-p)|^-1 * 3e-9 fraction of draws (about 2e-6 of draws at
+ * p = 1e-3): statistically indistinguishable from exact inversion at
+ * any feasible shot count.
+ */
+double
+fastLog2(double x)
+{
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+    int exponent = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+    double m = std::bit_cast<double>(
+        (bits & 0x000fffffffffffffULL) | 0x3ff0000000000000ULL); // [1, 2)
+    if (m >= 1.4142135623730951) { // keep |z| small: m in [0.707, 1.414)
+        m *= 0.5;
+        exponent += 1;
+    }
+    const double z = (m - 1.0) / (m + 1.0);
+    const double z2 = z * z;
+    const double ln_m = 2.0 * z
+        * (1.0
+           + z2 * (1.0 / 3.0
+                   + z2 * (1.0 / 5.0 + z2 * (1.0 / 7.0 + z2 / 9.0))));
+    return exponent + ln_m * 1.4426950408889634; // 1/ln 2
+}
+
+} // namespace
+
+BernoulliWordSampler::BernoulliWordSampler(double p) : p_(p)
+{
+    qla_assert(p >= 0.0 && p <= 1.0, "Bernoulli probability ", p);
+    if (p_ > 0.0 && p_ < 1.0)
+        inv_log2_q_ = 1.0 / (std::log1p(-p_) * 1.4426950408889634);
+    disarm();
+}
+
+void
+BernoulliWordSampler::disarm()
+{
+    // Clear only the occupied calendar buckets (at most one per armed
+    // lane) -- a full ring wipe per class per batch word would dwarf the
+    // sampling itself.
+    std::uint64_t m = armed_;
+    while (m) {
+        const int l = std::countr_zero(m);
+        m &= m - 1;
+        ring_[cnt_[l] & kRingMask] = 0;
+    }
+    armed_ = 0;
+    seen_ = 0;
+    elapsed_ = 0;
+    cnt_.fill(kNever);
+}
+
+std::int64_t
+BernoulliWordSampler::nextGap(Rng &rng) const
+{
+    // Geometric inversion: the number of Bernoulli(p) trials up to and
+    // including the first success is 1 + floor(log(u) / log(1 - p)).
+    const double u = rng.uniform();
+    if (u <= 0.0)
+        return kMaxGap;
+    const double gap = 1.0 + std::floor(fastLog2(u) * inv_log2_q_);
+    if (!(gap < static_cast<double>(kMaxGap)))
+        return kMaxGap;
+    return gap < 1.0 ? 1 : static_cast<std::int64_t>(gap);
+}
+
+std::uint64_t
+BernoulliWordSampler::fireCheck(std::uint64_t candidates, LaneRngs &lanes)
+{
+    // The current bucket holds lanes whose fire time is congruent to
+    // elapsed_ mod the ring size; fire the ones that are actually due
+    // and move them to the bucket of their next fire time. Buckets
+    // almost always hold a single lane.
+    if (!(candidates & (candidates - 1))) {
+        const int l = std::countr_zero(candidates);
+        if (cnt_[l] != elapsed_)
+            return 0; // same bucket, a later lap of the ring
+        ring_[cnt_[l] & kRingMask] &= ~candidates;
+        cnt_[l] = elapsed_ + nextGap(lanes[l]);
+        ring_[cnt_[l] & kRingMask] |= candidates;
+        return candidates;
+    }
+    std::uint64_t fired = 0;
+    while (candidates) {
+        const int l = std::countr_zero(candidates);
+        candidates &= candidates - 1;
+        if (cnt_[l] != elapsed_)
+            continue; // same bucket, a later lap of the ring
+        const std::uint64_t bit = std::uint64_t{1} << l;
+        fired |= bit;
+        ring_[cnt_[l] & kRingMask] &= ~bit;
+        cnt_[l] = elapsed_ + nextGap(lanes[l]);
+        ring_[cnt_[l] & kRingMask] |= bit;
+    }
+    return fired;
+}
+
+std::uint64_t
+BernoulliWordSampler::rebase(std::uint64_t active, LaneRngs &lanes)
+{
+    if (!active || p_ <= 0.0)
+        return 0;
+    if (p_ >= 1.0)
+        return active; // like Rng::bernoulli, certainties draw nothing
+
+    // Park the lanes leaving the mask: freeze their remaining trials
+    // and pull them out of the calendar.
+    std::uint64_t park = armed_ & ~active;
+    while (park) {
+        const int l = std::countr_zero(park);
+        park &= park - 1;
+        ring_[cnt_[l] & kRingMask] &= ~(std::uint64_t{1} << l);
+        cnt_[l] -= elapsed_;
+    }
+    // Resume previously parked lanes re-entering the mask.
+    std::uint64_t unpark = active & seen_ & ~armed_;
+    while (unpark) {
+        const int l = std::countr_zero(unpark);
+        unpark &= unpark - 1;
+        cnt_[l] += elapsed_;
+        ring_[cnt_[l] & kRingMask] |= std::uint64_t{1} << l;
+    }
+    // Arm brand-new lanes from their own streams.
+    std::uint64_t fresh = active & ~seen_;
+    while (fresh) {
+        const int l = std::countr_zero(fresh);
+        fresh &= fresh - 1;
+        cnt_[l] = elapsed_ + nextGap(lanes[l]);
+        ring_[cnt_[l] & kRingMask] |= std::uint64_t{1} << l;
+        seen_ |= std::uint64_t{1} << l;
+    }
+    armed_ = active;
+
+    // Take this call's trial on the rebased mask.
+    const std::uint64_t due = ring_[++elapsed_ & kRingMask];
+    if (!due)
+        return 0;
+    return fireCheck(due, lanes);
+}
+
+} // namespace qla

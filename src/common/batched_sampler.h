@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Word-batched Bernoulli sampling for the 64-shot-per-word engines.
+ *
+ * The batched Monte-Carlo engines evaluate 64 shots per machine word, so
+ * every noise-injection site needs a 64-bit word whose bit l is an
+ * independent Bernoulli(p) draw from lane l's private stream. Drawing one
+ * uniform per lane per site would cost as much as the scalar simulation;
+ * instead each lane advances by geometric gaps ("how many trials until my
+ * next success"), so the common all-lanes-active no-fire case is a single
+ * counter bump regardless of p.
+ *
+ * Determinism contract: a lane's draws are a function of its own Rng
+ * stream and of the sequence of sites at which that lane was active --
+ * never of which other lanes share the word. Together with
+ * RngFamily-indexed lane streams this makes batched results independent
+ * of how shots are grouped into words.
+ */
+
+#ifndef QLA_COMMON_BATCHED_SAMPLER_H
+#define QLA_COMMON_BATCHED_SAMPLER_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace qla {
+
+/** Number of Monte-Carlo shots packed into one machine word. */
+inline constexpr std::size_t kBatchLanes = 64;
+
+/** One private Rng per lane of a 64-shot batch. */
+using LaneRngs = std::array<Rng, kBatchLanes>;
+
+/**
+ * Batched Bernoulli(p) bit source over 64 lanes.
+ *
+ * sample(active) returns the word of lanes (a subset of @p active) whose
+ * current trial succeeded; inactive lanes neither fire nor consume a
+ * trial. Each lane's success sequence is i.i.d. Bernoulli(p) over the
+ * trials at which it was active, realized by geometric gap sampling
+ * from the lane's own stream (inversion of the exact geometric CDF; the
+ * fast log2 it uses deviates from exact inversion on a ~1e-6 fraction
+ * of draws, far below anything a Monte-Carlo estimate can resolve).
+ */
+class BernoulliWordSampler
+{
+  public:
+    explicit BernoulliWordSampler(double p);
+
+    double probability() const { return p_; }
+
+    /**
+     * Forget all lane state. Call at batch boundaries, after reseeding
+     * the lane streams; lanes re-arm from their streams on first use.
+     */
+    void disarm();
+
+    /**
+     * One trial for every lane in @p active; returns the fired lanes.
+     *
+     * Inline fast path: when the active mask equals the armed mask (the
+     * straight-line schedule between retries), a trial is one increment
+     * and one calendar-bucket load -- lane fire times live in a ring of
+     * buckets keyed by trial count, so a site with no due lane costs
+     * O(1) regardless of p. A mask change (entering or leaving a retry /
+     * conditional path) rebases the sampler once, parking the trial
+     * clocks of lanes that left and resuming lanes that returned, after
+     * which the new mask runs on the fast path too.
+     */
+    std::uint64_t sample(std::uint64_t active, LaneRngs &lanes)
+    {
+        if (active == armed_) {
+            if (!active)
+                return 0;
+            const std::uint64_t due = ring_[++elapsed_ & kRingMask];
+            if (!due)
+                return 0;
+            return fireCheck(due, lanes);
+        }
+        return rebase(active, lanes);
+    }
+
+  private:
+    /** Ring slots; fire times collide mod this (cheap re-check later). */
+    static constexpr std::size_t kRingSize = 2048;
+    static constexpr std::uint64_t kRingMask = kRingSize - 1;
+
+    /** Trials until (and including) lane's next success, >= 1. */
+    std::int64_t nextGap(Rng &rng) const;
+
+    std::uint64_t fireCheck(std::uint64_t candidates, LaneRngs &lanes);
+    std::uint64_t rebase(std::uint64_t active, LaneRngs &lanes);
+
+    double p_;
+    double inv_log2_q_ = 0.0; // 1 / log2(1 - p) for geometric inversion
+
+    // Armed lane l fires when the shared trial counter elapsed_ reaches
+    // cnt_[l]; bucket cnt_[l] & kRingMask of the ring carries the lane's
+    // bit (lanes parked farther than the ring wraps are simply
+    // re-checked when their bucket comes around again). Parked lanes
+    // (seen_ but not armed_) hold their remaining-trials count in cnt_
+    // instead and sit in no bucket; their clocks stand still until the
+    // mask brings them back.
+    std::array<std::uint64_t, kRingSize> ring_{};
+    std::array<std::int64_t, kBatchLanes> cnt_{};
+    std::uint64_t armed_ = 0;
+    std::uint64_t seen_ = 0;
+    std::int64_t elapsed_ = 0;
+};
+
+} // namespace qla
+
+#endif // QLA_COMMON_BATCHED_SAMPLER_H

@@ -15,12 +15,6 @@ splitMix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -28,29 +22,6 @@ Rng::Rng(std::uint64_t seed)
     std::uint64_t s = seed;
     for (auto &word : state_)
         word = splitMix64(s);
-}
-
-std::uint64_t
-Rng::next64()
-{
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
-
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 high bits -> double in [0, 1).
-    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
 }
 
 std::uint64_t
@@ -87,6 +58,19 @@ Rng
 Rng::split()
 {
     return Rng(next64());
+}
+
+Rng
+RngFamily::stream(std::uint64_t index) const
+{
+    // Mix (master, index) through the SplitMix64 finalizer; the Rng
+    // constructor runs a further SplitMix64 pass over the result, so even
+    // adjacent indices yield well-separated xoshiro states.
+    std::uint64_t x = master_ + 0x9e3779b97f4a7c15ULL * (index + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return Rng(x);
 }
 
 } // namespace qla

@@ -28,10 +28,24 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
     /** Next raw 64-bit draw. */
-    std::uint64_t next64();
+    std::uint64_t next64()
+    {
+        const std::uint64_t result = rotl_(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl_(state_[3], 45);
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform integer in [0, bound) using Lemire rejection. */
     std::uint64_t uniformInt(std::uint64_t bound);
@@ -48,7 +62,34 @@ class Rng
     Rng split();
 
   private:
+    static std::uint64_t rotl_(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<std::uint64_t, 4> state_;
+};
+
+/**
+ * Deterministic family of independent streams addressed by index.
+ *
+ * stream(i) is a pure function of (master seed, i): unlike Rng::split(),
+ * which advances the parent, a family hands the same stream to shot i no
+ * matter how many other streams were drawn or in what order. This is what
+ * makes the batched Monte-Carlo engines reproducible regardless of batch
+ * width -- shot i's noise depends only on (seed, i), not on which 64-shot
+ * word it happened to land in.
+ */
+class RngFamily
+{
+  public:
+    explicit RngFamily(std::uint64_t master_seed) : master_(master_seed) {}
+
+    /** The independent stream for index @p index. */
+    Rng stream(std::uint64_t index) const;
+
+  private:
+    std::uint64_t master_;
 };
 
 } // namespace qla

@@ -7,6 +7,13 @@
 
 namespace qla::ecc {
 
+namespace {
+
+/** Placeholder for syndromes no enumerated pattern produced. */
+constexpr QubitMask kUnset = ~QubitMask{0};
+
+} // namespace
+
 int
 maskParity(QubitMask mask)
 {
@@ -27,6 +34,8 @@ LookupDecoder::LookupDecoder(const std::vector<QubitMask> &checks,
                              std::size_t num_qubits, int max_weight)
 {
     qla_assert(num_qubits <= 32, "LookupDecoder supports n <= 32");
+    qla_assert(checks.size() <= 24, "syndrome table too large");
+    table_.assign(std::size_t{1} << checks.size(), kUnset);
     table_[0] = 0;
 
     // Enumerate patterns by increasing weight so the first pattern seen
@@ -40,18 +49,15 @@ LookupDecoder::LookupDecoder(const std::vector<QubitMask> &checks,
                 const QubitMask pattern = base | (QubitMask{1} << q);
                 next.push_back(pattern);
                 const std::uint32_t s = syndromeOf(checks, pattern);
-                table_.emplace(s, pattern); // keeps lightest (first) entry
+                if (table_[s] == kUnset) // keeps lightest (first) entry
+                    table_[s] = pattern;
             }
         }
         frontier = std::move(next);
     }
-}
-
-QubitMask
-LookupDecoder::correction(std::uint32_t syndrome) const
-{
-    const auto it = table_.find(syndrome);
-    return it == table_.end() ? 0 : it->second;
+    for (QubitMask &entry : table_)
+        if (entry == kUnset)
+            entry = 0; // unknown syndromes decode to no correction
 }
 
 CssCode::CssCode(std::string name, std::size_t n, std::size_t k,
@@ -89,18 +95,6 @@ std::uint32_t
 CssCode::zErrorSyndrome(QubitMask z_errors) const
 {
     return syndromeOf(x_checks_, z_errors);
-}
-
-QubitMask
-CssCode::xCorrection(std::uint32_t syndrome) const
-{
-    return x_decoder_.correction(syndrome);
-}
-
-QubitMask
-CssCode::zCorrection(std::uint32_t syndrome) const
-{
-    return z_decoder_.correction(syndrome);
 }
 
 bool

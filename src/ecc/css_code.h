@@ -14,7 +14,6 @@
 #define QLA_ECC_CSS_CODE_H
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -55,10 +54,15 @@ class LookupDecoder
                   std::size_t num_qubits, int max_weight);
 
     /** Correction pattern for @p syndrome (0 when unknown/trivial). */
-    QubitMask correction(std::uint32_t syndrome) const;
+    QubitMask correction(std::uint32_t syndrome) const
+    {
+        return syndrome < table_.size() ? table_[syndrome] : 0;
+    }
 
   private:
-    std::unordered_map<std::uint32_t, QubitMask> table_;
+    /** Dense syndrome -> correction table (the batched Monte Carlo
+     *  looks corrections up in its innermost decode loops). */
+    std::vector<QubitMask> table_;
 };
 
 /**
@@ -98,9 +102,15 @@ class CssCode
     std::uint32_t zErrorSyndrome(QubitMask z_errors) const;
 
     /** Correction for an X-error syndrome. */
-    QubitMask xCorrection(std::uint32_t syndrome) const;
+    QubitMask xCorrection(std::uint32_t syndrome) const
+    {
+        return x_decoder_.correction(syndrome);
+    }
     /** Correction for a Z-error syndrome. */
-    QubitMask zCorrection(std::uint32_t syndrome) const;
+    QubitMask zCorrection(std::uint32_t syndrome) const
+    {
+        return z_decoder_.correction(syndrome);
+    }
 
     /**
      * Ideal decode of a residual X-error pattern: correct via lookup and

@@ -1,0 +1,97 @@
+#include "quantum/batched_frame.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace qla::quantum {
+
+void
+BatchedPauliFrame::reset()
+{
+    std::fill(x_.begin(), x_.end(), 0);
+    std::fill(z_.begin(), z_.end(), 0);
+}
+
+void
+applyDepolarize1(BatchedPauliFrame &frame, std::size_t q,
+                 std::uint64_t fired, LaneRngs &lanes)
+{
+    std::uint64_t fx = 0, fz = 0;
+    while (fired) {
+        const int l = std::countr_zero(fired);
+        fired &= fired - 1;
+        const std::uint64_t bit = std::uint64_t{1} << l;
+        // Same X/Y/Z encoding as the scalar PauliFrame::depolarize1.
+        switch (lanes[l].uniformInt(3)) {
+          case 0:
+            fx |= bit;
+            break;
+          case 1:
+            fx |= bit;
+            fz |= bit;
+            break;
+          default:
+            fz |= bit;
+            break;
+        }
+    }
+    if (fx)
+        frame.injectX(q, fx);
+    if (fz)
+        frame.injectZ(q, fz);
+}
+
+void
+applyDepolarize2(BatchedPauliFrame &frame, std::size_t a, std::size_t b,
+                 std::uint64_t fired, LaneRngs &lanes)
+{
+    std::uint64_t fxa = 0, fza = 0, fxb = 0, fzb = 0;
+    while (fired) {
+        const int l = std::countr_zero(fired);
+        fired &= fired - 1;
+        const std::uint64_t bit = std::uint64_t{1} << l;
+        // Uniform over the 15 non-identity pairs; encoding matches the
+        // scalar PauliFrame::depolarize2 (pa, pb in {I,X,Y,Z}).
+        const std::uint64_t k = lanes[l].uniformInt(15) + 1;
+        const std::uint64_t pa = k / 4;
+        const std::uint64_t pb = k % 4;
+        if (pa == 1 || pa == 2)
+            fxa |= bit;
+        if (pa == 2 || pa == 3)
+            fza |= bit;
+        if (pb == 1 || pb == 2)
+            fxb |= bit;
+        if (pb == 2 || pb == 3)
+            fzb |= bit;
+    }
+    if (fxa)
+        frame.injectX(a, fxa);
+    if (fza)
+        frame.injectZ(a, fza);
+    if (fxb)
+        frame.injectX(b, fxb);
+    if (fzb)
+        frame.injectZ(b, fzb);
+}
+
+void
+depolarize1(BatchedPauliFrame &frame, std::size_t q,
+            BernoulliWordSampler &sampler, LaneRngs &lanes,
+            std::uint64_t active)
+{
+    const std::uint64_t fired = sampler.sample(active, lanes);
+    if (fired)
+        applyDepolarize1(frame, q, fired, lanes);
+}
+
+void
+depolarize2(BatchedPauliFrame &frame, std::size_t a, std::size_t b,
+            BernoulliWordSampler &sampler, LaneRngs &lanes,
+            std::uint64_t active)
+{
+    const std::uint64_t fired = sampler.sample(active, lanes);
+    if (fired)
+        applyDepolarize2(frame, a, b, fired, lanes);
+}
+
+} // namespace qla::quantum

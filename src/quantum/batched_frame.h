@@ -1,0 +1,184 @@
+/**
+ * @file
+ * 64-shot-per-word Pauli-frame engine.
+ *
+ * Stim-style batched error propagation: for each qubit the X and Z frame
+ * components of 64 independent Monte-Carlo shots are packed into one
+ * 64-bit word (bit l = shot lane l), so every Clifford conjugation,
+ * error injection and flip readout is a constant number of bitwise word
+ * operations for all shots at once. Combined with geometric-gap noise
+ * sampling (common/batched_sampler.h) this turns the Figure-7 threshold
+ * Monte Carlo from per-shot interpretation into word-parallel replay.
+ * The hot operations are defined inline: trace replay calls them on the
+ * concrete type, and each is a couple of word ops.
+ *
+ * The scalar PauliFrame remains the single-shot reference engine; the
+ * differential suite in tests/test_batched_frame.cc checks this engine
+ * against it lane by lane.
+ */
+
+#ifndef QLA_QUANTUM_BATCHED_FRAME_H
+#define QLA_QUANTUM_BATCHED_FRAME_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/batched_sampler.h"
+#include "common/logging.h"
+#include "quantum/backend.h"
+
+namespace qla::quantum {
+
+/**
+ * Error frames of 64 shots over n qubits, one X and one Z word per qubit
+ * with lanes across the word. The masked operations skip bounds
+ * checking: they are driven by traces whose operands were validated at
+ * record time (see arq/frame_trace.h), and this is the replay hot path.
+ */
+class BatchedPauliFrame final : public BatchedFrameBackend
+{
+  public:
+    explicit BatchedPauliFrame(std::size_t num_qubits)
+        : n_(num_qubits), x_(num_qubits, 0), z_(num_qubits, 0)
+    {
+    }
+
+    const char *backendName() const override { return "batched-frame"; }
+    std::size_t numQubits() const override { return n_; }
+
+    void reset() override;
+
+    void h(std::size_t q, std::uint64_t lanes) override
+    {
+        const std::uint64_t d = (x_[q] ^ z_[q]) & lanes;
+        x_[q] ^= d;
+        z_[q] ^= d;
+    }
+
+    void s(std::size_t q, std::uint64_t lanes) override
+    {
+        z_[q] ^= x_[q] & lanes;
+    }
+
+    void cnot(std::size_t control, std::size_t target,
+              std::uint64_t lanes) override
+    {
+        x_[target] ^= x_[control] & lanes;
+        z_[control] ^= z_[target] & lanes;
+    }
+
+    void cz(std::size_t a, std::size_t b, std::uint64_t lanes) override
+    {
+        const std::uint64_t xa = x_[a];
+        z_[a] ^= x_[b] & lanes;
+        z_[b] ^= xa & lanes;
+    }
+
+    void swap(std::size_t a, std::size_t b, std::uint64_t lanes) override
+    {
+        const std::uint64_t dx = (x_[a] ^ x_[b]) & lanes;
+        const std::uint64_t dz = (z_[a] ^ z_[b]) & lanes;
+        x_[a] ^= dx;
+        x_[b] ^= dx;
+        z_[a] ^= dz;
+        z_[b] ^= dz;
+    }
+
+    void injectX(std::size_t q, std::uint64_t lanes) override
+    {
+        x_[q] ^= lanes;
+    }
+
+    void injectZ(std::size_t q, std::uint64_t lanes) override
+    {
+        z_[q] ^= lanes;
+    }
+
+    std::uint64_t measureZFlip(std::size_t q, std::uint64_t lanes) override
+    {
+        const std::uint64_t flips = x_[q] & lanes;
+        x_[q] &= ~lanes;
+        z_[q] &= ~lanes;
+        return flips;
+    }
+
+    std::uint64_t measureXFlip(std::size_t q, std::uint64_t lanes) override
+    {
+        const std::uint64_t flips = z_[q] & lanes;
+        x_[q] &= ~lanes;
+        z_[q] &= ~lanes;
+        return flips;
+    }
+
+    void resetQubit(std::size_t q, std::uint64_t lanes) override
+    {
+        x_[q] &= ~lanes;
+        z_[q] &= ~lanes;
+    }
+
+    //
+    // Lane-plane inspection (bit-sliced decoding and tests).
+    //
+
+    /** X frame bits of qubit @p q, one bit per lane. */
+    std::uint64_t xWord(std::size_t q) const
+    {
+        qla_assert(q < n_);
+        return x_[q];
+    }
+
+    /** Z frame bits of qubit @p q, one bit per lane. */
+    std::uint64_t zWord(std::size_t q) const
+    {
+        qla_assert(q < n_);
+        return z_[q];
+    }
+
+    bool xBit(std::size_t q, std::size_t lane) const
+    {
+        qla_assert(lane < kLanes);
+        return (xWord(q) >> lane) & 1ULL;
+    }
+
+    bool zBit(std::size_t q, std::size_t lane) const
+    {
+        qla_assert(lane < kLanes);
+        return (zWord(q) >> lane) & 1ULL;
+    }
+
+  private:
+    std::size_t n_;
+    std::vector<std::uint64_t> x_;
+    std::vector<std::uint64_t> z_;
+};
+
+//
+// Batched depolarizing-noise injection. The apply* functions are the
+// fire path -- they draw each fired lane's Pauli from that lane's own
+// stream, with the same distribution as the scalar PauliFrame helpers --
+// while the sampler decides which lanes fault (one trial per active
+// lane). They take the concrete frame: fires are the dominant per-lane
+// cost of the batched Monte Carlo and must not dispatch virtually.
+//
+
+/** Apply random single-qubit Paulis to the @p fired lanes of @p q. */
+void applyDepolarize1(BatchedPauliFrame &frame, std::size_t q,
+                      std::uint64_t fired, LaneRngs &lanes);
+
+/** Apply random two-qubit Paulis (15 non-identity pairs, uniform). */
+void applyDepolarize2(BatchedPauliFrame &frame, std::size_t a,
+                      std::size_t b, std::uint64_t fired, LaneRngs &lanes);
+
+/** Depolarize @p q with the sampler's probability on @p active lanes. */
+void depolarize1(BatchedPauliFrame &frame, std::size_t q,
+                 BernoulliWordSampler &sampler, LaneRngs &lanes,
+                 std::uint64_t active);
+
+/** Two-qubit depolarization with the sampler's probability. */
+void depolarize2(BatchedPauliFrame &frame, std::size_t a, std::size_t b,
+                 BernoulliWordSampler &sampler, LaneRngs &lanes,
+                 std::uint64_t active);
+
+} // namespace qla::quantum
+
+#endif // QLA_QUANTUM_BATCHED_FRAME_H

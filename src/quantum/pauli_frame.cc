@@ -1,11 +1,14 @@
 #include "quantum/pauli_frame.h"
 
+#include <bit>
+
 #include "common/logging.h"
 
 namespace qla::quantum {
 
 PauliFrame::PauliFrame(std::size_t num_qubits)
-    : n_(num_qubits), x_(num_qubits, 0), z_(num_qubits, 0)
+    : n_(num_qubits), x_((num_qubits + 63) / 64, 0),
+      z_((num_qubits + 63) / 64, 0)
 {
 }
 
@@ -26,52 +29,62 @@ void
 PauliFrame::h(std::size_t q)
 {
     qla_assert(q < n_);
-    std::swap(x_[q], z_[q]);
+    const std::uint64_t d = (x_[wordOf(q)] ^ z_[wordOf(q)]) & bitOf(q);
+    x_[wordOf(q)] ^= d;
+    z_[wordOf(q)] ^= d;
 }
 
 void
 PauliFrame::s(std::size_t q)
 {
     qla_assert(q < n_);
-    z_[q] ^= x_[q];
+    z_[wordOf(q)] ^= x_[wordOf(q)] & bitOf(q);
 }
 
 void
 PauliFrame::cnot(std::size_t control, std::size_t target)
 {
     qla_assert(control < n_ && target < n_ && control != target);
-    x_[target] ^= x_[control];
-    z_[control] ^= z_[target];
+    if (xBit(control))
+        x_[wordOf(target)] ^= bitOf(target);
+    if (zBit(target))
+        z_[wordOf(control)] ^= bitOf(control);
 }
 
 void
 PauliFrame::cz(std::size_t a, std::size_t b)
 {
     qla_assert(a < n_ && b < n_ && a != b);
-    z_[a] ^= x_[b];
-    z_[b] ^= x_[a];
+    const bool xa = xBit(a);
+    if (xBit(b))
+        z_[wordOf(a)] ^= bitOf(a);
+    if (xa)
+        z_[wordOf(b)] ^= bitOf(b);
 }
 
 void
 PauliFrame::swap(std::size_t a, std::size_t b)
 {
     qla_assert(a < n_ && b < n_ && a != b);
-    std::swap(x_[a], x_[b]);
-    std::swap(z_[a], z_[b]);
+    const bool xa = xBit(a), za = zBit(a);
+    setXBit(a, xBit(b));
+    setZBit(a, zBit(b));
+    setXBit(b, xa);
+    setZBit(b, za);
 }
 
 void
 PauliFrame::injectX(std::size_t q)
 {
     qla_assert(q < n_);
-    x_[q] ^= 1;
+    x_[wordOf(q)] ^= bitOf(q);
 }
 
 void
 PauliFrame::injectZ(std::size_t q)
 {
     qla_assert(q < n_);
-    z_[q] ^= 1;
+    z_[wordOf(q)] ^= bitOf(q);
 }
 
 void
@@ -132,9 +145,8 @@ bool
 PauliFrame::measureZFlip(std::size_t q)
 {
     qla_assert(q < n_);
-    const bool flip = x_[q] != 0;
-    x_[q] = 0;
-    z_[q] = 0;
+    const bool flip = xBit(q);
+    resetQubit(q);
     return flip;
 }
 
@@ -151,9 +163,8 @@ bool
 PauliFrame::measureXFlip(std::size_t q)
 {
     qla_assert(q < n_);
-    const bool flip = z_[q] != 0;
-    x_[q] = 0;
-    z_[q] = 0;
+    const bool flip = zBit(q);
+    resetQubit(q);
     return flip;
 }
 
@@ -170,36 +181,42 @@ void
 PauliFrame::resetQubit(std::size_t q)
 {
     qla_assert(q < n_);
-    x_[q] = 0;
-    z_[q] = 0;
+    x_[wordOf(q)] &= ~bitOf(q);
+    z_[wordOf(q)] &= ~bitOf(q);
 }
 
 bool
 PauliFrame::xBit(std::size_t q) const
 {
     qla_assert(q < n_);
-    return x_[q] != 0;
+    return (x_[wordOf(q)] & bitOf(q)) != 0;
 }
 
 bool
 PauliFrame::zBit(std::size_t q) const
 {
     qla_assert(q < n_);
-    return z_[q] != 0;
+    return (z_[wordOf(q)] & bitOf(q)) != 0;
 }
 
 void
 PauliFrame::setXBit(std::size_t q, bool v)
 {
     qla_assert(q < n_);
-    x_[q] = v;
+    if (v)
+        x_[wordOf(q)] |= bitOf(q);
+    else
+        x_[wordOf(q)] &= ~bitOf(q);
 }
 
 void
 PauliFrame::setZBit(std::size_t q, bool v)
 {
     qla_assert(q < n_);
-    z_[q] = v;
+    if (v)
+        z_[wordOf(q)] |= bitOf(q);
+    else
+        z_[wordOf(q)] &= ~bitOf(q);
 }
 
 Pauli
@@ -212,9 +229,8 @@ std::size_t
 PauliFrame::weight() const
 {
     std::size_t w = 0;
-    for (std::size_t q = 0; q < n_; ++q)
-        if (x_[q] || z_[q])
-            ++w;
+    for (std::size_t i = 0; i < x_.size(); ++i)
+        w += std::popcount(x_[i] | z_[i]);
     return w;
 }
 

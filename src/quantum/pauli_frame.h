@@ -152,9 +152,18 @@ class PauliFrame final : public SimulationBackend
     PauliString toPauliString() const;
 
   private:
+    std::size_t wordOf(std::size_t q) const { return q >> 6; }
+    std::uint64_t bitOf(std::size_t q) const
+    {
+        return std::uint64_t{1} << (q & 63);
+    }
+
     std::size_t n_;
-    std::vector<std::uint8_t> x_;
-    std::vector<std::uint8_t> z_;
+    // Bit-packed planes: bit q of word q/64 (popcount-friendly storage;
+    // the word layout is over qubits here, unlike the batched engine's
+    // words-over-shots planes).
+    std::vector<std::uint64_t> x_;
+    std::vector<std::uint64_t> z_;
 };
 
 } // namespace qla::quantum

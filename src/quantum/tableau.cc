@@ -7,6 +7,23 @@
 
 namespace qla::quantum {
 
+namespace {
+
+/** Inclusive word-parallel prefix XOR (bit i = XOR of bits 0..i). */
+inline std::uint64_t
+prefixXor(std::uint64_t v)
+{
+    v ^= v << 1;
+    v ^= v << 2;
+    v ^= v << 4;
+    v ^= v << 8;
+    v ^= v << 16;
+    v ^= v << 32;
+    return v;
+}
+
+} // namespace
+
 StabilizerTableau::StabilizerTableau(std::size_t num_qubits)
     : n_(num_qubits), wpc_((2 * num_qubits + 1 + 63) / 64),
       xs_(num_qubits * wpc_, 0), zs_(num_qubits * wpc_, 0), r_(wpc_, 0),
@@ -247,33 +264,75 @@ StabilizerTableau::applyPauli(const PauliString &p)
 //
 
 void
-StabilizerTableau::rowsum(std::size_t h, std::size_t i)
+StabilizerTableau::shiftPlaneUp(const std::uint64_t *src,
+                                std::uint64_t *dst,
+                                std::size_t shift) const
 {
-    const std::size_t hw = h >> 6;
-    const std::size_t iw = i >> 6;
-    const std::uint64_t hb = 1ULL << (h & 63);
-    const std::uint64_t ib = 1ULL << (i & 63);
-
-    int phase = 2 * rBit(h) + 2 * rBit(i);
-    for (std::size_t col = 0; col < n_; ++col) {
-        std::uint64_t *xc = colX(col);
-        std::uint64_t *zc = colZ(col);
-        const bool x1 = xc[iw] & ib;
-        const bool z1 = zc[iw] & ib;
-        if (!x1 && !z1)
-            continue;
-        const bool x2 = xc[hw] & hb;
-        const bool z2 = zc[hw] & hb;
-        // Single-bit case of the shared word-wide phase rule.
-        phase += pauliProductPhaseWord(x1, z1, x2, z2);
-        if (x1)
-            xc[hw] ^= hb;
-        if (z1)
-            zc[hw] ^= hb;
+    const std::size_t ws = shift >> 6;
+    const int bs = static_cast<int>(shift & 63);
+    for (std::size_t w = wpc_; w-- > 0;) {
+        std::uint64_t v = 0;
+        if (w >= ws) {
+            v = src[w - ws] << bs;
+            if (bs && w > ws)
+                v |= src[w - ws - 1] >> (64 - bs);
+        }
+        dst[w] = v;
     }
-    phase = ((phase % 4) + 4) % 4;
-    qla_assert(phase == 0 || phase == 2, "rowsum produced i^", phase);
-    setRBit(h, phase == 2);
+}
+
+bool
+StabilizerTableau::selectedRowProductSign(const std::uint64_t *sel,
+                                          const std::uint64_t *expect_x,
+                                          const std::uint64_t *expect_z)
+    const
+{
+    // Accumulate the ordered product of the selected rows without
+    // touching the scratch row: per column, the exclusive prefix XOR of
+    // the selected rows' bits *is* the partially accumulated Pauli every
+    // row is multiplied into, so the i-power contributions of all rows
+    // resolve with a handful of word ops and two popcounts per word
+    // (the transposed form of Aaronson-Gottesman rowsum phase tracking).
+    const std::size_t w_lo = n_ >> 6;
+    const std::size_t w_hi = (2 * n_ - 1) >> 6;
+    int total = 0;
+    for (std::size_t col = 0; col < n_; ++col) {
+        const std::uint64_t *xc = colX(col);
+        const std::uint64_t *zc = colZ(col);
+        std::uint64_t cx = 0, cz = 0; // prefix carries: 0 or ~0
+        for (std::size_t w = w_lo; w <= w_hi; ++w) {
+            const std::uint64_t a = xc[w] & sel[w];
+            const std::uint64_t b = zc[w] & sel[w];
+            if (!(a | b))
+                continue; // no contribution, carries unchanged
+            const std::uint64_t px = (prefixXor(a) << 1) ^ cx;
+            const std::uint64_t pz = (prefixXor(b) << 1) ^ cz;
+            // Phase rule of pauliProductPhaseWord with P1 = the new row
+            // (a, b) and P2 = the accumulated prefix (px, pz).
+            const std::uint64_t plus = (a & ~b & px & pz)
+                | (a & b & ~px & pz) | (~a & b & px & ~pz);
+            const std::uint64_t minus = (a & ~b & ~px & pz)
+                | (a & b & px & ~pz) | (~a & b & px & pz);
+            total += std::popcount(plus) - std::popcount(minus);
+            if (std::popcount(a) & 1)
+                cx = ~cx;
+            if (std::popcount(b) & 1)
+                cz = ~cz;
+        }
+        if (expect_x) {
+            const bool ex = (expect_x[col >> 6] >> (col & 63)) & 1ULL;
+            const bool ez = (expect_z[col >> 6] >> (col & 63)) & 1ULL;
+            qla_assert((cx != 0) == ex && (cz != 0) == ez,
+                       "observable not in stabilizer group");
+        }
+    }
+    int sign_bits = 0;
+    for (std::size_t w = w_lo; w <= w_hi; ++w)
+        sign_bits += std::popcount(r_[w] & sel[w]);
+    total += 2 * sign_bits;
+    total = ((total % 4) + 4) % 4;
+    qla_assert(total == 0 || total == 2, "row product produced i^", total);
+    return total == 2;
 }
 
 void
@@ -478,12 +537,15 @@ StabilizerTableau::measureZ(std::size_t q, Rng &rng)
         return outcome;
     }
 
-    // Deterministic outcome via the scratch row.
-    zeroRow(2 * n_);
-    for (std::size_t i = 0; i < n_; ++i)
-        if (xBit(i, q))
-            rowsum(2 * n_, i + n_);
-    return rBit(2 * n_);
+    // Deterministic outcome: Z_q is the product of the stabilizers whose
+    // destabilizer partner anticommutes with it; accumulate that
+    // product's sign transposed, all selected rows at once.
+    std::uint64_t *tmp = scratch_cnt1_.data();
+    std::uint64_t *sel = scratch_mask_.data();
+    for (std::size_t w = 0; w < wpc_; ++w)
+        tmp[w] = xq[w] & rangeWord(w, 0, n_);
+    shiftPlaneUp(tmp, sel, n_);
+    return selectedRowProductSign(sel, nullptr, nullptr);
 }
 
 bool
@@ -538,27 +600,19 @@ StabilizerTableau::deterministicValue(const PauliString &p) const
     if (firstSetRow(acc, n_, 2 * n_) < 2 * n_)
         return std::nullopt;
 
-    // The observable is a product of stabilizer generators; accumulate
-    // exactly those whose destabilizer partner anticommutes with p.
-    auto *self = const_cast<StabilizerTableau *>(this);
-    self->zeroRow(2 * n_);
-    for (std::size_t i = 0; i < n_; ++i)
-        if ((acc[i >> 6] >> (i & 63)) & 1ULL)
-            self->rowsum(2 * n_, i + n_);
-
-    // Scratch row must now equal +/- p (up to sign); outcome compares the
-    // accumulated sign with p's own sign.
-    for (std::size_t col = 0; col < n_; ++col) {
-        qla_assert(xBit(2 * n_, col)
-                           == (((p.xWords()[col >> 6] >> (col & 63)) & 1ULL)
-                               != 0)
-                       && zBit(2 * n_, col)
-                           == (((p.zWords()[col >> 6] >> (col & 63)) & 1ULL)
-                               != 0),
-                   "observable not in stabilizer group");
-    }
+    // The observable is a product of stabilizer generators -- exactly
+    // those whose destabilizer partner anticommutes with p. Accumulate
+    // the product's sign transposed; the per-column prefix carries also
+    // verify that the accumulated Pauli content equals p.
+    std::uint64_t *tmp = scratch_cnt1_.data();
+    std::uint64_t *sel = scratch_cnt2_.data();
+    for (std::size_t w = 0; w < wpc_; ++w)
+        tmp[w] = acc[w] & rangeWord(w, 0, n_);
+    shiftPlaneUp(tmp, sel, n_);
+    const bool sign = selectedRowProductSign(sel, p.xWords().data(),
+                                             p.zWords().data());
     const bool s = p.phaseExponent() == 2;
-    return rBit(2 * n_) ^ s;
+    return sign ^ s;
 }
 
 void

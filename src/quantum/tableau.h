@@ -141,8 +141,23 @@ class StabilizerTableau final : public SimulationBackend
     bool rBit(std::size_t row) const;
     void setRBit(std::size_t row, bool v);
 
-    /** row h := row i * row h (Aaronson-Gottesman "rowsum"). */
-    void rowsum(std::size_t h, std::size_t i);
+    /**
+     * Sign bit of the ordered product of the stabilizer rows selected by
+     * the @p sel bit-plane (bits must lie in rows [n, 2n)), computed
+     * transposed: per column, a word-parallel prefix-XOR reconstructs
+     * every partial product's Pauli at once and popcount parity
+     * accumulates the i-power contributions -- O(n^2/64) instead of the
+     * per-row scalar rowsums it replaces. When @p expect_x / @p expect_z
+     * are given (packed per-qubit words), asserts that the product's
+     * Pauli content matches them.
+     */
+    bool selectedRowProductSign(const std::uint64_t *sel,
+                                const std::uint64_t *expect_x,
+                                const std::uint64_t *expect_z) const;
+
+    /** dst = src << shift across the word boundary of a row plane. */
+    void shiftPlaneUp(const std::uint64_t *src, std::uint64_t *dst,
+                      std::size_t shift) const;
 
     /**
      * Broadcast rowsum: multiply row @p src into every row selected by

@@ -24,6 +24,30 @@ ScalarStat::add(double value)
     m2_ += delta * (value - mean_);
 }
 
+void
+ScalarStat::addRepeated(double value, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        if (value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+    const double k = static_cast<double>(count);
+    const double n = static_cast<double>(count_);
+    const double delta = value - mean_;
+    count_ += count;
+    sum_ += value * k;
+    mean_ += delta * k / static_cast<double>(count_);
+    // Chan et al. merge of a zero-variance block of k samples.
+    m2_ += delta * delta * n * k / static_cast<double>(count_);
+}
+
 double
 ScalarStat::mean() const
 {
@@ -66,6 +90,13 @@ RateStat::add(bool success)
     ++trials_;
     if (success)
         ++successes_;
+}
+
+void
+RateStat::addBulk(std::uint64_t successes, std::uint64_t trials)
+{
+    trials_ += trials;
+    successes_ += successes;
 }
 
 double

@@ -22,6 +22,13 @@ class ScalarStat
     /** Record one sample. */
     void add(double value);
 
+    /**
+     * Record @p count samples of the same @p value in O(1) (Chan's
+     * parallel-variance merge with a zero-variance block). Used by the
+     * batched Monte Carlo to fold whole 64-shot words into the stats.
+     */
+    void addRepeated(double value, std::uint64_t count);
+
     std::uint64_t count() const { return count_; }
     double mean() const;
     /** Unbiased sample variance; 0 for fewer than 2 samples. */
@@ -51,6 +58,9 @@ class RateStat
   public:
     /** Record one trial. */
     void add(bool success);
+
+    /** Record @p trials trials of which @p successes succeeded. */
+    void addBulk(std::uint64_t successes, std::uint64_t trials);
 
     std::uint64_t trials() const { return trials_; }
     std::uint64_t successes() const { return successes_; }

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "arq/batched_monte_carlo.h"
 #include "arq/monte_carlo.h"
 #include "ecc/steane.h"
 
@@ -78,9 +81,10 @@ TEST(MonteCarlo, RecursionHurtsAboveThreshold)
 TEST(MonteCarlo, ThresholdInPaperWindow)
 {
     // Coarse sweep; the crossing must land inside the paper's
-    // (2.1 +- 1.8)e-3 uncertainty band.
+    // (2.1 +- 1.8)e-3 uncertainty band. The batched engine makes the
+    // shot count cheap, so run enough for a stable crossing.
     const auto points = thresholdSweep(
-        {1e-3, 2e-3, 3e-3, 4e-3, 6e-3}, 1500, 20050938);
+        {1e-3, 2e-3, 3e-3, 4e-3, 6e-3}, 20000, 20050938);
     const double pth = estimateThreshold(points);
     EXPECT_GT(pth, 0.3e-3);
     EXPECT_LT(pth, 5.0e-3);
@@ -145,6 +149,153 @@ TEST(MonteCarlo, DeterministicPerSeed)
     const double a = experiment.failureRate(1, 500, rng_a).rate();
     const double b = experiment.failureRate(1, 500, rng_b).rate();
     EXPECT_DOUBLE_EQ(a, b);
+}
+
+//
+// Batched engine: statistical equivalence with the scalar path and the
+// determinism guarantees of the record/replay design.
+//
+
+namespace {
+
+/** |a - b| within the combined 95% intervals (with slack). */
+void
+expectRatesAgree(const sim::RateStat &a, const sim::RateStat &b,
+                 const char *what)
+{
+    const double margin = 1.5 * (a.halfWidth95() + b.halfWidth95());
+    EXPECT_NEAR(a.rate(), b.rate(), margin) << what;
+}
+
+} // namespace
+
+TEST(BatchedMonteCarlo, NoNoiseNoFailures)
+{
+    BatchedLogicalQubitExperiment experiment(ecc::steaneCode(),
+                                             noiseless());
+    ExperimentStats stats;
+    EXPECT_DOUBLE_EQ(experiment.failureRate(1, 256, 1, &stats).rate(),
+                     0.0);
+    EXPECT_DOUBLE_EQ(experiment.failureRate(2, 128, 2, &stats).rate(),
+                     0.0);
+    EXPECT_DOUBLE_EQ(stats.nontrivialSyndrome.rate(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.prepAttempts.mean(), 1.0);
+}
+
+TEST(BatchedMonteCarlo, MatchesScalarStatistically)
+{
+    // Same tile, same noise, independent randomness: the batched and
+    // scalar estimates must agree within their confidence intervals.
+    const double p = 4e-3;
+    BatchedLogicalQubitExperiment batched(ecc::steaneCode(),
+                                          NoiseParameters::swept(p));
+    LogicalQubitExperiment scalar(ecc::steaneCode(),
+                                  NoiseParameters::swept(p));
+    Rng rng(31);
+
+    const auto b1 = batched.failureRate(1, 20000, 77);
+    const auto s1 = scalar.failureRate(1, 20000, rng);
+    expectRatesAgree(b1, s1, "level-1 failure rate");
+
+    const auto b2 = batched.failureRate(2, 4000, 78);
+    const auto s2 = scalar.failureRate(2, 4000, rng);
+    expectRatesAgree(b2, s2, "level-2 failure rate");
+}
+
+TEST(BatchedMonteCarlo, SyndromeRateMatchesScalar)
+{
+    // The non-trivial syndrome rate at expected parameters is the
+    // paper's Section 4.1.1 observable; both engines must reproduce it.
+    NoiseParameters expected;
+    BatchedLogicalQubitExperiment batched(ecc::steaneCode(), expected);
+    LogicalQubitExperiment scalar(ecc::steaneCode(), expected);
+    Rng rng(5);
+    ExperimentStats bs, ss;
+    batched.failureRate(1, 30000, 41, &bs);
+    scalar.failureRate(1, 30000, rng, &ss);
+    expectRatesAgree(bs.nontrivialSyndrome, ss.nontrivialSyndrome,
+                     "non-trivial syndrome rate");
+}
+
+TEST(BatchedMonteCarlo, PrepRetryStatisticsMatchScalar)
+{
+    const double p = 1e-2;
+    BatchedLogicalQubitExperiment batched(ecc::steaneCode(),
+                                          NoiseParameters::swept(p));
+    LogicalQubitExperiment scalar(ecc::steaneCode(),
+                                  NoiseParameters::swept(p));
+    Rng rng(9);
+    ExperimentStats bs, ss;
+    batched.failureRate(1, 4000, 55, &bs);
+    scalar.failureRate(1, 4000, rng, &ss);
+    EXPECT_GT(bs.prepAttempts.mean(), 1.0);
+    EXPECT_NEAR(bs.prepAttempts.mean(), ss.prepAttempts.mean(),
+                4.0 * (bs.prepAttempts.sem() + ss.prepAttempts.sem()));
+}
+
+TEST(BatchedMonteCarlo, DeterministicPerSeed)
+{
+    BatchedLogicalQubitExperiment experiment(ecc::steaneCode(),
+                                             NoiseParameters::swept(5e-3));
+    const auto a = experiment.failureRate(1, 500, 11);
+    const auto b = experiment.failureRate(1, 500, 11);
+    EXPECT_EQ(a.successes(), b.successes());
+    EXPECT_EQ(a.trials(), b.trials());
+}
+
+TEST(BatchedMonteCarlo, ShotsIndependentOfBatchGrouping)
+{
+    // Shot i draws only from RngFamily(seed).stream(i) and from its own
+    // control-flow path, so growing a run shot by shot -- which changes
+    // the final word's width and hence every shot's co-lanes -- must
+    // never change the shots already simulated: the cumulative failure
+    // count can only step by 0 or 1 per added shot. (Regression test: a
+    // mask-dependent rather than path-dependent choice of noise-class
+    // variant broke exactly this.)
+    BatchedLogicalQubitExperiment experiment(ecc::steaneCode(),
+                                             NoiseParameters::swept(8e-3));
+    std::uint64_t prev = experiment.failureRate(1, 60, 7).successes();
+    for (std::size_t n = 61; n <= 200; ++n) {
+        const auto r = experiment.failureRate(1, n, 7);
+        ASSERT_EQ(r.trials(), n);
+        ASSERT_GE(r.successes(), prev) << "shot history changed at " << n;
+        ASSERT_LE(r.successes(), prev + 1)
+            << "shot history changed at " << n;
+        prev = r.successes();
+    }
+}
+
+TEST(BatchedMonteCarlo, PartialBatchCountsExactly)
+{
+    BatchedLogicalQubitExperiment experiment(ecc::steaneCode(),
+                                             NoiseParameters::swept(8e-3));
+    const auto rate = experiment.failureRate(1, 70, 3);
+    EXPECT_EQ(rate.trials(), 70u);
+    const auto tiny = experiment.failureRate(2, 5, 4);
+    EXPECT_EQ(tiny.trials(), 5u);
+}
+
+TEST(BatchedMonteCarlo, SweepMatchesScalarSweep)
+{
+    // The reworked thresholdSweep (batched) must reproduce the scalar
+    // sweep's rates within confidence intervals at every point.
+    const std::vector<double> sweep = {2e-3, 6e-3};
+    const std::size_t shots = 4000;
+    const auto batched = thresholdSweep(sweep, shots, 101);
+    const auto scalar = thresholdSweepScalar(sweep, shots, 101);
+    ASSERT_EQ(batched.size(), scalar.size());
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        EXPECT_NEAR(batched[i].level1Failure, scalar[i].level1Failure,
+                    1.5
+                        * (batched[i].level1Error
+                           + scalar[i].level1Error + 1e-4))
+            << "L1 at p = " << sweep[i];
+        EXPECT_NEAR(batched[i].level2Failure, scalar[i].level2Failure,
+                    1.5
+                        * (batched[i].level2Error
+                           + scalar[i].level2Error + 1e-4))
+            << "L2 at p = " << sweep[i];
+    }
 }
 
 TEST(MonteCarlo, EstimateThresholdInterpolates)

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Batched-engine differential suite.
+ *
+ * The load-bearing property: every lane of the 64-shot BatchedPauliFrame
+ * must evolve exactly like an independent scalar PauliFrame fed the same
+ * operations -- for all 64 lanes, under random Clifford+noise circuits,
+ * random lane masks, and flip readout. The scalar frame is the reference
+ * engine; the batched one must be indistinguishable lane by lane.
+ *
+ * The batched Bernoulli sampler is additionally checked for statistics
+ * (exact geometric-gap sampling of i.i.d. trials) and for its
+ * determinism contract: a lane's draws depend only on its own stream and
+ * its own activity, not on which other lanes share the word.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arq/executor.h"
+#include "circuit/circuit.h"
+#include "common/batched_sampler.h"
+#include "common/rng.h"
+#include "quantum/batched_frame.h"
+#include "quantum/pauli_frame.h"
+
+using namespace qla;
+using namespace qla::quantum;
+
+namespace {
+
+/** Apply one masked batched op and the same op to the masked lanes of
+ *  the scalar reference frames. */
+struct DualFrames
+{
+    explicit DualFrames(std::size_t n)
+        : batched(n), scalars(kBatchLanes, PauliFrame(n))
+    {
+    }
+
+    template <typename BatchedFn, typename ScalarFn>
+    void apply(std::uint64_t lanes, BatchedFn &&bf, ScalarFn &&sf)
+    {
+        bf(batched, lanes);
+        for (std::size_t l = 0; l < kBatchLanes; ++l)
+            if ((lanes >> l) & 1)
+                sf(scalars[l]);
+    }
+
+    void expectEqual(std::size_t n) const
+    {
+        for (std::size_t q = 0; q < n; ++q) {
+            for (std::size_t l = 0; l < kBatchLanes; ++l) {
+                ASSERT_EQ(batched.xBit(q, l), scalars[l].xBit(q))
+                    << "x bit, qubit " << q << " lane " << l;
+                ASSERT_EQ(batched.zBit(q, l), scalars[l].zBit(q))
+                    << "z bit, qubit " << q << " lane " << l;
+            }
+        }
+    }
+
+    BatchedPauliFrame batched;
+    std::vector<PauliFrame> scalars;
+};
+
+} // namespace
+
+TEST(BatchedPauliFrame, GateRulesMatchScalarLaneByLane)
+{
+    // Random circuits over gates, injections, measurements and resets
+    // with random lane masks; every lane must track its scalar twin.
+    for (int seed = 0; seed < 20; ++seed) {
+        Rng rng(1000 + seed);
+        const std::size_t n = 2 + rng.uniformInt(10);
+        DualFrames dual(n);
+
+        for (int step = 0; step < 400; ++step) {
+            const std::uint64_t lanes = rng.next64() | rng.next64();
+            const std::size_t q = rng.uniformInt(n);
+            std::size_t q2 = rng.uniformInt(n);
+            if (q2 == q)
+                q2 = (q + 1) % n;
+            switch (rng.uniformInt(10)) {
+              case 0:
+                dual.apply(
+                    lanes,
+                    [&](auto &b, std::uint64_t m) { b.h(q, m); },
+                    [&](auto &s) { s.h(q); });
+                break;
+              case 1:
+                dual.apply(
+                    lanes,
+                    [&](auto &b, std::uint64_t m) { b.s(q, m); },
+                    [&](auto &s) { s.s(q); });
+                break;
+              case 2:
+                dual.apply(
+                    lanes,
+                    [&](auto &b, std::uint64_t m) { b.cnot(q, q2, m); },
+                    [&](auto &s) { s.cnot(q, q2); });
+                break;
+              case 3:
+                dual.apply(
+                    lanes,
+                    [&](auto &b, std::uint64_t m) { b.cz(q, q2, m); },
+                    [&](auto &s) { s.cz(q, q2); });
+                break;
+              case 4:
+                dual.apply(
+                    lanes,
+                    [&](auto &b, std::uint64_t m) { b.swap(q, q2, m); },
+                    [&](auto &s) { s.swap(q, q2); });
+                break;
+              case 5:
+                dual.apply(
+                    lanes,
+                    [&](auto &b, std::uint64_t m) { b.injectX(q, m); },
+                    [&](auto &s) { s.injectX(q); });
+                break;
+              case 6:
+                dual.apply(
+                    lanes,
+                    [&](auto &b, std::uint64_t m) { b.injectZ(q, m); },
+                    [&](auto &s) { s.injectZ(q); });
+                break;
+              case 7:
+                dual.apply(
+                    lanes,
+                    [&](auto &b, std::uint64_t m) { b.resetQubit(q, m); },
+                    [&](auto &s) { s.resetQubit(q); });
+                break;
+              case 8: {
+                const std::uint64_t flips =
+                    dual.batched.measureZFlip(q, lanes);
+                for (std::size_t l = 0; l < kBatchLanes; ++l) {
+                    if (!((lanes >> l) & 1))
+                        continue;
+                    ASSERT_EQ((flips >> l) & 1,
+                              dual.scalars[l].measureZFlip(q) ? 1u : 0u)
+                        << "measureZ flip, lane " << l;
+                }
+                break;
+              }
+              default: {
+                const std::uint64_t flips =
+                    dual.batched.measureXFlip(q, lanes);
+                for (std::size_t l = 0; l < kBatchLanes; ++l) {
+                    if (!((lanes >> l) & 1))
+                        continue;
+                    ASSERT_EQ((flips >> l) & 1,
+                              dual.scalars[l].measureXFlip(q) ? 1u : 0u)
+                        << "measureX flip, lane " << l;
+                }
+                break;
+              }
+            }
+        }
+        dual.expectEqual(n);
+    }
+}
+
+TEST(BatchedPauliFrame, MaskedLanesStayUntouched)
+{
+    BatchedPauliFrame frame(3);
+    frame.injectX(0, ~0ULL);
+    frame.injectZ(2, ~0ULL);
+    const std::uint64_t even = 0x5555555555555555ULL;
+    frame.h(0, even);
+    frame.cnot(0, 1, even);
+    frame.measureZFlip(2, even);
+    frame.resetQubit(0, even);
+    for (std::size_t l = 0; l < kBatchLanes; ++l) {
+        if (l % 2 == 0)
+            continue; // acted-on lanes checked elsewhere
+        EXPECT_TRUE(frame.xBit(0, l));
+        EXPECT_FALSE(frame.xBit(1, l));
+        EXPECT_TRUE(frame.zBit(2, l));
+    }
+}
+
+TEST(BatchedSampler, MatchesBernoulliStatistics)
+{
+    // Word-level rate over many trials must match p for every lane.
+    for (const double p : {0.002, 0.05, 0.3}) {
+        RngFamily family(17);
+        LaneRngs lanes;
+        for (std::size_t l = 0; l < kBatchLanes; ++l)
+            lanes[l] = family.stream(l);
+        BernoulliWordSampler sampler(p);
+        const int trials = 40000;
+        std::int64_t fires = 0;
+        for (int t = 0; t < trials; ++t)
+            fires += std::popcount(sampler.sample(~0ULL, lanes));
+        const double rate =
+            static_cast<double>(fires) / (trials * 64.0);
+        EXPECT_NEAR(rate, p, 5.0 * std::sqrt(p / (trials * 64.0)))
+            << "p = " << p;
+    }
+}
+
+TEST(BatchedSampler, EdgeProbabilities)
+{
+    RngFamily family(3);
+    LaneRngs lanes;
+    for (std::size_t l = 0; l < kBatchLanes; ++l)
+        lanes[l] = family.stream(l);
+    BernoulliWordSampler never(0.0);
+    BernoulliWordSampler always(1.0);
+    for (int t = 0; t < 100; ++t) {
+        EXPECT_EQ(never.sample(~0ULL, lanes), 0u);
+        EXPECT_EQ(always.sample(0x123456789abcdefULL, lanes),
+                  0x123456789abcdefULL);
+    }
+}
+
+TEST(BatchedSampler, LaneDrawsIndependentOfBatchComposition)
+{
+    // The determinism contract: lane l's fire sequence over its active
+    // trials is the same whether it shares the word with 63 other lanes
+    // or runs alone, because it draws gaps only from its own stream.
+    const double p = 0.03;
+    const int trials = 3000;
+    const int lane = 5;
+
+    RngFamily family(99);
+    LaneRngs lanes_full;
+    for (std::size_t l = 0; l < kBatchLanes; ++l)
+        lanes_full[l] = family.stream(l);
+    BernoulliWordSampler full(p);
+    std::vector<bool> fires_full;
+    for (int t = 0; t < trials; ++t)
+        fires_full.push_back(
+            (full.sample(~0ULL, lanes_full) >> lane) & 1);
+
+    LaneRngs lanes_solo;
+    for (std::size_t l = 0; l < kBatchLanes; ++l)
+        lanes_solo[l] = family.stream(l);
+    BernoulliWordSampler solo(p);
+    std::vector<bool> fires_solo;
+    for (int t = 0; t < trials; ++t)
+        fires_solo.push_back(
+            (solo.sample(std::uint64_t{1} << lane, lanes_solo) >> lane)
+            & 1);
+
+    EXPECT_EQ(fires_full, fires_solo);
+}
+
+TEST(BatchedSampler, ParkedLanesResumeWhereTheyStopped)
+{
+    // Alternating masks: a lane's sequence over its own active trials
+    // must be unaffected by the interleaved activity of other lanes.
+    const double p = 0.04;
+    const int lane = 9;
+    RngFamily family(7);
+
+    auto seed_lanes = [&] {
+        LaneRngs lanes;
+        for (std::size_t l = 0; l < kBatchLanes; ++l)
+            lanes[l] = family.stream(l);
+        return lanes;
+    };
+
+    LaneRngs a = seed_lanes();
+    BernoulliWordSampler alternating(p);
+    std::vector<bool> seq_a;
+    for (int round = 0; round < 200; ++round) {
+        for (int t = 0; t < 7; ++t)
+            seq_a.push_back(
+                (alternating.sample(~0ULL, a) >> lane) & 1);
+        for (int t = 0; t < 5; ++t) // lane parked here
+            alternating.sample(~0ULL & ~(std::uint64_t{1} << lane), a);
+    }
+
+    LaneRngs b = seed_lanes();
+    BernoulliWordSampler steady(p);
+    std::vector<bool> seq_b;
+    for (int t = 0; t < 200 * 7; ++t)
+        seq_b.push_back((steady.sample(~0ULL, b) >> lane) & 1);
+
+    EXPECT_EQ(seq_a, seq_b);
+}
+
+TEST(BatchedDepolarize, SingleQubitStatistics)
+{
+    RngFamily family(21);
+    LaneRngs lanes;
+    for (std::size_t l = 0; l < kBatchLanes; ++l)
+        lanes[l] = family.stream(l);
+    const double p = 0.3;
+    BernoulliWordSampler sampler(p);
+    const int trials = 4000;
+    std::int64_t x = 0, y = 0, z = 0;
+    for (int t = 0; t < trials; ++t) {
+        BatchedPauliFrame frame(1);
+        depolarize1(frame, 0, sampler, lanes, ~0ULL);
+        const std::uint64_t xw = frame.xWord(0);
+        const std::uint64_t zw = frame.zWord(0);
+        x += std::popcount(xw & ~zw);
+        y += std::popcount(xw & zw);
+        z += std::popcount(~xw & zw);
+    }
+    const double total = trials * 64.0;
+    EXPECT_NEAR((x + y + z) / total, p, 0.01);
+    EXPECT_NEAR(x / total, p / 3.0, 0.01);
+    EXPECT_NEAR(y / total, p / 3.0, 0.01);
+    EXPECT_NEAR(z / total, p / 3.0, 0.01);
+}
+
+TEST(BatchedDepolarize, TwoQubitUniformOverFifteenPairs)
+{
+    RngFamily family(22);
+    LaneRngs lanes;
+    for (std::size_t l = 0; l < kBatchLanes; ++l)
+        lanes[l] = family.stream(l);
+    const double p = 0.45;
+    BernoulliWordSampler sampler(p);
+    const int trials = 4000;
+    std::array<std::int64_t, 16> counts{};
+    for (int t = 0; t < trials; ++t) {
+        BatchedPauliFrame frame(2);
+        depolarize2(frame, 0, 1, sampler, lanes, ~0ULL);
+        for (std::size_t l = 0; l < kBatchLanes; ++l) {
+            const int pa = (frame.xBit(0, l) ? 1 : 0)
+                + (frame.zBit(0, l) ? 2 : 0);
+            const int pb = (frame.xBit(1, l) ? 1 : 0)
+                + (frame.zBit(1, l) ? 2 : 0);
+            ++counts[pa * 4 + pb];
+        }
+    }
+    const double total = trials * 64.0;
+    EXPECT_NEAR(1.0 - counts[0] / total, p, 0.01);
+    for (int code = 1; code < 16; ++code)
+        EXPECT_NEAR(counts[code] / total, p / 15.0, 0.005)
+            << "code " << code;
+}
+
+TEST(BatchedExecutor, MatchesScalarFrameExecution)
+{
+    using circuit::QuantumCircuit;
+    // Inject per-lane random errors into both engines, run the same
+    // Clifford circuit through the executor on each, and compare the
+    // flip records and final frames lane by lane.
+    for (int seed = 0; seed < 10; ++seed) {
+        Rng rng(4000 + seed);
+        const std::size_t n = 5;
+        QuantumCircuit circuit(n, "exec-batch");
+        circuit.h(0);
+        circuit.cnot(0, 1);
+        circuit.s(2);
+        circuit.cz(1, 3);
+        circuit.swapGate(3, 4);
+        circuit.cnot(2, 4);
+        circuit.measureZ(1);
+        circuit.measureX(2);
+
+        DualFrames dual(n);
+        for (std::size_t q = 0; q < n; ++q) {
+            const std::uint64_t xw = rng.next64();
+            const std::uint64_t zw = rng.next64();
+            dual.batched.injectX(q, xw);
+            dual.batched.injectZ(q, zw);
+            for (std::size_t l = 0; l < kBatchLanes; ++l) {
+                if ((xw >> l) & 1)
+                    dual.scalars[l].injectX(q);
+                if ((zw >> l) & 1)
+                    dual.scalars[l].injectZ(q);
+            }
+        }
+
+        const arq::BatchedExecutionResult batched =
+            arq::executeOnBatchedFrame(circuit, dual.batched, ~0ULL);
+
+        for (std::size_t l = 0; l < kBatchLanes; ++l) {
+            Rng unused(1);
+            const arq::ExecutionResult scalar =
+                arq::executeOnBackend(circuit, dual.scalars[l], unused);
+            ASSERT_EQ(batched.measurementFlips.size(),
+                      scalar.measurements.size());
+            for (std::size_t m = 0; m < scalar.measurements.size(); ++m)
+                ASSERT_EQ((batched.measurementFlips[m] >> l) & 1,
+                          scalar.measurements[m] ? 1u : 0u)
+                    << "measurement " << m << " lane " << l;
+        }
+        dual.expectEqual(n);
+    }
+}
