@@ -106,6 +106,27 @@ BENCHMARK(BM_BatchedRunShotL2)->Arg(10)->Arg(30);
 
 constexpr std::size_t kSweepShots = 2048;
 
+/** Single-thread defaults (group of 16 words + lane compaction): the
+ *  engine-level speedup, comparable across machines. */
+McRunOptions
+singleThreadOptions()
+{
+    McRunOptions options;
+    options.threads = 1;
+    return options;
+}
+
+/** PR-2 execution shape: one 64-shot word at a time, no compaction. */
+McRunOptions
+plainOptions()
+{
+    McRunOptions options;
+    options.threads = 1;
+    options.batch.groupWords = 1;
+    options.batch.laneCompaction = false;
+    return options;
+}
+
 void
 BM_ThresholdSweepScalarWindow(benchmark::State &state)
 {
@@ -122,8 +143,8 @@ void
 BM_ThresholdSweepBatchedWindow(benchmark::State &state)
 {
     for (auto _ : state)
-        benchmark::DoNotOptimize(
-            thresholdSweep(kWindowSweep, kSweepShots, 20050938));
+        benchmark::DoNotOptimize(thresholdSweep(
+            kWindowSweep, kSweepShots, 20050938, singleThreadOptions()));
     state.SetItemsProcessed(state.iterations() * kWindowSweep.size() * 2
                             * kSweepShots);
 }
@@ -144,12 +165,64 @@ void
 BM_ThresholdSweepBatchedFull(benchmark::State &state)
 {
     for (auto _ : state)
-        benchmark::DoNotOptimize(
-            thresholdSweep(kFullSweep, kSweepShots, 20050938));
+        benchmark::DoNotOptimize(thresholdSweep(
+            kFullSweep, kSweepShots, 20050938, singleThreadOptions()));
     state.SetItemsProcessed(state.iterations() * kFullSweep.size() * 2
                             * kSweepShots);
 }
 BENCHMARK(BM_ThresholdSweepBatchedFull);
+
+/** The PR-2 execution shape (single word, no compaction): the delta to
+ *  BM_ThresholdSweepBatchedFull is the lane-compaction recovery on the
+ *  far-above-threshold tail. */
+void
+BM_ThresholdSweepBatchedFullNoCompaction(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(thresholdSweep(
+            kFullSweep, kSweepShots, 20050938, plainOptions()));
+    state.SetItemsProcessed(state.iterations() * kFullSweep.size() * 2
+                            * kSweepShots);
+}
+BENCHMARK(BM_ThresholdSweepBatchedFullNoCompaction);
+
+/** Thread scaling of the work-stealing sweep scheduler; the argument is
+ *  the worker-thread count (results are bit-identical across them). */
+void
+BM_ThresholdSweepBatchedFullThreads(benchmark::State &state)
+{
+    McRunOptions options;
+    options.threads = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            thresholdSweep(kFullSweep, kSweepShots, 20050938, options));
+    state.SetItemsProcessed(state.iterations() * kFullSweep.size() * 2
+                            * kSweepShots);
+}
+BENCHMARK(BM_ThresholdSweepBatchedFullThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void
+BM_ThresholdSweepBatchedWindowThreads(benchmark::State &state)
+{
+    McRunOptions options;
+    options.threads = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            thresholdSweep(kWindowSweep, kSweepShots, 20050938, options));
+    state.SetItemsProcessed(state.iterations() * kWindowSweep.size() * 2
+                            * kSweepShots);
+}
+BENCHMARK(BM_ThresholdSweepBatchedWindowThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 } // namespace
 

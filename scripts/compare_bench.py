@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare a fresh google-benchmark JSON report against a checked-in
+baseline and fail on throughput regressions.
+
+Usage:
+    compare_bench.py BASELINE.json FRESH.json
+        [--max-regression 0.25] [--normalize] [--filter REGEX]
+
+Benchmarks are matched by name; the metric is items_per_second when
+present, else 1/real_time. Only names present in both reports are
+compared (CI smoke runs use --benchmark_filter subsets).
+
+--normalize divides each benchmark's fresh/baseline ratio by the median
+ratio across all matched benchmarks before applying the threshold.
+Baselines are recorded on a developer machine while CI runs on shared
+runners of a different speed; the median ratio captures that global
+machine factor, so only *relative* regressions (one benchmark slowing
+down against the rest of the suite) trip the gate.
+
+Exit status: 0 when no benchmark regressed beyond the threshold,
+1 otherwise, 2 for usage/data errors.
+"""
+
+import argparse
+import json
+import re
+import statistics
+import sys
+
+
+def load_metrics(path):
+    with open(path) as fh:
+        report = json.load(fh)
+    metrics = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if name is None:
+            continue
+        if "items_per_second" in bench:
+            metrics[name] = float(bench["items_per_second"])
+        elif bench.get("real_time"):
+            metrics[name] = 1.0 / float(bench["real_time"])
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="maximum allowed fractional throughput loss"
+                             " (default 0.25)")
+    parser.add_argument("--normalize", action="store_true",
+                        help="divide ratios by their median to remove the"
+                             " machine-speed factor")
+    parser.add_argument("--filter", default=None,
+                        help="only compare benchmark names matching this"
+                             " regex")
+    args = parser.parse_args()
+
+    baseline = load_metrics(args.baseline)
+    fresh = load_metrics(args.fresh)
+    names = sorted(set(baseline) & set(fresh))
+    if args.filter:
+        pattern = re.compile(args.filter)
+        names = [n for n in names if pattern.search(n)]
+    if not names:
+        print("error: no benchmarks in common between "
+              f"{args.baseline} and {args.fresh}", file=sys.stderr)
+        return 2
+
+    ratios = {n: fresh[n] / baseline[n] for n in names
+              if baseline[n] > 0}
+    if not ratios:
+        print("error: baseline throughputs are all zero",
+              file=sys.stderr)
+        return 2
+
+    scale = statistics.median(ratios.values()) if args.normalize else 1.0
+    if scale <= 0:
+        print("error: non-positive median ratio", file=sys.stderr)
+        return 2
+
+    floor = 1.0 - args.max_regression
+    failed = []
+    print(f"{'benchmark':55s} {'baseline':>12s} {'fresh':>12s} "
+          f"{'ratio':>7s}")
+    for name in names:
+        if name not in ratios:
+            print(f"{name:55s} {baseline[name]:12.4g} "
+                  f"{fresh[name]:12.4g}    (skipped: zero baseline)")
+            continue
+        ratio = ratios[name] / scale
+        flag = ""
+        if ratio < floor:
+            failed.append(name)
+            flag = "  << REGRESSION"
+        print(f"{name:55s} {baseline[name]:12.4g} {fresh[name]:12.4g} "
+              f"{ratio:7.3f}{flag}")
+    if args.normalize:
+        print(f"(machine-speed factor from median ratio: {scale:.3f})")
+
+    if failed:
+        print(f"\n{len(failed)} benchmark(s) regressed more than "
+              f"{args.max_regression:.0%}:", file=sys.stderr)
+        for name in failed:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(names)} benchmark(s) within "
+          f"{args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

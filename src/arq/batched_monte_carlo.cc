@@ -3,19 +3,66 @@
 #include <algorithm>
 #include <bit>
 
+#include "arq/lane_compaction.h"
 #include "common/logging.h"
 
 namespace qla::arq {
 
+std::uint64_t
+LaneSet::count() const
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        total += static_cast<std::uint64_t>(std::popcount(w[i]));
+    return total;
+}
+
+std::uint32_t
+LaneSet::activeWords() const
+{
+    std::uint32_t words = 0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        words += w[i] != 0;
+    return words;
+}
+
+std::size_t
+gatherLaneRefs(const LaneSet &mask, LaneRef *refs)
+{
+    std::size_t count = 0;
+    for (std::uint32_t w = 0; w < mask.n; ++w) {
+        std::uint64_t lanes = mask.w[w];
+        while (lanes) {
+            const int l = std::countr_zero(lanes);
+            lanes &= lanes - 1;
+            refs[count++] = {static_cast<std::uint8_t>(w),
+                             static_cast<std::uint8_t>(l)};
+        }
+    }
+    return count;
+}
+
+LaneChunkPlan::LaneChunkPlan(const LaneRef *refs, std::size_t count)
+{
+    for (std::size_t j = 0; j < count; ++j) {
+        const LaneRef ref = refs[j];
+        if (!home[ref.word])
+            slot0[ref.word] = static_cast<std::uint8_t>(j);
+        home[ref.word] |= std::uint64_t{1} << ref.lane;
+    }
+}
+
 BatchedLogicalQubitExperiment::BatchedLogicalQubitExperiment(
     const ecc::CssCode &code, NoiseParameters noise, LayoutDistances layout,
-    int max_prep_attempts)
+    int max_prep_attempts, BatchOptions options)
     : code_(code), noise_(noise), layout_(layout),
-      max_prep_attempts_(max_prep_attempts), n_(code.blockLength()),
-      frame_(3 * code.blockLength() * code.blockLength() * 3),
-      model_(recordAllTraces())
+      max_prep_attempts_(max_prep_attempts), options_(options),
+      n_(code.blockLength()), rows_(code_, noise_, layout_)
 {
     qla_assert(max_prep_attempts_ >= 1);
+    qla_assert(options_.groupWords >= 1
+                   && options_.groupWords <= kMaxGroupWords,
+               "groupWords must be in [1, ", kMaxGroupWords, "]");
     qla_assert(n_ <= 32, "bit-sliced decode supports block length <= 32");
     qla_assert(code_.xChecks().size() <= 8 && code_.zChecks().size() <= 8,
                "bit-sliced decode supports <= 8 check rows");
@@ -25,20 +72,21 @@ BatchedLogicalQubitExperiment::BatchedLogicalQubitExperiment(
         z_check_bits_.push_back(bitListOf(row));
     logical_x_bits_ = bitListOf(code_.logicalX());
     logical_z_bits_ = bitListOf(code_.logicalZ());
-    flips_.reserve(n_ * n_);
+
+    const NoiseClassTable &table = recordAllTraces();
+    const std::size_t num_qubits = 3 * n_ * n_ * 3;
+    frames_.reserve(options_.groupWords);
+    models_.reserve(options_.groupWords);
+    for (std::size_t w = 0; w < options_.groupWords; ++w) {
+        frames_.emplace_back(num_qubits);
+        models_.emplace_back(table);
+        flips_[w].reserve(n_ * n_);
+    }
+    retry_pool_ = std::make_unique<PrepRetryPool>(
+        code_, rows_, max_prep_attempts_, classes_, shadow_of_primary_);
 }
 
-BatchedLogicalQubitExperiment::BitList
-BatchedLogicalQubitExperiment::bitListOf(ecc::QubitMask mask)
-{
-    BitList bits;
-    while (mask) {
-        const int i = std::countr_zero(mask);
-        mask &= mask - 1;
-        bits.idx[bits.count++] = static_cast<std::uint8_t>(i);
-    }
-    return bits;
-}
+BatchedLogicalQubitExperiment::~BatchedLogicalQubitExperiment() = default;
 
 std::size_t
 BatchedLogicalQubitExperiment::ion(std::size_t c, std::size_t g, Role role,
@@ -51,7 +99,10 @@ BatchedLogicalQubitExperiment::ion(std::size_t c, std::size_t g, Role role,
 //
 // Trace recording. Each recorder mirrors its scalar twin in
 // monte_carlo.cc operation for operation; only the execution strategy
-// differs (emit once here, replay word-parallel later).
+// differs (emit once here, replay word-parallel later). The row-level
+// prep/verify segments live in TileRowRecorder, shared with the
+// lane-compaction pool so the relocated retry traces can never drift
+// from these.
 //
 
 std::size_t
@@ -64,15 +115,6 @@ BatchedLogicalQubitExperiment::traceIndex(Seg seg, std::size_t c,
         | static_cast<std::size_t>(flag);
 }
 
-double
-BatchedLogicalQubitExperiment::moveProbability(Cells cells, int turns) const
-{
-    const double cell_equivalents = static_cast<double>(cells)
-        + noise_.splitCellEquivalent
-        + noise_.turnCellEquivalent * turns;
-    return noise_.movementErrorPerCell * cell_equivalents;
-}
-
 const NoiseClassTable &
 BatchedLogicalQubitExperiment::recordAllTraces()
 {
@@ -81,24 +123,28 @@ BatchedLogicalQubitExperiment::recordAllTraces()
     classes_.classOf(noise_.gate1Error);
     classes_.classOf(noise_.gate2Error);
     classes_.classOf(noise_.measureError);
-    classes_.classOf(
-        moveProbability(layout_.intraBlockCells, layout_.intraBlockTurns));
-    classes_.classOf(
-        moveProbability(layout_.interBlockCells, layout_.interBlockTurns));
+    classes_.classOf(rows_.moveProbability(layout_.intraBlockCells,
+                                           layout_.intraBlockTurns));
+    classes_.classOf(rows_.moveProbability(layout_.interBlockCells,
+                                           layout_.interBlockTurns));
 
     traces_[0].resize(traceIndex(Seg::LogicalGate, 2, n_ - 1, 2, true)
                       + 1);
     for (std::size_t c = 0; c < 3; ++c) {
         for (std::size_t g = 0; g < n_; ++g) {
             for (const Role role : {Role::Data, Role::Ancilla}) {
+                const std::size_t q0
+                    = ion(c, g, role, 0);
+                const std::size_t v0 = ion(c, g, Role::Verify, 0);
                 for (const bool plus : {false, true}) {
                     FrameTraceBuilder prep(classes_);
-                    recordPrepRound(prep, c, g, role, plus);
+                    rows_.prepRound(prep, q0, v0, plus);
                     traces_[0][traceIndex(Seg::PrepRound, c, g,
                                           static_cast<std::size_t>(role),
                                           plus)] = prep.take();
                     FrameTraceBuilder pair(classes_);
-                    recordVerifyPair(pair, c, g, role, plus);
+                    rows_.encodeRow(pair, v0, plus);
+                    rows_.verifyRound(pair, q0, v0, plus);
                     traces_[0][traceIndex(Seg::VerifyPair, c, g,
                                           static_cast<std::size_t>(role),
                                           plus)] = pair.take();
@@ -139,10 +185,11 @@ BatchedLogicalQubitExperiment::recordAllTraces()
     // conditional-path replays get samplers of their own and never park
     // and unpark the full-width samplers' lane clocks.
     const std::size_t primary_classes = classes_.probabilities().size();
-    std::vector<std::uint8_t> shadow(primary_classes);
+    shadow_of_primary_.resize(primary_classes);
     for (std::size_t k = 0; k < primary_classes; ++k)
-        shadow[k] = classes_.newClass(classes_.probabilities()[k]);
-    cls_corr_ = shadow[classes_.classOf(noise_.gate1Error)];
+        shadow_of_primary_[k]
+            = classes_.newClass(classes_.probabilities()[k]);
+    cls_corr_ = shadow_of_primary_[classes_.classOf(noise_.gate1Error)];
     traces_[1].resize(traces_[0].size());
     for (std::size_t t = 0; t < traces_[0].size(); ++t) {
         FrameTrace twin = traces_[0][t];
@@ -156,20 +203,20 @@ BatchedLogicalQubitExperiment::recordAllTraces()
               case FrameOp::Kind::Noise1Range:
               case FrameOp::Kind::MeasureZRange:
               case FrameOp::Kind::MeasureXRange:
-                op.cls = shadow[op.cls];
+                op.cls = shadow_of_primary_[op.cls];
                 break;
               case FrameOp::Kind::NoisyCnotMT:
               case FrameOp::Kind::NoisyCnotMC:
-                op.cls = shadow[op.cls];
-                op.cls2 = shadow[op.cls2];
+                op.cls = shadow_of_primary_[op.cls];
+                op.cls2 = shadow_of_primary_[op.cls2];
                 break;
               case FrameOp::Kind::NoisyCnotMTMeasZ:
               case FrameOp::Kind::NoisyCnotMTMeasX:
               case FrameOp::Kind::NoisyCnotMCMeasZ:
               case FrameOp::Kind::NoisyCnotMCMeasX:
-                op.cls = shadow[op.cls];
-                op.cls2 = shadow[op.cls2];
-                op.cls3 = shadow[op.cls3];
+                op.cls = shadow_of_primary_[op.cls];
+                op.cls2 = shadow_of_primary_[op.cls2];
+                op.cls3 = shadow_of_primary_[op.cls3];
                 break;
               default:
                 break;
@@ -181,80 +228,13 @@ BatchedLogicalQubitExperiment::recordAllTraces()
 }
 
 void
-BatchedLogicalQubitExperiment::recordEncode(FrameTraceBuilder &tb,
-                                            std::size_t c, std::size_t g,
-                                            Role role, bool plus)
-{
-    const auto &sched = code_.zeroEncoder();
-    const double p_move = moveProbability(layout_.intraBlockCells,
-                                          layout_.intraBlockTurns);
-    tb.resetRange(ion(c, g, role, 0), n_);
-    for (std::size_t pivot : sched.pivots)
-        tb.noisyH(ion(c, g, role, pivot), noise_.gate1Error);
-    for (const auto &[control, target] : sched.cnots) {
-        const std::size_t qc = ion(c, g, role, control);
-        const std::size_t qt = ion(c, g, role, target);
-        tb.noisyCnot(qc, qt, qt, p_move, noise_.gate2Error);
-    }
-    if (plus) {
-        for (std::size_t i = 0; i < n_; ++i)
-            tb.noisyH(ion(c, g, role, i), noise_.gate1Error);
-    }
-}
-
-void
-BatchedLogicalQubitExperiment::recordVerifyRound(FrameTraceBuilder &tb,
-                                                 std::size_t c,
-                                                 std::size_t g, Role role,
-                                                 bool plus)
-{
-    const double p_move = moveProbability(layout_.intraBlockCells,
-                                          layout_.intraBlockTurns);
-    for (std::size_t i = 0; i < n_; ++i) {
-        const std::size_t qa = ion(c, g, role, i);
-        const std::size_t qv = ion(c, g, Role::Verify, i);
-        // The verify ion shuttles whether it is control or target; the
-        // two-qubit fault is ordered (qa, qv) as in the scalar schedule.
-        if (plus)
-            tb.noisyCnotMeas(qv, qa, qv, p_move, noise_.gate2Error, true,
-                             noise_.measureError);
-        else
-            tb.noisyCnotMeas(qa, qv, qv, p_move, noise_.gate2Error, false,
-                             noise_.measureError);
-    }
-}
-
-void
-BatchedLogicalQubitExperiment::recordPrepRound(FrameTraceBuilder &tb,
-                                               std::size_t c,
-                                               std::size_t g, Role role,
-                                               bool plus)
-{
-    // One verified-preparation attempt, fused into a single segment:
-    // the retry loop replays this once per attempt.
-    recordEncode(tb, c, g, role, plus);
-    recordEncode(tb, c, g, Role::Verify, plus);
-    recordVerifyRound(tb, c, g, role, plus);
-}
-
-void
-BatchedLogicalQubitExperiment::recordVerifyPair(FrameTraceBuilder &tb,
-                                                std::size_t c,
-                                                std::size_t g, Role role,
-                                                bool plus)
-{
-    recordEncode(tb, c, g, Role::Verify, plus);
-    recordVerifyRound(tb, c, g, role, plus);
-}
-
-void
 BatchedLogicalQubitExperiment::recordExtractRound(FrameTraceBuilder &tb,
                                                   std::size_t c,
                                                   std::size_t g,
                                                   bool detect_x)
 {
-    const double p_move = moveProbability(layout_.interBlockCells,
-                                          layout_.interBlockTurns);
+    const double p_move = rows_.moveProbability(layout_.interBlockCells,
+                                                layout_.interBlockTurns);
     for (std::size_t i = 0; i < n_; ++i) {
         const std::size_t qd = ion(c, g, Role::Data, i);
         const std::size_t qa = ion(c, g, Role::Ancilla, i);
@@ -273,8 +253,8 @@ BatchedLogicalQubitExperiment::recordL2Network(FrameTraceBuilder &tb,
                                                std::size_t c, bool plus)
 {
     const auto &sched = code_.zeroEncoder();
-    const double p_move = moveProbability(layout_.interBlockCells,
-                                          layout_.interBlockTurns);
+    const double p_move = rows_.moveProbability(layout_.interBlockCells,
+                                                layout_.interBlockTurns);
     for (std::size_t pivot : sched.pivots)
         for (std::size_t i = 0; i < n_; ++i)
             tb.noisyH(ion(c, pivot, Role::Data, i), noise_.gate1Error);
@@ -297,8 +277,8 @@ BatchedLogicalQubitExperiment::recordL2Cnot(FrameTraceBuilder &tb,
                                             bool detect_x)
 {
     const std::size_t ac = detect_x ? 1 : 2;
-    const double p_move = moveProbability(layout_.interBlockCells,
-                                          layout_.interBlockTurns);
+    const double p_move = rows_.moveProbability(layout_.interBlockCells,
+                                                layout_.interBlockTurns);
     for (std::size_t g = 0; g < n_; ++g) {
         for (std::size_t i = 0; i < n_; ++i) {
             const std::size_t qd = ion(0, g, Role::Data, i);
@@ -333,7 +313,7 @@ BatchedLogicalQubitExperiment::recordLogicalGate(FrameTraceBuilder &tb,
 void
 BatchedLogicalQubitExperiment::replaySeg(Seg seg, std::size_t c,
                                          std::size_t g, std::size_t role,
-                                         bool flag, std::uint64_t active)
+                                         bool flag, const LaneSet &active)
 {
     // Primary classes on the straight-line schedule, the shadow twins
     // inside retry / conditional subtrees. The choice follows the
@@ -344,23 +324,17 @@ BatchedLogicalQubitExperiment::replaySeg(Seg seg, std::size_t c,
     const FrameTrace &t = traces_[shadow_ ? 1 : 0]
                                  [traceIndex(seg, c, g, role, flag)];
     qla_assert(!t.ops.empty(), "trace not recorded");
-    flips_.clear();
-    replayTrace(t, frame_, model_, active, flips_);
+    for (std::uint32_t w = 0; w < active.n; ++w) {
+        if (!active.w[w])
+            continue;
+        flips_[w].clear();
+        replayTrace(t, frames_[w], models_[w], active.w[w], flips_[w]);
+    }
 }
 
 //
 // Bit-sliced classical decoding.
 //
-
-std::uint64_t
-BatchedLogicalQubitExperiment::orPlanes(const SyndromePlanes &planes,
-                                        std::size_t count)
-{
-    std::uint64_t any = 0;
-    for (std::size_t j = 0; j < count; ++j)
-        any |= planes[j];
-    return any;
-}
 
 void
 BatchedLogicalQubitExperiment::correctionWords(bool x_corr,
@@ -408,161 +382,252 @@ BatchedLogicalQubitExperiment::decodeXLogicalPlane(
 // Driver building blocks.
 //
 
+bool
+BatchedLogicalQubitExperiment::compactionWorthwhile(const LaneSet &mask,
+                                                    std::size_t sites) const
+{
+    if (!options_.laneCompaction)
+        return false;
+    const std::uint32_t words = mask.activeWords();
+    if (words < 2)
+        return false;
+    // Cost gate: a dense replay saves (words - dense) word replays per
+    // site per attempt, while the one-off transplant in/out costs
+    // O(migrated lanes). Compact only when the saving clearly wins; the
+    // factor approximates (replayed ops per saved word) / (transplant
+    // ops per lane), calibrated on the Figure-7 tail.
+    const std::uint64_t count = mask.count();
+    const std::uint64_t dense = (count + kBatchLanes - 1) / kBatchLanes;
+    return (words - dense) * sites * 16 >= count;
+}
+
 void
 BatchedLogicalQubitExperiment::prepVerified(std::size_t c, std::size_t g,
                                             Role role, bool plus,
-                                            std::uint64_t active,
+                                            const LaneSet &active,
                                             ExperimentStats *stats)
 {
     const bool caller_shadow = shadow_;
-    std::uint64_t mask = active;
+    const std::size_t num_checks = plus ? x_check_bits_.size()
+                                        : z_check_bits_.size();
+    const BitList &logical = plus ? logical_x_bits_ : logical_z_bits_;
+    LaneSet mask = active;
     int attempts = 0;
-    while (mask && attempts < max_prep_attempts_) {
+    while (mask.any() && attempts < max_prep_attempts_) {
         ++attempts;
         shadow_ = caller_shadow || attempts > 1;
+        if (shadow_ && compactionWorthwhile(mask, 1)) {
+            // Sparse retry (or sparse re-extraction subtree): regroup
+            // the surviving lanes into dense words and finish their
+            // attempts there. Draw-for-draw identical to replaying in
+            // place -- see arq/lane_compaction.h.
+            retry_pool_->runRetries(plus, mask, attempts, frames_,
+                                    models_, ion(c, g, role, 0), stats);
+            shadow_ = caller_shadow;
+            return;
+        }
         replaySeg(Seg::PrepRound, c, g, static_cast<std::size_t>(role),
                   plus, mask);
-        const std::size_t num_checks = plus ? x_check_bits_.size()
-                                            : z_check_bits_.size();
-        const SyndromePlanes synd = planesOf(plus, flips_.data());
-        std::uint64_t bad = orPlanes(synd, num_checks);
-        bad |= parityPlane(plus ? logical_x_bits_ : logical_z_bits_,
-                           flips_.data());
-        bad &= mask;
-        const std::uint64_t exited = attempts == max_prep_attempts_
-            ? mask : (mask & ~bad);
-        if (stats && exited)
-            stats->prepAttempts.addRepeated(attempts,
-                                            std::popcount(exited));
-        mask &= bad;
+        for (std::uint32_t w = 0; w < mask.n; ++w) {
+            if (!mask.w[w])
+                continue;
+            const SyndromePlanes synd = planesOf(plus, flips_[w].data());
+            std::uint64_t bad = orPlanes(synd, num_checks);
+            bad |= parityPlane(logical, flips_[w].data());
+            bad &= mask.w[w];
+            const std::uint64_t exited = attempts == max_prep_attempts_
+                ? mask.w[w] : (mask.w[w] & ~bad);
+            if (stats && exited)
+                stats->prepAttempts.addRepeated(attempts,
+                                                std::popcount(exited));
+            mask.w[w] = bad;
+        }
     }
     shadow_ = caller_shadow;
 }
 
-BatchedLogicalQubitExperiment::SyndromePlanes
+void
 BatchedLogicalQubitExperiment::extractSyndrome(std::size_t c,
                                                std::size_t g,
                                                bool detect_x,
-                                               std::uint64_t active,
+                                               const LaneSet &active,
+                                               GroupSyndrome &synd,
                                                ExperimentStats *stats)
 {
     prepVerified(c, g, Role::Ancilla, detect_x, active, stats);
     replaySeg(Seg::ExtractRound, c, g, 0, detect_x, active);
-    const SyndromePlanes synd = planesOf(!detect_x, flips_.data());
-    if (stats) {
-        const std::size_t num_checks = detect_x ? z_check_bits_.size()
-                                                : x_check_bits_.size();
-        stats->nontrivialSyndrome.addBulk(
-            std::popcount(orPlanes(synd, num_checks) & active),
-            std::popcount(active));
+    std::uint64_t nontrivial = 0;
+    std::uint64_t total = 0;
+    const std::size_t num_checks = detect_x ? z_check_bits_.size()
+                                            : x_check_bits_.size();
+    for (std::uint32_t w = 0; w < active.n; ++w) {
+        if (!active.w[w])
+            continue;
+        synd[w] = planesOf(!detect_x, flips_[w].data());
+        nontrivial += std::popcount(orPlanes(synd[w], num_checks)
+                                    & active.w[w]);
+        total += std::popcount(active.w[w]);
     }
-    return synd;
+    if (stats)
+        stats->nontrivialSyndrome.addBulk(nontrivial, total);
 }
 
 void
 BatchedLogicalQubitExperiment::applyCorrection(std::size_t c,
                                                std::size_t g, Role role,
                                                bool detect_x,
-                                               const SyndromePlanes &synd,
-                                               std::uint64_t active)
+                                               const GroupSyndrome &synd,
+                                               const LaneSet &active)
 {
     const std::size_t num_checks = detect_x ? code_.zChecks().size()
                                             : code_.xChecks().size();
-    if (!(orPlanes(synd, num_checks) & active))
-        return;
-    std::array<std::uint64_t, 32> inject{};
-    correctionWords(detect_x, synd, num_checks, inject.data());
-    for (std::size_t i = 0; i < n_; ++i) {
-        const std::uint64_t lanes = inject[i] & active;
-        if (!lanes)
+    for (std::uint32_t w = 0; w < active.n; ++w) {
+        if (!active.w[w] || !(orPlanes(synd[w], num_checks) & active.w[w]))
             continue;
-        const std::size_t q = ion(c, g, role, i);
-        // Fold the Pauli correction into the frame; the physical gate
-        // can itself fault, on exactly the lanes that applied it.
-        if (detect_x)
-            frame_.injectX(q, lanes);
-        else
-            frame_.injectZ(q, lanes);
-        quantum::depolarize1(frame_, q, model_.samplers[cls_corr_],
-                             model_.lanes, lanes);
+        std::array<std::uint64_t, 32> inject{};
+        correctionWords(detect_x, synd[w], num_checks, inject.data());
+        for (std::size_t i = 0; i < n_; ++i) {
+            const std::uint64_t lanes = inject[i] & active.w[w];
+            if (!lanes)
+                continue;
+            const std::size_t q = ion(c, g, role, i);
+            // Fold the Pauli correction into the frame; the physical
+            // gate can itself fault, on exactly the lanes that applied
+            // it.
+            if (detect_x)
+                frames_[w].injectX(q, lanes);
+            else
+                frames_[w].injectZ(q, lanes);
+            quantum::depolarize1(frames_[w], q,
+                                 models_[w].samplers[cls_corr_],
+                                 models_[w].lanes, lanes);
+        }
     }
 }
 
 void
 BatchedLogicalQubitExperiment::ecCycleL1(std::size_t c, std::size_t g,
-                                         std::uint64_t active,
+                                         const LaneSet &active,
                                          ExperimentStats *stats)
 {
     for (const bool detect_x : {true, false}) {
         const std::size_t num_checks = detect_x ? code_.zChecks().size()
                                                 : code_.xChecks().size();
-        const SyndromePlanes first = extractSyndrome(c, g, detect_x,
-                                                     active, stats);
-        const std::uint64_t repeat = orPlanes(first, num_checks) & active;
-        SyndromePlanes final{};
-        if (repeat) {
-            // Non-trivial: extract once more on those lanes and act on
-            // the repeat (paper Section 4.1.1 assumption (b)).
-            const bool caller_shadow = shadow_;
-            shadow_ = true;
-            const SyndromePlanes second = extractSyndrome(c, g, detect_x,
-                                                          repeat, stats);
-            shadow_ = caller_shadow;
+        GroupSyndrome first;
+        extractSyndrome(c, g, detect_x, active, first, stats);
+        LaneSet repeat;
+        repeat.n = active.n;
+        for (std::uint32_t w = 0; w < active.n; ++w)
+            repeat.w[w] = active.w[w]
+                ? (orPlanes(first[w], num_checks) & active.w[w]) : 0;
+        if (!repeat.any())
+            continue;
+        // Non-trivial: extract once more on those lanes and act on the
+        // repeat (paper Section 4.1.1 assumption (b)). The second
+        // extraction's flips are masked to the repeat lanes, so its
+        // planes already select only repeat-lane corrections.
+        const bool caller_shadow = shadow_;
+        shadow_ = true;
+        GroupSyndrome second;
+        extractSyndrome(c, g, detect_x, repeat, second, stats);
+        shadow_ = caller_shadow;
+        for (std::uint32_t w = 0; w < repeat.n; ++w) {
+            if (!repeat.w[w])
+                continue;
             for (std::size_t j = 0; j < num_checks; ++j)
-                final[j] = second[j] & repeat;
+                second[w][j] &= repeat.w[w];
         }
-        applyCorrection(c, g, Role::Data, detect_x, final, active);
+        applyCorrection(c, g, Role::Data, detect_x, second, repeat);
     }
 }
 
 void
-BatchedLogicalQubitExperiment::prepL2Ancilla(std::size_t c, bool plus,
-                                             std::uint64_t active,
-                                             ExperimentStats *stats)
+BatchedLogicalQubitExperiment::prepL2AttemptRound(std::size_t c, bool plus,
+                                                  LaneSet &mask,
+                                                  ExperimentStats *stats)
 {
-    const bool caller_shadow = shadow_;
-    std::uint64_t mask = active;
-    for (int attempt = 0; attempt < max_prep_attempts_ && mask;
-         ++attempt) {
-        shadow_ = caller_shadow || attempt > 0;
+    const std::size_t num_checks = plus ? x_check_bits_.size()
+                                        : z_check_bits_.size();
+    const BitList &logical = plus ? logical_x_bits_ : logical_z_bits_;
+    if (shadow_ && compactionWorthwhile(mask, n_)) {
+        // The per-group preps of one attempt share this mask, so one
+        // transplant serves all of them -- profitable even at the
+        // moderate fills of a "Start Over" round.
+        std::array<std::size_t, 32> sites;
+        for (std::size_t g = 0; g < n_; ++g)
+            sites[g] = ion(c, g, Role::Data, 0);
+        retry_pool_->runPrepSeries(false, mask, sites.data(), n_,
+                                   frames_, models_, stats);
+    } else {
         for (std::size_t g = 0; g < n_; ++g)
             prepVerified(c, g, Role::Data, false, mask, stats);
-        replaySeg(Seg::L2Network, c, 0, 0, plus, mask);
-        for (std::size_t g = 0; g < n_; ++g)
-            ecCycleL1(c, g, mask, stats);
+    }
+    replaySeg(Seg::L2Network, c, 0, 0, plus, mask);
+    for (std::size_t g = 0; g < n_; ++g)
+        ecCycleL1(c, g, mask, stats);
 
-        // Level-2 verification: per sub-block difference readout, inner
-        // decode, then the outer syndrome/parity check; "Start Over" on
-        // the lanes that fail.
-        const std::size_t num_checks = plus ? x_check_bits_.size()
-                                            : z_check_bits_.size();
-        const BitList &logical = plus ? logical_x_bits_ : logical_z_bits_;
-        std::array<std::uint64_t, 32> outer_flips{};
-        for (std::size_t g = 0; g < n_; ++g) {
-            replaySeg(Seg::VerifyPair, c, g,
-                      static_cast<std::size_t>(Role::Data), plus, mask);
-            const SyndromePlanes synd = planesOf(plus, flips_.data());
+    // Level-2 verification: per sub-block difference readout, inner
+    // decode, then the outer syndrome/parity check; "Start Over" on
+    // the lanes that fail.
+    std::array<std::array<std::uint64_t, 32>, kMaxGroupWords>
+        outer_flips{};
+    for (std::size_t g = 0; g < n_; ++g) {
+        replaySeg(Seg::VerifyPair, c, g,
+                  static_cast<std::size_t>(Role::Data), plus, mask);
+        for (std::uint32_t w = 0; w < mask.n; ++w) {
+            if (!mask.w[w])
+                continue;
+            const SyndromePlanes synd = planesOf(plus,
+                                                 flips_[w].data());
             std::array<std::uint64_t, 32> corr{};
             correctionWords(!plus, synd, num_checks, corr.data());
             std::uint64_t plane = 0;
             for (std::size_t j = 0; j < logical.count; ++j) {
                 const std::size_t i = logical.idx[j];
-                plane ^= flips_[i] ^ corr[i];
+                plane ^= flips_[w][i] ^ corr[i];
             }
-            outer_flips[g] = plane & mask;
+            outer_flips[w][g] = plane & mask.w[w];
         }
-        const SyndromePlanes outer_synd = planesOf(plus,
-                                                   outer_flips.data());
+    }
+    for (std::uint32_t w = 0; w < mask.n; ++w) {
+        if (!mask.w[w])
+            continue;
+        const SyndromePlanes outer_synd
+            = planesOf(plus, outer_flips[w].data());
         std::uint64_t bad = orPlanes(outer_synd, num_checks);
-        bad |= parityPlane(logical, outer_flips.data());
-        mask &= bad;
+        bad |= parityPlane(logical, outer_flips[w].data());
+        mask.w[w] &= bad;
+    }
+}
+
+void
+BatchedLogicalQubitExperiment::prepL2Ancilla(std::size_t c, bool plus,
+                                             const LaneSet &active,
+                                             ExperimentStats *stats)
+{
+    const bool caller_shadow = shadow_;
+    LaneSet mask = active;
+    for (int attempt = 0; attempt < max_prep_attempts_ && mask.any();
+         ++attempt) {
+        shadow_ = caller_shadow || attempt > 0;
+        if (shadow_ && subtree_enabled_ && subtreeWorthwhile(mask)) {
+            // "Start Over" rounds on a sparse mask: migrate the
+            // surviving lanes into the dense twin and run every
+            // remaining attempt there. The round re-prepares everything
+            // it reads, so only the final conglomeration-c data rows
+            // come back.
+            compactL2PrepRetries(c, plus, mask, attempt, stats);
+            break;
+        }
+        prepL2AttemptRound(c, plus, mask, stats);
     }
     shadow_ = caller_shadow;
 }
 
-BatchedLogicalQubitExperiment::SyndromePlanes
+void
 BatchedLogicalQubitExperiment::extractSyndromeL2(bool detect_x,
-                                                 std::uint64_t active,
+                                                 const LaneSet &active,
+                                                 GroupSyndrome &outer,
                                                  ExperimentStats *stats)
 {
     const std::size_t ac = detect_x ? 1 : 2;
@@ -577,106 +642,331 @@ BatchedLogicalQubitExperiment::extractSyndromeL2(bool detect_x,
     const std::size_t num_checks = detect_x ? z_check_bits_.size()
                                             : x_check_bits_.size();
     const BitList &logical = detect_x ? logical_z_bits_ : logical_x_bits_;
-    std::array<std::uint64_t, 32> outer_flips{};
-    for (std::size_t g = 0; g < n_; ++g) {
-        const std::uint64_t *block_flips = flips_.data() + g * n_;
-        const SyndromePlanes synd = planesOf(!detect_x, block_flips);
-        std::array<std::uint64_t, 32> corr{};
-        correctionWords(detect_x, synd, num_checks, corr.data());
-        std::uint64_t plane = 0;
-        for (std::size_t j = 0; j < logical.count; ++j) {
-            const std::size_t i = logical.idx[j];
-            plane ^= block_flips[i] ^ corr[i];
+    std::uint64_t nontrivial = 0;
+    std::uint64_t total = 0;
+    for (std::uint32_t w = 0; w < active.n; ++w) {
+        if (!active.w[w])
+            continue;
+        std::array<std::uint64_t, 32> outer_flips{};
+        for (std::size_t g = 0; g < n_; ++g) {
+            const std::uint64_t *block_flips = flips_[w].data() + g * n_;
+            const SyndromePlanes synd = planesOf(!detect_x, block_flips);
+            std::array<std::uint64_t, 32> corr{};
+            correctionWords(detect_x, synd, num_checks, corr.data());
+            std::uint64_t plane = 0;
+            for (std::size_t j = 0; j < logical.count; ++j) {
+                const std::size_t i = logical.idx[j];
+                plane ^= block_flips[i] ^ corr[i];
+            }
+            outer_flips[g] = plane & active.w[w];
         }
-        outer_flips[g] = plane & active;
+        outer[w] = planesOf(!detect_x, outer_flips.data());
+        nontrivial += std::popcount(orPlanes(outer[w], num_checks)
+                                    & active.w[w]);
+        total += std::popcount(active.w[w]);
     }
-    const SyndromePlanes outer = planesOf(!detect_x, outer_flips.data());
     if (stats)
-        stats->nontrivialSyndrome.addBulk(
-            std::popcount(orPlanes(outer, num_checks) & active),
-            std::popcount(active));
-    return outer;
+        stats->nontrivialSyndrome.addBulk(nontrivial, total);
 }
 
 void
-BatchedLogicalQubitExperiment::ecCycleL2(std::uint64_t active,
+BatchedLogicalQubitExperiment::ecCycleL2(const LaneSet &active,
                                          ExperimentStats *stats)
 {
     for (const bool detect_x : {true, false}) {
         const std::size_t num_checks = detect_x ? code_.zChecks().size()
                                                 : code_.xChecks().size();
-        const SyndromePlanes first = extractSyndromeL2(detect_x, active,
-                                                       stats);
-        const std::uint64_t repeat = orPlanes(first, num_checks) & active;
-        SyndromePlanes final{};
-        if (repeat) {
-            shadow_ = true;
-            const SyndromePlanes second = extractSyndromeL2(detect_x,
-                                                            repeat, stats);
-            shadow_ = false;
-            for (std::size_t j = 0; j < num_checks; ++j)
-                final[j] = second[j] & repeat;
-        }
-        if (!(orPlanes(final, num_checks) & active))
+        GroupSyndrome first;
+        extractSyndromeL2(detect_x, active, first, stats);
+        LaneSet repeat;
+        repeat.n = active.n;
+        for (std::uint32_t w = 0; w < active.n; ++w)
+            repeat.w[w] = active.w[w]
+                ? (orPlanes(first[w], num_checks) & active.w[w]) : 0;
+        if (!repeat.any())
             continue;
-        // Logical Pauli corrections: sub-block g of each selected lane
-        // receives a transversal physical Pauli, faults included.
-        std::array<std::uint64_t, 32> blocks{};
-        correctionWords(detect_x, final, num_checks, blocks.data());
-        for (std::size_t g = 0; g < n_; ++g) {
-            const std::uint64_t lanes = blocks[g] & active;
-            if (!lanes)
+        shadow_ = true;
+        GroupSyndrome second;
+        if (subtree_enabled_ && subtreeWorthwhile(repeat))
+            compactExtractL2(detect_x, repeat, second, stats);
+        else
+            extractSyndromeL2(detect_x, repeat, second, stats);
+        shadow_ = false;
+        for (std::uint32_t w = 0; w < repeat.n; ++w) {
+            if (!repeat.w[w])
                 continue;
-            for (std::size_t i = 0; i < n_; ++i) {
-                const std::size_t q = ion(0, g, Role::Data, i);
-                if (detect_x)
-                    frame_.injectX(q, lanes);
-                else
-                    frame_.injectZ(q, lanes);
-                quantum::depolarize1(frame_, q,
-                                     model_.samplers[cls_corr_],
-                                     model_.lanes, lanes);
+            for (std::size_t j = 0; j < num_checks; ++j)
+                second[w][j] &= repeat.w[w];
+            if (!orPlanes(second[w], num_checks))
+                continue;
+            // Logical Pauli corrections: sub-block g of each selected
+            // lane receives a transversal physical Pauli, faults
+            // included.
+            std::array<std::uint64_t, 32> blocks{};
+            correctionWords(detect_x, second[w], num_checks,
+                            blocks.data());
+            for (std::size_t g = 0; g < n_; ++g) {
+                const std::uint64_t lanes = blocks[g] & repeat.w[w];
+                if (!lanes)
+                    continue;
+                for (std::size_t i = 0; i < n_; ++i) {
+                    const std::size_t q = ion(0, g, Role::Data, i);
+                    if (detect_x)
+                        frames_[w].injectX(q, lanes);
+                    else
+                        frames_[w].injectZ(q, lanes);
+                    quantum::depolarize1(frames_[w], q,
+                                         models_[w].samplers[cls_corr_],
+                                         models_[w].lanes, lanes);
+                }
             }
         }
     }
 }
 
+//
+// Subtree regrouping via the dense twin experiment.
+//
+
+bool
+BatchedLogicalQubitExperiment::subtreeWorthwhile(const LaneSet &mask) const
+{
+    if (!options_.laneCompaction)
+        return false;
+    const std::uint32_t words = mask.activeWords();
+    if (words < 2)
+        return false;
+    // One migration amortizes over thousands of subtree ops, so any
+    // reduction in replayed words pays for it.
+    const std::uint64_t dense = (mask.count() + kBatchLanes - 1)
+        / kBatchLanes;
+    return dense < words;
+}
+
+BatchedLogicalQubitExperiment &
+BatchedLogicalQubitExperiment::twin()
+{
+    if (!twin_) {
+        // A migration regroups at most groupWords * 64 lanes, so the
+        // twin never needs more dense words than the parent has.
+        twin_ = std::make_unique<BatchedLogicalQubitExperiment>(
+            code_, noise_, layout_, max_prep_attempts_, options_);
+        twin_->subtree_enabled_ = false;
+        // The twin records the identical schedule from the identical
+        // noise table, so class ids coincide and sampler clocks
+        // transplant index-for-index.
+        qla_assert(twin_->shadow_of_primary_ == shadow_of_primary_);
+    }
+    return *twin_;
+}
+
+LaneSet
+BatchedLogicalQubitExperiment::denseSet(std::size_t count)
+{
+    LaneSet dense;
+    dense.n = static_cast<std::uint32_t>((count + kBatchLanes - 1)
+                                         / kBatchLanes);
+    for (std::uint32_t d = 0; d < dense.n; ++d)
+        dense.w[d] = denseLaneMask(std::min<std::size_t>(
+            kBatchLanes, count - d * kBatchLanes));
+    return dense;
+}
+
+void
+BatchedLogicalQubitExperiment::migrateIn(std::size_t count,
+                                         const std::size_t *qubits,
+                                         std::size_t num_qubits)
+{
+    BatchedLogicalQubitExperiment &tw = twin();
+    for (std::size_t first = 0; first < count; first += kBatchLanes) {
+        const std::size_t d = first / kBatchLanes; // twin word
+        const std::size_t chunk = std::min<std::size_t>(kBatchLanes,
+                                                        count - first);
+        const LaneChunkPlan plan(mig_refs_.data() + first, chunk);
+        for (std::size_t j = 0; j < chunk; ++j) {
+            const LaneRef ref = mig_refs_[first + j];
+            // The subtree replays shadow sites only, so the lane's
+            // primary-class clocks stay home untouched.
+            tw.models_[d].lanes[j] = models_[ref.word].lanes[ref.lane];
+            for (const std::uint8_t s : shadow_of_primary_)
+                tw.models_[d].samplers[s].importLane(
+                    j, models_[ref.word].samplers[s].exportLane(
+                           ref.lane));
+        }
+        for (std::size_t qi = 0; qi < num_qubits; ++qi) {
+            const std::size_t q = qubits[qi];
+            std::uint64_t x_acc = 0, z_acc = 0;
+            for (std::size_t w = 0; w < kMaxGroupWords; ++w) {
+                if (!plan.home[w])
+                    continue;
+                x_acc |= extractBits(frames_[w].xWord(q), plan.home[w])
+                    << plan.slot0[w];
+                z_acc |= extractBits(frames_[w].zWord(q), plan.home[w])
+                    << plan.slot0[w];
+            }
+            tw.frames_[d].storeMasked(q, denseLaneMask(chunk), x_acc,
+                                      z_acc);
+        }
+    }
+}
+
+void
+BatchedLogicalQubitExperiment::migrateOut(std::size_t count,
+                                          const std::size_t *qubits,
+                                          std::size_t num_qubits)
+{
+    BatchedLogicalQubitExperiment &tw = *twin_;
+    for (std::size_t first = 0; first < count; first += kBatchLanes) {
+        const std::size_t d = first / kBatchLanes;
+        const std::size_t chunk = std::min<std::size_t>(kBatchLanes,
+                                                        count - first);
+        const LaneChunkPlan plan(mig_refs_.data() + first, chunk);
+        for (std::size_t j = 0; j < chunk; ++j) {
+            const LaneRef ref = mig_refs_[first + j];
+            models_[ref.word].lanes[ref.lane] = tw.models_[d].lanes[j];
+            for (const std::uint8_t s : shadow_of_primary_)
+                models_[ref.word].samplers[s].importLane(
+                    ref.lane, tw.models_[d].samplers[s].exportLane(j));
+        }
+        for (std::size_t qi = 0; qi < num_qubits; ++qi) {
+            const std::size_t q = qubits[qi];
+            const std::uint64_t x_word = tw.frames_[d].xWord(q);
+            const std::uint64_t z_word = tw.frames_[d].zWord(q);
+            for (std::size_t w = 0; w < kMaxGroupWords; ++w) {
+                if (!plan.home[w])
+                    continue;
+                frames_[w].storeMasked(
+                    q, plan.home[w],
+                    depositBits(x_word >> plan.slot0[w], plan.home[w]),
+                    depositBits(z_word >> plan.slot0[w], plan.home[w]));
+            }
+        }
+    }
+}
+
+void
+BatchedLogicalQubitExperiment::compactL2PrepRetries(std::size_t c,
+                                                    bool plus,
+                                                    const LaneSet &mask,
+                                                    int first_attempt,
+                                                    ExperimentStats *stats)
+{
+    const std::size_t count = gatherLaneRefs(mask, mig_refs_.data());
+    // The attempt round re-prepares every row it reads, so nothing
+    // needs gathering in.
+    migrateIn(count, nullptr, 0);
+    BatchedLogicalQubitExperiment &tw = *twin_;
+    LaneSet dense = denseSet(count);
+    const bool twin_shadow = tw.shadow_;
+    tw.shadow_ = true;
+    for (int attempt = first_attempt;
+         attempt < max_prep_attempts_ && dense.any(); ++attempt)
+        tw.prepL2AttemptRound(c, plus, dense, stats);
+    tw.shadow_ = twin_shadow;
+    // Only the prepared conglomeration's data rows survive the round
+    // (ancilla and verify rows are re-encoded before every later use).
+    std::array<std::size_t, 32 * 32> rows{};
+    for (std::size_t g = 0; g < n_; ++g)
+        for (std::size_t i = 0; i < n_; ++i)
+            rows[g * n_ + i] = ion(c, g, Role::Data, i);
+    migrateOut(count, rows.data(), n_ * n_);
+}
+
+void
+BatchedLogicalQubitExperiment::compactExtractL2(bool detect_x,
+                                                const LaneSet &repeat,
+                                                GroupSyndrome &outer,
+                                                ExperimentStats *stats)
+{
+    const std::size_t count = gatherLaneRefs(repeat, mig_refs_.data());
+    // The repeated extraction reads and rewrites the data
+    // conglomeration; everything else it touches is freshly prepared
+    // inside the subtree.
+    std::array<std::size_t, 32 * 32> rows{};
+    for (std::size_t g = 0; g < n_; ++g)
+        for (std::size_t i = 0; i < n_; ++i)
+            rows[g * n_ + i] = ion(0, g, Role::Data, i);
+    migrateIn(count, rows.data(), n_ * n_);
+
+    BatchedLogicalQubitExperiment &tw = *twin_;
+    const LaneSet dense = denseSet(count);
+    const bool twin_shadow = tw.shadow_;
+    tw.shadow_ = true;
+    GroupSyndrome twin_outer;
+    tw.extractSyndromeL2(detect_x, dense, twin_outer, stats);
+    tw.shadow_ = twin_shadow;
+
+    // Scatter the outer syndrome planes back to home lane positions.
+    const std::size_t num_checks = detect_x ? z_check_bits_.size()
+                                            : x_check_bits_.size();
+    for (std::uint32_t w = 0; w < repeat.n; ++w)
+        if (repeat.w[w])
+            outer[w] = SyndromePlanes{};
+    for (std::size_t first = 0; first < count; first += kBatchLanes) {
+        const std::size_t d = first / kBatchLanes;
+        const std::size_t chunk = std::min<std::size_t>(kBatchLanes,
+                                                        count - first);
+        const LaneChunkPlan plan(mig_refs_.data() + first, chunk);
+        for (std::size_t w = 0; w < kMaxGroupWords; ++w) {
+            if (!plan.home[w])
+                continue;
+            for (std::size_t j = 0; j < num_checks; ++j)
+                outer[w][j] |= depositBits(
+                    twin_outer[d][j] >> plan.slot0[w], plan.home[w]);
+        }
+    }
+    migrateOut(count, rows.data(), n_ * n_);
+}
+
 std::uint64_t
-BatchedLogicalQubitExperiment::decodeLevel1(std::size_t c, std::size_t g,
-                                            Role role) const
+BatchedLogicalQubitExperiment::decodeLevel1Word(std::uint32_t word,
+                                                std::size_t c,
+                                                std::size_t g,
+                                                Role role) const
 {
     // Only residual logical-X frames count for the |0>_L input; see the
     // scalar decodeLevel1 for the gauge argument.
     std::array<std::uint64_t, 32> xm{};
     for (std::size_t i = 0; i < n_; ++i)
-        xm[i] = frame_.xWord(ion(c, g, role, i));
+        xm[i] = frames_[word].xWord(ion(c, g, role, i));
     return decodeXLogicalPlane(xm.data());
 }
 
 std::uint64_t
-BatchedLogicalQubitExperiment::decodeLevel2() const
+BatchedLogicalQubitExperiment::decodeLevel2Word(std::uint32_t word) const
 {
     std::array<std::uint64_t, 32> outer{};
     for (std::size_t g = 0; g < n_; ++g)
-        outer[g] = decodeLevel1(0, g, Role::Data);
+        outer[g] = decodeLevel1Word(word, 0, g, Role::Data);
     return decodeXLogicalPlane(outer.data());
 }
 
-std::uint64_t
-BatchedLogicalQubitExperiment::runShots(int level, std::uint64_t active,
+LaneSet
+BatchedLogicalQubitExperiment::runShots(int level, const LaneSet &active,
                                         ExperimentStats *stats)
 {
     qla_assert(level == 1 || level == 2, "levels 1 and 2 are supported");
+    qla_assert(active.n <= options_.groupWords);
     shadow_ = false;
-    frame_.reset(); // perfectly encoded |0>_L input on every lane
+    for (std::uint32_t w = 0; w < active.n; ++w)
+        frames_[w].reset(); // perfectly encoded |0>_L input on every lane
 
     replaySeg(Seg::LogicalGate, 0, 0, 0, level == 2, active);
+    LaneSet failed;
+    failed.n = active.n;
     if (level == 1) {
         ecCycleL1(0, 0, active, stats);
-        return decodeLevel1(0, 0, Role::Data) & active;
+        for (std::uint32_t w = 0; w < active.n; ++w)
+            failed.w[w] = active.w[w]
+                ? (decodeLevel1Word(w, 0, 0, Role::Data) & active.w[w])
+                : 0;
+        return failed;
     }
     ecCycleL2(active, stats);
-    return decodeLevel2() & active;
+    for (std::uint32_t w = 0; w < active.n; ++w)
+        failed.w[w] = active.w[w]
+            ? (decodeLevel2Word(w) & active.w[w]) : 0;
+    return failed;
 }
 
 sim::RateStat
@@ -684,20 +974,36 @@ BatchedLogicalQubitExperiment::failureRate(int level, std::size_t shots,
                                            std::uint64_t seed,
                                            ExperimentStats *stats)
 {
+    return failureRateRange(level, 0, shots, seed, stats);
+}
+
+sim::RateStat
+BatchedLogicalQubitExperiment::failureRateRange(int level,
+                                                std::uint64_t first_shot,
+                                                std::size_t count,
+                                                std::uint64_t seed,
+                                                ExperimentStats *stats)
+{
     sim::RateStat rate;
     const RngFamily family(seed);
+    const std::size_t capacity = options_.groupWords * kBatchLanes;
     std::size_t done = 0;
-    while (done < shots) {
-        const std::size_t batch = std::min<std::size_t>(kBatchLanes,
-                                                        shots - done);
-        const std::uint64_t active = batch == kBatchLanes
-            ? ~std::uint64_t{0}
-            : ((std::uint64_t{1} << batch) - 1);
-        model_.rearm(family, done);
-        const std::uint64_t failed = runShots(level, active, stats);
-        rate.addBulk(std::popcount(failed), batch);
+    while (done < count) {
+        const std::size_t batch = std::min(capacity, count - done);
+        LaneSet active;
+        active.n = static_cast<std::uint32_t>(
+            (batch + kBatchLanes - 1) / kBatchLanes);
+        for (std::uint32_t w = 0; w < active.n; ++w) {
+            active.w[w] = denseLaneMask(std::min<std::size_t>(
+                kBatchLanes, batch - w * kBatchLanes));
+            models_[w].rearm(family,
+                             first_shot + done + w * kBatchLanes);
+        }
+        const LaneSet failed = runShots(level, active, stats);
+        const std::uint64_t num_failed = failed.count();
+        rate.addBulk(num_failed, batch);
         if (stats)
-            stats->logicalFailure.addBulk(std::popcount(failed), batch);
+            stats->logicalFailure.addBulk(num_failed, batch);
         done += batch;
     }
     return rate;

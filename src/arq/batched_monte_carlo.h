@@ -12,11 +12,22 @@
  * measurement flips are words over lanes, and a syndrome is a handful of
  * XORed words rather than 64 scalar decodes.
  *
+ * Shot groups: the experiment simulates BatchOptions::groupWords words
+ * (up to kMaxGroupWords x 64 shots) in lockstep, each word with its own
+ * frame and noise model. Running words side by side is what enables
+ * lane compaction: when the surviving lanes of a verified-preparation
+ * retry drop below a fill threshold across the group, they are
+ * regrouped -- rng streams and sampler clocks carried along -- into
+ * fresh dense words (arq/lane_compaction.h) instead of replaying every
+ * nearly-empty word.
+ *
  * Noise is sampled per lane from RngFamily streams indexed by the global
  * shot number, so a shot's result is independent of which 64-shot word
  * it lands in; batched and scalar runs draw from the same distribution
  * at every fault site and agree statistically (cross-checked by
- * tests/test_batched_frame.cc and tests/test_arq_mc.cc).
+ * tests/test_batched_frame.cc and tests/test_arq_mc.cc). Compaction and
+ * grouping preserve each lane's draw sequence exactly, so results are
+ * additionally bit-identical across every BatchOptions setting.
  */
 
 #ifndef QLA_ARQ_BATCHED_MONTE_CARLO_H
@@ -24,19 +35,96 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "arq/bitslice.h"
 #include "arq/frame_trace.h"
 #include "arq/monte_carlo.h"
+#include "arq/tile_schedule.h"
 #include "ecc/css_code.h"
 #include "quantum/batched_frame.h"
 #include "sim/stats.h"
 
 namespace qla::arq {
 
+/** Upper bound on BatchOptions::groupWords. */
+inline constexpr std::size_t kMaxGroupWords = 16;
+
+/**
+ * Per-word lane masks of one shot group (word w covers shots
+ * [first + 64 w, first + 64 (w + 1)) of the group).
+ */
+struct LaneSet
+{
+    std::array<std::uint64_t, kMaxGroupWords> w{};
+    std::uint32_t n = 0; ///< words in the group
+
+    bool any() const
+    {
+        for (std::uint32_t i = 0; i < n; ++i)
+            if (w[i])
+                return true;
+        return false;
+    }
+
+    /** Total active lanes across the group. */
+    std::uint64_t count() const;
+
+    /** Words with at least one active lane. */
+    std::uint32_t activeWords() const;
+};
+
+class PrepRetryPool;
+
+//
+// Shared lane-regrouping plumbing. Both regrouping engines -- the prep
+// retry pool and the subtree twin migration -- must agree exactly on
+// the lane <-> dense-slot assignment (it is part of the determinism
+// contract), so the gather order and the per-chunk scatter plan live
+// here, once.
+//
+
+/** One regrouped lane: its home word and lane position. */
+struct LaneRef
+{
+    std::uint8_t word;
+    std::uint8_t lane;
+};
+
+/**
+ * Fill @p refs (capacity kMaxGroupWords * kBatchLanes) with the lanes
+ * of @p mask in (word, lane) order and return how many there are. The
+ * order is deterministic, and it keeps each home word's lanes
+ * contiguous in dense slots, so chunk scatters are single bit
+ * deposits.
+ */
+std::size_t gatherLaneRefs(const LaneSet &mask, LaneRef *refs);
+
+/** All-ones mask over the low @p count lanes (count in [0, 64]). */
+inline std::uint64_t
+denseLaneMask(std::size_t count)
+{
+    return count >= kBatchLanes ? ~std::uint64_t{0}
+                                : ((std::uint64_t{1} << count) - 1);
+}
+
+/**
+ * Gather/scatter plan for one dense chunk of at most 64 refs: the home
+ * lane mask of every source word plus the chunk-local slot where that
+ * word's contiguous run starts.
+ */
+struct LaneChunkPlan
+{
+    LaneChunkPlan(const LaneRef *refs, std::size_t count);
+
+    std::array<std::uint64_t, kMaxGroupWords> home{};
+    std::array<std::uint8_t, kMaxGroupWords> slot0{};
+};
+
 /**
  * Batched Monte Carlo over one QLA logical-qubit tile (Figure 5),
- * simulating up to 64 shots per machine word.
+ * simulating up to kMaxGroupWords x 64 shots in lockstep.
  */
 class BatchedLogicalQubitExperiment
 {
@@ -44,7 +132,9 @@ class BatchedLogicalQubitExperiment
     BatchedLogicalQubitExperiment(const ecc::CssCode &code,
                                   NoiseParameters noise,
                                   LayoutDistances layout = {},
-                                  int max_prep_attempts = 16);
+                                  int max_prep_attempts = 16,
+                                  BatchOptions options = {});
+    ~BatchedLogicalQubitExperiment();
 
     BatchedLogicalQubitExperiment(const BatchedLogicalQubitExperiment &)
         = delete;
@@ -52,12 +142,13 @@ class BatchedLogicalQubitExperiment
     operator=(const BatchedLogicalQubitExperiment &) = delete;
 
     /**
-     * One word of shots of the level-@p level experiment on the lanes in
-     * @p active (the noise model must have been rearmed for this word).
+     * One group of shots of the level-@p level experiment on the lanes
+     * in @p active (the noise models must have been rearmed for this
+     * group's words).
      * @return the lanes that ended with a logical error.
      */
-    std::uint64_t runShots(int level, std::uint64_t active,
-                           ExperimentStats *stats = nullptr);
+    LaneSet runShots(int level, const LaneSet &active,
+                     ExperimentStats *stats = nullptr);
 
     /**
      * Monte-Carlo estimate of the logical gate failure rate over
@@ -67,7 +158,21 @@ class BatchedLogicalQubitExperiment
                               std::uint64_t seed,
                               ExperimentStats *stats = nullptr);
 
+    /**
+     * failureRate over global shot indices [first_shot, first_shot +
+     * count): the chunk a parallel sweep job simulates. Because shot
+     * i's randomness is RngFamily(seed).stream(i), concatenating chunk
+     * results reproduces the single-call run shot for shot.
+     */
+    sim::RateStat failureRateRange(int level, std::uint64_t first_shot,
+                                   std::size_t count, std::uint64_t seed,
+                                   ExperimentStats *stats = nullptr);
+
+    const BatchOptions &options() const { return options_; }
+
   private:
+    friend class PrepRetryPool;
+
     enum class Role : std::size_t { Data = 0, Ancilla = 1, Verify = 2 };
 
     /** Straight-line segments of the recorded tile schedule. */
@@ -84,8 +189,8 @@ class BatchedLogicalQubitExperiment
         LogicalGate,  ///< the noisy transversal logical gate under test
     };
 
-    /** One bit-plane per check row; lanes across each word. */
-    using SyndromePlanes = std::array<std::uint64_t, 8>;
+    /** Per-word syndrome planes of one shot group. */
+    using GroupSyndrome = std::array<SyndromePlanes, kMaxGroupWords>;
 
     std::size_t ion(std::size_t c, std::size_t g, Role role,
                     std::size_t i) const;
@@ -97,15 +202,6 @@ class BatchedLogicalQubitExperiment
     std::size_t traceIndex(Seg seg, std::size_t c, std::size_t g,
                            std::size_t role, bool flag) const;
     const NoiseClassTable &recordAllTraces();
-    double moveProbability(Cells cells, int turns) const;
-    void recordEncode(FrameTraceBuilder &tb, std::size_t c, std::size_t g,
-                      Role role, bool plus);
-    void recordVerifyRound(FrameTraceBuilder &tb, std::size_t c,
-                           std::size_t g, Role role, bool plus);
-    void recordPrepRound(FrameTraceBuilder &tb, std::size_t c,
-                         std::size_t g, Role role, bool plus);
-    void recordVerifyPair(FrameTraceBuilder &tb, std::size_t c,
-                          std::size_t g, Role role, bool plus);
     void recordExtractRound(FrameTraceBuilder &tb, std::size_t c,
                             std::size_t g, bool detect_x);
     void recordL2Network(FrameTraceBuilder &tb, std::size_t c, bool plus);
@@ -114,41 +210,21 @@ class BatchedLogicalQubitExperiment
     void recordLogicalGate(FrameTraceBuilder &tb, int level);
 
     /**
-     * Replay a recorded segment. The straight-line schedule uses the
-     * primary noise classes; retry / conditional subtrees (tracked by
-     * shadow_) use the shadow-class variant of the same trace so the
-     * full-width samplers keep their fast path (see
-     * NoiseClassTable::newClass).
+     * Replay a recorded segment on every active word of the group. The
+     * straight-line schedule uses the primary noise classes; retry /
+     * conditional subtrees (tracked by shadow_) use the shadow-class
+     * variant of the same trace so the full-width samplers keep their
+     * fast path (see NoiseClassTable::newClass). Words with an empty
+     * mask are skipped entirely -- their samplers never see the
+     * segment's sites, exactly as when the group is run word by word.
      */
     void replaySeg(Seg seg, std::size_t c, std::size_t g,
-                   std::size_t role, bool flag, std::uint64_t active);
+                   std::size_t role, bool flag, const LaneSet &active);
 
     //
-    // Bit-sliced classical decoding helpers.
+    // Bit-sliced classical decoding helpers (shared types in
+    // arq/bitslice.h); all operate on one word of the group.
     //
-
-    /** Qubit indices of one check row / logical support, precomputed so
-     *  the hot decode loops XOR flip words without bit scanning. */
-    struct BitList
-    {
-        std::uint8_t count = 0;
-        std::array<std::uint8_t, 32> idx{};
-    };
-
-    static BitList bitListOf(ecc::QubitMask mask);
-
-    /** XOR of the flip words selected by @p bits. */
-    static std::uint64_t parityPlane(const BitList &bits,
-                                     const std::uint64_t *flip_words)
-    {
-        std::uint64_t plane = 0;
-        for (std::size_t j = 0; j < bits.count; ++j)
-            plane ^= flip_words[bits.idx[j]];
-        return plane;
-    }
-
-    static std::uint64_t orPlanes(const SyndromePlanes &planes,
-                                  std::size_t count);
 
     SyndromePlanes planesOf(bool x_type_checks,
                             const std::uint64_t *flip_words) const
@@ -173,27 +249,77 @@ class BatchedLogicalQubitExperiment
 
     //
     // Driver building blocks; each mirrors the scalar twin in
-    // monte_carlo.cc with masks instead of branches.
+    // monte_carlo.cc with masks instead of branches, over every word of
+    // the group.
     //
 
+    /**
+     * True when regrouping the mask into dense words beats replaying it
+     * in place, for a replay of @p sites consecutive same-mask prep
+     * sites (the per-lane transplant cost amortizes over the sites).
+     */
+    bool compactionWorthwhile(const LaneSet &mask,
+                              std::size_t sites) const;
+
+    //
+    // Subtree regrouping: the two retry-heavy far-above-threshold
+    // subtrees -- the level-2 "Start Over" rounds and the repeated
+    // level-2 extraction -- migrate their surviving lanes into a dense
+    // twin experiment and run there in full, one migration amortized
+    // over the whole subtree (thousands of ops). The twin is the same
+    // experiment type, so its traces, class ids and nested prep pool
+    // are identical; migration transplants each lane's rng stream and
+    // shadow-sampler clocks, keeping results bit-identical with the
+    // in-place replay.
+    //
+
+    /** One attempt round of the level-2 verified ancilla preparation;
+     *  narrows @p mask to the lanes whose verification failed. */
+    void prepL2AttemptRound(std::size_t c, bool plus, LaneSet &mask,
+                            ExperimentStats *stats);
+    /** Dense regrouping beats in-place replay for a whole subtree
+     *  whenever it reduces the replayed word count at all. */
+    bool subtreeWorthwhile(const LaneSet &mask) const;
+    BatchedLogicalQubitExperiment &twin();
+    /**
+     * Move the planned lanes into the twin: rng streams and
+     * shadow-sampler clocks always; the frame state of @p qubits (what
+     * the subtree reads) gathered bit-transposed into the twin's dense
+     * words.
+     */
+    void migrateIn(std::size_t count, const std::size_t *qubits,
+                   std::size_t num_qubits);
+    /** Inverse of migrateIn; @p qubits is what the subtree wrote. */
+    void migrateOut(std::size_t count, const std::size_t *qubits,
+                    std::size_t num_qubits);
+    /** Dense lane set covering twin slots [0, count). */
+    static LaneSet denseSet(std::size_t count);
+    void compactL2PrepRetries(std::size_t c, bool plus,
+                              const LaneSet &mask, int first_attempt,
+                              ExperimentStats *stats);
+    void compactExtractL2(bool detect_x, const LaneSet &repeat,
+                          GroupSyndrome &outer, ExperimentStats *stats);
+
     void prepVerified(std::size_t c, std::size_t g, Role role, bool plus,
-                      std::uint64_t active, ExperimentStats *stats);
-    SyndromePlanes extractSyndrome(std::size_t c, std::size_t g,
-                                   bool detect_x, std::uint64_t active,
-                                   ExperimentStats *stats);
+                      const LaneSet &active, ExperimentStats *stats);
+    // The syndrome out-params are filled for active words only; callers
+    // must not read the planes of words outside the active set.
+    void extractSyndrome(std::size_t c, std::size_t g, bool detect_x,
+                         const LaneSet &active, GroupSyndrome &synd,
+                         ExperimentStats *stats);
     void applyCorrection(std::size_t c, std::size_t g, Role role,
-                         bool detect_x, const SyndromePlanes &synd,
-                         std::uint64_t active);
-    void ecCycleL1(std::size_t c, std::size_t g, std::uint64_t active,
+                         bool detect_x, const GroupSyndrome &synd,
+                         const LaneSet &active);
+    void ecCycleL1(std::size_t c, std::size_t g, const LaneSet &active,
                    ExperimentStats *stats);
-    void prepL2Ancilla(std::size_t c, bool plus, std::uint64_t active,
+    void prepL2Ancilla(std::size_t c, bool plus, const LaneSet &active,
                        ExperimentStats *stats);
-    SyndromePlanes extractSyndromeL2(bool detect_x, std::uint64_t active,
-                                     ExperimentStats *stats);
-    void ecCycleL2(std::uint64_t active, ExperimentStats *stats);
-    std::uint64_t decodeLevel1(std::size_t c, std::size_t g,
-                               Role role) const;
-    std::uint64_t decodeLevel2() const;
+    void extractSyndromeL2(bool detect_x, const LaneSet &active,
+                           GroupSyndrome &outer, ExperimentStats *stats);
+    void ecCycleL2(const LaneSet &active, ExperimentStats *stats);
+    std::uint64_t decodeLevel1Word(std::uint32_t word, std::size_t c,
+                                   std::size_t g, Role role) const;
+    std::uint64_t decodeLevel2Word(std::uint32_t word) const;
 
     const ecc::CssCode &code_;
     std::vector<BitList> x_check_bits_; // xChecks() rows as index lists
@@ -203,13 +329,16 @@ class BatchedLogicalQubitExperiment
     NoiseParameters noise_;
     LayoutDistances layout_;
     int max_prep_attempts_;
+    BatchOptions options_;
     std::size_t n_; // block length (7)
-    quantum::BatchedPauliFrame frame_;
+    TileRowRecorder rows_;
     NoiseClassTable classes_;
     // Trace variants: [0] full-width primary classes, [1] shadow-class
     // twins for narrowed-mask replays; see recordAllTraces.
     std::array<std::vector<FrameTrace>, 2> traces_;
     std::uint8_t cls_corr_ = 0; // shadow gate1 class for corrections
+    /** Shadow class of each primary class (index = primary id). */
+    std::vector<std::uint8_t> shadow_of_primary_;
     /**
      * True while replaying a retry / conditional subtree. Decides the
      * trace variant structurally -- a lane's sampler assignment at a
@@ -218,8 +347,17 @@ class BatchedLogicalQubitExperiment
      * batch grouping), as the determinism contract requires.
      */
     bool shadow_ = false;
-    BatchedNoiseModel model_; // must follow classes_/traces_ (see ctor)
-    std::vector<std::uint64_t> flips_;
+    // One frame + noise model per group word (models follow
+    // classes_/traces_: built in the ctor body after recordAllTraces).
+    std::vector<quantum::BatchedPauliFrame> frames_;
+    std::vector<BatchedNoiseModel> models_;
+    std::array<std::vector<std::uint64_t>, kMaxGroupWords> flips_;
+    std::unique_ptr<PrepRetryPool> retry_pool_;
+
+    /** False in the twin itself (no recursive regrouping). */
+    bool subtree_enabled_ = true;
+    std::unique_ptr<BatchedLogicalQubitExperiment> twin_; // lazy
+    std::array<LaneRef, kMaxGroupWords * kBatchLanes> mig_refs_;
 };
 
 } // namespace qla::arq

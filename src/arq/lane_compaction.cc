@@ -1,0 +1,198 @@
+#include "arq/lane_compaction.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace qla::arq {
+
+PrepRetryPool::PrepRetryPool(const ecc::CssCode &code,
+                             const TileRowRecorder &recorder,
+                             int max_prep_attempts,
+                             const NoiseClassTable &parent_classes,
+                             const std::vector<std::uint8_t>
+                                 &shadow_of_primary)
+    : code_(code), n_(code.blockLength()),
+      max_prep_attempts_(max_prep_attempts), frame_(2 * code.blockLength()),
+      model_([&]() -> const NoiseClassTable & {
+          // Record the relocated prep segments (rows at [0, n) and
+          // [n, 2n)) with the same recorder that produced the parent
+          // traces: identical op sequence, pool-local class ids.
+          for (const bool plus : {false, true}) {
+              FrameTraceBuilder tb(classes_);
+              recorder.prepRound(tb, 0, code.blockLength(), plus);
+              traces_[plus ? 1 : 0] = tb.take();
+          }
+          return classes_;
+      }())
+{
+    // Map each pool class to the parent's *shadow* class of the same
+    // probability: retries always replay shadow sites, so a migrated
+    // lane's clock transplants between its home shadow sampler and the
+    // pool sampler of the matching class. Probabilities identify the
+    // class uniquely because classOf deduplicates.
+    const auto &pool_probs = classes_.probabilities();
+    const auto &parent_probs = parent_classes.probabilities();
+    parent_cls_.resize(pool_probs.size());
+    for (std::size_t c = 0; c < pool_probs.size(); ++c) {
+        bool found = false;
+        for (std::size_t k = 0; k < shadow_of_primary.size(); ++k) {
+            if (parent_probs[k] == pool_probs[c]) {
+                parent_cls_[c] = shadow_of_primary[k];
+                found = true;
+                break;
+            }
+        }
+        qla_assert(found, "pool noise class missing from parent table");
+    }
+
+    for (const ecc::QubitMask row : code_.xChecks())
+        x_check_bits_.push_back(bitListOf(row));
+    for (const ecc::QubitMask row : code_.zChecks())
+        z_check_bits_.push_back(bitListOf(row));
+    logical_x_bits_ = bitListOf(code_.logicalX());
+    logical_z_bits_ = bitListOf(code_.logicalZ());
+    flips_.reserve(n_);
+}
+
+void
+PrepRetryPool::runRetries(bool plus, const LaneSet &mask, int first_attempt,
+                          std::vector<quantum::BatchedPauliFrame> &frames,
+                          std::vector<BatchedNoiseModel> &models,
+                          std::size_t role_q0, ExperimentStats *stats)
+{
+    const std::size_t count = gatherLaneRefs(mask, refs_.data());
+    for (std::size_t first = 0; first < count; first += kBatchLanes)
+        runBatch(plus,
+                 {refs_.data() + first,
+                  std::min<std::size_t>(kBatchLanes, count - first)},
+                 first_attempt, frames, models, role_q0, stats);
+}
+
+void
+PrepRetryPool::runPrepSeries(bool plus, const LaneSet &mask,
+                             const std::size_t *site_role_q0,
+                             std::size_t num_sites,
+                             std::vector<quantum::BatchedPauliFrame> &frames,
+                             std::vector<BatchedNoiseModel> &models,
+                             ExperimentStats *stats)
+{
+    const std::size_t count = gatherLaneRefs(mask, refs_.data());
+    for (std::size_t first = 0; first < count; first += kBatchLanes) {
+        const Batch batch{refs_.data() + first,
+                          std::min<std::size_t>(kBatchLanes,
+                                                count - first)};
+        transplantIn(batch, models);
+        const std::uint64_t dense = denseLaneMask(batch.count);
+        for (std::size_t s = 0; s < num_sites; ++s) {
+            runAttempts(plus, dense, 1, stats);
+            scatterRows(batch, frames, site_role_q0[s]);
+        }
+        transplantOut(batch, models);
+    }
+}
+
+void
+PrepRetryPool::transplantIn(const Batch &batch,
+                            std::vector<BatchedNoiseModel> &models)
+{
+    // Each migrated lane carries its identity: rng stream by value,
+    // noise clocks parked out of the home word's shadow samplers and
+    // into the pool samplers of the same probability.
+    for (std::size_t j = 0; j < batch.count; ++j) {
+        const LaneRef ref = batch.refs[j];
+        BatchedNoiseModel &home = models[ref.word];
+        model_.lanes[j] = home.lanes[ref.lane];
+        for (std::size_t c = 0; c < parent_cls_.size(); ++c)
+            model_.samplers[c].importLane(
+                j, home.samplers[parent_cls_[c]].exportLane(ref.lane));
+    }
+}
+
+void
+PrepRetryPool::transplantOut(const Batch &batch,
+                             std::vector<BatchedNoiseModel> &models)
+{
+    for (std::size_t j = 0; j < batch.count; ++j) {
+        const LaneRef ref = batch.refs[j];
+        BatchedNoiseModel &home = models[ref.word];
+        home.lanes[ref.lane] = model_.lanes[j];
+        for (std::size_t c = 0; c < parent_cls_.size(); ++c)
+            home.samplers[parent_cls_[c]].importLane(
+                ref.lane, model_.samplers[c].exportLane(j));
+    }
+}
+
+void
+PrepRetryPool::runAttempts(bool plus, std::uint64_t mask,
+                           int first_attempt, ExperimentStats *stats)
+{
+    const std::size_t num_checks = plus ? x_check_bits_.size()
+                                        : z_check_bits_.size();
+    const BitList &logical = plus ? logical_x_bits_ : logical_z_bits_;
+    const FrameTrace &trace = traces_[plus ? 1 : 0];
+    // Mirrors the in-place retry loop of prepVerified exactly: the
+    // first dense replay is attempt number first_attempt for every
+    // migrated lane (they all survived the same earlier attempts).
+    int attempt = first_attempt;
+    for (;;) {
+        flips_.clear();
+        replayTrace(trace, frame_, model_, mask, flips_);
+        SyndromePlanes synd{};
+        const auto &rows = plus ? x_check_bits_ : z_check_bits_;
+        for (std::size_t j = 0; j < rows.size(); ++j)
+            synd[j] = parityPlane(rows[j], flips_.data());
+        std::uint64_t bad = orPlanes(synd, num_checks);
+        bad |= parityPlane(logical, flips_.data());
+        bad &= mask;
+        const std::uint64_t exited = attempt == max_prep_attempts_
+            ? mask : (mask & ~bad);
+        if (stats && exited)
+            stats->prepAttempts.addRepeated(attempt,
+                                            std::popcount(exited));
+        mask &= bad;
+        if (!mask || attempt >= max_prep_attempts_)
+            break;
+        ++attempt;
+    }
+}
+
+void
+PrepRetryPool::scatterRows(const Batch &batch,
+                           std::vector<quantum::BatchedPauliFrame> &frames,
+                           std::size_t role_q0) const
+{
+    // The refs are (word, lane)-sorted, so the lanes of each home word
+    // sit in one contiguous run of pool slots and every (qubit, word)
+    // pair is a single bit-deposit.
+    const LaneChunkPlan plan(batch.refs, batch.count);
+    for (std::size_t w = 0; w < kMaxGroupWords; ++w) {
+        const std::uint64_t home = plan.home[w];
+        if (!home)
+            continue;
+        const std::size_t j0 = plan.slot0[w];
+        // Only the prepared row survives: the verification row is
+        // re-encoded (reset first) before every later use, so its
+        // residual is dead state and needs no scatter.
+        for (std::size_t i = 0; i < n_; ++i)
+            frames[w].storeMasked(role_q0 + i, home,
+                                  depositBits(frame_.xWord(i) >> j0, home),
+                                  depositBits(frame_.zWord(i) >> j0,
+                                              home));
+    }
+}
+
+void
+PrepRetryPool::runBatch(bool plus, const Batch &batch, int first_attempt,
+                        std::vector<quantum::BatchedPauliFrame> &frames,
+                        std::vector<BatchedNoiseModel> &models,
+                        std::size_t role_q0, ExperimentStats *stats)
+{
+    qla_assert(batch.count >= 1 && batch.count <= kBatchLanes);
+    transplantIn(batch, models);
+    runAttempts(plus, denseLaneMask(batch.count), first_attempt, stats);
+    scatterRows(batch, frames, role_q0);
+    transplantOut(batch, models);
+}
+
+} // namespace qla::arq

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Lane compaction for the retry-heavy far-above-threshold regime.
+ *
+ * A 64-shot word replays a verified-preparation attempt while *any* of
+ * its lanes needs one, and a masked replay costs the same whether 1 or
+ * 64 lanes are active -- so far above threshold, where verification
+ * failures are common, nearly-empty retry replays dominate the batched
+ * engine's word-wide retry amplification. The PrepRetryPool fixes this
+ * by regrouping: when the surviving retry lanes across a shot group's
+ * words drop below a fill threshold, they are gathered into fresh dense
+ * words of a small scratch frame (the prep segment only touches the row
+ * being prepared and its verification row, and starts by resetting
+ * both, so no frame state needs to be carried in) and their remaining
+ * attempts replay there, one dense word instead of many sparse ones.
+ *
+ * The determinism contract survives because each migrated lane carries
+ * its identity with it: its per-shot rng stream moves by value, and its
+ * noise-clock state in every shadow sampler is exported (parked) from
+ * the source word and imported into the pool's sampler of the same
+ * class -- and transplanted back afterwards. The pool's relocated trace
+ * is recorded by the same TileRowRecorder as the in-place trace, so a
+ * lane consumes draws at exactly the sites, and in exactly the order,
+ * it would have in place: compacted and uncompacted runs are
+ * bit-identical lane by lane (tests/test_arq_mc.cc).
+ */
+
+#ifndef QLA_ARQ_LANE_COMPACTION_H
+#define QLA_ARQ_LANE_COMPACTION_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arq/batched_monte_carlo.h"
+#include "arq/bitslice.h"
+#include "arq/frame_trace.h"
+#include "arq/tile_schedule.h"
+#include "ecc/css_code.h"
+#include "quantum/batched_frame.h"
+
+namespace qla::arq {
+
+/**
+ * Dense replay engine for verified-preparation retries regrouped from
+ * the words of one shot group.
+ */
+class PrepRetryPool
+{
+  public:
+    /**
+     * @param recorder          Records the relocated prep segment (must
+     *                          be the recorder the parent traces used).
+     * @param parent_classes    The parent experiment's class table.
+     * @param shadow_of_primary Parent shadow class of each primary id.
+     */
+    PrepRetryPool(const ecc::CssCode &code, const TileRowRecorder &recorder,
+                  int max_prep_attempts,
+                  const NoiseClassTable &parent_classes,
+                  const std::vector<std::uint8_t> &shadow_of_primary);
+
+    /**
+     * Run the remaining verified-preparation attempts (the first one
+     * being attempt number @p first_attempt) for every lane in @p mask,
+     * regrouped into dense words. The prepared row starts at parent
+     * qubit @p role_q0; its final state, each lane's rng stream and
+     * sampler clocks are scattered back into @p frames / @p models when
+     * done. (The verification row is dead state after the round -- it
+     * is re-encoded before every later use -- so it stays behind.)
+     */
+    void runRetries(bool plus, const LaneSet &mask, int first_attempt,
+                    std::vector<quantum::BatchedPauliFrame> &frames,
+                    std::vector<BatchedNoiseModel> &models,
+                    std::size_t role_q0, ExperimentStats *stats);
+
+    /**
+     * Full verified preparation (attempts from 1) of several sites that
+     * share one lane mask -- the per-group prep loop of the level-2
+     * ancilla -- under a single gather/scatter: the per-lane transplant
+     * cost amortizes over every site, which is what makes regrouping
+     * profitable even at moderate mask fills. Sites execute in order,
+     * each site's retry loop running to completion before the next, so
+     * every lane consumes its stream exactly as the in-place loop
+     * would.
+     */
+    void runPrepSeries(bool plus, const LaneSet &mask,
+                       const std::size_t *site_role_q0,
+                       std::size_t num_sites,
+                       std::vector<quantum::BatchedPauliFrame> &frames,
+                       std::vector<BatchedNoiseModel> &models,
+                       ExperimentStats *stats);
+
+  private:
+    /** Lanes gathered for one dense batch (at most one word's worth). */
+    struct Batch
+    {
+        const LaneRef *refs;
+        std::size_t count;
+    };
+
+    void transplantIn(const Batch &batch,
+                      std::vector<BatchedNoiseModel> &models);
+    void transplantOut(const Batch &batch,
+                       std::vector<BatchedNoiseModel> &models);
+    /** Dense retry loop of one site; pool frame rows hold the result. */
+    void runAttempts(bool plus, std::uint64_t mask, int first_attempt,
+                     ExperimentStats *stats);
+    void scatterRows(const Batch &batch,
+                     std::vector<quantum::BatchedPauliFrame> &frames,
+                     std::size_t role_q0) const;
+
+    void runBatch(bool plus, const Batch &batch, int first_attempt,
+                  std::vector<quantum::BatchedPauliFrame> &frames,
+                  std::vector<BatchedNoiseModel> &models,
+                  std::size_t role_q0, ExperimentStats *stats);
+
+    const ecc::CssCode &code_;
+    std::size_t n_; // block length; pool rows at [0, n) and [n, 2n)
+    int max_prep_attempts_;
+    NoiseClassTable classes_;
+    std::array<FrameTrace, 2> traces_; // relocated prep round, per plus
+    /** Parent shadow class backing each pool class (same probability). */
+    std::vector<std::uint8_t> parent_cls_;
+    std::vector<BitList> x_check_bits_;
+    std::vector<BitList> z_check_bits_;
+    BitList logical_x_bits_;
+    BitList logical_z_bits_;
+    quantum::BatchedPauliFrame frame_;
+    BatchedNoiseModel model_;
+    std::vector<std::uint64_t> flips_;
+    /** Gathered lane refs, (word, lane)-sorted (see gatherLaneRefs). */
+    std::array<LaneRef, kMaxGroupWords * kBatchLanes> refs_;
+};
+
+} // namespace qla::arq
+
+#endif // QLA_ARQ_LANE_COMPACTION_H

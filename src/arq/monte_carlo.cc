@@ -4,9 +4,14 @@
 #include <cstdio>
 #include <string>
 
+#include <algorithm>
+#include <array>
+#include <memory>
+
 #include "arq/batched_monte_carlo.h"
 #include "common/logging.h"
 #include "ecc/steane.h"
+#include "sim/shot_scheduler.h"
 
 namespace qla::arq {
 
@@ -516,26 +521,181 @@ LogicalQubitExperiment::failureRate(int level, std::size_t shots,
     return rate;
 }
 
+namespace {
+
+/**
+ * Scheduler chunk size: whole shot groups, so every chunk's word
+ * grouping matches the grouping of a single uninterrupted run.
+ */
+std::size_t
+alignedChunkShots(const McRunOptions &options)
+{
+    const std::size_t capacity = options.batch.groupWords * kBatchLanes;
+    if (options.chunkShots <= capacity)
+        return capacity;
+    return options.chunkShots - options.chunkShots % capacity;
+}
+
+/** Per-chunk partial result, reduced in fixed chunk order. */
+struct ChunkResult
+{
+    sim::RateStat rate;
+    ExperimentStats stats;
+};
+
+/**
+ * Small per-worker experiment cache keyed by sweep point (round-robin
+ * eviction): an experiment holds several MB of frames and sampler
+ * rings, so workers keep only a few.
+ */
+struct WorkerCache
+{
+    static constexpr std::size_t kSlots = 3;
+    std::array<std::size_t, kSlots> point{};
+    std::array<std::unique_ptr<BatchedLogicalQubitExperiment>, kSlots>
+        experiment;
+    std::size_t next_evict = 0;
+};
+
+/** One scheduler job: a contiguous shot range of one task. */
+struct ShotChunk
+{
+    std::size_t task = 0;
+    std::uint64_t firstShot = 0;
+    std::size_t count = 0;
+};
+
+std::vector<ShotChunk>
+chunkTasks(std::size_t num_tasks, std::size_t shots,
+           std::size_t chunk_shots)
+{
+    std::vector<ShotChunk> chunks;
+    for (std::size_t task = 0; task < num_tasks; ++task)
+        for (std::size_t first = 0; first < shots; first += chunk_shots)
+            chunks.push_back({task, first,
+                              std::min(chunk_shots, shots - first)});
+    return chunks;
+}
+
+} // namespace
+
+sim::RateStat
+runLogicalExperiment(const ecc::CssCode &code, const NoiseParameters &noise,
+                     int level, std::size_t shots, std::uint64_t seed,
+                     const McRunOptions &options, ExperimentStats *stats)
+{
+    const std::vector<ShotChunk> chunks
+        = chunkTasks(1, shots, alignedChunkShots(options));
+    std::vector<ChunkResult> results(chunks.size());
+
+    sim::ShotScheduler scheduler(options.threads);
+    std::vector<std::unique_ptr<BatchedLogicalQubitExperiment>> cache(
+        scheduler.threadCount());
+    scheduler.run(chunks.size(), [&](std::size_t job, int worker) {
+        auto &experiment = cache[worker];
+        if (!experiment)
+            experiment = std::make_unique<BatchedLogicalQubitExperiment>(
+                code, noise, LayoutDistances{}, 16, options.batch);
+        const ShotChunk &chunk = chunks[job];
+        results[job].rate = experiment->failureRateRange(
+            level, chunk.firstShot, chunk.count, seed,
+            stats ? &results[job].stats : nullptr);
+    });
+
+    // Fixed-order reduction: bit-identical results for every thread
+    // count and stealing schedule.
+    sim::RateStat rate;
+    for (const ChunkResult &result : results) {
+        rate.merge(result.rate);
+        if (stats)
+            stats->merge(result.stats);
+    }
+    return rate;
+}
+
+std::vector<ThresholdPoint>
+thresholdSweep(const std::vector<double> &physical_errors,
+               std::size_t shots, std::uint64_t seed,
+               const McRunOptions &options)
+{
+    // Task seeds derive exactly as in the sequential sweep (one seeder
+    // draw per task in point order), so the parallel sweep reproduces
+    // its results bit for bit.
+    struct SweepTask
+    {
+        std::size_t point;
+        int level;
+        double p;
+        std::uint64_t seed;
+    };
+    std::vector<SweepTask> tasks;
+    Rng seeder(seed);
+    for (std::size_t i = 0; i < physical_errors.size(); ++i) {
+        const double p = physical_errors[i];
+        tasks.push_back({i, 1, p, seeder.next64()});
+        tasks.push_back({i, 2, p, seeder.next64()});
+    }
+
+    const std::vector<ShotChunk> chunks
+        = chunkTasks(tasks.size(), shots, alignedChunkShots(options));
+    std::vector<ChunkResult> results(chunks.size());
+
+    sim::ShotScheduler scheduler(options.threads);
+    // Construction records the tile traces, so a worker reuses its
+    // cached experiment across levels and chunks of the same point;
+    // block distribution means a worker mostly walks one point's
+    // chunks before stealing elsewhere, so a few slots suffice.
+    std::vector<WorkerCache> cache(scheduler.threadCount());
+    scheduler.run(chunks.size(), [&](std::size_t job, int worker) {
+        const ShotChunk &chunk = chunks[job];
+        const SweepTask &task = tasks[chunk.task];
+        WorkerCache &wc = cache[worker];
+        BatchedLogicalQubitExperiment *experiment = nullptr;
+        for (std::size_t s = 0; s < WorkerCache::kSlots; ++s) {
+            if (wc.experiment[s] && wc.point[s] == task.point) {
+                experiment = wc.experiment[s].get();
+                break;
+            }
+        }
+        if (!experiment) {
+            const std::size_t slot = wc.next_evict;
+            wc.next_evict = (wc.next_evict + 1) % WorkerCache::kSlots;
+            wc.point[slot] = task.point;
+            wc.experiment[slot]
+                = std::make_unique<BatchedLogicalQubitExperiment>(
+                    ecc::steaneCode(), NoiseParameters::swept(task.p),
+                    LayoutDistances{}, 16, options.batch);
+            experiment = wc.experiment[slot].get();
+        }
+        results[job].rate = experiment->failureRateRange(
+            task.level, chunk.firstShot, chunk.count, task.seed, nullptr);
+    });
+
+    std::vector<sim::RateStat> task_rates(tasks.size());
+    for (std::size_t j = 0; j < chunks.size(); ++j)
+        task_rates[chunks[j].task].merge(results[j].rate);
+
+    std::vector<ThresholdPoint> points(physical_errors.size());
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+        ThresholdPoint &point = points[tasks[t].point];
+        point.physicalError = tasks[t].p;
+        const sim::RateStat &rate = task_rates[t];
+        if (tasks[t].level == 1) {
+            point.level1Failure = rate.rate();
+            point.level1Error = rate.halfWidth95();
+        } else {
+            point.level2Failure = rate.rate();
+            point.level2Error = rate.halfWidth95();
+        }
+    }
+    return points;
+}
+
 std::vector<ThresholdPoint>
 thresholdSweep(const std::vector<double> &physical_errors,
                std::size_t shots, std::uint64_t seed)
 {
-    std::vector<ThresholdPoint> points;
-    Rng seeder(seed);
-    for (double p : physical_errors) {
-        BatchedLogicalQubitExperiment experiment(ecc::steaneCode(),
-                                                 NoiseParameters::swept(p));
-        ThresholdPoint point;
-        point.physicalError = p;
-        const auto l1 = experiment.failureRate(1, shots, seeder.next64());
-        const auto l2 = experiment.failureRate(2, shots, seeder.next64());
-        point.level1Failure = l1.rate();
-        point.level1Error = l1.halfWidth95();
-        point.level2Failure = l2.rate();
-        point.level2Error = l2.halfWidth95();
-        points.push_back(point);
-    }
-    return points;
+    return thresholdSweep(physical_errors, shots, seed, McRunOptions{});
 }
 
 std::vector<ThresholdPoint>

@@ -68,6 +68,15 @@ struct ExperimentStats
     sim::RateStat logicalFailure;
     sim::RateStat nontrivialSyndrome;
     sim::ScalarStat prepAttempts;
+
+    /** Fold another accumulator in (parallel chunks reduce through this
+     *  in fixed chunk order; see sim/shot_scheduler.h). */
+    void merge(const ExperimentStats &other)
+    {
+        logicalFailure.merge(other.logicalFailure);
+        nontrivialSyndrome.merge(other.nontrivialSyndrome);
+        prepAttempts.merge(other.prepAttempts);
+    }
 };
 
 /**
@@ -200,6 +209,39 @@ class LogicalQubitExperiment
     quantum::SimulationBackend &engine_;
 };
 
+/**
+ * Execution-shape options for the batched engine. By the determinism
+ * contract (see ROADMAP "Rng-splitting determinism"), every setting
+ * produces bit-identical results -- shot i's outcome is a pure function
+ * of (seed, i) -- so these only trade memory and throughput.
+ */
+struct BatchOptions
+{
+    /**
+     * 64-shot words simulated in lockstep per experiment (1 ..
+     * kMaxGroupWords). Lane compaction regroups sparse retry masks
+     * across the words of one group, so wider groups recover more of
+     * the word-wide retry amplification far above threshold.
+     */
+    std::size_t groupWords = 16;
+    /** Regroup sparse verified-prep retry masks into dense words. */
+    bool laneCompaction = true;
+};
+
+/** Options for the parallel Monte-Carlo entry points. */
+struct McRunOptions
+{
+    /** Worker threads: 0 = QLA_THREADS env, else hardware threads. */
+    int threads = 0;
+    /**
+     * Shots per scheduler job (rounded to whole shot groups). Results
+     * are independent of thread count and stealing order for any fixed
+     * chunk size; failure counts are bit-identical for every setting.
+     */
+    std::size_t chunkShots = 2048;
+    BatchOptions batch;
+};
+
 /** One point of the Figure-7 sweep. */
 struct ThresholdPoint
 {
@@ -221,7 +263,26 @@ struct ThresholdPoint
  */
 std::vector<ThresholdPoint> thresholdSweep(
     const std::vector<double> &physical_errors, std::size_t shots,
+    std::uint64_t seed, const McRunOptions &options);
+
+/** thresholdSweep with default options (threads from QLA_THREADS /
+ *  hardware, lane compaction on). */
+std::vector<ThresholdPoint> thresholdSweep(
+    const std::vector<double> &physical_errors, std::size_t shots,
     std::uint64_t seed);
+
+/**
+ * Parallel batched Monte-Carlo estimate of the level-@p level logical
+ * gate failure rate for one noise point: the shot range is chunked over
+ * the work-stealing ShotScheduler and per-chunk sim::Stats partials are
+ * reduced in fixed chunk order, so the result is bit-identical for
+ * every thread count, chunk schedule and batch grouping.
+ */
+sim::RateStat runLogicalExperiment(const ecc::CssCode &code,
+                                   const NoiseParameters &noise, int level,
+                                   std::size_t shots, std::uint64_t seed,
+                                   const McRunOptions &options = {},
+                                   ExperimentStats *stats = nullptr);
 
 /** The same sweep on the scalar one-shot-at-a-time PauliFrame engine. */
 std::vector<ThresholdPoint> thresholdSweepScalar(

@@ -1,0 +1,58 @@
+#include "arq/tile_schedule.h"
+
+namespace qla::arq {
+
+void
+TileRowRecorder::encodeRow(FrameTraceBuilder &tb, std::size_t q0,
+                           bool plus) const
+{
+    const auto &sched = code_.zeroEncoder();
+    const std::size_t n = code_.blockLength();
+    const double p_move = moveProbability(layout_.intraBlockCells,
+                                          layout_.intraBlockTurns);
+    tb.resetRange(q0, n);
+    for (std::size_t pivot : sched.pivots)
+        tb.noisyH(q0 + pivot, noise_.gate1Error);
+    for (const auto &[control, target] : sched.cnots) {
+        const std::size_t qc = q0 + control;
+        const std::size_t qt = q0 + target;
+        tb.noisyCnot(qc, qt, qt, p_move, noise_.gate2Error);
+    }
+    if (plus) {
+        // Transversal H turns |0>_L into |+>_L (the code is self-dual).
+        for (std::size_t i = 0; i < n; ++i)
+            tb.noisyH(q0 + i, noise_.gate1Error);
+    }
+}
+
+void
+TileRowRecorder::verifyRound(FrameTraceBuilder &tb, std::size_t q0,
+                             std::size_t verify_q0, bool plus) const
+{
+    const std::size_t n = code_.blockLength();
+    const double p_move = moveProbability(layout_.intraBlockCells,
+                                          layout_.intraBlockTurns);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t qa = q0 + i;
+        const std::size_t qv = verify_q0 + i;
+        // The verify ion shuttles whether it is control or target; the
+        // two-qubit fault is ordered (qa, qv) as in the scalar schedule.
+        if (plus)
+            tb.noisyCnotMeas(qv, qa, qv, p_move, noise_.gate2Error, true,
+                             noise_.measureError);
+        else
+            tb.noisyCnotMeas(qa, qv, qv, p_move, noise_.gate2Error, false,
+                             noise_.measureError);
+    }
+}
+
+void
+TileRowRecorder::prepRound(FrameTraceBuilder &tb, std::size_t q0,
+                           std::size_t verify_q0, bool plus) const
+{
+    encodeRow(tb, q0, plus);
+    encodeRow(tb, verify_q0, plus);
+    verifyRound(tb, q0, verify_q0, plus);
+}
+
+} // namespace qla::arq

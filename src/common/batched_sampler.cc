@@ -13,8 +13,6 @@ namespace {
 /** Gaps past this are "never fires in any realistic trace". */
 constexpr std::int64_t kMaxGap = std::int64_t{1} << 46;
 
-constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
-
 /**
  * log2 for x in (0, 1): exponent from the IEEE-754 bits plus an atanh
  * series for the mantissa, range-reduced to [1/sqrt(2), sqrt(2)) so
@@ -70,7 +68,7 @@ BernoulliWordSampler::disarm()
     armed_ = 0;
     seen_ = 0;
     elapsed_ = 0;
-    cnt_.fill(kNever);
+    cnt_.fill(kNeverFires);
 }
 
 std::int64_t

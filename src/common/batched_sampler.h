@@ -22,7 +22,9 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 
+#include "common/logging.h"
 #include "common/rng.h"
 
 namespace qla {
@@ -58,6 +60,62 @@ class BernoulliWordSampler
     void disarm();
 
     /**
+     * Lane-state handle for moving a shot between words (lane
+     * compaction): the frozen number of active trials remaining until
+     * the lane's next success, or kLaneUnseen for a lane that has not
+     * drawn its first gap yet.
+     */
+    static constexpr std::int64_t kLaneUnseen = 0;
+
+    /**
+     * Park @p lane and remove it from this sampler, returning its
+     * remaining-trials state for importLane in another sampler of the
+     * same probability. A lane re-imported where it left off continues
+     * the exact trial/draw sequence it would have produced in place --
+     * that is what lets lane compaction regroup shots across words
+     * without breaking the determinism contract.
+     */
+    std::int64_t exportLane(std::size_t lane)
+    {
+        const std::uint64_t bit = std::uint64_t{1} << lane;
+        if (!(seen_ & bit))
+            return kLaneUnseen;
+        std::int64_t remaining;
+        if (armed_ & bit) {
+            // Armed lanes keep an absolute fire time; parked form is
+            // the trial count still to go (>= 1: a due lane fires
+            // inside sample(), so cnt_ > elapsed_ between calls).
+            ring_[cnt_[lane] & kRingMask] &= ~bit;
+            remaining = cnt_[lane] - elapsed_;
+            armed_ &= ~bit;
+        } else {
+            remaining = cnt_[lane]; // already parked
+        }
+        seen_ &= ~bit;
+        cnt_[lane] = kNeverFires;
+        qla_assert(remaining >= 1);
+        return remaining;
+    }
+
+    /**
+     * Install @p lane as parked with @p remaining trials to its next
+     * success (a value returned by exportLane). The lane must be
+     * unknown to this sampler; kLaneUnseen leaves it unseen, so it
+     * arms fresh from its stream on first activity, exactly as it
+     * would have where it came from.
+     */
+    void importLane(std::size_t lane, std::int64_t remaining)
+    {
+        const std::uint64_t bit = std::uint64_t{1} << lane;
+        qla_assert(!(seen_ & bit), "importLane over a live lane");
+        if (remaining == kLaneUnseen)
+            return;
+        qla_assert(remaining >= 1);
+        seen_ |= bit; // parked (seen, not armed); rebase unparks later
+        cnt_[lane] = remaining;
+    }
+
+    /**
      * One trial for every lane in @p active; returns the fired lanes.
      *
      * Inline fast path: when the active mask equals the armed mask (the
@@ -86,6 +144,10 @@ class BernoulliWordSampler
     /** Ring slots; fire times collide mod this (cheap re-check later). */
     static constexpr std::size_t kRingSize = 2048;
     static constexpr std::uint64_t kRingMask = kRingSize - 1;
+
+    /** cnt_ value of lanes with no scheduled fire. */
+    static constexpr std::int64_t kNeverFires
+        = std::numeric_limits<std::int64_t>::max();
 
     /** Trials until (and including) lane's next success, >= 1. */
     std::int64_t nextGap(Rng &rng) const;

@@ -118,9 +118,13 @@ CssCode::decodeZErrorIsLogical(QubitMask z_errors) const
 const CssCode::EncoderSchedule &
 CssCode::zeroEncoder() const
 {
-    if (encoder_built_)
-        return encoder_;
+    std::call_once(encoder_once_, [this] { buildEncoder(); });
+    return encoder_;
+}
 
+void
+CssCode::buildEncoder() const
+{
     // Row-reduce the X-check matrix over GF(2) to find pivot columns.
     std::vector<QubitMask> rows = x_checks_;
     std::vector<std::size_t> pivots;
@@ -189,8 +193,6 @@ CssCode::zeroEncoder() const
         ++depth;
     }
     encoder_.depth = depth;
-    encoder_built_ = true;
-    return encoder_;
 }
 
 circuit::QuantumCircuit

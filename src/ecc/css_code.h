@@ -14,6 +14,7 @@
 #define QLA_ECC_CSS_CODE_H
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -155,8 +156,12 @@ class CssCode
     QubitMask logical_z_;
     LookupDecoder x_decoder_;
     LookupDecoder z_decoder_;
+    void buildEncoder() const;
+
+    // Lazily built under encoder_once_: zeroEncoder() stays safe when
+    // parallel sweep workers construct experiments over a shared code.
+    mutable std::once_flag encoder_once_;
     mutable EncoderSchedule encoder_;
-    mutable bool encoder_built_ = false;
 };
 
 } // namespace qla::ecc

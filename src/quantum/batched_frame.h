@@ -116,6 +116,18 @@ class BatchedPauliFrame final : public BatchedFrameBackend
         z_[q] &= ~lanes;
     }
 
+    /**
+     * Overwrite the frame of qubit @p q on the lanes in @p lanes with
+     * the corresponding bits of @p x_bits / @p z_bits (lane compaction
+     * scatters regrouped shots back through this).
+     */
+    void storeMasked(std::size_t q, std::uint64_t lanes,
+                     std::uint64_t x_bits, std::uint64_t z_bits)
+    {
+        x_[q] = (x_[q] & ~lanes) | (x_bits & lanes);
+        z_[q] = (z_[q] & ~lanes) | (z_bits & lanes);
+    }
+
     //
     // Lane-plane inspection (bit-sliced decoding and tests).
     //

@@ -1,0 +1,190 @@
+#include "sim/shot_scheduler.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace qla::sim {
+
+int
+resolveThreadCount(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("QLA_THREADS")) {
+        const int parsed = std::atoi(env);
+        if (parsed > 0)
+            return parsed;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ShotScheduler::ShotScheduler(int threads)
+    : threads_(resolveThreadCount(threads)), deques_(threads_)
+{
+    pool_.reserve(threads_ - 1);
+    for (int w = 1; w < threads_; ++w)
+        pool_.emplace_back([this, w] { poolThreadMain(w); });
+}
+
+ShotScheduler::~ShotScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread &t : pool_)
+        t.join();
+}
+
+void
+ShotScheduler::run(std::size_t count, const JobFn &fn)
+{
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    if (count == 0)
+        return;
+    if (threads_ == 1 || count == 1) {
+        // Sequential fast path: no pool handoff, exceptions propagate
+        // directly.
+        for (std::size_t job = 0; job < count; ++job)
+            fn(job, 0);
+        return;
+    }
+
+    // Publish the run state BEFORE any job becomes poppable: a
+    // straggler pool thread still scanning the deques from the previous
+    // generation may claim a job the moment it is pushed (that is
+    // harmless -- it just helps this generation early), so fn_ and
+    // pending_ must already be valid. The deque mutex ordering makes
+    // these writes visible to any thread that pops a job.
+    fn_ = &fn;
+    cancelled_.store(false, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        error_ = nullptr;
+    }
+    pending_.store(count, std::memory_order_release);
+
+    // Contiguous block distribution: worker w starts on jobs
+    // [w * count / T, (w + 1) * count / T), so per-worker caches walk
+    // consecutive shot ranges until stealing kicks in.
+    const std::size_t T = static_cast<std::size_t>(threads_);
+    for (std::size_t w = 0; w < T; ++w) {
+        std::lock_guard<std::mutex> lock(deques_[w].mutex);
+        qla_assert(deques_[w].jobs.empty());
+        const std::size_t begin = w * count / T;
+        const std::size_t end = (w + 1) * count / T;
+        for (std::size_t job = begin; job < end; ++job)
+            deques_[w].jobs.push_back(job);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        ++generation_;
+    }
+    wake_cv_.notify_all();
+
+    workLoop(0);
+
+    // No job left to claim from worker 0's vantage point; wait for jobs
+    // still executing on pool threads. pending_ only reaches zero after
+    // the last job function returned.
+    {
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        wake_cv_.wait(lock, [this] {
+            return pending_.load(std::memory_order_acquire) == 0;
+        });
+    }
+    fn_ = nullptr;
+
+    std::exception_ptr error;
+    {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        error = error_;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+ShotScheduler::poolThreadMain(int worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(wake_mutex_);
+            wake_cv_.wait(lock,
+                          [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        workLoop(worker);
+    }
+}
+
+void
+ShotScheduler::workLoop(int worker)
+{
+    // Jobs only ever leave the deques mid-generation, so empty deques
+    // with pending work mean every remaining job is already executing
+    // somewhere: nothing left for this worker to do.
+    std::size_t job;
+    while (tryPop(worker, job) || trySteal(worker, job))
+        executeJob(job, worker);
+}
+
+bool
+ShotScheduler::tryPop(int worker, std::size_t &job)
+{
+    WorkerDeque &dq = deques_[worker];
+    std::lock_guard<std::mutex> lock(dq.mutex);
+    if (dq.jobs.empty())
+        return false;
+    job = dq.jobs.front();
+    dq.jobs.pop_front();
+    return true;
+}
+
+bool
+ShotScheduler::trySteal(int thief, std::size_t &job)
+{
+    for (int i = 1; i < threads_; ++i) {
+        WorkerDeque &dq = deques_[(thief + i) % threads_];
+        std::lock_guard<std::mutex> lock(dq.mutex);
+        if (dq.jobs.empty())
+            continue;
+        // Steal from the tail: the victim keeps walking its block in
+        // order from the head.
+        job = dq.jobs.back();
+        dq.jobs.pop_back();
+        return true;
+    }
+    return false;
+}
+
+void
+ShotScheduler::executeJob(std::size_t job, int worker)
+{
+    if (!cancelled_.load(std::memory_order_relaxed)) {
+        try {
+            (*fn_)(job, worker);
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(error_mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+            cancelled_.store(true, std::memory_order_relaxed);
+        }
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last job: wake the caller blocked in run().
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        wake_cv_.notify_all();
+    }
+}
+
+} // namespace qla::sim

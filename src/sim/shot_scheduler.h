@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Work-stealing scheduler for embarrassingly parallel Monte-Carlo work.
+ *
+ * The Figure-7 threshold sweep decomposes into independent jobs -- one
+ * (physical-error, level, shot-chunk) range each -- whose results are
+ * deterministic per job: shot i draws only from RngFamily(seed).stream(i)
+ * (common/rng.h), so a chunk computes the same answer on any thread in
+ * any order. The scheduler only has to run the jobs somewhere and let
+ * the caller reduce per-job partial sim::Stats in fixed job order;
+ * results are then bit-identical for every thread count and every
+ * work-stealing schedule.
+ *
+ * Topology: one deque of job indices per worker, seeded by contiguous
+ * block distribution (workers mostly walk their own shot ranges in
+ * order, keeping per-worker experiment caches warm); an idle worker
+ * steals from the tail of the busiest victim. Jobs are coarse
+ * (milliseconds), so the deques are mutex-guarded -- contention is
+ * nil and the implementation stays obviously correct under ASan/TSan.
+ */
+
+#ifndef QLA_SIM_SHOT_SCHEDULER_H
+#define QLA_SIM_SHOT_SCHEDULER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qla::sim {
+
+/**
+ * Number of worker threads to use: @p requested when positive, else the
+ * QLA_THREADS environment variable when set and positive, else the
+ * hardware concurrency (at least 1).
+ */
+int resolveThreadCount(int requested = 0);
+
+/**
+ * Persistent thread pool executing indexed job sets with work stealing.
+ *
+ * run(count, fn) invokes fn(job, worker) for every job in [0, count)
+ * exactly once and returns when all jobs have finished. The calling
+ * thread participates as worker 0; a single-thread scheduler (or a
+ * single job) runs inline with no pool handoff at all, so sequential
+ * runs stay exactly sequential. Job functions for distinct jobs run
+ * concurrently and must only touch shared state through their own
+ * job-indexed slots.
+ */
+class ShotScheduler
+{
+  public:
+    /** @p threads as in resolveThreadCount. */
+    explicit ShotScheduler(int threads = 0);
+    ~ShotScheduler();
+
+    ShotScheduler(const ShotScheduler &) = delete;
+    ShotScheduler &operator=(const ShotScheduler &) = delete;
+
+    int threadCount() const { return threads_; }
+
+    using JobFn = std::function<void(std::size_t job, int worker)>;
+
+    /**
+     * Execute jobs [0, @p count); blocks until every job completed.
+     * The first exception thrown by a job is rethrown here after the
+     * remaining jobs are drained unexecuted.
+     */
+    void run(std::size_t count, const JobFn &fn);
+
+  private:
+    struct WorkerDeque
+    {
+        std::mutex mutex;
+        std::deque<std::size_t> jobs;
+    };
+
+    void poolThreadMain(int worker);
+    void workLoop(int worker);
+    bool tryPop(int worker, std::size_t &job);
+    bool trySteal(int thief, std::size_t &job);
+    void executeJob(std::size_t job, int worker);
+
+    int threads_;
+    std::vector<WorkerDeque> deques_;
+    std::vector<std::thread> pool_;
+
+    std::mutex run_mutex_; // serializes run() generations
+    std::mutex wake_mutex_;
+    std::condition_variable wake_cv_;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+
+    const JobFn *fn_ = nullptr;
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<bool> cancelled_{false};
+    std::mutex error_mutex_;
+    std::exception_ptr error_;
+};
+
+} // namespace qla::sim
+
+#endif // QLA_SIM_SHOT_SCHEDULER_H

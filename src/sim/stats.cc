@@ -48,6 +48,29 @@ ScalarStat::addRepeated(double value, std::uint64_t count)
     m2_ += delta * delta * n * k / static_cast<double>(count_);
 }
 
+void
+ScalarStat::merge(const ScalarStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    const double n = static_cast<double>(count_);
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+}
+
 double
 ScalarStat::mean() const
 {
@@ -97,6 +120,13 @@ RateStat::addBulk(std::uint64_t successes, std::uint64_t trials)
 {
     trials_ += trials;
     successes_ += successes;
+}
+
+void
+RateStat::merge(const RateStat &other)
+{
+    trials_ += other.trials_;
+    successes_ += other.successes_;
 }
 
 double

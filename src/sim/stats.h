@@ -29,6 +29,14 @@ class ScalarStat
      */
     void addRepeated(double value, std::uint64_t count);
 
+    /**
+     * Fold another accumulator into this one (Chan's parallel-variance
+     * merge). The parallel shot scheduler reduces per-chunk partials in
+     * a fixed chunk order, so merged results are independent of thread
+     * count and work-stealing schedule.
+     */
+    void merge(const ScalarStat &other);
+
     std::uint64_t count() const { return count_; }
     double mean() const;
     /** Unbiased sample variance; 0 for fewer than 2 samples. */
@@ -61,6 +69,10 @@ class RateStat
 
     /** Record @p trials trials of which @p successes succeeded. */
     void addBulk(std::uint64_t successes, std::uint64_t trials);
+
+    /** Fold another accumulator into this one (pure integer counts, so
+     *  the merge is exactly associative and commutative). */
+    void merge(const RateStat &other);
 
     std::uint64_t trials() const { return trials_; }
     std::uint64_t successes() const { return successes_; }

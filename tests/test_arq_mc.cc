@@ -265,6 +265,84 @@ TEST(BatchedMonteCarlo, ShotsIndependentOfBatchGrouping)
     }
 }
 
+TEST(BatchedMonteCarlo, GroupingAndCompactionBitIdentical)
+{
+    // The shot-group width and lane compaction (including the dense
+    // twin used for "Start Over" rounds and repeated level-2
+    // extractions) are pure execution-shape choices: every lane's draw
+    // sequence is preserved exactly, so failure counts must be
+    // bit-identical across all settings. Swept far above threshold so
+    // the compacted retry paths actually run.
+    for (const double p : {8e-3, 2e-2}) {
+        for (const int level : {1, 2}) {
+            const std::size_t shots = level == 1 ? 3000 : 800;
+            std::uint64_t reference = 0;
+            bool have_reference = false;
+            for (const BatchOptions options :
+                 {BatchOptions{1, false}, BatchOptions{16, false},
+                  BatchOptions{4, true}, BatchOptions{16, true}}) {
+                BatchedLogicalQubitExperiment experiment(
+                    ecc::steaneCode(), NoiseParameters::swept(p), {}, 16,
+                    options);
+                const auto rate = experiment.failureRate(level, shots, 99);
+                ASSERT_EQ(rate.trials(), shots);
+                if (!have_reference) {
+                    reference = rate.successes();
+                    have_reference = true;
+                } else {
+                    EXPECT_EQ(rate.successes(), reference)
+                        << "p=" << p << " level=" << level << " group="
+                        << options.groupWords << " compaction="
+                        << options.laneCompaction;
+                }
+            }
+        }
+    }
+}
+
+TEST(BatchedMonteCarlo, CompactedStatsMatchUncompacted)
+{
+    // Integer-counted statistics (failures, syndrome counts, prep-exit
+    // totals) cannot depend on whether retries ran compacted.
+    const double p = 1e-2;
+    BatchedLogicalQubitExperiment plain(ecc::steaneCode(),
+                                        NoiseParameters::swept(p), {}, 16,
+                                        BatchOptions{16, false});
+    BatchedLogicalQubitExperiment compacted(ecc::steaneCode(),
+                                            NoiseParameters::swept(p), {},
+                                            16, BatchOptions{16, true});
+    ExperimentStats ps, cs;
+    plain.failureRate(2, 600, 5, &ps);
+    compacted.failureRate(2, 600, 5, &cs);
+    EXPECT_EQ(ps.logicalFailure.successes(), cs.logicalFailure.successes());
+    EXPECT_EQ(ps.nontrivialSyndrome.successes(),
+              cs.nontrivialSyndrome.successes());
+    EXPECT_EQ(ps.nontrivialSyndrome.trials(),
+              cs.nontrivialSyndrome.trials());
+    EXPECT_EQ(ps.prepAttempts.count(), cs.prepAttempts.count());
+    EXPECT_NEAR(ps.prepAttempts.mean(), cs.prepAttempts.mean(), 1e-12);
+}
+
+TEST(BatchedMonteCarlo, FailureRateRangeConcatenates)
+{
+    // Chunked execution (what a scheduler job runs) must reproduce the
+    // single uninterrupted run shot for shot.
+    BatchedLogicalQubitExperiment experiment(ecc::steaneCode(),
+                                             NoiseParameters::swept(8e-3));
+    const auto whole = experiment.failureRate(1, 5000, 23);
+    std::uint64_t successes = 0;
+    std::uint64_t trials = 0;
+    for (const auto &[first, count] :
+         {std::pair<std::uint64_t, std::size_t>{0, 1111},
+          {1111, 2048}, {3159, 1841}}) {
+        const auto part = experiment.failureRateRange(1, first, count, 23);
+        successes += part.successes();
+        trials += part.trials();
+    }
+    EXPECT_EQ(trials, whole.trials());
+    EXPECT_EQ(successes, whole.successes());
+}
+
 TEST(BatchedMonteCarlo, PartialBatchCountsExactly)
 {
     BatchedLogicalQubitExperiment experiment(ecc::steaneCode(),

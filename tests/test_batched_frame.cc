@@ -283,6 +283,78 @@ TEST(BatchedSampler, ParkedLanesResumeWhereTheyStopped)
     EXPECT_EQ(seq_a, seq_b);
 }
 
+TEST(BatchedSampler, ExportImportContinuesSequence)
+{
+    // Lane compaction moves a shot between words mid-run. The moved
+    // lane must continue the exact fire sequence it would have produced
+    // in place: export its clock, import at another lane position of
+    // another sampler, keep sampling, move it back.
+    const double p = 0.05;
+    RngFamily family(123);
+    const int lane_home = 11;
+    const int lane_away = 3;
+
+    LaneRngs ref_lanes;
+    for (std::size_t l = 0; l < kBatchLanes; ++l)
+        ref_lanes[l] = family.stream(l);
+    BernoulliWordSampler reference(p);
+    std::vector<bool> ref_fires;
+    for (int t = 0; t < 3000; ++t)
+        ref_fires.push_back(
+            (reference.sample(~0ULL, ref_lanes) >> lane_home) & 1);
+
+    LaneRngs home_lanes;
+    for (std::size_t l = 0; l < kBatchLanes; ++l)
+        home_lanes[l] = family.stream(l);
+    LaneRngs away_lanes; // pool-side streams (only the slot in use set)
+    BernoulliWordSampler home(p);
+    BernoulliWordSampler away(p);
+    std::vector<bool> fires;
+    int t = 0;
+    for (int phase = 0; phase < 6; ++phase) {
+        // 300 trials at home (all lanes active, like a full word)...
+        for (int i = 0; i < 300; ++i, ++t)
+            fires.push_back(
+                (home.sample(~0ULL, home_lanes) >> lane_home) & 1);
+        // ...then migrate to slot lane_away of the away sampler for 200
+        // solo trials (like a compacted retry word).
+        away_lanes[lane_away] = home_lanes[lane_home];
+        away.importLane(lane_away, home.exportLane(lane_home));
+        for (int i = 0; i < 200; ++i, ++t)
+            fires.push_back((away.sample(std::uint64_t{1} << lane_away,
+                                         away_lanes)
+                             >> lane_away)
+                            & 1);
+        home_lanes[lane_home] = away_lanes[lane_away];
+        home.importLane(lane_home, away.exportLane(lane_away));
+    }
+    ASSERT_EQ(fires.size(), ref_fires.size());
+    EXPECT_EQ(fires, ref_fires);
+}
+
+TEST(BatchedSampler, ExportImportEdgeCases)
+{
+    RngFamily family(9);
+    LaneRngs lanes;
+    for (std::size_t l = 0; l < kBatchLanes; ++l)
+        lanes[l] = family.stream(l);
+
+    // A lane the sampler has never armed exports as kLaneUnseen, and
+    // importing kLaneUnseen leaves the destination lane fresh.
+    BernoulliWordSampler sampler(0.1);
+    EXPECT_EQ(sampler.exportLane(7), BernoulliWordSampler::kLaneUnseen);
+    BernoulliWordSampler other(0.1);
+    other.importLane(7, BernoulliWordSampler::kLaneUnseen);
+
+    // A parked lane (active once, then masked out) round-trips.
+    sampler.sample(~0ULL, lanes);
+    sampler.sample(1ULL, lanes); // parks every lane but 0
+    const std::int64_t remaining = sampler.exportLane(9);
+    EXPECT_GE(remaining, 1);
+    other.importLane(9, remaining);
+    EXPECT_EQ(other.exportLane(9), remaining);
+}
+
 TEST(BatchedDepolarize, SingleQubitStatistics)
 {
     RngFamily family(21);

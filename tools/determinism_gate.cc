@@ -1,0 +1,179 @@
+/**
+ * @file
+ * CI determinism gate for the Figure-7 Monte Carlo.
+ *
+ * Emits machine-comparable, full-precision results so CI can byte-diff
+ * runs against each other:
+ *
+ *   determinism_gate --mode sweep [--threads N] [--shots S]
+ *       Crossing-window threshold sweep; identical output is required
+ *       for every thread count (the determinism contract).
+ *
+ *   determinism_gate --mode spot --engine batched
+ *       [--group G] [--compaction on|off] [--threads N] [--shots S]
+ *       Single-point L1+L2 failure counts on the batched engine;
+ *       identical output is required for every group width and for
+ *       compaction on vs off.
+ *
+ *   determinism_gate --mode spot --engine scalar [--shots S]
+ *       The scalar reference engine's counts (self-reproducibility).
+ *
+ *   determinism_gate --mode crosscheck [--shots S]
+ *       Statistical scalar-vs-batched agreement at a spot point;
+ *       exits non-zero when the estimates disagree beyond their
+ *       combined 95% intervals (with slack).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "arq/batched_monte_carlo.h"
+#include "arq/monte_carlo.h"
+#include "common/rng.h"
+#include "ecc/steane.h"
+
+using namespace qla;
+using namespace qla::arq;
+
+namespace {
+
+constexpr double kSpotError = 6e-3;
+constexpr std::uint64_t kSpotSeed = 424242;
+
+int
+runSweep(int threads, std::size_t shots)
+{
+    const std::vector<double> window = {1.0e-3, 1.5e-3, 2.0e-3, 2.5e-3,
+                                        3.0e-3};
+    McRunOptions options;
+    options.threads = threads;
+    const auto points = thresholdSweep(window, shots, 20050938, options);
+    for (const auto &point : points)
+        std::printf("p=%.17g L1=%.17g +- %.17g L2=%.17g +- %.17g\n",
+                    point.physicalError, point.level1Failure,
+                    point.level1Error, point.level2Failure,
+                    point.level2Error);
+    std::printf("threshold=%.17g\n", estimateThreshold(points));
+    return 0;
+}
+
+int
+runSpotBatched(std::size_t group, bool compaction, int threads,
+               std::size_t shots)
+{
+    McRunOptions options;
+    options.threads = threads;
+    options.batch.groupWords = group;
+    options.batch.laneCompaction = compaction;
+    for (const int level : {1, 2}) {
+        ExperimentStats stats;
+        const auto rate = runLogicalExperiment(
+            ecc::steaneCode(), NoiseParameters::swept(kSpotError), level,
+            shots, kSpotSeed, options, &stats);
+        std::printf("L%d failures=%llu/%llu syndromes=%llu/%llu "
+                    "prep_exits=%llu\n",
+                    level, (unsigned long long)rate.successes(),
+                    (unsigned long long)rate.trials(),
+                    (unsigned long long)stats.nontrivialSyndrome
+                        .successes(),
+                    (unsigned long long)stats.nontrivialSyndrome.trials(),
+                    (unsigned long long)stats.prepAttempts.count());
+    }
+    return 0;
+}
+
+int
+runSpotScalar(std::size_t shots)
+{
+    Rng rng(kSpotSeed);
+    LogicalQubitExperiment experiment(
+        ecc::steaneCode(), NoiseParameters::swept(kSpotError));
+    for (const int level : {1, 2}) {
+        const auto rate = experiment.failureRate(level, shots, rng);
+        std::printf("L%d failures=%llu/%llu\n", level,
+                    (unsigned long long)rate.successes(),
+                    (unsigned long long)rate.trials());
+    }
+    return 0;
+}
+
+int
+runCrosscheck(std::size_t shots)
+{
+    int failures = 0;
+    for (const int level : {1, 2}) {
+        const std::size_t level_shots = level == 1 ? shots : shots / 4;
+        Rng rng(kSpotSeed);
+        LogicalQubitExperiment scalar(
+            ecc::steaneCode(), NoiseParameters::swept(kSpotError));
+        const auto s = scalar.failureRate(level, level_shots, rng);
+        const auto b = runLogicalExperiment(
+            ecc::steaneCode(), NoiseParameters::swept(kSpotError), level,
+            level_shots, kSpotSeed);
+        const double margin = 1.5 * (s.halfWidth95() + b.halfWidth95())
+            + 1e-4;
+        const double delta = s.rate() > b.rate() ? s.rate() - b.rate()
+                                                 : b.rate() - s.rate();
+        const bool ok = delta <= margin;
+        std::printf("L%d scalar=%.6f batched=%.6f |delta|=%.6f "
+                    "margin=%.6f %s\n",
+                    level, s.rate(), b.rate(), delta, margin,
+                    ok ? "OK" : "FAIL");
+        if (!ok)
+            ++failures;
+    }
+    return failures ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string mode = "sweep";
+    std::string engine = "batched";
+    int threads = 1;
+    std::size_t shots = 4000;
+    std::size_t group = 16;
+    bool compaction = true;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--mode")
+            mode = next();
+        else if (arg == "--engine")
+            engine = next();
+        else if (arg == "--threads")
+            threads = std::atoi(next());
+        else if (arg == "--shots")
+            shots = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--group")
+            group = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--compaction")
+            compaction = std::strcmp(next(), "off") != 0;
+        else {
+            std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    if (mode == "sweep")
+        return runSweep(threads, shots);
+    if (mode == "spot")
+        return engine == "scalar"
+            ? runSpotScalar(shots)
+            : runSpotBatched(group, compaction, threads, shots);
+    if (mode == "crosscheck")
+        return runCrosscheck(shots);
+    std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
+    return 2;
+}
