@@ -6,6 +6,7 @@
 #include "arq/lane_compaction.h"
 #include "common/logging.h"
 
+
 namespace qla::arq {
 
 std::uint64_t
@@ -24,32 +25,6 @@ LaneSet::activeWords() const
     for (std::uint32_t i = 0; i < n; ++i)
         words += w[i] != 0;
     return words;
-}
-
-std::size_t
-gatherLaneRefs(const LaneSet &mask, LaneRef *refs)
-{
-    std::size_t count = 0;
-    for (std::uint32_t w = 0; w < mask.n; ++w) {
-        std::uint64_t lanes = mask.w[w];
-        while (lanes) {
-            const int l = std::countr_zero(lanes);
-            lanes &= lanes - 1;
-            refs[count++] = {static_cast<std::uint8_t>(w),
-                             static_cast<std::uint8_t>(l)};
-        }
-    }
-    return count;
-}
-
-LaneChunkPlan::LaneChunkPlan(const LaneRef *refs, std::size_t count)
-{
-    for (std::size_t j = 0; j < count; ++j) {
-        const LaneRef ref = refs[j];
-        if (!home[ref.word])
-            slot0[ref.word] = static_cast<std::uint8_t>(j);
-        home[ref.word] |= std::uint64_t{1} << ref.lane;
-    }
 }
 
 BatchedLogicalQubitExperiment::BatchedLogicalQubitExperiment(
@@ -143,8 +118,7 @@ BatchedLogicalQubitExperiment::recordAllTraces()
                                           static_cast<std::size_t>(role),
                                           plus)] = prep.take();
                     FrameTraceBuilder pair(classes_);
-                    rows_.encodeRow(pair, v0, plus);
-                    rows_.verifyRound(pair, q0, v0, plus);
+                    rows_.verifyPair(pair, q0, v0, plus);
                     traces_[0][traceIndex(Seg::VerifyPair, c, g,
                                           static_cast<std::size_t>(role),
                                           plus)] = pair.take();
@@ -152,14 +126,15 @@ BatchedLogicalQubitExperiment::recordAllTraces()
             }
             for (const bool detect_x : {false, true}) {
                 FrameTraceBuilder ext(classes_);
-                recordExtractRound(ext, c, g, detect_x);
+                rows_.extractRound(ext, ion(c, g, Role::Data, 0),
+                                   ion(c, g, Role::Ancilla, 0), detect_x);
                 traces_[0][traceIndex(Seg::ExtractRound, c, g, 0,
                                       detect_x)] = ext.take();
             }
         }
         for (const bool plus : {false, true}) {
             FrameTraceBuilder net(classes_);
-            recordL2Network(net, c, plus);
+            rows_.l2Network(net, ion(c, 0, Role::Data, 0), 3 * n_, plus);
             traces_[0][traceIndex(Seg::L2Network, c, 0, 0, plus)]
                 = net.take();
         }
@@ -228,51 +203,6 @@ BatchedLogicalQubitExperiment::recordAllTraces()
 }
 
 void
-BatchedLogicalQubitExperiment::recordExtractRound(FrameTraceBuilder &tb,
-                                                  std::size_t c,
-                                                  std::size_t g,
-                                                  bool detect_x)
-{
-    const double p_move = rows_.moveProbability(layout_.interBlockCells,
-                                                layout_.interBlockTurns);
-    for (std::size_t i = 0; i < n_; ++i) {
-        const std::size_t qd = ion(c, g, Role::Data, i);
-        const std::size_t qa = ion(c, g, Role::Ancilla, i);
-        // The ancilla ion shuttles to the data block and back.
-        if (detect_x)
-            tb.noisyCnotMeas(qd, qa, qa, p_move, noise_.gate2Error, false,
-                             noise_.measureError);
-        else
-            tb.noisyCnotMeas(qa, qd, qa, p_move, noise_.gate2Error, true,
-                             noise_.measureError);
-    }
-}
-
-void
-BatchedLogicalQubitExperiment::recordL2Network(FrameTraceBuilder &tb,
-                                               std::size_t c, bool plus)
-{
-    const auto &sched = code_.zeroEncoder();
-    const double p_move = rows_.moveProbability(layout_.interBlockCells,
-                                                layout_.interBlockTurns);
-    for (std::size_t pivot : sched.pivots)
-        for (std::size_t i = 0; i < n_; ++i)
-            tb.noisyH(ion(c, pivot, Role::Data, i), noise_.gate1Error);
-    for (const auto &[control, target] : sched.cnots) {
-        for (std::size_t i = 0; i < n_; ++i) {
-            const std::size_t qc = ion(c, control, Role::Data, i);
-            const std::size_t qt = ion(c, target, Role::Data, i);
-            tb.noisyCnot(qc, qt, qt, p_move, noise_.gate2Error);
-        }
-    }
-    if (plus) {
-        for (std::size_t g = 0; g < n_; ++g)
-            for (std::size_t i = 0; i < n_; ++i)
-                tb.noisyH(ion(c, g, Role::Data, i), noise_.gate1Error);
-    }
-}
-
-void
 BatchedLogicalQubitExperiment::recordL2Cnot(FrameTraceBuilder &tb,
                                             bool detect_x)
 {
@@ -333,35 +263,9 @@ BatchedLogicalQubitExperiment::replaySeg(Seg seg, std::size_t c,
 }
 
 //
-// Bit-sliced classical decoding.
+// Bit-sliced classical decoding (lookupCorrectionWords shared with the
+// segment pool in arq/bitslice.h).
 //
-
-void
-BatchedLogicalQubitExperiment::correctionWords(bool x_corr,
-                                               const SyndromePlanes &synd,
-                                               std::size_t num_checks,
-                                               std::uint64_t *words) const
-{
-    // Lanes with syndrome v get correction bits corr(v); syndrome 0 maps
-    // to no correction, so v starts at 1 and every produced lane set is
-    // automatically restricted to lanes with a non-trivial syndrome.
-    if (!orPlanes(synd, num_checks))
-        return; // every lane trivial -- the common case
-    for (std::uint32_t v = 1; v < (1u << num_checks); ++v) {
-        std::uint64_t lanes_v = ~std::uint64_t{0};
-        for (std::size_t j = 0; j < num_checks; ++j)
-            lanes_v &= ((v >> j) & 1u) ? synd[j] : ~synd[j];
-        if (!lanes_v)
-            continue;
-        ecc::QubitMask corr = x_corr ? code_.xCorrection(v)
-                                     : code_.zCorrection(v);
-        while (corr) {
-            const int i = std::countr_zero(corr);
-            corr &= corr - 1;
-            words[i] |= lanes_v;
-        }
-    }
-}
 
 std::uint64_t
 BatchedLogicalQubitExperiment::decodeXLogicalPlane(
@@ -369,7 +273,8 @@ BatchedLogicalQubitExperiment::decodeXLogicalPlane(
 {
     const SyndromePlanes synd = planesOf(false, x_words);
     std::array<std::uint64_t, 32> corr{};
-    correctionWords(true, synd, z_check_bits_.size(), corr.data());
+    lookupCorrectionWords(code_, true, synd, z_check_bits_.size(),
+                          corr.data());
     std::uint64_t plane = 0;
     for (std::size_t j = 0; j < logical_z_bits_.count; ++j) {
         const std::size_t i = logical_z_bits_.idx[j];
@@ -399,6 +304,31 @@ BatchedLogicalQubitExperiment::compactionWorthwhile(const LaneSet &mask,
     const std::uint64_t count = mask.count();
     const std::uint64_t dense = (count + kBatchLanes - 1) / kBatchLanes;
     return (words - dense) * sites * 16 >= count;
+}
+
+bool
+BatchedLogicalQubitExperiment::segmentWorthwhile(const LaneSet &mask,
+                                                 std::size_t ops_scale) const
+{
+    if (!options_.laneCompaction)
+        return false;
+    const std::uint32_t words = mask.activeWords();
+    if (words < 2)
+        return false;
+    const std::uint64_t count = mask.count();
+    const std::uint64_t dense = (count + kBatchLanes - 1) / kBatchLanes;
+    if (dense >= words)
+        return false; // regrouping would not drop a single word replay
+    // Fill-fraction gate against the *saved* words: migration saves
+    // (words - dense) word replays of a segment worth ops_scale
+    // prep-round equivalents, while the transplant costs O(migrated
+    // lanes) -- so the gate compares the lane count with the saved
+    // replay volume, scaled by the tunable threshold.
+    return static_cast<double>(count)
+        < options_.migrationFillThreshold
+              * static_cast<double>(words - dense)
+              * static_cast<double>(ops_scale)
+              * static_cast<double>(kBatchLanes);
 }
 
 void
@@ -485,7 +415,8 @@ BatchedLogicalQubitExperiment::applyCorrection(std::size_t c,
         if (!active.w[w] || !(orPlanes(synd[w], num_checks) & active.w[w]))
             continue;
         std::array<std::uint64_t, 32> inject{};
-        correctionWords(detect_x, synd[w], num_checks, inject.data());
+        lookupCorrectionWords(code_, detect_x, synd[w], num_checks,
+                              inject.data());
         for (std::size_t i = 0; i < n_; ++i) {
             const std::uint64_t lanes = inject[i] & active.w[w];
             if (!lanes)
@@ -525,11 +456,19 @@ BatchedLogicalQubitExperiment::ecCycleL1(std::size_t c, std::size_t g,
         // Non-trivial: extract once more on those lanes and act on the
         // repeat (paper Section 4.1.1 assumption (b)). The second
         // extraction's flips are masked to the repeat lanes, so its
-        // planes already select only repeat-lane corrections.
+        // planes already select only repeat-lane corrections. A sparse
+        // repeat migrates through the segment pool: ancilla prep and
+        // extract round replay dense, one transplant of the data row
+        // per repeat, draw-for-draw identical to replaying in place.
         const bool caller_shadow = shadow_;
         shadow_ = true;
         GroupSyndrome second;
-        extractSyndrome(c, g, detect_x, repeat, second, stats);
+        if (segmentWorthwhile(repeat, 1))
+            retry_pool_->runExtract(detect_x, repeat,
+                                    ion(c, g, Role::Data, 0), frames_,
+                                    models_, second.data(), stats);
+        else
+            extractSyndrome(c, g, detect_x, repeat, second, stats);
         shadow_ = caller_shadow;
         for (std::uint32_t w = 0; w < repeat.n; ++w) {
             if (!repeat.w[w])
@@ -549,20 +488,24 @@ BatchedLogicalQubitExperiment::prepL2AttemptRound(std::size_t c, bool plus,
     const std::size_t num_checks = plus ? x_check_bits_.size()
                                         : z_check_bits_.size();
     const BitList &logical = plus ? logical_x_bits_ : logical_z_bits_;
+    std::array<std::size_t, 32> sites;
+    for (std::size_t g = 0; g < n_; ++g)
+        sites[g] = ion(c, g, Role::Data, 0);
     if (shadow_ && compactionWorthwhile(mask, n_)) {
         // The per-group preps of one attempt share this mask, so one
         // transplant serves all of them -- profitable even at the
         // moderate fills of a "Start Over" round.
-        std::array<std::size_t, 32> sites;
-        for (std::size_t g = 0; g < n_; ++g)
-            sites[g] = ion(c, g, Role::Data, 0);
         retry_pool_->runPrepSeries(false, mask, sites.data(), n_,
                                    frames_, models_, stats);
     } else {
         for (std::size_t g = 0; g < n_; ++g)
             prepVerified(c, g, Role::Data, false, mask, stats);
     }
-    replaySeg(Seg::L2Network, c, 0, 0, plus, mask);
+    if (shadow_ && segmentWorthwhile(mask, 4))
+        retry_pool_->runNetwork(plus, mask, sites.data(), n_, frames_,
+                                models_);
+    else
+        replaySeg(Seg::L2Network, c, 0, 0, plus, mask);
     for (std::size_t g = 0; g < n_; ++g)
         ecCycleL1(c, g, mask, stats);
 
@@ -571,22 +514,30 @@ BatchedLogicalQubitExperiment::prepL2AttemptRound(std::size_t c, bool plus,
     // the lanes that fail.
     std::array<std::array<std::uint64_t, 32>, kMaxGroupWords>
         outer_flips{};
-    for (std::size_t g = 0; g < n_; ++g) {
-        replaySeg(Seg::VerifyPair, c, g,
-                  static_cast<std::size_t>(Role::Data), plus, mask);
-        for (std::uint32_t w = 0; w < mask.n; ++w) {
-            if (!mask.w[w])
-                continue;
-            const SyndromePlanes synd = planesOf(plus,
-                                                 flips_[w].data());
-            std::array<std::uint64_t, 32> corr{};
-            correctionWords(!plus, synd, num_checks, corr.data());
-            std::uint64_t plane = 0;
-            for (std::size_t j = 0; j < logical.count; ++j) {
-                const std::size_t i = logical.idx[j];
-                plane ^= flips_[w][i] ^ corr[i];
+    if (shadow_ && segmentWorthwhile(mask, 3)) {
+        // One transplant amortizes over the n_ verification sites.
+        retry_pool_->runVerifySeries(plus, mask, sites.data(), n_,
+                                     frames_, models_,
+                                     outer_flips.data());
+    } else {
+        for (std::size_t g = 0; g < n_; ++g) {
+            replaySeg(Seg::VerifyPair, c, g,
+                      static_cast<std::size_t>(Role::Data), plus, mask);
+            for (std::uint32_t w = 0; w < mask.n; ++w) {
+                if (!mask.w[w])
+                    continue;
+                const SyndromePlanes synd = planesOf(plus,
+                                                     flips_[w].data());
+                std::array<std::uint64_t, 32> corr{};
+                lookupCorrectionWords(code_, !plus, synd, num_checks,
+                                      corr.data());
+                std::uint64_t plane = 0;
+                for (std::size_t j = 0; j < logical.count; ++j) {
+                    const std::size_t i = logical.idx[j];
+                    plane ^= flips_[w][i] ^ corr[i];
+                }
+                outer_flips[w][g] = plane & mask.w[w];
             }
-            outer_flips[w][g] = plane & mask.w[w];
         }
     }
     for (std::uint32_t w = 0; w < mask.n; ++w) {
@@ -652,7 +603,8 @@ BatchedLogicalQubitExperiment::extractSyndromeL2(bool detect_x,
             const std::uint64_t *block_flips = flips_[w].data() + g * n_;
             const SyndromePlanes synd = planesOf(!detect_x, block_flips);
             std::array<std::uint64_t, 32> corr{};
-            correctionWords(detect_x, synd, num_checks, corr.data());
+            lookupCorrectionWords(code_, detect_x, synd, num_checks,
+                                  corr.data());
             std::uint64_t plane = 0;
             for (std::size_t j = 0; j < logical.count; ++j) {
                 const std::size_t i = logical.idx[j];
@@ -703,8 +655,8 @@ BatchedLogicalQubitExperiment::ecCycleL2(const LaneSet &active,
             // lane receives a transversal physical Pauli, faults
             // included.
             std::array<std::uint64_t, 32> blocks{};
-            correctionWords(detect_x, second[w], num_checks,
-                            blocks.data());
+            lookupCorrectionWords(code_, detect_x, second[w], num_checks,
+                                  blocks.data());
             for (std::size_t g = 0; g < n_; ++g) {
                 const std::uint64_t lanes = blocks[g] & repeat.w[w];
                 if (!lanes)
@@ -760,88 +712,23 @@ BatchedLogicalQubitExperiment::twin()
     return *twin_;
 }
 
-LaneSet
-BatchedLogicalQubitExperiment::denseSet(std::size_t count)
+SegmentPool &
+BatchedLogicalQubitExperiment::twinPool()
 {
-    LaneSet dense;
-    dense.n = static_cast<std::uint32_t>((count + kBatchLanes - 1)
-                                         / kBatchLanes);
-    for (std::uint32_t d = 0; d < dense.n; ++d)
-        dense.w[d] = denseLaneMask(std::min<std::size_t>(
-            kBatchLanes, count - d * kBatchLanes));
-    return dense;
+    if (!twin_pool_)
+        twin_pool_ = std::make_unique<SegmentPool>();
+    return *twin_pool_;
 }
 
-void
-BatchedLogicalQubitExperiment::migrateIn(std::size_t count,
-                                         const std::size_t *qubits,
-                                         std::size_t num_qubits)
+SamplerClassMap
+BatchedLogicalQubitExperiment::twinClassMap() const
 {
-    BatchedLogicalQubitExperiment &tw = twin();
-    for (std::size_t first = 0; first < count; first += kBatchLanes) {
-        const std::size_t d = first / kBatchLanes; // twin word
-        const std::size_t chunk = std::min<std::size_t>(kBatchLanes,
-                                                        count - first);
-        const LaneChunkPlan plan(mig_refs_.data() + first, chunk);
-        for (std::size_t j = 0; j < chunk; ++j) {
-            const LaneRef ref = mig_refs_[first + j];
-            // The subtree replays shadow sites only, so the lane's
-            // primary-class clocks stay home untouched.
-            tw.models_[d].lanes[j] = models_[ref.word].lanes[ref.lane];
-            for (const std::uint8_t s : shadow_of_primary_)
-                tw.models_[d].samplers[s].importLane(
-                    j, models_[ref.word].samplers[s].exportLane(
-                           ref.lane));
-        }
-        for (std::size_t qi = 0; qi < num_qubits; ++qi) {
-            const std::size_t q = qubits[qi];
-            std::uint64_t x_acc = 0, z_acc = 0;
-            for (std::size_t w = 0; w < kMaxGroupWords; ++w) {
-                if (!plan.home[w])
-                    continue;
-                x_acc |= extractBits(frames_[w].xWord(q), plan.home[w])
-                    << plan.slot0[w];
-                z_acc |= extractBits(frames_[w].zWord(q), plan.home[w])
-                    << plan.slot0[w];
-            }
-            tw.frames_[d].storeMasked(q, denseLaneMask(chunk), x_acc,
-                                      z_acc);
-        }
-    }
-}
-
-void
-BatchedLogicalQubitExperiment::migrateOut(std::size_t count,
-                                          const std::size_t *qubits,
-                                          std::size_t num_qubits)
-{
-    BatchedLogicalQubitExperiment &tw = *twin_;
-    for (std::size_t first = 0; first < count; first += kBatchLanes) {
-        const std::size_t d = first / kBatchLanes;
-        const std::size_t chunk = std::min<std::size_t>(kBatchLanes,
-                                                        count - first);
-        const LaneChunkPlan plan(mig_refs_.data() + first, chunk);
-        for (std::size_t j = 0; j < chunk; ++j) {
-            const LaneRef ref = mig_refs_[first + j];
-            models_[ref.word].lanes[ref.lane] = tw.models_[d].lanes[j];
-            for (const std::uint8_t s : shadow_of_primary_)
-                models_[ref.word].samplers[s].importLane(
-                    ref.lane, tw.models_[d].samplers[s].exportLane(j));
-        }
-        for (std::size_t qi = 0; qi < num_qubits; ++qi) {
-            const std::size_t q = qubits[qi];
-            const std::uint64_t x_word = tw.frames_[d].xWord(q);
-            const std::uint64_t z_word = tw.frames_[d].zWord(q);
-            for (std::size_t w = 0; w < kMaxGroupWords; ++w) {
-                if (!plan.home[w])
-                    continue;
-                frames_[w].storeMasked(
-                    q, plan.home[w],
-                    depositBits(x_word >> plan.slot0[w], plan.home[w]),
-                    depositBits(z_word >> plan.slot0[w], plan.home[w]));
-            }
-        }
-    }
+    // The subtree replays shadow sites only, so the lanes'
+    // primary-class clocks stay home untouched: only the shadow
+    // classes migrate, index-for-index (identity map -- the twin
+    // records the identical schedule from the identical noise table).
+    return {shadow_of_primary_.data(), shadow_of_primary_.data(),
+            shadow_of_primary_.size()};
 }
 
 void
@@ -851,12 +738,15 @@ BatchedLogicalQubitExperiment::compactL2PrepRetries(std::size_t c,
                                                     int first_attempt,
                                                     ExperimentStats *stats)
 {
-    const std::size_t count = gatherLaneRefs(mask, mig_refs_.data());
+    BatchedLogicalQubitExperiment &tw = twin();
+    SegmentPool &pool = twinPool();
+    pool.plan(mask);
+    const SamplerClassMap twin_map = twinClassMap();
     // The attempt round re-prepares every row it reads, so nothing
-    // needs gathering in.
-    migrateIn(count, nullptr, 0);
-    BatchedLogicalQubitExperiment &tw = *twin_;
-    LaneSet dense = denseSet(count);
+    // needs gathering in; only lane identity migrates.
+    for (std::size_t k = 0; k < pool.chunkCount(); ++k)
+        pool.transplantIn(k, models_, tw.models_[k], twin_map);
+    LaneSet dense = pool.denseSet();
     const bool twin_shadow = tw.shadow_;
     tw.shadow_ = true;
     for (int attempt = first_attempt;
@@ -865,11 +755,14 @@ BatchedLogicalQubitExperiment::compactL2PrepRetries(std::size_t c,
     tw.shadow_ = twin_shadow;
     // Only the prepared conglomeration's data rows survive the round
     // (ancilla and verify rows are re-encoded before every later use).
-    std::array<std::size_t, 32 * 32> rows{};
-    for (std::size_t g = 0; g < n_; ++g)
-        for (std::size_t i = 0; i < n_; ++i)
-            rows[g * n_ + i] = ion(c, g, Role::Data, i);
-    migrateOut(count, rows.data(), n_ * n_);
+    for (std::size_t k = 0; k < pool.chunkCount(); ++k) {
+        for (std::size_t g = 0; g < n_; ++g)
+            for (std::size_t i = 0; i < n_; ++i) {
+                const std::size_t q = ion(c, g, Role::Data, i);
+                pool.scatterRow(k, frames_, q, tw.frames_[k], q);
+            }
+        pool.transplantOut(k, models_, tw.models_[k], twin_map);
+    }
 }
 
 void
@@ -878,18 +771,23 @@ BatchedLogicalQubitExperiment::compactExtractL2(bool detect_x,
                                                 GroupSyndrome &outer,
                                                 ExperimentStats *stats)
 {
-    const std::size_t count = gatherLaneRefs(repeat, mig_refs_.data());
+    BatchedLogicalQubitExperiment &tw = twin();
+    SegmentPool &pool = twinPool();
+    pool.plan(repeat);
     // The repeated extraction reads and rewrites the data
     // conglomeration; everything else it touches is freshly prepared
     // inside the subtree.
-    std::array<std::size_t, 32 * 32> rows{};
-    for (std::size_t g = 0; g < n_; ++g)
-        for (std::size_t i = 0; i < n_; ++i)
-            rows[g * n_ + i] = ion(0, g, Role::Data, i);
-    migrateIn(count, rows.data(), n_ * n_);
+    const SamplerClassMap twin_map = twinClassMap();
+    for (std::size_t k = 0; k < pool.chunkCount(); ++k) {
+        pool.transplantIn(k, models_, tw.models_[k], twin_map);
+        for (std::size_t g = 0; g < n_; ++g)
+            for (std::size_t i = 0; i < n_; ++i) {
+                const std::size_t q = ion(0, g, Role::Data, i);
+                pool.gatherRow(k, frames_, q, tw.frames_[k], q);
+            }
+    }
 
-    BatchedLogicalQubitExperiment &tw = *twin_;
-    const LaneSet dense = denseSet(count);
+    const LaneSet dense = pool.denseSet();
     const bool twin_shadow = tw.shadow_;
     tw.shadow_ = true;
     GroupSyndrome twin_outer;
@@ -902,20 +800,17 @@ BatchedLogicalQubitExperiment::compactExtractL2(bool detect_x,
     for (std::uint32_t w = 0; w < repeat.n; ++w)
         if (repeat.w[w])
             outer[w] = SyndromePlanes{};
-    for (std::size_t first = 0; first < count; first += kBatchLanes) {
-        const std::size_t d = first / kBatchLanes;
-        const std::size_t chunk = std::min<std::size_t>(kBatchLanes,
-                                                        count - first);
-        const LaneChunkPlan plan(mig_refs_.data() + first, chunk);
-        for (std::size_t w = 0; w < kMaxGroupWords; ++w) {
-            if (!plan.home[w])
-                continue;
-            for (std::size_t j = 0; j < num_checks; ++j)
-                outer[w][j] |= depositBits(
-                    twin_outer[d][j] >> plan.slot0[w], plan.home[w]);
-        }
+    for (std::size_t k = 0; k < pool.chunkCount(); ++k) {
+        for (std::size_t j = 0; j < num_checks; ++j)
+            pool.scatterPlane(k, twin_outer[k][j], &outer[0][j],
+                              std::tuple_size_v<SyndromePlanes>);
+        for (std::size_t g = 0; g < n_; ++g)
+            for (std::size_t i = 0; i < n_; ++i) {
+                const std::size_t q = ion(0, g, Role::Data, i);
+                pool.scatterRow(k, frames_, q, tw.frames_[k], q);
+            }
+        pool.transplantOut(k, models_, tw.models_[k], twin_map);
     }
-    migrateOut(count, rows.data(), n_ * n_);
 }
 
 std::uint64_t

@@ -76,30 +76,8 @@ struct LaneSet
 };
 
 class PrepRetryPool;
-
-//
-// Shared lane-regrouping plumbing. Both regrouping engines -- the prep
-// retry pool and the subtree twin migration -- must agree exactly on
-// the lane <-> dense-slot assignment (it is part of the determinism
-// contract), so the gather order and the per-chunk scatter plan live
-// here, once.
-//
-
-/** One regrouped lane: its home word and lane position. */
-struct LaneRef
-{
-    std::uint8_t word;
-    std::uint8_t lane;
-};
-
-/**
- * Fill @p refs (capacity kMaxGroupWords * kBatchLanes) with the lanes
- * of @p mask in (word, lane) order and return how many there are. The
- * order is deterministic, and it keeps each home word's lanes
- * contiguous in dense slots, so chunk scatters are single bit
- * deposits.
- */
-std::size_t gatherLaneRefs(const LaneSet &mask, LaneRef *refs);
+class SegmentPool;
+struct SamplerClassMap;
 
 /** All-ones mask over the low @p count lanes (count in [0, 64]). */
 inline std::uint64_t
@@ -108,19 +86,6 @@ denseLaneMask(std::size_t count)
     return count >= kBatchLanes ? ~std::uint64_t{0}
                                 : ((std::uint64_t{1} << count) - 1);
 }
-
-/**
- * Gather/scatter plan for one dense chunk of at most 64 refs: the home
- * lane mask of every source word plus the chunk-local slot where that
- * word's contiguous run starts.
- */
-struct LaneChunkPlan
-{
-    LaneChunkPlan(const LaneRef *refs, std::size_t count);
-
-    std::array<std::uint64_t, kMaxGroupWords> home{};
-    std::array<std::uint8_t, kMaxGroupWords> slot0{};
-};
 
 /**
  * Batched Monte Carlo over one QLA logical-qubit tile (Figure 5),
@@ -171,8 +136,6 @@ class BatchedLogicalQubitExperiment
     const BatchOptions &options() const { return options_; }
 
   private:
-    friend class PrepRetryPool;
-
     enum class Role : std::size_t { Data = 0, Ancilla = 1, Verify = 2 };
 
     /** Straight-line segments of the recorded tile schedule. */
@@ -202,9 +165,6 @@ class BatchedLogicalQubitExperiment
     std::size_t traceIndex(Seg seg, std::size_t c, std::size_t g,
                            std::size_t role, bool flag) const;
     const NoiseClassTable &recordAllTraces();
-    void recordExtractRound(FrameTraceBuilder &tb, std::size_t c,
-                            std::size_t g, bool detect_x);
-    void recordL2Network(FrameTraceBuilder &tb, std::size_t c, bool plus);
     void recordL2Cnot(FrameTraceBuilder &tb, bool detect_x);
     void recordL2Readout(FrameTraceBuilder &tb, bool detect_x);
     void recordLogicalGate(FrameTraceBuilder &tb, int level);
@@ -236,14 +196,6 @@ class BatchedLogicalQubitExperiment
         return planes;
     }
 
-    /**
-     * For every syndrome value v, OR the lanes whose syndrome equals v
-     * into @p words[i] for each qubit i of the lookup correction of v.
-     */
-    void correctionWords(bool x_corr, const SyndromePlanes &synd,
-                         std::size_t num_checks,
-                         std::uint64_t *words) const;
-
     /** Lanes whose corrected X pattern still carries a logical X. */
     std::uint64_t decodeXLogicalPlane(const std::uint64_t *x_words) const;
 
@@ -260,6 +212,20 @@ class BatchedLogicalQubitExperiment
      */
     bool compactionWorthwhile(const LaneSet &mask,
                               std::size_t sites) const;
+
+    /**
+     * Fill-fraction heuristic for routing one sparse trace segment
+     * (the level-1 repeat extraction, the level-2 verification pair,
+     * the level-2 encoding network) through the segment pool: migrate
+     * when regrouping saves at least one word replay and the lane
+     * count is below BatchOptions::migrationFillThreshold of the saved
+     * words' capacity, scaled by @p ops_scale (the segment's replay
+     * weight in prep-round equivalents -- heavier segments amortize
+     * the per-lane transplant over more avoided work). Execution shape
+     * only: results are bit-identical for every threshold.
+     */
+    bool segmentWorthwhile(const LaneSet &mask,
+                           std::size_t ops_scale) const;
 
     //
     // Subtree regrouping: the two retry-heavy far-above-threshold
@@ -282,18 +248,14 @@ class BatchedLogicalQubitExperiment
     bool subtreeWorthwhile(const LaneSet &mask) const;
     BatchedLogicalQubitExperiment &twin();
     /**
-     * Move the planned lanes into the twin: rng streams and
-     * shadow-sampler clocks always; the frame state of @p qubits (what
-     * the subtree reads) gathered bit-transposed into the twin's dense
-     * words.
+     * The twin's migration engine (shared SegmentPool, identity class
+     * map over the shadow classes: the twin records the identical
+     * schedule from the identical noise table, so class ids coincide
+     * and clocks transplant index-for-index).
      */
-    void migrateIn(std::size_t count, const std::size_t *qubits,
-                   std::size_t num_qubits);
-    /** Inverse of migrateIn; @p qubits is what the subtree wrote. */
-    void migrateOut(std::size_t count, const std::size_t *qubits,
-                    std::size_t num_qubits);
-    /** Dense lane set covering twin slots [0, count). */
-    static LaneSet denseSet(std::size_t count);
+    SegmentPool &twinPool();
+    /** Class map of a twin migration (shadow classes, identity). */
+    SamplerClassMap twinClassMap() const;
     void compactL2PrepRetries(std::size_t c, bool plus,
                               const LaneSet &mask, int first_attempt,
                               ExperimentStats *stats);
@@ -354,10 +316,11 @@ class BatchedLogicalQubitExperiment
     std::array<std::vector<std::uint64_t>, kMaxGroupWords> flips_;
     std::unique_ptr<PrepRetryPool> retry_pool_;
 
-    /** False in the twin itself (no recursive regrouping). */
+    /** False in the twin itself (no recursive twin regrouping; the
+     *  relocated-trace segment pool still runs inside the twin). */
     bool subtree_enabled_ = true;
     std::unique_ptr<BatchedLogicalQubitExperiment> twin_; // lazy
-    std::array<LaneRef, kMaxGroupWords * kBatchLanes> mig_refs_;
+    std::unique_ptr<SegmentPool> twin_pool_;              // lazy
 };
 
 } // namespace qla::arq

@@ -113,6 +113,38 @@ orPlanes(const SyndromePlanes &planes, std::size_t count)
     return any;
 }
 
+/**
+ * Bit-sliced lookup correction: for every syndrome value v, OR the
+ * lanes whose syndrome equals v into @p words[i] for each qubit i of
+ * the code's lookup correction of v. Shared by the batched Monte-Carlo
+ * driver and the segment pool's relocated verification decode.
+ */
+inline void
+lookupCorrectionWords(const ecc::CssCode &code, bool x_corr,
+                      const SyndromePlanes &synd, std::size_t num_checks,
+                      std::uint64_t *words)
+{
+    // Lanes with syndrome v get correction bits corr(v); syndrome 0 maps
+    // to no correction, so v starts at 1 and every produced lane set is
+    // automatically restricted to lanes with a non-trivial syndrome.
+    if (!orPlanes(synd, num_checks))
+        return; // every lane trivial -- the common case
+    for (std::uint32_t v = 1; v < (1u << num_checks); ++v) {
+        std::uint64_t lanes_v = ~std::uint64_t{0};
+        for (std::size_t j = 0; j < num_checks; ++j)
+            lanes_v &= ((v >> j) & 1u) ? synd[j] : ~synd[j];
+        if (!lanes_v)
+            continue;
+        ecc::QubitMask corr = x_corr ? code.xCorrection(v)
+                                     : code.zCorrection(v);
+        while (corr) {
+            const int i = std::countr_zero(corr);
+            corr &= corr - 1;
+            words[i] |= lanes_v;
+        }
+    }
+}
+
 } // namespace qla::arq
 
 #endif // QLA_ARQ_BITSLICE_H

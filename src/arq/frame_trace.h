@@ -168,6 +168,29 @@ struct BatchedNoiseModel
      */
     void rearm(const RngFamily &family, std::uint64_t first_shot);
 
+    /**
+     * Move one lane's migratable identity into @p dst: the rng stream
+     * by value, and -- for each of the @p num_classes sampler-class
+     * pairs -- the lane's noise clock, parked out of this model's
+     * sampler src_cls[c] and imported at @p dst_lane of @p dst's
+     * sampler dst_cls[c]. This is the lane-transplant core every
+     * segment-migration path shares (see arq::SegmentPool); the class
+     * pairing must cover every class the migrated segment can sample
+     * (clocks of unlisted classes stay put, which is exactly right for
+     * classes the segment never replays), and each pair must carry the
+     * same probability (asserted). Inline: the transplant runs per
+     * migrated lane on the retry-heavy tail.
+     */
+    void moveLaneTo(BatchedNoiseModel &dst, std::size_t dst_lane,
+                    std::size_t src_lane, const std::uint8_t *src_cls,
+                    const std::uint8_t *dst_cls, std::size_t num_classes)
+    {
+        dst.lanes[dst_lane] = lanes[src_lane];
+        for (std::size_t c = 0; c < num_classes; ++c)
+            samplers[src_cls[c]].moveLaneTo(dst.samplers[dst_cls[c]],
+                                            dst_lane, src_lane);
+    }
+
     LaneRngs lanes;
     std::vector<BernoulliWordSampler> samplers;
 };

@@ -1,10 +1,192 @@
 #include "arq/lane_compaction.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.h"
 
 namespace qla::arq {
+
+std::size_t
+gatherLaneRefs(const LaneSet &mask, LaneRef *refs)
+{
+    std::size_t count = 0;
+    for (std::uint32_t w = 0; w < mask.n; ++w) {
+        std::uint64_t lanes = mask.w[w];
+        while (lanes) {
+            const int l = std::countr_zero(lanes);
+            lanes &= lanes - 1;
+            refs[count++] = {static_cast<std::uint8_t>(w),
+                             static_cast<std::uint8_t>(l)};
+        }
+    }
+    return count;
+}
+
+LaneChunkPlan::LaneChunkPlan(const LaneRef *refs, std::size_t count)
+{
+    for (std::size_t j = 0; j < count; ++j) {
+        const LaneRef ref = refs[j];
+        if (!home[ref.word])
+            slot0[ref.word] = static_cast<std::uint8_t>(j);
+        home[ref.word] |= std::uint64_t{1} << ref.lane;
+    }
+}
+
+std::size_t
+SegmentPool::plan(const LaneSet &mask)
+{
+    count_ = gatherLaneRefs(mask, refs_.data());
+    for (std::size_t k = 0; k < chunkCount(); ++k)
+        plans_[k] = LaneChunkPlan(refs_.data() + k * kBatchLanes,
+                                  chunkLanes(k));
+    return count_;
+}
+
+LaneSet
+SegmentPool::denseSet() const
+{
+    LaneSet dense;
+    dense.n = static_cast<std::uint32_t>(chunkCount());
+    for (std::uint32_t k = 0; k < dense.n; ++k)
+        dense.w[k] = chunkMask(k);
+    return dense;
+}
+
+void
+SegmentPool::transplantIn(std::size_t k,
+                          std::vector<BatchedNoiseModel> &home,
+                          BatchedNoiseModel &dense,
+                          const SamplerClassMap &classes) const
+{
+    // Each migrated lane carries its identity: rng stream by value,
+    // noise clocks parked out of the home word's samplers and into the
+    // dense word's samplers of the mapped class.
+    const LaneRef *refs = refs_.data() + k * kBatchLanes;
+    const std::size_t lanes = chunkLanes(k);
+    for (std::size_t j = 0; j < lanes; ++j)
+        home[refs[j].word].moveLaneTo(dense, j, refs[j].lane,
+                                      classes.home, classes.dense,
+                                      classes.count);
+}
+
+void
+SegmentPool::transplantOut(std::size_t k,
+                           std::vector<BatchedNoiseModel> &home,
+                           BatchedNoiseModel &dense,
+                           const SamplerClassMap &classes) const
+{
+    const LaneRef *refs = refs_.data() + k * kBatchLanes;
+    const std::size_t lanes = chunkLanes(k);
+    for (std::size_t j = 0; j < lanes; ++j)
+        dense.moveLaneTo(home[refs[j].word], refs[j].lane, j,
+                         classes.dense, classes.home, classes.count);
+}
+
+void
+SegmentPool::gatherRow(std::size_t k,
+                       const std::vector<quantum::BatchedPauliFrame> &home,
+                       std::size_t home_q,
+                       quantum::BatchedPauliFrame &dense,
+                       std::size_t dense_q) const
+{
+    // The refs are (word, lane)-sorted, so the lanes of each home word
+    // sit in one contiguous run of dense slots and every (qubit, word)
+    // pair is a single bit extract / deposit.
+    const LaneChunkPlan &plan = plans_[k];
+    std::uint64_t x_acc = 0;
+    std::uint64_t z_acc = 0;
+    for (std::size_t w = 0; w < kMaxGroupWords; ++w) {
+        if (!plan.home[w])
+            continue;
+        x_acc |= extractBits(home[w].xWord(home_q), plan.home[w])
+            << plan.slot0[w];
+        z_acc |= extractBits(home[w].zWord(home_q), plan.home[w])
+            << plan.slot0[w];
+    }
+    dense.storeMasked(dense_q, chunkMask(k), x_acc, z_acc);
+}
+
+void
+SegmentPool::scatterRow(std::size_t k,
+                        std::vector<quantum::BatchedPauliFrame> &home,
+                        std::size_t home_q,
+                        const quantum::BatchedPauliFrame &dense,
+                        std::size_t dense_q) const
+{
+    const LaneChunkPlan &plan = plans_[k];
+    const std::uint64_t x_word = dense.xWord(dense_q);
+    const std::uint64_t z_word = dense.zWord(dense_q);
+    for (std::size_t w = 0; w < kMaxGroupWords; ++w) {
+        if (!plan.home[w])
+            continue;
+        home[w].storeMasked(
+            home_q, plan.home[w],
+            depositBits(x_word >> plan.slot0[w], plan.home[w]),
+            depositBits(z_word >> plan.slot0[w], plan.home[w]));
+    }
+}
+
+void
+SegmentPool::scatterPlane(std::size_t k, std::uint64_t dense_plane,
+                          std::uint64_t *out, std::size_t word_stride) const
+{
+    const LaneChunkPlan &plan = plans_[k];
+    for (std::size_t w = 0; w < kMaxGroupWords; ++w) {
+        if (!plan.home[w])
+            continue;
+        out[w * word_stride] |= depositBits(
+            dense_plane >> plan.slot0[w], plan.home[w]);
+    }
+}
+
+namespace {
+
+/** Pool class ids referenced by a trace's fault and readout sites. */
+void
+collectTraceClasses(const FrameTrace &trace, bool (&used)[256])
+{
+    for (const FrameOp &op : trace.ops) {
+        switch (op.kind) {
+          case FrameOp::Kind::Noise1:
+          case FrameOp::Kind::Noise2:
+          case FrameOp::Kind::MeasureZ:
+          case FrameOp::Kind::MeasureX:
+          case FrameOp::Kind::NoisyH:
+          case FrameOp::Kind::Noise1Range:
+          case FrameOp::Kind::MeasureZRange:
+          case FrameOp::Kind::MeasureXRange:
+            used[op.cls] = true;
+            break;
+          case FrameOp::Kind::NoisyCnotMT:
+          case FrameOp::Kind::NoisyCnotMC:
+            used[op.cls] = true;
+            used[op.cls2] = true;
+            break;
+          case FrameOp::Kind::NoisyCnotMTMeasZ:
+          case FrameOp::Kind::NoisyCnotMTMeasX:
+          case FrameOp::Kind::NoisyCnotMCMeasZ:
+          case FrameOp::Kind::NoisyCnotMCMeasX:
+            used[op.cls] = true;
+            used[op.cls2] = true;
+            used[op.cls3] = true;
+            break;
+          // Exhaustive over the classless kinds (no default): adding a
+          // FrameOp kind must force a decision here, or a migrated
+          // lane could sample a class whose clock never transplanted.
+          case FrameOp::Kind::H:
+          case FrameOp::Kind::S:
+          case FrameOp::Kind::Cnot:
+          case FrameOp::Kind::Cz:
+          case FrameOp::Kind::Swap:
+          case FrameOp::Kind::Reset:
+          case FrameOp::Kind::ResetRange:
+            break;
+        }
+    }
+}
+
+} // namespace
 
 PrepRetryPool::PrepRetryPool(const ecc::CssCode &code,
                              const TileRowRecorder &recorder,
@@ -13,38 +195,76 @@ PrepRetryPool::PrepRetryPool(const ecc::CssCode &code,
                              const std::vector<std::uint8_t>
                                  &shadow_of_primary)
     : code_(code), n_(code.blockLength()),
-      max_prep_attempts_(max_prep_attempts), frame_(2 * code.blockLength()),
+      max_prep_attempts_(max_prep_attempts),
+      frame_(std::max(3 * code.blockLength(),
+                      code.blockLength() * code.blockLength())),
       model_([&]() -> const NoiseClassTable & {
-          // Record the relocated prep segments (rows at [0, n) and
-          // [n, 2n)) with the same recorder that produced the parent
-          // traces: identical op sequence, pool-local class ids.
+          // Record the relocated segments with the same recorder that
+          // produced the parent traces: identical op sequences,
+          // pool-local class ids.
+          const std::size_t n = code.blockLength();
           for (const bool plus : {false, true}) {
-              FrameTraceBuilder tb(classes_);
-              recorder.prepRound(tb, 0, code.blockLength(), plus);
-              traces_[plus ? 1 : 0] = tb.take();
+              FrameTraceBuilder prep(classes_);
+              recorder.prepRound(prep, 0, n, plus);
+              prep_traces_[plus ? 1 : 0] = prep.take();
+              FrameTraceBuilder verify(classes_);
+              recorder.verifyPair(verify, 0, n, plus);
+              verify_traces_[plus ? 1 : 0] = verify.take();
+              FrameTraceBuilder network(classes_);
+              recorder.l2Network(network, 0, n, plus);
+              network_traces_[plus ? 1 : 0] = network.take();
+          }
+          for (const bool detect_x : {false, true}) {
+              FrameTraceBuilder extract(classes_);
+              recorder.extractRound(extract, 2 * n, 0, detect_x);
+              extract_traces_[detect_x ? 1 : 0] = extract.take();
           }
           return classes_;
       }())
 {
     // Map each pool class to the parent's *shadow* class of the same
-    // probability: retries always replay shadow sites, so a migrated
-    // lane's clock transplants between its home shadow sampler and the
-    // pool sampler of the matching class. Probabilities identify the
-    // class uniquely because classOf deduplicates.
+    // probability: pooled segments always replay shadow sites, so a
+    // migrated lane's clock transplants between its home shadow sampler
+    // and the pool sampler of the matching class. Probabilities
+    // identify the class uniquely because classOf deduplicates.
     const auto &pool_probs = classes_.probabilities();
     const auto &parent_probs = parent_classes.probabilities();
-    parent_cls_.resize(pool_probs.size());
+    std::vector<std::uint8_t> shadow_of_pool(pool_probs.size());
     for (std::size_t c = 0; c < pool_probs.size(); ++c) {
         bool found = false;
         for (std::size_t k = 0; k < shadow_of_primary.size(); ++k) {
             if (parent_probs[k] == pool_probs[c]) {
-                parent_cls_[c] = shadow_of_primary[k];
+                shadow_of_pool[c] = shadow_of_primary[k];
                 found = true;
                 break;
             }
         }
         qla_assert(found, "pool noise class missing from parent table");
     }
+
+    // Each segment kind transplants exactly the classes its traces
+    // reference (derived from the recorded ops, so it can never drift
+    // from the replay); runExtract also runs the prep retry loop, so
+    // its set is the union of the two.
+    const auto buildClasses = [&](SegmentClasses &seg,
+                                  std::initializer_list<
+                                      const std::array<FrameTrace, 2> *>
+                                      traces) {
+        bool used[256] = {};
+        for (const auto *pair : traces)
+            for (const FrameTrace &trace : *pair)
+                collectTraceClasses(trace, used);
+        for (std::size_t c = 0; c < pool_probs.size(); ++c) {
+            if (!used[c])
+                continue;
+            seg.dense.push_back(static_cast<std::uint8_t>(c));
+            seg.home.push_back(shadow_of_pool[c]);
+        }
+    };
+    buildClasses(prep_classes_, {&prep_traces_});
+    buildClasses(verify_classes_, {&verify_traces_});
+    buildClasses(network_classes_, {&network_traces_});
+    buildClasses(extract_classes_, {&prep_traces_, &extract_traces_});
 
     for (const ecc::QubitMask row : code_.xChecks())
         x_check_bits_.push_back(bitListOf(row));
@@ -61,12 +281,18 @@ PrepRetryPool::runRetries(bool plus, const LaneSet &mask, int first_attempt,
                           std::vector<BatchedNoiseModel> &models,
                           std::size_t role_q0, ExperimentStats *stats)
 {
-    const std::size_t count = gatherLaneRefs(mask, refs_.data());
-    for (std::size_t first = 0; first < count; first += kBatchLanes)
-        runBatch(plus,
-                 {refs_.data() + first,
-                  std::min<std::size_t>(kBatchLanes, count - first)},
-                 first_attempt, frames, models, role_q0, stats);
+    mig_.plan(mask);
+    const SamplerClassMap prep_map = prep_classes_.map();
+    for (std::size_t k = 0; k < mig_.chunkCount(); ++k) {
+        mig_.transplantIn(k, models, model_, prep_map);
+        runAttempts(plus, mig_.chunkMask(k), first_attempt, stats);
+        // Only the prepared row survives: the verification row is
+        // re-encoded (reset first) before every later use, so its
+        // residual is dead state and needs no scatter.
+        for (std::size_t i = 0; i < n_; ++i)
+            mig_.scatterRow(k, frames, role_q0 + i, frame_, i);
+        mig_.transplantOut(k, models, model_, prep_map);
+    }
 }
 
 void
@@ -77,49 +303,134 @@ PrepRetryPool::runPrepSeries(bool plus, const LaneSet &mask,
                              std::vector<BatchedNoiseModel> &models,
                              ExperimentStats *stats)
 {
-    const std::size_t count = gatherLaneRefs(mask, refs_.data());
-    for (std::size_t first = 0; first < count; first += kBatchLanes) {
-        const Batch batch{refs_.data() + first,
-                          std::min<std::size_t>(kBatchLanes,
-                                                count - first)};
-        transplantIn(batch, models);
-        const std::uint64_t dense = denseLaneMask(batch.count);
+    mig_.plan(mask);
+    const SamplerClassMap prep_map = prep_classes_.map();
+    for (std::size_t k = 0; k < mig_.chunkCount(); ++k) {
+        mig_.transplantIn(k, models, model_, prep_map);
         for (std::size_t s = 0; s < num_sites; ++s) {
-            runAttempts(plus, dense, 1, stats);
-            scatterRows(batch, frames, site_role_q0[s]);
+            runAttempts(plus, mig_.chunkMask(k), 1, stats);
+            for (std::size_t i = 0; i < n_; ++i)
+                mig_.scatterRow(k, frames, site_role_q0[s] + i, frame_, i);
         }
-        transplantOut(batch, models);
+        mig_.transplantOut(k, models, model_, prep_map);
     }
 }
 
 void
-PrepRetryPool::transplantIn(const Batch &batch,
-                            std::vector<BatchedNoiseModel> &models)
+PrepRetryPool::runExtract(bool detect_x, const LaneSet &mask,
+                          std::size_t data_q0,
+                          std::vector<quantum::BatchedPauliFrame> &frames,
+                          std::vector<BatchedNoiseModel> &models,
+                          SyndromePlanes *synd, ExperimentStats *stats)
 {
-    // Each migrated lane carries its identity: rng stream by value,
-    // noise clocks parked out of the home word's shadow samplers and
-    // into the pool samplers of the same probability.
-    for (std::size_t j = 0; j < batch.count; ++j) {
-        const LaneRef ref = batch.refs[j];
-        BatchedNoiseModel &home = models[ref.word];
-        model_.lanes[j] = home.lanes[ref.lane];
-        for (std::size_t c = 0; c < parent_cls_.size(); ++c)
-            model_.samplers[c].importLane(
-                j, home.samplers[parent_cls_[c]].exportLane(ref.lane));
+    // The planes scatter by OR; the in-place extraction assigns the
+    // active words' planes whole, so clear them first.
+    for (std::uint32_t w = 0; w < mask.n; ++w)
+        if (mask.w[w])
+            synd[w] = SyndromePlanes{};
+    const auto &rows = detect_x ? z_check_bits_ : x_check_bits_;
+    const std::size_t num_checks = rows.size();
+    std::uint64_t nontrivial = 0;
+    std::uint64_t total = 0;
+    mig_.plan(mask);
+    const SamplerClassMap extract_map = extract_classes_.map();
+    for (std::size_t k = 0; k < mig_.chunkCount(); ++k) {
+        mig_.transplantIn(k, models, model_, extract_map);
+        for (std::size_t i = 0; i < n_; ++i)
+            mig_.gatherRow(k, frames, data_q0 + i, frame_, 2 * n_ + i);
+        const std::uint64_t dense = mig_.chunkMask(k);
+        // Verified ancilla preparation into rows [0, 2n), mirroring the
+        // in-place prepVerified loop, then the extract round against
+        // the data row.
+        runAttempts(detect_x, dense, 1, stats);
+        flips_.clear();
+        replayTrace(extract_traces_[detect_x ? 1 : 0], frame_, model_,
+                    dense, flips_);
+        SyndromePlanes planes{};
+        for (std::size_t j = 0; j < num_checks; ++j)
+            planes[j] = parityPlane(rows[j], flips_.data());
+        for (std::size_t j = 0; j < num_checks; ++j)
+            mig_.scatterPlane(k, planes[j], &synd[0][j],
+                              std::tuple_size_v<SyndromePlanes>);
+        nontrivial += std::popcount(orPlanes(planes, num_checks) & dense);
+        total += mig_.chunkLanes(k);
+        // The extract round's CNOTs rewrite the data row; the ancilla
+        // and verification rows are dead state (re-encoded before every
+        // later use) and stay behind.
+        for (std::size_t i = 0; i < n_; ++i)
+            mig_.scatterRow(k, frames, data_q0 + i, frame_, 2 * n_ + i);
+        mig_.transplantOut(k, models, model_, extract_map);
+    }
+    if (stats)
+        stats->nontrivialSyndrome.addBulk(nontrivial, total);
+}
+
+void
+PrepRetryPool::runVerifySeries(bool plus, const LaneSet &mask,
+                               const std::size_t *site_q0,
+                               std::size_t num_sites,
+                               std::vector<quantum::BatchedPauliFrame>
+                                   &frames,
+                               std::vector<BatchedNoiseModel> &models,
+                               std::array<std::uint64_t, 32> *site_planes)
+{
+    const auto &rows = plus ? x_check_bits_ : z_check_bits_;
+    const std::size_t num_checks = rows.size();
+    const BitList &logical = plus ? logical_x_bits_ : logical_z_bits_;
+    mig_.plan(mask);
+    const SamplerClassMap verify_map = verify_classes_.map();
+    for (std::size_t k = 0; k < mig_.chunkCount(); ++k) {
+        mig_.transplantIn(k, models, model_, verify_map);
+        const std::uint64_t dense = mig_.chunkMask(k);
+        for (std::size_t s = 0; s < num_sites; ++s) {
+            for (std::size_t i = 0; i < n_; ++i)
+                mig_.gatherRow(k, frames, site_q0[s] + i, frame_, i);
+            flips_.clear();
+            replayTrace(verify_traces_[plus ? 1 : 0], frame_, model_,
+                        dense, flips_);
+            SyndromePlanes synd{};
+            for (std::size_t j = 0; j < num_checks; ++j)
+                synd[j] = parityPlane(rows[j], flips_.data());
+            std::array<std::uint64_t, 32> corr{};
+            lookupCorrectionWords(code_, !plus, synd, num_checks,
+                                  corr.data());
+            std::uint64_t plane = 0;
+            for (std::size_t j = 0; j < logical.count; ++j) {
+                const std::size_t i = logical.idx[j];
+                plane ^= flips_[i] ^ corr[i];
+            }
+            mig_.scatterPlane(k, plane & dense, &site_planes[0][s], 32);
+            // The verification round's CNOTs rewrite the data row.
+            for (std::size_t i = 0; i < n_; ++i)
+                mig_.scatterRow(k, frames, site_q0[s] + i, frame_, i);
+        }
+        mig_.transplantOut(k, models, model_, verify_map);
     }
 }
 
 void
-PrepRetryPool::transplantOut(const Batch &batch,
-                             std::vector<BatchedNoiseModel> &models)
+PrepRetryPool::runNetwork(bool plus, const LaneSet &mask,
+                          const std::size_t *row_q0, std::size_t num_rows,
+                          std::vector<quantum::BatchedPauliFrame> &frames,
+                          std::vector<BatchedNoiseModel> &models)
 {
-    for (std::size_t j = 0; j < batch.count; ++j) {
-        const LaneRef ref = batch.refs[j];
-        BatchedNoiseModel &home = models[ref.word];
-        home.lanes[ref.lane] = model_.lanes[j];
-        for (std::size_t c = 0; c < parent_cls_.size(); ++c)
-            home.samplers[parent_cls_[c]].importLane(
-                ref.lane, model_.samplers[c].exportLane(j));
+    qla_assert(num_rows <= n_);
+    mig_.plan(mask);
+    const SamplerClassMap network_map = network_classes_.map();
+    for (std::size_t k = 0; k < mig_.chunkCount(); ++k) {
+        mig_.transplantIn(k, models, model_, network_map);
+        for (std::size_t g = 0; g < num_rows; ++g)
+            for (std::size_t i = 0; i < n_; ++i)
+                mig_.gatherRow(k, frames, row_q0[g] + i, frame_,
+                               g * n_ + i);
+        flips_.clear();
+        replayTrace(network_traces_[plus ? 1 : 0], frame_, model_,
+                    mig_.chunkMask(k), flips_);
+        for (std::size_t g = 0; g < num_rows; ++g)
+            for (std::size_t i = 0; i < n_; ++i)
+                mig_.scatterRow(k, frames, row_q0[g] + i, frame_,
+                                g * n_ + i);
+        mig_.transplantOut(k, models, model_, network_map);
     }
 }
 
@@ -130,7 +441,7 @@ PrepRetryPool::runAttempts(bool plus, std::uint64_t mask,
     const std::size_t num_checks = plus ? x_check_bits_.size()
                                         : z_check_bits_.size();
     const BitList &logical = plus ? logical_x_bits_ : logical_z_bits_;
-    const FrameTrace &trace = traces_[plus ? 1 : 0];
+    const FrameTrace &trace = prep_traces_[plus ? 1 : 0];
     // Mirrors the in-place retry loop of prepVerified exactly: the
     // first dense replay is attempt number first_attempt for every
     // migrated lane (they all survived the same earlier attempts).
@@ -155,44 +466,6 @@ PrepRetryPool::runAttempts(bool plus, std::uint64_t mask,
             break;
         ++attempt;
     }
-}
-
-void
-PrepRetryPool::scatterRows(const Batch &batch,
-                           std::vector<quantum::BatchedPauliFrame> &frames,
-                           std::size_t role_q0) const
-{
-    // The refs are (word, lane)-sorted, so the lanes of each home word
-    // sit in one contiguous run of pool slots and every (qubit, word)
-    // pair is a single bit-deposit.
-    const LaneChunkPlan plan(batch.refs, batch.count);
-    for (std::size_t w = 0; w < kMaxGroupWords; ++w) {
-        const std::uint64_t home = plan.home[w];
-        if (!home)
-            continue;
-        const std::size_t j0 = plan.slot0[w];
-        // Only the prepared row survives: the verification row is
-        // re-encoded (reset first) before every later use, so its
-        // residual is dead state and needs no scatter.
-        for (std::size_t i = 0; i < n_; ++i)
-            frames[w].storeMasked(role_q0 + i, home,
-                                  depositBits(frame_.xWord(i) >> j0, home),
-                                  depositBits(frame_.zWord(i) >> j0,
-                                              home));
-    }
-}
-
-void
-PrepRetryPool::runBatch(bool plus, const Batch &batch, int first_attempt,
-                        std::vector<quantum::BatchedPauliFrame> &frames,
-                        std::vector<BatchedNoiseModel> &models,
-                        std::size_t role_q0, ExperimentStats *stats)
-{
-    qla_assert(batch.count >= 1 && batch.count <= kBatchLanes);
-    transplantIn(batch, models);
-    runAttempts(plus, denseLaneMask(batch.count), first_attempt, stats);
-    scatterRows(batch, frames, role_q0);
-    transplantOut(batch, models);
 }
 
 } // namespace qla::arq

@@ -2,27 +2,45 @@
  * @file
  * Lane compaction for the retry-heavy far-above-threshold regime.
  *
- * A 64-shot word replays a verified-preparation attempt while *any* of
- * its lanes needs one, and a masked replay costs the same whether 1 or
- * 64 lanes are active -- so far above threshold, where verification
- * failures are common, nearly-empty retry replays dominate the batched
- * engine's word-wide retry amplification. The PrepRetryPool fixes this
- * by regrouping: when the surviving retry lanes across a shot group's
- * words drop below a fill threshold, they are gathered into fresh dense
- * words of a small scratch frame (the prep segment only touches the row
- * being prepared and its verification row, and starts by resetting
- * both, so no frame state needs to be carried in) and their remaining
- * attempts replay there, one dense word instead of many sparse ones.
+ * A 64-shot word replays a trace segment while *any* of its lanes needs
+ * it, and a masked replay costs the same whether 1 or 64 lanes are
+ * active -- so far above threshold, where verification failures and
+ * syndrome-conditioned repeats are common, nearly-empty replays dominate
+ * the batched engine's word-wide retry amplification. The cure is
+ * regrouping: when the surviving lanes of a sparse segment drop below a
+ * fill threshold across a shot group's words, they migrate into fresh
+ * dense words and replay there, one dense word instead of many sparse
+ * ones.
  *
- * The determinism contract survives because each migrated lane carries
- * its identity with it: its per-shot rng stream moves by value, and its
- * noise-clock state in every shadow sampler is exported (parked) from
- * the source word and imported into the pool's sampler of the same
- * class -- and transplanted back afterwards. The pool's relocated trace
- * is recorded by the same TileRowRecorder as the in-place trace, so a
- * lane consumes draws at exactly the sites, and in exactly the order,
- * it would have in place: compacted and uncompacted runs are
- * bit-identical lane by lane (tests/test_arq_mc.cc).
+ * The machinery has two layers:
+ *
+ * - SegmentPool is the migration engine every pooled path shares: it
+ *   plans the (word, lane) -> dense-slot assignment, transplants each
+ *   migrated lane's identity (its per-shot rng stream by value, its
+ *   noise-clock state in every relevant sampler class exported/imported
+ *   through BernoulliWordSampler::exportLane/importLane), and moves
+ *   frame rows and result bit-planes between home lane positions and
+ *   dense slots.
+ *
+ * - PrepRetryPool owns relocated traces (recorded by the same
+ *   TileRowRecorder as the in-place traces, at fixed scratch rows) for
+ *   the segments that replay against a small scratch frame: verified
+ *   preparation retries, the level-1 repeat extraction, the level-2
+ *   verification pair, and the level-2 encoding network. Its noise
+ *   classes are pool-local and mapped to the parent's shadow classes of
+ *   the same probability, so a migrated lane's clocks transplant
+ *   between its home shadow samplers and the pool samplers.
+ *
+ * Whole sparse subtrees (level-2 "Start Over" rounds, repeated level-2
+ * extraction) instead migrate into a dense twin experiment
+ * (arq/batched_monte_carlo.cc) -- same SegmentPool engine, identity
+ * class map, no relocation needed because the twin shares the tile's
+ * qubit indexing.
+ *
+ * The determinism contract survives because a migrated lane consumes
+ * draws at exactly the sites, and in exactly the order, it would have
+ * in place: compacted and uncompacted runs are bit-identical lane by
+ * lane (tests/test_lane_compaction.cc, tests/test_arq_mc.cc).
  */
 
 #ifndef QLA_ARQ_LANE_COMPACTION_H
@@ -41,16 +59,162 @@
 
 namespace qla::arq {
 
+/** One regrouped lane: its home word and lane position. */
+struct LaneRef
+{
+    std::uint8_t word;
+    std::uint8_t lane;
+};
+
 /**
- * Dense replay engine for verified-preparation retries regrouped from
- * the words of one shot group.
+ * Fill @p refs (capacity kMaxGroupWords * kBatchLanes) with the lanes
+ * of @p mask in (word, lane) order and return how many there are. The
+ * order is deterministic -- it is part of the determinism contract,
+ * every migration path must agree on the lane <-> dense-slot
+ * assignment -- and it keeps each home word's lanes contiguous in dense
+ * slots, so chunk scatters are single bit deposits.
+ */
+std::size_t gatherLaneRefs(const LaneSet &mask, LaneRef *refs);
+
+/**
+ * Gather/scatter plan for one dense chunk of at most 64 refs: the home
+ * lane mask of every source word plus the chunk-local slot where that
+ * word's contiguous run starts.
+ */
+struct LaneChunkPlan
+{
+    LaneChunkPlan() = default;
+    LaneChunkPlan(const LaneRef *refs, std::size_t count);
+
+    std::array<std::uint64_t, kMaxGroupWords> home{};
+    std::array<std::uint8_t, kMaxGroupWords> slot0{};
+};
+
+/**
+ * The sampler classes migrating with each lane of one pooled segment:
+ * class home[i] in a home model pairs with class dense[i] in the dense
+ * model (same probability, asserted in the transplant). The map must
+ * cover every class the migrated segment can sample -- and, for the
+ * transplant cost's sake, nothing more: clocks of unlisted classes
+ * stay home untouched, which is exactly right both for primary-class
+ * clocks (pooled segments replay shadow sites only) and for shadow
+ * classes the segment's traces never reference.
+ */
+struct SamplerClassMap
+{
+    const std::uint8_t *home = nullptr;
+    const std::uint8_t *dense = nullptr;
+    std::size_t count = 0;
+};
+
+/**
+ * The shared lane-migration engine: plans a migration of a sparse
+ * LaneSet into dense 64-lane chunks and moves lane identity (rng
+ * stream + sampler clocks of the segment's SamplerClassMap), frame
+ * rows, and result bit-planes between the home words and the dense
+ * destination.
+ *
+ * The destination of chunk k is one 64-lane word (a scratch frame/model
+ * reused per chunk, or word k of a dense twin experiment); the engine
+ * itself is agnostic.
+ */
+class SegmentPool
+{
+  public:
+    SegmentPool() = default;
+
+    /**
+     * Plan a migration of the lanes of @p mask; returns the lane count.
+     * Valid until the next plan() call on this pool.
+     */
+    std::size_t plan(const LaneSet &mask);
+
+    std::size_t laneCount() const { return count_; }
+
+    std::size_t chunkCount() const
+    {
+        return (count_ + kBatchLanes - 1) / kBatchLanes;
+    }
+
+    /** Lanes in chunk @p k (64 for all but possibly the last chunk). */
+    std::size_t chunkLanes(std::size_t k) const
+    {
+        return std::min<std::size_t>(kBatchLanes, count_ - k * kBatchLanes);
+    }
+
+    /** Dense lane mask of chunk @p k. */
+    std::uint64_t chunkMask(std::size_t k) const
+    {
+        return denseLaneMask(chunkLanes(k));
+    }
+
+    /** Dense LaneSet covering every chunk (word k = chunk k). */
+    LaneSet denseSet() const;
+
+    /**
+     * Move the identity (rng stream + the clocks of @p classes) of
+     * chunk @p k's lanes from their home words into dense slots of
+     * @p dense.
+     */
+    void transplantIn(std::size_t k, std::vector<BatchedNoiseModel> &home,
+                      BatchedNoiseModel &dense,
+                      const SamplerClassMap &classes) const;
+
+    /** Inverse of transplantIn. */
+    void transplantOut(std::size_t k, std::vector<BatchedNoiseModel> &home,
+                       BatchedNoiseModel &dense,
+                       const SamplerClassMap &classes) const;
+
+    /**
+     * Gather the frame bits of qubit @p home_q from chunk @p k's home
+     * lanes into the dense slots of qubit @p dense_q of @p dense.
+     */
+    void gatherRow(std::size_t k,
+                   const std::vector<quantum::BatchedPauliFrame> &home,
+                   std::size_t home_q, quantum::BatchedPauliFrame &dense,
+                   std::size_t dense_q) const;
+
+    /** Inverse of gatherRow; home lanes outside the chunk keep their
+     *  bits. */
+    void scatterRow(std::size_t k,
+                    std::vector<quantum::BatchedPauliFrame> &home,
+                    std::size_t home_q,
+                    const quantum::BatchedPauliFrame &dense,
+                    std::size_t dense_q) const;
+
+    /**
+     * OR chunk @p k's bits of @p dense_plane into the home words'
+     * planes: the plane of home word w is @p out[w * word_stride].
+     * (The stride walks per-word aggregates like GroupSyndrome.)
+     */
+    void scatterPlane(std::size_t k, std::uint64_t dense_plane,
+                      std::uint64_t *out, std::size_t word_stride) const;
+
+  private:
+    std::size_t count_ = 0;
+    /** Gathered lane refs, (word, lane)-sorted (see gatherLaneRefs). */
+    std::array<LaneRef, kMaxGroupWords * kBatchLanes> refs_;
+    std::array<LaneChunkPlan, kMaxGroupWords> plans_;
+};
+
+/**
+ * Dense replay engine for the relocated tile-schedule segments: any
+ * sparse trace segment that touches a bounded set of rows migrates
+ * through here instead of replaying nearly-empty words in place.
+ *
+ * Scratch-row layout (rows are blockLength() qubits wide):
+ *   - prep / verify-pair segments: target row [0, n), verification row
+ *     [n, 2n);
+ *   - extract segment: ancilla row [0, n), verification row [n, 2n),
+ *     data row [2n, 3n);
+ *   - level-2 network: group g's data row at [g n, (g+1) n).
  */
 class PrepRetryPool
 {
   public:
     /**
-     * @param recorder          Records the relocated prep segment (must
-     *                          be the recorder the parent traces used).
+     * @param recorder          Records the relocated segments (must be
+     *                          the recorder the parent traces used).
      * @param parent_classes    The parent experiment's class table.
      * @param shadow_of_primary Parent shadow class of each primary id.
      */
@@ -90,37 +254,82 @@ class PrepRetryPool
                        std::vector<BatchedNoiseModel> &models,
                        ExperimentStats *stats);
 
+    /**
+     * Pooled repeat syndrome extraction (the level-1 re-extraction on
+     * the lanes whose first syndrome was non-trivial): verified ancilla
+     * preparation (attempts from 1) followed by the extract round
+     * against the migrated data row at parent qubit @p data_q0. The
+     * extraction's syndrome planes are scattered into @p synd (indexed
+     * by home word; the planes of every word in @p mask are
+     * overwritten) and the updated data row is scattered back.
+     */
+    void runExtract(bool detect_x, const LaneSet &mask,
+                    std::size_t data_q0,
+                    std::vector<quantum::BatchedPauliFrame> &frames,
+                    std::vector<BatchedNoiseModel> &models,
+                    SyndromePlanes *synd, ExperimentStats *stats);
+
+    /**
+     * Pooled level-2 verification (the VerifyPair segment) of
+     * @p num_sites sites sharing one mask: per site, the verification
+     * row is encoded against the migrated data row at @p site_q0[s] and
+     * read out, and the decoded outer flip plane (inner lookup decode
+     * included) is OR-scattered into @p site_planes[word][s] at home
+     * lane positions. One transplant serves every site.
+     */
+    void runVerifySeries(bool plus, const LaneSet &mask,
+                         const std::size_t *site_q0, std::size_t num_sites,
+                         std::vector<quantum::BatchedPauliFrame> &frames,
+                         std::vector<BatchedNoiseModel> &models,
+                         std::array<std::uint64_t, 32> *site_planes);
+
+    /**
+     * Pooled level-2 encoding network over one conglomeration's
+     * @p num_rows data rows (row g at parent qubit @p row_q0[g]): the
+     * rows migrate in, the relocated network trace replays dense, the
+     * rows migrate back.
+     */
+    void runNetwork(bool plus, const LaneSet &mask,
+                    const std::size_t *row_q0, std::size_t num_rows,
+                    std::vector<quantum::BatchedPauliFrame> &frames,
+                    std::vector<BatchedNoiseModel> &models);
+
   private:
-    /** Lanes gathered for one dense batch (at most one word's worth). */
-    struct Batch
+    /**
+     * The sampler classes one pooled segment kind transplants: exactly
+     * the pool classes its traces reference (paired with the parent
+     * shadow classes of the same probability). Transplanting the full
+     * class table instead would tax every pooled prep retry with the
+     * clocks of classes only the network/extract segments sample.
+     */
+    struct SegmentClasses
     {
-        const LaneRef *refs;
-        std::size_t count;
+        std::vector<std::uint8_t> home; // parent shadow class ids
+        std::vector<std::uint8_t> dense; // pool class ids
+
+        SamplerClassMap map() const
+        {
+            return {home.data(), dense.data(), home.size()};
+        }
     };
 
-    void transplantIn(const Batch &batch,
-                      std::vector<BatchedNoiseModel> &models);
-    void transplantOut(const Batch &batch,
-                       std::vector<BatchedNoiseModel> &models);
     /** Dense retry loop of one site; pool frame rows hold the result. */
     void runAttempts(bool plus, std::uint64_t mask, int first_attempt,
                      ExperimentStats *stats);
-    void scatterRows(const Batch &batch,
-                     std::vector<quantum::BatchedPauliFrame> &frames,
-                     std::size_t role_q0) const;
-
-    void runBatch(bool plus, const Batch &batch, int first_attempt,
-                  std::vector<quantum::BatchedPauliFrame> &frames,
-                  std::vector<BatchedNoiseModel> &models,
-                  std::size_t role_q0, ExperimentStats *stats);
 
     const ecc::CssCode &code_;
-    std::size_t n_; // block length; pool rows at [0, n) and [n, 2n)
+    std::size_t n_; // block length
     int max_prep_attempts_;
     NoiseClassTable classes_;
-    std::array<FrameTrace, 2> traces_; // relocated prep round, per plus
-    /** Parent shadow class backing each pool class (same probability). */
-    std::vector<std::uint8_t> parent_cls_;
+    // Relocated segment traces, indexed by plus / detect_x.
+    std::array<FrameTrace, 2> prep_traces_;
+    std::array<FrameTrace, 2> verify_traces_;
+    std::array<FrameTrace, 2> network_traces_;
+    std::array<FrameTrace, 2> extract_traces_;
+    SegmentClasses prep_classes_;
+    SegmentClasses verify_classes_;
+    SegmentClasses network_classes_;
+    SegmentClasses extract_classes_; // prep + extract (runExtract preps)
     std::vector<BitList> x_check_bits_;
     std::vector<BitList> z_check_bits_;
     BitList logical_x_bits_;
@@ -128,8 +337,7 @@ class PrepRetryPool
     quantum::BatchedPauliFrame frame_;
     BatchedNoiseModel model_;
     std::vector<std::uint64_t> flips_;
-    /** Gathered lane refs, (word, lane)-sorted (see gatherLaneRefs). */
-    std::array<LaneRef, kMaxGroupWords * kBatchLanes> refs_;
+    SegmentPool mig_;
 };
 
 } // namespace qla::arq

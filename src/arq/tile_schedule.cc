@@ -55,4 +55,57 @@ TileRowRecorder::prepRound(FrameTraceBuilder &tb, std::size_t q0,
     verifyRound(tb, q0, verify_q0, plus);
 }
 
+void
+TileRowRecorder::verifyPair(FrameTraceBuilder &tb, std::size_t q0,
+                            std::size_t verify_q0, bool plus) const
+{
+    encodeRow(tb, verify_q0, plus);
+    verifyRound(tb, q0, verify_q0, plus);
+}
+
+void
+TileRowRecorder::extractRound(FrameTraceBuilder &tb, std::size_t data_q0,
+                              std::size_t anc_q0, bool detect_x) const
+{
+    const std::size_t n = code_.blockLength();
+    const double p_move = moveProbability(layout_.interBlockCells,
+                                          layout_.interBlockTurns);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t qd = data_q0 + i;
+        const std::size_t qa = anc_q0 + i;
+        // The ancilla ion shuttles to the data block and back.
+        if (detect_x)
+            tb.noisyCnotMeas(qd, qa, qa, p_move, noise_.gate2Error, false,
+                             noise_.measureError);
+        else
+            tb.noisyCnotMeas(qa, qd, qa, p_move, noise_.gate2Error, true,
+                             noise_.measureError);
+    }
+}
+
+void
+TileRowRecorder::l2Network(FrameTraceBuilder &tb, std::size_t q0,
+                           std::size_t group_stride, bool plus) const
+{
+    const auto &sched = code_.zeroEncoder();
+    const std::size_t n = code_.blockLength();
+    const double p_move = moveProbability(layout_.interBlockCells,
+                                          layout_.interBlockTurns);
+    for (std::size_t pivot : sched.pivots)
+        for (std::size_t i = 0; i < n; ++i)
+            tb.noisyH(q0 + pivot * group_stride + i, noise_.gate1Error);
+    for (const auto &[control, target] : sched.cnots) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t qc = q0 + control * group_stride + i;
+            const std::size_t qt = q0 + target * group_stride + i;
+            tb.noisyCnot(qc, qt, qt, p_move, noise_.gate2Error);
+        }
+    }
+    if (plus) {
+        for (std::size_t g = 0; g < n; ++g)
+            for (std::size_t i = 0; i < n; ++i)
+                tb.noisyH(q0 + g * group_stride + i, noise_.gate1Error);
+    }
+}
+
 } // namespace qla::arq

@@ -65,6 +65,34 @@ class TileRowRecorder
     void prepRound(FrameTraceBuilder &tb, std::size_t q0,
                    std::size_t verify_q0, bool plus) const;
 
+    /**
+     * The level-2 verification segment of one already-prepared row:
+     * encode the verification row at @p verify_q0, then the
+     * verification round against the row at @p q0.
+     */
+    void verifyPair(FrameTraceBuilder &tb, std::size_t q0,
+                    std::size_t verify_q0, bool plus) const;
+
+    /**
+     * One syndrome-extraction round: transversal CNOT between the data
+     * row at @p data_q0 and the (already prepared) ancilla row at
+     * @p anc_q0 with the ancilla ions shuttling the inter-block
+     * distance, followed by the ancilla readout. X-type detection when
+     * @p detect_x.
+     */
+    void extractRound(FrameTraceBuilder &tb, std::size_t data_q0,
+                      std::size_t anc_q0, bool detect_x) const;
+
+    /**
+     * The level-2 encoding network over one conglomeration's data rows:
+     * the zero-encoder schedule applied transversally across rows, row
+     * of group g based at @p q0 + g * @p group_stride. (@p group_stride
+     * lets the same recording serve the tile layout and the segment
+     * pool's contiguous scratch rows.)
+     */
+    void l2Network(FrameTraceBuilder &tb, std::size_t q0,
+                   std::size_t group_stride, bool plus) const;
+
   private:
     const ecc::CssCode &code_;
     const NoiseParameters &noise_;

@@ -116,6 +116,23 @@ class BernoulliWordSampler
     }
 
     /**
+     * exportLane from this sampler + importLane into @p dst, with the
+     * probability pairing asserted: transplanting a clock between
+     * samplers of different probabilities would silently break the
+     * determinism contract (the remaining-trials count is only
+     * meaningful against the same geometric distribution), so every
+     * migration path funnels through this check.
+     */
+    void moveLaneTo(BernoulliWordSampler &dst, std::size_t dst_lane,
+                    std::size_t src_lane)
+    {
+        qla_assert(dst.p_ == p_,
+                   "lane clock moved across probabilities ", p_, " -> ",
+                   dst.p_);
+        dst.importLane(dst_lane, exportLane(src_lane));
+    }
+
+    /**
      * One trial for every lane in @p active; returns the fired lanes.
      *
      * Inline fast path: when the active mask equals the armed mask (the

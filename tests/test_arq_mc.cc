@@ -376,6 +376,39 @@ TEST(BatchedMonteCarlo, SweepMatchesScalarSweep)
     }
 }
 
+TEST(BatchedMonteCarlo, SubThresholdChiSquareMatchesScalar)
+{
+    // Cheap sub-threshold crosscheck point so the scalar-vs-batched
+    // statistical contract runs in every ctest invocation, not only in
+    // the CI determinism-gate job: a 2x2 contingency chi-square on the
+    // level-1 failure counts of the two engines at one point below the
+    // crossing. Both runs are fixed-seed, so the test is deterministic;
+    // the 10.83 cut is the chi-square(1) 99.9% quantile, far above
+    // anything two draws from the same distribution should produce.
+    const double p = 2e-3;
+    const std::size_t shots = 12000;
+    BatchedLogicalQubitExperiment batched(ecc::steaneCode(),
+                                          NoiseParameters::swept(p));
+    LogicalQubitExperiment scalar(ecc::steaneCode(),
+                                  NoiseParameters::swept(p));
+    Rng rng(19);
+    const auto b = batched.failureRate(1, shots, 67);
+    const auto s = scalar.failureRate(1, shots, rng);
+
+    const double b1 = static_cast<double>(b.successes());
+    const double b0 = static_cast<double>(b.trials() - b.successes());
+    const double s1 = static_cast<double>(s.successes());
+    const double s0 = static_cast<double>(s.trials() - s.successes());
+    // The statistic must have power: both engines see failures here.
+    ASSERT_GT(b1, 4.0);
+    ASSERT_GT(s1, 4.0);
+    const double n = b1 + b0 + s1 + s0;
+    const double chi2 = n * (b1 * s0 - b0 * s1) * (b1 * s0 - b0 * s1)
+        / ((b1 + b0) * (s1 + s0) * (b1 + s1) * (b0 + s0));
+    EXPECT_LT(chi2, 10.83) << "batched " << b1 << "/" << b.trials()
+                           << " vs scalar " << s1 << "/" << s.trials();
+}
+
 TEST(MonteCarlo, EstimateThresholdInterpolates)
 {
     std::vector<ThresholdPoint> points(2);

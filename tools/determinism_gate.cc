@@ -10,10 +10,12 @@
  *       for every thread count (the determinism contract).
  *
  *   determinism_gate --mode spot --engine batched
- *       [--group G] [--compaction on|off] [--threads N] [--shots S]
+ *       [--group G] [--compaction on|off] [--fill F] [--threads N]
+ *       [--shots S]
  *       Single-point L1+L2 failure counts on the batched engine;
- *       identical output is required for every group width and for
- *       compaction on vs off.
+ *       identical output is required for every group width, for
+ *       compaction on vs off, and for every segment-migration fill
+ *       threshold F.
  *
  *   determinism_gate --mode spot --engine scalar [--shots S]
  *       The scalar reference engine's counts (self-reproducibility).
@@ -60,13 +62,14 @@ runSweep(int threads, std::size_t shots)
 }
 
 int
-runSpotBatched(std::size_t group, bool compaction, int threads,
-               std::size_t shots)
+runSpotBatched(std::size_t group, bool compaction, double fill,
+               int threads, std::size_t shots)
 {
     McRunOptions options;
     options.threads = threads;
     options.batch.groupWords = group;
     options.batch.laneCompaction = compaction;
+    options.batch.migrationFillThreshold = fill;
     for (const int level : {1, 2}) {
         ExperimentStats stats;
         const auto rate = runLogicalExperiment(
@@ -138,6 +141,7 @@ main(int argc, char **argv)
     std::size_t shots = 4000;
     std::size_t group = 16;
     bool compaction = true;
+    double fill = BatchOptions{}.migrationFillThreshold;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -160,6 +164,8 @@ main(int argc, char **argv)
             group = std::strtoull(next(), nullptr, 10);
         else if (arg == "--compaction")
             compaction = std::strcmp(next(), "off") != 0;
+        else if (arg == "--fill")
+            fill = std::atof(next());
         else {
             std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
             return 2;
@@ -171,7 +177,7 @@ main(int argc, char **argv)
     if (mode == "spot")
         return engine == "scalar"
             ? runSpotScalar(shots)
-            : runSpotBatched(group, compaction, threads, shots);
+            : runSpotBatched(group, compaction, fill, threads, shots);
     if (mode == "crosscheck")
         return runCrosscheck(shots);
     std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
