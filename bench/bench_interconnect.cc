@@ -1,0 +1,244 @@
+/**
+ * @file
+ * System-layer interconnect benchmarks (google-benchmark), consolidating
+ * the former printf drivers for experiments E3 (Figure 9: connection
+ * time vs distance), E7 (Section-5 scheduler bandwidth sweep) and E10
+ * (communication ablation), and adding the logical-program
+ * co-simulation pipeline (circuit -> placement -> event-driven
+ * scheduler). Every benchmark reports its paper-facing quantities as
+ * counters, so the `--json` snapshot (BENCH_interconnect.json) both
+ * tracks throughput regressions via scripts/compare_bench.py and
+ * records the reproduced Section-4.2/5 numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/qcla.h"
+#include "apps/qft.h"
+#include "apps/shor.h"
+#include "apps/toffoli.h"
+#include "common/tech_params.h"
+#include "network/cosim.h"
+#include "network/scheduler.h"
+#include "teleport/connection_model.h"
+
+#include "gbench_json_main.h"
+
+using namespace qla;
+
+//
+// E3 -- Figure 9: repeater connection planning over distance, per
+// island separation. Counters record the paper's headline points.
+//
+
+static void
+BM_Fig9ConnectionSweep(benchmark::State &state)
+{
+    const teleport::RepeaterChain chain{teleport::RepeaterConfig{}};
+    const Cells separation = state.range(0);
+    double time_at_6000 = 0.0;
+    std::uint64_t feasible = 0;
+    for (auto _ : state) {
+        feasible = 0;
+        for (Cells distance = 2000; distance <= 30000; distance += 1000) {
+            const auto plan = chain.plan(distance, separation);
+            benchmark::DoNotOptimize(plan);
+            if (plan.feasible)
+                ++feasible;
+            if (distance == 6000)
+                time_at_6000 = plan.connectionTime;
+        }
+    }
+    state.counters["time_at_6000_cells_s"] = time_at_6000;
+    state.counters["feasible_distances"] =
+        static_cast<double>(feasible);
+}
+BENCHMARK(BM_Fig9ConnectionSweep)
+    ->Arg(35)->Arg(100)->Arg(350)->Arg(1000);
+
+static void
+BM_Fig9CrossoverSearch(benchmark::State &state)
+{
+    const teleport::RepeaterChain chain{teleport::RepeaterConfig{}};
+    std::optional<Cells> crossover;
+    for (auto _ : state) {
+        crossover = teleport::crossoverDistance(chain, 100, 350, 2000,
+                                                30000, 500);
+        benchmark::DoNotOptimize(crossover);
+    }
+    // Paper: ~6000 cells.
+    state.counters["crossover_cells"] =
+        crossover ? static_cast<double>(*crossover) : -1.0;
+}
+BENCHMARK(BM_Fig9CrossoverSearch);
+
+//
+// E10 -- communication ablation baselines.
+//
+
+static void
+BM_AblationCommBaselines(benchmark::State &state)
+{
+    const auto tech = TechnologyParameters::expected();
+    const teleport::RepeaterConfig config;
+    const teleport::RepeaterChain chain(config);
+    const Cells distance = state.range(0);
+    double ballistic_error = 0.0, naive_infidelity = 0.0,
+           repeater_error = 0.0;
+    for (auto _ : state) {
+        ballistic_error = teleport::ballisticErrorProbability(tech,
+                                                              distance);
+        naive_infidelity = teleport::simplisticTeleportInfidelity(
+            config, distance);
+        const auto best = teleport::bestSeparation(
+            chain, teleport::figure9Separations(), distance);
+        if (best) {
+            const auto plan = chain.plan(distance, *best);
+            repeater_error = 1.0 - plan.finalFidelity;
+        }
+        benchmark::DoNotOptimize(repeater_error);
+    }
+    state.counters["ballistic_error"] = ballistic_error;
+    state.counters["single_epr_infidelity"] = naive_infidelity;
+    state.counters["repeater_error"] = repeater_error;
+}
+BENCHMARK(BM_AblationCommBaselines)->Arg(1000)->Arg(6000)->Arg(30000);
+
+//
+// E7 -- synthetic Section-5 scheduler: bandwidth sweep over the
+// random-placement Toffoli workload.
+//
+
+static void
+BM_SyntheticSchedulerBandwidth(benchmark::State &state)
+{
+    network::SchedulerConfig sc;
+    sc.bandwidth = static_cast<int>(state.range(0));
+    network::WorkloadConfig wc;
+    wc.totalWindows = 150;
+    network::SchedulerReport report;
+    for (auto _ : state) {
+        report = network::GreedyEprScheduler(sc, wc).run();
+        benchmark::DoNotOptimize(report);
+    }
+    state.counters["utilization"] = report.utilization;
+    state.counters["stalled_demands"] =
+        static_cast<double>(report.stalledDemands);
+    state.counters["windows_per_s"] = benchmark::Counter(
+        static_cast<double>(report.windows),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SyntheticSchedulerBandwidth)->DenseRange(1, 4);
+
+//
+// The logical-program co-simulation pipeline: lower a real circuit onto
+// the island mesh and execute computation + communication together.
+// items_per_second reports simulated EC windows per wall second.
+//
+
+namespace {
+
+void
+runCoSimBench(benchmark::State &state,
+              const network::ProgramWorkload &program, int bandwidth)
+{
+    network::CoSimConfig config;
+    config.bandwidth = bandwidth;
+    network::CoSimReport report;
+    for (auto _ : state) {
+        network::ProgramCoSimulator simulator(program, config);
+        report = simulator.run();
+        benchmark::DoNotOptimize(report);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * static_cast<std::int64_t>(report.windows));
+    state.counters["windows"] = static_cast<double>(report.windows);
+    state.counters["critical_windows"] =
+        static_cast<double>(report.criticalPathWindows);
+    state.counters["stall_windows"] =
+        static_cast<double>(report.stallWindows);
+    state.counters["utilization"] = report.utilization;
+}
+
+} // namespace
+
+static void
+BM_CoSimQcla128(benchmark::State &state)
+{
+    const network::ProgramWorkload program(apps::qclaAdderCircuit(128));
+    runCoSimBench(state, program, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_CoSimQcla128)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+static void
+BM_CoSimToffoliNetwork(benchmark::State &state)
+{
+    const network::ProgramWorkload program(
+        apps::toffoliNetworkCircuit(60, 42));
+    runCoSimBench(state, program, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_CoSimToffoliNetwork)
+    ->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+static void
+BM_CoSimBandedQft(benchmark::State &state)
+{
+    const network::ProgramWorkload program(
+        apps::bandedQftCircuit(128, apps::qftBandWidth(128)));
+    runCoSimBench(state, program, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_CoSimBandedQft)
+    ->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+static void
+BM_CoSimSweepThreads(benchmark::State &state)
+{
+    // The (workload x bandwidth x seed) sweep on the shot scheduler;
+    // results are bit-identical for every thread count (determinism
+    // gate), so this only measures scaling.
+    std::vector<network::ProgramWorkload> workloads;
+    workloads.emplace_back(apps::toffoliNetworkCircuit(27, 21));
+    workloads.emplace_back(apps::qclaAdderCircuit(32));
+    network::CoSimSweepConfig sweep;
+    sweep.bandwidths = {1, 2, 4};
+    sweep.seeds = {1, 2, 3};
+    sweep.base.placement = network::PlacementStrategy::Random;
+    sweep.threads = static_cast<int>(state.range(0));
+    std::size_t points = 0;
+    for (auto _ : state) {
+        const auto result = network::runCoSimSweep(workloads, sweep);
+        points = result.size();
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations())
+                            * static_cast<std::int64_t>(points));
+}
+BENCHMARK(BM_CoSimSweepThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+static void
+BM_ShorCoSimValidation(benchmark::State &state)
+{
+    // The full closed-form-vs-executed-schedule validation at N = 128.
+    apps::ShorCoSimValidation validation;
+    for (auto _ : state) {
+        validation = apps::validateShorAgainstCoSim(
+            static_cast<std::uint64_t>(state.range(0)));
+        benchmark::DoNotOptimize(validation);
+    }
+    state.counters["ratio_x1000"] = validation.ratio * 1000.0;
+    state.counters["windows_per_toffoli"] =
+        validation.measuredWindowsPerToffoli;
+    state.counters["stall_windows"] =
+        static_cast<double>(validation.blockReport.stallWindows);
+}
+BENCHMARK(BM_ShorCoSimValidation)
+    ->Arg(128)->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    return runGoogleBenchmarkMain(argc, argv);
+}

@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "apps/qcla.h"
+#include "network/cosim.h"
 #include "network/scheduler.h"
 #include "teleport/connection_model.h"
 
@@ -72,6 +74,27 @@ main(int argc, char **argv)
         std::printf("bandwidth %d: %s, utilization %.1f%%\n", bandwidth,
                     report.fullyOverlapped() ? "fully overlapped"
                                              : "stalls computation",
+                    100.0 * report.utilization);
+    }
+
+    // And the same question asked of a *real program*: lower a 64-bit
+    // carry-lookahead adder onto the island mesh and co-simulate
+    // computation and communication event-driven.
+    std::printf("\n== co-simulated 64-bit QCLA adder ==\n");
+    const network::ProgramWorkload program(apps::qclaAdderCircuit(64));
+    for (int bandwidth : {1, 2}) {
+        network::CoSimConfig config;
+        config.bandwidth = bandwidth;
+        network::ProgramCoSimulator simulator(program, config);
+        const auto report = simulator.run();
+        std::printf("bandwidth %d: %llu EC windows (critical path "
+                    "%llu), %llu gate-window stalls, utilization "
+                    "%.1f%%\n",
+                    bandwidth,
+                    static_cast<unsigned long long>(report.windows),
+                    static_cast<unsigned long long>(
+                        report.criticalPathWindows),
+                    static_cast<unsigned long long>(report.stallWindows),
                     100.0 * report.utilization);
     }
     return 0;

@@ -39,6 +39,117 @@ rippleAdderQubits(std::size_t n)
     return 2 * n + 1; // a, b, and one running carry
 }
 
+namespace {
+
+/** floor(log2 n); 0 for n == 1. */
+std::uint64_t
+log2Floor(std::uint64_t n)
+{
+    qla_assert(n >= 1);
+    return 63 - std::countl_zero(n);
+}
+
+/**
+ * Propagate-tree shape for the DKRS carry-lookahead adder: level t
+ * (1 <= t <= L-1) holds nodes m = 1 .. floor(n/2^t) - 1, each the AND of
+ * its two children on level t-1; level 0 lives in the b register (the
+ * per-bit propagate p[i] = a[i] xor b[i]).
+ */
+struct PropagateTree
+{
+    explicit PropagateTree(std::size_t n)
+        : levels(log2Floor(n))
+    {
+        std::size_t next = 0;
+        offset.assign(levels + 1, 0);
+        count.assign(levels + 1, 0);
+        for (std::size_t t = 1; t < levels; ++t) {
+            const std::size_t nodes = (n >> t) - 1;
+            offset[t] = next;
+            count[t] = nodes;
+            next += nodes;
+        }
+        size = next;
+    }
+
+    std::size_t levels; ///< L = floor(log2 n); tree levels are 1..L-1.
+    std::size_t size;   ///< Total ancilla qubits in the tree.
+    std::vector<std::size_t> offset;
+    std::vector<std::size_t> count;
+};
+
+} // namespace
+
+std::size_t
+qclaAdderQubits(std::size_t n)
+{
+    qla_assert(n >= 1, "empty adder");
+    return 3 * n + 1 + PropagateTree(n).size;
+}
+
+circuit::QuantumCircuit
+qclaAdderCircuit(std::size_t n)
+{
+    qla_assert(n >= 1, "empty adder");
+    const PropagateTree tree(n);
+    const std::size_t L = tree.levels;
+    circuit::QuantumCircuit c(qclaAdderQubits(n), "qcla-adder");
+    const auto qa = [](std::size_t i) { return i; };
+    const auto qb = [n](std::size_t i) { return n + i; };
+    const auto qs = [n](std::size_t i) { return 2 * n + i; };
+    // P[t][m]: level-0 nodes are the b register (holding p after the
+    // CNOT layer); levels 1..L-1 are tree ancillas.
+    const auto qp = [&](std::size_t t, std::size_t m) {
+        if (t == 0)
+            return qb(m);
+        qla_assert(t < tree.offset.size() && m >= 1
+                       && m <= tree.count[t],
+                   "propagate node out of range");
+        return 3 * n + 1 + tree.offset[t] + (m - 1);
+    };
+
+    // 1. Generate: s[i+1] ^= a[i] b[i]. 2. Propagate: b[i] ^= a[i].
+    for (std::size_t i = 0; i < n; ++i)
+        c.toffoli(qa(i), qb(i), qs(i + 1));
+    for (std::size_t i = 0; i < n; ++i)
+        c.cnot(qa(i), qb(i));
+
+    // 3. P-rounds: P[t][m] = P[t-1][2m] AND P[t-1][2m+1].
+    for (std::size_t t = 1; t < L; ++t)
+        for (std::size_t m = 1; m < (n >> t); ++m)
+            c.toffoli(qp(t - 1, 2 * m), qp(t - 1, 2 * m + 1),
+                      qp(t, m));
+
+    // 4. G-rounds: s[2^t m + 2^t] ^= s[2^t m + 2^(t-1)] P[t-1][2m+1].
+    for (std::size_t t = 1; t <= L; ++t) {
+        const std::size_t span = std::size_t{1} << t;
+        for (std::size_t m = 0; m < (n >> t); ++m)
+            c.toffoli(qs(span * m + span / 2), qp(t - 1, 2 * m + 1),
+                      qs(span * m + span));
+    }
+
+    // 5. C-rounds: s[2^t m + 2^(t-1)] ^= s[2^t m] P[t-1][2m].
+    for (std::size_t t = L; t >= 1; --t) {
+        const std::size_t span = std::size_t{1} << t;
+        for (std::size_t m = 1; span * m + span / 2 <= n; ++m)
+            c.toffoli(qs(span * m), qp(t - 1, 2 * m),
+                      qs(span * m + span / 2));
+    }
+
+    // 6. Inverse P-rounds: restore the tree ancillas to |0>.
+    for (std::size_t t = L; t-- > 1;)
+        for (std::size_t m = (n >> t); m-- > 1;)
+            c.toffoli(qp(t - 1, 2 * m), qp(t - 1, 2 * m + 1),
+                      qp(t, m));
+
+    // 7. Sum: s[i] ^= p[i]. 8. Restore b.
+    for (std::size_t i = 0; i < n; ++i)
+        c.cnot(qb(i), qs(i));
+    for (std::size_t i = 0; i < n; ++i)
+        c.cnot(qa(i), qb(i));
+    return c;
+}
+
 circuit::QuantumCircuit
 rippleAdderCircuit(std::size_t n)
 {

@@ -49,6 +49,24 @@ circuit::QuantumCircuit rippleAdderCircuit(std::size_t n);
 /** Total qubits used by rippleAdderCircuit(n). */
 std::size_t rippleAdderQubits(std::size_t n);
 
+/**
+ * Build the *actual* n-bit quantum carry-lookahead adder circuit of
+ * Draper, Kutin, Rains & Svore (quant-ph/0406142, out-of-place variant):
+ * |a>|b>|0...> -> |a>|b>|a + b>, with the sum in an (n+1)-bit register
+ * and a Brent-Kung propagate tree in scratch ancillas (restored to 0).
+ *
+ * Register layout: a[i] at i, b[i] at n + i, s[i] at 2n + i for
+ * i <= n, then the propagate-tree ancillas. Toffoli depth is
+ * Theta(log n) -- the paper's "4 log2 n" critical path -- versus
+ * Theta(n) for rippleAdderCircuit; this is the circuit the logical
+ * co-simulation lowers onto the island mesh to measure the Table-2
+ * latency model against an executed schedule.
+ */
+circuit::QuantumCircuit qclaAdderCircuit(std::size_t n);
+
+/** Total qubits used by qclaAdderCircuit(n). */
+std::size_t qclaAdderQubits(std::size_t n);
+
 } // namespace qla::apps
 
 #endif // QLA_APPS_QCLA_H

@@ -1,0 +1,34 @@
+#include "apps/qft.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace qla::apps {
+
+std::size_t
+qftBandWidth(std::size_t n, std::size_t offset)
+{
+    qla_assert(n >= 1);
+    const std::size_t log2n = n <= 1
+        ? 0
+        : static_cast<std::size_t>(
+              64 - std::countl_zero(static_cast<std::uint64_t>(n - 1)));
+    return log2n + offset;
+}
+
+circuit::QuantumCircuit
+bandedQftCircuit(std::size_t n, std::size_t band)
+{
+    qla_assert(n >= 1, "empty QFT");
+    qla_assert(band >= 1, "bandless QFT has no interactions");
+    circuit::QuantumCircuit c(n, "banded-qft");
+    for (std::size_t i = 0; i < n; ++i) {
+        c.h(i);
+        for (std::size_t j = i + 1; j < n && j - i <= band; ++j)
+            c.cz(j, i);
+    }
+    return c;
+}
+
+} // namespace qla::apps

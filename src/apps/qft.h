@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Banded (approximate) quantum Fourier transform circuit generator.
+ *
+ * The paper's Shor evaluation ends modular exponentiation with a banded
+ * QFT: each qubit interacts only with its nearest log2 N + 6 neighbors,
+ * because smaller controlled rotations fall below the fault-tolerant
+ * approximation threshold (paper Section 5; Barenco et al.'s approximate
+ * QFT). The interconnect study only cares about the *communication
+ * pattern* -- which logical-qubit pairs interact in which layer -- so
+ * the banded controlled rotations are emitted as CZ ops: one transversal
+ * two-qubit interaction each, the same EPR-pair footprint as the exact
+ * rotation, without dragging non-Clifford phases into the IR.
+ */
+
+#ifndef QLA_APPS_QFT_H
+#define QLA_APPS_QFT_H
+
+#include <cstdint>
+
+#include "circuit/circuit.h"
+
+namespace qla::apps {
+
+/** Band width the paper uses for an n-bit QFT: log2 n + @p offset. */
+std::size_t qftBandWidth(std::size_t n, std::size_t offset = 6);
+
+/**
+ * Build the banded QFT on @p n qubits: for each qubit i, an H followed
+ * by controlled rotations (emitted as CZ) onto the next @p band qubits.
+ * With band >= n - 1 this is the exact QFT's interaction pattern.
+ */
+circuit::QuantumCircuit bandedQftCircuit(std::size_t n, std::size_t band);
+
+} // namespace qla::apps
+
+#endif // QLA_APPS_QFT_H

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "apps/qcla.h"
 #include "common/logging.h"
 
 namespace qla::apps {
@@ -141,6 +142,48 @@ ShorResourceModel::estimate(std::uint64_t bits,
     out.expectedTime = out.singleRunTime * config_.expectedRepetitions;
     out.computationSize = static_cast<double>(out.eccSteps)
         * static_cast<double>(out.logicalQubits);
+    return out;
+}
+
+ShorCoSimValidation
+validateShorAgainstCoSim(std::uint64_t bits,
+                         const ShorResourceModel &model,
+                         network::CoSimConfig cosim)
+{
+    qla_assert(bits >= 2, "block too small");
+    ShorCoSimValidation out;
+    out.bits = bits;
+
+    network::ProgramConfig program_config;
+    program_config.toffoli = model.config().toffoli;
+    const network::ProgramWorkload block(
+        qclaAdderCircuit(static_cast<std::size_t>(bits)),
+        program_config);
+    const auto critical = block.criticalPath();
+    out.blockCriticalWindows = critical.windows;
+    out.blockCriticalToffolis = critical.toffolis;
+    qla_assert(critical.toffolis > 0, "QCLA block has no Toffolis");
+
+    cosim.window = model.config().eccCycleTime;
+    network::ProgramCoSimulator simulator(block, cosim);
+    out.blockReport = simulator.run();
+    out.measuredWindowsPerToffoli =
+        static_cast<double>(out.blockReport.windows)
+        / static_cast<double>(critical.toffolis);
+
+    // MExp structure: the run time is dominated by the critical-path
+    // Toffoli count; charge each what the executed schedule measured
+    // instead of the closed form's 21 EC steps, keep the QFT tail.
+    const arch::QlaChipModel chip;
+    const ShorResources row = model.estimate(bits, chip);
+    out.closedFormRunTime = row.singleRunTime;
+    const double toffoli_windows =
+        static_cast<double>(model.toffoliGates(bits))
+        * out.measuredWindowsPerToffoli;
+    out.extrapolatedRunTime =
+        (toffoli_windows + static_cast<double>(model.qftEccSteps(bits)))
+        * model.config().eccCycleTime;
+    out.ratio = out.extrapolatedRunTime / out.closedFormRunTime;
     return out;
 }
 

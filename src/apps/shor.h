@@ -34,6 +34,7 @@
 #include "apps/toffoli.h"
 #include "arch/chip.h"
 #include "common/units.h"
+#include "network/cosim.h"
 
 namespace qla::apps {
 
@@ -122,6 +123,50 @@ class ShorResourceModel
     double tot_b_ = 0.0;
     double tot_c_ = 0.0;
 };
+
+/**
+ * Closed-form-versus-executed-schedule validation of Table 2.
+ *
+ * The Table-2 latency model is closed form: 21 EC steps per
+ * critical-path Toffoli plus the banded-QFT tail. The co-simulation
+ * (network/cosim.h) actually *executes* an N-bit QCLA block over the
+ * teleportation interconnect, so the measured makespan per
+ * critical-path Toffoli can replace the 21-step assumption and be
+ * extrapolated through the MExp structure: any gap between
+ * `extrapolatedRunTime` and `closedFormRunTime` is exactly the cost of
+ * communication stalls and non-Toffoli critical-path windows that the
+ * closed form abstracts away.
+ */
+struct ShorCoSimValidation
+{
+    std::uint64_t bits = 0;
+    /** Executed QCLA-block schedule. */
+    network::CoSimReport blockReport;
+    /** Critical-path decomposition of the block. */
+    std::uint64_t blockCriticalWindows = 0;
+    std::uint64_t blockCriticalToffolis = 0;
+    /** Measured EC windows charged per critical-path Toffoli. */
+    double measuredWindowsPerToffoli = 0.0;
+    /** Table-2 closed form (21 windows per Toffoli). */
+    Seconds closedFormRunTime = 0.0;
+    /** MExp extrapolation with the measured per-Toffoli charge. */
+    Seconds extrapolatedRunTime = 0.0;
+    /** extrapolatedRunTime / closedFormRunTime. */
+    double ratio = 0.0;
+};
+
+/**
+ * Run the N = @p bits QCLA adder block through the co-simulation under
+ * @p cosim (mesh auto-sized when 0) and extrapolate per the MExp
+ * structure of @p model. @p cosim's window length is overridden with
+ * the model's eccCycleTime -- the comparison is only meaningful when
+ * both sides charge the same EC period -- so vary
+ * ShorModelConfig::eccCycleTime, not CoSimConfig::window, to study
+ * window-length sensitivity.
+ */
+ShorCoSimValidation validateShorAgainstCoSim(
+    std::uint64_t bits, const ShorResourceModel &model = ShorResourceModel{},
+    network::CoSimConfig cosim = {});
 
 } // namespace qla::apps
 

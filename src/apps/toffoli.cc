@@ -1,3 +1,18 @@
-// ToffoliGadget is header-only; this translation unit anchors the
-// library target.
 #include "apps/toffoli.h"
+
+#include "common/logging.h"
+
+namespace qla::apps {
+
+circuit::QuantumCircuit
+toffoliNetworkCircuit(std::size_t qubits, std::size_t layers)
+{
+    qla_assert(qubits >= 3, "Toffoli network needs at least 3 qubits");
+    circuit::QuantumCircuit c(qubits, "toffoli-network");
+    for (std::size_t l = 0; l < layers; ++l)
+        for (std::size_t q = l % 3; q + 2 < qubits; q += 3)
+            c.toffoli(q, q + 1, q + 2);
+    return c;
+}
+
+} // namespace qla::apps

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "circuit/circuit.h"
 #include "common/units.h"
 
 namespace qla::apps {
@@ -57,6 +58,18 @@ struct ToffoliGadget
         return operandQubits + ancillaQubits;
     }
 };
+
+/**
+ * Deterministic brickwork Toffoli network: @p layers layers over
+ * @p qubits wires, layer l placing Toffoli(q, q+1, q+2) on every third
+ * wire starting at l mod 3. Consecutive layers shift by one wire, so
+ * every logical qubit interacts with both neighbors over three layers --
+ * the dense local-interaction stress workload the paper's scheduler
+ * study runs ("our implementation of the Toffoli gate"), here as a real
+ * circuit the co-simulation lowers onto the mesh.
+ */
+circuit::QuantumCircuit toffoliNetworkCircuit(std::size_t qubits,
+                                              std::size_t layers);
 
 } // namespace qla::apps
 

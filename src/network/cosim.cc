@@ -1,0 +1,582 @@
+#include "network/cosim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "sim/shot_scheduler.h"
+
+namespace qla::network {
+
+namespace {
+
+/** One unsatisfied EPR demand of an active gate. */
+struct PendingDemand
+{
+    std::size_t gate = 0;
+    int relWindow = 0;    ///< Gate-relative window consuming the pairs.
+    std::size_t slot = 0; ///< Demand index within that window.
+    EprDemand demand;     ///< .pairs holds the *remaining* pairs.
+    int age = 0;
+    /** Routing priority key, refreshed each window before sorting. */
+    int urgency = 0;
+};
+
+/** A gate occupying its operands (and gadget ancilla tiles). */
+struct ActiveGate
+{
+    std::size_t id = 0;
+    /** False while pre-activated: dependencies are in their final
+     *  prefetch windows, so EPR demands are already being routed ("EPR
+     *  pairs are prefetched while the consuming qubits are still in
+     *  error correction") but no computation windows commit yet. */
+    bool started = false;
+    int progress = 0;   ///< Windows committed so far.
+    int emittedUpTo = 0; ///< Relative windows with demands issued.
+    bool stalledEver = false;
+    /** Successors were told this gate is in its final prefetch span. */
+    bool nearDoneNotified = false;
+    /** Pending mesh demands per emitted relative window. */
+    std::vector<int> undeliveredFor;
+    /** Interactions per emitted relative window (drift applies when the
+     *  window commits). */
+    std::vector<std::vector<MemberInteraction>> interactionsFor;
+    std::vector<EntityId> ancillas;
+};
+
+/**
+ * The per-run engine: owns all mutable co-simulation state and the
+ * window event chain.
+ */
+class CoSimEngine
+{
+  public:
+    CoSimEngine(const ProgramWorkload &program, const CoSimConfig &config,
+                const MeshExtent &extent, const WindowProbeFn &probe)
+        : program_(program), config_(config), probe_(probe),
+          mesh_(extent.width, extent.height, config.bandwidth,
+                slotsForWindow()),
+          router_(config.detourRadius),
+          placement_(extent.width, extent.height,
+                     program.config().tilesPerIslandX),
+          deps_remaining_(program.gates().size())
+    {
+        // Spread the data qubits out so every neighborhood keeps free
+        // tiles for gadget-ancilla blocks and drift (capped: scattering
+        // them over a huge mesh would stretch data-data routes).
+        const int stride = static_cast<int>(std::clamp<std::size_t>(
+            placement_.totalTiles()
+                / std::max<std::size_t>(1,
+                                        program_.circuit().numQubits()),
+            1,
+            2 * static_cast<std::size_t>(
+                    program.config().tilesPerIslandX)));
+        placeProgramQubits(placement_, program_.circuit(),
+                           config_.placement, Rng(config_.seed), stride);
+        far_deps_.resize(program_.gates().size());
+        for (std::size_t i = 0; i < program_.gates().size(); ++i) {
+            deps_remaining_[i] = program_.gates()[i].dependencyCount;
+            far_deps_[i] = deps_remaining_[i];
+            if (deps_remaining_[i] == 0)
+                ready_.push_back(i);
+        }
+        warmup_remaining_ = std::max(0, config_.prefetchWindows);
+    }
+
+    CoSimReport run()
+    {
+        report_.criticalPathWindows = program_.criticalPathWindows();
+        if (program_.gates().empty()) {
+            report_.completed = true;
+            return report_;
+        }
+        events_.schedule(0.0, [this] { onWindowBoundary(); });
+        events_.run();
+        report_.windows = mesh_.windowsElapsed()
+            - report_.warmupWindows;
+        report_.makespan = static_cast<double>(report_.windows)
+            * config_.window;
+        report_.utilization = mesh_.aggregateUtilization();
+        report_.backoffReroutes = route_stats_.backoffReroutes;
+        report_.averageRouteLength = routed_count_
+            ? route_length_sum_ / static_cast<double>(routed_count_)
+            : 0.0;
+        return report_;
+    }
+
+  private:
+    std::uint64_t slotsForWindow() const
+    {
+        SchedulerConfig sc;
+        sc.window = config_.window;
+        sc.purifiedPairServiceTime = config_.purifiedPairServiceTime;
+        return slotsPerChannel(sc);
+    }
+
+    EntityId entityOf(const ActiveGate &g, const GateMember &m) const
+    {
+        if (m.isAncilla)
+            return g.ancillas[m.index];
+        return program_.gates()[g.id].qubits[m.index];
+    }
+
+    /** Every window boundary: start, emit, route, then same-instant
+     *  gate-advance events (FIFO keeps gate order) and a window-close
+     *  event that advances the mesh clock and schedules the successor
+     *  boundary. */
+    void onWindowBoundary()
+    {
+        if (warmup_remaining_ > 0) {
+            // Initialization overlap: the initially ready gates'
+            // demands prefetch while the logical qubits are still
+            // being encoded -- routing-only windows, no computation.
+            preActivateReady();
+        } else {
+            startReadyGates();
+            preActivateImminent();
+        }
+        emitDemands();
+        routeWindow();
+        if (warmup_remaining_ == 0) {
+            for (const ActiveGate &g : active_) {
+                if (!g.started)
+                    continue;
+                const std::size_t id = g.id;
+                events_.schedule(events_.now(),
+                                 [this, id] { advanceGate(id); });
+            }
+        }
+        events_.schedule(events_.now(), [this] { closeWindow(); });
+    }
+
+    /** Warmup variant of startReadyGates: pre-activate the ready gates
+     *  (demands flow, computation does not start) and keep them ready. */
+    void preActivateReady()
+    {
+        for (const std::size_t id : ready_) {
+            if (isActive(id))
+                continue;
+            const LogicalGate &gate = program_.gates()[id];
+            ActiveGate active;
+            active.id = id;
+            if (gate.ancillaCount > 0
+                && !allocateAncillas(gate, active.ancillas))
+                continue; // retried next window
+            insertActive(std::move(active));
+        }
+    }
+
+    /** Position of gate @p id in the id-sorted active_ vector (or the
+     *  insertion point when absent). The single place that encodes the
+     *  ordering invariant. */
+    std::vector<ActiveGate>::iterator lowerBoundById(std::size_t id)
+    {
+        return std::lower_bound(
+            active_.begin(), active_.end(), id,
+            [](const ActiveGate &g, std::size_t v) { return g.id < v; });
+    }
+
+    bool isActive(std::size_t id)
+    {
+        const auto it = lowerBoundById(id);
+        return it != active_.end() && it->id == id;
+    }
+
+    void startReadyGates()
+    {
+        std::vector<std::size_t> still_ready;
+        for (const std::size_t id : ready_) {
+            if (isActive(id)) {
+                // Pre-activated while its dependencies finished: the
+                // demands are in flight; computation starts now.
+                ActiveGate &g = gateById(id);
+                g.started = true;
+                notifyIfNearDone(g);
+                continue;
+            }
+            const LogicalGate &gate = program_.gates()[id];
+            ActiveGate active;
+            active.id = id;
+            active.started = true;
+            if (gate.ancillaCount > 0
+                && !allocateAncillas(gate, active.ancillas)) {
+                // The gate is runnable but the mesh has no room for
+                // its gadget ancillas: a stall, charged to its own
+                // ledger so undersized meshes are diagnosable.
+                ++report_.allocationStallWindows;
+                still_ready.push_back(id); // retry next window
+                continue;
+            }
+            insertActive(std::move(active));
+            notifyIfNearDone(gateById(id));
+        }
+        ready_ = std::move(still_ready);
+    }
+
+    void insertActive(ActiveGate gate)
+    {
+        active_.insert(lowerBoundById(gate.id), std::move(gate));
+    }
+
+    /** Gates whose every dependency is inside its final prefetch
+     *  windows pre-activate: their EPR demands start routing before the
+     *  gate itself can run. */
+    void preActivateImminent()
+    {
+        if (config_.prefetchWindows <= 0)
+            return;
+        std::vector<std::size_t> retry;
+        std::sort(imminent_.begin(), imminent_.end());
+        for (const std::size_t id : imminent_) {
+            if (isActive(id) || deps_remaining_[id] == 0)
+                continue; // started (or about to) through the ready path
+            const LogicalGate &gate = program_.gates()[id];
+            ActiveGate active;
+            active.id = id;
+            if (gate.ancillaCount > 0
+                && !allocateAncillas(gate, active.ancillas)) {
+                retry.push_back(id);
+                continue;
+            }
+            insertActive(std::move(active));
+        }
+        imminent_ = std::move(retry);
+    }
+
+    /** Called when @p g starts or commits a window: once its remaining
+     *  windows fit inside the prefetch horizon, successors may begin
+     *  prefetching their own pairs. */
+    void notifyIfNearDone(ActiveGate &g)
+    {
+        if (g.nearDoneNotified || config_.prefetchWindows <= 0)
+            return;
+        const int remaining =
+            program_.gates()[g.id].durationWindows - g.progress;
+        if (remaining > config_.prefetchWindows)
+            return;
+        g.nearDoneNotified = true;
+        for (const std::size_t s : program_.gates()[g.id].successors)
+            if (--far_deps_[s] == 0 && deps_remaining_[s] > 0)
+                imminent_.push_back(s);
+    }
+
+    /** Allocate the gadget's ancilla tiles next to its target operand;
+     *  all-or-nothing. */
+    bool allocateAncillas(const LogicalGate &gate,
+                          std::vector<EntityId> &out)
+    {
+        // Anchor at the operand centroid: finish-phase interactions
+        // couple every operand to the ancilla block, so the worst
+        // operand distance is what stalls gates with far-apart operands.
+        TileCoord anchor{0, 0};
+        for (const std::size_t q : gate.qubits) {
+            const TileCoord t = placement_.tileOf(q);
+            anchor.x += t.x;
+            anchor.y += t.y;
+        }
+        anchor.x /= static_cast<int>(gate.qubits.size());
+        anchor.y /= static_cast<int>(gate.qubits.size());
+        for (int i = 0; i < gate.ancillaCount; ++i) {
+            const auto tile = placement_.nearestFree(anchor);
+            if (!tile) {
+                for (const EntityId e : out)
+                    releaseAncilla(e);
+                out.clear();
+                return false;
+            }
+            const EntityId entity = acquireAncillaEntity();
+            placement_.assign(entity, *tile);
+            out.push_back(entity);
+        }
+        return true;
+    }
+
+    EntityId acquireAncillaEntity()
+    {
+        if (!free_ancilla_slots_.empty()) {
+            std::pop_heap(free_ancilla_slots_.begin(),
+                          free_ancilla_slots_.end(),
+                          std::greater<>{});
+            const std::size_t slot = free_ancilla_slots_.back();
+            free_ancilla_slots_.pop_back();
+            return program_.circuit().numQubits() + slot;
+        }
+        return program_.circuit().numQubits() + next_ancilla_slot_++;
+    }
+
+    void releaseAncilla(EntityId entity)
+    {
+        placement_.release(entity);
+        const std::size_t slot = entity - program_.circuit().numQubits();
+        free_ancilla_slots_.push_back(slot);
+        std::push_heap(free_ancilla_slots_.begin(),
+                       free_ancilla_slots_.end(), std::greater<>{});
+    }
+
+    void emitDemands()
+    {
+        for (ActiveGate &g : active_) {
+            const int duration =
+                program_.gates()[g.id].durationWindows;
+            const int horizon = std::min(
+                duration, g.progress + 1 + config_.prefetchWindows);
+            while (g.emittedUpTo < horizon) {
+                const int rel = g.emittedUpTo++;
+                auto interactions = program_.interactionsForWindow(
+                    g.id, rel);
+                g.undeliveredFor.push_back(0);
+                std::size_t slot = 0;
+                for (const MemberInteraction &inter : interactions) {
+                    ++report_.interactions;
+                    const IslandCoord src = placement_.islandOf(
+                        entityOf(g, inter.mover));
+                    const IslandCoord dst = placement_.islandOf(
+                        entityOf(g, inter.target));
+                    emitOne(g, rel, slot++, src, dst);
+                    // Without drift the mover teleports straight back:
+                    // round-trip traffic on the reverse links.
+                    if (!config_.driftOptimization)
+                        emitOne(g, rel, slot++, dst, src);
+                }
+                g.interactionsFor.push_back(std::move(interactions));
+            }
+        }
+    }
+
+    void emitOne(ActiveGate &g, int rel, std::size_t slot,
+                 const IslandCoord &src, const IslandCoord &dst)
+    {
+        const std::uint64_t pairs =
+            program_.config().pairsPerInteraction;
+        report_.pairsRequested += pairs;
+        if (src == dst) {
+            report_.pairsLocal += pairs;
+            return;
+        }
+        PendingDemand pd;
+        pd.gate = g.id;
+        pd.relWindow = rel;
+        pd.slot = slot;
+        pd.demand = EprDemand{src, dst, pairs, g.id};
+        pending_.push_back(pd);
+        ++g.undeliveredFor[static_cast<std::size_t>(rel)];
+    }
+
+    void routeWindow()
+    {
+        // Most urgent first: windows closest to consumption, then
+        // oldest, then longest routes, then (gate, window, slot) to pin
+        // the order fully. Urgency is precomputed once per window; the
+        // comparator must stay lookup-free.
+        for (PendingDemand &pd : pending_) {
+            const ActiveGate &g = gateById(pd.gate);
+            // Pre-active gates cannot consume this window; their
+            // demands yield to every started gate's current window.
+            pd.urgency = g.started ? pd.relWindow - g.progress
+                                   : pd.relWindow + 1;
+        }
+        std::sort(pending_.begin(), pending_.end(),
+                  [](const PendingDemand &a, const PendingDemand &b) {
+                      if (a.urgency != b.urgency)
+                          return a.urgency < b.urgency;
+                      if (a.age != b.age)
+                          return a.age > b.age;
+                      const int da = islandDistance(a.demand.source,
+                                                    a.demand.destination);
+                      const int db = islandDistance(b.demand.source,
+                                                    b.demand.destination);
+                      if (da != db)
+                          return da > db;
+                      if (a.gate != b.gate)
+                          return a.gate < b.gate;
+                      if (a.relWindow != b.relWindow)
+                          return a.relWindow < b.relWindow;
+                      return a.slot < b.slot;
+                  });
+        std::vector<PendingDemand> still_pending;
+        for (PendingDemand &pd : pending_) {
+            const std::uint64_t moved = router_.routePairs(
+                mesh_, pd.demand, pd.demand.pairs, route_stats_);
+            report_.pairsRoutedOnMesh += moved;
+            pd.demand.pairs -= moved;
+            if (pd.demand.pairs == 0) {
+                route_length_sum_ += islandDistance(
+                    pd.demand.source, pd.demand.destination);
+                ++routed_count_;
+                --gateById(pd.gate).undeliveredFor[
+                    static_cast<std::size_t>(pd.relWindow)];
+            } else {
+                still_pending.push_back(pd);
+            }
+        }
+        pending_ = std::move(still_pending);
+    }
+
+    ActiveGate &gateById(std::size_t id)
+    {
+        const auto it = lowerBoundById(id);
+        qla_assert(it != active_.end() && it->id == id,
+                   "active gate ", id, " not found");
+        return *it;
+    }
+
+    void advanceGate(std::size_t id)
+    {
+        ActiveGate &g = gateById(id);
+        if (g.undeliveredFor[static_cast<std::size_t>(g.progress)] > 0) {
+            // Gated on delivery: this window did not commit.
+            ++report_.stallWindows;
+            if (!g.stalledEver) {
+                g.stalledEver = true;
+                ++report_.gatesStalled;
+            }
+            return;
+        }
+        if (config_.driftOptimization) {
+            for (const MemberInteraction &inter :
+             g.interactionsFor[static_cast<std::size_t>(g.progress)]) {
+                if (placement_.driftToward(entityOf(g, inter.mover),
+                                           entityOf(g, inter.target)))
+                    ++report_.driftMoves;
+            }
+        }
+        ++g.progress;
+        notifyIfNearDone(g);
+        if (g.progress
+            < program_.gates()[g.id].durationWindows)
+            return;
+        // Complete: free the gadget tiles, unlock successors.
+        for (const EntityId e : g.ancillas)
+            releaseAncilla(e);
+        for (const std::size_t s : program_.gates()[g.id].successors)
+            if (--deps_remaining_[s] == 0)
+                ready_.push_back(s);
+        std::sort(ready_.begin(), ready_.end());
+        active_.erase(lowerBoundById(id));
+        ++report_.gates;
+    }
+
+    void closeWindow()
+    {
+        if (probe_) {
+            WindowProbe probe;
+            probe.window = mesh_.windowsElapsed();
+            probe.pairsRequested = report_.pairsRequested;
+            probe.pairsDelivered = report_.pairsDelivered();
+            probe.pairsDropped = report_.pairsDropped;
+            probe.stallWindows = report_.stallWindows;
+            for (const PendingDemand &pd : pending_)
+                probe.pairsPending += pd.demand.pairs;
+            probe.placement = &placement_;
+            probe.mesh = &mesh_;
+            probe_(probe);
+        }
+        mesh_.advanceWindow();
+        if (warmup_remaining_ > 0) {
+            --warmup_remaining_;
+            ++report_.warmupWindows;
+        } else if (report_.gates == program_.gates().size()) {
+            report_.completed = true;
+            return; // chain ends; queue drains
+        }
+        if (mesh_.windowsElapsed() >= config_.maxWindows)
+            return; // runaway guard: completed stays false
+        for (PendingDemand &pd : pending_) {
+            ++pd.age;
+            report_.deferredPairWindows += pd.demand.pairs;
+        }
+        events_.scheduleAfter(config_.window,
+                              [this] { onWindowBoundary(); });
+    }
+
+    const ProgramWorkload &program_;
+    const CoSimConfig &config_;
+    const WindowProbeFn &probe_;
+    IslandMesh mesh_;
+    EprRouter router_;
+    TilePlacement placement_;
+    sim::EventQueue events_;
+    CoSimReport report_;
+    RouteStats route_stats_;
+
+    std::vector<int> deps_remaining_;
+    /** Dependencies not yet inside their final prefetch windows. */
+    std::vector<int> far_deps_;
+    /** Gates eligible for pre-activation (every dependency near done). */
+    std::vector<std::size_t> imminent_;
+    std::vector<std::size_t> ready_;   // sorted gate ids
+    std::vector<ActiveGate> active_;   // sorted by id
+    std::vector<PendingDemand> pending_;
+    std::vector<std::size_t> free_ancilla_slots_; // min-heap
+    std::size_t next_ancilla_slot_ = 0;
+    int warmup_remaining_ = 0;
+    double route_length_sum_ = 0.0;
+    std::uint64_t routed_count_ = 0;
+};
+
+} // namespace
+
+ProgramCoSimulator::ProgramCoSimulator(const ProgramWorkload &program,
+                                       CoSimConfig config)
+    : program_(program), config_(config)
+{
+    qla_assert(config_.prefetchWindows >= 0,
+               "prefetchWindows must be >= 0 (0 disables prefetch)");
+    extent_ = (config_.meshWidth > 0 && config_.meshHeight > 0)
+        ? MeshExtent{config_.meshWidth, config_.meshHeight}
+        : meshForProgram(program_);
+    qla_assert(extent_.width > 1 && extent_.height > 1,
+               "mesh too small for co-simulation");
+}
+
+CoSimReport
+ProgramCoSimulator::run(const WindowProbeFn &probe)
+{
+    CoSimEngine engine(program_, config_, extent_, probe);
+    return engine.run();
+}
+
+std::vector<CoSimSweepPoint>
+runCoSimSweep(const std::vector<ProgramWorkload> &workloads,
+              const CoSimSweepConfig &config)
+{
+    std::vector<CoSimSweepPoint> points;
+    for (std::size_t w = 0; w < workloads.size(); ++w)
+        for (const int bandwidth : config.bandwidths)
+            for (const std::uint64_t seed : config.seeds) {
+                CoSimSweepPoint point;
+                point.workload = w;
+                point.bandwidth = bandwidth;
+                point.seed = seed;
+                points.push_back(point);
+            }
+    if (points.empty())
+        return points;
+    sim::ShotScheduler scheduler(config.threads);
+    scheduler.run(points.size(), [&](std::size_t job, int) {
+        CoSimSweepPoint &point = points[job];
+        CoSimConfig cosim = config.base;
+        cosim.bandwidth = point.bandwidth;
+        cosim.seed = point.seed;
+        ProgramCoSimulator simulator(workloads[point.workload], cosim);
+        point.report = simulator.run();
+    });
+    return points;
+}
+
+CoSimSweepStats
+reduceCoSimSweep(const std::vector<CoSimSweepPoint> &points)
+{
+    CoSimSweepStats stats;
+    for (const CoSimSweepPoint &point : points) {
+        stats.makespanWindows.add(
+            static_cast<double>(point.report.windows));
+        stats.utilization.add(point.report.utilization);
+        stats.stallWindows.add(
+            static_cast<double>(point.report.stallWindows));
+        stats.stalledRuns.add(!point.report.fullyOverlapped());
+    }
+    return stats;
+}
+
+} // namespace qla::network

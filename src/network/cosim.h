@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Logical-program co-simulation: computation and communication executed
+ * together on the discrete-event kernel.
+ *
+ * This is the executable counterpart of the paper's Section-5 study:
+ * a real circuit (QCLA adder, Toffoli network, banded QFT) is lowered
+ * onto the island mesh (network/program_workload.h, network/placement.h)
+ * and driven window by window on sim::EventQueue. Every scheduling
+ * window is an event chain at one instant of simulated time --
+ * demand emission + greedy routing, then one gate-advance event per
+ * active gate (FIFO tie-break keeps them in gate order), then a
+ * window-close event -- and a gate's window of progress commits only
+ * when all its EPR demands were delivered: computation is *gated on
+ * delivery*, and every window a gate waits is a stall charged to that
+ * gate. With enough bandwidth the measured makespan equals the
+ * dependency-DAG critical path (communication fully overlapped with
+ * error correction, the paper's bandwidth-2 conclusion); with too
+ * little, stalls stretch it.
+ */
+
+#ifndef QLA_NETWORK_COSIM_H
+#define QLA_NETWORK_COSIM_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "network/placement.h"
+#include "network/program_workload.h"
+#include "network/scheduler.h"
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+
+namespace qla::network {
+
+/** Co-simulation parameters. */
+struct CoSimConfig
+{
+    /**
+     * Mesh extent in islands; 0 means size automatically from the
+     * program (meshForProgram).
+     */
+    int meshWidth = 0;
+    int meshHeight = 0;
+    /** Channels per direction per link. */
+    int bandwidth = 2;
+    /** Scheduling window: one level-2 EC period. */
+    Seconds window = 0.043;
+    /** Service time per purified EPR pair (see SchedulerConfig). */
+    Seconds purifiedPairServiceTime = units::microseconds(1400.0);
+    /** Qubit-drift optimization on/off. */
+    bool driftOptimization = true;
+    /** Detour attempts around congested columns. */
+    int detourRadius = 2;
+    /**
+     * How many windows ahead an active gate's EPR demands are issued.
+     * Pairs for a gate's window k can be delivered any time from k -
+     * prefetchWindows up to the end of window k -- the paper's
+     * pipelining of communication under the preceding error-correction
+     * cycles ("communication always overlapped with error correction").
+     * 0 disables prefetch: every window's pairs must route within that
+     * window alone.
+     *
+     * Modeling decision: a prefetched demand pins its endpoint islands
+     * at emission time. Drift moves between emission and consumption do
+     * not re-target it -- the pairs are already in flight to where the
+     * qubits were, and in-flight halves are not recalled -- so a pair
+     * that drifts co-located after emission still counts as mesh
+     * traffic. This slightly overstates traffic/stalls near drift
+     * moves, i.e. it is conservative for the paper's
+     * bandwidth-sufficiency and drift-saves-traffic conclusions.
+     */
+    int prefetchWindows = 2;
+    /** Initial placement policy. */
+    PlacementStrategy placement = PlacementStrategy::Affinity;
+    /** Seed for the Random placement shuffle. */
+    std::uint64_t seed = 1;
+    /** Runaway guard: abort (completed = false) past this many windows. */
+    std::uint64_t maxWindows = 1u << 22;
+};
+
+/** Results of one co-simulated program execution. */
+struct CoSimReport
+{
+    /** False when the run hit maxWindows before finishing. */
+    bool completed = false;
+    /** EC windows consumed by computation. */
+    std::uint64_t windows = 0;
+    /**
+     * Routing-only windows before computation begins: the first gates'
+     * pairs prefetch while the logical qubits are still being encoded
+     * and verified (initialization takes far longer than this), exact
+     * like every later gate prefetches under its predecessors. Equals
+     * prefetchWindows; not charged to the makespan.
+     */
+    std::uint64_t warmupWindows = 0;
+    /** windows x window length. */
+    Seconds makespan = 0.0;
+    /** Ideal windows (dependency critical path) for this program. */
+    std::uint64_t criticalPathWindows = 0;
+    /** Gates executed. */
+    std::uint64_t gates = 0;
+    /** Transversal interactions issued. */
+    std::uint64_t interactions = 0;
+
+    /** EPR-pair conservation ledger: requested = delivered (mesh-routed
+     *  + island-local) + dropped, plus whatever is still pending inside
+     *  an open window (zero once completed). */
+    std::uint64_t pairsRequested = 0;
+    std::uint64_t pairsRoutedOnMesh = 0;
+    std::uint64_t pairsLocal = 0;
+    /** Always zero today: the engine never abandons a demand (stalled
+     *  gates keep theirs pending). The term pins the ledger shape --
+     *  any future drop path must account through it to keep the
+     *  conservation property test meaningful. */
+    std::uint64_t pairsDropped = 0;
+    std::uint64_t pairsDelivered() const
+    {
+        return pairsRoutedOnMesh + pairsLocal;
+    }
+    /** Pair-windows deferred: undelivered pairs carried across a window
+     *  boundary, summed over boundaries. */
+    std::uint64_t deferredPairWindows = 0;
+
+    /** Gate-windows spent waiting on delivery (the stall charge). */
+    std::uint64_t stallWindows = 0;
+    /** Gates that stalled at least once. */
+    std::uint64_t gatesStalled = 0;
+    /** Gate-windows a ready gate waited because its gadget-ancilla
+     *  tiles could not be allocated (mesh too full). */
+    std::uint64_t allocationStallWindows = 0;
+    /** Drift relocations performed. */
+    std::uint64_t driftMoves = 0;
+    std::uint64_t backoffReroutes = 0;
+    double utilization = 0.0;
+    double averageRouteLength = 0.0;
+
+    /** Communication (and tile allocation) never held computation back:
+     *  when true and completed, the makespan is the dependency-DAG
+     *  critical path. */
+    bool fullyOverlapped() const
+    {
+        return stallWindows == 0 && allocationStallWindows == 0;
+    }
+};
+
+/** Per-window observer snapshot (property tests hook in here). */
+struct WindowProbe
+{
+    std::uint64_t window = 0;
+    std::uint64_t pairsRequested = 0;
+    std::uint64_t pairsDelivered = 0;
+    std::uint64_t pairsPending = 0;
+    std::uint64_t pairsDropped = 0;
+    /** Cumulative gate-windows stalled so far. */
+    std::uint64_t stallWindows = 0;
+    const TilePlacement *placement = nullptr;
+    const IslandMesh *mesh = nullptr;
+};
+
+using WindowProbeFn = std::function<void(const WindowProbe &)>;
+
+/**
+ * Event-driven executor for one lowered program.
+ */
+class ProgramCoSimulator
+{
+  public:
+    /** @p program is held by reference and must outlive the simulator
+     *  (lowered workloads are typically reused across many runs). */
+    ProgramCoSimulator(const ProgramWorkload &program, CoSimConfig config);
+    ProgramCoSimulator(ProgramWorkload &&, CoSimConfig) = delete;
+
+    /** Execute the program; @p probe (optional) fires at the end of
+     *  every window before reservations clear. */
+    CoSimReport run(const WindowProbeFn &probe = {});
+
+    /** Mesh extent actually used (after auto-sizing). */
+    MeshExtent meshExtent() const { return extent_; }
+
+  private:
+    const ProgramWorkload &program_;
+    CoSimConfig config_;
+    MeshExtent extent_;
+};
+
+//
+// Configuration sweeps.
+//
+
+/** One point of a co-simulation sweep. */
+struct CoSimSweepPoint
+{
+    std::size_t workload = 0; ///< Index into CoSimSweepConfig::workloads.
+    int bandwidth = 0;
+    std::uint64_t seed = 0;
+    CoSimReport report;
+};
+
+/** Sweep axes: workloads x bandwidths x seeds. */
+struct CoSimSweepConfig
+{
+    /** Base configuration (mesh auto-sizing per workload when 0). */
+    CoSimConfig base;
+    std::vector<int> bandwidths = {1, 2, 3, 4};
+    /** Seeds; each perturbs the (Random-strategy) placement. */
+    std::vector<std::uint64_t> seeds = {1};
+    /** Worker threads (sim::resolveThreadCount semantics). */
+    int threads = 0;
+};
+
+/** Fixed-order reduction over a sweep's points. */
+struct CoSimSweepStats
+{
+    sim::ScalarStat makespanWindows;
+    sim::ScalarStat utilization;
+    sim::ScalarStat stallWindows;
+    sim::RateStat stalledRuns;
+};
+
+/**
+ * Run every (workload, bandwidth, seed) combination on the shot
+ * scheduler. Points come back in fixed lexicographic job order and each
+ * job's result depends only on its own parameters, so the sweep is
+ * bit-identical for every thread count (the repo determinism contract;
+ * enforced by tools/determinism_gate --mode interconnect).
+ */
+std::vector<CoSimSweepPoint> runCoSimSweep(
+    const std::vector<ProgramWorkload> &workloads,
+    const CoSimSweepConfig &config);
+
+/** Reduce sweep points in index order (deterministic merge). */
+CoSimSweepStats reduceCoSimSweep(
+    const std::vector<CoSimSweepPoint> &points);
+
+} // namespace qla::network
+
+#endif // QLA_NETWORK_COSIM_H

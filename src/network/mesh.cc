@@ -1,6 +1,7 @@
 #include "network/mesh.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 
 namespace qla::network {
@@ -14,6 +15,12 @@ IslandMesh::IslandMesh(int width, int height, int bandwidth,
     qla_assert(width > 0 && height > 0 && bandwidth > 0
                    && slots_per_channel > 0,
                "bad mesh parameters");
+}
+
+int
+islandDistance(const IslandCoord &a, const IslandCoord &b)
+{
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
 }
 
 bool
@@ -59,6 +66,12 @@ IslandMesh::freeSlots(const IslandCoord &from, Direction dir) const
     const std::uint64_t cap = linkCapacity();
     const std::uint64_t used = used_[linkIndex(from, dir)];
     return used >= cap ? 0 : cap - used;
+}
+
+std::uint64_t
+IslandMesh::usedSlots(const IslandCoord &from, Direction dir) const
+{
+    return used_[linkIndex(from, dir)];
 }
 
 namespace {

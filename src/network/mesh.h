@@ -34,6 +34,9 @@ struct IslandCoord
     }
 };
 
+/** Manhattan distance between two islands. */
+int islandDistance(const IslandCoord &a, const IslandCoord &b);
+
 /** Directions of mesh links. */
 enum class Direction : std::uint8_t { East, West, North, South };
 
@@ -69,6 +72,9 @@ class IslandMesh
     /** Remaining pair slots on the directed link from @p from toward
      *  @p dir in the current window. */
     std::uint64_t freeSlots(const IslandCoord &from, Direction dir) const;
+
+    /** Slots reserved on the directed link in the current window. */
+    std::uint64_t usedSlots(const IslandCoord &from, Direction dir) const;
 
     /**
      * Try to reserve @p pairs slots on every directed link along
@@ -112,8 +118,6 @@ class IslandMesh
     std::uint64_t windows_ = 0;
     std::uint64_t window_reserved_ = 0;
     std::uint64_t total_reserved_ = 0;
-
-    friend class GreedyEprScheduler;
 };
 
 /** Step from @p a toward @p b (dimension-ordered); a != b required. */

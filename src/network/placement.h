@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Logical-tile placement over the island mesh (paper Section 4.2/5).
+ *
+ * The QLA floor plan is a grid of logical-qubit tiles with a
+ * teleportation island every `tilesPerIslandX` tiles in x and every tile
+ * in y (the 100-cell separation puts an island every third logical
+ * qubit). The placement layer assigns each program entity -- a circuit
+ * qubit or a transient Toffoli-gadget ancilla -- to exactly one tile,
+ * keeps the entity->tile map a bijection onto occupied tiles, and
+ * implements the drift optimization: after a two-qubit interaction the
+ * teleported qubit stays near its partner instead of being moved back,
+ * so subsequent traffic shortens.
+ */
+
+#ifndef QLA_NETWORK_PLACEMENT_H
+#define QLA_NETWORK_PLACEMENT_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "network/mesh.h"
+
+namespace qla::network {
+
+/** Position of a logical-qubit tile in the tile grid. */
+struct TileCoord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const TileCoord &o) const
+    {
+        return x == o.x && y == o.y;
+    }
+};
+
+/** Identifies a placed program entity (qubit or gadget ancilla). */
+using EntityId = std::size_t;
+
+inline constexpr EntityId kNoEntity = ~EntityId{0};
+
+/** Initial-placement policies. */
+enum class PlacementStrategy : std::uint8_t
+{
+    /**
+     * Interaction-affinity order (see affinityOrder): a recency-greedy
+     * linear arrangement of the circuit's interaction graph, laid out
+     * along a Hilbert walk of the tile grid so frequently interacting
+     * qubits land on nearby islands.
+     */
+    Affinity,
+    /** Seeded uniform shuffle of the qubits over the same Hilbert
+     *  walk. */
+    Random,
+};
+
+/**
+ * Bijective entity->tile occupancy map over the tile grid of an island
+ * mesh.
+ *
+ * The tile grid is `meshWidth * tilesPerIslandX` wide and `meshHeight`
+ * tall; tile (tx, ty) belongs to island (tx / tilesPerIslandX, ty). All
+ * mutators preserve the invariant that every entity occupies exactly one
+ * tile and every tile holds at most one entity (checked by
+ * isBijective(), exercised by the drift property tests).
+ */
+class TilePlacement
+{
+  public:
+    TilePlacement(int mesh_width, int mesh_height, int tiles_per_island_x);
+
+    int tileWidth() const { return tile_width_; }
+    int tileHeight() const { return tile_height_; }
+    int tilesPerIslandX() const { return tiles_per_island_x_; }
+    std::size_t totalTiles() const
+    {
+        return static_cast<std::size_t>(tile_width_) * tile_height_;
+    }
+    std::size_t occupiedTiles() const { return occupied_; }
+
+    /** Island hosting a tile. */
+    IslandCoord islandOf(const TileCoord &t) const
+    {
+        return {t.x / tiles_per_island_x_, t.y};
+    }
+
+    /** Island hosting a placed entity. */
+    IslandCoord islandOf(EntityId entity) const
+    {
+        return islandOf(tileOf(entity));
+    }
+
+    bool inBounds(const TileCoord &t) const
+    {
+        return t.x >= 0 && t.x < tile_width_ && t.y >= 0
+            && t.y < tile_height_;
+    }
+
+    /** Tile of a placed entity (fatal if unplaced). */
+    TileCoord tileOf(EntityId entity) const;
+
+    /** True when @p entity currently occupies a tile. */
+    bool isPlaced(EntityId entity) const;
+
+    /** Entity on a tile, or kNoEntity. */
+    EntityId occupantOf(const TileCoord &t) const;
+
+    /** Place @p entity on a free tile (fatal if occupied/placed). */
+    void assign(EntityId entity, const TileCoord &tile);
+
+    /** Remove @p entity from its tile. */
+    void release(EntityId entity);
+
+    /** Move a placed entity onto a free tile. */
+    void moveTo(EntityId entity, const TileCoord &tile);
+
+    /**
+     * Nearest free tile to @p near (deterministic: increasing Manhattan
+     * distance, ties broken by scan order). Empty when the grid is full.
+     */
+    std::optional<TileCoord> nearestFree(const TileCoord &near) const;
+
+    /**
+     * Drift move: relocate @p entity to the free tile nearest to
+     * @p partner's tile -- ideally on the partner's island, so the next
+     * interaction of the pair is island-local. No-op when the entity
+     * already shares the partner's island or no free tile exists.
+     * @return true when the entity moved.
+     */
+    bool driftToward(EntityId entity, EntityId partner);
+
+    /** Every entity on exactly one tile, every tile at most one entity. */
+    bool isBijective() const;
+
+    /** Placed entity ids in increasing order (for deterministic scans). */
+    std::vector<EntityId> placedEntities() const;
+
+  private:
+    std::size_t tileIndex(const TileCoord &t) const
+    {
+        return static_cast<std::size_t>(t.y) * tile_width_ + t.x;
+    }
+
+    int tile_width_;
+    int tile_height_;
+    int tiles_per_island_x_;
+    std::vector<EntityId> occupant_;          // per tile
+    std::vector<std::optional<TileCoord>> tiles_; // per entity id
+    std::size_t occupied_ = 0;
+};
+
+/**
+ * Initial placement of @p circuit's qubits onto @p placement (which must
+ * be empty): qubits ordered per @p strategy, then assigned along a
+ * Hilbert walk of the tile grid (hilbertTileOrder) so order-adjacent
+ * qubits stay close in both grid dimensions. @p stride spaces the
+ * qubits out (qubit j lands on walk position j * stride), interleaving
+ * free tiles so gadget ancilla blocks can allocate -- and qubits can
+ * drift -- right next to their operands instead of past the edge of a
+ * densely packed data block. @p rng drives the Random strategy (and is
+ * unused by Affinity, which is fully deterministic).
+ */
+void placeProgramQubits(TilePlacement &placement,
+                        const circuit::QuantumCircuit &circuit,
+                        PlacementStrategy strategy, Rng rng,
+                        int stride = 1);
+
+/**
+ * Interaction-affinity qubit order used by PlacementStrategy::Affinity
+ * (exposed for tests): a recency-weighted greedy linear arrangement of
+ * the two-qubit/Toffoli interaction graph -- each step appends the
+ * unplaced qubit with the largest decayed interaction weight to the
+ * recently placed ones, falling back to the heaviest unplaced qubit.
+ * Fully deterministic (index tie-breaks).
+ */
+std::vector<std::size_t> affinityOrder(
+    const circuit::QuantumCircuit &circuit);
+
+/**
+ * The tile-grid visit order used by placeProgramQubits: a Hilbert curve
+ * over the bounding power-of-2 square restricted to the grid, so
+ * positions close in the 1D order are close in both grid dimensions.
+ */
+std::vector<TileCoord> hilbertTileOrder(int width, int height);
+
+} // namespace qla::network
+
+#endif // QLA_NETWORK_PLACEMENT_H

@@ -5,26 +5,16 @@
 
 namespace qla::network {
 
-GreedyEprScheduler::GreedyEprScheduler(const SchedulerConfig &config,
-                                       const WorkloadConfig &workload)
-    : config_(config), workload_config_(workload)
-{
-    qla_assert(config_.meshWidth > 1 && config_.meshHeight > 1,
-               "mesh too small");
-    workload_config_.driftOptimization = config_.driftOptimization;
-}
-
 std::uint64_t
-GreedyEprScheduler::slotsPerChannel() const
+slotsPerChannel(const SchedulerConfig &config)
 {
-    return static_cast<std::uint64_t>(
-        config_.window / config_.purifiedPairServiceTime);
+    return static_cast<std::uint64_t>(config.window
+                                      / config.purifiedPairServiceTime);
 }
 
 std::vector<IslandCoord>
-GreedyEprScheduler::dimensionOrderedPath(const IslandCoord &from,
-                                         const IslandCoord &to,
-                                         bool y_first)
+EprRouter::dimensionOrderedPath(const IslandCoord &from,
+                                const IslandCoord &to, bool y_first)
 {
     std::vector<IslandCoord> path{from};
     IslandCoord cur = from;
@@ -51,8 +41,8 @@ GreedyEprScheduler::dimensionOrderedPath(const IslandCoord &from,
 }
 
 std::vector<IslandCoord>
-GreedyEprScheduler::detourPath(const IslandCoord &from,
-                               const IslandCoord &to, int x_shift)
+EprRouter::detourPath(const IslandCoord &from, const IslandCoord &to,
+                      int x_shift)
 {
     // Route via a shifted column: x-first to the detour column, then y,
     // then x to the destination.
@@ -76,10 +66,35 @@ GreedyEprScheduler::detourPath(const IslandCoord &from,
     return path;
 }
 
+std::vector<IslandCoord>
+EprRouter::detourPathRow(const IslandCoord &from, const IslandCoord &to,
+                         int y_shift)
+{
+    // Route via a shifted row: y-first to the detour row, then x, then
+    // y to the destination.
+    const IslandCoord mid1{from.x, from.y + y_shift};
+    const IslandCoord mid2{to.x, from.y + y_shift};
+    std::vector<IslandCoord> path{from};
+    IslandCoord cur = from;
+    auto walk_to = [&](const IslandCoord &wp) {
+        while (cur.y != wp.y) {
+            cur.y += (wp.y > cur.y) ? 1 : -1;
+            path.push_back(cur);
+        }
+        while (cur.x != wp.x) {
+            cur.x += (wp.x > cur.x) ? 1 : -1;
+            path.push_back(cur);
+        }
+    };
+    walk_to(mid1);
+    walk_to(mid2);
+    walk_to(to);
+    return path;
+}
+
 std::uint64_t
-GreedyEprScheduler::routePairs(IslandMesh &mesh, const EprDemand &demand,
-                               std::uint64_t pairs,
-                               SchedulerReport &report)
+EprRouter::routePairs(IslandMesh &mesh, const EprDemand &demand,
+                      std::uint64_t pairs, RouteStats &stats) const
 {
     if (demand.source == demand.destination)
         return pairs; // co-located after drift; no mesh traffic
@@ -94,7 +109,7 @@ GreedyEprScheduler::routePairs(IslandMesh &mesh, const EprDemand &demand,
         if (amount == 0)
             return;
         if (!first_path)
-            ++report.backoffReroutes;
+            ++stats.backoffReroutes;
         const bool ok = mesh.reservePath(path, amount);
         qla_assert(ok, "reservation within free capacity failed");
         remaining -= amount;
@@ -102,19 +117,38 @@ GreedyEprScheduler::routePairs(IslandMesh &mesh, const EprDemand &demand,
     };
 
     // Greedy: grab everything the dimension-ordered route offers, then
-    // back off onto the alternate shape, then detour columns.
+    // back off onto the alternate shape, then detour columns and rows.
     grab(dimensionOrderedPath(demand.source, demand.destination, false));
     grab(dimensionOrderedPath(demand.source, demand.destination, true));
-    for (int r = 1; r <= config_.detourRadius && remaining > 0; ++r) {
+    for (int r = 1; r <= detour_radius_ && remaining > 0; ++r) {
         for (int sign : {+1, -1}) {
             const int shift = sign * r;
             const int col = demand.source.x + shift;
-            if (col < 0 || col >= mesh.width())
-                continue;
-            grab(detourPath(demand.source, demand.destination, shift));
+            if (col >= 0 && col < mesh.width())
+                grab(detourPath(demand.source, demand.destination,
+                                shift));
+            const int row = demand.source.y + shift;
+            if (row >= 0 && row < mesh.height())
+                grab(detourPathRow(demand.source, demand.destination,
+                                   shift));
         }
     }
     return pairs - remaining;
+}
+
+GreedyEprScheduler::GreedyEprScheduler(const SchedulerConfig &config,
+                                       const WorkloadConfig &workload)
+    : config_(config), workload_config_(workload)
+{
+    qla_assert(config_.meshWidth > 1 && config_.meshHeight > 1,
+               "mesh too small");
+    workload_config_.driftOptimization = config_.driftOptimization;
+}
+
+std::uint64_t
+GreedyEprScheduler::slotsPerChannel() const
+{
+    return network::slotsPerChannel(config_);
 }
 
 SchedulerReport
@@ -124,73 +158,73 @@ GreedyEprScheduler::run()
                     config_.bandwidth, slotsPerChannel());
     ToffoliWorkload workload(workload_config_, config_.meshWidth,
                              config_.meshHeight, Rng(config_.seed));
+    const EprRouter router(config_.detourRadius);
 
     SchedulerReport report;
+    RouteStats route_stats;
     double route_length_sum = 0.0;
     std::uint64_t routed = 0;
     // Demands deferred from previous windows, with their ages.
     std::vector<std::pair<EprDemand, int>> pending;
 
-    // The simulation is driven by the discrete-event kernel: one event
-    // per scheduling window (the window boundary is when the next EC
-    // cycle begins and the freshly delivered EPR pairs are consumed).
+    // The simulation is a self-propelled chain on the discrete-event
+    // kernel: each window-boundary event (the instant the next EC cycle
+    // begins and freshly delivered EPR pairs are consumed) processes
+    // one window and schedules its successor.
     sim::EventQueue events;
-    for (int w = 0; w < workload_config_.totalWindows; ++w) {
-        events.schedule(static_cast<double>(w) * config_.window, [&]() {
-            for (const EprDemand &demand : workload.nextWindow()) {
-                ++report.demands;
-                report.pairsRequested += demand.pairs;
-                pending.emplace_back(demand, 0);
-            }
-            // Oldest first, then longest routes: deferred demands are
-            // closest to stalling and long routes are hardest to place
-            // once bandwidth fragments.
-            std::sort(pending.begin(), pending.end(),
-                      [](const auto &a, const auto &b) {
-                          if (a.second != b.second)
-                              return a.second > b.second;
-                          const int da = std::abs(a.first.source.x
-                                                  - a.first.destination.x)
-                              + std::abs(a.first.source.y
-                                         - a.first.destination.y);
-                          const int db = std::abs(b.first.source.x
-                                                  - b.first.destination.x)
-                              + std::abs(b.first.source.y
-                                         - b.first.destination.y);
-                          return da > db;
-                      });
+    std::function<void()> window_event = [&]() {
+        for (const EprDemand &demand : workload.nextWindow()) {
+            ++report.demands;
+            report.pairsRequested += demand.pairs;
+            pending.emplace_back(demand, 0);
+        }
+        // Oldest first, then longest routes: deferred demands are
+        // closest to stalling and long routes are hardest to place
+        // once bandwidth fragments.
+        std::sort(pending.begin(), pending.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.second != b.second)
+                          return a.second > b.second;
+                      return islandDistance(a.first.source,
+                                            a.first.destination)
+                          > islandDistance(b.first.source,
+                                           b.first.destination);
+                  });
 
-            bool window_stalled = false;
-            std::vector<std::pair<EprDemand, int>> still_pending;
-            for (auto &[demand, age] : pending) {
-                const int dist = std::abs(demand.source.x
-                                          - demand.destination.x)
-                    + std::abs(demand.source.y - demand.destination.y);
-                const std::uint64_t moved = routePairs(mesh, demand,
-                                                       demand.pairs,
-                                                       report);
-                report.pairsDelivered += moved;
-                demand.pairs -= moved;
-                if (demand.pairs == 0) {
-                    route_length_sum += dist;
-                    ++routed;
-                } else if (age < config_.slackWindows) {
-                    still_pending.emplace_back(demand, age + 1);
-                } else {
-                    ++report.stalledDemands;
-                    window_stalled = true;
-                }
+        bool window_stalled = false;
+        std::vector<std::pair<EprDemand, int>> still_pending;
+        for (auto &[demand, age] : pending) {
+            const int dist = islandDistance(demand.source,
+                                            demand.destination);
+            const std::uint64_t moved = router.routePairs(
+                mesh, demand, demand.pairs, route_stats);
+            report.pairsDelivered += moved;
+            demand.pairs -= moved;
+            if (demand.pairs == 0) {
+                route_length_sum += dist;
+                ++routed;
+            } else if (age < config_.slackWindows) {
+                still_pending.emplace_back(demand, age + 1);
+            } else {
+                ++report.stalledDemands;
+                window_stalled = true;
             }
-            pending = std::move(still_pending);
-            if (window_stalled)
-                ++report.stalledWindows;
-            mesh.advanceWindow();
-        });
-    }
+        }
+        pending = std::move(still_pending);
+        if (window_stalled)
+            ++report.stalledWindows;
+        mesh.advanceWindow();
+        if (mesh.windowsElapsed()
+            < static_cast<std::uint64_t>(workload_config_.totalWindows))
+            events.scheduleAfter(config_.window, window_event);
+    };
+    if (workload_config_.totalWindows > 0)
+        events.schedule(0.0, window_event);
     events.run();
 
     report.windows = mesh.windowsElapsed();
     report.utilization = mesh.aggregateUtilization();
+    report.backoffReroutes = route_stats.backoffReroutes;
     report.averageRouteLength = routed
         ? route_length_sum / static_cast<double>(routed)
         : 0.0;

@@ -1,6 +1,6 @@
 /**
  * @file
- * Greedy EPR-pair communication scheduler (paper Section 5).
+ * Greedy EPR-pair communication routing and scheduling (paper Section 5).
  *
  * "The scheduler is a heuristic greedy scheduler ... It works by grabbing
  * all available bandwidth whenever it can. However, if this means that
@@ -10,10 +10,14 @@
  * window it overlaps with, so that communication never stalls
  * computation.
  *
- * The scheduler also implements the drift optimization: after a
- * two-qubit interaction, logical qubit A is teleported to B but "only
- * moved back if necessary", so qubits drift toward their communication
- * partners and subsequent traffic shortens.
+ * The routing core lives in EprRouter and is shared by two drivers: the
+ * synthetic window-slotted GreedyEprScheduler below (random-placement
+ * Toffoli traffic, the paper's ~23%-utilization experiment) and the
+ * logical-program co-simulation (network/cosim.h), which gates
+ * computation on delivery. Both also implement the drift optimization:
+ * after a two-qubit interaction, logical qubit A is teleported to B but
+ * "only moved back if necessary", so qubits drift toward their
+ * communication partners and subsequent traffic shortens.
  */
 
 #ifndef QLA_NETWORK_SCHEDULER_H
@@ -61,6 +65,61 @@ struct SchedulerConfig
     std::uint64_t seed = 12345;
 };
 
+/** Pairs one channel can carry per scheduling window. */
+std::uint64_t slotsPerChannel(const SchedulerConfig &config);
+
+/** Counters the router accumulates while placing traffic. */
+struct RouteStats
+{
+    /** Demands rerouted after the first (greedy) path was refused. */
+    std::uint64_t backoffReroutes = 0;
+};
+
+/**
+ * Greedy multi-path router over the island mesh: grab everything the
+ * dimension-ordered route offers, back off onto the alternate
+ * dimension order, then detour through shifted columns and rows.
+ */
+class EprRouter
+{
+  public:
+    explicit EprRouter(int detour_radius = 2)
+        : detour_radius_(detour_radius)
+    {
+    }
+
+    /** Dimension-ordered path between two islands. */
+    static std::vector<IslandCoord> dimensionOrderedPath(
+        const IslandCoord &from, const IslandCoord &to, bool y_first);
+
+    /** Path detouring through a column shifted @p x_shift from the
+     *  source. */
+    static std::vector<IslandCoord> detourPath(const IslandCoord &from,
+                                               const IslandCoord &to,
+                                               int x_shift);
+
+    /** Path detouring through a row shifted @p y_shift from the source
+     *  (the only alternate route for islands in the same row, which the
+     *  100-cell floor plan makes the common case). */
+    static std::vector<IslandCoord> detourPathRow(const IslandCoord &from,
+                                                  const IslandCoord &to,
+                                                  int y_shift);
+
+    /**
+     * Route up to @p pairs of the demand in the current window,
+     * splitting across alternate paths when the greedy route saturates.
+     * Co-located demands (source == destination) need no mesh capacity
+     * and are reported fully routed.
+     * @return pairs actually reserved this window.
+     */
+    std::uint64_t routePairs(IslandMesh &mesh, const EprDemand &demand,
+                             std::uint64_t pairs,
+                             RouteStats &stats) const;
+
+  private:
+    int detour_radius_;
+};
+
 /** Results of one scheduling run. */
 struct SchedulerReport
 {
@@ -84,7 +143,10 @@ struct SchedulerReport
 };
 
 /**
- * Window-slotted greedy scheduler over the island mesh.
+ * Window-slotted greedy scheduler over the synthetic random-placement
+ * Toffoli workload. Each scheduling window is one event on the
+ * discrete-event kernel; the window handler schedules its successor, so
+ * the run is a self-propelled event chain on sim::EventQueue.
  */
 class GreedyEprScheduler
 {
@@ -99,24 +161,6 @@ class GreedyEprScheduler
     std::uint64_t slotsPerChannel() const;
 
   private:
-    /** Dimension-ordered path between two islands. */
-    static std::vector<IslandCoord> dimensionOrderedPath(
-        const IslandCoord &from, const IslandCoord &to, bool y_first);
-
-    /** Path detouring through a shifted row/column. */
-    static std::vector<IslandCoord> detourPath(const IslandCoord &from,
-                                               const IslandCoord &to,
-                                               int x_shift);
-
-    /**
-     * Route up to @p pairs of the demand, splitting across alternate
-     * paths when the greedy route saturates ("grabbing all available
-     * bandwidth whenever it can").
-     * @return pairs actually reserved this window.
-     */
-    std::uint64_t routePairs(IslandMesh &mesh, const EprDemand &demand,
-                             std::uint64_t pairs, SchedulerReport &report);
-
     SchedulerConfig config_;
     WorkloadConfig workload_config_;
 };

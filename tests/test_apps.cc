@@ -7,7 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "apps/qcla.h"
+#include "apps/qft.h"
 #include "apps/shor.h"
 #include "apps/toffoli.h"
 #include "arq/executor.h"
@@ -104,6 +108,150 @@ TEST(Adder, SuperposedInputAddsCoherently)
     EXPECT_EQ(b, !a);
 }
 
+namespace {
+
+/** Run the carry-lookahead adder on computational inputs; returns the
+ *  (n+1)-bit sum register and checks a, b and the propagate-tree
+ *  ancillas are restored. */
+unsigned
+runQclaAdder(std::size_t n, unsigned a, unsigned b)
+{
+    const auto circuit = qclaAdderCircuit(n);
+    quantum::StateVector psi(qclaAdderQubits(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((a >> i) & 1)
+            psi.x(i);
+        if ((b >> i) & 1)
+            psi.x(n + i);
+    }
+    Rng rng(7);
+    arq::executeOnStateVector(circuit, psi, rng);
+    unsigned sum = 0, a_out = 0, b_out = 0;
+    for (std::size_t i = 0; i <= n; ++i)
+        if (psi.measureZ(2 * n + i, rng))
+            sum |= 1u << i;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (psi.measureZ(i, rng))
+            a_out |= 1u << i;
+        if (psi.measureZ(n + i, rng))
+            b_out |= 1u << i;
+    }
+    EXPECT_EQ(a_out, a) << "a register not restored";
+    EXPECT_EQ(b_out, b) << "b register not restored";
+    for (std::size_t q = 3 * n + 1; q < qclaAdderQubits(n); ++q)
+        EXPECT_FALSE(psi.measureZ(q, rng))
+            << "propagate ancilla " << q << " not cleaned";
+    return sum;
+}
+
+class QclaExhaustiveTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+} // namespace
+
+TEST_P(QclaExhaustiveTest, MatchesClassicalAddition)
+{
+    const std::size_t n = GetParam();
+    const unsigned mod = 1u << n;
+    for (unsigned a = 0; a < mod; ++a)
+        for (unsigned b = 0; b < mod; ++b)
+            ASSERT_EQ(runQclaAdder(n, a, b), a + b)
+                << a << " + " << b << " (n=" << n << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QclaExhaustiveTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(QclaCircuit, RandomWideInputsMatch)
+{
+    // n = 5..7 sampled (exhaustive would be slow; n = 7 uses the full
+    // 24-qubit statevector budget).
+    Rng rng(99);
+    for (std::size_t n : {5u, 6u, 7u}) {
+        const unsigned mod = 1u << n;
+        for (int trial = 0; trial < 6; ++trial) {
+            const unsigned a = static_cast<unsigned>(
+                rng.uniformInt(mod));
+            const unsigned b = static_cast<unsigned>(
+                rng.uniformInt(mod));
+            ASSERT_EQ(runQclaAdder(n, a, b), a + b)
+                << a << " + " << b << " (n=" << n << ")";
+        }
+    }
+}
+
+TEST(QclaCircuit, ToffoliDepthIsLogarithmic)
+{
+    // The point of the carry-lookahead structure: Toffoli critical path
+    // ~4 log2 n, versus ~2n for the ripple adder.
+    for (std::size_t n : {16u, 64u, 128u, 256u}) {
+        const auto circuit = qclaAdderCircuit(n);
+        const auto layers = circuit.asapLayers();
+        const auto &ops = circuit.ops();
+        std::vector<std::size_t> toffoli_layers;
+        for (std::size_t i = 0; i < ops.size(); ++i)
+            if (ops[i].kind == circuit::OpKind::Toffoli)
+                toffoli_layers.push_back(layers[i]);
+        std::sort(toffoli_layers.begin(), toffoli_layers.end());
+        toffoli_layers.erase(std::unique(toffoli_layers.begin(),
+                                         toffoli_layers.end()),
+                             toffoli_layers.end());
+        const double log2n = std::log2(static_cast<double>(n));
+        EXPECT_GE(toffoli_layers.size(), static_cast<std::size_t>(log2n));
+        EXPECT_LE(toffoli_layers.size(),
+                  static_cast<std::size_t>(4.0 * log2n) + 2);
+        // And the ripple adder really is linear for contrast.
+        EXPECT_GT(rippleAdderCircuit(n).depth(), n);
+    }
+}
+
+TEST(QclaCircuit, QubitCountNearPaperAncillaModel)
+{
+    // 3n + 1 sum/input qubits plus a ~n-node propagate tree; the
+    // qclaCost model quotes ~4n total ancilla for the same structure.
+    for (std::size_t n : {32u, 128u, 512u}) {
+        const std::size_t total = qclaAdderQubits(n);
+        EXPECT_GE(total, 3 * n + 1);
+        EXPECT_LE(total, 4 * n + 2);
+    }
+}
+
+TEST(ToffoliNetwork, BrickworkStructure)
+{
+    const auto c = toffoliNetworkCircuit(9, 6);
+    EXPECT_EQ(c.countKind(circuit::OpKind::Toffoli), c.size());
+    // Layer 0 packs floor((9-0)/3) = 3 gates; depth equals layers since
+    // consecutive layers overlap on shared wires.
+    EXPECT_EQ(c.depth(), 6u);
+    for (const auto &op : c.ops()) {
+        EXPECT_EQ(op.q1, op.q0 + 1);
+        EXPECT_EQ(op.q2, op.q0 + 2);
+    }
+}
+
+TEST(BandedQft, BandLimitsInteractionDistance)
+{
+    const std::size_t n = 32, band = qftBandWidth(n);
+    EXPECT_EQ(band, 5u + 6u);
+    const auto c = bandedQftCircuit(n, band);
+    EXPECT_EQ(c.countKind(circuit::OpKind::H), n);
+    std::size_t cz = 0;
+    for (const auto &op : c.ops()) {
+        if (op.kind != circuit::OpKind::Cz)
+            continue;
+        ++cz;
+        const std::size_t lo = std::min(op.q0, op.q1);
+        const std::size_t hi = std::max(op.q0, op.q1);
+        EXPECT_LE(hi - lo, band);
+    }
+    // Every qubit i rotates against min(band, n-1-i) later qubits.
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        expected += std::min(band, n - 1 - i);
+    EXPECT_EQ(cz, expected);
+}
+
 TEST(Toffoli, GadgetNumbers)
 {
     const ToffoliGadget gadget;
@@ -193,6 +341,41 @@ TEST(Shor, EccStepsComposition)
     EXPECT_EQ(row.eccSteps,
               row.toffoliGates * 21 + model.qftEccSteps(512));
     EXPECT_GT(row.computationSize, 0.0);
+}
+
+TEST(Shor, ClosedFormAgreesWithCoSimulatedQclaBlock)
+{
+    // Acceptance: execute the N = 128 QCLA block over the island mesh
+    // and extrapolate its measured per-critical-Toffoli charge through
+    // the MExp structure; it must agree with the closed-form Table-2
+    // latency model within 15%.
+    const auto validation = validateShorAgainstCoSim(128);
+    EXPECT_TRUE(validation.blockReport.completed);
+    EXPECT_GT(validation.blockCriticalToffolis, 0u);
+    // The executed schedule charges ~21 EC windows per critical-path
+    // Toffoli -- the closed form's assumption, now measured.
+    EXPECT_NEAR(validation.measuredWindowsPerToffoli, 21.0, 21.0 * 0.15);
+    EXPECT_GT(validation.ratio, 0.85);
+    EXPECT_LT(validation.ratio, 1.15);
+    // At the paper's design point (bandwidth 2) communication overlaps
+    // completely, so the block runs at its dependency critical path.
+    EXPECT_TRUE(validation.blockReport.fullyOverlapped());
+    EXPECT_EQ(validation.blockReport.windows,
+              validation.blockCriticalWindows);
+}
+
+TEST(Shor, CoSimValidationDegradesGracefullyAtBandwidthOne)
+{
+    // The same pipeline at bandwidth 1 must show the latency cost the
+    // paper argues bandwidth 2 avoids: stalls stretch the makespan, so
+    // the extrapolated run time exceeds the closed form.
+    network::CoSimConfig cosim;
+    cosim.bandwidth = 1;
+    const auto v = validateShorAgainstCoSim(64, ShorResourceModel{},
+                                            cosim);
+    EXPECT_TRUE(v.blockReport.completed);
+    EXPECT_GE(v.blockReport.windows, v.blockCriticalWindows);
+    EXPECT_GE(v.ratio, 1.0);
 }
 
 TEST(Shor, ScalesSuperlinearly)

@@ -1,11 +1,25 @@
 /**
  * @file
- * Island-mesh and greedy EPR-scheduler tests (Section 5).
+ * Interconnect-layer tests (Section 5): island mesh, greedy EPR routing
+ * and scheduling, logical-tile placement, program lowering, and the
+ * event-driven logical-program co-simulation, including the scheduler
+ * invariants (link capacity, EPR-pair conservation, mesh-walk validity,
+ * drift bijection) and the paper's bandwidth/drift conclusions.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "apps/qcla.h"
+#include "apps/qft.h"
+#include "apps/toffoli.h"
+#include "network/cosim.h"
 #include "network/mesh.h"
+#include "network/placement.h"
+#include "network/program_workload.h"
 #include "network/scheduler.h"
 #include "network/workload.h"
 
@@ -192,4 +206,520 @@ TEST(Scheduler, UtilizationWithinPhysicalBounds)
         EXPECT_LE(report.utilization, 1.0);
         EXPECT_LE(report.pairsDelivered, report.pairsRequested);
     }
+}
+
+//
+// EprRouter path properties (scheduler invariant: every candidate path
+// is a valid walk on the mesh).
+//
+
+namespace {
+
+void
+expectValidWalk(const std::vector<IslandCoord> &path,
+                const IslandCoord &from, const IslandCoord &to,
+                int width, int height)
+{
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), from);
+    EXPECT_EQ(path.back(), to);
+    for (const auto &c : path) {
+        EXPECT_GE(c.x, 0);
+        EXPECT_LT(c.x, width);
+        EXPECT_GE(c.y, 0);
+        EXPECT_LT(c.y, height);
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const int dx = std::abs(path[i + 1].x - path[i].x);
+        const int dy = std::abs(path[i + 1].y - path[i].y);
+        EXPECT_EQ(dx + dy, 1) << "non-unit hop at " << i;
+    }
+}
+
+} // namespace
+
+TEST(EprRouter, PathsAreValidMeshWalks)
+{
+    const int width = 9, height = 7;
+    Rng rng(2024);
+    for (int trial = 0; trial < 500; ++trial) {
+        const IslandCoord from{
+            static_cast<int>(rng.uniformInt(width)),
+            static_cast<int>(rng.uniformInt(height))};
+        const IslandCoord to{
+            static_cast<int>(rng.uniformInt(width)),
+            static_cast<int>(rng.uniformInt(height))};
+        if (from == to)
+            continue;
+        for (const bool y_first : {false, true})
+            expectValidWalk(
+                EprRouter::dimensionOrderedPath(from, to, y_first),
+                from, to, width, height);
+        for (int shift = -2; shift <= 2; ++shift) {
+            if (shift == 0)
+                continue;
+            if (from.x + shift >= 0 && from.x + shift < width)
+                expectValidWalk(
+                    EprRouter::detourPath(from, to, shift), from, to,
+                    width, height);
+            if (from.y + shift >= 0 && from.y + shift < height)
+                expectValidWalk(
+                    EprRouter::detourPathRow(from, to, shift), from, to,
+                    width, height);
+        }
+    }
+}
+
+TEST(EprRouter, DimensionOrderedPathIsShortest)
+{
+    const IslandCoord from{1, 1}, to{4, 5};
+    for (const bool y_first : {false, true}) {
+        const auto path = EprRouter::dimensionOrderedPath(from, to,
+                                                          y_first);
+        EXPECT_EQ(path.size(), 1u + 3u + 4u);
+    }
+}
+
+TEST(EprRouter, CapacityNeverExceededWithinWindow)
+{
+    // Random demand storms can never push a directed link beyond
+    // bandwidth x slots in one window.
+    const int width = 6, height = 6;
+    IslandMesh mesh(width, height, 2, 30);
+    const EprRouter router(2);
+    RouteStats stats;
+    Rng rng(77);
+    for (int window = 0; window < 40; ++window) {
+        for (int d = 0; d < 30; ++d) {
+            EprDemand demand;
+            demand.source = {static_cast<int>(rng.uniformInt(width)),
+                             static_cast<int>(rng.uniformInt(height))};
+            demand.destination = {
+                static_cast<int>(rng.uniformInt(width)),
+                static_cast<int>(rng.uniformInt(height))};
+            demand.pairs = 1 + rng.uniformInt(90);
+            const std::uint64_t moved = router.routePairs(
+                mesh, demand, demand.pairs, stats);
+            EXPECT_LE(moved, demand.pairs);
+        }
+        std::uint64_t used_total = 0;
+        for (int x = 0; x < width; ++x)
+            for (int y = 0; y < height; ++y)
+                for (const Direction dir :
+                     {Direction::East, Direction::West, Direction::North,
+                      Direction::South}) {
+                    const IslandCoord from{x, y};
+                    IslandCoord to = from;
+                    switch (dir) {
+                      case Direction::East: ++to.x; break;
+                      case Direction::West: --to.x; break;
+                      case Direction::North: ++to.y; break;
+                      case Direction::South: --to.y; break;
+                    }
+                    if (!mesh.inBounds(to))
+                        continue;
+                    const std::uint64_t used = mesh.usedSlots(from, dir);
+                    EXPECT_LE(used, mesh.linkCapacity());
+                    EXPECT_EQ(used + mesh.freeSlots(from, dir),
+                              mesh.linkCapacity());
+                    used_total += used;
+                }
+        EXPECT_EQ(used_total, mesh.reservedThisWindow());
+        mesh.advanceWindow();
+    }
+}
+
+//
+// Tile placement.
+//
+
+TEST(TilePlacement, AssignReleaseKeepsBijection)
+{
+    TilePlacement placement(4, 5, 3); // 12 x 5 tiles
+    EXPECT_EQ(placement.totalTiles(), 60u);
+    placement.assign(7, {0, 0});
+    placement.assign(3, {11, 4});
+    EXPECT_TRUE(placement.isBijective());
+    EXPECT_EQ(placement.occupantOf({0, 0}), 7u);
+    EXPECT_EQ(placement.islandOf(EntityId{7}).x, 0);
+    EXPECT_EQ(placement.islandOf(EntityId{3}).x, 3);
+    placement.moveTo(7, {1, 1});
+    EXPECT_TRUE(placement.isBijective());
+    EXPECT_EQ(placement.occupantOf({0, 0}), kNoEntity);
+    placement.release(3);
+    EXPECT_TRUE(placement.isBijective());
+    EXPECT_EQ(placement.occupiedTiles(), 1u);
+}
+
+TEST(TilePlacement, NearestFreeIsDeterministicAndNear)
+{
+    TilePlacement placement(4, 4, 3);
+    placement.assign(0, {5, 2});
+    const auto a = placement.nearestFree({5, 2});
+    const auto b = placement.nearestFree({5, 2});
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(*a, *b);
+    EXPECT_EQ(std::abs(a->x - 5) + std::abs(a->y - 2), 1);
+}
+
+TEST(TilePlacement, DriftMovesTowardPartnerIsland)
+{
+    TilePlacement placement(6, 1, 3);
+    placement.assign(0, {0, 0});
+    placement.assign(1, {17, 0});
+    EXPECT_TRUE(placement.driftToward(0, 1));
+    EXPECT_TRUE(placement.isBijective());
+    // Partner island has free tiles, so the pair is now co-located.
+    EXPECT_TRUE(placement.islandOf(EntityId{0})
+                == placement.islandOf(EntityId{1}));
+    // Already co-located: no further move.
+    EXPECT_FALSE(placement.driftToward(0, 1));
+    // Drift never moves *away*: a qubit already nearest its partner's
+    // full island stays put.
+    TilePlacement tight(2, 1, 1);
+    tight.assign(0, {0, 0});
+    tight.assign(1, {1, 0});
+    EXPECT_FALSE(tight.driftToward(0, 1)); // partner island is full
+    EXPECT_EQ(tight.tileOf(0), (TileCoord{0, 0}));
+}
+
+TEST(TilePlacement, HilbertOrderCoversEveryTileOnce)
+{
+    for (const auto &[w, h] : {std::pair{5, 7}, {8, 8}, {12, 3}}) {
+        const auto order = hilbertTileOrder(w, h);
+        ASSERT_EQ(order.size(), static_cast<std::size_t>(w) * h);
+        std::set<std::pair<int, int>> seen;
+        for (const auto &t : order) {
+            EXPECT_GE(t.x, 0);
+            EXPECT_LT(t.x, w);
+            EXPECT_GE(t.y, 0);
+            EXPECT_LT(t.y, h);
+            seen.insert({t.x, t.y});
+        }
+        EXPECT_EQ(seen.size(), order.size());
+    }
+}
+
+TEST(TilePlacement, AffinityOrderInterleavesAdderRegisters)
+{
+    // In the carry-lookahead adder a_i, b_i and s_i interact heavily;
+    // the affinity arrangement must put them close together -- far
+    // tighter than the register-by-register identity order.
+    const auto circuit = apps::qclaAdderCircuit(64);
+    const auto order = affinityOrder(circuit);
+    ASSERT_EQ(order.size(), circuit.numQubits());
+    std::vector<std::size_t> position(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        position[order[i]] = i;
+    double affinity_sum = 0.0, identity_sum = 0.0;
+    std::uint64_t edges = 0;
+    for (const auto &op : circuit.ops()) {
+        const auto qs = op.qubits();
+        for (std::size_t i = 0; i < qs.size(); ++i)
+            for (std::size_t j = i + 1; j < qs.size(); ++j) {
+                affinity_sum += std::abs(
+                    static_cast<double>(position[qs[i]])
+                    - static_cast<double>(position[qs[j]]));
+                identity_sum += std::abs(static_cast<double>(qs[i])
+                                         - static_cast<double>(qs[j]));
+                ++edges;
+            }
+    }
+    ASSERT_GT(edges, 0u);
+    EXPECT_LT(affinity_sum, 0.5 * identity_sum);
+    // And it is deterministic.
+    EXPECT_EQ(order, affinityOrder(circuit));
+}
+
+TEST(TilePlacement, PlaceProgramQubitsStrideLeavesLocalFreeTiles)
+{
+    const auto circuit = apps::qclaAdderCircuit(16);
+    TilePlacement placement(8, 8, 3);
+    placeProgramQubits(placement, circuit, PlacementStrategy::Affinity,
+                       Rng(1), 3);
+    EXPECT_EQ(placement.occupiedTiles(), circuit.numQubits());
+    EXPECT_TRUE(placement.isBijective());
+    // Every placed qubit has a free tile within 2 hops.
+    for (const EntityId e : placement.placedEntities()) {
+        const TileCoord t = placement.tileOf(e);
+        const auto free = placement.nearestFree(t);
+        ASSERT_TRUE(free);
+        EXPECT_LE(std::abs(free->x - t.x) + std::abs(free->y - t.y), 2);
+    }
+}
+
+//
+// Program lowering.
+//
+
+TEST(ProgramWorkload, GateDurationsAndDependencies)
+{
+    circuit::QuantumCircuit c(4, "demo");
+    c.h(0);                // gate 0
+    c.cnot(0, 1);          // gate 1, depends on 0
+    c.toffoli(0, 1, 2);    // gate 2, depends on 1 (both operands)
+    c.x(3);                // gate 3, independent
+    c.cz(2, 3);            // gate 4, depends on 2 and 3
+    const ProgramWorkload program(c);
+    ASSERT_EQ(program.gates().size(), 5u);
+    EXPECT_EQ(program.gates()[0].durationWindows, 1);
+    EXPECT_EQ(program.gates()[2].durationWindows, 21);
+    EXPECT_EQ(program.gates()[2].ancillaCount, 6);
+    EXPECT_EQ(program.gates()[0].dependencyCount, 0);
+    EXPECT_EQ(program.gates()[1].dependencyCount, 1);
+    EXPECT_EQ(program.gates()[2].dependencyCount, 1);
+    EXPECT_EQ(program.gates()[4].dependencyCount, 2);
+    EXPECT_EQ(program.gates()[0].successors,
+              (std::vector<std::size_t>{1}));
+    // Critical path: h(1) + cnot(1) + toffoli(21) + cz(1) = 24 windows,
+    // with exactly one Toffoli on it.
+    const auto critical = program.criticalPath();
+    EXPECT_EQ(critical.windows, 24u);
+    EXPECT_EQ(critical.toffolis, 1u);
+}
+
+TEST(ProgramWorkload, ToffoliInteractionSchedulesAreDeterministic)
+{
+    circuit::QuantumCircuit c(3, "t");
+    c.toffoli(0, 1, 2);
+    const ProgramWorkload program(c);
+    const auto &gate = program.gates()[0];
+    for (int w = 0; w < gate.durationWindows; ++w) {
+        const auto a = program.interactionsForWindow(0, w);
+        const auto b = program.interactionsForWindow(0, w);
+        ASSERT_EQ(a.size(), b.size());
+        EXPECT_EQ(a.size(), 2u);
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].mover, b[i].mover);
+            EXPECT_EQ(a[i].target, b[i].target);
+        }
+        for (const auto &inter : a) {
+            // Prep windows stay inside the ancilla network; finish
+            // windows couple operands and ancillas.
+            const bool prep = w < 15;
+            if (prep) {
+                EXPECT_TRUE(inter.mover.isAncilla);
+                EXPECT_TRUE(inter.target.isAncilla);
+            } else {
+                EXPECT_TRUE(inter.mover.isAncilla
+                            != inter.target.isAncilla);
+            }
+        }
+    }
+}
+
+TEST(ProgramWorkload, MeshSizingFitsProgram)
+{
+    const ProgramWorkload program(apps::qclaAdderCircuit(32));
+    const auto extent = meshForProgram(program);
+    EXPECT_GE(extent.width, 2);
+    EXPECT_GE(extent.height, 2);
+    const std::size_t tiles = static_cast<std::size_t>(extent.width)
+        * program.config().tilesPerIslandX * extent.height;
+    EXPECT_GE(tiles, program.circuit().numQubits()
+                  + program.peakAncillaTiles());
+}
+
+//
+// Co-simulation: conservation, bijection, and the paper's conclusions.
+//
+
+TEST(CoSim, EprPairsConservedEveryWindow)
+{
+    const ProgramWorkload program(apps::qclaAdderCircuit(16));
+    CoSimConfig config;
+    config.bandwidth = 2;
+    ProgramCoSimulator simulator(program, config);
+    std::uint64_t windows_probed = 0;
+    const auto report = simulator.run([&](const WindowProbe &probe) {
+        ++windows_probed;
+        // Generated = delivered + still pending (+ dropped).
+        EXPECT_EQ(probe.pairsRequested,
+                  probe.pairsDelivered + probe.pairsPending
+                      + probe.pairsDropped);
+    });
+    EXPECT_TRUE(report.completed);
+    EXPECT_EQ(windows_probed, report.windows + report.warmupWindows);
+    EXPECT_EQ(report.pairsRequested,
+              report.pairsDelivered() + report.pairsDropped);
+}
+
+TEST(CoSim, DriftBookkeepingStaysBijective)
+{
+    const ProgramWorkload program(apps::qclaAdderCircuit(16));
+    CoSimConfig config;
+    config.bandwidth = 2;
+    ProgramCoSimulator simulator(program, config);
+    const auto report = simulator.run([&](const WindowProbe &probe) {
+        ASSERT_NE(probe.placement, nullptr);
+        EXPECT_TRUE(probe.placement->isBijective());
+    });
+    EXPECT_TRUE(report.completed);
+    EXPECT_GT(report.driftMoves, 0u);
+}
+
+TEST(CoSim, BandwidthTwoFullyOverlapsQcla)
+{
+    // Acceptance: at the paper's 100-cell design point (window, service
+    // time, island pitch defaults), bandwidth 2 runs the QCLA block
+    // with communication fully overlapped -- the makespan IS the
+    // dependency critical path.
+    const ProgramWorkload program(apps::qclaAdderCircuit(64));
+    CoSimConfig config;
+    config.bandwidth = 2;
+    const auto report = ProgramCoSimulator(program, config).run();
+    EXPECT_TRUE(report.completed);
+    EXPECT_TRUE(report.fullyOverlapped());
+    EXPECT_EQ(report.windows, report.criticalPathWindows);
+}
+
+TEST(CoSim, BandwidthTwoFullyOverlapsToffoliNetwork)
+{
+    const ProgramWorkload program(apps::toffoliNetworkCircuit(27, 21));
+    CoSimConfig config;
+    config.bandwidth = 2;
+    const auto report = ProgramCoSimulator(program, config).run();
+    EXPECT_TRUE(report.completed);
+    EXPECT_TRUE(report.fullyOverlapped());
+    EXPECT_EQ(report.windows, report.criticalPathWindows);
+}
+
+TEST(CoSim, BandwidthOneStallsComputation)
+{
+    const ProgramWorkload program(apps::toffoliNetworkCircuit(27, 21));
+    CoSimConfig config;
+    config.bandwidth = 1;
+    const auto report = ProgramCoSimulator(program, config).run();
+    EXPECT_TRUE(report.completed);
+    EXPECT_FALSE(report.fullyOverlapped());
+    EXPECT_GT(report.windows, report.criticalPathWindows);
+}
+
+TEST(CoSim, MoreBandwidthNeverStallsMore)
+{
+    const ProgramWorkload program(apps::bandedQftCircuit(
+        64, apps::qftBandWidth(64)));
+    std::uint64_t previous = ~std::uint64_t{0};
+    for (const int bandwidth : {1, 2, 4}) {
+        CoSimConfig config;
+        config.bandwidth = bandwidth;
+        const auto report = ProgramCoSimulator(program, config).run();
+        EXPECT_TRUE(report.completed);
+        EXPECT_LE(report.stallWindows, previous);
+        previous = report.stallWindows;
+    }
+}
+
+TEST(CoSim, DriftOptimizationReducesDeliveredTraffic)
+{
+    // Acceptance: drift reduces delivered-pair mesh traffic (without it
+    // every interaction is a round trip and qubits never co-locate).
+    const ProgramWorkload program(apps::qclaAdderCircuit(32));
+    CoSimConfig with;
+    with.driftOptimization = true;
+    CoSimConfig without = with;
+    without.driftOptimization = false;
+    const auto on = ProgramCoSimulator(program, with).run();
+    const auto off = ProgramCoSimulator(program, without).run();
+    EXPECT_TRUE(on.completed);
+    EXPECT_TRUE(off.completed);
+    EXPECT_LT(on.pairsRoutedOnMesh, off.pairsRoutedOnMesh);
+    EXPECT_GT(on.driftMoves, 0u);
+    EXPECT_EQ(off.driftMoves, 0u);
+}
+
+TEST(CoSim, DeterministicForFixedConfig)
+{
+    const ProgramWorkload program(apps::toffoliNetworkCircuit(15, 9));
+    CoSimConfig config;
+    config.placement = PlacementStrategy::Random;
+    config.seed = 9;
+    const auto a = ProgramCoSimulator(program, config).run();
+    const auto b = ProgramCoSimulator(program, config).run();
+    EXPECT_EQ(a.windows, b.windows);
+    EXPECT_EQ(a.pairsRoutedOnMesh, b.pairsRoutedOnMesh);
+    EXPECT_EQ(a.stallWindows, b.stallWindows);
+    EXPECT_EQ(a.driftMoves, b.driftMoves);
+    EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+TEST(CoSim, SweepIsThreadCountInvariant)
+{
+    // The sweep runs on the shot scheduler with one job per
+    // (workload, bandwidth, seed); results must be bit-identical for
+    // every thread count (repo determinism contract).
+    std::vector<ProgramWorkload> workloads;
+    workloads.emplace_back(apps::toffoliNetworkCircuit(12, 6));
+    workloads.emplace_back(apps::qclaAdderCircuit(8));
+    CoSimSweepConfig sweep;
+    sweep.bandwidths = {1, 2};
+    sweep.seeds = {1, 2, 3};
+    sweep.base.placement = PlacementStrategy::Random;
+    sweep.threads = 1;
+    const auto serial = runCoSimSweep(workloads, sweep);
+    sweep.threads = 4;
+    const auto parallel = runCoSimSweep(workloads, sweep);
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(serial.size(), 2u * 2u * 3u);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].workload, parallel[i].workload);
+        EXPECT_EQ(serial[i].bandwidth, parallel[i].bandwidth);
+        EXPECT_EQ(serial[i].seed, parallel[i].seed);
+        EXPECT_EQ(serial[i].report.windows, parallel[i].report.windows);
+        EXPECT_EQ(serial[i].report.pairsRequested,
+                  parallel[i].report.pairsRequested);
+        EXPECT_EQ(serial[i].report.pairsRoutedOnMesh,
+                  parallel[i].report.pairsRoutedOnMesh);
+        EXPECT_EQ(serial[i].report.stallWindows,
+                  parallel[i].report.stallWindows);
+        EXPECT_EQ(serial[i].report.driftMoves,
+                  parallel[i].report.driftMoves);
+        EXPECT_DOUBLE_EQ(serial[i].report.utilization,
+                         parallel[i].report.utilization);
+        EXPECT_DOUBLE_EQ(serial[i].report.averageRouteLength,
+                         parallel[i].report.averageRouteLength);
+    }
+    const auto stats = reduceCoSimSweep(serial);
+    EXPECT_EQ(stats.makespanWindows.count(), serial.size());
+    EXPECT_EQ(stats.stalledRuns.trials(), serial.size());
+}
+
+TEST(CoSim, AncillaAllocationPressureIsDiagnosable)
+{
+    // A mesh too small for the gadget ancillas must show up in the
+    // allocation-stall ledger (and break fullyOverlapped), not pass
+    // silently as a long stall-free run.
+    circuit::QuantumCircuit c(9, "tight");
+    c.toffoli(0, 1, 2); // needs 6 ancilla tiles; 2x2x3 - 9 = 3 free
+    const ProgramWorkload program(c);
+    CoSimConfig config;
+    config.meshWidth = 2;
+    config.meshHeight = 2;
+    config.maxWindows = 50;
+    const auto report = ProgramCoSimulator(program, config).run();
+    EXPECT_FALSE(report.completed);
+    EXPECT_GT(report.allocationStallWindows, 0u);
+    EXPECT_FALSE(report.fullyOverlapped());
+}
+
+TEST(CoSim, RunawayGuardReportsIncomplete)
+{
+    const ProgramWorkload program(apps::toffoliNetworkCircuit(9, 12));
+    CoSimConfig config;
+    config.maxWindows = 5; // far below the ~250-window critical path
+    const auto report = ProgramCoSimulator(program, config).run();
+    EXPECT_FALSE(report.completed);
+    EXPECT_LE(report.windows + report.warmupWindows, 5u);
+}
+
+TEST(CoSim, EmptyProgramCompletesImmediately)
+{
+    const ProgramWorkload program(circuit::QuantumCircuit(4, "empty"));
+    CoSimConfig config;
+    config.meshWidth = 2;
+    config.meshHeight = 2;
+    const auto report = ProgramCoSimulator(program, config).run();
+    EXPECT_TRUE(report.completed);
+    EXPECT_EQ(report.windows, 0u);
+    EXPECT_EQ(report.pairsRequested, 0u);
 }

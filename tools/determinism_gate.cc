@@ -24,6 +24,11 @@
  *       Statistical scalar-vs-batched agreement at a spot point;
  *       exits non-zero when the estimates disagree beyond their
  *       combined 95% intervals (with slack).
+ *
+ *   determinism_gate --mode interconnect [--threads N]
+ *       Logical-program co-simulation sweep (workloads x bandwidths x
+ *       placement seeds on the shot scheduler); identical output is
+ *       required for every thread count and for fixed-seed reruns.
  */
 
 #include <cstdio>
@@ -31,10 +36,14 @@
 #include <cstring>
 #include <string>
 
+#include "apps/qcla.h"
+#include "apps/qft.h"
+#include "apps/toffoli.h"
 #include "arq/batched_monte_carlo.h"
 #include "arq/monte_carlo.h"
 #include "common/rng.h"
 #include "ecc/steane.h"
+#include "network/cosim.h"
 
 using namespace qla;
 using namespace qla::arq;
@@ -130,6 +139,53 @@ runCrosscheck(std::size_t shots)
     return failures ? 1 : 0;
 }
 
+int
+runInterconnect(int threads)
+{
+    using namespace qla::network;
+    std::vector<ProgramWorkload> workloads;
+    workloads.emplace_back(qla::apps::toffoliNetworkCircuit(15, 12));
+    workloads.emplace_back(qla::apps::qclaAdderCircuit(16));
+    workloads.emplace_back(
+        qla::apps::bandedQftCircuit(24, qla::apps::qftBandWidth(24)));
+
+    CoSimSweepConfig sweep;
+    sweep.bandwidths = {1, 2, 4};
+    sweep.seeds = {1, 2};
+    sweep.base.placement = PlacementStrategy::Random;
+    sweep.threads = threads;
+    const auto points = runCoSimSweep(workloads, sweep);
+    for (const auto &point : points) {
+        const auto &r = point.report;
+        std::printf(
+            "w=%zu bw=%d seed=%llu windows=%llu warmup=%llu "
+            "stallW=%llu gatesStalled=%llu req=%llu mesh=%llu "
+            "local=%llu deferred=%llu drift=%llu reroutes=%llu "
+            "util=%.17g route=%.17g\n",
+            point.workload, point.bandwidth,
+            (unsigned long long)point.seed,
+            (unsigned long long)r.windows,
+            (unsigned long long)r.warmupWindows,
+            (unsigned long long)r.stallWindows,
+            (unsigned long long)r.gatesStalled,
+            (unsigned long long)r.pairsRequested,
+            (unsigned long long)r.pairsRoutedOnMesh,
+            (unsigned long long)r.pairsLocal,
+            (unsigned long long)r.deferredPairWindows,
+            (unsigned long long)r.driftMoves,
+            (unsigned long long)r.backoffReroutes, r.utilization,
+            r.averageRouteLength);
+    }
+    const auto stats = reduceCoSimSweep(points);
+    std::printf("makespan_mean=%.17g util_mean=%.17g stall_mean=%.17g "
+                "stalled_runs=%llu/%llu\n",
+                stats.makespanWindows.mean(), stats.utilization.mean(),
+                stats.stallWindows.mean(),
+                (unsigned long long)stats.stalledRuns.successes(),
+                (unsigned long long)stats.stalledRuns.trials());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -180,6 +236,8 @@ main(int argc, char **argv)
             : runSpotBatched(group, compaction, fill, threads, shots);
     if (mode == "crosscheck")
         return runCrosscheck(shots);
+    if (mode == "interconnect")
+        return runInterconnect(threads);
     std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
     return 2;
 }
