@@ -32,12 +32,18 @@ BatchedLogicalQubitExperiment::BatchedLogicalQubitExperiment(
     int max_prep_attempts, BatchOptions options)
     : code_(code), noise_(noise), layout_(layout),
       max_prep_attempts_(max_prep_attempts), options_(options),
-      n_(code.blockLength()), rows_(code_, noise_, layout_)
+      n_(code.blockLength()), rows_(code_, noise_, layout_),
+      frames_(3 * code.blockLength() * code.blockLength() * 3,
+              options.groupWords)
 {
     qla_assert(max_prep_attempts_ >= 1);
     qla_assert(options_.groupWords >= 1
                    && options_.groupWords <= kMaxGroupWords,
                "groupWords must be in [1, ", kMaxGroupWords, "]");
+    qla_assert(options_.simdWidth == 1 || options_.simdWidth == 2
+                   || options_.simdWidth == 4 || options_.simdWidth == 8,
+               "simdWidth must be 1, 2, 4 or 8, got ",
+               options_.simdWidth);
     qla_assert(n_ <= 32, "bit-sliced decode supports block length <= 32");
     qla_assert(code_.xChecks().size() <= 8 && code_.zChecks().size() <= 8,
                "bit-sliced decode supports <= 8 check rows");
@@ -49,16 +55,14 @@ BatchedLogicalQubitExperiment::BatchedLogicalQubitExperiment(
     logical_z_bits_ = bitListOf(code_.logicalZ());
 
     const NoiseClassTable &table = recordAllTraces();
-    const std::size_t num_qubits = 3 * n_ * n_ * 3;
-    frames_.reserve(options_.groupWords);
     models_.reserve(options_.groupWords);
     for (std::size_t w = 0; w < options_.groupWords; ++w) {
-        frames_.emplace_back(num_qubits);
         models_.emplace_back(table);
         flips_[w].reserve(n_ * n_);
     }
     retry_pool_ = std::make_unique<PrepRetryPool>(
-        code_, rows_, max_prep_attempts_, classes_, shadow_of_primary_);
+        code_, rows_, max_prep_attempts_, classes_, shadow_of_primary_,
+        options_.faultSampling);
 }
 
 BatchedLogicalQubitExperiment::~BatchedLogicalQubitExperiment() = default;
@@ -199,6 +203,14 @@ BatchedLogicalQubitExperiment::recordAllTraces()
         }
         traces_[1][t] = std::move(twin);
     }
+
+    // Per-class site counts power FaultSampling::TraceDraws; finalize
+    // after the shadow classes so every class id is covered. Unrecorded
+    // slots of the sparse trace index space finalize to all-zero counts.
+    const std::size_t total_classes = classes_.probabilities().size();
+    for (auto &variant : traces_)
+        for (FrameTrace &t : variant)
+            finalizeTraceClassSites(t, total_classes);
     return classes_;
 }
 
@@ -254,12 +266,9 @@ BatchedLogicalQubitExperiment::replaySeg(Seg seg, std::size_t c,
     const FrameTrace &t = traces_[shadow_ ? 1 : 0]
                                  [traceIndex(seg, c, g, role, flag)];
     qla_assert(!t.ops.empty(), "trace not recorded");
-    for (std::uint32_t w = 0; w < active.n; ++w) {
-        if (!active.w[w])
-            continue;
-        flips_[w].clear();
-        replayTrace(t, frames_[w], models_[w], active.w[w], flips_[w]);
-    }
+    replayTraceGroup(t, frames_, models_.data(), active.w.data(),
+                     active.n, flips_.data(), options_.simdWidth,
+                     options_.faultSampling);
 }
 
 //
@@ -424,12 +433,13 @@ BatchedLogicalQubitExperiment::applyCorrection(std::size_t c,
             const std::size_t q = ion(c, g, role, i);
             // Fold the Pauli correction into the frame; the physical
             // gate can itself fault, on exactly the lanes that applied
-            // it.
+            // it. Corrections are rare and data-dependent, so they stay
+            // on the per-site shadow sampler in both sampling modes.
             if (detect_x)
-                frames_[w].injectX(q, lanes);
+                frames_.injectX(w, q, lanes);
             else
-                frames_[w].injectZ(q, lanes);
-            quantum::depolarize1(frames_[w], q,
+                frames_.injectZ(w, q, lanes);
+            quantum::depolarize1(frames_, w, q,
                                  models_[w].samplers[cls_corr_],
                                  models_[w].lanes, lanes);
         }
@@ -664,10 +674,10 @@ BatchedLogicalQubitExperiment::ecCycleL2(const LaneSet &active,
                 for (std::size_t i = 0; i < n_; ++i) {
                     const std::size_t q = ion(0, g, Role::Data, i);
                     if (detect_x)
-                        frames_[w].injectX(q, lanes);
+                        frames_.injectX(w, q, lanes);
                     else
-                        frames_[w].injectZ(q, lanes);
-                    quantum::depolarize1(frames_[w], q,
+                        frames_.injectZ(w, q, lanes);
+                    quantum::depolarize1(frames_, w, q,
                                          models_[w].samplers[cls_corr_],
                                          models_[w].lanes, lanes);
                 }
@@ -759,7 +769,7 @@ BatchedLogicalQubitExperiment::compactL2PrepRetries(std::size_t c,
         for (std::size_t g = 0; g < n_; ++g)
             for (std::size_t i = 0; i < n_; ++i) {
                 const std::size_t q = ion(c, g, Role::Data, i);
-                pool.scatterRow(k, frames_, q, tw.frames_[k], q);
+                pool.scatterRow(k, frames_, q, tw.frames_, k, q);
             }
         pool.transplantOut(k, models_, tw.models_[k], twin_map);
     }
@@ -783,7 +793,7 @@ BatchedLogicalQubitExperiment::compactExtractL2(bool detect_x,
         for (std::size_t g = 0; g < n_; ++g)
             for (std::size_t i = 0; i < n_; ++i) {
                 const std::size_t q = ion(0, g, Role::Data, i);
-                pool.gatherRow(k, frames_, q, tw.frames_[k], q);
+                pool.gatherRow(k, frames_, q, tw.frames_, k, q);
             }
     }
 
@@ -807,7 +817,7 @@ BatchedLogicalQubitExperiment::compactExtractL2(bool detect_x,
         for (std::size_t g = 0; g < n_; ++g)
             for (std::size_t i = 0; i < n_; ++i) {
                 const std::size_t q = ion(0, g, Role::Data, i);
-                pool.scatterRow(k, frames_, q, tw.frames_[k], q);
+                pool.scatterRow(k, frames_, q, tw.frames_, k, q);
             }
         pool.transplantOut(k, models_, tw.models_[k], twin_map);
     }
@@ -823,7 +833,7 @@ BatchedLogicalQubitExperiment::decodeLevel1Word(std::uint32_t word,
     // scalar decodeLevel1 for the gauge argument.
     std::array<std::uint64_t, 32> xm{};
     for (std::size_t i = 0; i < n_; ++i)
-        xm[i] = frames_[word].xWord(ion(c, g, role, i));
+        xm[i] = frames_.xWord(word, ion(c, g, role, i));
     return decodeXLogicalPlane(xm.data());
 }
 
@@ -843,8 +853,9 @@ BatchedLogicalQubitExperiment::runShots(int level, const LaneSet &active,
     qla_assert(level == 1 || level == 2, "levels 1 and 2 are supported");
     qla_assert(active.n <= options_.groupWords);
     shadow_ = false;
-    for (std::uint32_t w = 0; w < active.n; ++w)
-        frames_[w].reset(); // perfectly encoded |0>_L input on every lane
+    // Perfectly encoded |0>_L input on every lane of the words this
+    // batch occupies (stale words beyond active.n are never read).
+    frames_.reset(active.n);
 
     replaySeg(Seg::LogicalGate, 0, 0, 0, level == 2, active);
     LaneSet failed;

@@ -49,7 +49,7 @@
 namespace qla::arq {
 
 /** Upper bound on BatchOptions::groupWords. */
-inline constexpr std::size_t kMaxGroupWords = 16;
+inline constexpr std::size_t kMaxGroupWords = 32;
 
 /**
  * Per-word lane masks of one shot group (word w covers shots
@@ -309,9 +309,11 @@ class BatchedLogicalQubitExperiment
      * batch grouping), as the determinism contract requires.
      */
     bool shadow_ = false;
-    // One frame + noise model per group word (models follow
-    // classes_/traces_: built in the ctor body after recordAllTraces).
-    std::vector<quantum::BatchedPauliFrame> frames_;
+    // The group's frames live in one contiguous qubit-major allocation
+    // so replaySeg can run SIMD planes of adjacent words; one noise
+    // model per word (models follow classes_/traces_: built in the ctor
+    // body after recordAllTraces).
+    quantum::GroupPauliFrames frames_;
     std::vector<BatchedNoiseModel> models_;
     std::array<std::vector<std::uint64_t>, kMaxGroupWords> flips_;
     std::unique_ptr<PrepRetryPool> retry_pool_;

@@ -1,5 +1,8 @@
 #include "arq/frame_trace.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/logging.h"
 
 namespace qla::arq {
@@ -182,11 +185,59 @@ FrameTraceBuilder::take()
     return out;
 }
 
+void
+finalizeTraceClassSites(FrameTrace &trace, std::size_t num_classes)
+{
+    // One entry per sampler call the replay switch makes, in class id
+    // space; verifyTracePlans cross-checks these rules against the
+    // actual replay, so the two cannot drift silently.
+    trace.classSites.assign(num_classes, 0);
+    auto &sites = trace.classSites;
+    for (const FrameOp &op : trace.ops) {
+        switch (op.kind) {
+          case FrameOp::Kind::Noise1:
+          case FrameOp::Kind::Noise2:
+          case FrameOp::Kind::NoisyH:
+            sites[op.cls] += 1;
+            break;
+          case FrameOp::Kind::NoisyCnotMT:
+          case FrameOp::Kind::NoisyCnotMC:
+            sites[op.cls] += 2; // shuttle in + shuttle back
+            sites[op.cls2] += 1;
+            break;
+          case FrameOp::Kind::NoisyCnotMTMeasZ:
+          case FrameOp::Kind::NoisyCnotMTMeasX:
+          case FrameOp::Kind::NoisyCnotMCMeasZ:
+          case FrameOp::Kind::NoisyCnotMCMeasX:
+            sites[op.cls] += 2;
+            sites[op.cls2] += 1;
+            sites[op.cls3] += 1; // readout flip
+            break;
+          case FrameOp::Kind::Noise1Range:
+          case FrameOp::Kind::MeasureZRange:
+          case FrameOp::Kind::MeasureXRange:
+            sites[op.cls] += op.b;
+            break;
+          case FrameOp::Kind::MeasureZ:
+          case FrameOp::Kind::MeasureX:
+            sites[op.cls] += 1;
+            break;
+          default:
+            break;
+        }
+    }
+}
+
 BatchedNoiseModel::BatchedNoiseModel(const NoiseClassTable &classes)
 {
-    samplers.reserve(classes.probabilities().size());
-    for (double p : classes.probabilities())
+    const auto &probs = classes.probabilities();
+    samplers.reserve(probs.size());
+    draws.reserve(probs.size());
+    for (double p : probs) {
         samplers.emplace_back(p);
+        draws.emplace_back(p);
+    }
+    plans.resize(probs.size());
 }
 
 void
@@ -196,179 +247,368 @@ BatchedNoiseModel::rearm(const RngFamily &family, std::uint64_t first_shot)
         lanes[l] = family.stream(first_shot + l);
     for (auto &sampler : samplers)
         sampler.disarm();
+    for (auto &draw : draws)
+        draw.disarm();
 }
+
+namespace {
+
+/** Per-site fires from the per-class geometric calendars. */
+struct SiteSampling
+{
+    static std::uint64_t fire(BatchedNoiseModel &model, std::uint8_t cls,
+                              std::uint64_t active)
+    {
+        return model.samplers[cls].sample(active, model.lanes);
+    }
+};
+
+/** Per-site fires popped from the pre-walked per-trace plans. */
+struct PlannedSampling
+{
+    static std::uint64_t fire(BatchedNoiseModel &model, std::uint8_t cls,
+                              std::uint64_t active)
+    {
+        ClassDrawPlan &plan = model.plans[cls];
+        const std::uint32_t ord = plan.ordinal++;
+        if (plan.degenerate)
+            return plan.degenerate_fires & active;
+        // Fired lanes are a subset of active by construction (only
+        // active lanes were walked). Zeroing the consumed entry keeps
+        // the buffer all-zero for the next planning pass.
+        const std::uint64_t fired = plan.fires[ord];
+        plan.fires[ord] = 0;
+        return fired;
+    }
+};
+
+/**
+ * Walk every active lane's clock over the whole trace, one walk per
+ * non-degenerate class with sites, and leave the sorted fire schedules
+ * in model.plans. This is the TraceDraws fast path's core saving: a
+ * no-fire (class, lane) pair costs one counter update for the entire
+ * trace instead of one calendar bump per site.
+ */
+void
+planTraceDraws(const FrameTrace &trace, BatchedNoiseModel &model,
+               std::uint64_t active)
+{
+    qla_assert(trace.classSites.size() == model.draws.size(),
+               "trace not finalized against this class table");
+    for (std::size_t c = 0; c < model.draws.size(); ++c) {
+        ClassDrawPlan &plan = model.plans[c];
+        plan.ordinal = 0;
+        const std::int64_t sites = trace.classSites[c];
+        ClassDrawSampler &draw = model.draws[c];
+        if (!sites || draw.neverFires() || draw.alwaysFires()) {
+            // Replay still advances the ordinal site by site; degenerate
+            // probabilities consume no stream (like Rng::bernoulli).
+            plan.degenerate = true;
+            plan.degenerate_fires
+                = sites && draw.alwaysFires() ? ~std::uint64_t{0} : 0;
+            continue;
+        }
+        plan.degenerate = false;
+        if (plan.fires.size() < static_cast<std::size_t>(sites))
+            plan.fires.resize(sites); // new entries value-init to zero
+        draw.walkWord(active, sites, model.lanes, plan.fires.data());
+    }
+}
+
+/** Every plan must be exactly consumed by the replay it was built for. */
+void
+verifyTracePlans(const FrameTrace &trace, const BatchedNoiseModel &model)
+{
+    for (std::size_t c = 0; c < model.plans.size(); ++c) {
+        qla_assert(model.plans[c].ordinal == trace.classSites[c],
+                   "replay visited ", model.plans[c].ordinal,
+                   " sites of class ", c, ", trace declares ",
+                   trace.classSites[c]);
+    }
+    (void)trace;
+    (void)model;
+}
+
+/**
+ * Replay @p trace on a W-word SIMD plane: word i of the tile replays
+ * under masks[i] with models[i], its frame planes at x/z[q * stride + i]
+ * and its flip words appended to flips[i].
+ *
+ * The gate cases are W-length word loops over adjacent memory -- the
+ * auto-vectorizable kernels this file exists for. The noise and readout
+ * cases go through fire1/fire2/readout, which loop sub-words and skip
+ * inactive ones, because sampler state is per word: each word's lanes
+ * consume randomness in exactly the order a per-word replay would, so
+ * results are bit-identical for every tile width.
+ */
+template <int W, class Policy>
+void
+replayTraceTile(const FrameTrace &trace, std::uint64_t *x,
+                std::uint64_t *z, std::size_t stride,
+                BatchedNoiseModel *models, const std::uint64_t *masks,
+                std::vector<std::uint64_t> *flips)
+{
+    std::uint64_t m[W];
+    for (int i = 0; i < W; ++i)
+        m[i] = masks[i];
+
+    const auto fire1 = [&](std::uint8_t cls, std::size_t q) {
+        for (int i = 0; i < W; ++i) {
+            if (!m[i])
+                continue;
+            const std::uint64_t fired
+                = Policy::fire(models[i], cls, m[i]);
+            if (!fired)
+                continue;
+            const auto d = quantum::drawPauli1(fired, models[i].lanes);
+            x[q * stride + i] ^= d.fx;
+            z[q * stride + i] ^= d.fz;
+        }
+    };
+    const auto fire2 = [&](std::uint8_t cls, std::size_t a,
+                           std::size_t b) {
+        for (int i = 0; i < W; ++i) {
+            if (!m[i])
+                continue;
+            const std::uint64_t fired
+                = Policy::fire(models[i], cls, m[i]);
+            if (!fired)
+                continue;
+            const auto d = quantum::drawPauli2(fired, models[i].lanes);
+            x[a * stride + i] ^= d.fxa;
+            z[a * stride + i] ^= d.fza;
+            x[b * stride + i] ^= d.fxb;
+            z[b * stride + i] ^= d.fzb;
+        }
+    };
+    // Inactive words still push a zero flip word so every word's flip
+    // buffer stays index-aligned with the trace's measurement order.
+    const auto readout = [&](std::size_t q, bool measure_x,
+                             std::uint8_t cls) {
+        for (int i = 0; i < W; ++i) {
+            std::uint64_t word = 0;
+            if (m[i]) {
+                std::uint64_t &xq = x[q * stride + i];
+                std::uint64_t &zq = z[q * stride + i];
+                word = (measure_x ? zq : xq) & m[i];
+                xq &= ~m[i];
+                zq &= ~m[i];
+                word ^= Policy::fire(models[i], cls, m[i]);
+            }
+            flips[i].push_back(word);
+        }
+    };
+
+    for (const FrameOp &op : trace.ops) {
+        switch (op.kind) {
+          case FrameOp::Kind::H:
+          case FrameOp::Kind::NoisyH:
+            for (int i = 0; i < W; ++i) {
+                std::uint64_t &xq = x[op.a * stride + i];
+                std::uint64_t &zq = z[op.a * stride + i];
+                const std::uint64_t d = (xq ^ zq) & m[i];
+                xq ^= d;
+                zq ^= d;
+            }
+            if (op.kind == FrameOp::Kind::NoisyH)
+                fire1(op.cls, op.a);
+            break;
+          case FrameOp::Kind::S:
+            for (int i = 0; i < W; ++i)
+                z[op.a * stride + i] ^= x[op.a * stride + i] & m[i];
+            break;
+          case FrameOp::Kind::Cnot:
+            for (int i = 0; i < W; ++i) {
+                x[op.b * stride + i] ^= x[op.a * stride + i] & m[i];
+                z[op.a * stride + i] ^= z[op.b * stride + i] & m[i];
+            }
+            break;
+          case FrameOp::Kind::Cz:
+            for (int i = 0; i < W; ++i) {
+                const std::uint64_t xa = x[op.a * stride + i];
+                z[op.a * stride + i] ^= x[op.b * stride + i] & m[i];
+                z[op.b * stride + i] ^= xa & m[i];
+            }
+            break;
+          case FrameOp::Kind::Swap:
+            for (int i = 0; i < W; ++i) {
+                std::uint64_t &xa = x[op.a * stride + i];
+                std::uint64_t &xb = x[op.b * stride + i];
+                std::uint64_t &za = z[op.a * stride + i];
+                std::uint64_t &zb = z[op.b * stride + i];
+                const std::uint64_t dx = (xa ^ xb) & m[i];
+                const std::uint64_t dz = (za ^ zb) & m[i];
+                xa ^= dx;
+                xb ^= dx;
+                za ^= dz;
+                zb ^= dz;
+            }
+            break;
+          case FrameOp::Kind::Reset:
+            for (int i = 0; i < W; ++i) {
+                x[op.a * stride + i] &= ~m[i];
+                z[op.a * stride + i] &= ~m[i];
+            }
+            break;
+          case FrameOp::Kind::Noise1:
+            fire1(op.cls, op.a);
+            break;
+          case FrameOp::Kind::Noise2:
+            fire2(op.cls, op.a, op.b);
+            break;
+          case FrameOp::Kind::NoisyCnotMT:
+          case FrameOp::Kind::NoisyCnotMTMeasZ:
+          case FrameOp::Kind::NoisyCnotMTMeasX:
+            // Shuttle fault on the target, CNOT, two-qubit fault
+            // (control, target), shuttle-back fault -- the scalar
+            // transversal step's exact order.
+            fire1(op.cls, op.b);
+            for (int i = 0; i < W; ++i) {
+                x[op.b * stride + i] ^= x[op.a * stride + i] & m[i];
+                z[op.a * stride + i] ^= z[op.b * stride + i] & m[i];
+            }
+            fire2(op.cls2, op.a, op.b);
+            fire1(op.cls, op.b);
+            if (op.kind == FrameOp::Kind::NoisyCnotMTMeasZ)
+                readout(op.b, false, op.cls3);
+            else if (op.kind == FrameOp::Kind::NoisyCnotMTMeasX)
+                readout(op.b, true, op.cls3);
+            break;
+          case FrameOp::Kind::NoisyCnotMC:
+          case FrameOp::Kind::NoisyCnotMCMeasZ:
+          case FrameOp::Kind::NoisyCnotMCMeasX:
+            fire1(op.cls, op.a);
+            for (int i = 0; i < W; ++i) {
+                x[op.b * stride + i] ^= x[op.a * stride + i] & m[i];
+                z[op.a * stride + i] ^= z[op.b * stride + i] & m[i];
+            }
+            fire2(op.cls2, op.b, op.a);
+            fire1(op.cls, op.a);
+            if (op.kind == FrameOp::Kind::NoisyCnotMCMeasZ)
+                readout(op.a, false, op.cls3);
+            else if (op.kind == FrameOp::Kind::NoisyCnotMCMeasX)
+                readout(op.a, true, op.cls3);
+            break;
+          case FrameOp::Kind::ResetRange:
+            for (std::size_t q = op.a; q < op.a + std::size_t{op.b}; ++q)
+                for (int i = 0; i < W; ++i) {
+                    x[q * stride + i] &= ~m[i];
+                    z[q * stride + i] &= ~m[i];
+                }
+            break;
+          case FrameOp::Kind::Noise1Range:
+            for (std::size_t q = op.a; q < op.a + std::size_t{op.b}; ++q)
+                fire1(op.cls, q);
+            break;
+          case FrameOp::Kind::MeasureZRange:
+            for (std::size_t q = op.a; q < op.a + std::size_t{op.b}; ++q)
+                readout(q, false, op.cls);
+            break;
+          case FrameOp::Kind::MeasureXRange:
+            for (std::size_t q = op.a; q < op.a + std::size_t{op.b}; ++q)
+                readout(q, true, op.cls);
+            break;
+          case FrameOp::Kind::MeasureZ:
+            readout(op.a, false, op.cls);
+            break;
+          case FrameOp::Kind::MeasureX:
+            readout(op.a, true, op.cls);
+            break;
+        }
+    }
+}
+
+} // namespace
 
 void
 replayTrace(const FrameTrace &trace, quantum::BatchedPauliFrame &frame,
             BatchedNoiseModel &noise, std::uint64_t active,
-            std::vector<std::uint64_t> &flips)
+            std::vector<std::uint64_t> &flips, FaultSampling sampling)
 {
-    // The Monte Carlo's innermost loop: concrete frame type (direct word
-    // ops), inline sampler fast path, and out-of-line Pauli application
-    // for the rare fired lanes.
-    for (const FrameOp &op : trace.ops) {
-        switch (op.kind) {
-          case FrameOp::Kind::H:
-            frame.h(op.a, active);
-            break;
-          case FrameOp::Kind::S:
-            frame.s(op.a, active);
-            break;
-          case FrameOp::Kind::Cnot:
-            frame.cnot(op.a, op.b, active);
-            break;
-          case FrameOp::Kind::Cz:
-            frame.cz(op.a, op.b, active);
-            break;
-          case FrameOp::Kind::Swap:
-            frame.swap(op.a, op.b, active);
-            break;
-          case FrameOp::Kind::Reset:
-            frame.resetQubit(op.a, active);
-            break;
-          case FrameOp::Kind::Noise1: {
-            const std::uint64_t fired =
-                noise.samplers[op.cls].sample(active, noise.lanes);
-            if (fired)
-                quantum::applyDepolarize1(frame, op.a, fired, noise.lanes);
-            break;
-          }
-          case FrameOp::Kind::Noise2: {
-            const std::uint64_t fired =
-                noise.samplers[op.cls].sample(active, noise.lanes);
-            if (fired)
-                quantum::applyDepolarize2(frame, op.a, op.b, fired,
-                                          noise.lanes);
-            break;
-          }
-          case FrameOp::Kind::NoisyH: {
-            frame.h(op.a, active);
-            const std::uint64_t fired =
-                noise.samplers[op.cls].sample(active, noise.lanes);
-            if (fired)
-                quantum::applyDepolarize1(frame, op.a, fired, noise.lanes);
-            break;
-          }
-          case FrameOp::Kind::NoisyCnotMT: {
-            auto &move = noise.samplers[op.cls];
-            const std::uint64_t in = move.sample(active, noise.lanes);
-            if (in)
-                quantum::applyDepolarize1(frame, op.b, in, noise.lanes);
-            frame.cnot(op.a, op.b, active);
-            const std::uint64_t both =
-                noise.samplers[op.cls2].sample(active, noise.lanes);
-            if (both)
-                quantum::applyDepolarize2(frame, op.a, op.b, both,
-                                          noise.lanes);
-            const std::uint64_t out = move.sample(active, noise.lanes);
-            if (out)
-                quantum::applyDepolarize1(frame, op.b, out, noise.lanes);
-            break;
-          }
-          case FrameOp::Kind::NoisyCnotMC: {
-            auto &move = noise.samplers[op.cls];
-            const std::uint64_t in = move.sample(active, noise.lanes);
-            if (in)
-                quantum::applyDepolarize1(frame, op.a, in, noise.lanes);
-            frame.cnot(op.a, op.b, active);
-            const std::uint64_t both =
-                noise.samplers[op.cls2].sample(active, noise.lanes);
-            if (both)
-                quantum::applyDepolarize2(frame, op.b, op.a, both,
-                                          noise.lanes);
-            const std::uint64_t out = move.sample(active, noise.lanes);
-            if (out)
-                quantum::applyDepolarize1(frame, op.a, out, noise.lanes);
-            break;
-          }
-          case FrameOp::Kind::NoisyCnotMTMeasZ:
-          case FrameOp::Kind::NoisyCnotMTMeasX: {
-            auto &move = noise.samplers[op.cls];
-            const std::uint64_t in = move.sample(active, noise.lanes);
-            if (in)
-                quantum::applyDepolarize1(frame, op.b, in, noise.lanes);
-            frame.cnot(op.a, op.b, active);
-            const std::uint64_t both =
-                noise.samplers[op.cls2].sample(active, noise.lanes);
-            if (both)
-                quantum::applyDepolarize2(frame, op.a, op.b, both,
-                                          noise.lanes);
-            const std::uint64_t out = move.sample(active, noise.lanes);
-            if (out)
-                quantum::applyDepolarize1(frame, op.b, out, noise.lanes);
-            const std::uint64_t raw
-                = op.kind == FrameOp::Kind::NoisyCnotMTMeasZ
-                ? frame.measureZFlip(op.b, active)
-                : frame.measureXFlip(op.b, active);
-            flips.push_back(raw
-                            ^ noise.samplers[op.cls3].sample(active,
-                                                             noise.lanes));
-            break;
-          }
-          case FrameOp::Kind::NoisyCnotMCMeasZ:
-          case FrameOp::Kind::NoisyCnotMCMeasX: {
-            auto &move = noise.samplers[op.cls];
-            const std::uint64_t in = move.sample(active, noise.lanes);
-            if (in)
-                quantum::applyDepolarize1(frame, op.a, in, noise.lanes);
-            frame.cnot(op.a, op.b, active);
-            const std::uint64_t both =
-                noise.samplers[op.cls2].sample(active, noise.lanes);
-            if (both)
-                quantum::applyDepolarize2(frame, op.b, op.a, both,
-                                          noise.lanes);
-            const std::uint64_t out = move.sample(active, noise.lanes);
-            if (out)
-                quantum::applyDepolarize1(frame, op.a, out, noise.lanes);
-            const std::uint64_t raw
-                = op.kind == FrameOp::Kind::NoisyCnotMCMeasZ
-                ? frame.measureZFlip(op.a, active)
-                : frame.measureXFlip(op.a, active);
-            flips.push_back(raw
-                            ^ noise.samplers[op.cls3].sample(active,
-                                                             noise.lanes));
-            break;
-          }
-          case FrameOp::Kind::ResetRange:
-            for (std::size_t q = op.a; q < op.a + std::size_t{op.b}; ++q)
-                frame.resetQubit(q, active);
-            break;
-          case FrameOp::Kind::Noise1Range: {
-            auto &sampler = noise.samplers[op.cls];
-            for (std::size_t q = op.a; q < op.a + std::size_t{op.b}; ++q) {
-                const std::uint64_t fired = sampler.sample(active,
-                                                           noise.lanes);
-                if (fired)
-                    quantum::applyDepolarize1(frame, q, fired,
-                                              noise.lanes);
-            }
-            break;
-          }
-          case FrameOp::Kind::MeasureZRange: {
-            auto &readout = noise.samplers[op.cls];
-            for (std::size_t q = op.a; q < op.a + std::size_t{op.b}; ++q)
-                flips.push_back(frame.measureZFlip(q, active)
-                                ^ readout.sample(active, noise.lanes));
-            break;
-          }
-          case FrameOp::Kind::MeasureXRange: {
-            auto &readout = noise.samplers[op.cls];
-            for (std::size_t q = op.a; q < op.a + std::size_t{op.b}; ++q)
-                flips.push_back(frame.measureXFlip(q, active)
-                                ^ readout.sample(active, noise.lanes));
-            break;
-          }
-          case FrameOp::Kind::MeasureZ:
-            flips.push_back(frame.measureZFlip(op.a, active)
-                            ^ noise.samplers[op.cls].sample(active,
-                                                            noise.lanes));
-            break;
-          case FrameOp::Kind::MeasureX:
-            flips.push_back(frame.measureXFlip(op.a, active)
-                            ^ noise.samplers[op.cls].sample(active,
-                                                            noise.lanes));
-            break;
+    // The single-word replay is the W = 1, stride-1 tile; an inactive
+    // word consumes no randomness under either policy, so skip planning
+    // when the mask is empty (the tile still pushes zero flip words).
+    if (sampling == FaultSampling::TraceDraws && active) {
+        planTraceDraws(trace, noise, active);
+        replayTraceTile<1, PlannedSampling>(trace, frame.xData(),
+                                            frame.zData(), 1, &noise,
+                                            &active, &flips);
+        verifyTracePlans(trace, noise);
+        return;
+    }
+    replayTraceTile<1, SiteSampling>(trace, frame.xData(), frame.zData(),
+                                     1, &noise, &active, &flips);
+}
+
+void
+replayTraceGroup(const FrameTrace &trace,
+                 quantum::GroupPauliFrames &frames,
+                 BatchedNoiseModel *models, const std::uint64_t *masks,
+                 std::size_t num_words, std::vector<std::uint64_t> *flips,
+                 std::size_t simd_width, FaultSampling sampling)
+{
+    qla_assert(simd_width == 1 || simd_width == 2 || simd_width == 4
+                   || simd_width == 8,
+               "simdWidth must be 1, 2, 4 or 8, got ", simd_width);
+    // The group's rows must be packed (or over-provisioned) for this
+    // batch: reset(num_words) is the batch prologue that guarantees it.
+    qla_assert(num_words <= frames.stride());
+    const std::size_t stride = frames.stride();
+    std::uint64_t *x = frames.xData();
+    std::uint64_t *z = frames.zData();
+
+    for (std::size_t w = 0; w < num_words; ++w)
+        flips[w].clear();
+
+    std::size_t w0 = 0;
+    while (w0 < num_words) {
+        const std::size_t tile
+            = std::min(simd_width, std::bit_floor(num_words - w0));
+        std::uint64_t any = 0;
+        for (std::size_t i = 0; i < tile; ++i)
+            any |= masks[w0 + i];
+        if (!any) {
+            w0 += tile;
+            continue;
         }
+        if (sampling == FaultSampling::TraceDraws)
+            for (std::size_t i = 0; i < tile; ++i)
+                if (masks[w0 + i])
+                    planTraceDraws(trace, models[w0 + i], masks[w0 + i]);
+        const auto run = [&](auto policy) {
+            using P = decltype(policy);
+            switch (tile) {
+              case 8:
+                replayTraceTile<8, P>(trace, x + w0, z + w0, stride,
+                                      models + w0, masks + w0,
+                                      flips + w0);
+                break;
+              case 4:
+                replayTraceTile<4, P>(trace, x + w0, z + w0, stride,
+                                      models + w0, masks + w0,
+                                      flips + w0);
+                break;
+              case 2:
+                replayTraceTile<2, P>(trace, x + w0, z + w0, stride,
+                                      models + w0, masks + w0,
+                                      flips + w0);
+                break;
+              default:
+                replayTraceTile<1, P>(trace, x + w0, z + w0, stride,
+                                      models + w0, masks + w0,
+                                      flips + w0);
+                break;
+            }
+        };
+        if (sampling == FaultSampling::TraceDraws) {
+            run(PlannedSampling{});
+            for (std::size_t i = 0; i < tile; ++i)
+                if (masks[w0 + i])
+                    verifyTracePlans(trace, models[w0 + i]);
+        } else {
+            run(SiteSampling{});
+        }
+        w0 += tile;
     }
 }
 

@@ -105,7 +105,26 @@ struct FrameTrace
 {
     std::vector<FrameOp> ops;
     std::size_t numMeasurements = 0;
+
+    /**
+     * Sampler calls per noise class over one full replay of this trace,
+     * indexed by class id (filled by finalizeTraceClassSites). This is
+     * what lets FaultSampling::TraceDraws advance each lane's clock over
+     * a whole trace in one walk instead of one trial per site: the k-th
+     * sampler call of class c during replay is trial ordinal k of that
+     * class's pre-walked block.
+     */
+    std::vector<std::uint32_t> classSites;
 };
+
+/**
+ * Count each noise class's sampler calls over one replay of @p trace
+ * and store them in trace.classSites (sized to @p num_classes). Must be
+ * called once after recording, before the trace is replayed with
+ * FaultSampling::TraceDraws; the counting rules mirror the replay
+ * switch exactly (asserted post-replay in debug builds).
+ */
+void finalizeTraceClassSites(FrameTrace &trace, std::size_t num_classes);
 
 /** Emits FrameOps; the recording twin of the scalar noisy primitives. */
 class FrameTraceBuilder
@@ -156,6 +175,31 @@ class FrameTraceBuilder
     FrameTrace trace_;
 };
 
+/**
+ * One noise class's pre-walked fire schedule for the trace currently
+ * being replayed on one word (FaultSampling::TraceDraws). Rebuilt by the
+ * per-trace planning pass; consumed one site ordinal at a time as the
+ * replay switch reaches the class's sampler calls.
+ */
+struct ClassDrawPlan
+{
+    /**
+     * fires[i] is the fired-lanes word of the class's i-th sampling
+     * site (replay order). The replay zeroes each entry as it consumes
+     * it, so the buffer is all-zero between replays and planning only
+     * ever scatters fired bits -- no per-replay wipe. Sized to the
+     * largest site count any planned trace has declared for the class.
+     */
+    std::vector<std::uint64_t> fires;
+    /** Site ordinal the replay has reached for this class. */
+    std::uint32_t ordinal = 0;
+    /** Degenerate class: nothing walked, fire() returns the mask. */
+    bool degenerate = false;
+    /** Fired lanes at every site when degenerate: ~0 for p >= 1, 0
+     *  for p <= 0 (and for classes with no sites in this trace). */
+    std::uint64_t degenerate_fires = 0;
+};
+
 /** Per-class samplers plus per-lane streams for one 64-shot word. */
 struct BatchedNoiseModel
 {
@@ -173,26 +217,38 @@ struct BatchedNoiseModel
      * by value, and -- for each of the @p num_classes sampler-class
      * pairs -- the lane's noise clock, parked out of this model's
      * sampler src_cls[c] and imported at @p dst_lane of @p dst's
-     * sampler dst_cls[c]. This is the lane-transplant core every
-     * segment-migration path shares (see arq::SegmentPool); the class
-     * pairing must cover every class the migrated segment can sample
-     * (clocks of unlisted classes stay put, which is exactly right for
-     * classes the segment never replays), and each pair must carry the
-     * same probability (asserted). Inline: the transplant runs per
-     * migrated lane on the retry-heavy tail.
+     * sampler dst_cls[c]. This is the per-lane reference semantics of
+     * segment migration; arq::SegmentPool's bulk transplants perform
+     * exactly these moves but loop class-outer across a whole chunk of
+     * lanes for cache locality (clock moves between distinct
+     * (sampler, lane) slots commute). The class pairing must cover
+     * every class the migrated segment can sample (clocks of unlisted
+     * classes stay put, which is exactly right for classes the segment
+     * never replays), and each pair must carry the same probability
+     * (asserted).
      */
     void moveLaneTo(BatchedNoiseModel &dst, std::size_t dst_lane,
                     std::size_t src_lane, const std::uint8_t *src_cls,
                     const std::uint8_t *dst_cls, std::size_t num_classes)
     {
         dst.lanes[dst_lane] = lanes[src_lane];
-        for (std::size_t c = 0; c < num_classes; ++c)
+        for (std::size_t c = 0; c < num_classes; ++c) {
             samplers[src_cls[c]].moveLaneTo(dst.samplers[dst_cls[c]],
                                             dst_lane, src_lane);
+            // The trace-draw clock of the same class travels with the
+            // lane; in SiteGeometric runs these clocks are all unseen
+            // and the move is a no-op.
+            draws[src_cls[c]].moveLaneTo(dst.draws[dst_cls[c]], dst_lane,
+                                         src_lane);
+        }
     }
 
     LaneRngs lanes;
     std::vector<BernoulliWordSampler> samplers;
+    /** Trace-level clocks, one per class (FaultSampling::TraceDraws). */
+    std::vector<ClassDrawSampler> draws;
+    /** Scratch fire schedules for the trace being replayed. */
+    std::vector<ClassDrawPlan> plans;
 };
 
 /**
@@ -200,11 +256,35 @@ struct BatchedNoiseModel
  * flip words are appended to @p flips in op order (the caller clears the
  * buffer between replays). Takes the concrete engine so every gate and
  * readout compiles to direct word operations -- replay is the Monte
- * Carlo's innermost loop.
+ * Carlo's innermost loop. @p sampling selects how fault sites turn into
+ * fired lanes (TraceDraws requires trace.classSites to be finalized).
  */
 void replayTrace(const FrameTrace &trace, quantum::BatchedPauliFrame &frame,
                  BatchedNoiseModel &noise, std::uint64_t active,
-                 std::vector<std::uint64_t> &flips);
+                 std::vector<std::uint64_t> &flips,
+                 FaultSampling sampling = FaultSampling::SiteGeometric);
+
+/**
+ * Replay @p trace on all @p num_words words of a shot group at once,
+ * tiled into SIMD planes of up to @p simd_width words (1, 2, 4 or 8;
+ * power-of-two tiles are carved greedily from the active range, so any
+ * group width works with any plane width). Word w replays under mask
+ * masks[w] with models[w]; its flip words are cleared and then appended
+ * to flips[w] in op order. Words whose mask is zero inside an active
+ * tile get zero flip words (length stays aligned); all-inactive tiles
+ * are skipped entirely and their flip buffers only cleared.
+ *
+ * Each word's lane randomness is consumed exactly as a lone
+ * replayTrace of that word would consume it, so results are
+ * bit-identical for every simd_width -- the planes only restructure the
+ * frame arithmetic.
+ */
+void replayTraceGroup(const FrameTrace &trace,
+                      quantum::GroupPauliFrames &frames,
+                      BatchedNoiseModel *models,
+                      const std::uint64_t *masks, std::size_t num_words,
+                      std::vector<std::uint64_t> *flips,
+                      std::size_t simd_width, FaultSampling sampling);
 
 } // namespace qla::arq
 

@@ -30,6 +30,7 @@ LaneChunkPlan::LaneChunkPlan(const LaneRef *refs, std::size_t count)
         if (!home[ref.word])
             slot0[ref.word] = static_cast<std::uint8_t>(j);
         home[ref.word] |= std::uint64_t{1} << ref.lane;
+        words |= std::uint32_t{1} << ref.word;
     }
 }
 
@@ -61,13 +62,28 @@ SegmentPool::transplantIn(std::size_t k,
 {
     // Each migrated lane carries its identity: rng stream by value,
     // noise clocks parked out of the home word's samplers and into the
-    // dense word's samplers of the mapped class.
+    // dense word's samplers of the mapped class (the same per-lane
+    // transplant BatchedNoiseModel::moveLaneTo performs). The loops run
+    // class-outer rather than lane-outer purely for locality: clock
+    // moves between distinct (sampler, lane) slots commute, and with
+    // the refs (word, lane)-sorted each home word's sampler -- and the
+    // dense word's -- stays cache-hot across its whole run of lanes,
+    // where the lane-outer order walked every class's cold sampler pair
+    // once per migrated lane.
     const LaneRef *refs = refs_.data() + k * kBatchLanes;
     const std::size_t lanes = chunkLanes(k);
     for (std::size_t j = 0; j < lanes; ++j)
-        home[refs[j].word].moveLaneTo(dense, j, refs[j].lane,
-                                      classes.home, classes.dense,
-                                      classes.count);
+        dense.lanes[j] = home[refs[j].word].lanes[refs[j].lane];
+    for (std::size_t c = 0; c < classes.count; ++c) {
+        const std::uint8_t hc = classes.home[c];
+        const std::uint8_t dc = classes.dense[c];
+        for (std::size_t j = 0; j < lanes; ++j) {
+            BatchedNoiseModel &src = home[refs[j].word];
+            src.samplers[hc].moveLaneTo(dense.samplers[dc], j,
+                                        refs[j].lane);
+            src.draws[hc].moveLaneTo(dense.draws[dc], j, refs[j].lane);
+        }
+    }
 }
 
 void
@@ -79,15 +95,22 @@ SegmentPool::transplantOut(std::size_t k,
     const LaneRef *refs = refs_.data() + k * kBatchLanes;
     const std::size_t lanes = chunkLanes(k);
     for (std::size_t j = 0; j < lanes; ++j)
-        dense.moveLaneTo(home[refs[j].word], refs[j].lane, j,
-                         classes.dense, classes.home, classes.count);
+        home[refs[j].word].lanes[refs[j].lane] = dense.lanes[j];
+    for (std::size_t c = 0; c < classes.count; ++c) {
+        const std::uint8_t hc = classes.home[c];
+        const std::uint8_t dc = classes.dense[c];
+        for (std::size_t j = 0; j < lanes; ++j) {
+            BatchedNoiseModel &dst = home[refs[j].word];
+            dense.samplers[dc].moveLaneTo(dst.samplers[hc], refs[j].lane,
+                                          j);
+            dense.draws[dc].moveLaneTo(dst.draws[hc], refs[j].lane, j);
+        }
+    }
 }
 
 void
-SegmentPool::gatherRow(std::size_t k,
-                       const std::vector<quantum::BatchedPauliFrame> &home,
-                       std::size_t home_q,
-                       quantum::BatchedPauliFrame &dense,
+SegmentPool::gatherRow(std::size_t k, const quantum::GroupPauliFrames &home,
+                       std::size_t home_q, quantum::BatchedPauliFrame &dense,
                        std::size_t dense_q) const
 {
     // The refs are (word, lane)-sorted, so the lanes of each home word
@@ -96,20 +119,36 @@ SegmentPool::gatherRow(std::size_t k,
     const LaneChunkPlan &plan = plans_[k];
     std::uint64_t x_acc = 0;
     std::uint64_t z_acc = 0;
-    for (std::size_t w = 0; w < kMaxGroupWords; ++w) {
-        if (!plan.home[w])
-            continue;
-        x_acc |= extractBits(home[w].xWord(home_q), plan.home[w])
+    for (std::uint32_t ws = plan.words; ws; ws &= ws - 1) {
+        const std::size_t w = std::countr_zero(ws);
+        x_acc |= extractBits(home.xWord(w, home_q), plan.home[w])
             << plan.slot0[w];
-        z_acc |= extractBits(home[w].zWord(home_q), plan.home[w])
+        z_acc |= extractBits(home.zWord(w, home_q), plan.home[w])
             << plan.slot0[w];
     }
     dense.storeMasked(dense_q, chunkMask(k), x_acc, z_acc);
 }
 
 void
-SegmentPool::scatterRow(std::size_t k,
-                        std::vector<quantum::BatchedPauliFrame> &home,
+SegmentPool::gatherRow(std::size_t k, const quantum::GroupPauliFrames &home,
+                       std::size_t home_q, quantum::GroupPauliFrames &dense,
+                       std::size_t dense_word, std::size_t dense_q) const
+{
+    const LaneChunkPlan &plan = plans_[k];
+    std::uint64_t x_acc = 0;
+    std::uint64_t z_acc = 0;
+    for (std::uint32_t ws = plan.words; ws; ws &= ws - 1) {
+        const std::size_t w = std::countr_zero(ws);
+        x_acc |= extractBits(home.xWord(w, home_q), plan.home[w])
+            << plan.slot0[w];
+        z_acc |= extractBits(home.zWord(w, home_q), plan.home[w])
+            << plan.slot0[w];
+    }
+    dense.storeMasked(dense_word, dense_q, chunkMask(k), x_acc, z_acc);
+}
+
+void
+SegmentPool::scatterRow(std::size_t k, quantum::GroupPauliFrames &home,
                         std::size_t home_q,
                         const quantum::BatchedPauliFrame &dense,
                         std::size_t dense_q) const
@@ -117,11 +156,28 @@ SegmentPool::scatterRow(std::size_t k,
     const LaneChunkPlan &plan = plans_[k];
     const std::uint64_t x_word = dense.xWord(dense_q);
     const std::uint64_t z_word = dense.zWord(dense_q);
-    for (std::size_t w = 0; w < kMaxGroupWords; ++w) {
-        if (!plan.home[w])
-            continue;
-        home[w].storeMasked(
-            home_q, plan.home[w],
+    for (std::uint32_t ws = plan.words; ws; ws &= ws - 1) {
+        const std::size_t w = std::countr_zero(ws);
+        home.storeMasked(
+            w, home_q, plan.home[w],
+            depositBits(x_word >> plan.slot0[w], plan.home[w]),
+            depositBits(z_word >> plan.slot0[w], plan.home[w]));
+    }
+}
+
+void
+SegmentPool::scatterRow(std::size_t k, quantum::GroupPauliFrames &home,
+                        std::size_t home_q,
+                        const quantum::GroupPauliFrames &dense,
+                        std::size_t dense_word, std::size_t dense_q) const
+{
+    const LaneChunkPlan &plan = plans_[k];
+    const std::uint64_t x_word = dense.xWord(dense_word, dense_q);
+    const std::uint64_t z_word = dense.zWord(dense_word, dense_q);
+    for (std::uint32_t ws = plan.words; ws; ws &= ws - 1) {
+        const std::size_t w = std::countr_zero(ws);
+        home.storeMasked(
+            w, home_q, plan.home[w],
             depositBits(x_word >> plan.slot0[w], plan.home[w]),
             depositBits(z_word >> plan.slot0[w], plan.home[w]));
     }
@@ -132,9 +188,8 @@ SegmentPool::scatterPlane(std::size_t k, std::uint64_t dense_plane,
                           std::uint64_t *out, std::size_t word_stride) const
 {
     const LaneChunkPlan &plan = plans_[k];
-    for (std::size_t w = 0; w < kMaxGroupWords; ++w) {
-        if (!plan.home[w])
-            continue;
+    for (std::uint32_t ws = plan.words; ws; ws &= ws - 1) {
+        const std::size_t w = std::countr_zero(ws);
         out[w * word_stride] |= depositBits(
             dense_plane >> plan.slot0[w], plan.home[w]);
     }
@@ -193,7 +248,8 @@ PrepRetryPool::PrepRetryPool(const ecc::CssCode &code,
                              int max_prep_attempts,
                              const NoiseClassTable &parent_classes,
                              const std::vector<std::uint8_t>
-                                 &shadow_of_primary)
+                                 &shadow_of_primary,
+                             FaultSampling sampling)
     : code_(code), n_(code.blockLength()),
       max_prep_attempts_(max_prep_attempts),
       frame_(std::max(3 * code.blockLength(),
@@ -222,6 +278,16 @@ PrepRetryPool::PrepRetryPool(const ecc::CssCode &code,
           return classes_;
       }())
 {
+    sampling_ = sampling;
+    // The class table is final only now (recording above may have added
+    // classes), so the per-class site counts that drive trace-level
+    // batched draws are finalized here, over every relocated trace.
+    const std::size_t total_classes = classes_.probabilities().size();
+    for (auto *pair : {&prep_traces_, &verify_traces_, &network_traces_,
+                       &extract_traces_})
+        for (FrameTrace &trace : *pair)
+            finalizeTraceClassSites(trace, total_classes);
+
     // Map each pool class to the parent's *shadow* class of the same
     // probability: pooled segments always replay shadow sites, so a
     // migrated lane's clock transplants between its home shadow sampler
@@ -277,7 +343,7 @@ PrepRetryPool::PrepRetryPool(const ecc::CssCode &code,
 
 void
 PrepRetryPool::runRetries(bool plus, const LaneSet &mask, int first_attempt,
-                          std::vector<quantum::BatchedPauliFrame> &frames,
+                          quantum::GroupPauliFrames &frames,
                           std::vector<BatchedNoiseModel> &models,
                           std::size_t role_q0, ExperimentStats *stats)
 {
@@ -299,7 +365,7 @@ void
 PrepRetryPool::runPrepSeries(bool plus, const LaneSet &mask,
                              const std::size_t *site_role_q0,
                              std::size_t num_sites,
-                             std::vector<quantum::BatchedPauliFrame> &frames,
+                             quantum::GroupPauliFrames &frames,
                              std::vector<BatchedNoiseModel> &models,
                              ExperimentStats *stats)
 {
@@ -319,7 +385,7 @@ PrepRetryPool::runPrepSeries(bool plus, const LaneSet &mask,
 void
 PrepRetryPool::runExtract(bool detect_x, const LaneSet &mask,
                           std::size_t data_q0,
-                          std::vector<quantum::BatchedPauliFrame> &frames,
+                          quantum::GroupPauliFrames &frames,
                           std::vector<BatchedNoiseModel> &models,
                           SyndromePlanes *synd, ExperimentStats *stats)
 {
@@ -345,7 +411,7 @@ PrepRetryPool::runExtract(bool detect_x, const LaneSet &mask,
         runAttempts(detect_x, dense, 1, stats);
         flips_.clear();
         replayTrace(extract_traces_[detect_x ? 1 : 0], frame_, model_,
-                    dense, flips_);
+                    dense, flips_, sampling_);
         SyndromePlanes planes{};
         for (std::size_t j = 0; j < num_checks; ++j)
             planes[j] = parityPlane(rows[j], flips_.data());
@@ -369,8 +435,7 @@ void
 PrepRetryPool::runVerifySeries(bool plus, const LaneSet &mask,
                                const std::size_t *site_q0,
                                std::size_t num_sites,
-                               std::vector<quantum::BatchedPauliFrame>
-                                   &frames,
+                               quantum::GroupPauliFrames &frames,
                                std::vector<BatchedNoiseModel> &models,
                                std::array<std::uint64_t, 32> *site_planes)
 {
@@ -387,7 +452,7 @@ PrepRetryPool::runVerifySeries(bool plus, const LaneSet &mask,
                 mig_.gatherRow(k, frames, site_q0[s] + i, frame_, i);
             flips_.clear();
             replayTrace(verify_traces_[plus ? 1 : 0], frame_, model_,
-                        dense, flips_);
+                        dense, flips_, sampling_);
             SyndromePlanes synd{};
             for (std::size_t j = 0; j < num_checks; ++j)
                 synd[j] = parityPlane(rows[j], flips_.data());
@@ -411,7 +476,7 @@ PrepRetryPool::runVerifySeries(bool plus, const LaneSet &mask,
 void
 PrepRetryPool::runNetwork(bool plus, const LaneSet &mask,
                           const std::size_t *row_q0, std::size_t num_rows,
-                          std::vector<quantum::BatchedPauliFrame> &frames,
+                          quantum::GroupPauliFrames &frames,
                           std::vector<BatchedNoiseModel> &models)
 {
     qla_assert(num_rows <= n_);
@@ -425,7 +490,7 @@ PrepRetryPool::runNetwork(bool plus, const LaneSet &mask,
                                g * n_ + i);
         flips_.clear();
         replayTrace(network_traces_[plus ? 1 : 0], frame_, model_,
-                    mig_.chunkMask(k), flips_);
+                    mig_.chunkMask(k), flips_, sampling_);
         for (std::size_t g = 0; g < num_rows; ++g)
             for (std::size_t i = 0; i < n_; ++i)
                 mig_.scatterRow(k, frames, row_q0[g] + i, frame_,
@@ -448,7 +513,7 @@ PrepRetryPool::runAttempts(bool plus, std::uint64_t mask,
     int attempt = first_attempt;
     for (;;) {
         flips_.clear();
-        replayTrace(trace, frame_, model_, mask, flips_);
+        replayTrace(trace, frame_, model_, mask, flips_, sampling_);
         SyndromePlanes synd{};
         const auto &rows = plus ? x_check_bits_ : z_check_bits_;
         for (std::size_t j = 0; j < rows.size(); ++j)

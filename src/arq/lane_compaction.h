@@ -88,7 +88,12 @@ struct LaneChunkPlan
 
     std::array<std::uint64_t, kMaxGroupWords> home{};
     std::array<std::uint8_t, kMaxGroupWords> slot0{};
+    /** Bit w set iff home[w] is non-empty: the row gather/scatter
+     *  loops walk only occupied words instead of scanning all
+     *  kMaxGroupWords entries per qubit row. */
+    std::uint32_t words = 0;
 };
+static_assert(kMaxGroupWords <= 32, "LaneChunkPlan::words is 32 bits");
 
 /**
  * The sampler classes migrating with each lane of one pooled segment:
@@ -167,20 +172,31 @@ class SegmentPool
 
     /**
      * Gather the frame bits of qubit @p home_q from chunk @p k's home
-     * lanes into the dense slots of qubit @p dense_q of @p dense.
+     * lanes (words of the group frame @p home) into the dense slots of
+     * qubit @p dense_q of @p dense.
      */
-    void gatherRow(std::size_t k,
-                   const std::vector<quantum::BatchedPauliFrame> &home,
+    void gatherRow(std::size_t k, const quantum::GroupPauliFrames &home,
                    std::size_t home_q, quantum::BatchedPauliFrame &dense,
                    std::size_t dense_q) const;
 
+    /** gatherRow into word @p dense_word of a dense group frame (twin
+     *  migrations: chunk k lands in twin word k). */
+    void gatherRow(std::size_t k, const quantum::GroupPauliFrames &home,
+                   std::size_t home_q, quantum::GroupPauliFrames &dense,
+                   std::size_t dense_word, std::size_t dense_q) const;
+
     /** Inverse of gatherRow; home lanes outside the chunk keep their
      *  bits. */
-    void scatterRow(std::size_t k,
-                    std::vector<quantum::BatchedPauliFrame> &home,
+    void scatterRow(std::size_t k, quantum::GroupPauliFrames &home,
                     std::size_t home_q,
                     const quantum::BatchedPauliFrame &dense,
                     std::size_t dense_q) const;
+
+    /** scatterRow from word @p dense_word of a dense group frame. */
+    void scatterRow(std::size_t k, quantum::GroupPauliFrames &home,
+                    std::size_t home_q,
+                    const quantum::GroupPauliFrames &dense,
+                    std::size_t dense_word, std::size_t dense_q) const;
 
     /**
      * OR chunk @p k's bits of @p dense_plane into the home words'
@@ -217,11 +233,15 @@ class PrepRetryPool
      *                          the recorder the parent traces used).
      * @param parent_classes    The parent experiment's class table.
      * @param shadow_of_primary Parent shadow class of each primary id.
+     * @param sampling          The parent's fault-sampling granularity
+     *                          (pooled replays must draw the same way).
      */
     PrepRetryPool(const ecc::CssCode &code, const TileRowRecorder &recorder,
                   int max_prep_attempts,
                   const NoiseClassTable &parent_classes,
-                  const std::vector<std::uint8_t> &shadow_of_primary);
+                  const std::vector<std::uint8_t> &shadow_of_primary,
+                  FaultSampling sampling
+                  = FaultSampling::SiteGeometric);
 
     /**
      * Run the remaining verified-preparation attempts (the first one
@@ -233,7 +253,7 @@ class PrepRetryPool
      * is re-encoded before every later use -- so it stays behind.)
      */
     void runRetries(bool plus, const LaneSet &mask, int first_attempt,
-                    std::vector<quantum::BatchedPauliFrame> &frames,
+                    quantum::GroupPauliFrames &frames,
                     std::vector<BatchedNoiseModel> &models,
                     std::size_t role_q0, ExperimentStats *stats);
 
@@ -250,7 +270,7 @@ class PrepRetryPool
     void runPrepSeries(bool plus, const LaneSet &mask,
                        const std::size_t *site_role_q0,
                        std::size_t num_sites,
-                       std::vector<quantum::BatchedPauliFrame> &frames,
+                       quantum::GroupPauliFrames &frames,
                        std::vector<BatchedNoiseModel> &models,
                        ExperimentStats *stats);
 
@@ -265,7 +285,7 @@ class PrepRetryPool
      */
     void runExtract(bool detect_x, const LaneSet &mask,
                     std::size_t data_q0,
-                    std::vector<quantum::BatchedPauliFrame> &frames,
+                    quantum::GroupPauliFrames &frames,
                     std::vector<BatchedNoiseModel> &models,
                     SyndromePlanes *synd, ExperimentStats *stats);
 
@@ -279,7 +299,7 @@ class PrepRetryPool
      */
     void runVerifySeries(bool plus, const LaneSet &mask,
                          const std::size_t *site_q0, std::size_t num_sites,
-                         std::vector<quantum::BatchedPauliFrame> &frames,
+                         quantum::GroupPauliFrames &frames,
                          std::vector<BatchedNoiseModel> &models,
                          std::array<std::uint64_t, 32> *site_planes);
 
@@ -291,7 +311,7 @@ class PrepRetryPool
      */
     void runNetwork(bool plus, const LaneSet &mask,
                     const std::size_t *row_q0, std::size_t num_rows,
-                    std::vector<quantum::BatchedPauliFrame> &frames,
+                    quantum::GroupPauliFrames &frames,
                     std::vector<BatchedNoiseModel> &models);
 
   private:
@@ -338,6 +358,8 @@ class PrepRetryPool
     BatchedNoiseModel model_;
     std::vector<std::uint64_t> flips_;
     SegmentPool mig_;
+    /** Parent's fault-sampling granularity, used for pooled replays. */
+    FaultSampling sampling_ = FaultSampling::SiteGeometric;
 };
 
 } // namespace qla::arq

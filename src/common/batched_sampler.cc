@@ -45,11 +45,32 @@ fastLog2(double x)
 
 } // namespace
 
+double
+geometricInvLog2q(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        return 0.0;
+    return 1.0 / (std::log1p(-p) * 1.4426950408889634);
+}
+
+std::int64_t
+geometricGap(Rng &rng, double inv_log2_q)
+{
+    // Geometric inversion: the number of Bernoulli(p) trials up to and
+    // including the first success is 1 + floor(log(u) / log(1 - p)).
+    const double u = rng.uniform();
+    if (u <= 0.0)
+        return kMaxGap;
+    const double gap = 1.0 + std::floor(fastLog2(u) * inv_log2_q);
+    if (!(gap < static_cast<double>(kMaxGap)))
+        return kMaxGap;
+    return gap < 1.0 ? 1 : static_cast<std::int64_t>(gap);
+}
+
 BernoulliWordSampler::BernoulliWordSampler(double p) : p_(p)
 {
     qla_assert(p >= 0.0 && p <= 1.0, "Bernoulli probability ", p);
-    if (p_ > 0.0 && p_ < 1.0)
-        inv_log2_q_ = 1.0 / (std::log1p(-p_) * 1.4426950408889634);
+    inv_log2_q_ = geometricInvLog2q(p_);
     disarm();
 }
 
@@ -63,7 +84,7 @@ BernoulliWordSampler::disarm()
     while (m) {
         const int l = std::countr_zero(m);
         m &= m - 1;
-        ring_[cnt_[l] & kRingMask] = 0;
+        (*ring_)[cnt_[l] & kRingMask] = 0;
     }
     armed_ = 0;
     seen_ = 0;
@@ -74,15 +95,7 @@ BernoulliWordSampler::disarm()
 std::int64_t
 BernoulliWordSampler::nextGap(Rng &rng) const
 {
-    // Geometric inversion: the number of Bernoulli(p) trials up to and
-    // including the first success is 1 + floor(log(u) / log(1 - p)).
-    const double u = rng.uniform();
-    if (u <= 0.0)
-        return kMaxGap;
-    const double gap = 1.0 + std::floor(fastLog2(u) * inv_log2_q_);
-    if (!(gap < static_cast<double>(kMaxGap)))
-        return kMaxGap;
-    return gap < 1.0 ? 1 : static_cast<std::int64_t>(gap);
+    return geometricGap(rng, inv_log2_q_);
 }
 
 std::uint64_t
@@ -96,9 +109,9 @@ BernoulliWordSampler::fireCheck(std::uint64_t candidates, LaneRngs &lanes)
         const int l = std::countr_zero(candidates);
         if (cnt_[l] != elapsed_)
             return 0; // same bucket, a later lap of the ring
-        ring_[cnt_[l] & kRingMask] &= ~candidates;
+        (*ring_)[cnt_[l] & kRingMask] &= ~candidates;
         cnt_[l] = elapsed_ + nextGap(lanes[l]);
-        ring_[cnt_[l] & kRingMask] |= candidates;
+        (*ring_)[cnt_[l] & kRingMask] |= candidates;
         return candidates;
     }
     std::uint64_t fired = 0;
@@ -109,9 +122,9 @@ BernoulliWordSampler::fireCheck(std::uint64_t candidates, LaneRngs &lanes)
             continue; // same bucket, a later lap of the ring
         const std::uint64_t bit = std::uint64_t{1} << l;
         fired |= bit;
-        ring_[cnt_[l] & kRingMask] &= ~bit;
+        (*ring_)[cnt_[l] & kRingMask] &= ~bit;
         cnt_[l] = elapsed_ + nextGap(lanes[l]);
-        ring_[cnt_[l] & kRingMask] |= bit;
+        (*ring_)[cnt_[l] & kRingMask] |= bit;
     }
     return fired;
 }
@@ -123,6 +136,8 @@ BernoulliWordSampler::rebase(std::uint64_t active, LaneRngs &lanes)
         return 0;
     if (p_ >= 1.0)
         return active; // like Rng::bernoulli, certainties draw nothing
+    if (!ring_)
+        ring_ = std::make_unique<std::array<std::uint64_t, kRingSize>>();
 
     // Park the lanes leaving the mask: freeze their remaining trials
     // and pull them out of the calendar.
@@ -130,7 +145,7 @@ BernoulliWordSampler::rebase(std::uint64_t active, LaneRngs &lanes)
     while (park) {
         const int l = std::countr_zero(park);
         park &= park - 1;
-        ring_[cnt_[l] & kRingMask] &= ~(std::uint64_t{1} << l);
+        (*ring_)[cnt_[l] & kRingMask] &= ~(std::uint64_t{1} << l);
         cnt_[l] -= elapsed_;
     }
     // Resume previously parked lanes re-entering the mask.
@@ -139,7 +154,7 @@ BernoulliWordSampler::rebase(std::uint64_t active, LaneRngs &lanes)
         const int l = std::countr_zero(unpark);
         unpark &= unpark - 1;
         cnt_[l] += elapsed_;
-        ring_[cnt_[l] & kRingMask] |= std::uint64_t{1} << l;
+        (*ring_)[cnt_[l] & kRingMask] |= std::uint64_t{1} << l;
     }
     // Arm brand-new lanes from their own streams.
     std::uint64_t fresh = active & ~seen_;
@@ -147,13 +162,13 @@ BernoulliWordSampler::rebase(std::uint64_t active, LaneRngs &lanes)
         const int l = std::countr_zero(fresh);
         fresh &= fresh - 1;
         cnt_[l] = elapsed_ + nextGap(lanes[l]);
-        ring_[cnt_[l] & kRingMask] |= std::uint64_t{1} << l;
+        (*ring_)[cnt_[l] & kRingMask] |= std::uint64_t{1} << l;
         seen_ |= std::uint64_t{1} << l;
     }
     armed_ = active;
 
     // Take this call's trial on the rebased mask.
-    const std::uint64_t due = ring_[++elapsed_ & kRingMask];
+    const std::uint64_t due = (*ring_)[++elapsed_ & kRingMask];
     if (!due)
         return 0;
     return fireCheck(due, lanes);

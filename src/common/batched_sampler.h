@@ -21,8 +21,10 @@
 #define QLA_COMMON_BATCHED_SAMPLER_H
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <limits>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -34,6 +36,36 @@ inline constexpr std::size_t kBatchLanes = 64;
 
 /** One private Rng per lane of a 64-shot batch. */
 using LaneRngs = std::array<Rng, kBatchLanes>;
+
+/**
+ * Granularity at which replayed traces turn noise-class probabilities
+ * into fired lanes (see arq/frame_trace.h). Both modes draw each lane's
+ * faults i.i.d. Bernoulli(p) over the sites at which the lane was
+ * active, from the lane's own stream, so they are statistically
+ * identical; they realize different draw sequences, so results are
+ * bit-identical across widths/groupings/threads *within* a mode only.
+ */
+enum class FaultSampling : std::uint8_t {
+    /** One geometric-gap trial per (site, word): BernoulliWordSampler. */
+    SiteGeometric,
+    /**
+     * One batched walk per (fault class, trace, word): each active
+     * lane's remaining-trials clock is advanced over the trace's whole
+     * per-class site list at once (ClassDrawSampler), and the resulting
+     * fire positions are expanded to per-site lane masks before replay.
+     */
+    TraceDraws,
+};
+
+/** 1 / log2(1 - p) for geometric inversion; 0 for degenerate p. */
+double geometricInvLog2q(double p);
+
+/**
+ * Number of Bernoulli(p) trials up to and including the next success
+ * (>= 1), by inversion from one uniform draw of @p rng.
+ * @p inv_log2_q must be geometricInvLog2q(p) for a p in (0, 1).
+ */
+std::int64_t geometricGap(Rng &rng, double inv_log2_q);
 
 /**
  * Batched Bernoulli(p) bit source over 64 lanes.
@@ -85,7 +117,7 @@ class BernoulliWordSampler
             // Armed lanes keep an absolute fire time; parked form is
             // the trial count still to go (>= 1: a due lane fires
             // inside sample(), so cnt_ > elapsed_ between calls).
-            ring_[cnt_[lane] & kRingMask] &= ~bit;
+            (*ring_)[cnt_[lane] & kRingMask] &= ~bit;
             remaining = cnt_[lane] - elapsed_;
             armed_ &= ~bit;
         } else {
@@ -149,7 +181,7 @@ class BernoulliWordSampler
         if (active == armed_) {
             if (!active)
                 return 0;
-            const std::uint64_t due = ring_[++elapsed_ & kRingMask];
+            const std::uint64_t due = (*ring_)[++elapsed_ & kRingMask];
             if (!due)
                 return 0;
             return fireCheck(due, lanes);
@@ -172,8 +204,16 @@ class BernoulliWordSampler
     std::uint64_t fireCheck(std::uint64_t candidates, LaneRngs &lanes);
     std::uint64_t rebase(std::uint64_t active, LaneRngs &lanes);
 
+    // Hot scalars first: the sample()/exportLane fast paths and the
+    // per-lane transplant loops touch only these, and keeping them in
+    // the object's first cache line instead of behind the 16 KiB ring
+    // is worth ~10% of a whole threshold sweep (the transplant paths
+    // poke many samplers per migrated lane).
     double p_;
     double inv_log2_q_ = 0.0; // 1 / log2(1 - p) for geometric inversion
+    std::uint64_t armed_ = 0;
+    std::uint64_t seen_ = 0;
+    std::int64_t elapsed_ = 0;
 
     // Armed lane l fires when the shared trial counter elapsed_ reaches
     // cnt_[l]; bucket cnt_[l] & kRingMask of the ring carries the lane's
@@ -182,11 +222,180 @@ class BernoulliWordSampler
     // (seen_ but not armed_) hold their remaining-trials count in cnt_
     // instead and sit in no bucket; their clocks stand still until the
     // mask brings them back.
-    std::array<std::uint64_t, kRingSize> ring_{};
     std::array<std::int64_t, kBatchLanes> cnt_{};
-    std::uint64_t armed_ = 0;
+
+    // The calendar lives behind a pointer, zero-filled the first time
+    // rebase arms a lane (every ring access is on behalf of an armed
+    // lane). Keeping the 16 KiB ring out of the object matters twice:
+    // an experiment builds one sampler per (class, word) and in
+    // TraceDraws runs only the correction class ever arms, so inline
+    // rings would memset megabytes per experiment for buckets never
+    // read -- and the lane-transplant paths (segment migration) poke a
+    // handful of scalars in many samplers per moved lane, which with
+    // 16 KiB objects makes every poke a cold cache line. As a ~600 B
+    // object, a model's whole sampler vector stays cache-resident.
+    std::unique_ptr<std::array<std::uint64_t, kRingSize>> ring_;
+};
+
+/**
+ * Trace-level batched Bernoulli(p) clock over 64 lanes
+ * (FaultSampling::TraceDraws).
+ *
+ * Where BernoulliWordSampler takes one trial per site per word,
+ * ClassDrawSampler advances each lane over a whole block of @p sites
+ * consecutive trials in one walkLane call: in the common no-fire case a
+ * lane costs a single counter subtraction for the entire trace instead
+ * of a calendar bump per site. The clock is the same parked
+ * remaining-trials count the word sampler exports (geometric gaps from
+ * the lane's own stream, same inversion), so a lane's fire positions
+ * are a pure function of (stream, activity sequence) -- the determinism
+ * contract across widths, groupings, compaction and threads holds
+ * exactly as for the word sampler. Only the *order* in which a lane's
+ * stream is consumed differs (gap draws grouped per class per trace
+ * instead of interleaved per site), so SiteGeometric and TraceDraws
+ * runs are statistically identical but not bit-identical to each other.
+ */
+class ClassDrawSampler
+{
+  public:
+    explicit ClassDrawSampler(double p)
+        : p_(p), inv_log2_q_(geometricInvLog2q(p))
+    {
+        qla_assert(p >= 0.0 && p <= 1.0, "Bernoulli probability ", p);
+        cnt_.fill(0);
+    }
+
+    double probability() const { return p_; }
+
+    /** p <= 0: no lane ever fires and no stream is consumed. */
+    bool neverFires() const { return p_ <= 0.0; }
+
+    /** p >= 1: every active lane fires at every site, drawing nothing
+     *  (like Rng::bernoulli, certainties consume no randomness). */
+    bool alwaysFires() const { return p_ >= 1.0; }
+
+    /** Forget all lane state; lanes re-arm from their streams. */
+    void disarm() { seen_ = 0; }
+
+    /** Same parked-lane handle as BernoulliWordSampler. */
+    static constexpr std::int64_t kLaneUnseen = 0;
+
+    std::int64_t exportLane(std::size_t lane)
+    {
+        const std::uint64_t bit = std::uint64_t{1} << lane;
+        if (!(seen_ & bit))
+            return kLaneUnseen;
+        seen_ &= ~bit;
+        qla_assert(cnt_[lane] >= 1);
+        return cnt_[lane];
+    }
+
+    void importLane(std::size_t lane, std::int64_t remaining)
+    {
+        const std::uint64_t bit = std::uint64_t{1} << lane;
+        qla_assert(!(seen_ & bit), "importLane over a live lane");
+        if (remaining == kLaneUnseen)
+            return;
+        qla_assert(remaining >= 1);
+        seen_ |= bit;
+        cnt_[lane] = remaining;
+    }
+
+    void moveLaneTo(ClassDrawSampler &dst, std::size_t dst_lane,
+                    std::size_t src_lane)
+    {
+        qla_assert(dst.p_ == p_,
+                   "lane clock moved across probabilities ", p_, " -> ",
+                   dst.p_);
+        dst.importLane(dst_lane, exportLane(src_lane));
+    }
+
+    /**
+     * Advance @p lane's clock over @p sites consecutive trials, calling
+     * fn(ordinal) for every fired trial (0-based ordinal within the
+     * block). Degenerate probabilities must be special-cased by the
+     * caller via neverFires()/alwaysFires() -- they consume no stream.
+     */
+    template <class Fn>
+    void walkLane(std::size_t lane, std::int64_t sites, Rng &rng, Fn &&fn)
+    {
+        const std::uint64_t bit = std::uint64_t{1} << lane;
+        std::int64_t pos;
+        if (seen_ & bit) {
+            pos = cnt_[lane];
+        } else {
+            pos = geometricGap(rng, inv_log2_q_);
+            seen_ |= bit;
+        }
+        while (pos <= sites) {
+            fn(pos - 1);
+            pos += geometricGap(rng, inv_log2_q_);
+        }
+        cnt_[lane] = pos - sites;
+    }
+
+    /**
+     * walkLane every lane of @p active over the same block of @p sites
+     * trials at once, OR-ing each fired trial's lane bit into
+     * fires[ordinal] (0-based ordinal within the block; the buffer must
+     * hold @p sites words and is only written at fired ordinals).
+     *
+     * Equivalent draw-for-draw to calling walkLane on each active lane
+     * in turn -- a lane only ever consumes its own stream, so the lane
+     * iteration order cannot matter -- but the common no-fire case is a
+     * flat compare-and-subtract sweep over the 64 lane clocks that the
+     * compiler vectorizes, instead of 64 branchy per-lane walks. Only
+     * firing lanes (identified by the sweep) pay a per-lane gap walk.
+     */
+    void walkWord(std::uint64_t active, std::int64_t sites,
+                  LaneRngs &lanes, std::uint64_t *fires)
+    {
+        std::uint64_t fresh = active & ~seen_;
+        while (fresh) {
+            const int l = std::countr_zero(fresh);
+            fresh &= fresh - 1;
+            cnt_[l] = geometricGap(lanes[l], inv_log2_q_);
+        }
+        seen_ |= active;
+        // Clock sweep: collect the firing lanes and retire the block's
+        // trials from every active clock in one pass (firing lanes go
+        // transiently non-positive and are rewound in the walk below).
+        std::uint64_t firing = 0;
+        if (active == ~std::uint64_t{0}) {
+            for (std::size_t l = 0; l < kBatchLanes; ++l)
+                firing |= static_cast<std::uint64_t>(cnt_[l] <= sites)
+                          << l;
+            for (std::size_t l = 0; l < kBatchLanes; ++l)
+                cnt_[l] -= sites;
+        } else {
+            std::uint64_t walk = active;
+            while (walk) {
+                const int l = std::countr_zero(walk);
+                walk &= walk - 1;
+                firing |= static_cast<std::uint64_t>(cnt_[l] <= sites)
+                          << l;
+                cnt_[l] -= sites;
+            }
+        }
+        while (firing) {
+            const int l = std::countr_zero(firing);
+            firing &= firing - 1;
+            const std::uint64_t bit = std::uint64_t{1} << l;
+            std::int64_t pos = cnt_[l] + sites;
+            do {
+                fires[pos - 1] |= bit;
+                pos += geometricGap(lanes[l], inv_log2_q_);
+            } while (pos <= sites);
+            cnt_[l] = pos - sites;
+        }
+    }
+
+  private:
+    double p_;
+    double inv_log2_q_;
+    /** Trials remaining until lane's next success (valid when seen). */
+    std::array<std::int64_t, kBatchLanes> cnt_;
     std::uint64_t seen_ = 0;
-    std::int64_t elapsed_ = 0;
 };
 
 } // namespace qla

@@ -13,8 +13,27 @@ BatchedPauliFrame::reset()
 }
 
 void
-applyDepolarize1(BatchedPauliFrame &frame, std::size_t q,
-                 std::uint64_t fired, LaneRngs &lanes)
+GroupPauliFrames::reset()
+{
+    stride_ = words_;
+    std::fill(x_.begin(), x_.end(), 0);
+    std::fill(z_.begin(), z_.end(), 0);
+}
+
+void
+GroupPauliFrames::reset(std::size_t num_words)
+{
+    qla_assert(num_words >= 1 && num_words <= words_);
+    // Repack to the batch's own width: the live planes become one
+    // contiguous prefix of the allocation, so the wipe is a single
+    // bulk clear and the replay working set shrinks with the batch.
+    stride_ = num_words;
+    std::fill_n(x_.begin(), n_ * num_words, 0);
+    std::fill_n(z_.begin(), n_ * num_words, 0);
+}
+
+Pauli1Draw
+drawPauli1(std::uint64_t fired, LaneRngs &lanes)
 {
     std::uint64_t fx = 0, fz = 0;
     while (fired) {
@@ -35,15 +54,11 @@ applyDepolarize1(BatchedPauliFrame &frame, std::size_t q,
             break;
         }
     }
-    if (fx)
-        frame.injectX(q, fx);
-    if (fz)
-        frame.injectZ(q, fz);
+    return {fx, fz};
 }
 
-void
-applyDepolarize2(BatchedPauliFrame &frame, std::size_t a, std::size_t b,
-                 std::uint64_t fired, LaneRngs &lanes)
+Pauli2Draw
+drawPauli2(std::uint64_t fired, LaneRngs &lanes)
 {
     std::uint64_t fxa = 0, fza = 0, fxb = 0, fzb = 0;
     while (fired) {
@@ -64,14 +79,33 @@ applyDepolarize2(BatchedPauliFrame &frame, std::size_t a, std::size_t b,
         if (pb == 2 || pb == 3)
             fzb |= bit;
     }
-    if (fxa)
-        frame.injectX(a, fxa);
-    if (fza)
-        frame.injectZ(a, fza);
-    if (fxb)
-        frame.injectX(b, fxb);
-    if (fzb)
-        frame.injectZ(b, fzb);
+    return {fxa, fza, fxb, fzb};
+}
+
+void
+applyDepolarize1(BatchedPauliFrame &frame, std::size_t q,
+                 std::uint64_t fired, LaneRngs &lanes)
+{
+    const Pauli1Draw d = drawPauli1(fired, lanes);
+    if (d.fx)
+        frame.injectX(q, d.fx);
+    if (d.fz)
+        frame.injectZ(q, d.fz);
+}
+
+void
+applyDepolarize2(BatchedPauliFrame &frame, std::size_t a, std::size_t b,
+                 std::uint64_t fired, LaneRngs &lanes)
+{
+    const Pauli2Draw d = drawPauli2(fired, lanes);
+    if (d.fxa)
+        frame.injectX(a, d.fxa);
+    if (d.fza)
+        frame.injectZ(a, d.fza);
+    if (d.fxb)
+        frame.injectX(b, d.fxb);
+    if (d.fzb)
+        frame.injectZ(b, d.fzb);
 }
 
 void
@@ -92,6 +126,21 @@ depolarize2(BatchedPauliFrame &frame, std::size_t a, std::size_t b,
     const std::uint64_t fired = sampler.sample(active, lanes);
     if (fired)
         applyDepolarize2(frame, a, b, fired, lanes);
+}
+
+void
+depolarize1(GroupPauliFrames &frames, std::size_t w, std::size_t q,
+            BernoulliWordSampler &sampler, LaneRngs &lanes,
+            std::uint64_t active)
+{
+    const std::uint64_t fired = sampler.sample(active, lanes);
+    if (!fired)
+        return;
+    const Pauli1Draw d = drawPauli1(fired, lanes);
+    if (d.fx)
+        frames.injectX(w, q, d.fx);
+    if (d.fz)
+        frames.injectZ(w, q, d.fz);
 }
 
 } // namespace qla::quantum

@@ -17,6 +17,14 @@
  * steals from the tail of the busiest victim. Jobs are coarse
  * (milliseconds), so the deques are mutex-guarded -- contention is
  * nil and the implementation stays obviously correct under ASan/TSan.
+ *
+ * Chunk sizing: callers slicing batched sweeps should align chunk
+ * boundaries to whole shot groups -- multiples of
+ * groupWords * kBatchLanes (2048 shots at the defaults) -- so every
+ * job replays full-capacity groups and only the final partial chunk
+ * pays the narrow-batch shape (the engine packs a partial batch's
+ * frame planes to its own width, but full groups amortize per-trace
+ * planning best). arq::thresholdSweep does this alignment.
  */
 
 #ifndef QLA_SIM_SHOT_SCHEDULER_H

@@ -16,11 +16,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "arq/executor.h"
+#include "arq/frame_trace.h"
 #include "circuit/circuit.h"
 #include "common/batched_sampler.h"
 #include "common/rng.h"
@@ -407,6 +410,199 @@ TEST(BatchedDepolarize, TwoQubitUniformOverFifteenPairs)
     for (int code = 1; code < 16; ++code)
         EXPECT_NEAR(counts[code] / total, p / 15.0, 0.005)
             << "code " << code;
+}
+
+TEST(ClassDrawSampler, MatchesBernoulliStatistics)
+{
+    // The trace-level clock must realize i.i.d. Bernoulli(p) trials for
+    // every lane, exactly like the per-site word sampler.
+    for (const double p : {0.002, 0.05, 0.3}) {
+        RngFamily family(29);
+        LaneRngs lanes;
+        for (std::size_t l = 0; l < kBatchLanes; ++l)
+            lanes[l] = family.stream(l);
+        ClassDrawSampler sampler(p);
+        const std::int64_t sites = 2000;
+        const int blocks = 20;
+        std::int64_t fires = 0;
+        for (int b = 0; b < blocks; ++b)
+            for (std::size_t l = 0; l < kBatchLanes; ++l)
+                sampler.walkLane(l, sites, lanes[l],
+                                 [&](std::int64_t) { ++fires; });
+        const double trials
+            = static_cast<double>(sites) * blocks * kBatchLanes;
+        const double rate = static_cast<double>(fires) / trials;
+        EXPECT_NEAR(rate, p, 5.0 * std::sqrt(p / trials)) << "p = " << p;
+    }
+}
+
+TEST(ClassDrawSampler, BlockBoundariesDoNotChangeFirePositions)
+{
+    // The SIMD width and shot grouping change how a trace's sites are
+    // blocked into walkLane calls, never which global trial ordinals
+    // fire: walking one long block and walking the same trials in
+    // ragged pieces must fire at identical global positions.
+    const double p = 0.03;
+    const int lane = 13;
+    RngFamily family(77);
+
+    Rng whole_rng = family.stream(lane);
+    ClassDrawSampler whole(p);
+    std::vector<std::int64_t> whole_fires;
+    whole.walkLane(lane, 30000, whole_rng,
+                   [&](std::int64_t o) { whole_fires.push_back(o); });
+
+    Rng pieces_rng = family.stream(lane);
+    ClassDrawSampler pieces(p);
+    std::vector<std::int64_t> piece_fires;
+    Rng chop(5);
+    std::int64_t base = 0;
+    while (base < 30000) {
+        const std::int64_t sites = std::min<std::int64_t>(
+            30000 - base, 1 + chop.uniformInt(700));
+        pieces.walkLane(lane, sites, pieces_rng, [&](std::int64_t o) {
+            piece_fires.push_back(base + o);
+        });
+        base += sites;
+    }
+    EXPECT_EQ(piece_fires, whole_fires);
+}
+
+TEST(ClassDrawSampler, ExportImportContinuesSequence)
+{
+    // Lane compaction moves a shot's trace-draw clock between words
+    // mid-run exactly like the word sampler's: the migrated lane must
+    // keep the fire sequence it would have produced in place.
+    const double p = 0.05;
+    RngFamily family(123);
+    const int lane_home = 11;
+    const int lane_away = 3;
+
+    Rng ref_rng = family.stream(lane_home);
+    ClassDrawSampler reference(p);
+    std::vector<std::int64_t> ref_fires;
+    for (int b = 0; b < 30; ++b)
+        reference.walkLane(lane_home, 500, ref_rng, [&](std::int64_t o) {
+            ref_fires.push_back(b * 500 + o);
+        });
+
+    Rng mig_rng = family.stream(lane_home);
+    ClassDrawSampler home(p);
+    ClassDrawSampler away(p);
+    std::vector<std::int64_t> fires;
+    for (int b = 0; b < 30; ++b) {
+        if (b % 2 == 0) {
+            home.walkLane(lane_home, 500, mig_rng, [&](std::int64_t o) {
+                fires.push_back(b * 500 + o);
+            });
+            away.importLane(lane_away, home.exportLane(lane_home));
+        } else {
+            away.walkLane(lane_away, 500, mig_rng, [&](std::int64_t o) {
+                fires.push_back(b * 500 + o);
+            });
+            home.importLane(lane_home, away.exportLane(lane_away));
+        }
+    }
+    EXPECT_EQ(fires, ref_fires);
+}
+
+TEST(ClassDrawSampler, ExportImportEdgeCases)
+{
+    RngFamily family(9);
+    Rng rng = family.stream(0);
+
+    // An unseen lane exports kLaneUnseen; importing it stays fresh.
+    ClassDrawSampler sampler(0.1);
+    EXPECT_EQ(sampler.exportLane(7), ClassDrawSampler::kLaneUnseen);
+    ClassDrawSampler other(0.1);
+    other.importLane(7, ClassDrawSampler::kLaneUnseen);
+
+    // A walked lane's remaining-trials clock round-trips (>= 1, same
+    // convention as BernoulliWordSampler::exportLane).
+    sampler.walkLane(9, 100, rng, [](std::int64_t) {});
+    const std::int64_t remaining = sampler.exportLane(9);
+    EXPECT_GE(remaining, 1);
+    other.importLane(9, remaining);
+    EXPECT_EQ(other.exportLane(9), remaining);
+
+    // Degenerate probabilities are caller-gated flags and draw nothing.
+    EXPECT_TRUE(ClassDrawSampler(0.0).neverFires());
+    EXPECT_TRUE(ClassDrawSampler(1.0).alwaysFires());
+    EXPECT_FALSE(ClassDrawSampler(0.5).neverFires());
+    EXPECT_FALSE(ClassDrawSampler(0.5).alwaysFires());
+}
+
+TEST(GroupReplay, SimdWidthsBitIdenticalLaneByLane)
+{
+    // The tentpole contract of the SIMD shot planes: replaying a shot
+    // group through 2-, 4- or 8-word tiles must leave every lane of
+    // every word -- frame bits and flip words -- exactly as the one-word
+    // replay does, in both fault-sampling modes.
+    using namespace qla::arq;
+    const std::size_t n = 6;
+    NoiseClassTable classes;
+    FrameTraceBuilder builder(classes);
+    builder.resetRange(0, n);
+    builder.noisyH(0, 2e-2);
+    builder.noisyCnot(0, 1, 1, 1.5e-2, 2.5e-2);
+    builder.noisyCnot(2, 3, 2, 1.5e-2, 2.5e-2);
+    builder.noisyCnotMeas(4, 5, 4, 1.5e-2, 2.5e-2, false, 3e-3);
+    builder.noise1Range(0, n, 1e-2);
+    builder.s(4);
+    builder.cz(4, 5);
+    builder.swapGate(0, 5);
+    builder.measureRange(0, 3, true, 3e-3);
+    builder.measureZ(4, 3e-3);
+    FrameTrace trace = builder.take();
+    finalizeTraceClassSites(trace, classes.probabilities().size());
+
+    const std::size_t words = 8;
+    RngFamily family(2026);
+    Rng mask_rng(55);
+    std::vector<std::uint64_t> masks(words);
+    for (auto &m : masks)
+        m = mask_rng.next64() | mask_rng.next64();
+    masks[3] = 0; // a fully inactive word inside the group
+
+    for (const FaultSampling sampling :
+         {FaultSampling::SiteGeometric, FaultSampling::TraceDraws}) {
+        // Reference: each word alone through the single-word replay.
+        std::vector<BatchedPauliFrame> ref_frames(words,
+                                                  BatchedPauliFrame(n));
+        std::vector<std::vector<std::uint64_t>> ref_flips(words);
+        for (std::size_t w = 0; w < words; ++w) {
+            BatchedNoiseModel model(classes);
+            model.rearm(family, w * kBatchLanes);
+            replayTrace(trace, ref_frames[w], model, masks[w],
+                        ref_flips[w], sampling);
+        }
+
+        for (const std::size_t width : {1, 2, 4, 8}) {
+            GroupPauliFrames frames(n, words);
+            std::vector<BatchedNoiseModel> models;
+            for (std::size_t w = 0; w < words; ++w) {
+                models.emplace_back(classes);
+                models.back().rearm(family, w * kBatchLanes);
+            }
+            std::vector<std::vector<std::uint64_t>> flips(words);
+            replayTraceGroup(trace, frames, models.data(), masks.data(),
+                             words, flips.data(), width, sampling);
+            for (std::size_t w = 0; w < words; ++w) {
+                if (!masks[w])
+                    continue; // inactive words only get cleared flips
+                ASSERT_EQ(flips[w], ref_flips[w])
+                    << "width " << width << " word " << w;
+                for (std::size_t q = 0; q < n; ++q) {
+                    ASSERT_EQ(frames.xWord(w, q), ref_frames[w].xWord(q))
+                        << "width " << width << " word " << w << " q "
+                        << q;
+                    ASSERT_EQ(frames.zWord(w, q), ref_frames[w].zWord(q))
+                        << "width " << width << " word " << w << " q "
+                        << q;
+                }
+            }
+        }
+    }
 }
 
 TEST(BatchedExecutor, MatchesScalarFrameExecution)

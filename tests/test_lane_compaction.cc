@@ -397,14 +397,13 @@ TEST(SegmentPool, RowGatherScatterRoundTrip)
     mask.w[2] = rng.next64() & rng.next64();
     mask.w[3] = rng.next64() | rng.next64(); // > 64 lanes total
 
-    std::vector<quantum::BatchedPauliFrame> frames(
-        4, quantum::BatchedPauliFrame(num_qubits));
+    quantum::GroupPauliFrames frames(num_qubits, 4);
     std::vector<std::uint64_t> x_orig, z_orig;
     for (std::size_t w = 0; w < 4; ++w)
         for (std::size_t q = 0; q < num_qubits; ++q) {
             const std::uint64_t x = rng.next64(), z = rng.next64();
-            frames[w].injectX(q, x);
-            frames[w].injectZ(q, z);
+            frames.injectX(w, q, x);
+            frames.injectZ(w, q, z);
             x_orig.push_back(x);
             z_orig.push_back(z);
         }
@@ -423,17 +422,16 @@ TEST(SegmentPool, RowGatherScatterRoundTrip)
     for (std::size_t k = 0; k < pool.chunkCount(); ++k)
         for (std::size_t q = 0; q < num_qubits; ++q)
             pool.gatherRow(k, frames, q, gathered[k], q);
-    for (std::size_t w = 0; w < 4; ++w)
-        frames[w].reset();
+    frames.reset();
     for (std::size_t k = 0; k < pool.chunkCount(); ++k)
         for (std::size_t q = 0; q < num_qubits; ++q)
             pool.scatterRow(k, frames, q, gathered[k], q);
     for (std::size_t w = 0; w < 4; ++w)
         for (std::size_t q = 0; q < num_qubits; ++q) {
-            EXPECT_EQ(frames[w].xWord(q),
+            EXPECT_EQ(frames.xWord(w, q),
                       x_orig[w * num_qubits + q] & mask.w[w])
                 << "w=" << w << " q=" << q;
-            EXPECT_EQ(frames[w].zWord(q),
+            EXPECT_EQ(frames.zWord(w, q),
                       z_orig[w * num_qubits + q] & mask.w[w])
                 << "w=" << w << " q=" << q;
         }

@@ -10,12 +10,16 @@
  *       for every thread count (the determinism contract).
  *
  *   determinism_gate --mode spot --engine batched
- *       [--group G] [--compaction on|off] [--fill F] [--threads N]
- *       [--shots S]
+ *       [--group G] [--compaction on|off] [--fill F] [--width W]
+ *       [--sampling site|trace] [--threads N] [--shots S]
  *       Single-point L1+L2 failure counts on the batched engine;
  *       identical output is required for every group width, for
- *       compaction on vs off, and for every segment-migration fill
- *       threshold F.
+ *       compaction on vs off, for every segment-migration fill
+ *       threshold F, and for every SIMD tile width W (1/2/4/8 words).
+ *       --sampling picks the fault-sampling granularity; it is the one
+ *       axis that changes the realized fault pattern (per-site vs
+ *       trace-level batched draws), so runs are byte-comparable only
+ *       within one sampling mode.
  *
  *   determinism_gate --mode spot --engine scalar [--shots S]
  *       The scalar reference engine's counts (self-reproducibility).
@@ -72,13 +76,16 @@ runSweep(int threads, std::size_t shots)
 
 int
 runSpotBatched(std::size_t group, bool compaction, double fill,
-               int threads, std::size_t shots)
+               std::size_t width, FaultSampling sampling, int threads,
+               std::size_t shots)
 {
     McRunOptions options;
     options.threads = threads;
     options.batch.groupWords = group;
     options.batch.laneCompaction = compaction;
     options.batch.migrationFillThreshold = fill;
+    options.batch.simdWidth = width;
+    options.batch.faultSampling = sampling;
     for (const int level : {1, 2}) {
         ExperimentStats stats;
         const auto rate = runLogicalExperiment(
@@ -195,9 +202,11 @@ main(int argc, char **argv)
     std::string engine = "batched";
     int threads = 1;
     std::size_t shots = 4000;
-    std::size_t group = 16;
+    std::size_t group = BatchOptions{}.groupWords;
     bool compaction = true;
     double fill = BatchOptions{}.migrationFillThreshold;
+    std::size_t width = BatchOptions{}.simdWidth;
+    FaultSampling sampling = BatchOptions{}.faultSampling;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -222,6 +231,12 @@ main(int argc, char **argv)
             compaction = std::strcmp(next(), "off") != 0;
         else if (arg == "--fill")
             fill = std::atof(next());
+        else if (arg == "--width")
+            width = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--sampling")
+            sampling = std::strcmp(next(), "site") == 0
+                ? FaultSampling::SiteGeometric
+                : FaultSampling::TraceDraws;
         else {
             std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
             return 2;
@@ -233,7 +248,8 @@ main(int argc, char **argv)
     if (mode == "spot")
         return engine == "scalar"
             ? runSpotScalar(shots)
-            : runSpotBatched(group, compaction, fill, threads, shots);
+            : runSpotBatched(group, compaction, fill, width, sampling,
+                             threads, shots);
     if (mode == "crosscheck")
         return runCrosscheck(shots);
     if (mode == "interconnect")
