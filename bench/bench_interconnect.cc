@@ -218,6 +218,83 @@ BENCHMARK(BM_CoSimSweepThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()->UseRealTime();
 
+//
+// PR 7 -- the noisy delivery pipeline: purification traffic competing
+// with program traffic, and the threshold/retry/abandonment path.
+//
+
+static void
+BM_CoSimPurificationOverhead(benchmark::State &state)
+{
+    // Purification level 0/1/2 at fixed elementary fidelity: measures
+    // the cost of pricing pumping traffic in channel slots (the
+    // capacity shrink) against the clean pipeline, and records the
+    // resulting stall/fidelity ledger.
+    const network::ProgramWorkload program(apps::qclaAdderCircuit(64));
+    network::CoSimConfig config;
+    config.bandwidth = 2;
+    config.fidelity.elementaryFidelity = 0.96;
+    config.fidelity.purificationLevel =
+        static_cast<int>(state.range(0));
+    config.fidelity.opError = 1e-4;
+    network::CoSimReport report;
+    for (auto _ : state) {
+        network::ProgramCoSimulator simulator(program, config);
+        report = simulator.run();
+        benchmark::DoNotOptimize(report);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * static_cast<std::int64_t>(report.windows));
+    state.counters["windows"] = static_cast<double>(report.windows);
+    state.counters["stall_windows"] =
+        static_cast<double>(report.stallWindows);
+    state.counters["delivered_fidelity_mean"] =
+        report.deliveredFidelityMean();
+    state.counters["residual_epr_error"] = report.residualEprError();
+}
+BENCHMARK(BM_CoSimPurificationOverhead)
+    ->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+static void
+BM_CoSimFaultRetryPath(benchmark::State &state)
+{
+    // Link faults (loss + bursts + down intervals) with threshold
+    // gating: measures the retry/backoff/abandonment path's simulation
+    // cost at fault rate range(0)/1000 and records the degradation
+    // ledger the sweep reports.
+    const network::ProgramWorkload program(apps::qclaAdderCircuit(48));
+    network::CoSimConfig config;
+    config.bandwidth = 3;
+    config.linkFaults =
+        network::LinkFaultConfig{}.atRate(
+            static_cast<double>(state.range(0)) / 1000.0);
+    config.fidelity.elementaryFidelity = 0.96;
+    config.fidelity.opError = 1e-4;
+    config.fidelity.deliveryThreshold = 0.88;
+    config.fidelity.retryBudget = 2;
+    network::CoSimReport report;
+    for (auto _ : state) {
+        network::ProgramCoSimulator simulator(program, config);
+        report = simulator.run();
+        benchmark::DoNotOptimize(report);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * static_cast<std::int64_t>(report.windows));
+    state.counters["windows"] = static_cast<double>(report.windows);
+    state.counters["dropped_pairs"] =
+        static_cast<double>(report.pairsDropped);
+    state.counters["retry_attempts"] =
+        static_cast<double>(report.retryAttempts);
+    state.counters["abandoned_pairs"] =
+        static_cast<double>(report.pairsAbandoned);
+    state.counters["penalty_windows"] =
+        static_cast<double>(report.fallbackPenaltyWindows);
+}
+BENCHMARK(BM_CoSimFaultRetryPath)
+    ->Arg(0)->Arg(20)->Arg(80)->Unit(benchmark::kMillisecond);
+
 static void
 BM_ShorCoSimValidation(benchmark::State &state)
 {

@@ -104,8 +104,7 @@ BatchedLogicalQubitExperiment::recordAllTraces()
     classes_.classOf(noise_.measureError);
     classes_.classOf(rows_.moveProbability(layout_.intraBlockCells,
                                            layout_.intraBlockTurns));
-    classes_.classOf(rows_.moveProbability(layout_.interBlockCells,
-                                           layout_.interBlockTurns));
+    classes_.classOf(rows_.interBlockMoveProbability());
 
     traces_[0].resize(traceIndex(Seg::LogicalGate, 2, n_ - 1, 2, true)
                       + 1);
@@ -219,8 +218,7 @@ BatchedLogicalQubitExperiment::recordL2Cnot(FrameTraceBuilder &tb,
                                             bool detect_x)
 {
     const std::size_t ac = detect_x ? 1 : 2;
-    const double p_move = rows_.moveProbability(layout_.interBlockCells,
-                                                layout_.interBlockTurns);
+    const double p_move = rows_.interBlockMoveProbability();
     for (std::size_t g = 0; g < n_; ++g) {
         for (std::size_t i = 0; i < n_; ++i) {
             const std::size_t qd = ion(0, g, Role::Data, i);

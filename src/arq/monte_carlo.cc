@@ -69,6 +69,21 @@ LogicalQubitExperiment::moveIon(std::size_t q, Cells cells, int turns,
                        rng);
 }
 
+void
+LogicalQubitExperiment::moveIonInterBlock(std::size_t q, Rng &rng)
+{
+    // Same arithmetic as TileRowRecorder::interBlockMoveProbability so
+    // the scalar and batched engines charge the identical probability.
+    const double cell_equivalents =
+        static_cast<double>(layout_.interBlockCells)
+        + noise_.splitCellEquivalent
+        + noise_.turnCellEquivalent * layout_.interBlockTurns;
+    frame_.depolarize1(q,
+                       noise_.movementErrorPerCell * cell_equivalents
+                           + noise_.eprResidualError,
+                       rng);
+}
+
 bool
 LogicalQubitExperiment::measureZ(std::size_t q, Rng &rng)
 {
@@ -178,15 +193,13 @@ LogicalQubitExperiment::extractSyndrome(std::size_t c, std::size_t g,
         const std::size_t qa = ion(c, g, Role::Ancilla, i);
         // The ancilla ion shuttles to the data block and back: the
         // inter-block distance r = 12 cells with up to two turns.
-        moveIon(qa, layout_.interBlockCells, layout_.interBlockTurns,
-                rng);
+        moveIonInterBlock(qa, rng);
         if (detect_x)
             engine_.cnot(qd, qa);
         else
             engine_.cnot(qa, qd);
         noisy2(qd, qa, rng);
-        moveIon(qa, layout_.interBlockCells, layout_.interBlockTurns,
-                rng);
+        moveIonInterBlock(qa, rng);
         const bool flip = detect_x ? measureZ(qa, rng)
                                    : measureX(qa, rng);
         if (flip)
@@ -255,12 +268,10 @@ LogicalQubitExperiment::prepL2Ancilla(std::size_t c, bool plus, Rng &rng,
             for (std::size_t i = 0; i < n_; ++i) {
                 const std::size_t qc = ion(c, control, Role::Data, i);
                 const std::size_t qt = ion(c, target, Role::Data, i);
-                moveIon(qt, layout_.interBlockCells,
-                        layout_.interBlockTurns, rng);
+                moveIonInterBlock(qt, rng);
                 engine_.cnot(qc, qt);
                 noisy2(qc, qt, rng);
-                moveIon(qt, layout_.interBlockCells,
-                        layout_.interBlockTurns, rng);
+                moveIonInterBlock(qt, rng);
             }
         }
         if (plus) {
@@ -343,15 +354,13 @@ LogicalQubitExperiment::extractSyndromeL2(bool detect_x, Rng &rng,
         for (std::size_t i = 0; i < n_; ++i) {
             const std::size_t qd = ion(0, g, Role::Data, i);
             const std::size_t qa = ion(ac, g, Role::Data, i);
-            moveIon(qa, layout_.interBlockCells, layout_.interBlockTurns,
-                    rng);
+            moveIonInterBlock(qa, rng);
             if (detect_x)
                 engine_.cnot(qd, qa);
             else
                 engine_.cnot(qa, qd);
             noisy2(qd, qa, rng);
-            moveIon(qa, layout_.interBlockCells, layout_.interBlockTurns,
-                    rng);
+            moveIonInterBlock(qa, rng);
         }
     }
 

@@ -49,6 +49,16 @@ struct NoiseParameters
      * level 1, 7.92e-4 at level 2) within their error bars.
      */
     double turnCellEquivalent = 3.0;
+    /**
+     * Residual infidelity of the interconnect's purified EPR pairs
+     * (PR 7): every inter-block interaction rides a teleported pair, so
+     * the post-purification link error adds to the shuttle's
+     * depolarizing probability as its own noise class. Fed from the
+     * co-simulator's delivered-fidelity ledger
+     * (network::CoSimReport::residualEprError()); 0 keeps the ideal
+     * interconnect of the seed experiments.
+     */
+    double eprResidualError = 0.0;
 
     /** All swept error types set to @p p, movement left as-is. */
     static NoiseParameters swept(double p);
@@ -135,6 +145,9 @@ class LogicalQubitExperiment
     void noisy1(std::size_t q, Rng &rng);
     void noisy2(std::size_t a, std::size_t b, Rng &rng);
     void moveIon(std::size_t q, Cells cells, int turns, Rng &rng);
+    /** Inter-block shuttle: movement noise plus the residual EPR error
+     *  of the interconnect channel it rides (PR 7). */
+    void moveIonInterBlock(std::size_t q, Rng &rng);
     bool measureZ(std::size_t q, Rng &rng);
     bool measureX(std::size_t q, Rng &rng);
 

@@ -68,8 +68,7 @@ TileRowRecorder::extractRound(FrameTraceBuilder &tb, std::size_t data_q0,
                               std::size_t anc_q0, bool detect_x) const
 {
     const std::size_t n = code_.blockLength();
-    const double p_move = moveProbability(layout_.interBlockCells,
-                                          layout_.interBlockTurns);
+    const double p_move = interBlockMoveProbability();
     for (std::size_t i = 0; i < n; ++i) {
         const std::size_t qd = data_q0 + i;
         const std::size_t qa = anc_q0 + i;
@@ -89,8 +88,7 @@ TileRowRecorder::l2Network(FrameTraceBuilder &tb, std::size_t q0,
 {
     const auto &sched = code_.zeroEncoder();
     const std::size_t n = code_.blockLength();
-    const double p_move = moveProbability(layout_.interBlockCells,
-                                          layout_.interBlockTurns);
+    const double p_move = interBlockMoveProbability();
     for (std::size_t pivot : sched.pivots)
         for (std::size_t i = 0; i < n; ++i)
             tb.noisyH(q0 + pivot * group_stride + i, noise_.gate1Error);

@@ -46,6 +46,16 @@ class TileRowRecorder
         return noise_.movementErrorPerCell * cell_equivalents;
     }
 
+    /** Inter-block shuttle probability: movement noise plus the
+     *  residual EPR infidelity of the interconnect channel it rides
+     *  (PR 7; same arithmetic as the scalar moveIonInterBlock). */
+    double interBlockMoveProbability() const
+    {
+        return moveProbability(layout_.interBlockCells,
+                               layout_.interBlockTurns)
+            + noise_.eprResidualError;
+    }
+
     /** Noisy |0>_L (or |+>_L) encoder into the row at @p q0. */
     void encodeRow(FrameTraceBuilder &tb, std::size_t q0, bool plus) const;
 

@@ -10,6 +10,16 @@ namespace qla::network {
 
 namespace {
 
+/** SplitMix64 finalizer for mixing run and fault seeds. */
+std::uint64_t
+mixSeed(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
 /** One unsatisfied EPR demand of an active gate. */
 struct PendingDemand
 {
@@ -20,6 +30,10 @@ struct PendingDemand
     int age = 0;
     /** Routing priority key, refreshed each window before sorting. */
     int urgency = 0;
+    /** Below-threshold rejections so far (retry-budget consumption). */
+    int attempts = 0;
+    /** Absolute window before which the demand sits out (backoff). */
+    std::uint64_t backoffUntil = 0;
 };
 
 /** A gate occupying its operands (and gadget ancilla tiles). */
@@ -36,6 +50,12 @@ struct ActiveGate
     bool stalledEver = false;
     /** Successors were told this gate is in its final prefetch span. */
     bool nearDoneNotified = false;
+    /** Had at least one demand abandoned (degraded execution). */
+    bool degraded = false;
+    /** Fallback penalty still to serve, in stall windows: charged when
+     *  a demand of this gate is abandoned, worked off one window per
+     *  advance before any progress can commit. */
+    int penaltyWindows = 0;
     /** Pending mesh demands per emitted relative window. */
     std::vector<int> undeliveredFor;
     /** Interactions per emitted relative window (drift applies when the
@@ -81,6 +101,34 @@ class CoSimEngine
                 ready_.push_back(i);
         }
         warmup_remaining_ = std::max(0, config_.prefetchWindows);
+        report_.perGate.resize(program_.gates().size());
+
+        // PR 7 noisy-interconnect machinery. All of it is bypassed on
+        // the clean path: zero fault rates and an ideal fidelity model
+        // draw no randomness and leave every routing decision
+        // bit-identical to the fault-free engine.
+        if (config_.linkFaults.any()) {
+            LinkFaultConfig faults = config_.linkFaults;
+            faults.seed = mixSeed(faults.seed ^ mixSeed(config_.seed));
+            mesh_.setLinkFaults(faults);
+            loss_rate_ = faults.pairLossRate;
+        }
+        fidelity_on_ = config_.fidelity.enabled()
+            || config_.linkFaults.burstRate > 0.0;
+        noisy_ = fidelity_on_ || config_.linkFaults.any();
+        if (fidelity_on_) {
+            link_plan_ = purifiedLinkPlan(config_.fidelity);
+            // Longest route the router can produce: dimension-ordered
+            // distance plus a full detour excursion both ways.
+            const int max_hops = extent.width + extent.height
+                + 2 * (config_.detourRadius + 1);
+            path_fidelity_ = PathFidelityTable(
+                link_plan_.linkFidelity, config_.fidelity.opError,
+                max_hops);
+        }
+        // Transit-loss draws are consumed in the deterministic sorted
+        // routing order, so one engine-owned stream suffices.
+        loss_rng_ = Rng(mixSeed(config_.seed ^ 0x10551055c0c0c0c0ULL));
     }
 
     CoSimReport run()
@@ -110,7 +158,14 @@ class CoSimEngine
         SchedulerConfig sc;
         sc.window = config_.window;
         sc.purifiedPairServiceTime = config_.purifiedPairServiceTime;
-        return slotsPerChannel(sc);
+        const std::uint64_t slots = slotsPerChannel(sc);
+        if (!config_.fidelity.enabled())
+            return slots;
+        // Purification traffic competes with program traffic: pumping a
+        // pair to the level target consumes expectedElementaryPairs
+        // channel transports, shrinking the purified-pair capacity.
+        return purifiedSlotsPerChannel(slots,
+                                       purifiedLinkPlan(config_.fidelity));
     }
 
     EntityId entityOf(const ActiveGate &g, const GateMember &m) const
@@ -393,23 +448,127 @@ class CoSimEngine
                           return a.relWindow < b.relWindow;
                       return a.slot < b.slot;
                   });
+        const std::uint64_t now = mesh_.windowsElapsed();
         std::vector<PendingDemand> still_pending;
         for (PendingDemand &pd : pending_) {
+            if (pd.backoffUntil > now) {
+                // Sitting out a retry backoff: no routing attempt, the
+                // channel breathes while the link (hopefully) recovers.
+                ++report_.retryBackoffWindows;
+                still_pending.push_back(pd);
+                continue;
+            }
+            RouteDelivery delivery;
             const std::uint64_t moved = router_.routePairs(
-                mesh_, pd.demand, pd.demand.pairs, route_stats_);
-            report_.pairsRoutedOnMesh += moved;
-            pd.demand.pairs -= moved;
+                mesh_, pd.demand, pd.demand.pairs, route_stats_,
+                noisy_ ? &delivery : nullptr);
+            std::uint64_t usable = moved;
+            bool abandon = false;
+            if (noisy_)
+                usable = processDelivery(pd, delivery, abandon);
+            report_.pairsRoutedOnMesh += usable;
+            pd.demand.pairs -= usable;
             if (pd.demand.pairs == 0) {
                 route_length_sum_ += islandDistance(
                     pd.demand.source, pd.demand.destination);
                 ++routed_count_;
                 --gateById(pd.gate).undeliveredFor[
                     static_cast<std::size_t>(pd.relWindow)];
+            } else if (abandon) {
+                abandonDemand(pd);
             } else {
                 still_pending.push_back(pd);
             }
         }
         pending_ = std::move(still_pending);
+    }
+
+    /**
+     * Price one routed delivery under faults and finite fidelity:
+     * subtract transit losses, reject bundles whose end-to-end fidelity
+     * (swap-composed over the path, degraded per bursting link) falls
+     * below the delivery threshold, and track the retry budget. Lost
+     * and rejected pairs count as dropped plus a replacement request,
+     * keeping the conservation ledger monotone.
+     * @return pairs of the grab set that are actually consumable.
+     */
+    std::uint64_t processDelivery(PendingDemand &pd,
+                                  const RouteDelivery &delivery,
+                                  bool &abandon)
+    {
+        std::uint64_t usable = 0;
+        bool rejected_any = false;
+        for (const PathGrab &grab : delivery.grabs) {
+            std::uint64_t survivors = grab.pairs;
+            if (loss_rate_ > 0.0) {
+                const std::uint64_t lost = sampleLostPairs(
+                    loss_rng_, grab.pairs, loss_rate_, grab.hops);
+                survivors -= lost;
+                report_.pairsLostInTransit += lost;
+                report_.pairsDropped += lost;
+                report_.pairsRequested += lost; // replacement shipment
+            }
+            if (survivors == 0)
+                continue;
+            double fidelity = 1.0;
+            if (fidelity_on_) {
+                fidelity = path_fidelity_.atHops(grab.hops);
+                if (grab.burstLinks > 0)
+                    fidelity = PathFidelityTable::withBursts(
+                        fidelity, grab.burstLinks,
+                        config_.linkFaults.burstDepolarization);
+            }
+            if (fidelity < config_.fidelity.deliveryThreshold) {
+                report_.pairsRejectedFidelity += survivors;
+                report_.pairsDropped += survivors;
+                report_.pairsRequested += survivors; // re-request
+                rejected_any = true;
+                continue;
+            }
+            usable += survivors;
+            if (fidelity_on_) {
+                report_.fidelityPairs += survivors;
+                report_.deliveredFidelitySum +=
+                    fidelity * static_cast<double>(survivors);
+                report_.deliveredFidelityMin =
+                    std::min(report_.deliveredFidelityMin, fidelity);
+            }
+        }
+        abandon = false;
+        if (rejected_any) {
+            ++report_.retryAttempts;
+            ++report_.perGate[pd.gate].retryAttempts;
+            ++pd.attempts;
+            if (pd.attempts > config_.fidelity.retryBudget) {
+                abandon = true;
+            } else {
+                // Exponential backoff, capped at 8x the base.
+                const int shift = std::min(pd.attempts - 1, 3);
+                pd.backoffUntil = mesh_.windowsElapsed()
+                    + (static_cast<std::uint64_t>(
+                           std::max(1, config_.fidelity.backoffWindows))
+                       << shift);
+            }
+        }
+        return usable;
+    }
+
+    /** Retry budget exhausted: give up on the demand's remaining pairs
+     *  and charge the gate the fallback penalty (served as stall
+     *  windows before any further progress). */
+    void abandonDemand(PendingDemand &pd)
+    {
+        const std::uint64_t remaining = pd.demand.pairs;
+        report_.pairsAbandoned += remaining;
+        ++report_.demandsAbandoned;
+        report_.perGate[pd.gate].pairsAbandoned += remaining;
+        ActiveGate &g = gateById(pd.gate);
+        if (!g.degraded) {
+            g.degraded = true;
+            ++report_.gatesDegraded;
+        }
+        g.penaltyWindows += config_.fidelity.abandonPenaltyWindows;
+        --g.undeliveredFor[static_cast<std::size_t>(pd.relWindow)];
     }
 
     ActiveGate &gateById(std::size_t id)
@@ -423,9 +582,25 @@ class CoSimEngine
     void advanceGate(std::size_t id)
     {
         ActiveGate &g = gateById(id);
+        if (g.penaltyWindows > 0) {
+            // Abandonment fallback executing (ballistic re-shipment /
+            // re-synthesis of the missing interaction): the gate burns
+            // the penalty before any further window can commit.
+            --g.penaltyWindows;
+            ++report_.stallWindows;
+            ++report_.fallbackPenaltyWindows;
+            ++report_.perGate[id].stallWindows;
+            ++report_.perGate[id].penaltyWindows;
+            if (!g.stalledEver) {
+                g.stalledEver = true;
+                ++report_.gatesStalled;
+            }
+            return;
+        }
         if (g.undeliveredFor[static_cast<std::size_t>(g.progress)] > 0) {
             // Gated on delivery: this window did not commit.
             ++report_.stallWindows;
+            ++report_.perGate[id].stallWindows;
             if (!g.stalledEver) {
                 g.stalledEver = true;
                 ++report_.gatesStalled;
@@ -464,6 +639,8 @@ class CoSimEngine
             probe.pairsRequested = report_.pairsRequested;
             probe.pairsDelivered = report_.pairsDelivered();
             probe.pairsDropped = report_.pairsDropped;
+            probe.pairsAbandoned = report_.pairsAbandoned;
+            probe.retryAttempts = report_.retryAttempts;
             probe.stallWindows = report_.stallWindows;
             for (const PendingDemand &pd : pending_)
                 probe.pairsPending += pd.demand.pairs;
@@ -512,6 +689,14 @@ class CoSimEngine
     int warmup_remaining_ = 0;
     double route_length_sum_ = 0.0;
     std::uint64_t routed_count_ = 0;
+
+    // PR 7 noisy-delivery state (inert on the clean path).
+    bool noisy_ = false;       ///< Any fault/fidelity machinery active.
+    bool fidelity_on_ = false; ///< Delivered pairs carry a fidelity.
+    double loss_rate_ = 0.0;
+    LinkPurificationPlan link_plan_;
+    PathFidelityTable path_fidelity_;
+    Rng loss_rng_{0};
 };
 
 } // namespace
@@ -543,13 +728,19 @@ runCoSimSweep(const std::vector<ProgramWorkload> &workloads,
     std::vector<CoSimSweepPoint> points;
     for (std::size_t w = 0; w < workloads.size(); ++w)
         for (const int bandwidth : config.bandwidths)
-            for (const std::uint64_t seed : config.seeds) {
-                CoSimSweepPoint point;
-                point.workload = w;
-                point.bandwidth = bandwidth;
-                point.seed = seed;
-                points.push_back(point);
-            }
+            for (const double fault_rate : config.faultRates)
+                for (const int level : config.purificationLevels)
+                    for (const double fidelity : config.linkFidelities)
+                        for (const std::uint64_t seed : config.seeds) {
+                            CoSimSweepPoint point;
+                            point.workload = w;
+                            point.bandwidth = bandwidth;
+                            point.faultRate = fault_rate;
+                            point.purificationLevel = level;
+                            point.linkFidelity = fidelity;
+                            point.seed = seed;
+                            points.push_back(point);
+                        }
     if (points.empty())
         return points;
     sim::ShotScheduler scheduler(config.threads);
@@ -558,6 +749,9 @@ runCoSimSweep(const std::vector<ProgramWorkload> &workloads,
         CoSimConfig cosim = config.base;
         cosim.bandwidth = point.bandwidth;
         cosim.seed = point.seed;
+        cosim.linkFaults = config.base.linkFaults.atRate(point.faultRate);
+        cosim.fidelity.elementaryFidelity = point.linkFidelity;
+        cosim.fidelity.purificationLevel = point.purificationLevel;
         ProgramCoSimulator simulator(workloads[point.workload], cosim);
         point.report = simulator.run();
     });
@@ -575,6 +769,14 @@ reduceCoSimSweep(const std::vector<CoSimSweepPoint> &points)
         stats.stallWindows.add(
             static_cast<double>(point.report.stallWindows));
         stats.stalledRuns.add(!point.report.fullyOverlapped());
+        stats.droppedPairs.add(
+            static_cast<double>(point.report.pairsDropped));
+        stats.abandonedPairs.add(
+            static_cast<double>(point.report.pairsAbandoned));
+        stats.retryAttempts.add(
+            static_cast<double>(point.report.retryAttempts));
+        stats.residualEprError.add(point.report.residualEprError());
+        stats.degradedRuns.add(point.report.demandsAbandoned > 0);
     }
     return stats;
 }

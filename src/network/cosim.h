@@ -26,6 +26,7 @@
 #include <functional>
 #include <vector>
 
+#include "network/fidelity.h"
 #include "network/placement.h"
 #include "network/program_workload.h"
 #include "network/scheduler.h"
@@ -78,6 +79,23 @@ struct CoSimConfig
     std::uint64_t seed = 1;
     /** Runaway guard: abort (completed = false) past this many windows. */
     std::uint64_t maxWindows = 1u << 22;
+
+    /**
+     * Stochastic link faults (PR 7). The fault-process seed is mixed
+     * with the run seed so sweep seeds perturb fault realizations too.
+     * All-zero rates (the default) keep the engine bit-identical to the
+     * fault-free PR-5 path.
+     */
+    LinkFaultConfig linkFaults;
+    /**
+     * Fidelity-aware delivery (PR 7): per-link Werner pairs, pumping to
+     * the purification-level target paid for in channel slots, swap
+     * composition along routes, delivered-fidelity threshold gating
+     * with bounded retry/backoff and abandonment. The defaults
+     * (fidelity 1.0, level 0, no threshold) are byte-identical to the
+     * ideal engine.
+     */
+    FidelityConfig fidelity;
 };
 
 /** Results of one co-simulated program execution. */
@@ -105,16 +123,39 @@ struct CoSimReport
     std::uint64_t interactions = 0;
 
     /** EPR-pair conservation ledger: requested = delivered (mesh-routed
-     *  + island-local) + dropped, plus whatever is still pending inside
-     *  an open window (zero once completed). */
+     *  + island-local) + dropped + abandoned, plus whatever is still
+     *  pending inside an open window (zero once completed). A pair lost
+     *  in transit or rejected below the fidelity threshold counts as
+     *  dropped AND as a fresh request (the replacement shipment), so
+     *  every term is monotone and the identity holds at every window
+     *  boundary -- asserted by the test_network conservation property
+     *  test. */
     std::uint64_t pairsRequested = 0;
     std::uint64_t pairsRoutedOnMesh = 0;
     std::uint64_t pairsLocal = 0;
-    /** Always zero today: the engine never abandons a demand (stalled
-     *  gates keep theirs pending). The term pins the ledger shape --
-     *  any future drop path must account through it to keep the
-     *  conservation property test meaningful. */
+    /** Pairs destroyed before use: lost in transit on faulty links or
+     *  rejected below the delivery-fidelity threshold (PR 7; the two
+     *  sub-counters below partition it). Zero on the clean path. */
     std::uint64_t pairsDropped = 0;
+    /** Dropped sub-counter: transit losses on faulty links. */
+    std::uint64_t pairsLostInTransit = 0;
+    /** Dropped sub-counter: delivered below the fidelity threshold. */
+    std::uint64_t pairsRejectedFidelity = 0;
+    /** Pairs of demands abandoned after the retry budget ran out (the
+     *  fallback path: the gate pays abandonPenaltyWindows instead). */
+    std::uint64_t pairsAbandoned = 0;
+    /** Demands abandoned (each charges one fallback penalty). */
+    std::uint64_t demandsAbandoned = 0;
+    /** Gates that had at least one demand abandoned. */
+    std::uint64_t gatesDegraded = 0;
+    /** Below-threshold rejection events (each one burns one unit of the
+     *  demand's retry budget and triggers backoff). */
+    std::uint64_t retryAttempts = 0;
+    /** Demand-windows spent waiting out a retry backoff. */
+    std::uint64_t retryBackoffWindows = 0;
+    /** Stall windows charged as abandonment fallback penalty (subset of
+     *  stallWindows). */
+    std::uint64_t fallbackPenaltyWindows = 0;
     std::uint64_t pairsDelivered() const
     {
         return pairsRoutedOnMesh + pairsLocal;
@@ -122,6 +163,36 @@ struct CoSimReport
     /** Pair-windows deferred: undelivered pairs carried across a window
      *  boundary, summed over boundaries. */
     std::uint64_t deferredPairWindows = 0;
+
+    /** Delivered-fidelity aggregates over accepted mesh-routed pairs
+     *  (only tracked when the fidelity model is enabled; the clean
+     *  engine leaves them at their ideal defaults). */
+    std::uint64_t fidelityPairs = 0;
+    double deliveredFidelitySum = 0.0;
+    double deliveredFidelityMin = 1.0;
+    double deliveredFidelityMean() const
+    {
+        return fidelityPairs
+            ? deliveredFidelitySum / static_cast<double>(fidelityPairs)
+            : 1.0;
+    }
+    /** Residual interconnect error fed to the ARQ noise model as
+     *  NoiseParameters::eprResidualError: the mean infidelity of the
+     *  pairs actually consumed by transversal interactions. */
+    double residualEprError() const
+    {
+        return 1.0 - deliveredFidelityMean();
+    }
+
+    /** Per-gate retry/stall attribution (indexed by gate id). */
+    struct GateAttribution
+    {
+        std::uint32_t stallWindows = 0;
+        std::uint32_t retryAttempts = 0;
+        std::uint32_t penaltyWindows = 0;
+        std::uint64_t pairsAbandoned = 0;
+    };
+    std::vector<GateAttribution> perGate;
 
     /** Gate-windows spent waiting on delivery (the stall charge). */
     std::uint64_t stallWindows = 0;
@@ -153,6 +224,8 @@ struct WindowProbe
     std::uint64_t pairsDelivered = 0;
     std::uint64_t pairsPending = 0;
     std::uint64_t pairsDropped = 0;
+    std::uint64_t pairsAbandoned = 0;
+    std::uint64_t retryAttempts = 0;
     /** Cumulative gate-windows stalled so far. */
     std::uint64_t stallWindows = 0;
     const TilePlacement *placement = nullptr;
@@ -194,17 +267,33 @@ struct CoSimSweepPoint
 {
     std::size_t workload = 0; ///< Index into CoSimSweepConfig::workloads.
     int bandwidth = 0;
+    /** Uniform link-fault rate (LinkFaultConfig::atRate axis). */
+    double faultRate = 0.0;
+    /** Purification level for the fidelity model. */
+    int purificationLevel = 0;
+    /** Elementary link fidelity for the fidelity model. */
+    double linkFidelity = 1.0;
     std::uint64_t seed = 0;
     CoSimReport report;
 };
 
-/** Sweep axes: workloads x bandwidths x seeds. */
+/** Sweep axes: workloads x bandwidths x fault rates x purification
+ *  levels x link fidelities x seeds (PR 7 degradation surface). The
+ *  fault/fidelity axes default to the ideal point, reproducing the
+ *  PR-5 sweep exactly. */
 struct CoSimSweepConfig
 {
-    /** Base configuration (mesh auto-sizing per workload when 0). */
+    /** Base configuration (mesh auto-sizing per workload when 0). Note
+     *  the fault-rate axis overrides base.linkFaults' rates via
+     *  LinkFaultConfig::atRate, and the fidelity axes override
+     *  base.fidelity.{elementaryFidelity, purificationLevel}. */
     CoSimConfig base;
     std::vector<int> bandwidths = {1, 2, 3, 4};
-    /** Seeds; each perturbs the (Random-strategy) placement. */
+    std::vector<double> faultRates = {0.0};
+    std::vector<int> purificationLevels = {0};
+    std::vector<double> linkFidelities = {1.0};
+    /** Seeds; each perturbs the (Random-strategy) placement and the
+     *  fault realization. */
     std::vector<std::uint64_t> seeds = {1};
     /** Worker threads (sim::resolveThreadCount semantics). */
     int threads = 0;
@@ -217,11 +306,18 @@ struct CoSimSweepStats
     sim::ScalarStat utilization;
     sim::ScalarStat stallWindows;
     sim::RateStat stalledRuns;
+    // PR 7 degradation aggregates (all zero on a clean sweep).
+    sim::ScalarStat droppedPairs;
+    sim::ScalarStat abandonedPairs;
+    sim::ScalarStat retryAttempts;
+    sim::ScalarStat residualEprError;
+    sim::RateStat degradedRuns; ///< Runs with >= 1 abandoned demand.
 };
 
 /**
- * Run every (workload, bandwidth, seed) combination on the shot
- * scheduler. Points come back in fixed lexicographic job order and each
+ * Run every (workload, bandwidth, fault rate, purification level, link
+ * fidelity, seed) combination on the shot scheduler. Points come back
+ * in fixed lexicographic job order (axes nested in that order) and each
  * job's result depends only on its own parameters, so the sweep is
  * bit-identical for every thread count (the repo determinism contract;
  * enforced by tools/determinism_gate --mode interconnect).

@@ -1,0 +1,111 @@
+#include "network/fidelity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qla::network {
+
+double
+purificationTarget(double elementary_f, int level)
+{
+    qla_assert(level >= 0, "negative purification level");
+    if (level == 0)
+        return elementary_f;
+    const double gap = 1.0 - elementary_f;
+    return 1.0 - gap / std::pow(4.0, level);
+}
+
+LinkPurificationPlan
+purifiedLinkPlan(const FidelityConfig &config)
+{
+    LinkPurificationPlan out;
+    out.linkFidelity = config.elementaryFidelity;
+    out.elementaryPairsPerPair = 1.0;
+    if (config.purificationLevel <= 0)
+        return out;
+    const teleport::WernerPair elem{config.elementaryFidelity};
+    if (!elem.purifiable())
+        return out; // pumping impossible; ship raw pairs
+    teleport::PumpingConfig pumping;
+    pumping.opError = config.opError;
+    // Keep the ladder target reachable: cap just under the ceiling.
+    const double ceiling =
+        teleport::pumpingCeiling(config.elementaryFidelity, pumping);
+    double target = purificationTarget(config.elementaryFidelity,
+                                       config.purificationLevel);
+    target = std::min(target, config.elementaryFidelity
+                                  + 0.98 * (ceiling
+                                            - config.elementaryFidelity));
+    if (target <= config.elementaryFidelity)
+        return out;
+    out.plan = teleport::planPumping(config.elementaryFidelity, target,
+                                     pumping);
+    if (out.plan.finalFidelity <= config.elementaryFidelity)
+        return out; // planner could not improve on raw pairs
+    out.linkFidelity = out.plan.finalFidelity;
+    out.elementaryPairsPerPair =
+        std::max(1.0, out.plan.expectedElementaryPairs);
+    return out;
+}
+
+std::uint64_t
+purifiedSlotsPerChannel(std::uint64_t elementary_slots,
+                        const LinkPurificationPlan &plan)
+{
+    qla_assert(elementary_slots > 0, "channel with no slots");
+    const double slots = std::floor(static_cast<double>(elementary_slots)
+                                    / plan.elementaryPairsPerPair);
+    return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(slots));
+}
+
+PathFidelityTable::PathFidelityTable(double link_fidelity, double op_error,
+                                     int max_hops)
+{
+    qla_assert(max_hops >= 1, "path table needs at least one hop");
+    by_hops_.resize(static_cast<std::size_t>(max_hops) + 1);
+    const teleport::WernerPair link{link_fidelity};
+    teleport::WernerPair pair = link;
+    by_hops_[0] = link_fidelity; // sentinel: never delivered over 0 hops
+    by_hops_[1] = link_fidelity;
+    for (int h = 2; h <= max_hops; ++h) {
+        pair = teleport::swapPairs(pair, link, op_error);
+        by_hops_[static_cast<std::size_t>(h)] = pair.fidelity;
+    }
+}
+
+double
+PathFidelityTable::atHops(int hops) const
+{
+    qla_assert(!by_hops_.empty(), "path table not built");
+    const std::size_t h = std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(hops, 1)), by_hops_.size() - 1);
+    return by_hops_[h];
+}
+
+double
+PathFidelityTable::withBursts(double fidelity, int burst_links,
+                              double burst_depolarization)
+{
+    teleport::WernerPair pair{fidelity};
+    for (int i = 0; i < burst_links; ++i)
+        pair = teleport::depolarize(pair, burst_depolarization);
+    return pair.fidelity;
+}
+
+std::uint64_t
+sampleLostPairs(Rng &rng, std::uint64_t pairs, double per_hop_loss,
+                int hops)
+{
+    if (per_hop_loss <= 0.0 || pairs == 0 || hops <= 0)
+        return 0;
+    const double escape = std::pow(1.0 - per_hop_loss, hops);
+    const double loss = 1.0 - escape;
+    std::uint64_t lost = 0;
+    for (std::uint64_t i = 0; i < pairs; ++i)
+        lost += rng.bernoulli(loss) ? 1 : 0;
+    return lost;
+}
+
+} // namespace qla::network

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <functional>
 
+#include "common/rng.h"
+
 namespace qla::network {
 
 IslandMesh::IslandMesh(int width, int height, int bandwidth,
@@ -61,10 +63,19 @@ IslandMesh::linkIndex(const IslandCoord &from, Direction dir) const
 }
 
 std::uint64_t
+IslandMesh::capacityOf(std::size_t link) const
+{
+    if (faults_on_ && down_until_[link] > windows_)
+        return 0;
+    return linkCapacity();
+}
+
+std::uint64_t
 IslandMesh::freeSlots(const IslandCoord &from, Direction dir) const
 {
-    const std::uint64_t cap = linkCapacity();
-    const std::uint64_t used = used_[linkIndex(from, dir)];
+    const std::size_t link = linkIndex(from, dir);
+    const std::uint64_t cap = capacityOf(link);
+    const std::uint64_t used = used_[link];
     return used >= cap ? 0 : cap - used;
 }
 
@@ -119,9 +130,8 @@ IslandMesh::reservePath(const std::vector<IslandCoord> &path,
             return linkIndex(c, d);
         });
 
-    const std::uint64_t cap = linkCapacity();
     for (std::size_t link : links)
-        if (used_[link] + pairs > cap)
+        if (used_[link] + pairs > capacityOf(link))
             return false;
     for (std::size_t link : links) {
         used_[link] += pairs;
@@ -141,9 +151,9 @@ IslandMesh::maxReservable(const std::vector<IslandCoord> &path) const
         [this](const IslandCoord &c, Direction d) {
             return linkIndex(c, d);
         });
-    const std::uint64_t cap = linkCapacity();
     std::uint64_t free = ~std::uint64_t{0};
     for (std::size_t link : links) {
+        const std::uint64_t cap = capacityOf(link);
         const std::uint64_t f = used_[link] >= cap ? 0
                                                    : cap - used_[link];
         free = std::min(free, f);
@@ -157,6 +167,112 @@ IslandMesh::advanceWindow()
     std::fill(used_.begin(), used_.end(), 0);
     window_reserved_ = 0;
     ++windows_;
+    if (faults_on_)
+        refreshFaults();
+}
+
+namespace {
+
+/** SplitMix64 finalizer; decorrelates (seed, link, window) tuples before
+ *  they seed the per-draw Rng (which runs SplitMix64 again). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+void
+IslandMesh::setLinkFaults(const LinkFaultConfig &config)
+{
+    faults_ = config;
+    faults_on_ = config.any();
+    if (!faults_on_)
+        return;
+    const std::size_t slots = used_.size();
+    down_until_.assign(slots, 0);
+    burst_.assign(slots, 0);
+    // Mark the geometrically valid directed-link slots once; fault draws
+    // and counters only touch real links.
+    link_valid_.assign(slots, 0);
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            const IslandCoord c{x, y};
+            for (int d = 0; d < 4; ++d) {
+                const auto dir = static_cast<Direction>(d);
+                if (inBounds(neighbor(c, dir)))
+                    link_valid_[linkIndex(c, dir)] = 1;
+            }
+        }
+    }
+    refreshFaults();
+}
+
+void
+IslandMesh::refreshFaults()
+{
+    // One fresh Rng per (link, window): the fault realization is a pure
+    // function of (seed, link index, window index) -- independent of
+    // routing order and thread count. Draw order within a link's stream
+    // is fixed (down first, then burst) so the processes stay decoupled.
+    for (std::size_t link = 0; link < used_.size(); ++link) {
+        if (!link_valid_[link])
+            continue;
+        Rng rng(mix64(mix64(faults_.seed + link) + windows_));
+        const bool was_down = down_until_[link] > windows_;
+        const bool down_draw = rng.bernoulli(faults_.linkDownRate);
+        const bool burst_draw = rng.bernoulli(faults_.burstRate);
+        if (!was_down) {
+            ++down_trials_;
+            if (down_draw) {
+                ++down_events_;
+                down_until_ [link] = windows_
+                    + static_cast<std::uint64_t>(faults_.linkDownWindows);
+            }
+        }
+        if (down_until_[link] > windows_)
+            ++link_windows_down_;
+        ++burst_trials_;
+        burst_[link] = burst_draw ? 1 : 0;
+        if (burst_draw)
+            ++burst_events_;
+    }
+}
+
+bool
+IslandMesh::linkDown(const IslandCoord &from, Direction dir) const
+{
+    if (!faults_on_)
+        return false;
+    return down_until_[linkIndex(from, dir)] > windows_;
+}
+
+bool
+IslandMesh::linkBurst(const IslandCoord &from, Direction dir) const
+{
+    if (!faults_on_)
+        return false;
+    return burst_[linkIndex(from, dir)] != 0;
+}
+
+int
+IslandMesh::burstLinksOnPath(const std::vector<IslandCoord> &path) const
+{
+    if (!faults_on_ || faults_.burstRate <= 0.0 || path.size() < 2)
+        return 0;
+    const auto links = pathLinks(
+        *this, path,
+        [this](const IslandCoord &c, Direction d) {
+            return linkIndex(c, d);
+        });
+    int bursts = 0;
+    for (std::size_t link : links)
+        bursts += burst_[link] != 0;
+    return bursts;
 }
 
 std::uint64_t

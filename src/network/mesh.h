@@ -41,6 +41,61 @@ int islandDistance(const IslandCoord &a, const IslandCoord &b);
 enum class Direction : std::uint8_t { East, West, North, South };
 
 /**
+ * Stochastic link-fault model (PR 7 noisy-interconnect co-design).
+ *
+ * Three fault processes degrade EPR delivery:
+ *
+ *  - pair loss:     each pair crossing a link is lost with probability
+ *                   pairLossRate (drawn per routed bundle by the
+ *                   co-simulator, binomially over the path's hops);
+ *  - link down:     a link enters a down interval (zero capacity for
+ *                   linkDownWindows windows) with per-window probability
+ *                   linkDownRate;
+ *  - depol. burst:  a link depolarizes every pair crossing it this
+ *                   window (extra Werner decay burstDepolarization) with
+ *                   per-window probability burstRate.
+ *
+ * Determinism contract: the down/burst state of (link, window) is a pure
+ * function of (seed, link index, window index) -- one fresh
+ * SplitMix64-seeded Rng per draw -- so fault realizations are identical
+ * regardless of routing order, thread count, or how many reservations
+ * probed the link. All-zero rates disable the machinery entirely
+ * (bit-identical to the fault-free mesh).
+ */
+struct LinkFaultConfig
+{
+    /** Per-hop probability a transported pair is lost in transit. */
+    double pairLossRate = 0.0;
+    /** Per-link per-window probability a down interval starts. */
+    double linkDownRate = 0.0;
+    /** Length of one down interval in windows. */
+    int linkDownWindows = 2;
+    /** Per-link per-window probability of a depolarization burst. */
+    double burstRate = 0.0;
+    /** Werner depolarization applied per bursting link crossed. */
+    double burstDepolarization = 0.05;
+    /** Fault-process seed (mixed with the run seed by the co-sim). */
+    std::uint64_t seed = 1;
+
+    bool any() const
+    {
+        return pairLossRate > 0.0 || linkDownRate > 0.0
+            || burstRate > 0.0;
+    }
+
+    /** The sweep's uniform fault-rate axis: loss and bursts at @p rate,
+     *  down-interval starts at rate/4, structural knobs kept. */
+    LinkFaultConfig atRate(double rate) const
+    {
+        LinkFaultConfig c = *this;
+        c.pairLossRate = rate;
+        c.burstRate = rate;
+        c.linkDownRate = 0.25 * rate;
+        return c;
+    }
+};
+
+/**
  * Island mesh with window-slotted channel accounting.
  *
  * Time is divided into scheduling windows (one level-2 error-correction
@@ -91,6 +146,38 @@ class IslandMesh
     /** Begin a new window: clears all reservations, accumulates stats. */
     void advanceWindow();
 
+    /**
+     * Install the stochastic link-fault model (PR 7). Draws the current
+     * window's down/burst state immediately; all-zero rates are a no-op.
+     */
+    void setLinkFaults(const LinkFaultConfig &config);
+
+    const LinkFaultConfig &linkFaults() const { return faults_; }
+    bool faultsEnabled() const { return faults_on_; }
+
+    /** Link is inside a down interval this window (zero capacity). */
+    bool linkDown(const IslandCoord &from, Direction dir) const;
+
+    /** Link carries a depolarization burst this window. */
+    bool linkBurst(const IslandCoord &from, Direction dir) const;
+
+    /** Bursting links crossed by @p path in the current window. */
+    int burstLinksOnPath(const std::vector<IslandCoord> &path) const;
+
+    /** @name Fault-process event counters
+     *  For the statistical crosscheck that injected faults match their
+     *  configured rates: events / trials estimates the per-link
+     *  per-window rate. A down trial is counted only when the link was
+     *  eligible (not already down). */
+    ///@{
+    std::uint64_t faultDownEvents() const { return down_events_; }
+    std::uint64_t faultDownTrials() const { return down_trials_; }
+    std::uint64_t faultBurstEvents() const { return burst_events_; }
+    std::uint64_t faultBurstTrials() const { return burst_trials_; }
+    /** (link, window) cells spent inside down intervals. */
+    std::uint64_t linkWindowsDown() const { return link_windows_down_; }
+    ///@}
+
     /** Windows elapsed (advanceWindow calls). */
     std::uint64_t windowsElapsed() const { return windows_; }
 
@@ -110,6 +197,13 @@ class IslandMesh
     std::size_t linkIndex(const IslandCoord &from, Direction dir) const;
     static IslandCoord neighbor(const IslandCoord &c, Direction dir);
 
+    /** Capacity of link slot @p link this window (0 while down). */
+    std::uint64_t capacityOf(std::size_t link) const;
+
+    /** Redraw down/burst state for the current window (pure in
+     *  (seed, link, window); link-index order). */
+    void refreshFaults();
+
     int width_;
     int height_;
     int bandwidth_;
@@ -118,6 +212,18 @@ class IslandMesh
     std::uint64_t windows_ = 0;
     std::uint64_t window_reserved_ = 0;
     std::uint64_t total_reserved_ = 0;
+
+    // Link-fault state (allocated only when faults are installed).
+    LinkFaultConfig faults_;
+    bool faults_on_ = false;
+    std::vector<std::uint8_t> link_valid_; // geometric link slot exists
+    std::vector<std::uint64_t> down_until_; // absolute window, exclusive
+    std::vector<std::uint8_t> burst_;       // this window only
+    std::uint64_t down_events_ = 0;
+    std::uint64_t down_trials_ = 0;
+    std::uint64_t burst_events_ = 0;
+    std::uint64_t burst_trials_ = 0;
+    std::uint64_t link_windows_down_ = 0;
 };
 
 /** Step from @p a toward @p b (dimension-ordered); a != b required. */

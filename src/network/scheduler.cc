@@ -94,7 +94,8 @@ EprRouter::detourPathRow(const IslandCoord &from, const IslandCoord &to,
 
 std::uint64_t
 EprRouter::routePairs(IslandMesh &mesh, const EprDemand &demand,
-                      std::uint64_t pairs, RouteStats &stats) const
+                      std::uint64_t pairs, RouteStats &stats,
+                      RouteDelivery *delivery) const
 {
     if (demand.source == demand.destination)
         return pairs; // co-located after drift; no mesh traffic
@@ -114,6 +115,10 @@ EprRouter::routePairs(IslandMesh &mesh, const EprDemand &demand,
         qla_assert(ok, "reservation within free capacity failed");
         remaining -= amount;
         first_path = false;
+        if (delivery != nullptr)
+            delivery->grabs.push_back(
+                {amount, static_cast<int>(path.size()) - 1,
+                 mesh.burstLinksOnPath(path)});
     };
 
     // Greedy: grab everything the dimension-ordered route offers, then

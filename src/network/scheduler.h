@@ -75,6 +75,24 @@ struct RouteStats
     std::uint64_t backoffReroutes = 0;
 };
 
+/** One bundle of pairs reserved on a single path (PR 7: carries the
+ *  geometry the fidelity model needs to price the delivery). */
+struct PathGrab
+{
+    /** Pairs reserved on this path. */
+    std::uint64_t pairs = 0;
+    /** Links the path crosses (path length). */
+    int hops = 0;
+    /** Links with an active depolarization burst this window. */
+    int burstLinks = 0;
+};
+
+/** Per-call delivery detail from EprRouter::routePairs. */
+struct RouteDelivery
+{
+    std::vector<PathGrab> grabs;
+};
+
 /**
  * Greedy multi-path router over the island mesh: grab everything the
  * dimension-ordered route offers, back off onto the alternate
@@ -110,11 +128,15 @@ class EprRouter
      * splitting across alternate paths when the greedy route saturates.
      * Co-located demands (source == destination) need no mesh capacity
      * and are reported fully routed.
+     * @param delivery When non-null, receives one PathGrab per reserved
+     *        path (pairs, hop count, bursting links crossed) so the
+     *        caller can price loss and fidelity. Co-located pairs
+     *        produce no grab.
      * @return pairs actually reserved this window.
      */
     std::uint64_t routePairs(IslandMesh &mesh, const EprDemand &demand,
-                             std::uint64_t pairs,
-                             RouteStats &stats) const;
+                             std::uint64_t pairs, RouteStats &stats,
+                             RouteDelivery *delivery = nullptr) const;
 
   private:
     int detour_radius_;

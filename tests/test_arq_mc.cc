@@ -473,3 +473,65 @@ TEST(MonteCarlo, EstimateThresholdInterpolates)
     points[1].level2Failure = 0.01;
     EXPECT_DOUBLE_EQ(estimateThreshold(points), 0.0);
 }
+
+//
+// PR 7 -- residual post-purification EPR error as an ARQ noise class.
+// The interconnect co-simulator exports CoSimReport::residualEprError();
+// NoiseParameters::eprResidualError is the knob it feeds, charged on
+// every inter-block shuttle (the paths EPR-distributed ancillas take).
+//
+
+TEST(MonteCarlo, EprResidualErrorAloneTriggersSyndromes)
+{
+    // With all local noise off, a nonzero residual EPR error must still
+    // inject faults on inter-block moves: the coupling is real, not a
+    // dead parameter.
+    Rng rng(23);
+    NoiseParameters noise = noiseless();
+    noise.eprResidualError = 5e-3;
+    LogicalQubitExperiment experiment(ecc::steaneCode(), noise);
+    ExperimentStats stats;
+    experiment.failureRate(1, 4000, rng, &stats);
+    EXPECT_GT(stats.nontrivialSyndrome.rate(), 0.0);
+}
+
+TEST(MonteCarlo, EprResidualErrorRaisesFailureRate)
+{
+    Rng rng(29);
+    NoiseParameters base = NoiseParameters::swept(2e-3);
+    NoiseParameters degraded = base;
+    degraded.eprResidualError = 2e-2;
+    LogicalQubitExperiment clean(ecc::steaneCode(), base);
+    LogicalQubitExperiment noisy(ecc::steaneCode(), degraded);
+    const double f_clean = clean.failureRate(1, 8000, rng).rate();
+    const double f_noisy = noisy.failureRate(1, 8000, rng).rate();
+    EXPECT_GT(f_noisy, f_clean);
+}
+
+TEST(BatchedMonteCarlo, EprResidualErrorChiSquareMatchesScalar)
+{
+    // Scalar and batched engines share the inter-block probability
+    // arithmetic (movement + residual EPR error), so their failure
+    // counts at a nonzero residual must agree on a 2x2 contingency
+    // chi-square at the 99.9% cut.
+    NoiseParameters noise = NoiseParameters::swept(2e-3);
+    noise.eprResidualError = 1e-2;
+    const std::size_t shots = 12000;
+    BatchedLogicalQubitExperiment batched(ecc::steaneCode(), noise);
+    LogicalQubitExperiment scalar(ecc::steaneCode(), noise);
+    Rng rng(37);
+    const auto b = batched.failureRate(1, shots, 71);
+    const auto s = scalar.failureRate(1, shots, rng);
+
+    const double b1 = static_cast<double>(b.successes());
+    const double b0 = static_cast<double>(b.trials() - b.successes());
+    const double s1 = static_cast<double>(s.successes());
+    const double s0 = static_cast<double>(s.trials() - s.successes());
+    ASSERT_GT(b1, 4.0);
+    ASSERT_GT(s1, 4.0);
+    const double n = b1 + b0 + s1 + s0;
+    const double chi2 = n * (b1 * s0 - b0 * s1) * (b1 * s0 - b0 * s1)
+        / ((b1 + b0) * (s1 + s0) * (b1 + s1) * (b0 + s0));
+    EXPECT_LT(chi2, 10.83) << "batched " << b1 << "/" << b.trials()
+                           << " vs scalar " << s1 << "/" << s.trials();
+}

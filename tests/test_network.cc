@@ -533,15 +533,20 @@ TEST(CoSim, EprPairsConservedEveryWindow)
     std::uint64_t windows_probed = 0;
     const auto report = simulator.run([&](const WindowProbe &probe) {
         ++windows_probed;
-        // Generated = delivered + still pending (+ dropped).
+        // Generated = delivered + still pending (+ dropped/abandoned).
         EXPECT_EQ(probe.pairsRequested,
                   probe.pairsDelivered + probe.pairsPending
-                      + probe.pairsDropped);
+                      + probe.pairsDropped + probe.pairsAbandoned);
     });
     EXPECT_TRUE(report.completed);
     EXPECT_EQ(windows_probed, report.windows + report.warmupWindows);
     EXPECT_EQ(report.pairsRequested,
-              report.pairsDelivered() + report.pairsDropped);
+              report.pairsDelivered() + report.pairsDropped
+                  + report.pairsAbandoned);
+    // Clean run: the noisy ledger stays empty.
+    EXPECT_EQ(report.pairsAbandoned, 0u);
+    EXPECT_EQ(report.pairsDropped, 0u);
+    EXPECT_EQ(report.retryAttempts, 0u);
 }
 
 TEST(CoSim, DriftBookkeepingStaysBijective)
@@ -722,4 +727,338 @@ TEST(CoSim, EmptyProgramCompletesImmediately)
     EXPECT_TRUE(report.completed);
     EXPECT_EQ(report.windows, 0u);
     EXPECT_EQ(report.pairsRequested, 0u);
+}
+
+//
+// PR 7 -- noisy interconnect co-design: fault injection, fidelity-gated
+// delivery with retry/backoff, abandonment accounting, and graceful
+// degradation.
+//
+
+namespace {
+
+/** Shared noisy baseline for the degradation tests. */
+CoSimConfig
+noisyCoSimConfig()
+{
+    CoSimConfig config;
+    config.bandwidth = 2;
+    config.linkFaults = LinkFaultConfig{}.atRate(0.08);
+    config.fidelity.elementaryFidelity = 0.96;
+    config.fidelity.purificationLevel = 1;
+    config.fidelity.opError = 1e-4;
+    config.fidelity.deliveryThreshold = 0.9;
+    config.fidelity.retryBudget = 2;
+    return config;
+}
+
+} // namespace
+
+TEST(NoisyCoSim, PerfectFidelityKnobsReproduceCleanSchedule)
+{
+    // Acceptance: turning the fidelity machinery ON with perfect pairs
+    // (F = 1, zero fault rates, satisfiable threshold) must reproduce
+    // the clean engine's schedule exactly -- the noisy path may only
+    // change behavior through actual noise.
+    const ProgramWorkload program(apps::qclaAdderCircuit(16));
+    CoSimConfig clean;
+    clean.bandwidth = 2;
+    CoSimConfig perfect = clean;
+    perfect.fidelity.elementaryFidelity = 1.0;
+    perfect.fidelity.deliveryThreshold = 0.5;
+    ASSERT_TRUE(perfect.fidelity.enabled());
+    const auto a = ProgramCoSimulator(program, clean).run();
+    const auto b = ProgramCoSimulator(program, perfect).run();
+    EXPECT_TRUE(b.completed);
+    EXPECT_EQ(a.windows, b.windows);
+    EXPECT_EQ(a.warmupWindows, b.warmupWindows);
+    EXPECT_EQ(a.criticalPathWindows, b.criticalPathWindows);
+    EXPECT_EQ(a.stallWindows, b.stallWindows);
+    EXPECT_EQ(a.pairsRequested, b.pairsRequested);
+    EXPECT_EQ(a.pairsRoutedOnMesh, b.pairsRoutedOnMesh);
+    EXPECT_EQ(a.driftMoves, b.driftMoves);
+    EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+    EXPECT_DOUBLE_EQ(a.averageRouteLength, b.averageRouteLength);
+    EXPECT_EQ(b.pairsDropped, 0u);
+    EXPECT_EQ(b.pairsAbandoned, 0u);
+    EXPECT_EQ(b.retryAttempts, 0u);
+    EXPECT_DOUBLE_EQ(b.deliveredFidelityMean(), 1.0);
+    EXPECT_DOUBLE_EQ(b.residualEprError(), 0.0);
+}
+
+TEST(NoisyCoSim, LedgerConservesPairsAndAttributionUnderFaults)
+{
+    // Satellite: requested = delivered + pending + dropped + abandoned
+    // at every window boundary, and the per-gate attribution sums to
+    // the run totals.
+    const ProgramWorkload program(apps::qclaAdderCircuit(16));
+    const CoSimConfig config = noisyCoSimConfig();
+    ProgramCoSimulator simulator(program, config);
+    const auto report = simulator.run([&](const WindowProbe &probe) {
+        EXPECT_EQ(probe.pairsRequested,
+                  probe.pairsDelivered + probe.pairsPending
+                      + probe.pairsDropped + probe.pairsAbandoned);
+    });
+    EXPECT_TRUE(report.completed);
+    EXPECT_EQ(report.pairsRequested,
+              report.pairsDelivered() + report.pairsDropped
+                  + report.pairsAbandoned);
+    // Drops decompose exactly into transit losses + threshold rejects.
+    EXPECT_EQ(report.pairsDropped,
+              report.pairsLostInTransit + report.pairsRejectedFidelity);
+    EXPECT_GT(report.pairsDropped, 0u);
+    EXPECT_GT(report.fidelityPairs, 0u);
+    EXPECT_LT(report.deliveredFidelityMin,
+              report.deliveredFidelityMean() + 1e-12);
+    // Per-gate attribution is a partition of the run totals.
+    std::uint64_t stall = 0, retries = 0, penalty = 0, abandoned = 0;
+    for (const auto &gate : report.perGate) {
+        stall += gate.stallWindows;
+        retries += gate.retryAttempts;
+        penalty += gate.penaltyWindows;
+        abandoned += gate.pairsAbandoned;
+    }
+    EXPECT_EQ(stall, report.stallWindows);
+    EXPECT_EQ(retries, report.retryAttempts);
+    EXPECT_EQ(penalty, report.fallbackPenaltyWindows);
+    EXPECT_EQ(abandoned, report.pairsAbandoned);
+}
+
+TEST(NoisyCoSim, AbandonmentOnlyOnRetryBudgetExhaustion)
+{
+    const ProgramWorkload program(apps::toffoliNetworkCircuit(15, 9));
+    // Achievable delivery: faults drop pairs but nothing is rejected,
+    // so the retry/abandonment path must stay untouched.
+    CoSimConfig achievable;
+    achievable.bandwidth = 2;
+    achievable.linkFaults = LinkFaultConfig{}.atRate(0.1);
+    const auto ok = ProgramCoSimulator(program, achievable).run();
+    EXPECT_TRUE(ok.completed);
+    EXPECT_GT(ok.pairsDropped, 0u);
+    EXPECT_EQ(ok.retryAttempts, 0u);
+    EXPECT_EQ(ok.pairsAbandoned, 0u);
+    EXPECT_EQ(ok.demandsAbandoned, 0u);
+    EXPECT_EQ(ok.gatesDegraded, 0u);
+    EXPECT_EQ(ok.fallbackPenaltyWindows, 0u);
+
+    // Unsatisfiable threshold: every delivery is rejected, every demand
+    // burns its retry budget and is abandoned -- and the run still
+    // completes (graceful degradation), paying the fallback penalty.
+    CoSimConfig impossible;
+    impossible.bandwidth = 2;
+    impossible.fidelity.elementaryFidelity = 0.9;
+    impossible.fidelity.deliveryThreshold = 0.97;
+    impossible.fidelity.retryBudget = 1;
+    impossible.fidelity.backoffWindows = 1;
+    const auto bad = ProgramCoSimulator(program, impossible).run();
+    EXPECT_TRUE(bad.completed);
+    EXPECT_GT(bad.demandsAbandoned, 0u);
+    EXPECT_GT(bad.pairsAbandoned, 0u);
+    EXPECT_GT(bad.gatesDegraded, 0u);
+    EXPECT_GT(bad.retryAttempts, 0u);
+    EXPECT_GT(bad.fallbackPenaltyWindows, 0u);
+    EXPECT_GT(bad.stallWindows, 0u);
+    EXPECT_GE(bad.stallWindows, bad.fallbackPenaltyWindows);
+    EXPECT_EQ(bad.pairsRequested,
+              bad.pairsDelivered() + bad.pairsDropped
+                  + bad.pairsAbandoned);
+}
+
+TEST(NoisyCoSim, DegradationIsMonotoneInFaultRate)
+{
+    const ProgramWorkload program(apps::qclaAdderCircuit(16));
+    std::uint64_t prev_dropped = 0;
+    std::uint64_t prev_windows = 0;
+    for (const double rate : {0.0, 0.05, 0.2}) {
+        CoSimConfig config;
+        config.bandwidth = 2;
+        config.linkFaults = LinkFaultConfig{}.atRate(rate);
+        const auto report = ProgramCoSimulator(program, config).run();
+        EXPECT_TRUE(report.completed);
+        EXPECT_GE(report.pairsDropped, prev_dropped)
+            << "rate=" << rate;
+        EXPECT_GE(report.windows, prev_windows) << "rate=" << rate;
+        if (rate > 0.0) {
+            EXPECT_GT(report.pairsDropped, prev_dropped);
+        }
+        prev_dropped = report.pairsDropped;
+        prev_windows = report.windows;
+    }
+}
+
+TEST(NoisyCoSim, PurificationTrafficCreatesBandwidthCrossover)
+{
+    // Acceptance crossover: bandwidth 2 fully overlaps the QCLA block
+    // on the clean interconnect (existing acceptance test), but once
+    // purification traffic is priced into the channel slots the same
+    // bandwidth stalls computation; extra bandwidth buys the overlap
+    // back.
+    const ProgramWorkload program(apps::qclaAdderCircuit(64));
+    CoSimConfig clean;
+    clean.bandwidth = 2;
+    const auto base = ProgramCoSimulator(program, clean).run();
+    ASSERT_TRUE(base.completed);
+    ASSERT_EQ(base.stallWindows, 0u);
+
+    CoSimConfig purified = clean;
+    purified.fidelity.elementaryFidelity = 0.96;
+    purified.fidelity.purificationLevel = 2;
+    purified.fidelity.opError = 1e-4;
+    const auto bw2 = ProgramCoSimulator(program, purified).run();
+    EXPECT_TRUE(bw2.completed);
+    EXPECT_GT(bw2.stallWindows, 0u);
+    EXPECT_GT(bw2.windows, base.windows);
+
+    CoSimConfig wide = purified;
+    wide.bandwidth = 4;
+    const auto bw4 = ProgramCoSimulator(program, wide).run();
+    EXPECT_TRUE(bw4.completed);
+    EXPECT_LT(bw4.stallWindows, bw2.stallWindows);
+    // Purified pairs arrive above the raw elementary fidelity.
+    EXPECT_GT(bw2.deliveredFidelityMean(),
+              purified.fidelity.elementaryFidelity);
+}
+
+namespace {
+
+/** One-sample goodness-of-fit chi-square (1 dof) for @p events
+ *  successes in @p trials Bernoulli(p) draws. */
+double
+rateChi2(std::uint64_t events, std::uint64_t trials, double p)
+{
+    const double n = static_cast<double>(trials);
+    const double expected = n * p;
+    const double observed = static_cast<double>(events);
+    return (observed - expected) * (observed - expected)
+        / (expected * (1.0 - p));
+}
+
+} // namespace
+
+TEST(NoisyCoSim, InjectedFaultProcessMatchesConfiguredRates)
+{
+    // Satellite: statistical crosscheck that the injected link-fault
+    // process matches the configured rates (chi-square, 99.9% cut as
+    // in the ARQ scalar-vs-batched crosschecks).
+    IslandMesh mesh(6, 6, 2, 10);
+    LinkFaultConfig faults;
+    faults.linkDownRate = 0.05;
+    faults.burstRate = 0.12;
+    faults.linkDownWindows = 2;
+    faults.seed = 7;
+    mesh.setLinkFaults(faults);
+    for (int w = 0; w < 500; ++w)
+        mesh.advanceWindow();
+    ASSERT_GT(mesh.faultDownTrials(), 0u);
+    ASSERT_GT(mesh.faultBurstTrials(), 0u);
+    // Power checks: enough expected events for the test to mean
+    // anything.
+    ASSERT_GT(static_cast<double>(mesh.faultDownTrials())
+                  * faults.linkDownRate,
+              20.0);
+    ASSERT_GT(static_cast<double>(mesh.faultBurstTrials())
+                  * faults.burstRate,
+              20.0);
+    EXPECT_LT(rateChi2(mesh.faultDownEvents(), mesh.faultDownTrials(),
+                       faults.linkDownRate),
+              10.83); // chi^2(1) at 99.9%
+    EXPECT_LT(rateChi2(mesh.faultBurstEvents(), mesh.faultBurstTrials(),
+                       faults.burstRate),
+              10.83);
+    // Down intervals actually take capacity offline.
+    EXPECT_GT(mesh.linkWindowsDown(), 0u);
+    EXPECT_LE(mesh.linkWindowsDown(),
+              mesh.faultDownEvents()
+                  * static_cast<std::uint64_t>(faults.linkDownWindows));
+}
+
+TEST(NoisyCoSim, TransitLossMatchesCompoundedPerHopRate)
+{
+    Rng rng(123);
+    const double per_hop = 0.03;
+    const int hops = 2;
+    const double p = 1.0 - (1.0 - per_hop) * (1.0 - per_hop);
+    std::uint64_t lost = 0;
+    const std::uint64_t trials = 40000;
+    for (int batch = 0; batch < 400; ++batch)
+        lost += sampleLostPairs(rng, trials / 400, per_hop, hops);
+    EXPECT_LT(rateChi2(lost, trials, p), 10.83);
+    // Rate zero must not consume randomness or lose pairs.
+    Rng a(5), b(5);
+    EXPECT_EQ(sampleLostPairs(a, 1000, 0.0, 3), 0u);
+    EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(NoisyCoSim, NoisySweepIsThreadCountInvariant)
+{
+    std::vector<ProgramWorkload> workloads;
+    workloads.emplace_back(apps::toffoliNetworkCircuit(12, 6));
+    CoSimSweepConfig sweep;
+    sweep.bandwidths = {2};
+    sweep.seeds = {1, 2};
+    sweep.faultRates = {0.0, 0.1};
+    sweep.purificationLevels = {0, 1};
+    sweep.linkFidelities = {0.96};
+    sweep.base.placement = PlacementStrategy::Random;
+    sweep.base.fidelity.opError = 1e-4;
+    sweep.base.fidelity.deliveryThreshold = 0.88;
+    sweep.base.fidelity.retryBudget = 2;
+    sweep.threads = 1;
+    const auto serial = runCoSimSweep(workloads, sweep);
+    sweep.threads = 4;
+    const auto parallel = runCoSimSweep(workloads, sweep);
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(serial.size(), 1u * 1u * 2u * 2u * 1u * 2u);
+    bool any_dropped = false;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].faultRate, parallel[i].faultRate);
+        EXPECT_EQ(serial[i].purificationLevel,
+                  parallel[i].purificationLevel);
+        EXPECT_EQ(serial[i].linkFidelity, parallel[i].linkFidelity);
+        EXPECT_EQ(serial[i].report.windows, parallel[i].report.windows);
+        EXPECT_EQ(serial[i].report.pairsRequested,
+                  parallel[i].report.pairsRequested);
+        EXPECT_EQ(serial[i].report.pairsDropped,
+                  parallel[i].report.pairsDropped);
+        EXPECT_EQ(serial[i].report.pairsAbandoned,
+                  parallel[i].report.pairsAbandoned);
+        EXPECT_EQ(serial[i].report.retryAttempts,
+                  parallel[i].report.retryAttempts);
+        EXPECT_EQ(serial[i].report.stallWindows,
+                  parallel[i].report.stallWindows);
+        EXPECT_EQ(serial[i].report.fidelityPairs,
+                  parallel[i].report.fidelityPairs);
+        EXPECT_DOUBLE_EQ(serial[i].report.deliveredFidelitySum,
+                         parallel[i].report.deliveredFidelitySum);
+        EXPECT_DOUBLE_EQ(serial[i].report.deliveredFidelityMin,
+                         parallel[i].report.deliveredFidelityMin);
+        any_dropped |= serial[i].report.pairsDropped > 0;
+    }
+    EXPECT_TRUE(any_dropped);
+    const auto stats = reduceCoSimSweep(serial);
+    EXPECT_EQ(stats.droppedPairs.count(), serial.size());
+    EXPECT_EQ(stats.degradedRuns.trials(), serial.size());
+}
+
+TEST(NoisyCoSim, ResidualErrorIsExposedForTheArqNoiseModel)
+{
+    // The co-sim's residual post-purification error is the quantity the
+    // ARQ Monte Carlo consumes as NoiseParameters::eprResidualError;
+    // it must be a small positive number under noise and improve with
+    // purification.
+    const ProgramWorkload program(apps::qclaAdderCircuit(16));
+    CoSimConfig raw;
+    raw.bandwidth = 2;
+    raw.fidelity.elementaryFidelity = 0.96;
+    raw.fidelity.opError = 1e-4;
+    const auto level0 = ProgramCoSimulator(program, raw).run();
+    CoSimConfig pumped = raw;
+    pumped.fidelity.purificationLevel = 2;
+    const auto level2 = ProgramCoSimulator(program, pumped).run();
+    ASSERT_TRUE(level0.completed);
+    ASSERT_TRUE(level2.completed);
+    EXPECT_GT(level0.residualEprError(), 0.0);
+    EXPECT_GT(level2.residualEprError(), 0.0);
+    EXPECT_LT(level2.residualEprError(), level0.residualEprError());
+    EXPECT_LT(level0.residualEprError(), 0.5);
 }

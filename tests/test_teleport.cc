@@ -212,3 +212,214 @@ TEST(Ablation, SimplisticTeleportSaturates)
     EXPECT_LT(near, 0.05);
     EXPECT_NEAR(far, 0.75, 0.01); // maximally mixed
 }
+
+//
+// PR 7 -- fidelity-monotonicity property suite for the pumping planner.
+// The co-simulator now trusts planPumping's (fidelity, cost) ladder to
+// price purification traffic in channel slots, so these properties are
+// load-bearing for the interconnect, not just for Figure 8.
+//
+
+namespace {
+
+struct ReplayRung
+{
+    double fidelity;
+    double ops;
+    double pairs;
+};
+
+/**
+ * Independent replica of the planner's renewal accounting, driven only
+ * through the public purify() kernel: replay a chosen pump schedule and
+ * rebuild the (fidelity, expected ops, expected pairs) ladder.
+ */
+std::vector<ReplayRung>
+replayLadder(double elementary_f, const std::vector<int> &steps_per_grade,
+             double op_error)
+{
+    std::vector<ReplayRung> ladder{{elementary_f, 0.0, 1.0}};
+    ReplayRung current{elementary_f, 0.0, 1.0};
+    for (int steps : steps_per_grade) {
+        const ReplayRung sacrificial = current;
+        const double attempt_ops = current.ops;
+        const double attempt_pairs = current.pairs;
+        double reach = 1.0;
+        double reach_ops = 0.0;
+        double reach_pairs = 0.0;
+        double f = current.fidelity;
+        for (int j = 0; j < steps; ++j) {
+            reach_ops += reach * (sacrificial.ops + 1.0);
+            reach_pairs += reach * sacrificial.pairs;
+            const PurifyOutcome out =
+                purify({f}, {sacrificial.fidelity}, op_error);
+            reach *= out.successProbability;
+            f = out.pair.fidelity;
+            current = {f, (attempt_ops + reach_ops) / reach,
+                       (attempt_pairs + reach_pairs) / reach};
+            ladder.push_back(current);
+        }
+    }
+    return ladder;
+}
+
+const double kElementaryGrid[] = {0.55, 0.62, 0.7, 0.8, 0.9, 0.96};
+const double kOpErrorGrid[] = {0.0, 1e-4, 1e-3};
+const double kTargetFractions[] = {0.25, 0.5, 0.85};
+
+} // namespace
+
+TEST(PumpingMonotonicity, SingleStepNeverCrossesWernerThreshold)
+{
+    // BBPSSW with a purifiable sacrificial pair keeps a purifiable pair
+    // purifiable, even with (small) local operation noise.
+    for (double f1 = 0.505; f1 < 1.0; f1 += 0.045) {
+        for (double f2 = 0.505; f2 < 1.0; f2 += 0.045) {
+            for (double op_error : kOpErrorGrid) {
+                const PurifyOutcome out = purify({f1}, {f2}, op_error);
+                EXPECT_GT(out.pair.fidelity, 0.5)
+                    << "f1=" << f1 << " f2=" << f2
+                    << " op=" << op_error;
+                EXPECT_GT(out.successProbability, 0.0);
+                EXPECT_LE(out.successProbability, 1.0);
+            }
+        }
+    }
+}
+
+TEST(PumpingMonotonicity, ReplayedScheduleNeverLowersFidelity)
+{
+    // Replaying stepsPerGrade through purify() must produce a
+    // monotonically non-decreasing fidelity trajectory that stays above
+    // the Werner threshold and ends at (or above) the planned fidelity.
+    for (double elem : kElementaryGrid) {
+        for (double op_error : kOpErrorGrid) {
+            PumpingConfig config;
+            config.opError = op_error;
+            const double ceiling = pumpingCeiling(elem, config);
+            for (double frac : kTargetFractions) {
+                const double target = elem + frac * (ceiling - elem);
+                const SegmentPlan plan =
+                    planPumping(elem, target, config);
+                if (!plan.feasible || plan.stepsPerGrade.empty())
+                    continue;
+                const auto ladder =
+                    replayLadder(elem, plan.stepsPerGrade, op_error);
+                for (std::size_t i = 1; i < ladder.size(); ++i) {
+                    EXPECT_GT(ladder[i].fidelity, 0.5);
+                    EXPECT_GE(ladder[i].fidelity + 1e-12,
+                              ladder[i - 1].fidelity)
+                        << "elem=" << elem << " op=" << op_error
+                        << " rung=" << i;
+                }
+                EXPECT_GE(ladder.back().fidelity + 1e-9,
+                          plan.finalFidelity);
+                EXPECT_GE(plan.finalFidelity + 1e-12, target);
+            }
+        }
+    }
+}
+
+TEST(PumpingMonotonicity, PlanNeverLowersFidelityAndRespectsCaps)
+{
+    for (double elem : kElementaryGrid) {
+        for (double op_error : kOpErrorGrid) {
+            PumpingConfig config;
+            config.opError = op_error;
+            const double ceiling = pumpingCeiling(elem, config);
+            for (double frac : kTargetFractions) {
+                const double target = elem + frac * (ceiling - elem);
+                const SegmentPlan plan =
+                    planPumping(elem, target, config);
+                ASSERT_TRUE(plan.feasible)
+                    << "elem=" << elem << " op=" << op_error
+                    << " target=" << target;
+                EXPECT_GE(plan.finalFidelity + 1e-12, elem);
+                EXPECT_GE(plan.expectedElementaryPairs, 1.0);
+                EXPECT_GE(plan.expectedOpsPerEnd, 0.0);
+                EXPECT_LE(static_cast<int>(plan.stepsPerGrade.size()),
+                          config.maxGrades);
+                for (int steps : plan.stepsPerGrade) {
+                    EXPECT_GE(steps, 1);
+                    EXPECT_LE(steps, config.maxStepsPerGrade);
+                }
+            }
+        }
+    }
+    // Below the Werner threshold nothing is purifiable.
+    EXPECT_FALSE(planPumping(0.5, 0.9, PumpingConfig{}).feasible);
+    EXPECT_FALSE(planPumping(0.3, 0.9, PumpingConfig{}).feasible);
+}
+
+TEST(PumpingMonotonicity, CostAccountingBracketsReplayedLadder)
+{
+    // The planner's interpolated expected cost at the target must sit
+    // between the two independently-replayed ladder rungs that bracket
+    // the target fidelity (a mixed strategy between the two discrete
+    // schedules can never cost less than the cheaper rung or more than
+    // the dearer one).
+    for (double elem : kElementaryGrid) {
+        for (double op_error : kOpErrorGrid) {
+            PumpingConfig config;
+            config.opError = op_error;
+            const double ceiling = pumpingCeiling(elem, config);
+            for (double frac : kTargetFractions) {
+                const double target = elem + frac * (ceiling - elem);
+                const SegmentPlan plan =
+                    planPumping(elem, target, config);
+                if (!plan.feasible || plan.stepsPerGrade.empty())
+                    continue;
+                const auto ladder =
+                    replayLadder(elem, plan.stepsPerGrade, op_error);
+                std::size_t hi = ladder.size();
+                for (std::size_t i = 0; i < ladder.size(); ++i) {
+                    if (ladder[i].fidelity >= target - 1e-12) {
+                        hi = i;
+                        break;
+                    }
+                }
+                ASSERT_LT(hi, ladder.size())
+                    << "elem=" << elem << " op=" << op_error;
+                if (hi == 0)
+                    continue; // target at/below the elementary rung
+                const ReplayRung &lo_rung = ladder[hi - 1];
+                const ReplayRung &hi_rung = ladder[hi];
+                EXPECT_GE(plan.expectedElementaryPairs,
+                          lo_rung.pairs * (1.0 - 1e-9));
+                EXPECT_LE(plan.expectedElementaryPairs,
+                          hi_rung.pairs * (1.0 + 1e-9));
+                EXPECT_GE(plan.expectedOpsPerEnd + 1e-9,
+                          lo_rung.ops * (1.0 - 1e-9));
+                EXPECT_LE(plan.expectedOpsPerEnd,
+                          hi_rung.ops * (1.0 + 1e-9) + 1e-9);
+                // Ladder costs themselves are monotone in fidelity.
+                for (std::size_t i = 1; i < ladder.size(); ++i) {
+                    EXPECT_GE(ladder[i].pairs + 1e-12,
+                              ladder[i - 1].pairs);
+                    EXPECT_GE(ladder[i].ops + 1e-12,
+                              ladder[i - 1].ops);
+                }
+            }
+        }
+    }
+}
+
+TEST(PumpingMonotonicity, HigherTargetNeverCostsLess)
+{
+    for (double elem : {0.7, 0.9, 0.96}) {
+        PumpingConfig config;
+        config.opError = 1e-4;
+        const double ceiling = pumpingCeiling(elem, config);
+        double prev_pairs = 0.0;
+        double prev_ops = -1.0;
+        for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+            const double target = elem + frac * (ceiling - elem);
+            const SegmentPlan plan = planPumping(elem, target, config);
+            ASSERT_TRUE(plan.feasible);
+            EXPECT_GE(plan.expectedElementaryPairs + 1e-9, prev_pairs);
+            EXPECT_GE(plan.expectedOpsPerEnd + 1e-9, prev_ops);
+            prev_pairs = plan.expectedElementaryPairs;
+            prev_ops = plan.expectedOpsPerEnd;
+        }
+    }
+}

@@ -30,9 +30,17 @@
  *       combined 95% intervals (with slack).
  *
  *   determinism_gate --mode interconnect [--threads N]
+ *       [--fault-rate F] [--purification L] [--link-fidelity E]
+ *       [--retry-budget R]
  *       Logical-program co-simulation sweep (workloads x bandwidths x
  *       placement seeds on the shot scheduler); identical output is
  *       required for every thread count and for fixed-seed reruns.
+ *       With any noisy axis set (nonzero fault rate, purification
+ *       level > 0, or link fidelity < 1) the sweep additionally spans
+ *       fault rate x purification level x link fidelity against the
+ *       clean point and prints the full degradation ledger (drops,
+ *       rejections, retries, abandonments, delivered fidelity) -- the
+ *       PR-7 noisy-delivery pipeline under the same byte-diff contract.
  */
 
 #include <cstdio>
@@ -147,20 +155,43 @@ runCrosscheck(std::size_t shots)
 }
 
 int
-runInterconnect(int threads)
+runInterconnect(int threads, double fault_rate, int purification,
+                double link_fidelity, int retry_budget)
 {
     using namespace qla::network;
+    const bool noisy = fault_rate > 0.0 || purification > 0
+        || link_fidelity < 1.0;
+
     std::vector<ProgramWorkload> workloads;
     workloads.emplace_back(qla::apps::toffoliNetworkCircuit(15, 12));
     workloads.emplace_back(qla::apps::qclaAdderCircuit(16));
-    workloads.emplace_back(
-        qla::apps::bandedQftCircuit(24, qla::apps::qftBandWidth(24)));
+    if (!noisy)
+        workloads.emplace_back(
+            qla::apps::bandedQftCircuit(24, qla::apps::qftBandWidth(24)));
 
     CoSimSweepConfig sweep;
     sweep.bandwidths = {1, 2, 4};
     sweep.seeds = {1, 2};
     sweep.base.placement = PlacementStrategy::Random;
     sweep.threads = threads;
+    if (noisy) {
+        // Noisy pipeline: clean point vs each requested axis value,
+        // with threshold gating and the retry/abandonment path live.
+        sweep.bandwidths = {2, 4};
+        sweep.seeds = {1};
+        sweep.faultRates = fault_rate > 0.0
+            ? std::vector<double>{0.0, fault_rate}
+            : std::vector<double>{0.0};
+        sweep.purificationLevels = purification > 0
+            ? std::vector<int>{0, purification}
+            : std::vector<int>{0};
+        sweep.linkFidelities = link_fidelity < 1.0
+            ? std::vector<double>{1.0, link_fidelity}
+            : std::vector<double>{1.0};
+        sweep.base.fidelity.opError = 1e-4;
+        sweep.base.fidelity.deliveryThreshold = 0.88;
+        sweep.base.fidelity.retryBudget = retry_budget;
+    }
     const auto points = runCoSimSweep(workloads, sweep);
     for (const auto &point : points) {
         const auto &r = point.report;
@@ -168,7 +199,7 @@ runInterconnect(int threads)
             "w=%zu bw=%d seed=%llu windows=%llu warmup=%llu "
             "stallW=%llu gatesStalled=%llu req=%llu mesh=%llu "
             "local=%llu deferred=%llu drift=%llu reroutes=%llu "
-            "util=%.17g route=%.17g\n",
+            "util=%.17g route=%.17g",
             point.workload, point.bandwidth,
             (unsigned long long)point.seed,
             (unsigned long long)r.windows,
@@ -182,14 +213,45 @@ runInterconnect(int threads)
             (unsigned long long)r.driftMoves,
             (unsigned long long)r.backoffReroutes, r.utilization,
             r.averageRouteLength);
+        if (noisy)
+            std::printf(
+                " fr=%.17g lvl=%d ef=%.17g dropped=%llu lost=%llu "
+                "rej=%llu aband=%llu demAband=%llu degraded=%llu "
+                "retries=%llu backoffW=%llu penaltyW=%llu "
+                "fidMean=%.17g fidMin=%.17g resid=%.17g",
+                point.faultRate, point.purificationLevel,
+                point.linkFidelity,
+                (unsigned long long)r.pairsDropped,
+                (unsigned long long)r.pairsLostInTransit,
+                (unsigned long long)r.pairsRejectedFidelity,
+                (unsigned long long)r.pairsAbandoned,
+                (unsigned long long)r.demandsAbandoned,
+                (unsigned long long)r.gatesDegraded,
+                (unsigned long long)r.retryAttempts,
+                (unsigned long long)r.retryBackoffWindows,
+                (unsigned long long)r.fallbackPenaltyWindows,
+                r.deliveredFidelityMean(), r.deliveredFidelityMin,
+                r.residualEprError());
+        std::printf("\n");
     }
     const auto stats = reduceCoSimSweep(points);
     std::printf("makespan_mean=%.17g util_mean=%.17g stall_mean=%.17g "
-                "stalled_runs=%llu/%llu\n",
+                "stalled_runs=%llu/%llu",
                 stats.makespanWindows.mean(), stats.utilization.mean(),
                 stats.stallWindows.mean(),
                 (unsigned long long)stats.stalledRuns.successes(),
                 (unsigned long long)stats.stalledRuns.trials());
+    if (noisy)
+        std::printf(" dropped_mean=%.17g abandoned_mean=%.17g "
+                    "retries_mean=%.17g resid_mean=%.17g "
+                    "degraded_runs=%llu/%llu",
+                    stats.droppedPairs.mean(),
+                    stats.abandonedPairs.mean(),
+                    stats.retryAttempts.mean(),
+                    stats.residualEprError.mean(),
+                    (unsigned long long)stats.degradedRuns.successes(),
+                    (unsigned long long)stats.degradedRuns.trials());
+    std::printf("\n");
     return 0;
 }
 
@@ -207,6 +269,10 @@ main(int argc, char **argv)
     double fill = BatchOptions{}.migrationFillThreshold;
     std::size_t width = BatchOptions{}.simdWidth;
     FaultSampling sampling = BatchOptions{}.faultSampling;
+    double fault_rate = 0.0;
+    int purification = 0;
+    double link_fidelity = 1.0;
+    int retry_budget = 3;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -237,6 +303,14 @@ main(int argc, char **argv)
             sampling = std::strcmp(next(), "site") == 0
                 ? FaultSampling::SiteGeometric
                 : FaultSampling::TraceDraws;
+        else if (arg == "--fault-rate")
+            fault_rate = std::atof(next());
+        else if (arg == "--purification")
+            purification = std::atoi(next());
+        else if (arg == "--link-fidelity")
+            link_fidelity = std::atof(next());
+        else if (arg == "--retry-budget")
+            retry_budget = std::atoi(next());
         else {
             std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
             return 2;
@@ -253,7 +327,8 @@ main(int argc, char **argv)
     if (mode == "crosscheck")
         return runCrosscheck(shots);
     if (mode == "interconnect")
-        return runInterconnect(threads);
+        return runInterconnect(threads, fault_rate, purification,
+                               link_fidelity, retry_budget);
     std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
     return 2;
 }
