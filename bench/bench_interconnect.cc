@@ -314,6 +314,34 @@ BM_ShorCoSimValidation(benchmark::State &state)
 BENCHMARK(BM_ShorCoSimValidation)
     ->Arg(128)->Unit(benchmark::kMillisecond);
 
+static void
+BM_CoSimMemoryHierarchy(benchmark::State &state)
+{
+    // The PR-8 cache model: a 64-bit QCLA adder on a split mesh with
+    // the compute fraction from Arg (percent), memory at level 1.
+    const network::ProgramWorkload program(apps::qclaAdderCircuit(64));
+    network::CoSimConfig config;
+    config.bandwidth = 2;
+    config.memory.computeFraction =
+        static_cast<double>(state.range(0)) / 100.0;
+    config.memory.memoryCodeLevel = 1;
+    network::CoSimReport report;
+    for (auto _ : state) {
+        network::ProgramCoSimulator simulator(program, config);
+        report = simulator.run();
+        benchmark::DoNotOptimize(report);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * static_cast<std::int64_t>(report.windows));
+    state.counters["windows"] = static_cast<double>(report.windows);
+    state.counters["miss_rate_x1000"] = report.missRate() * 1000.0;
+    state.counters["evictions"] =
+        static_cast<double>(report.memEvictions);
+}
+BENCHMARK(BM_CoSimMemoryHierarchy)
+    ->Arg(100)->Arg(50)->Arg(20)->Unit(benchmark::kMillisecond);
+
 int
 main(int argc, char **argv)
 {

@@ -187,6 +187,51 @@ validateShorAgainstCoSim(std::uint64_t bits,
     return out;
 }
 
+ShorHierarchyDesignPoint
+shorHierarchyDesignPoint(std::uint64_t bits, double computeFraction,
+                         int memoryCodeLevel, std::uint64_t blockBits,
+                         const ShorResourceModel &model)
+{
+    qla_assert(computeFraction > 0.0 && computeFraction <= 1.0,
+               "compute fraction must be in (0, 1]");
+    ShorHierarchyDesignPoint out;
+    out.bits = bits;
+    out.computeFraction = computeFraction;
+    out.memoryCodeLevel = memoryCodeLevel;
+
+    // Runtime: co-simulate one QCLA block on the uniform mesh and on
+    // the split mesh; the measured window ratio is the dilation the
+    // cache misses cost, applied to the same MExp extrapolation as
+    // validateShorAgainstCoSim.
+    const ShorCoSimValidation uniform =
+        validateShorAgainstCoSim(blockBits, model);
+    out.uniformReport = uniform.blockReport;
+    out.uniformRunTime = uniform.extrapolatedRunTime;
+    network::CoSimConfig split;
+    split.memory.computeFraction = computeFraction;
+    split.memory.memoryCodeLevel = memoryCodeLevel;
+    const ShorCoSimValidation hierarchy =
+        validateShorAgainstCoSim(blockBits, model, split);
+    out.splitReport = hierarchy.blockReport;
+    out.hierarchyRunTime = hierarchy.extrapolatedRunTime;
+    out.runtimeDilation = uniform.blockReport.windows
+        ? static_cast<double>(hierarchy.blockReport.windows)
+            / static_cast<double>(uniform.blockReport.windows)
+        : 1.0;
+
+    // Area: the full N-bit machine's logical qubits split by the same
+    // fraction, memory tiles priced at the denser memory profile.
+    const std::uint64_t qubits = model.logicalQubits(bits);
+    const auto compute_tiles = static_cast<std::uint64_t>(std::llround(
+        computeFraction * static_cast<double>(qubits)));
+    out.area = arch::regionChipEstimate(
+        compute_tiles, qubits - compute_tiles,
+        arch::RegionCodeParams::computeDefault(),
+        arch::RegionCodeParams::memoryAtLevel(memoryCodeLevel));
+    out.areaVersusUniform = out.area.areaVersusUniform;
+    return out;
+}
+
 std::vector<ShorResources>
 ShorResourceModel::table2() const
 {

@@ -33,6 +33,7 @@
 
 #include "apps/toffoli.h"
 #include "arch/chip.h"
+#include "arch/region.h"
 #include "common/units.h"
 #include "network/cosim.h"
 
@@ -167,6 +168,47 @@ struct ShorCoSimValidation
 ShorCoSimValidation validateShorAgainstCoSim(
     std::uint64_t bits, const ShorResourceModel &model = ShorResourceModel{},
     network::CoSimConfig cosim = {});
+
+/**
+ * One CQLA design point for Shor at N = @p bits: area priced with the
+ * compute/memory split, runtime dilation measured by co-simulating a
+ * QCLA block on the split mesh (the PR-8 memory hierarchy) against the
+ * uniform mesh. This turns the Thaker-et-al. area-vs-runtime tradeoff
+ * into a sized, simulatable point: shrinking the compute region cuts
+ * chip area (memory tiles are denser and factory-less) and stretches
+ * the schedule by the measured cache-miss stalls.
+ */
+struct ShorHierarchyDesignPoint
+{
+    std::uint64_t bits = 0;
+    double computeFraction = 1.0;
+    int memoryCodeLevel = 1;
+    /** Executed QCLA-block schedules (uniform and split mesh). */
+    network::CoSimReport uniformReport;
+    network::CoSimReport splitReport;
+    /** split windows / uniform windows (>= 1: the runtime cost). */
+    double runtimeDilation = 1.0;
+    /** MExp extrapolations (validateShorAgainstCoSim structure). */
+    Seconds uniformRunTime = 0.0;
+    Seconds hierarchyRunTime = 0.0;
+    /** Region-priced chip area for the full N-bit machine. */
+    arch::RegionChipEstimate area;
+    /** area.areaSquareMeters / uniform chip area (<= 1: the win). */
+    double areaVersusUniform = 1.0;
+};
+
+/**
+ * Evaluate Shor at N = @p bits (paper range 1024-2048) with a CQLA
+ * split: @p computeFraction of the logical qubits live on compute
+ * tiles, the rest on memory tiles at @p memoryCodeLevel. Runtime
+ * dilation is measured on an N = @p blockBits QCLA block (kept small
+ * so the co-simulation stays tractable) and applied to the MExp
+ * extrapolation; area is closed form over the full qubit count.
+ */
+ShorHierarchyDesignPoint shorHierarchyDesignPoint(
+    std::uint64_t bits, double computeFraction, int memoryCodeLevel,
+    std::uint64_t blockBits = 16,
+    const ShorResourceModel &model = ShorResourceModel{});
 
 } // namespace qla::apps
 

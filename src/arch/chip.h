@@ -18,9 +18,11 @@ namespace qla::arch {
  */
 struct ChipEstimate
 {
+    /** Logical qubits (= tiles) the chip hosts. */
     std::uint64_t logicalQubits = 0;
     /** Tiles per side for a square aspect. */
     std::uint64_t tilesPerSide = 0;
+    /** Chip area in square meters. */
     double areaSquareMeters = 0.0;
     /** Edge length in centimeters for a square chip. */
     double edgeCentimeters = 0.0;
@@ -35,12 +37,18 @@ struct ChipEstimate
 class QlaChipModel
 {
   public:
+    /**
+     * @param geometry      Per-tile footprint (cells; Figure-5 L2 tile).
+     * @param cell_size     Trap-cell pitch in micrometers (paper: 20).
+     * @param ions_per_tile Trapped ions per tile (441 at L2).
+     */
     explicit QlaChipModel(TileGeometry geometry = {},
                           Micrometers cell_size = 20.0,
                           std::uint64_t ions_per_tile = 441);
 
     const TileGeometry &geometry() const { return geometry_; }
 
+    /** Size a square chip for @p logical_qubits tiles. */
     ChipEstimate estimate(std::uint64_t logical_qubits) const;
 
     /**

@@ -1,0 +1,113 @@
+#include "arch/region.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qla::arch {
+
+RegionCodeParams
+RegionCodeParams::computeDefault()
+{
+    return RegionCodeParams{};
+}
+
+RegionCodeParams
+RegionCodeParams::memoryAtLevel(int level)
+{
+    qla_assert(level == 1 || level == 2,
+               "memory region code level must be 1 or 2, got ", level);
+    RegionCodeParams params;
+    params.ancillaFactories = false;
+    params.codeLevel = level;
+    if (level == 1) {
+        // One conglomeration of the level-2 tile (Figure 5): a third of
+        // the footprint and ions, the L1 EC period, 7-pair teleports.
+        params.tile.qubitHeight = params.tile.qubitHeight / 3;
+        params.ionsPerTile = 147;
+        params.ecWindow = 0.003;
+        params.teleportPairs = 7;
+    }
+    return params;
+}
+
+RegionMap::RegionMap(int mesh_width, int mesh_height,
+                     int tiles_per_island_x, double compute_fraction)
+    : mesh_width_(mesh_width), mesh_height_(mesh_height),
+      tiles_per_island_x_(tiles_per_island_x)
+{
+    qla_assert(mesh_width > 0 && mesh_height > 0
+                   && tiles_per_island_x > 0,
+               "RegionMap needs a positive mesh extent");
+    if (compute_fraction >= 1.0 || mesh_width < 2) {
+        compute_columns_ = mesh_width;
+        return;
+    }
+    // Round up so a shrinking fraction removes columns monotonically and
+    // the compute region never vanishes.
+    const int columns = static_cast<int>(
+        std::ceil(compute_fraction * static_cast<double>(mesh_width)
+                  - 1e-9));
+    compute_columns_ = std::clamp(columns, 1, mesh_width - 1);
+}
+
+bool
+RegionMap::uniform() const
+{
+    return mesh_width_ == 0 || compute_columns_ >= mesh_width_;
+}
+
+std::size_t
+RegionMap::computeTiles() const
+{
+    return static_cast<std::size_t>(compute_columns_)
+        * static_cast<std::size_t>(tiles_per_island_x_)
+        * static_cast<std::size_t>(mesh_height_);
+}
+
+std::size_t
+RegionMap::memoryTiles() const
+{
+    return totalTiles() - computeTiles();
+}
+
+std::size_t
+RegionMap::totalTiles() const
+{
+    return static_cast<std::size_t>(mesh_width_)
+        * static_cast<std::size_t>(tiles_per_island_x_)
+        * static_cast<std::size_t>(mesh_height_);
+}
+
+RegionChipEstimate
+regionChipEstimate(std::uint64_t compute_tiles,
+                   std::uint64_t memory_tiles,
+                   const RegionCodeParams &compute,
+                   const RegionCodeParams &memory, Micrometers cell_size)
+{
+    RegionChipEstimate out;
+    out.computeTiles = compute_tiles;
+    out.memoryTiles = memory_tiles;
+    const double compute_tile_area =
+        compute.tile.tileAreaSquareMeters(cell_size);
+    const double memory_tile_area =
+        memory.tile.tileAreaSquareMeters(cell_size);
+    out.computeAreaSquareMeters =
+        static_cast<double>(compute_tiles) * compute_tile_area;
+    out.memoryAreaSquareMeters =
+        static_cast<double>(memory_tiles) * memory_tile_area;
+    out.areaSquareMeters =
+        out.computeAreaSquareMeters + out.memoryAreaSquareMeters;
+    out.uniformAreaSquareMeters =
+        static_cast<double>(compute_tiles + memory_tiles)
+        * compute_tile_area;
+    out.areaVersusUniform = out.uniformAreaSquareMeters > 0.0
+        ? out.areaSquareMeters / out.uniformAreaSquareMeters
+        : 1.0;
+    out.totalIons = compute_tiles * compute.ionsPerTile
+        + memory_tiles * memory.ionsPerTile;
+    return out;
+}
+
+} // namespace qla::arch

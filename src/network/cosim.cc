@@ -56,6 +56,13 @@ struct ActiveGate
      *  a demand of this gate is abandoned, worked off one window per
      *  advance before any progress can commit. */
     int penaltyWindows = 0;
+    /** Operands classified against the memory hierarchy (done once,
+     *  when the gate first emits demands). */
+    bool cacheChecked = false;
+    /** Code-conversion windows still to serve after a cache miss
+     *  fetched an operand encoded below the compute level; worked off
+     *  after delivery, before progress commits. */
+    int conversionWindows = 0;
     /** Pending mesh demands per emitted relative window. */
     std::vector<int> undeliveredFor;
     /** Interactions per emitted relative window (drift applies when the
@@ -91,8 +98,31 @@ class CoSimEngine
             1,
             2 * static_cast<std::size_t>(
                     program.config().tilesPerIslandX)));
-        placeProgramQubits(placement_, program_.circuit(),
-                           config_.placement, Rng(config_.seed), stride);
+        // PR 8 memory hierarchy. With computeFraction >= 1 the region
+        // map is uniform, the regioned placement defers to the uniform
+        // one byte-for-byte, and every cache hook below is bypassed.
+        hierarchy_on_ = config_.memory.enabled();
+        regions_ = arch::RegionMap(extent.width, extent.height,
+                                   program.config().tilesPerIslandX,
+                                   config_.memory.computeFraction);
+        placeProgramQubitsRegioned(placement_, program_.circuit(),
+                                   regions_, config_.placement,
+                                   Rng(config_.seed), stride);
+        report_.computeTiles = regions_.computeTiles();
+        report_.memoryTiles = regions_.memoryTiles();
+        if (hierarchy_on_) {
+            mem_params_ = arch::RegionCodeParams::memoryAtLevel(
+                config_.memory.memoryCodeLevel);
+            fetch_pairs_ = config_.memory.pairsPerFetch
+                ? config_.memory.pairsPerFetch
+                : mem_params_.teleportPairs;
+            // Belady eviction needs each data qubit's next use: the
+            // gate lists are already in increasing id order.
+            uses_of_.resize(program_.circuit().numQubits());
+            for (std::size_t i = 0; i < program_.gates().size(); ++i)
+                for (const std::size_t q : program_.gates()[i].qubits)
+                    uses_of_[q].push_back(i);
+        }
         far_deps_.resize(program_.gates().size());
         for (std::size_t i = 0; i < program_.gates().size(); ++i) {
             deps_remaining_[i] = program_.gates()[i].dependencyCount;
@@ -331,8 +361,15 @@ class CoSimEngine
         }
         anchor.x /= static_cast<int>(gate.qubits.size());
         anchor.y /= static_cast<int>(gate.qubits.size());
+        // Ancilla factories exist only in the compute region (the point
+        // of the CQLA split), so gadget tiles must allocate there.
+        const TileFilter compute_only = [this](const TileCoord &t) {
+            return inCompute(t);
+        };
         for (int i = 0; i < gate.ancillaCount; ++i) {
-            const auto tile = placement_.nearestFree(anchor);
+            const auto tile = hierarchy_on_
+                ? placement_.nearestFree(anchor, compute_only)
+                : placement_.nearestFree(anchor);
             if (!tile) {
                 for (const EntityId e : out)
                     releaseAncilla(e);
@@ -380,18 +417,25 @@ class CoSimEngine
                 auto interactions = program_.interactionsForWindow(
                     g.id, rel);
                 g.undeliveredFor.push_back(0);
-                std::size_t slot = 0;
+                // Cache classification (PR 8): the first emitted window
+                // fetches missing operands before their islands are
+                // read, so the gate's own demands target the
+                // post-fetch placement.
+                std::size_t slot =
+                    rel == 0 ? serviceCacheMisses(g) : 0;
                 for (const MemberInteraction &inter : interactions) {
                     ++report_.interactions;
                     const IslandCoord src = placement_.islandOf(
                         entityOf(g, inter.mover));
                     const IslandCoord dst = placement_.islandOf(
                         entityOf(g, inter.target));
-                    emitOne(g, rel, slot++, src, dst);
+                    emitOne(g, rel, slot++, src, dst,
+                            program_.config().pairsPerInteraction);
                     // Without drift the mover teleports straight back:
                     // round-trip traffic on the reverse links.
                     if (!config_.driftOptimization)
-                        emitOne(g, rel, slot++, dst, src);
+                        emitOne(g, rel, slot++, dst, src,
+                                program_.config().pairsPerInteraction);
                 }
                 g.interactionsFor.push_back(std::move(interactions));
             }
@@ -399,10 +443,9 @@ class CoSimEngine
     }
 
     void emitOne(ActiveGate &g, int rel, std::size_t slot,
-                 const IslandCoord &src, const IslandCoord &dst)
+                 const IslandCoord &src, const IslandCoord &dst,
+                 std::uint64_t pairs)
     {
-        const std::uint64_t pairs =
-            program_.config().pairsPerInteraction;
         report_.pairsRequested += pairs;
         if (src == dst) {
             report_.pairsLocal += pairs;
@@ -415,6 +458,165 @@ class CoSimEngine
         pd.demand = EprDemand{src, dst, pairs, g.id};
         pending_.push_back(pd);
         ++g.undeliveredFor[static_cast<std::size_t>(rel)];
+    }
+
+    bool inCompute(const TileCoord &t) const
+    {
+        return regions_.tileKind(t.x) == arch::RegionKind::Compute;
+    }
+
+    /** True when @p q is an operand of an active gate other than
+     *  @p gate (its tile must not move under that gate). */
+    bool pinnedByOther(EntityId q, std::size_t gate) const
+    {
+        for (const ActiveGate &g : active_) {
+            if (g.id == gate)
+                continue;
+            const auto &qs = program_.gates()[g.id].qubits;
+            if (std::find(qs.begin(), qs.end(), q) != qs.end())
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * The cache model (PR 8): classify every data-qubit operand of
+     * @p g once, on its first demand emission. Compute-resident
+     * operands are hits (a local window). A memory-resident operand is
+     * a miss: teleport it to a free compute tile -- evicting the
+     * compute-resident qubit with the farthest next use when the
+     * region is full -- and gate the gate's first window on the fetch
+     * (and write-back) EPR delivery, so misses ride the same
+     * fidelity-priced router as program traffic and degrade under
+     * faults. When no compute tile can be freed the miss executes in
+     * place (graceful degradation, no relocation).
+     * @return demand slots consumed in the gate's relative window 0.
+     */
+    std::size_t serviceCacheMisses(ActiveGate &g)
+    {
+        if (!hierarchy_on_ || g.cacheChecked)
+            return 0;
+        g.cacheChecked = true;
+        std::size_t slot = 0;
+        bool fetched_below_level = false;
+        for (const std::size_t q : program_.gates()[g.id].qubits) {
+            ++report_.operandTouches;
+            if (inCompute(placement_.tileOf(q))) {
+                ++report_.memHits;
+                continue;
+            }
+            ++report_.memMisses;
+            if (mem_params_.codeLevel < 2)
+                fetched_below_level = true;
+            fetchOperand(g, q, slot);
+        }
+        if (fetched_below_level)
+            // Re-encode the fetched operands up to the compute level;
+            // transversal conversions of one gate's operands proceed
+            // in parallel, so the charge is per gate, not per miss.
+            g.conversionWindows = std::max(
+                g.conversionWindows, config_.memory.conversionWindows);
+        return slot;
+    }
+
+    /** Serve one miss: relocate @p q into the compute region (evicting
+     *  if needed) and emit the fetch demand into @p g's window 0. */
+    void fetchOperand(ActiveGate &g, EntityId q, std::size_t &slot)
+    {
+        if (pinnedByOther(q, g.id)) {
+            // Another active gate is computing on it where it stands
+            // (it had an in-place miss of its own): don't move it.
+            ++report_.memInPlaceMisses;
+            return;
+        }
+        const TileFilter compute_only = [this](const TileCoord &t) {
+            return inCompute(t);
+        };
+        // Aim next to the gate's compute-resident operands; a gate
+        // whose operands are all in memory fetches to the boundary
+        // column nearest its row.
+        TileCoord anchor{0, 0};
+        int resident = 0;
+        for (const std::size_t other : program_.gates()[g.id].qubits) {
+            const TileCoord t = placement_.tileOf(other);
+            if (other != q && inCompute(t)) {
+                anchor.x += t.x;
+                anchor.y += t.y;
+                ++resident;
+            }
+        }
+        if (resident > 0) {
+            anchor.x /= resident;
+            anchor.y /= resident;
+        } else {
+            anchor = TileCoord{regions_.computeIslandColumns()
+                                       * placement_.tilesPerIslandX()
+                                   - 1,
+                               placement_.tileOf(q).y};
+        }
+        auto tile = placement_.nearestFree(anchor, compute_only);
+        if (!tile && evictColdest(g, slot))
+            tile = placement_.nearestFree(anchor, compute_only);
+        if (!tile) {
+            ++report_.memInPlaceMisses;
+            return;
+        }
+        const IslandCoord src = placement_.islandOf(q);
+        placement_.moveTo(q, *tile);
+        report_.fetchPairsRequested += fetch_pairs_;
+        emitOne(g, 0, slot++, src, placement_.islandOf(q),
+                fetch_pairs_);
+    }
+
+    /**
+     * Evict the compute-resident data qubit with the farthest next use
+     * (Belady; next use read off the precomputed per-qubit gate lists,
+     * ties to the smallest qubit id) that no active gate is holding,
+     * moving it to the nearest free memory tile and emitting the
+     * write-back demand into @p g's window 0 -- the fetch cannot land
+     * until the tile actually frees.
+     * @return true when a victim was written back.
+     */
+    bool evictColdest(ActiveGate &g, std::size_t &slot)
+    {
+        const std::size_t n = program_.circuit().numQubits();
+        std::vector<bool> pinned(n, false);
+        for (const ActiveGate &a : active_)
+            for (const std::size_t q : program_.gates()[a.id].qubits)
+                pinned[q] = true;
+        constexpr std::uint64_t kNever = ~std::uint64_t{0};
+        EntityId victim = kNoEntity;
+        std::uint64_t victim_next = 0;
+        for (std::size_t q = 0; q < n; ++q) {
+            if (pinned[q] || !placement_.isPlaced(q)
+                || !inCompute(placement_.tileOf(q)))
+                continue;
+            const auto &uses = uses_of_[q];
+            const auto it = std::upper_bound(uses.begin(), uses.end(),
+                                             g.id);
+            const std::uint64_t next =
+                it == uses.end() ? kNever : *it;
+            if (victim == kNoEntity || next > victim_next) {
+                victim = q;
+                victim_next = next;
+            }
+        }
+        if (victim == kNoEntity)
+            return false;
+        const TileFilter memory_only = [this](const TileCoord &t) {
+            return !inCompute(t);
+        };
+        const auto tile = placement_.nearestFree(
+            placement_.tileOf(victim), memory_only);
+        if (!tile)
+            return false; // memory full too: caller degrades in place
+        const IslandCoord src = placement_.islandOf(victim);
+        placement_.moveTo(victim, *tile);
+        ++report_.memEvictions;
+        report_.writebackPairsRequested += fetch_pairs_;
+        emitOne(g, 0, slot++, src, placement_.islandOf(victim),
+                fetch_pairs_);
+        return true;
     }
 
     void routeWindow()
@@ -607,11 +809,41 @@ class CoSimEngine
             }
             return;
         }
+        if (g.conversionWindows > 0) {
+            // Cache-miss code conversion (PR 8): the fetched operands
+            // arrived (the delivery gate above passed) but are still
+            // re-encoding up to the compute level.
+            --g.conversionWindows;
+            ++report_.stallWindows;
+            ++report_.missConversionWindows;
+            ++report_.perGate[id].stallWindows;
+            if (!g.stalledEver) {
+                g.stalledEver = true;
+                ++report_.gatesStalled;
+            }
+            return;
+        }
         if (config_.driftOptimization) {
             for (const MemberInteraction &inter :
              g.interactionsFor[static_cast<std::size_t>(g.progress)]) {
-                if (placement_.driftToward(entityOf(g, inter.mover),
-                                           entityOf(g, inter.target)))
+                const EntityId mover = entityOf(g, inter.mover);
+                const EntityId target = entityOf(g, inter.target);
+                bool moved = false;
+                if (hierarchy_on_) {
+                    // Drift must not cross the region boundary: a
+                    // fetched (compute) qubit stays cached, an
+                    // in-place-miss (memory) qubit stays in memory.
+                    const bool in_compute =
+                        inCompute(placement_.tileOf(mover));
+                    moved = placement_.driftToward(
+                        mover, target,
+                        [this, in_compute](const TileCoord &t) {
+                            return inCompute(t) == in_compute;
+                        });
+                } else {
+                    moved = placement_.driftToward(mover, target);
+                }
+                if (moved)
                     ++report_.driftMoves;
             }
         }
@@ -642,6 +874,10 @@ class CoSimEngine
             probe.pairsAbandoned = report_.pairsAbandoned;
             probe.retryAttempts = report_.retryAttempts;
             probe.stallWindows = report_.stallWindows;
+            probe.operandTouches = report_.operandTouches;
+            probe.memHits = report_.memHits;
+            probe.memMisses = report_.memMisses;
+            probe.memEvictions = report_.memEvictions;
             for (const PendingDemand &pd : pending_)
                 probe.pairsPending += pd.demand.pairs;
             probe.placement = &placement_;
@@ -697,6 +933,14 @@ class CoSimEngine
     LinkPurificationPlan link_plan_;
     PathFidelityTable path_fidelity_;
     Rng loss_rng_{0};
+
+    // PR 8 memory-hierarchy state (inert on the uniform mesh).
+    bool hierarchy_on_ = false;
+    arch::RegionMap regions_;
+    arch::RegionCodeParams mem_params_;
+    std::uint64_t fetch_pairs_ = 0;
+    /** Per data qubit: gate ids touching it, increasing (Belady). */
+    std::vector<std::vector<std::size_t>> uses_of_;
 };
 
 } // namespace
@@ -727,20 +971,24 @@ runCoSimSweep(const std::vector<ProgramWorkload> &workloads,
 {
     std::vector<CoSimSweepPoint> points;
     for (std::size_t w = 0; w < workloads.size(); ++w)
-        for (const int bandwidth : config.bandwidths)
-            for (const double fault_rate : config.faultRates)
-                for (const int level : config.purificationLevels)
-                    for (const double fidelity : config.linkFidelities)
-                        for (const std::uint64_t seed : config.seeds) {
-                            CoSimSweepPoint point;
-                            point.workload = w;
-                            point.bandwidth = bandwidth;
-                            point.faultRate = fault_rate;
-                            point.purificationLevel = level;
-                            point.linkFidelity = fidelity;
-                            point.seed = seed;
-                            points.push_back(point);
-                        }
+      for (const int bandwidth : config.bandwidths)
+        for (const double fault_rate : config.faultRates)
+          for (const int level : config.purificationLevels)
+            for (const double fidelity : config.linkFidelities)
+              for (const double fraction : config.computeFractions)
+                for (const int mem_level : config.memoryCodeLevels)
+                  for (const std::uint64_t seed : config.seeds) {
+                      CoSimSweepPoint point;
+                      point.workload = w;
+                      point.bandwidth = bandwidth;
+                      point.faultRate = fault_rate;
+                      point.purificationLevel = level;
+                      point.linkFidelity = fidelity;
+                      point.computeFraction = fraction;
+                      point.memoryLevel = mem_level;
+                      point.seed = seed;
+                      points.push_back(point);
+                  }
     if (points.empty())
         return points;
     sim::ShotScheduler scheduler(config.threads);
@@ -752,6 +1000,8 @@ runCoSimSweep(const std::vector<ProgramWorkload> &workloads,
         cosim.linkFaults = config.base.linkFaults.atRate(point.faultRate);
         cosim.fidelity.elementaryFidelity = point.linkFidelity;
         cosim.fidelity.purificationLevel = point.purificationLevel;
+        cosim.memory.computeFraction = point.computeFraction;
+        cosim.memory.memoryCodeLevel = point.memoryLevel;
         ProgramCoSimulator simulator(workloads[point.workload], cosim);
         point.report = simulator.run();
     });
@@ -777,6 +1027,11 @@ reduceCoSimSweep(const std::vector<CoSimSweepPoint> &points)
             static_cast<double>(point.report.retryAttempts));
         stats.residualEprError.add(point.report.residualEprError());
         stats.degradedRuns.add(point.report.demandsAbandoned > 0);
+        stats.cacheMisses.add(
+            static_cast<double>(point.report.memMisses));
+        stats.cacheMissRate.add(point.report.missRate());
+        stats.cacheEvictions.add(
+            static_cast<double>(point.report.memEvictions));
     }
     return stats;
 }

@@ -26,6 +26,7 @@
 #include <functional>
 #include <vector>
 
+#include "arch/region.h"
 #include "network/fidelity.h"
 #include "network/placement.h"
 #include "network/program_workload.h"
@@ -96,6 +97,15 @@ struct CoSimConfig
      * ideal engine.
      */
     FidelityConfig fidelity;
+    /**
+     * CQLA memory hierarchy (PR 8): split the mesh into compute and
+     * memory island columns (arch::RegionMap), place cold qubits in
+     * memory, and charge cache misses as fidelity-priced teleport
+     * round-trips on the missing gate's dependency chain. The default
+     * (computeFraction 1.0) keeps the mesh uniform and the engine
+     * byte-identical to the single-region schedule.
+     */
+    arch::MemoryHierarchyConfig memory;
 };
 
 /** Results of one co-simulated program execution. */
@@ -184,13 +194,53 @@ struct CoSimReport
         return 1.0 - deliveredFidelityMean();
     }
 
+    /** CQLA cache ledger (PR 8; all zero on the uniform mesh). Every
+     *  data-qubit operand of every gate is classified exactly once when
+     *  the gate first emits demands: operandTouches = memHits +
+     *  memMisses at every window boundary (the cache conservation
+     *  identity, asserted by the test_network property test). A miss
+     *  either teleports the operand into the compute region (fetch,
+     *  possibly after evicting the coldest resident) or -- when no
+     *  compute tile can be freed -- executes in place in memory. */
+    std::uint64_t operandTouches = 0;
+    /** Operand already resident in the compute region (local window). */
+    std::uint64_t memHits = 0;
+    /** Operand found in the memory region (includes in-place misses). */
+    std::uint64_t memMisses = 0;
+    /** Misses served without relocation (compute region full even
+     *  after eviction); subset of memMisses. */
+    std::uint64_t memInPlaceMisses = 0;
+    /** Compute-resident qubits written back to memory to make room. */
+    std::uint64_t memEvictions = 0;
+    /** EPR pairs requested by miss fetches (subset of pairsRequested). */
+    std::uint64_t fetchPairsRequested = 0;
+    /** EPR pairs requested by eviction write-backs (subset of
+     *  pairsRequested). */
+    std::uint64_t writebackPairsRequested = 0;
+    /** Stall windows spent re-encoding fetched qubits up to the compute
+     *  code level (subset of stallWindows; zero when the memory region
+     *  runs the compute-level code). */
+    std::uint64_t missConversionWindows = 0;
+    /** Region split actually used (computeTiles = all tiles and
+     *  memoryTiles = 0 on the uniform mesh). */
+    std::uint64_t computeTiles = 0;
+    std::uint64_t memoryTiles = 0;
+    /** Cache miss rate over all operand touches (0 when untouched). */
+    double missRate() const
+    {
+        return operandTouches
+            ? static_cast<double>(memMisses)
+                / static_cast<double>(operandTouches)
+            : 0.0;
+    }
+
     /** Per-gate retry/stall attribution (indexed by gate id). */
     struct GateAttribution
     {
-        std::uint32_t stallWindows = 0;
-        std::uint32_t retryAttempts = 0;
-        std::uint32_t penaltyWindows = 0;
-        std::uint64_t pairsAbandoned = 0;
+        std::uint32_t stallWindows = 0;   ///< EC windows this gate stalled.
+        std::uint32_t retryAttempts = 0;  ///< Below-threshold re-requests.
+        std::uint32_t penaltyWindows = 0; ///< Abandonment fallback windows.
+        std::uint64_t pairsAbandoned = 0; ///< Pairs given up on for it.
     };
     std::vector<GateAttribution> perGate;
 
@@ -216,10 +266,13 @@ struct CoSimReport
     }
 };
 
-/** Per-window observer snapshot (property tests hook in here). */
+/** Per-window observer snapshot (property tests hook in here). All
+ *  counters are cumulative EPR pairs up to this boundary; the
+ *  conservation identity requested = delivered + pending + dropped +
+ *  abandoned must hold at every one. */
 struct WindowProbe
 {
-    std::uint64_t window = 0;
+    std::uint64_t window = 0; ///< 0-based boundary index.
     std::uint64_t pairsRequested = 0;
     std::uint64_t pairsDelivered = 0;
     std::uint64_t pairsPending = 0;
@@ -228,6 +281,12 @@ struct WindowProbe
     std::uint64_t retryAttempts = 0;
     /** Cumulative gate-windows stalled so far. */
     std::uint64_t stallWindows = 0;
+    /** Cumulative cache-ledger counters (operandTouches = memHits +
+     *  memMisses must hold at every boundary). */
+    std::uint64_t operandTouches = 0;
+    std::uint64_t memHits = 0;
+    std::uint64_t memMisses = 0;
+    std::uint64_t memEvictions = 0;
     const TilePlacement *placement = nullptr;
     const IslandMesh *mesh = nullptr;
 };
@@ -266,21 +325,26 @@ class ProgramCoSimulator
 struct CoSimSweepPoint
 {
     std::size_t workload = 0; ///< Index into CoSimSweepConfig::workloads.
-    int bandwidth = 0;
+    int bandwidth = 0;        ///< Channels per direction per mesh link.
     /** Uniform link-fault rate (LinkFaultConfig::atRate axis). */
     double faultRate = 0.0;
     /** Purification level for the fidelity model. */
     int purificationLevel = 0;
     /** Elementary link fidelity for the fidelity model. */
     double linkFidelity = 1.0;
-    std::uint64_t seed = 0;
-    CoSimReport report;
+    /** Compute-region fraction (memory-hierarchy axis; 1.0 = uniform). */
+    double computeFraction = 1.0;
+    /** Memory-region code level (only meaningful when split). */
+    int memoryLevel = 1;
+    std::uint64_t seed = 0; ///< Placement/noise seed of this run.
+    CoSimReport report;     ///< The executed schedule's ledger.
 };
 
 /** Sweep axes: workloads x bandwidths x fault rates x purification
- *  levels x link fidelities x seeds (PR 7 degradation surface). The
- *  fault/fidelity axes default to the ideal point, reproducing the
- *  PR-5 sweep exactly. */
+ *  levels x link fidelities x compute fractions x memory code levels x
+ *  seeds (PR 7 degradation surface x PR 8 hierarchy surface). The
+ *  fault/fidelity/hierarchy axes default to the ideal uniform point,
+ *  reproducing the PR-5 sweep exactly. */
 struct CoSimSweepConfig
 {
     /** Base configuration (mesh auto-sizing per workload when 0). Note
@@ -292,6 +356,11 @@ struct CoSimSweepConfig
     std::vector<double> faultRates = {0.0};
     std::vector<int> purificationLevels = {0};
     std::vector<double> linkFidelities = {1.0};
+    /** Compute-region fractions (base.memory.computeFraction axis);
+     *  the default single 1.0 keeps every point uniform. */
+    std::vector<double> computeFractions = {1.0};
+    /** Memory-region code levels (base.memory.memoryCodeLevel axis). */
+    std::vector<int> memoryCodeLevels = {1};
     /** Seeds; each perturbs the (Random-strategy) placement and the
      *  fault realization. */
     std::vector<std::uint64_t> seeds = {1};
@@ -312,11 +381,16 @@ struct CoSimSweepStats
     sim::ScalarStat retryAttempts;
     sim::ScalarStat residualEprError;
     sim::RateStat degradedRuns; ///< Runs with >= 1 abandoned demand.
+    // PR 8 memory-hierarchy aggregates (zero on a uniform sweep).
+    sim::ScalarStat cacheMisses;
+    sim::ScalarStat cacheMissRate;
+    sim::ScalarStat cacheEvictions;
 };
 
 /**
  * Run every (workload, bandwidth, fault rate, purification level, link
- * fidelity, seed) combination on the shot scheduler. Points come back
+ * fidelity, compute fraction, memory level, seed) combination on the
+ * shot scheduler. Points come back
  * in fixed lexicographic job order (axes nested in that order) and each
  * job's result depends only on its own parameters, so the sweep is
  * bit-identical for every thread count (the repo determinism contract;

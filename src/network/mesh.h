@@ -25,8 +25,8 @@ namespace qla::network {
 /** Position of an island in the mesh. */
 struct IslandCoord
 {
-    int x = 0;
-    int y = 0;
+    int x = 0; ///< Island column (0-based; one island per 3 tiles in x).
+    int y = 0; ///< Island row (0-based; one island per tile row).
 
     bool operator==(const IslandCoord &o) const
     {

@@ -88,6 +88,47 @@ TilePlacement::nearestFree(const TileCoord &near) const
     return std::nullopt;
 }
 
+std::optional<TileCoord>
+TilePlacement::nearestFree(const TileCoord &near,
+                           const TileFilter &eligible) const
+{
+    qla_assert(inBounds(near), "tile out of bounds");
+    const int max_radius = tile_width_ + tile_height_;
+    for (int r = 0; r <= max_radius; ++r) {
+        for (int dx = r; dx >= -r; --dx) {
+            const int dy_mag = r - std::abs(dx);
+            for (int sign : {-1, +1}) {
+                if (dy_mag == 0 && sign == +1)
+                    continue;
+                const TileCoord t{near.x + dx, near.y + sign * dy_mag};
+                if (inBounds(t) && occupant_[tileIndex(t)] == kNoEntity
+                    && eligible(t))
+                    return t;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+TilePlacement::driftToward(EntityId entity, EntityId partner,
+                           const TileFilter &eligible)
+{
+    const TileCoord from = tileOf(entity);
+    const TileCoord target = tileOf(partner);
+    const IslandCoord target_island = islandOf(target);
+    if (islandOf(from) == target_island)
+        return false;
+    const auto free = nearestFree(target, eligible);
+    if (!free)
+        return false;
+    if (islandDistance(islandOf(*free), target_island)
+        >= islandDistance(islandOf(from), target_island))
+        return false;
+    moveTo(entity, *free);
+    return true;
+}
+
 bool
 TilePlacement::driftToward(EntityId entity, EntityId partner)
 {
@@ -275,6 +316,108 @@ placeProgramQubits(TilePlacement &placement,
         placement.assign(order[next++], tiles[position]);
     }
     qla_assert(next == order.size(), "stride left qubits unplaced");
+}
+
+std::vector<double>
+qubitReuseDistance(const circuit::QuantumCircuit &circuit)
+{
+    const std::size_t n = circuit.numQubits();
+    std::vector<double> gap_sum(n, 0.0);
+    std::vector<std::size_t> uses(n, 0);
+    std::vector<std::size_t> last(n, 0);
+    std::size_t index = 0;
+    for (const auto &op : circuit.ops()) {
+        for (const auto q : op.qubits()) {
+            if (uses[q] > 0)
+                gap_sum[q] += static_cast<double>(index - last[q]);
+            ++uses[q];
+            last[q] = index;
+        }
+        ++index;
+    }
+    const double cold =
+        static_cast<double>(std::max<std::size_t>(index, 1));
+    std::vector<double> distance(n, cold);
+    for (std::size_t q = 0; q < n; ++q)
+        if (uses[q] >= 2)
+            distance[q] =
+                gap_sum[q] / static_cast<double>(uses[q] - 1);
+    return distance;
+}
+
+void
+placeProgramQubitsRegioned(TilePlacement &placement,
+                           const circuit::QuantumCircuit &circuit,
+                           const arch::RegionMap &regions,
+                           PlacementStrategy strategy, Rng rng,
+                           int computeStride)
+{
+    if (regions.uniform()) {
+        // The uniform-mesh path must stay byte-identical to the
+        // single-region placement.
+        placeProgramQubits(placement, circuit, strategy, rng,
+                           computeStride);
+        return;
+    }
+    qla_assert(placement.occupiedTiles() == 0,
+               "placement must start empty");
+    qla_assert(computeStride >= 1, "stride must be positive");
+    const std::size_t n = circuit.numQubits();
+    qla_assert(n <= placement.totalTiles(),
+               "circuit needs ", n, " tiles, grid has ",
+               placement.totalTiles());
+
+    // Hottest (shortest mean reuse distance) first; stable sort keeps
+    // the qubit-index tie-break deterministic.
+    const auto distance = qubitReuseDistance(circuit);
+    std::vector<std::size_t> by_heat(n);
+    for (std::size_t q = 0; q < n; ++q)
+        by_heat[q] = q;
+    std::stable_sort(by_heat.begin(), by_heat.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return distance[a] < distance[b];
+                     });
+
+    // Split the Hilbert walk by region so each region keeps the
+    // locality of its own sub-walk.
+    const auto walk = hilbertTileOrder(placement.tileWidth(),
+                                       placement.tileHeight());
+    std::vector<TileCoord> compute_walk, memory_walk;
+    for (const auto &t : walk)
+        (regions.tileKind(t.x) == arch::RegionKind::Compute
+             ? compute_walk
+             : memory_walk)
+            .push_back(t);
+
+    // The hot working set takes at most half the compute region --
+    // the rest stays free for gadget ancillas and fetched operands.
+    const std::size_t hot = std::min(n, compute_walk.size() / 2);
+    int stride = computeStride;
+    while (stride > 1
+           && hot * static_cast<std::size_t>(stride)
+               > compute_walk.size())
+        --stride;
+    for (std::size_t i = 0; i < hot; ++i)
+        placement.assign(by_heat[i],
+                         compute_walk[i * static_cast<std::size_t>(
+                                          stride)]);
+
+    // Cold qubits pack densely along the memory walk; overflow (more
+    // cold qubits than memory tiles) spills to the nearest free tile.
+    std::size_t mem_pos = 0;
+    for (std::size_t i = hot; i < n; ++i) {
+        if (mem_pos < memory_walk.size()) {
+            placement.assign(by_heat[i], memory_walk[mem_pos++]);
+            continue;
+        }
+        const TileCoord anchor =
+            memory_walk.empty() ? compute_walk.back()
+                                : memory_walk.back();
+        const auto free = placement.nearestFree(anchor);
+        qla_assert(free.has_value(), "regioned placement ran out of "
+                                     "tiles");
+        placement.assign(by_heat[i], *free);
+    }
 }
 
 } // namespace qla::network

@@ -20,6 +20,9 @@
 #include <optional>
 #include <vector>
 
+#include <functional>
+
+#include "arch/region.h"
 #include "circuit/circuit.h"
 #include "common/rng.h"
 #include "network/mesh.h"
@@ -29,8 +32,8 @@ namespace qla::network {
 /** Position of a logical-qubit tile in the tile grid. */
 struct TileCoord
 {
-    int x = 0;
-    int y = 0;
+    int x = 0; ///< Tile column (tilesPerIslandX tiles per island in x).
+    int y = 0; ///< Tile row (one tile row per island row).
 
     bool operator==(const TileCoord &o) const
     {
@@ -42,6 +45,10 @@ struct TileCoord
 using EntityId = std::size_t;
 
 inline constexpr EntityId kNoEntity = ~EntityId{0};
+
+/** Predicate restricting a tile search to a subset of the grid (e.g.
+ *  one CQLA region). Must be pure and deterministic. */
+using TileFilter = std::function<bool(const TileCoord &)>;
 
 /** Initial-placement policies. */
 enum class PlacementStrategy : std::uint8_t
@@ -125,6 +132,15 @@ class TilePlacement
     std::optional<TileCoord> nearestFree(const TileCoord &near) const;
 
     /**
+     * nearestFree restricted to tiles where @p eligible returns true
+     * (same deterministic ring walk). Used by the CQLA cache model to
+     * keep fetches inside the compute region and evictions inside the
+     * memory region.
+     */
+    std::optional<TileCoord> nearestFree(const TileCoord &near,
+                                         const TileFilter &eligible) const;
+
+    /**
      * Drift move: relocate @p entity to the free tile nearest to
      * @p partner's tile -- ideally on the partner's island, so the next
      * interaction of the pair is island-local. No-op when the entity
@@ -132,6 +148,11 @@ class TilePlacement
      * @return true when the entity moved.
      */
     bool driftToward(EntityId entity, EntityId partner);
+
+    /** driftToward restricted to destination tiles where @p eligible
+     *  returns true (so a drifting qubit never leaves its region). */
+    bool driftToward(EntityId entity, EntityId partner,
+                     const TileFilter &eligible);
 
     /** Every entity on exactly one tile, every tile at most one entity. */
     bool isBijective() const;
@@ -186,6 +207,32 @@ std::vector<std::size_t> affinityOrder(
  * positions close in the 1D order are close in both grid dimensions.
  */
 std::vector<TileCoord> hilbertTileOrder(int width, int height);
+
+/**
+ * Mean reuse distance of every circuit qubit: the average gap (in gate
+ * indices) between a qubit's consecutive uses in the gate DAG. Qubits
+ * used at most once get the circuit length (maximally cold). This is
+ * the coldness metric of the CQLA placement: small distance = hot
+ * (reused soon, belongs in compute), large = cold (belongs in memory).
+ */
+std::vector<double> qubitReuseDistance(
+    const circuit::QuantumCircuit &circuit);
+
+/**
+ * Region-aware initial placement (CQLA): the hottest qubits by
+ * qubitReuseDistance -- as many as fit half the compute region's
+ * Hilbert walk -- go to compute tiles with @p computeStride spacing
+ * (room for gadget ancillas); the cold remainder packs densely
+ * (stride 1) along the memory region's walk. With a uniform @p regions
+ * this defers to placeProgramQubits byte-for-byte. Ties in coldness
+ * break by qubit index; @p rng only drives the Random strategy inside
+ * the uniform fallback.
+ */
+void placeProgramQubitsRegioned(TilePlacement &placement,
+                                const circuit::QuantumCircuit &circuit,
+                                const arch::RegionMap &regions,
+                                PlacementStrategy strategy, Rng rng,
+                                int computeStride = 1);
 
 } // namespace qla::network
 

@@ -7,6 +7,7 @@
 
 #include "arch/chip.h"
 #include "arch/logical_tile.h"
+#include "arch/region.h"
 
 using namespace qla;
 using namespace qla::arch;
@@ -93,4 +94,94 @@ TEST(LogicalTile, HasBorderChannels)
         EXPECT_TRUE(grid.isTraversable({x, 0}));
         EXPECT_TRUE(grid.isTraversable({x, grid.height() - 1}));
     }
+}
+
+//
+// PR 8 -- CQLA compute/memory regions (Thaker et al.).
+//
+
+TEST(RegionCodeParams, MemoryProfilesFollowTheTileModel)
+{
+    const auto compute = RegionCodeParams::computeDefault();
+    EXPECT_EQ(compute.codeLevel, 2);
+    EXPECT_EQ(compute.ionsPerTile, 441u);
+    EXPECT_TRUE(compute.ancillaFactories);
+    EXPECT_EQ(compute.teleportPairs, 49u);
+
+    // Level-1 memory: one conglomeration of the level-2 tile -- a third
+    // of the ions and footprint, the L1 EC period, 7-pair teleports.
+    const auto l1 = RegionCodeParams::memoryAtLevel(1);
+    EXPECT_EQ(l1.codeLevel, 1);
+    EXPECT_FALSE(l1.ancillaFactories);
+    EXPECT_EQ(l1.ionsPerTile, 147u);
+    EXPECT_EQ(l1.teleportPairs, 7u);
+    EXPECT_DOUBLE_EQ(l1.ecWindow, 0.003);
+    EXPECT_LT(l1.tile.qubitHeight, compute.tile.qubitHeight);
+
+    // Level-2 memory: the compute tile without factories.
+    const auto l2 = RegionCodeParams::memoryAtLevel(2);
+    EXPECT_EQ(l2.codeLevel, 2);
+    EXPECT_FALSE(l2.ancillaFactories);
+    EXPECT_EQ(l2.ionsPerTile, compute.ionsPerTile);
+    EXPECT_EQ(l2.teleportPairs, compute.teleportPairs);
+}
+
+TEST(RegionMap, DefaultIsUniform)
+{
+    const RegionMap uniform;
+    EXPECT_TRUE(uniform.uniform());
+    EXPECT_EQ(uniform.islandKind(0), RegionKind::Compute);
+    EXPECT_EQ(uniform.memoryTiles(), 0u);
+}
+
+TEST(RegionMap, PartitionsByIslandColumn)
+{
+    const RegionMap map(6, 4, 3, 0.5);
+    EXPECT_FALSE(map.uniform());
+    EXPECT_EQ(map.computeIslandColumns(), 3);
+    EXPECT_EQ(map.totalTiles(), 6u * 3u * 4u);
+    EXPECT_EQ(map.computeTiles() + map.memoryTiles(), map.totalTiles());
+    EXPECT_EQ(map.computeTiles(), 3u * 3u * 4u);
+    for (int ix = 0; ix < 6; ++ix)
+        EXPECT_EQ(map.islandKind(ix),
+                  ix < 3 ? RegionKind::Compute : RegionKind::Memory);
+    // A tile and its hosting island always agree on region kind.
+    for (int tx = 0; tx < 18; ++tx)
+        EXPECT_EQ(map.tileKind(tx), map.islandKind(tx / 3));
+}
+
+TEST(RegionMap, FractionIsClampedAndMonotone)
+{
+    // >= 1 is uniform; tiny fractions keep at least one compute
+    // column; shrinking the fraction never grows the compute region.
+    EXPECT_TRUE(RegionMap(6, 4, 3, 1.0).uniform());
+    EXPECT_TRUE(RegionMap(6, 4, 3, 2.0).uniform());
+    EXPECT_EQ(RegionMap(6, 4, 3, 0.001).computeIslandColumns(), 1);
+    int previous = 6;
+    for (const double f : {0.9, 0.7, 0.5, 0.3, 0.1}) {
+        const int columns = RegionMap(6, 4, 3, f).computeIslandColumns();
+        EXPECT_LE(columns, previous);
+        EXPECT_GE(columns, 1);
+        previous = columns;
+    }
+}
+
+TEST(RegionChip, SplitChipIsSmallerThanUniform)
+{
+    const auto estimate = regionChipEstimate(
+        100, 300, RegionCodeParams::computeDefault(),
+        RegionCodeParams::memoryAtLevel(1));
+    EXPECT_EQ(estimate.computeTiles, 100u);
+    EXPECT_EQ(estimate.memoryTiles, 300u);
+    EXPECT_LT(estimate.areaVersusUniform, 1.0);
+    EXPECT_DOUBLE_EQ(estimate.areaSquareMeters,
+                     estimate.computeAreaSquareMeters
+                         + estimate.memoryAreaSquareMeters);
+    EXPECT_EQ(estimate.totalIons, 100u * 441u + 300u * 147u);
+
+    // Level-2 memory tiles share the compute footprint: no area win.
+    const auto same = regionChipEstimate(
+        100, 300, RegionCodeParams::computeDefault(),
+        RegionCodeParams::memoryAtLevel(2));
+    EXPECT_DOUBLE_EQ(same.areaVersusUniform, 1.0);
 }

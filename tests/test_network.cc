@@ -15,7 +15,9 @@
 
 #include "apps/qcla.h"
 #include "apps/qft.h"
+#include "apps/shor.h"
 #include "apps/toffoli.h"
+#include "arch/region.h"
 #include "network/cosim.h"
 #include "network/mesh.h"
 #include "network/placement.h"
@@ -1061,4 +1063,231 @@ TEST(NoisyCoSim, ResidualErrorIsExposedForTheArqNoiseModel)
     EXPECT_GT(level2.residualEprError(), 0.0);
     EXPECT_LT(level2.residualEprError(), level0.residualEprError());
     EXPECT_LT(level0.residualEprError(), 0.5);
+}
+
+//
+// PR 8 -- CQLA memory hierarchy: compute/memory regions, region-aware
+// placement, and the cache model (hit = local window, miss = teleport
+// round-trip on the dependency chain) with its conservation ledger.
+//
+
+namespace {
+
+/** Shared split baseline: small enough compute region to force misses
+ *  on the test workloads. */
+CoSimConfig
+splitCoSimConfig(double fraction = 0.2, int level = 1)
+{
+    CoSimConfig config;
+    config.bandwidth = 2;
+    config.memory.computeFraction = fraction;
+    config.memory.memoryCodeLevel = level;
+    return config;
+}
+
+} // namespace
+
+TEST(MemoryHierarchy, QubitReuseDistanceRanksColdness)
+{
+    circuit::QuantumCircuit c(4, "reuse");
+    // Qubit 0 is touched every op (hot); qubit 2 twice, far apart
+    // (cold); qubit 3 never (maximally cold).
+    c.cnot(0, 1);
+    c.cnot(0, 2);
+    c.cnot(0, 1);
+    c.cnot(0, 1);
+    c.cnot(0, 2);
+    const auto d = qubitReuseDistance(c);
+    ASSERT_EQ(d.size(), 4u);
+    EXPECT_LT(d[0], d[1]);
+    EXPECT_LT(d[1], d[2]);
+    EXPECT_LT(d[2], d[3]);
+    EXPECT_DOUBLE_EQ(d[0], 1.0);
+    EXPECT_DOUBLE_EQ(d[3], static_cast<double>(c.ops().size()));
+}
+
+TEST(MemoryHierarchy, RegionedPlacementPutsColdQubitsInMemory)
+{
+    // 4x2 islands, 3 tiles per island in x: island columns >= 1 are
+    // memory under fraction 0.25.
+    const arch::RegionMap regions(4, 2, 3, 0.25);
+    ASSERT_FALSE(regions.uniform());
+    circuit::QuantumCircuit c(6, "split");
+    for (int rep = 0; rep < 4; ++rep) {
+        c.cnot(0, 1);
+        c.cnot(1, 2);
+    }
+    c.cnot(3, 4); // qubits 3-5 are cold
+    TilePlacement placement(4, 2, 3);
+    placeProgramQubitsRegioned(placement, c, regions,
+                               PlacementStrategy::Affinity, Rng(1));
+    EXPECT_TRUE(placement.isBijective());
+    EXPECT_EQ(placement.occupiedTiles(), 6u);
+    // The hot interacting trio lands in compute, the cold tail in
+    // memory (hot capacity = 6 compute tiles / 2 = 3).
+    for (const std::size_t hot : {0u, 1u, 2u})
+        EXPECT_EQ(regions.tileKind(placement.tileOf(hot).x),
+                  arch::RegionKind::Compute)
+            << "hot qubit " << hot;
+    EXPECT_EQ(regions.tileKind(placement.tileOf(5).x),
+              arch::RegionKind::Memory);
+}
+
+TEST(MemoryHierarchy, UniformRegionReproducesCleanSchedule)
+{
+    // Acceptance: computeFraction = 1 must reproduce the single-region
+    // engine field for field, even with the other hierarchy knobs set
+    // -- the cache machinery may only act through an actual split.
+    const ProgramWorkload program(apps::qclaAdderCircuit(16));
+    CoSimConfig clean;
+    clean.bandwidth = 2;
+    CoSimConfig uniform = clean;
+    uniform.memory.computeFraction = 1.0;
+    uniform.memory.memoryCodeLevel = 1;
+    uniform.memory.conversionWindows = 7;
+    ASSERT_FALSE(uniform.memory.enabled());
+    const auto a = ProgramCoSimulator(program, clean).run();
+    const auto b = ProgramCoSimulator(program, uniform).run();
+    EXPECT_TRUE(b.completed);
+    EXPECT_EQ(a.windows, b.windows);
+    EXPECT_EQ(a.warmupWindows, b.warmupWindows);
+    EXPECT_EQ(a.stallWindows, b.stallWindows);
+    EXPECT_EQ(a.pairsRequested, b.pairsRequested);
+    EXPECT_EQ(a.pairsRoutedOnMesh, b.pairsRoutedOnMesh);
+    EXPECT_EQ(a.pairsLocal, b.pairsLocal);
+    EXPECT_EQ(a.driftMoves, b.driftMoves);
+    EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+    EXPECT_DOUBLE_EQ(a.averageRouteLength, b.averageRouteLength);
+    EXPECT_EQ(b.operandTouches, 0u);
+    EXPECT_EQ(b.memMisses, 0u);
+    EXPECT_EQ(b.memEvictions, 0u);
+    EXPECT_EQ(b.memoryTiles, 0u);
+}
+
+TEST(MemoryHierarchy, CacheLedgerConservedEveryWindow)
+{
+    // Acceptance: operand touches = hits + misses at every window
+    // boundary, and the miss traffic joins the EPR conservation
+    // identity instead of bypassing it.
+    const ProgramWorkload program(apps::toffoliNetworkCircuit(15, 12));
+    const CoSimConfig config = splitCoSimConfig();
+    ProgramCoSimulator simulator(program, config);
+    const auto report = simulator.run([&](const WindowProbe &probe) {
+        EXPECT_EQ(probe.operandTouches, probe.memHits + probe.memMisses);
+        EXPECT_EQ(probe.pairsRequested,
+                  probe.pairsDelivered + probe.pairsPending
+                      + probe.pairsDropped + probe.pairsAbandoned);
+        ASSERT_NE(probe.placement, nullptr);
+        EXPECT_TRUE(probe.placement->isBijective());
+    });
+    EXPECT_TRUE(report.completed);
+    EXPECT_EQ(report.operandTouches, report.memHits + report.memMisses);
+    EXPECT_GT(report.memMisses, 0u);
+    EXPECT_GE(report.memMisses, report.memInPlaceMisses);
+    EXPECT_EQ(report.pairsRequested,
+              report.pairsDelivered() + report.pairsDropped
+                  + report.pairsAbandoned);
+    // Fetch and write-back traffic is a (nonzero) subset of the total.
+    EXPECT_GT(report.fetchPairsRequested, 0u);
+    EXPECT_LT(report.fetchPairsRequested
+                  + report.writebackPairsRequested,
+              report.pairsRequested);
+}
+
+TEST(MemoryHierarchy, ComputeFractionTradeoffIsMonotone)
+{
+    // Acceptance: the CQLA headline tradeoff -- a shrinking compute
+    // region monotonically cuts ancilla-factory (compute) tiles and
+    // monotonically grows misses and the schedule.
+    const ProgramWorkload program(apps::qclaAdderCircuit(16));
+    std::uint64_t prev_compute = ~std::uint64_t{0};
+    std::uint64_t prev_misses = 0;
+    std::uint64_t prev_windows = 0;
+    for (const double fraction : {1.0, 0.5, 0.2}) {
+        const auto report =
+            ProgramCoSimulator(program, splitCoSimConfig(fraction))
+                .run();
+        ASSERT_TRUE(report.completed) << "fraction " << fraction;
+        EXPECT_LT(report.computeTiles, prev_compute);
+        EXPECT_GE(report.memMisses, prev_misses);
+        EXPECT_GE(report.windows, prev_windows);
+        prev_compute = report.computeTiles;
+        prev_misses = report.memMisses;
+        prev_windows = report.windows;
+    }
+    EXPECT_GT(prev_misses, 0u); // the smallest region actually missed
+}
+
+TEST(MemoryHierarchy, MemoryLevelPricesFetchesAndConversion)
+{
+    // Level-1 memory teleports 7 pairs per fetched qubit but pays code
+    // conversion; level-2 memory ships the full 49 pairs and converts
+    // nothing. Both must price fetches at exactly their region profile.
+    const ProgramWorkload program(apps::toffoliNetworkCircuit(15, 12));
+    const auto l1 =
+        ProgramCoSimulator(program, splitCoSimConfig(0.2, 1)).run();
+    const auto l2 =
+        ProgramCoSimulator(program, splitCoSimConfig(0.2, 2)).run();
+    ASSERT_TRUE(l1.completed);
+    ASSERT_TRUE(l2.completed);
+    ASSERT_GT(l1.memMisses, 0u);
+    ASSERT_GT(l2.memMisses, 0u);
+    const std::uint64_t l1_fetches = l1.memMisses - l1.memInPlaceMisses;
+    const std::uint64_t l2_fetches = l2.memMisses - l2.memInPlaceMisses;
+    EXPECT_EQ(l1.fetchPairsRequested, 7u * l1_fetches);
+    EXPECT_EQ(l2.fetchPairsRequested, 49u * l2_fetches);
+    EXPECT_EQ(l1.writebackPairsRequested, 7u * l1.memEvictions);
+    EXPECT_EQ(l2.writebackPairsRequested, 49u * l2.memEvictions);
+    EXPECT_GT(l1.missConversionWindows, 0u);
+    EXPECT_EQ(l2.missConversionWindows, 0u);
+}
+
+TEST(MemoryHierarchy, SweepWithMemoryAxesIsThreadCountInvariant)
+{
+    std::vector<ProgramWorkload> workloads;
+    workloads.emplace_back(apps::toffoliNetworkCircuit(12, 6));
+    CoSimSweepConfig sweep;
+    sweep.bandwidths = {2};
+    sweep.seeds = {1, 2};
+    sweep.computeFractions = {1.0, 0.25};
+    sweep.memoryCodeLevels = {1, 2};
+    sweep.base.placement = PlacementStrategy::Random;
+    sweep.threads = 1;
+    const auto serial = runCoSimSweep(workloads, sweep);
+    sweep.threads = 4;
+    const auto parallel = runCoSimSweep(workloads, sweep);
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(serial.size(), 1u * 1u * 2u * 2u * 2u);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].computeFraction,
+                  parallel[i].computeFraction);
+        EXPECT_EQ(serial[i].memoryLevel, parallel[i].memoryLevel);
+        EXPECT_EQ(serial[i].report.windows, parallel[i].report.windows);
+        EXPECT_EQ(serial[i].report.memHits, parallel[i].report.memHits);
+        EXPECT_EQ(serial[i].report.memMisses,
+                  parallel[i].report.memMisses);
+        EXPECT_EQ(serial[i].report.memEvictions,
+                  parallel[i].report.memEvictions);
+        EXPECT_EQ(serial[i].report.fetchPairsRequested,
+                  parallel[i].report.fetchPairsRequested);
+        EXPECT_EQ(serial[i].report.stallWindows,
+                  parallel[i].report.stallWindows);
+    }
+    const auto stats = reduceCoSimSweep(serial);
+    EXPECT_EQ(stats.cacheMisses.count(), serial.size());
+}
+
+TEST(MemoryHierarchy, ShorDesignPointTradesAreaForRuntime)
+{
+    // Shor at N = 1024 as a sized CQLA design point: the split chip is
+    // smaller than uniform and the measured schedule no faster.
+    const auto point = apps::shorHierarchyDesignPoint(1024, 0.2, 1, 12);
+    ASSERT_TRUE(point.uniformReport.completed);
+    ASSERT_TRUE(point.splitReport.completed);
+    EXPECT_LT(point.areaVersusUniform, 1.0);
+    EXPECT_GE(point.runtimeDilation, 1.0);
+    EXPECT_GT(point.area.memoryTiles, 0u);
+    EXPECT_LT(point.area.areaSquareMeters,
+              point.area.uniformAreaSquareMeters);
+    EXPECT_GE(point.hierarchyRunTime, point.uniformRunTime);
 }

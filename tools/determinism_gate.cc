@@ -31,7 +31,7 @@
  *
  *   determinism_gate --mode interconnect [--threads N]
  *       [--fault-rate F] [--purification L] [--link-fidelity E]
- *       [--retry-budget R]
+ *       [--retry-budget R] [--compute-fraction C] [--memory-level M]
  *       Logical-program co-simulation sweep (workloads x bandwidths x
  *       placement seeds on the shot scheduler); identical output is
  *       required for every thread count and for fixed-seed reruns.
@@ -41,6 +41,13 @@
  *       clean point and prints the full degradation ledger (drops,
  *       rejections, retries, abandonments, delivered fidelity) -- the
  *       PR-7 noisy-delivery pipeline under the same byte-diff contract.
+ *       With --compute-fraction below 1 the sweep additionally spans
+ *       the uniform mesh against the CQLA compute/memory split at that
+ *       fraction (memory region encoded at --memory-level) and prints
+ *       the cache ledger (touches, hits, misses, evictions, fetch and
+ *       write-back pairs) -- the PR-8 memory hierarchy under the same
+ *       byte-diff contract. With all knobs at their defaults the
+ *       output is byte-identical to the clean PR-5 sweep.
  */
 
 #include <cstdio>
@@ -156,16 +163,18 @@ runCrosscheck(std::size_t shots)
 
 int
 runInterconnect(int threads, double fault_rate, int purification,
-                double link_fidelity, int retry_budget)
+                double link_fidelity, int retry_budget,
+                double compute_fraction, int memory_level)
 {
     using namespace qla::network;
     const bool noisy = fault_rate > 0.0 || purification > 0
         || link_fidelity < 1.0;
+    const bool hierarchy = compute_fraction < 1.0;
 
     std::vector<ProgramWorkload> workloads;
     workloads.emplace_back(qla::apps::toffoliNetworkCircuit(15, 12));
     workloads.emplace_back(qla::apps::qclaAdderCircuit(16));
-    if (!noisy)
+    if (!noisy && !hierarchy)
         workloads.emplace_back(
             qla::apps::bandedQftCircuit(24, qla::apps::qftBandWidth(24)));
 
@@ -174,6 +183,14 @@ runInterconnect(int threads, double fault_rate, int purification,
     sweep.seeds = {1, 2};
     sweep.base.placement = PlacementStrategy::Random;
     sweep.threads = threads;
+    if (hierarchy) {
+        // Memory-hierarchy pipeline: the uniform mesh against the CQLA
+        // split at the requested compute fraction, cache model live.
+        sweep.bandwidths = {2, 4};
+        sweep.seeds = {1};
+        sweep.computeFractions = {1.0, compute_fraction};
+        sweep.memoryCodeLevels = {memory_level};
+    }
     if (noisy) {
         // Noisy pipeline: clean point vs each requested axis value,
         // with threshold gating and the retry/abandonment path live.
@@ -232,6 +249,22 @@ runInterconnect(int threads, double fault_rate, int purification,
                 (unsigned long long)r.fallbackPenaltyWindows,
                 r.deliveredFidelityMean(), r.deliveredFidelityMin,
                 r.residualEprError());
+        if (hierarchy)
+            std::printf(
+                " cf=%.17g ml=%d touches=%llu hits=%llu miss=%llu "
+                "inplace=%llu evict=%llu fetchReq=%llu wbReq=%llu "
+                "convW=%llu cTiles=%llu mTiles=%llu",
+                point.computeFraction, point.memoryLevel,
+                (unsigned long long)r.operandTouches,
+                (unsigned long long)r.memHits,
+                (unsigned long long)r.memMisses,
+                (unsigned long long)r.memInPlaceMisses,
+                (unsigned long long)r.memEvictions,
+                (unsigned long long)r.fetchPairsRequested,
+                (unsigned long long)r.writebackPairsRequested,
+                (unsigned long long)r.missConversionWindows,
+                (unsigned long long)r.computeTiles,
+                (unsigned long long)r.memoryTiles);
         std::printf("\n");
     }
     const auto stats = reduceCoSimSweep(points);
@@ -251,7 +284,47 @@ runInterconnect(int threads, double fault_rate, int purification,
                     stats.residualEprError.mean(),
                     (unsigned long long)stats.degradedRuns.successes(),
                     (unsigned long long)stats.degradedRuns.trials());
+    if (hierarchy)
+        std::printf(" miss_mean=%.17g missrate_mean=%.17g "
+                    "evict_mean=%.17g",
+                    stats.cacheMisses.mean(),
+                    stats.cacheMissRate.mean(),
+                    stats.cacheEvictions.mean());
     std::printf("\n");
+    return 0;
+}
+
+int
+printHelp()
+{
+    std::printf(
+        "determinism_gate -- CI byte-diff gate for the Monte Carlo and\n"
+        "co-simulation sweeps (see docs/determinism.md).\n"
+        "\n"
+        "  --mode M           sweep | spot | crosscheck | interconnect\n"
+        "  --threads N        worker threads (output must not depend "
+        "on N)\n"
+        "  --shots S          Monte Carlo shots per point\n"
+        "  --engine E         spot mode: batched | scalar\n"
+        "  --group G          spot/batched: lane-group width in words\n"
+        "  --compaction C     spot/batched: lane compaction on | off\n"
+        "  --fill F           spot/batched: segment-migration fill "
+        "threshold\n"
+        "  --width W          spot/batched: SIMD tile width in words\n"
+        "  --sampling S       spot/batched: site | trace fault "
+        "sampling\n"
+        "  --fault-rate F     interconnect: uniform link-fault rate "
+        "axis\n"
+        "  --purification L   interconnect: purification-level axis\n"
+        "  --link-fidelity E  interconnect: elementary link-fidelity "
+        "axis\n"
+        "  --retry-budget R   interconnect: below-threshold retries "
+        "per demand\n"
+        "  --compute-fraction C  interconnect: CQLA compute-region "
+        "fraction axis (< 1 enables the memory hierarchy)\n"
+        "  --memory-level M   interconnect: memory-region code level "
+        "(1 or 2)\n"
+        "  --help             this text\n");
     return 0;
 }
 
@@ -273,6 +346,8 @@ main(int argc, char **argv)
     int purification = 0;
     double link_fidelity = 1.0;
     int retry_budget = 3;
+    double compute_fraction = 1.0;
+    int memory_level = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -311,6 +386,12 @@ main(int argc, char **argv)
             link_fidelity = std::atof(next());
         else if (arg == "--retry-budget")
             retry_budget = std::atoi(next());
+        else if (arg == "--compute-fraction")
+            compute_fraction = std::atof(next());
+        else if (arg == "--memory-level")
+            memory_level = std::atoi(next());
+        else if (arg == "--help")
+            return printHelp();
         else {
             std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
             return 2;
@@ -328,7 +409,8 @@ main(int argc, char **argv)
         return runCrosscheck(shots);
     if (mode == "interconnect")
         return runInterconnect(threads, fault_rate, purification,
-                               link_fidelity, retry_budget);
+                               link_fidelity, retry_budget,
+                               compute_fraction, memory_level);
     std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
     return 2;
 }
