@@ -8,7 +8,10 @@ Usage:
 
 Benchmarks are matched by name; the metric is items_per_second when
 present, else 1/real_time. Only names present in both reports are
-compared (CI smoke runs use --benchmark_filter subsets).
+compared (CI smoke runs use --benchmark_filter subsets). An empty
+matched set is a hard error (exit 2, names present in only one report
+listed) so fixture renames cannot turn the gate vacuously green;
+entries dropped for lacking a usable metric are reported to stderr.
 
 --normalize divides each benchmark's fresh/baseline ratio by the median
 ratio across all matched benchmarks before applying the threshold.
@@ -29,19 +32,32 @@ import sys
 
 
 def load_metrics(path):
+    """Benchmark name -> throughput metric for one report.
+
+    Entries without a usable metric (no items_per_second and a zero or
+    missing real_time) are reported to stderr rather than silently
+    dropped: a dropped entry is coverage the perf gate no longer sees.
+    """
     with open(path) as fh:
         report = json.load(fh)
     metrics = {}
+    skipped = []
     for bench in report.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
         name = bench.get("name")
         if name is None:
+            skipped.append("<unnamed entry>")
             continue
         if "items_per_second" in bench:
             metrics[name] = float(bench["items_per_second"])
         elif bench.get("real_time"):
             metrics[name] = 1.0 / float(bench["real_time"])
+        else:
+            skipped.append(name)
+    for name in skipped:
+        print(f"warning: {path}: skipping {name} (no items_per_second "
+              "and zero/missing real_time)", file=sys.stderr)
     return metrics
 
 
@@ -67,8 +83,18 @@ def main():
         pattern = re.compile(args.filter)
         names = [n for n in names if pattern.search(n)]
     if not names:
-        print("error: no benchmarks in common between "
-              f"{args.baseline} and {args.fresh}", file=sys.stderr)
+        # An empty matched set must be a hard failure: if fixture
+        # renames left no common names, every comparison below would be
+        # vacuously green while the gate checks nothing. List the
+        # one-sided names so the rename is obvious from the CI log.
+        print("error: no matching benchmarks between "
+              f"{args.baseline} and {args.fresh}"
+              + (f" (filter: {args.filter!r})" if args.filter else ""),
+              file=sys.stderr)
+        for name in sorted(set(baseline) - set(fresh)):
+            print(f"  only in baseline: {name}", file=sys.stderr)
+        for name in sorted(set(fresh) - set(baseline)):
+            print(f"  only in fresh:    {name}", file=sys.stderr)
         return 2
 
     ratios = {n: fresh[n] / baseline[n] for n in names

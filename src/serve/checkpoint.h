@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Versioned on-disk checkpoints for partial sweeps.
+ *
+ * A checkpoint is the set of per-chunk partial results a run has
+ * completed so far, bound to the job's config hash and chunk count.
+ * The format is line-oriented text, version-tagged, and bit-faithful:
+ * integers are decimal, doubles are C hexfloats (%a), so a loaded
+ * partial is the same IEEE-754 value that was computed -- a resumed
+ * sweep that merges loaded partials with freshly computed ones in
+ * chunk order is byte-identical to an uninterrupted run (the CI
+ * resume-equivalence gate `sweep_service run --kill-after-chunks` +
+ * resume enforces exactly this).
+ *
+ * Layout (v1):
+ *
+ *     qla-sweep-checkpoint v1
+ *     config <16-hex config hash>
+ *     kind threshold|cosim
+ *     chunks <total chunk count of the job>
+ *     chunk <index> ...one line of partial payload...
+ *     ...
+ *     end <16-hex FNV-1a of every byte above>
+ *
+ * Loading validates the magic, version, config hash, chunk count,
+ * per-line shape, index bounds/uniqueness and the trailing whole-file
+ * hash; truncation (no `end` line) and corruption (hash or shape
+ * mismatch) are rejected with a descriptive error rather than partial
+ * data. Files are written to a temp path and renamed so a crash
+ * mid-write cannot leave a half-checkpoint behind.
+ */
+
+#ifndef QLA_SERVE_CHECKPOINT_H
+#define QLA_SERVE_CHECKPOINT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arq/monte_carlo.h"
+#include "network/cosim.h"
+#include "serve/job_spec.h"
+
+namespace qla::serve {
+
+/** Completed partial of one threshold chunk. */
+struct ThresholdChunkPartial
+{
+    std::size_t chunk = 0;
+    sim::RateStat failures;       ///< failureRateRange result.
+    arq::ExperimentStats stats;   ///< Chunk-local accumulators.
+};
+
+/** Completed result of one co-simulation point (chunk == point). */
+struct CoSimChunkPartial
+{
+    std::size_t chunk = 0;
+    /** Scalar ledger of the run; the per-gate attribution vector is
+     *  not persisted (nothing downstream of the service reads it). */
+    network::CoSimReport report;
+};
+
+/** Everything a checkpoint file holds. */
+struct CheckpointData
+{
+    std::uint64_t configHash = 0;
+    SweepKind kind = SweepKind::Threshold;
+    std::size_t totalChunks = 0;
+    /** Ascending chunk order (encode sorts; decode verifies). */
+    std::vector<ThresholdChunkPartial> threshold;
+    std::vector<CoSimChunkPartial> cosim;
+
+    std::size_t doneChunks() const
+    {
+        return kind == SweepKind::Threshold ? threshold.size()
+                                            : cosim.size();
+    }
+};
+
+/** Serialize to the v1 text format. */
+std::string encodeCheckpoint(const CheckpointData &data);
+
+/**
+ * Parse and validate checkpoint text.
+ * @return false with @p error set on any corruption or truncation.
+ */
+bool decodeCheckpoint(const std::string &text, CheckpointData &data,
+                      std::string &error);
+
+/** Atomic write (temp file + rename). False with @p error on I/O
+ *  failure. */
+bool saveCheckpointFile(const std::string &path,
+                        const CheckpointData &data, std::string &error);
+
+/** Load + decode; missing file is an error (callers check existence
+ *  first when "no checkpoint yet" is a legal state). */
+bool loadCheckpointFile(const std::string &path, CheckpointData &data,
+                        std::string &error);
+
+bool checkpointFileExists(const std::string &path);
+
+} // namespace qla::serve
+
+#endif // QLA_SERVE_CHECKPOINT_H

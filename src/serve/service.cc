@@ -1,0 +1,56 @@
+#include "serve/service.h"
+
+namespace qla::serve {
+
+std::size_t
+SweepService::submit(SweepRequest request)
+{
+    queue_.push_back(std::move(request));
+    return queue_.size() - 1;
+}
+
+bool
+SweepService::processNext(SweepResponse &response)
+{
+    if (queue_.empty())
+        return false;
+    SweepRequest request = std::move(queue_.front());
+    queue_.pop_front();
+
+    response = SweepResponse{};
+    response.name = request.name;
+    response.configHash = request.spec.configHash();
+
+    // Result-cache replay: an identical spec (same config hash) has
+    // already been served -- return the recorded text. Only complete,
+    // unsharded runs are cached, so the cached text is always the
+    // whole answer.
+    auto cached = results_.find(response.configHash);
+    if (cached != results_.end()) {
+        response.complete = true;
+        response.fromResultCache = true;
+        response.output = cached->second;
+        return true;
+    }
+
+    const RunOutcome outcome
+        = runSweepJob(request.spec, request.options, caches_);
+    response.complete = outcome.complete;
+    response.output = outcome.output;
+    response.error = outcome.error;
+    if (outcome.complete && request.options.shardCount == 1)
+        results_.emplace(response.configHash, outcome.output);
+    return true;
+}
+
+std::vector<SweepResponse>
+SweepService::drain()
+{
+    std::vector<SweepResponse> responses;
+    SweepResponse response;
+    while (processNext(response))
+        responses.push_back(response);
+    return responses;
+}
+
+} // namespace qla::serve

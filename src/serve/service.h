@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The sweep service: a request queue over the runner with a
+ * config-hash result cache.
+ *
+ * Requests are processed in submission order (FIFO), one at a time --
+ * parallelism lives inside a job (the runner's worker pool), not
+ * across jobs, so two queued sweeps never interleave their cache and
+ * checkpoint state. Each completed result is cached by config hash;
+ * resubmitting the same spec replays the cached text without touching
+ * an engine. The warm SweepCaches instance persists across requests,
+ * so even a cache-miss repeat of a similar job replays its recorded
+ * traces and lowered workloads.
+ *
+ * The tools/sweep_service daemon wraps this class around a request
+ * directory; tests drive it directly.
+ */
+
+#ifndef QLA_SERVE_SERVICE_H
+#define QLA_SERVE_SERVICE_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "serve/sweep_runner.h"
+
+namespace qla::serve {
+
+/** One queued sweep request. */
+struct SweepRequest
+{
+    std::string name; ///< Client-chosen label (reported back).
+    SweepJobSpec spec;
+    RunnerOptions options;
+};
+
+/** One drained result. */
+struct SweepResponse
+{
+    std::string name;
+    std::uint64_t configHash = 0;
+    bool complete = false;
+    bool fromResultCache = false; ///< Replayed without running.
+    std::string output;
+    std::string error;
+};
+
+class SweepService
+{
+  public:
+    /** Enqueue; returns the request's position in the queue. */
+    std::size_t submit(SweepRequest request);
+
+    std::size_t pendingRequests() const { return queue_.size(); }
+
+    /** Run (or replay) the oldest queued request. Returns false when
+     *  the queue is empty. */
+    bool processNext(SweepResponse &response);
+
+    /** Drain the whole queue in FIFO order. */
+    std::vector<SweepResponse> drain();
+
+    /** Record/replay tallies of the warm caches. */
+    CacheCounters cacheCounters() const { return caches_.counters(); }
+    std::size_t resultCacheSize() const { return results_.size(); }
+
+  private:
+    std::deque<SweepRequest> queue_;
+    std::map<std::uint64_t, std::string> results_; ///< By config hash.
+    SweepCaches caches_;
+};
+
+} // namespace qla::serve
+
+#endif // QLA_SERVE_SERVICE_H

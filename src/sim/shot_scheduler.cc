@@ -1,10 +1,36 @@
 #include "sim/shot_scheduler.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "common/logging.h"
 
 namespace qla::sim {
+
+namespace {
+
+/**
+ * Strict QLA_THREADS parse: the whole value (leading whitespace aside)
+ * must be a positive decimal integer that fits an int. std::atoi would
+ * silently read "2x" as 2 and "four" as 0, turning typos into
+ * surprising thread counts or a silent hardware-concurrency fallback.
+ */
+bool
+parseThreadsEnv(const char *env, int &threads)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || value <= 0
+        || value > 1 << 20)
+        return false;
+    threads = static_cast<int>(value);
+    return true;
+}
+
+} // namespace
 
 int
 resolveThreadCount(int requested)
@@ -12,9 +38,22 @@ resolveThreadCount(int requested)
     if (requested > 0)
         return requested;
     if (const char *env = std::getenv("QLA_THREADS")) {
-        const int parsed = std::atoi(env);
-        if (parsed > 0)
+        int parsed = 0;
+        if (parseThreadsEnv(env, parsed))
             return parsed;
+        // Warn once per malformed value so a typo is visible in the
+        // log without spamming every sweep chunk.
+        static std::mutex warn_mutex;
+        static std::string warned_value;
+        std::lock_guard<std::mutex> lock(warn_mutex);
+        if (warned_value != env) {
+            warned_value = env;
+            std::fprintf(stderr,
+                         "qla: ignoring malformed QLA_THREADS=\"%s\" "
+                         "(want a positive integer); falling back to "
+                         "hardware concurrency\n",
+                         env);
+        }
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;

@@ -43,8 +43,10 @@ namespace qla::sim {
 
 /**
  * Number of worker threads to use: @p requested when positive, else the
- * QLA_THREADS environment variable when set and positive, else the
- * hardware concurrency (at least 1).
+ * QLA_THREADS environment variable when it parses strictly as a
+ * positive integer, else the hardware concurrency (at least 1). A
+ * malformed QLA_THREADS value (e.g. "four", "2x") is ignored with a
+ * once-per-value warning to stderr.
  */
 int resolveThreadCount(int requested = 0);
 

@@ -48,6 +48,35 @@ class ScalarStat
     double max() const;
     double sum() const { return sum_; }
 
+    /**
+     * Exact internal state, for bit-faithful serialization (the sweep
+     * service's checkpoints, serve/checkpoint.h): round-tripping through
+     * Raw and then merging in the same order reproduces the original
+     * accumulator bit for bit, which the resume-equivalence CI gate
+     * relies on.
+     */
+    struct Raw
+    {
+        std::uint64_t count = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+    Raw raw() const { return {count_, mean_, m2_, sum_, min_, max_}; }
+    static ScalarStat fromRaw(const Raw &raw)
+    {
+        ScalarStat stat;
+        stat.count_ = raw.count;
+        stat.mean_ = raw.mean;
+        stat.m2_ = raw.m2;
+        stat.sum_ = raw.sum;
+        stat.min_ = raw.min;
+        stat.max_ = raw.max;
+        return stat;
+    }
+
   private:
     std::uint64_t count_ = 0;
     double mean_ = 0.0;

@@ -42,6 +42,40 @@ TEST(ShotScheduler, ResolvesThreadCount)
     EXPECT_GE(resolveThreadCount(0), 1);
 }
 
+TEST(ShotScheduler, RejectsMalformedThreadsEnvStrictly)
+{
+    // atoi would silently read "2x" as 2: a malformed value must fall
+    // back to hardware concurrency instead of a typo'd thread count.
+    const int hardware = [] {
+        unsetenv("QLA_THREADS");
+        return resolveThreadCount(0);
+    }();
+    for (const char *bad :
+         {"four", "2x", "0", "-3", "", " ", "1e2", "3.5", "2 4",
+          "99999999999999999999"}) {
+        setenv("QLA_THREADS", bad, 1);
+        testing::internal::CaptureStderr();
+        EXPECT_EQ(resolveThreadCount(0), hardware)
+            << "QLA_THREADS=\"" << bad << '"';
+        const std::string warning
+            = testing::internal::GetCapturedStderr();
+        EXPECT_NE(warning.find("malformed QLA_THREADS"),
+                  std::string::npos)
+            << "QLA_THREADS=\"" << bad << "\" produced: " << warning;
+        // Warn once per value: an identical repeat stays quiet.
+        testing::internal::CaptureStderr();
+        EXPECT_EQ(resolveThreadCount(0), hardware);
+        EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+    }
+    // Leading whitespace before the digits is tolerated (strtol
+    // semantics); anything after them is not.
+    setenv("QLA_THREADS", " 6", 1);
+    EXPECT_EQ(resolveThreadCount(0), 6);
+    setenv("QLA_THREADS", "6 ", 1);
+    EXPECT_EQ(resolveThreadCount(0), hardware);
+    unsetenv("QLA_THREADS");
+}
+
 TEST(ShotScheduler, RunsEveryJobExactlyOnce)
 {
     for (const int threads : {1, 2, 4}) {
