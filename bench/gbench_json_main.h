@@ -23,6 +23,15 @@
 inline int
 runGoogleBenchmarkMain(int argc, char **argv)
 {
+    // Stamp the report with this TU's build type so compare_bench.py
+    // can refuse baselines recorded from a debug build. Keyed off
+    // NDEBUG as seen by the benchmark translation unit, which is what
+    // actually determines how fast the measured library code runs.
+#ifdef NDEBUG
+    benchmark::AddCustomContext("library_build_type", "release");
+#else
+    benchmark::AddCustomContext("library_build_type", "debug");
+#endif
     std::string json_path;
     std::vector<char *> args;
     args.push_back(argv[0]);

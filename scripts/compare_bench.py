@@ -31,6 +31,28 @@ import statistics
 import sys
 
 
+def check_build_type(path, report):
+    """Reject reports recorded from a non-release build.
+
+    A debug-build baseline makes every later release run look faster
+    than it is (and vice versa), silently absorbing real regressions
+    into the build-type delta. The bench binaries stamp
+    `library_build_type` into the report context; anything other than
+    "release" is a data error. Reports predating the stamp only get a
+    warning so historical baselines stay loadable until re-recorded.
+    """
+    build_type = report.get("context", {}).get("library_build_type")
+    if build_type is None:
+        print(f"warning: {path}: context lacks library_build_type "
+              "(recorded before the build-type stamp?)", file=sys.stderr)
+        return
+    if build_type != "release":
+        print(f"error: {path}: recorded from a {build_type!r} build; "
+              "benchmark comparisons require release builds",
+              file=sys.stderr)
+        raise SystemExit(2)
+
+
 def load_metrics(path):
     """Benchmark name -> throughput metric for one report.
 
@@ -40,6 +62,7 @@ def load_metrics(path):
     """
     with open(path) as fh:
         report = json.load(fh)
+    check_build_type(path, report)
     metrics = {}
     skipped = []
     for bench in report.get("benchmarks", []):

@@ -62,7 +62,7 @@ BatchedLogicalQubitExperiment::BatchedLogicalQubitExperiment(
     }
     retry_pool_ = std::make_unique<PrepRetryPool>(
         code_, rows_, max_prep_attempts_, classes_, shadow_of_primary_,
-        options_.faultSampling);
+        options_.faultSampling, options_.firePlanCache);
 }
 
 BatchedLogicalQubitExperiment::~BatchedLogicalQubitExperiment() = default;
@@ -203,13 +203,13 @@ BatchedLogicalQubitExperiment::recordAllTraces()
         traces_[1][t] = std::move(twin);
     }
 
-    // Per-class site counts power FaultSampling::TraceDraws; finalize
-    // after the shadow classes so every class id is covered. Unrecorded
-    // slots of the sparse trace index space finalize to all-zero counts.
-    const std::size_t total_classes = classes_.probabilities().size();
+    // Per-class site counts and fire-plan skeletons power
+    // FaultSampling::TraceDraws; finalize after the shadow classes so
+    // every class id is covered. Unrecorded slots of the sparse trace
+    // index space finalize to all-zero counts and empty skeletons.
     for (auto &variant : traces_)
         for (FrameTrace &t : variant)
-            finalizeTraceClassSites(t, total_classes);
+            finalizeTraceClassSites(t, classes_);
     return classes_;
 }
 
@@ -266,7 +266,7 @@ BatchedLogicalQubitExperiment::replaySeg(Seg seg, std::size_t c,
     qla_assert(!t.ops.empty(), "trace not recorded");
     replayTraceGroup(t, frames_, models_.data(), active.w.data(),
                      active.n, flips_.data(), options_.simdWidth,
-                     options_.faultSampling);
+                     options_.faultSampling, options_.firePlanCache);
 }
 
 //

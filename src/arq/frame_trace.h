@@ -22,6 +22,7 @@
 #define QLA_ARQ_FRAME_TRACE_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/batched_sampler.h"
@@ -100,6 +101,86 @@ struct FrameOp
 
 static_assert(sizeof(FrameOp) <= 8, "replay walks traces; keep ops small");
 
+/**
+ * One entry of a trace's fire-plan skeleton: a noise class the replay
+ * actually samples, with everything about its ClassDrawPlan that is a
+ * pure function of the trace and the class table -- which classes have
+ * sites, how many, and whether the probability is degenerate --
+ * resolved once at finalize time instead of per (word, replay) pair.
+ */
+struct TraceClassWalk
+{
+    std::uint8_t cls;
+    /** Degenerate probability: no walk, no stream consumed. */
+    bool degenerate;
+    /** Fired lanes at every site when degenerate (~0 for p >= 1,
+     *  0 for p <= 0). */
+    std::uint64_t degenerateFires;
+    /** Sampler calls of this class in one replay (= classSites[cls]). */
+    std::uint32_t sites;
+};
+
+/**
+ * Compiled linear-effect model of a trace (filled by
+ * finalizeTraceClassSites). A trace has no data-dependent control flow,
+ * so over GF(2) its replay is a linear map: every measurement flip and
+ * every output-frame bit is the XOR of (a) input-frame bits and (b) the
+ * Pauli components injected at fired noise sites. This precomputes, per
+ * input coordinate and per site component, the list of downstream
+ * targets it toggles -- which lets a replay whose fire plan came out
+ * sparse apply just the nonzero terms instead of interpreting the whole
+ * op stream. Pure function of the trace; shared by every word/replay.
+ *
+ * Target ids: measurement j (trace order) is target j; touched qubit
+ * local index l maps to targets numMeas + 2l (x) and numMeas + 2l + 1
+ * (z).
+ */
+struct TraceEffects
+{
+    enum SiteKind : std::uint8_t { kNoise1 = 0, kNoise2 = 1, kReadout = 2 };
+
+    /** One target list inside the shared pool. */
+    struct Rec
+    {
+        std::uint32_t off = 0;
+        std::uint16_t len = 0;
+    };
+
+    /** One sampler call of the replay, in trace order. */
+    struct Site
+    {
+        std::uint8_t cls = 0;
+        std::uint8_t kind = kNoise1;
+        /** kReadout: the measurement target the fired word toggles. */
+        std::uint16_t meas = 0;
+        /** Effect lists of the injected components: Noise1 uses xa/za
+         *  (the X and Z components on the site's qubit); Noise2 adds
+         *  xb/zb for the second operand, in drawPauli2 order. */
+        Rec xa, za, xb, zb;
+    };
+
+    /** Input-frame coordinates with a nonzero downstream effect. */
+    struct Input
+    {
+        std::uint16_t q = 0;
+        Rec x, z;
+    };
+
+    std::uint32_t numMeas = 0;
+    std::uint32_t numTargets = 0;
+    /** Touched qubits: local index -> frame qubit. The replay rewrites
+     *  exactly these coordinates for active lanes. */
+    std::vector<std::uint16_t> qubitOf;
+    std::vector<std::uint16_t> pool;
+    std::vector<Site> sites;
+    /** Per class: site ids in ordinal (= trace) order. */
+    std::vector<std::vector<std::uint32_t>> classSiteIds;
+    std::vector<Input> inputs;
+    /** Mean total effect-list length per site, rounded up (>= 1): the
+     *  replay cost model's price of applying one fired event. */
+    std::uint32_t avgSiteCost = 1;
+};
+
 /** A straight-line segment of the tile schedule. */
 struct FrameTrace
 {
@@ -115,16 +196,38 @@ struct FrameTrace
      * class's pre-walked block.
      */
     std::vector<std::uint32_t> classSites;
+
+    /**
+     * Fire-plan skeleton: the classes with sites in this trace, in
+     * class-id order, pre-classified against the class table (filled by
+     * finalizeTraceClassSites alongside classSites). With the fire-plan
+     * cache on, per-word planning iterates these few entries and only
+     * draws gaps; the legacy path re-derives the same classification
+     * over the whole class table -- shadow retry classes included --
+     * for every word of every replay.
+     */
+    std::vector<TraceClassWalk> walkPlan;
+
+    /**
+     * Compiled linear-effect model (see TraceEffects), shared through a
+     * process-wide registry: the model is a pure function of the op
+     * stream, so structurally identical traces -- every reconstruction
+     * of the same experiment shape, swept error rates included -- point
+     * at one compiled instance instead of recompiling per experiment.
+     */
+    std::shared_ptr<const TraceEffects> effects;
 };
 
 /**
- * Count each noise class's sampler calls over one replay of @p trace
- * and store them in trace.classSites (sized to @p num_classes). Must be
- * called once after recording, before the trace is replayed with
- * FaultSampling::TraceDraws; the counting rules mirror the replay
- * switch exactly (asserted post-replay in debug builds).
+ * Count each noise class's sampler calls over one replay of @p trace,
+ * store them in trace.classSites (sized to the class table), and build
+ * trace.walkPlan, the fire-plan skeleton of the classes that actually
+ * appear. Must be called once after recording, before the trace is
+ * replayed with FaultSampling::TraceDraws; the counting rules mirror
+ * the replay switch exactly (asserted post-replay in debug builds).
  */
-void finalizeTraceClassSites(FrameTrace &trace, std::size_t num_classes);
+void finalizeTraceClassSites(FrameTrace &trace,
+                             const NoiseClassTable &classes);
 
 /** Emits FrameOps; the recording twin of the scalar noisy primitives. */
 class FrameTraceBuilder
@@ -183,21 +286,54 @@ class FrameTraceBuilder
  */
 struct ClassDrawPlan
 {
+    /** nextFireOrd value meaning "no further fire in this trace". */
+    static constexpr std::uint32_t kNoFire = 0xffffffffu;
+
     /**
-     * fires[i] is the fired-lanes word of the class's i-th sampling
-     * site (replay order). The replay zeroes each entry as it consumes
-     * it, so the buffer is all-zero between replays and planning only
-     * ever scatters fired bits -- no per-replay wipe. Sized to the
-     * largest site count any planned trace has declared for the class.
+     * Walk scratch: fires[i] is the fired-lanes word of the class's
+     * i-th sampling site (replay order). Planning scatters the walk's
+     * fires here, then drains every nonzero entry into the sparse
+     * event arrays below (zeroing it again), so the buffer is all-zero
+     * between plans and never needs a wipe. Sized to the largest site
+     * count any planned trace has declared for the class.
      */
     std::vector<std::uint64_t> fires;
+    /**
+     * The plan itself, sparse: eventOrd lists the site ordinals that
+     * fired, ascending, and eventMask the fired lanes of each. Replay
+     * consumes sites in ordinal order, so fire() is one compare
+     * against nextFireOrd on the (overwhelmingly common) no-fire site
+     * instead of a load and store through the dense buffer.
+     */
+    std::vector<std::uint32_t> eventOrd;
+    std::vector<std::uint64_t> eventMask;
     /** Site ordinal the replay has reached for this class. */
     std::uint32_t ordinal = 0;
-    /** Degenerate class: nothing walked, fire() returns the mask. */
+    /** Index into eventOrd/eventMask of the next unconsumed event. */
+    std::uint32_t next = 0;
+    /** eventOrd[next], or kNoFire once the events are exhausted --
+     *  kept unpacked so the no-fire path reads exactly one field. For
+     *  a dense or degenerate always-fires plan it runs 0, 1, 2, ... so
+     *  every site takes the fire path. */
+    std::uint32_t nextFireOrd = kNoFire;
+    /**
+     * Dense plan: fire() serves straight from the fires buffer (the
+     * replay zeroes each entry as it consumes it) instead of the event
+     * arrays. Planning picks this representation when the walk fired
+     * often enough that draining the scratch into events would cost
+     * more than it saves -- the far-above-threshold regime, where a
+     * large fraction of sites fire some lane. The choice is purely a
+     * storage format: fired words are identical either way.
+     */
+    bool dense = false;
+    /** Degenerate p >= 1 class: every site fires all active lanes,
+     *  nothing walked, no events stored. */
     bool degenerate = false;
-    /** Fired lanes at every site when degenerate: ~0 for p >= 1, 0
-     *  for p <= 0 (and for classes with no sites in this trace). */
+    /** Fired lanes at every site when degenerate (~0 for p >= 1). */
     std::uint64_t degenerate_fires = 0;
+    /** Scatter count of the walk that produced this plan: an upper
+     *  bound on the fired-site count, kept for the replay cost model. */
+    std::uint32_t scatters = 0;
 };
 
 /** Per-class samplers plus per-lane streams for one 64-shot word. */
@@ -258,11 +394,16 @@ struct BatchedNoiseModel
  * readout compiles to direct word operations -- replay is the Monte
  * Carlo's innermost loop. @p sampling selects how fault sites turn into
  * fired lanes (TraceDraws requires trace.classSites to be finalized).
+ * @p fire_plan_cache selects whether TraceDraws planning reuses the
+ * trace's finalized skeleton (walkPlan) or re-derives it from the full
+ * class table per replay; both produce byte-identical results -- the
+ * legacy path exists as the reference for the cache's A/B gate.
  */
 void replayTrace(const FrameTrace &trace, quantum::BatchedPauliFrame &frame,
                  BatchedNoiseModel &noise, std::uint64_t active,
                  std::vector<std::uint64_t> &flips,
-                 FaultSampling sampling = FaultSampling::SiteGeometric);
+                 FaultSampling sampling = FaultSampling::SiteGeometric,
+                 bool fire_plan_cache = true);
 
 /**
  * Replay @p trace on all @p num_words words of a shot group at once,
@@ -284,7 +425,8 @@ void replayTraceGroup(const FrameTrace &trace,
                       BatchedNoiseModel *models,
                       const std::uint64_t *masks, std::size_t num_words,
                       std::vector<std::uint64_t> *flips,
-                      std::size_t simd_width, FaultSampling sampling);
+                      std::size_t simd_width, FaultSampling sampling,
+                      bool fire_plan_cache = true);
 
 } // namespace qla::arq
 

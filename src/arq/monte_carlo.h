@@ -273,6 +273,15 @@ struct BatchOptions
      * calendar, kept as the statistical cross-check reference.
      */
     FaultSampling faultSampling = FaultSampling::TraceDraws;
+    /**
+     * Reuse each trace's finalized fire-plan skeleton (which classes
+     * have sites and whether they are degenerate -- see
+     * FrameTrace::walkPlan) when planning TraceDraws replays, instead
+     * of re-deriving it from the whole class table per (word, replay).
+     * Results are bit-identical either way; off keeps the legacy
+     * planning sweep as the A/B reference for the determinism gate.
+     */
+    bool firePlanCache = true;
 };
 
 /** Options for the parallel Monte-Carlo entry points. */

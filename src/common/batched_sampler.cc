@@ -8,63 +8,12 @@
 
 namespace qla {
 
-namespace {
-
-/** Gaps past this are "never fires in any realistic trace". */
-constexpr std::int64_t kMaxGap = std::int64_t{1} << 46;
-
-/**
- * log2 for x in (0, 1): exponent from the IEEE-754 bits plus an atanh
- * series for the mantissa, range-reduced to [1/sqrt(2), sqrt(2)) so
- * |z| <= 0.1716 and the series truncation error stays below 3e-9. A
- * handful of multiplies instead of a libm call -- this runs for every
- * geometric gap draw. The ~3e-9 error can shift nextGap's floor on a
- * ~|log2(1-p)|^-1 * 3e-9 fraction of draws (about 2e-6 of draws at
- * p = 1e-3): statistically indistinguishable from exact inversion at
- * any feasible shot count.
- */
-double
-fastLog2(double x)
-{
-    const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
-    int exponent = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
-    double m = std::bit_cast<double>(
-        (bits & 0x000fffffffffffffULL) | 0x3ff0000000000000ULL); // [1, 2)
-    if (m >= 1.4142135623730951) { // keep |z| small: m in [0.707, 1.414)
-        m *= 0.5;
-        exponent += 1;
-    }
-    const double z = (m - 1.0) / (m + 1.0);
-    const double z2 = z * z;
-    const double ln_m = 2.0 * z
-        * (1.0
-           + z2 * (1.0 / 3.0
-                   + z2 * (1.0 / 5.0 + z2 * (1.0 / 7.0 + z2 / 9.0))));
-    return exponent + ln_m * 1.4426950408889634; // 1/ln 2
-}
-
-} // namespace
-
 double
 geometricInvLog2q(double p)
 {
     if (p <= 0.0 || p >= 1.0)
         return 0.0;
     return 1.0 / (std::log1p(-p) * 1.4426950408889634);
-}
-
-std::int64_t
-geometricGap(Rng &rng, double inv_log2_q)
-{
-    // Geometric inversion: the number of Bernoulli(p) trials up to and
-    // including the first success is 1 + floor(log(u) / log(1 - p)).
-    const double u = rng.uniform();
-    if (u <= 0.0)
-        return kMaxGap;
-    const double gap = 1.0 + std::floor(fastLog2(u) * inv_log2_q);
-    if (!(gap < static_cast<double>(kMaxGap)))
-        return kMaxGap;
-    return gap < 1.0 ? 1 : static_cast<std::int64_t>(gap);
 }
 
 BernoulliWordSampler::BernoulliWordSampler(double p) : p_(p)
@@ -156,14 +105,31 @@ BernoulliWordSampler::rebase(std::uint64_t active, LaneRngs &lanes)
         cnt_[l] += elapsed_;
         (*ring_)[cnt_[l] & kRingMask] |= std::uint64_t{1} << l;
     }
-    // Arm brand-new lanes from their own streams.
-    std::uint64_t fresh = active & ~seen_;
-    while (fresh) {
-        const int l = std::countr_zero(fresh);
-        fresh &= fresh - 1;
-        cnt_[l] = elapsed_ + nextGap(lanes[l]);
-        (*ring_)[cnt_[l] & kRingMask] |= std::uint64_t{1} << l;
-        seen_ |= std::uint64_t{1} << l;
+    // Arm brand-new lanes from their own streams: gather one uniform
+    // per fresh lane (ascending lane order, as a per-lane arm loop
+    // would), convert the whole block through the vectorized inversion
+    // kernel, then insert the fire times into the calendar.
+    const std::uint64_t fresh = active & ~seen_;
+    if (fresh) {
+        double u[kBatchLanes];
+        std::int64_t g[kBatchLanes];
+        std::uint8_t lane[kBatchLanes];
+        std::size_t n = 0;
+        std::uint64_t scan = fresh;
+        while (scan) {
+            const int l = std::countr_zero(scan);
+            scan &= scan - 1;
+            lane[n] = static_cast<std::uint8_t>(l);
+            u[n] = lanes[l].uniform();
+            ++n;
+        }
+        geometricGapBlock(u, n, inv_log2_q_, g);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t l = lane[i];
+            cnt_[l] = elapsed_ + g[i];
+            (*ring_)[cnt_[l] & kRingMask] |= std::uint64_t{1} << l;
+        }
+        seen_ |= fresh;
     }
     armed_ = active;
 

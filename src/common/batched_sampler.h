@@ -22,6 +22,7 @@
 
 #include <array>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -60,12 +61,96 @@ enum class FaultSampling : std::uint8_t {
 /** 1 / log2(1 - p) for geometric inversion; 0 for degenerate p. */
 double geometricInvLog2q(double p);
 
+/** Gaps past this are "never fires in any realistic trace". */
+inline constexpr std::int64_t kMaxGeometricGap = std::int64_t{1} << 46;
+
+/**
+ * log2 for positive x: exponent from the IEEE-754 bits plus an atanh
+ * series for the mantissa, range-reduced to [1/sqrt(2), sqrt(2)) so
+ * |z| <= 0.1716 and the series truncation error stays below 3e-9. A
+ * handful of multiplies instead of a libm call -- this runs for every
+ * geometric gap draw. The ~3e-9 error can shift the geometric floor on
+ * a ~|log2(1-p)|^-1 * 3e-9 fraction of draws (about 2e-6 of draws at
+ * p = 1e-3): statistically indistinguishable from exact inversion at
+ * any feasible shot count.
+ *
+ * Written select-only (no data-dependent control flow) so the block
+ * refill kernel below compiles to one vectorized loop, and with the
+ * series' multiply-adds spelled as std::fma: every operation is then a
+ * single correctly-rounded IEEE operation, so the scalar inline and
+ * the compiler-vectorized block produce bit-identical values no matter
+ * how the optimizer would otherwise contract -- which is what lets the
+ * samplers pick scalar or batched refill per call without violating
+ * the determinism contract.
+ */
+inline double
+fastLog2(double x)
+{
+    // Subnormals carry their magnitude in the mantissa field alone
+    // (Rng::uniform never produces one, but the scalar reference suite
+    // probes them): scale into the normal range and take the shift
+    // back out of the exponent.
+    const std::uint64_t raw = std::bit_cast<std::uint64_t>(x);
+    const bool subnormal = (raw & 0x7ff0000000000000ULL) == 0;
+    const std::uint64_t bits
+        = std::bit_cast<std::uint64_t>(subnormal ? x * 0x1.0p54 : x);
+    int exponent = static_cast<int>((bits >> 52) & 0x7ff) - 1023
+                   - (subnormal ? 54 : 0);
+    double m = std::bit_cast<double>(
+        (bits & 0x000fffffffffffffULL) | 0x3ff0000000000000ULL); // [1, 2)
+    const bool high = m >= 1.4142135623730951;
+    m = high ? m * 0.5 : m; // keep |z| small: m in [0.707, 1.414)
+    exponent += high ? 1 : 0;
+    const double z = (m - 1.0) / (m + 1.0);
+    const double z2 = z * z;
+    double s = std::fma(z2, 1.0 / 9.0, 1.0 / 7.0);
+    s = std::fma(z2, s, 1.0 / 5.0);
+    s = std::fma(z2, s, 1.0 / 3.0);
+    s = std::fma(z2, s, 1.0);
+    const double ln_m = 2.0 * z * s;
+    return std::fma(ln_m, 1.4426950408889634, // 1/ln 2
+                    static_cast<double>(exponent));
+}
+
 /**
  * Number of Bernoulli(p) trials up to and including the next success
- * (>= 1), by inversion from one uniform draw of @p rng.
- * @p inv_log2_q must be geometricInvLog2q(p) for a p in (0, 1).
+ * (>= 1) for the uniform draw @p u in [0, 1), by inversion of the
+ * geometric CDF: 1 + floor(log(u) / log(1 - p)). @p inv_log2_q must be
+ * geometricInvLog2q(p) for a p in (0, 1).
  */
-std::int64_t geometricGap(Rng &rng, double inv_log2_q);
+inline std::int64_t
+geometricGapFromU(double u, double inv_log2_q)
+{
+    const double gap = 1.0 + std::floor(fastLog2(u) * inv_log2_q);
+    const bool huge
+        = u <= 0.0 || !(gap < static_cast<double>(kMaxGeometricGap));
+    return huge            ? kMaxGeometricGap
+           : gap < 1.0     ? std::int64_t{1}
+                           : static_cast<std::int64_t>(gap);
+}
+
+/** geometricGapFromU over one uniform drawn from @p rng. */
+inline std::int64_t
+geometricGap(Rng &rng, double inv_log2_q)
+{
+    return geometricGapFromU(rng.uniform(), inv_log2_q);
+}
+
+/**
+ * Convert a block of @p n uniforms to geometric gaps in one pass.
+ * Identical draw-for-draw to calling geometricGapFromU on each entry --
+ * it is the same inlined expression tree -- but shaped as the flat loop
+ * the compiler turns into SIMD floor/multiply lanes. This is the refill
+ * kernel behind ClassDrawSampler's batched walks and
+ * BernoulliWordSampler's calendar arming.
+ */
+inline void
+geometricGapBlock(const double *u, std::size_t n, double inv_log2_q,
+                  std::int64_t *gaps)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        gaps[i] = geometricGapFromU(u[i], inv_log2_q);
+}
 
 /**
  * Batched Bernoulli(p) bit source over 64 lanes.
@@ -339,23 +424,30 @@ class ClassDrawSampler
      * trials at once, OR-ing each fired trial's lane bit into
      * fires[ordinal] (0-based ordinal within the block; the buffer must
      * hold @p sites words and is only written at fired ordinals).
+     * Returns the number of scatter writes -- an upper bound on the
+     * fired ordinals (lanes can fire the same ordinal). Zero means the
+     * buffer was not touched, which is what lets planning serve the
+     * whole block as a degenerate no-fire plan (the sparse-mask replays
+     * of retry subtrees almost always land here); the count also tells
+     * planning whether the fire schedule is sparse enough to be worth
+     * re-packing as an event list.
      *
      * Equivalent draw-for-draw to calling walkLane on each active lane
      * in turn -- a lane only ever consumes its own stream, so the lane
      * iteration order cannot matter -- but the common no-fire case is a
      * flat compare-and-subtract sweep over the 64 lane clocks that the
-     * compiler vectorizes, instead of 64 branchy per-lane walks. Only
-     * firing lanes (identified by the sweep) pay a per-lane gap walk.
+     * compiler vectorizes, and every gap draw goes through the block
+     * inversion kernel: uniforms are gathered a round at a time across
+     * lanes and converted in one vectorized geometricGapBlock pass. Per
+     * lane the stream order is unchanged (one gap per fire, in fire
+     * order); only the arithmetic is batched across lanes.
      */
-    void walkWord(std::uint64_t active, std::int64_t sites,
-                  LaneRngs &lanes, std::uint64_t *fires)
+    std::int64_t walkWord(std::uint64_t active, std::int64_t sites,
+                          LaneRngs &lanes, std::uint64_t *fires)
     {
-        std::uint64_t fresh = active & ~seen_;
-        while (fresh) {
-            const int l = std::countr_zero(fresh);
-            fresh &= fresh - 1;
-            cnt_[l] = geometricGap(lanes[l], inv_log2_q_);
-        }
+        const std::uint64_t fresh = active & ~seen_;
+        if (fresh)
+            armFresh(fresh, lanes);
         seen_ |= active;
         // Clock sweep: collect the firing lanes and retire the block's
         // trials from every active clock in one pass (firing lanes go
@@ -377,20 +469,96 @@ class ClassDrawSampler
                 cnt_[l] -= sites;
             }
         }
-        while (firing) {
-            const int l = std::countr_zero(firing);
-            firing &= firing - 1;
-            const std::uint64_t bit = std::uint64_t{1} << l;
-            std::int64_t pos = cnt_[l] + sites;
-            do {
-                fires[pos - 1] |= bit;
-                pos += geometricGap(lanes[l], inv_log2_q_);
-            } while (pos <= sites);
-            cnt_[l] = pos - sites;
-        }
+        if (!firing)
+            return 0;
+        return walkFiring(firing, sites, lanes, fires);
     }
 
   private:
+    /** Draw the first gap of every lane in @p fresh (ascending lane
+     *  order, one uniform each) through the block inversion kernel. */
+    void armFresh(std::uint64_t fresh, LaneRngs &lanes)
+    {
+        double u[kBatchLanes];
+        std::int64_t g[kBatchLanes];
+        std::uint8_t lane[kBatchLanes];
+        std::size_t n = 0;
+        while (fresh) {
+            const int l = std::countr_zero(fresh);
+            fresh &= fresh - 1;
+            lane[n] = static_cast<std::uint8_t>(l);
+            u[n] = lanes[l].uniform();
+            ++n;
+        }
+        geometricGapBlock(u, n, inv_log2_q_, g);
+        for (std::size_t i = 0; i < n; ++i)
+            cnt_[lane[i]] = g[i];
+    }
+
+    /**
+     * Rewind the lanes the clock sweep flagged and scatter their fire
+     * positions, drawing follow-up gaps round by round: each round
+     * records one fire per still-walking lane, converts all their next
+     * gaps in one geometricGapBlock pass, and retires the lanes whose
+     * clocks left the block. A lane's fires and draws happen in exactly
+     * the order the serial per-lane walk would produce -- and because
+     * every gap inversion is the same correctly-rounded expression tree
+     * (see fastLog2), the serial one-lane walk below is bit-identical
+     * to the batched rounds, so dispatching on the fire count cannot
+     * leak word composition into any lane's draws. Returns the scatter
+     * count (see walkWord).
+     */
+    std::int64_t walkFiring(std::uint64_t firing, std::int64_t sites,
+                            LaneRngs &lanes, std::uint64_t *fires)
+    {
+        std::int64_t scatters = 0;
+        if (!(firing & (firing - 1))) {
+            // One firing lane (the common case anywhere near or below
+            // threshold): the round machinery would only add traffic.
+            const int l = std::countr_zero(firing);
+            std::int64_t pos = cnt_[l] + sites;
+            do {
+                fires[pos - 1] |= firing;
+                ++scatters;
+                pos += geometricGap(lanes[l], inv_log2_q_);
+            } while (pos <= sites);
+            cnt_[l] = pos - sites;
+            return scatters;
+        }
+        std::int64_t pos[kBatchLanes];
+        double u[kBatchLanes];
+        std::int64_t g[kBatchLanes];
+        std::uint8_t lane[kBatchLanes];
+        std::size_t n = 0;
+        while (firing) {
+            const int l = std::countr_zero(firing);
+            firing &= firing - 1;
+            lane[n] = static_cast<std::uint8_t>(l);
+            pos[n] = cnt_[l] + sites; // the sweep already took the block
+            ++n;
+        }
+        while (n) {
+            scatters += static_cast<std::int64_t>(n);
+            for (std::size_t i = 0; i < n; ++i)
+                fires[pos[i] - 1] |= std::uint64_t{1} << lane[i];
+            for (std::size_t i = 0; i < n; ++i)
+                u[i] = lanes[lane[i]].uniform();
+            geometricGapBlock(u, n, inv_log2_q_, g);
+            std::size_t keep = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::int64_t next = pos[i] + g[i];
+                if (next <= sites) {
+                    lane[keep] = lane[i];
+                    pos[keep] = next;
+                    ++keep;
+                } else {
+                    cnt_[lane[i]] = next - sites;
+                }
+            }
+            n = keep;
+        }
+        return scatters;
+    }
     double p_;
     double inv_log2_q_;
     /** Trials remaining until lane's next success (valid when seen). */

@@ -554,7 +554,7 @@ TEST(GroupReplay, SimdWidthsBitIdenticalLaneByLane)
     builder.measureRange(0, 3, true, 3e-3);
     builder.measureZ(4, 3e-3);
     FrameTrace trace = builder.take();
-    finalizeTraceClassSites(trace, classes.probabilities().size());
+    finalizeTraceClassSites(trace, classes);
 
     const std::size_t words = 8;
     RngFamily family(2026);

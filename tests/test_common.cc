@@ -7,8 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <set>
+#include <vector>
 
+#include "common/batched_sampler.h"
 #include "common/rng.h"
 #include "common/tech_params.h"
 #include "common/units.h"
@@ -163,4 +167,105 @@ TEST(Units, Conversions)
     EXPECT_DOUBLE_EQ(units::toHours(3600.0), 1.0);
     EXPECT_DOUBLE_EQ(units::toDays(86400.0), 1.0);
     EXPECT_DOUBLE_EQ(units::squareMicrometersToSquareMeters(1e12), 1.0);
+}
+
+// fastLog2 is the inversion kernel behind every geometric gap draw;
+// the gap samplers assume it tracks std::log2 closely enough that the
+// floor in geometricGapFromU lands on the exact bucket for all but a
+// ~2e-6 fraction of draws, and that it stays finite and ordered on the
+// extremes Rng::uniform can approach.
+
+TEST(FastLog2, TracksStdLog2AcrossUniformRange)
+{
+    Rng rng(2024);
+    double worst = 0.0;
+    for (int i = 0; i < 200000; ++i) {
+        const double u = rng.uniform();
+        if (u <= 0.0)
+            continue;
+        worst = std::max(worst, std::abs(fastLog2(u) - std::log2(u)));
+    }
+    // Series truncation is ~3e-9; 2e-6 is the band at which the floor
+    // in the gap inversion could start drifting at p ~ 1e-3.
+    EXPECT_LT(worst, 2e-6);
+}
+
+TEST(FastLog2, TracksStdLog2AcrossMagnitudes)
+{
+    // Exercise the exponent path far outside (0, 1): the exponent is
+    // exact by construction, so the error band must not grow with |x|.
+    Rng rng(77);
+    for (int e = -300; e <= 300; e += 17) {
+        const double scale = std::ldexp(1.0, e);
+        for (int i = 0; i < 64; ++i) {
+            const double x = (1.0 + rng.uniform()) * scale;
+            EXPECT_NEAR(fastLog2(x), std::log2(x), 2e-6) << "x=" << x;
+        }
+    }
+}
+
+TEST(FastLog2, SubnormalInputs)
+{
+    // Subnormals carry magnitude in the mantissa alone; the kernel
+    // rescales by 2^54 and repays the shift in the exponent.
+    const double dmin = std::numeric_limits<double>::denorm_min();
+    EXPECT_NEAR(fastLog2(dmin), -1074.0, 2e-6);
+    const double nmin = std::numeric_limits<double>::min();
+    EXPECT_NEAR(fastLog2(nmin / 4.0), std::log2(nmin) - 2.0, 2e-6);
+    EXPECT_NEAR(fastLog2(nmin * 0.75), std::log2(nmin * 0.75), 2e-6);
+}
+
+TEST(FastLog2, ApproachingOneFromBelow)
+{
+    // u -> 1- is the "gap of 1" end of the inversion: log2(u) -> -0,
+    // and the result must stay <= 0 so the floor cannot produce a gap
+    // below 1.
+    for (double u = 1.0 - 1e-3; u < 1.0;
+         u = std::nextafter((1.0 + u) / 2.0, 1.0)) {
+        const double got = fastLog2(u);
+        EXPECT_LE(got, 0.0) << "u=" << u;
+        EXPECT_NEAR(got, std::log2(u), 2e-6) << "u=" << u;
+        if (u == std::nextafter(1.0, 0.0))
+            break;
+    }
+    EXPECT_EQ(fastLog2(1.0), 0.0);
+}
+
+TEST(FastLog2, GapInversionEdgeCases)
+{
+    const double inv = geometricInvLog2q(1e-3);
+    // u = 0 is never produced by Rng::uniform, but the clamp must hold.
+    EXPECT_EQ(geometricGapFromU(0.0, inv), kMaxGeometricGap);
+    // The smallest positive double still inverts to a finite gap at
+    // p = 1e-3: log2(denorm_min) = -1074 exactly, so pin the bucket.
+    const double dmin = std::numeric_limits<double>::denorm_min();
+    EXPECT_EQ(geometricGapFromU(dmin, inv),
+              1 + static_cast<std::int64_t>(std::floor(-1074.0 * inv)));
+    // At vanishing p the same u overflows past the ceiling and clamps.
+    EXPECT_EQ(geometricGapFromU(dmin, geometricInvLog2q(1e-12)),
+              kMaxGeometricGap);
+    // u -> 1- gives the minimum gap of 1.
+    EXPECT_EQ(geometricGapFromU(std::nextafter(1.0, 0.0), inv), 1);
+}
+
+TEST(GeometricGapBlock, BitIdenticalToScalarInversion)
+{
+    // The determinism contract lets samplers pick scalar or batched
+    // refill per call, which is only sound if the block kernel is the
+    // same expression tree: exact equality, not a tolerance.
+    Rng rng(31337);
+    for (const double p : {1e-5, 1e-4, 1e-3, 8e-3, 0.1, 0.5}) {
+        const double inv = geometricInvLog2q(p);
+        std::vector<double> u(257);
+        for (double &v : u)
+            v = rng.uniform();
+        u[0] = std::numeric_limits<double>::denorm_min();
+        u[1] = std::nextafter(1.0, 0.0);
+        u[2] = std::numeric_limits<double>::min();
+        std::vector<std::int64_t> block(u.size());
+        geometricGapBlock(u.data(), u.size(), inv, block.data());
+        for (std::size_t i = 0; i < u.size(); ++i)
+            ASSERT_EQ(block[i], geometricGapFromU(u[i], inv))
+                << "p=" << p << " i=" << i;
+    }
 }

@@ -11,11 +11,14 @@
  *
  *   determinism_gate --mode spot --engine batched
  *       [--group G] [--compaction on|off] [--fill F] [--width W]
- *       [--sampling site|trace] [--threads N] [--shots S]
+ *       [--sampling site|trace] [--fire-plan-cache on|off]
+ *       [--threads N] [--shots S]
  *       Single-point L1+L2 failure counts on the batched engine;
  *       identical output is required for every group width, for
  *       compaction on vs off, for every segment-migration fill
- *       threshold F, and for every SIMD tile width W (1/2/4/8 words).
+ *       threshold F, for every SIMD tile width W (1/2/4/8 words), and
+ *       for the fire-plan cache on vs off (cached skeleton + compiled
+ *       replay vs the legacy planning sweep + interpreter).
  *       --sampling picks the fault-sampling granularity; it is the one
  *       axis that changes the realized fault pattern (per-site vs
  *       trace-level batched draws), so runs are byte-comparable only
@@ -91,8 +94,8 @@ runSweep(int threads, std::size_t shots)
 
 int
 runSpotBatched(std::size_t group, bool compaction, double fill,
-               std::size_t width, FaultSampling sampling, int threads,
-               std::size_t shots)
+               std::size_t width, FaultSampling sampling,
+               bool fire_plan_cache, int threads, std::size_t shots)
 {
     McRunOptions options;
     options.threads = threads;
@@ -101,6 +104,7 @@ runSpotBatched(std::size_t group, bool compaction, double fill,
     options.batch.migrationFillThreshold = fill;
     options.batch.simdWidth = width;
     options.batch.faultSampling = sampling;
+    options.batch.firePlanCache = fire_plan_cache;
     for (const int level : {1, 2}) {
         ExperimentStats stats;
         const auto rate = runLogicalExperiment(
@@ -313,6 +317,8 @@ printHelp()
         "  --width W          spot/batched: SIMD tile width in words\n"
         "  --sampling S       spot/batched: site | trace fault "
         "sampling\n"
+        "  --fire-plan-cache C  spot/batched: fire-plan cache on | "
+        "off\n"
         "  --fault-rate F     interconnect: uniform link-fault rate "
         "axis\n"
         "  --purification L   interconnect: purification-level axis\n"
@@ -342,6 +348,7 @@ main(int argc, char **argv)
     double fill = BatchOptions{}.migrationFillThreshold;
     std::size_t width = BatchOptions{}.simdWidth;
     FaultSampling sampling = BatchOptions{}.faultSampling;
+    bool fire_plan_cache = BatchOptions{}.firePlanCache;
     double fault_rate = 0.0;
     int purification = 0;
     double link_fidelity = 1.0;
@@ -378,6 +385,8 @@ main(int argc, char **argv)
             sampling = std::strcmp(next(), "site") == 0
                 ? FaultSampling::SiteGeometric
                 : FaultSampling::TraceDraws;
+        else if (arg == "--fire-plan-cache")
+            fire_plan_cache = std::strcmp(next(), "off") != 0;
         else if (arg == "--fault-rate")
             fault_rate = std::atof(next());
         else if (arg == "--purification")
@@ -404,7 +413,7 @@ main(int argc, char **argv)
         return engine == "scalar"
             ? runSpotScalar(shots)
             : runSpotBatched(group, compaction, fill, width, sampling,
-                             threads, shots);
+                             fire_plan_cache, threads, shots);
     if (mode == "crosscheck")
         return runCrosscheck(shots);
     if (mode == "interconnect")
